@@ -1,0 +1,38 @@
+"""Ablation: calibration-set size.
+
+The paper uses 1000 ImageNet images / 5% of GLUE inputs for max
+calibration and argues this small-sample recipe suffices.  This bench
+sweeps the calibration split size and regenerates that robustness.
+"""
+
+from repro.autograd import Tensor
+from repro.experiments.common import format_table
+from repro.quant import PTQConfig, dequantize_model, quantize_model
+from repro.zoo import dataset, evaluate_vision, pretrained
+
+SIZES = (10, 25, 50, 100, 200)
+
+
+def test_ablation_calibration_size(benchmark):
+    model, fp32 = pretrained("VGG16")
+    test = dataset().test_split(250)
+
+    def run_with(n):
+        calib = dataset().calibration_split(n)
+        quantize_model(model, PTQConfig("MERSIT(8,2)"), calib.batches(50),
+                       forward=lambda m, b: m(Tensor(b[0])))
+        acc = evaluate_vision(model, test)
+        dequantize_model(model)
+        return acc
+
+    benchmark(lambda: run_with(25))
+
+    scores = {n: run_with(n) for n in SIZES}
+    rows = [[n, round(scores[n], 2)] for n in SIZES]
+    # max-calibration must be stable beyond a small sample
+    spread = max(scores[n] for n in SIZES[1:]) - min(scores[n] for n in SIZES[1:])
+    assert spread < 6.0
+    assert scores[200] > fp32 - 8.0
+    print()
+    print(f"Ablation - calibration size, MERSIT(8,2) on VGG16 (FP32 {fp32:.2f})")
+    print(format_table(["calib images", "accuracy"], rows))

@@ -1,0 +1,37 @@
+"""Ablation: Kulisch accumulator overflow margin V.
+
+The paper's accumulator is 'W + V' bits with V an overflow margin
+(Section 2.2).  This bench sweeps V and regenerates the linear area cost
+of widening the accumulator + aligner datapath, the design pressure that
+makes wide-dynamic-range formats expensive.
+"""
+
+from repro.experiments.common import format_table
+from repro.formats import get_format
+from repro.hardware import MacUnit
+
+MARGINS = (0, 7, 14, 28)
+
+
+def test_ablation_kulisch_margin(benchmark):
+    fmt = get_format("MERSIT(8,2)")
+    benchmark(lambda: MacUnit(fmt, overflow_margin=14).area().total)
+
+    rows = []
+    areas = {}
+    for v in MARGINS:
+        for name in ("FP(8,4)", "Posit(8,1)", "MERSIT(8,2)"):
+            mac = MacUnit(get_format(name), overflow_margin=v)
+            areas[(name, v)] = mac.area().total
+        rows.append([v] + [round(areas[(n, v)], 0)
+                           for n in ("FP(8,4)", "Posit(8,1)", "MERSIT(8,2)")])
+
+    for name in ("FP(8,4)", "Posit(8,1)", "MERSIT(8,2)"):
+        seq = [areas[(name, v)] for v in MARGINS]
+        assert seq == sorted(seq), f"area must grow with V for {name}"
+    # the format ordering is margin-independent
+    for v in MARGINS:
+        assert areas[("MERSIT(8,2)", v)] < areas[("Posit(8,1)", v)]
+    print()
+    print("Ablation - accumulator overflow margin V (area um^2)")
+    print(format_table(["V", "FP(8,4)", "Posit(8,1)", "MERSIT(8,2)"], rows))

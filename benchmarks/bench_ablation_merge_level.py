@@ -1,0 +1,53 @@
+"""Ablation: the MERSIT merge level (es).
+
+The paper proposes es as the tunable "merge level of exponent bits" and
+evaluates (8,2) and (8,3).  This bench sweeps every legal 8-bit merge
+level — es in {1, 2, 3, 6} — and regenerates the trade-off the paper's
+Section 3 describes: larger es widens the dynamic range but shrinks the
+usable fraction, while the grouped decoder stays small.
+"""
+
+import numpy as np
+
+from repro.experiments.common import format_table
+from repro.formats import MersitFormat
+from repro.hardware import Circuit, decoder_for_format
+from repro.quant import FakeQuantizer, relative_rmse
+
+ES_LEVELS = (1, 2, 3, 6)
+
+
+def build_decoder_area(es: int) -> float:
+    c = Circuit()
+    code = c.input_bus(8)
+    decoder_for_format(c, code, MersitFormat(8, es))
+    return c.area().total
+
+
+def test_ablation_merge_level(benchmark):
+    benchmark(lambda: build_decoder_area(2))
+
+    rng = np.random.default_rng(0)
+    weights = rng.normal(size=20_000) * 0.1
+    rows = []
+    results = {}
+    for es in ES_LEVELS:
+        fmt = MersitFormat(8, es)
+        dr = fmt.dynamic_range
+        q = FakeQuantizer(fmt).calibrate(weights)(weights)
+        rmse = relative_rmse(weights, q)
+        area = build_decoder_area(es)
+        results[es] = {"area": area, "rmse": rmse, "span": dr.span,
+                       "max_frac": fmt.max_fraction_bits()}
+        rows.append([f"MERSIT(8,{es})", f"2^{dr.min_log2}~2^{dr.max_log2}",
+                     fmt.max_fraction_bits(), round(area, 1), round(rmse, 4)])
+
+    # trade-off direction: es up => range up, fraction down, RMSE up
+    assert results[1]["span"] < results[2]["span"] < results[3]["span"] < results[6]["span"]
+    assert results[1]["max_frac"] >= results[2]["max_frac"] >= results[3]["max_frac"]
+    assert results[2]["rmse"] < results[6]["rmse"]
+    print()
+    print("Ablation - MERSIT merge level (es)")
+    print(format_table(
+        ["Format", "Range", "max frac bits", "decoder um^2", "weight rel-RMSE"],
+        rows))

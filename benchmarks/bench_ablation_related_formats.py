@@ -1,0 +1,48 @@
+"""Ablation: the related formats of paper §2.1 (AdaptivFloat, BFP).
+
+The paper excludes AdaptivFloat and block floating point from Table 2 on
+the argument that, under channel/layer max scaling, they "align with
+FP8, eliminating the need for a separate comparison".  This bench
+implements both and measures that alignment on real model weights.
+"""
+
+import numpy as np
+
+from repro.experiments.common import format_table
+from repro.formats import FP8_E4, MERSIT8_2
+from repro.formats.adaptivfloat import fit_bias
+from repro.quant import FakeQuantizer, relative_rmse
+from repro.quant.bfp import bfp_quantize
+from repro.quant.ptq import quantized_layers
+from repro.zoo import pretrained
+
+
+def test_ablation_related_formats(benchmark):
+    model, _ = pretrained("VGG16")
+    weights = [layer.weight.data.astype(np.float64).ravel()
+               for _, layer in quantized_layers(model)]
+
+    benchmark(lambda: bfp_quantize(weights[0], mantissa_bits=7, block_size=16))
+
+    rows = []
+    errs = {"FP(8,4)": [], "AdaptivFloat(8,4)": [], "BFP(m7,b16)": [],
+            "MERSIT(8,2)": []}
+    for w in weights:
+        errs["FP(8,4)"].append(relative_rmse(w, FakeQuantizer(FP8_E4).calibrate(w)(w)))
+        af = fit_bias(w, 8, 4)
+        errs["AdaptivFloat(8,4)"].append(relative_rmse(w, af.quantize(w)))
+        errs["BFP(m7,b16)"].append(
+            relative_rmse(w, bfp_quantize(w, mantissa_bits=7, block_size=16)))
+        errs["MERSIT(8,2)"].append(
+            relative_rmse(w, FakeQuantizer(MERSIT8_2).calibrate(w)(w)))
+    means = {k: float(np.mean(v)) for k, v in errs.items()}
+    for k, v in means.items():
+        rows.append([k, round(v, 4)])
+
+    # paper §2.1 claim: AdaptivFloat within the FP8 error class (same order)
+    assert 0.4 < means["AdaptivFloat(8,4)"] / means["FP(8,4)"] < 2.5
+    # and the proposed format still wins on bell-shaped weights
+    assert means["MERSIT(8,2)"] < means["FP(8,4)"]
+    print()
+    print("Ablation - related formats (mean layer weight rel-RMSE, VGG16)")
+    print(format_table(["Quantizer", "rel-RMSE"], rows))

@@ -1,0 +1,19 @@
+"""Bench fig2: the MAC width table embedded in the paper's Fig. 2."""
+
+from repro.experiments import fig2
+from repro.formats import get_format
+from repro.formats.analysis import summarize
+
+
+def summarize_three():
+    return [summarize(get_format(n))
+            for n in ("FP(8,4)", "Posit(8,1)", "MERSIT(8,2)")]
+
+
+def test_fig2_mac_widths(benchmark):
+    rows = benchmark(summarize_three)
+    assert [r.product_width for r in rows] == [33, 45, 35]
+    result = fig2.run()
+    assert result["all_match"]
+    print()
+    print(fig2.render(result))

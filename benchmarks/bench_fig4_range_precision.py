@@ -1,0 +1,19 @@
+"""Bench fig4: range & precision profiles of the nine 8-bit formats."""
+
+from repro.experiments import fig4
+from repro.formats import get_format
+from repro.formats.analysis import precision_segments
+
+
+def profile_all():
+    return {name: precision_segments(get_format(name))
+            for name in fig4.FIG4_FORMATS}
+
+
+def test_fig4_range_precision(benchmark):
+    profiles = benchmark(profile_all)
+    assert len(profiles) == len(fig4.FIG4_FORMATS)
+    result = fig4.run()
+    assert result["claims"]["mersit_band_wider"]
+    print()
+    print(fig4.render(result))

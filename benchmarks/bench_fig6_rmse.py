@@ -1,0 +1,26 @@
+"""Bench fig6: layer-wise RMSE of quantized tensors (paper Fig. 6)."""
+
+import numpy as np
+
+from repro.experiments import fig6
+from repro.formats import get_format
+from repro.quant import FakeQuantizer
+
+
+def test_fig6_rmse(benchmark):
+    fmt = get_format("MERSIT(8,2)")
+    rng = np.random.default_rng(0)
+    w = rng.normal(size=(64, 64)).astype(np.float64)
+
+    def quantize_weight():
+        return FakeQuantizer(fmt, axis=0).calibrate(w)(w)
+
+    benchmark(quantize_weight)
+
+    result = fig6.run()
+    # the paper's finding: MERSIT(8,2) RMSE below FP(8,4) on all three models
+    for model, chk in result["checks"].items():
+        assert chk["mersit_leq_fp8"], f"{model}: MERSIT RMSE not below FP(8,4)"
+        assert chk["mersit_vs_posit_ratio"] < 1.25
+    print()
+    print(fig6.render(result))

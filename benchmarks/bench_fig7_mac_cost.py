@@ -1,0 +1,31 @@
+"""Bench fig7: MAC area/power for FP(8,4), Posit(8,1), MERSIT(8,2).
+
+The benchmarked kernel is the activity simulation of the MERSIT MAC over
+a 256-pair operand stream (the power-estimation workload).
+"""
+
+import numpy as np
+
+from repro.experiments import fig7
+from repro.formats import get_format
+from repro.hardware import MacUnit
+
+
+def test_fig7_mac_cost(benchmark):
+    mac = MacUnit(get_format("MERSIT(8,2)"))
+    rng = np.random.default_rng(0)
+    w = rng.integers(0, 256, 256)
+    a = rng.integers(0, 256, 256)
+
+    benchmark(lambda: mac.power(w, a))
+
+    result = fig7.run()
+    rows = result["rows"]
+    # reproduction targets: MERSIT strictly cheaper than Posit in both area
+    # and power, and within ~25% of FP(8,4) area.
+    assert rows["MERSIT(8,2)"]["area_total"] < rows["Posit(8,1)"]["area_total"]
+    assert rows["MERSIT(8,2)"]["power_total"] < rows["Posit(8,1)"]["power_total"]
+    assert rows["MERSIT(8,2)"]["area_total"] < 1.3 * rows["FP(8,4)"]["area_total"]
+    assert result["headlines"]["area_saving_vs_posit_pct"] > 10.0
+    print()
+    print(fig7.render(result))

@@ -1,0 +1,19 @@
+"""Bench headline: the paper's abstract-level claims, measured vs stated."""
+
+from repro.experiments import headline
+from repro.formats import get_format
+from repro.hardware import MacUnit
+
+
+def test_headline_claims(benchmark):
+    benchmark(lambda: MacUnit(get_format("MERSIT(8,2)")).area().total)
+
+    result = headline.run()
+    claims = result["claims"]
+    # direction of every hardware claim must reproduce
+    assert claims["mac_area_saving_vs_posit_pct"]["measured"] > 0
+    assert claims["mac_power_saving_vs_posit_pct"]["measured"] > 0
+    assert claims["decoder_area_saving_vs_posit_pct"]["measured"] > 0
+    assert claims["posit_multiplier_area_overhead_vs_fp8_pct"]["measured"] > 0
+    print()
+    print(headline.render(result))

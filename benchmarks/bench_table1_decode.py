@@ -1,0 +1,22 @@
+"""Bench table1: regenerate the paper's Table 1 (MERSIT(8,2) decode table).
+
+Benchmarks the full 256-code decode sweep and prints the regenerated
+table next to its match-status against the paper.
+"""
+
+from repro.experiments import table1
+from repro.formats import MersitFormat
+
+
+def decode_all_codes():
+    fmt = MersitFormat(8, 2)
+    return [fmt.decode(c) for c in range(256)]
+
+
+def test_table1_decode(benchmark):
+    decoded = benchmark(decode_all_codes)
+    assert len(decoded) == 256
+    result = table1.run()
+    assert result["matches_paper"], result["mismatches"]
+    print()
+    print(table1.render(result))

@@ -1,0 +1,60 @@
+"""Bench table2: the PTQ accuracy grid (paper Table 2).
+
+By default regenerates a representative sub-grid (three contrasting models
+x five formats) on top of whatever cells are already cached in the
+artifact, then prints the full accumulated grid.  Set ``REPRO_TABLE2_FULL=1``
+to force the complete 12-model x 12-column grid (slow: it runs every
+quantized model over the evaluation split).
+
+The benchmarked kernel is one PTQ quantize-calibrate cycle, the unit of
+work the grid scales with.
+"""
+
+import os
+
+import numpy as np
+
+from repro.autograd import Tensor
+from repro.experiments import table2
+from repro.quant import PTQConfig, dequantize_model, quantize_model
+from repro.zoo import dataset, pretrained
+
+QUICK_MODELS = ["VGG16", "MobileNet_v3", "EfficientNet_b0"]
+QUICK_FORMATS = ["INT8", "FP(8,4)", "FP(8,5)", "Posit(8,0)", "Posit(8,1)",
+                 "MERSIT(8,2)"]
+
+
+def test_table2_ptq_accuracy(benchmark):
+    model, _ = pretrained("VGG16")
+    calib = dataset().calibration_split(50)
+
+    def ptq_cycle():
+        quantize_model(model, PTQConfig("MERSIT(8,2)"), calib.batches(50),
+                       forward=lambda m, b: m(Tensor(b[0])))
+        dequantize_model(model)
+
+    benchmark(ptq_cycle)
+
+    if os.environ.get("REPRO_TABLE2_FULL") == "1":
+        result = table2.run(verbose=True)
+    else:
+        result = table2.run(models=QUICK_MODELS, formats=QUICK_FORMATS)
+
+    grid = result["grid"]
+    for name in QUICK_MODELS:
+        row = grid[name]
+        # reproduction targets: MERSIT tracks Posit(8,1) and the baseline
+        assert abs(row["MERSIT(8,2)"] - row["Posit(8,1)"]) < 6.0
+        assert row["MERSIT(8,2)"] > row["FP32"] - 8.0
+    # the precision-starved wide-range format (FP(8,5): 2-bit fraction)
+    # degrades consistently more than MERSIT(8,2) — the paper's Section 4.2
+    # finding that "fraction precision plays a critical role".  The paper's
+    # full-scale narrow-range *collapses* (Posit(8,0)/FP(8,2) -> ~0) do not
+    # reproduce on miniaturised models; see EXPERIMENTS.md.
+    fp85_drop = np.mean([grid[m]["FP32"] - grid[m]["FP(8,5)"]
+                         for m in QUICK_MODELS])
+    mersit_drop = np.mean([grid[m]["FP32"] - grid[m]["MERSIT(8,2)"]
+                           for m in QUICK_MODELS])
+    assert fp85_drop > mersit_drop + 1.0
+    print()
+    print(table2.render(result))

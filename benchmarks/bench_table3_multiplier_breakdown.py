@@ -1,0 +1,33 @@
+"""Bench table3: multiplier breakdown (decoder / exp adder / frac mult)."""
+
+import numpy as np
+
+from repro.experiments import table3
+from repro.formats import get_format
+from repro.hardware import Circuit, decoder_for_format
+
+
+def build_all_decoders():
+    circuits = []
+    for name in ("FP(8,4)", "Posit(8,1)", "MERSIT(8,2)"):
+        c = Circuit()
+        code = c.input_bus(8)
+        decoder_for_format(c, code, get_format(name))
+        circuits.append(c.area().total)
+    return circuits
+
+
+def test_table3_multiplier_breakdown(benchmark):
+    areas = benchmark(build_all_decoders)
+    fp8, posit, mersit = areas
+    # the proposed decoder is the smallest of the regime-bearing formats
+    assert mersit < posit
+
+    result = table3.run()
+    rows = result["rows"]
+    # paper: MERSIT decoder saves the majority of the Posit decoder's area
+    assert result["decoder_area_saving_vs_posit_pct"] > 30.0
+    # paper: MERSIT multiplier power below FP(8,4)'s and Posit(8,1)'s
+    assert rows["MERSIT(8,2)"]["power"]["decoder"] < rows["Posit(8,1)"]["power"]["decoder"]
+    print()
+    print(table3.render(result))

@@ -1,0 +1,64 @@
+"""Interactive format explorer: inspect any supported 8-bit format.
+
+    python examples/format_explorer.py MERSIT(8,2)            # overview
+    python examples/format_explorer.py Posit(8,1) 0x4A        # decode a code
+    python examples/format_explorer.py FP(8,4) 0.1375         # encode a value
+"""
+
+import sys
+
+from repro.formats import available_formats, get_format
+from repro.formats.analysis import precision_segments, summarize
+
+
+def overview(fmt) -> None:
+    s = summarize(fmt)
+    print(f"{fmt.name}: {fmt.nbits}-bit, dynamic range {s.dynamic_range}")
+    print(f"  exponent bus P = {s.exponent_width} bits, "
+          f"significand M = {s.significand_bits} bits, "
+          f"Kulisch product width W = {s.product_width}")
+    print(f"  finite values: {len(fmt.finite_values)}, "
+          f"max = {fmt.max_value}, min positive = {fmt.min_positive}")
+    print("  precision by binade:")
+    for lo, hi, bits in precision_segments(fmt):
+        print(f"    2^{lo:>4d} .. 2^{hi:>4d}: {bits} fraction bits")
+
+
+def decode(fmt, code: int) -> None:
+    d = fmt.decode(code)
+    print(f"{fmt.name} code 0b{code:0{fmt.nbits}b} (0x{code:02X}):")
+    print(f"  class = {d.value_class}, value = {d.value}")
+    if d.is_finite:
+        print(f"  sign={d.sign} regime={d.regime} "
+              f"effective_exponent={d.effective_exponent} "
+              f"fraction={d.fraction_field}/{2**(d.fraction_bits or 0)}")
+
+
+def encode(fmt, value: float) -> None:
+    code = fmt.encode(value)
+    q = fmt.decode(code).value
+    err = abs(value - q)
+    print(f"{fmt.name}: {value} -> code 0x{code:02X} = {q} "
+          f"(abs error {err:.3g})")
+
+
+def main(argv: list[str]) -> None:
+    if not argv:
+        print("formats:", ", ".join(available_formats()))
+        print(__doc__)
+        return
+    fmt = get_format(argv[0])
+    if len(argv) == 1:
+        overview(fmt)
+    else:
+        token = argv[1]
+        if token.lower().startswith("0x") or token.lower().startswith("0b"):
+            decode(fmt, int(token, 0))
+        elif token.isdigit():
+            decode(fmt, int(token))
+        else:
+            encode(fmt, float(token))
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

@@ -1,0 +1,48 @@
+"""Accelerator-scale roll-up: a 16x16 PE array per format (paper conclusion).
+
+Maps a MobileNet-style layer stack onto weight-stationary arrays built
+from the measured MAC netlists and compares per-layer energy.
+
+    python examples/pe_array_report.py [rows] [cols]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.formats import PAPER_FORMATS, get_format
+from repro.hardware import PEArrayModel, dnn_operand_stream
+
+# (name, c_in, c_out, kernel, oh, ow) of a MobileNetV2-ish stack
+LAYERS = [
+    ("stem 3x3", 3, 16, 3, 24, 24),
+    ("expand 1x1", 16, 64, 1, 24, 24),
+    ("project 1x1", 64, 24, 1, 12, 12),
+    ("head 1x1", 48, 96, 1, 6, 6),
+]
+
+
+def main(rows: int = 16, cols: int = 16) -> None:
+    rng = np.random.default_rng(0)
+    weights = rng.standard_t(df=4, size=50_000) * 0.05
+    activations = np.abs(rng.standard_t(df=3, size=50_000)) * 0.4
+
+    for name in PAPER_FORMATS:
+        fmt = get_format(name)
+        array = PEArrayModel(fmt, rows=rows, cols=cols)
+        w_codes, a_codes = dnn_operand_stream(fmt, weights, activations, n=256)
+        s = array.summary()
+        print(f"\n=== {name} {rows}x{cols} array ===")
+        print(f"  total area {s['area_um2'] / 1e3:8.1f} kum^2 "
+              f"(MAC {s['mac_area_um2']:.0f} um^2, "
+              f"encoder {s['encoder_area_um2']:.0f} um^2/col)")
+        print(f"  {'layer':12s} {'MACs':>10s} {'cycles':>8s} {'util':>6s} {'energy uJ':>10s}")
+        for layer in LAYERS:
+            m = array.map_conv(*layer, w_codes, a_codes)
+            print(f"  {m.layer:12s} {m.macs:>10d} {m.cycles:>8d} "
+                  f"{m.utilization:6.2f} {m.energy_uj:10.4f}")
+
+
+if __name__ == "__main__":
+    args = [int(a) for a in sys.argv[1:]]
+    main(*(args or [16, 16]))

@@ -1,0 +1,50 @@
+"""PTQ of an image-classification CNN, end to end (a Table 2 column).
+
+Loads (or trains on first use) the MobileNetV3 analogue, calibrates the
+paper's max-observer PTQ on a small split, and compares 8-bit formats.
+
+    python examples/ptq_image_classification.py [model] [n_eval]
+
+Defaults: MobileNet_v3, 300 evaluation images.
+"""
+
+import sys
+
+from repro.autograd import Tensor
+from repro.quant import PTQConfig, dequantize_model, quantize_model
+from repro.zoo import ALL_MODELS, dataset, evaluate_vision, pretrained
+
+FORMATS = ["INT8", "FP(8,2)", "FP(8,4)", "Posit(8,0)", "Posit(8,1)", "MERSIT(8,2)"]
+
+
+def main(model_name: str = "MobileNet_v3", n_eval: int = 300) -> None:
+    if model_name not in ALL_MODELS or ALL_MODELS[model_name].kind != "vision":
+        vision = [n for n, e in ALL_MODELS.items() if e.kind == "vision"]
+        raise SystemExit(f"unknown vision model {model_name!r}; choose from {vision}")
+
+    print(f"loading pretrained {model_name} (trains on first use)...")
+    model, fp32_ref = pretrained(model_name)
+    ds = dataset()
+    calib = ds.calibration_split(100)   # the paper's 1000-image analogue
+    test = ds.test_split(n_eval)
+
+    fp32 = evaluate_vision(model, test)
+    print(f"\n{model_name}: FP32 accuracy {fp32:.2f}% "
+          f"(reference from training: {fp32_ref:.2f}%)\n")
+    print(f"{'format':12s} {'accuracy':>9s} {'drop':>7s}")
+    for fmt in FORMATS:
+        quantize_model(model, PTQConfig(weight_format=fmt), calib.batches(50),
+                       forward=lambda m, b: m(Tensor(b[0])))
+        acc = evaluate_vision(model, test)
+        dequantize_model(model)
+        print(f"{fmt:12s} {acc:9.2f} {fp32 - acc:7.2f}")
+
+    print("\nExpected shape (paper Table 2): Posit(8,1) and MERSIT(8,2) stay "
+          "near FP32; INT8 and the narrow-range formats degrade on "
+          "depthwise/SE models like this one.")
+
+
+if __name__ == "__main__":
+    args = sys.argv[1:]
+    main(args[0] if args else "MobileNet_v3",
+         int(args[1]) if len(args) > 1 else 300)

@@ -1,0 +1,42 @@
+"""PTQ of a BERT-style classifier on a GLUE-style task (a Table 2 row).
+
+    python examples/ptq_text_classification.py [task] [n_eval]
+
+Tasks: CoLA, MNLI-mm, MRPC, SST-2 (defaults: SST-2, 400 examples).
+"""
+
+import sys
+
+from repro.quant import PTQConfig, dequantize_model, quantize_model
+from repro.zoo import ALL_MODELS, evaluate_text, glue_task, pretrained
+
+FORMATS = ["INT8", "FP(8,4)", "Posit(8,1)", "MERSIT(8,2)", "MERSIT(8,3)"]
+
+
+def main(name: str = "SST-2", n_eval: int = 400) -> None:
+    if name not in ALL_MODELS or ALL_MODELS[name].kind != "glue":
+        glue = [n for n, e in ALL_MODELS.items() if e.kind == "glue"]
+        raise SystemExit(f"unknown GLUE row {name!r}; choose from {glue}")
+    entry = ALL_MODELS[name]
+
+    print(f"loading pretrained MiniBERT for {name} (trains on first use)...")
+    model, fp32_ref = pretrained(name)
+    task = glue_task(entry.task)
+    calib = task.calibration_split(150)   # the paper's 5%-of-inputs analogue
+    test = task.test_split(n_eval)
+
+    fp32 = evaluate_text(model, test, entry.metric)
+    print(f"\n{name} ({entry.metric}): FP32 score {fp32:.2f} "
+          f"(reference from training: {fp32_ref:.2f})\n")
+    print(f"{'format':12s} {'score':>8s} {'drop':>7s}")
+    for fmt in FORMATS:
+        quantize_model(model, PTQConfig(weight_format=fmt), calib.batches(50),
+                       forward=lambda m, b: m(b[0], b[1]))
+        score = evaluate_text(model, test, entry.metric)
+        dequantize_model(model)
+        print(f"{fmt:12s} {score:8.2f} {fp32 - score:7.2f}")
+
+
+if __name__ == "__main__":
+    args = sys.argv[1:]
+    main(args[0] if args else "SST-2", int(args[1]) if len(args) > 1 else 400)

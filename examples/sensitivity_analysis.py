@@ -1,0 +1,45 @@
+"""Which layers break under a narrow format? Layer sensitivity + stats.
+
+Runs the per-layer quantization sensitivity sweep and the activation
+statistics that explain the paper's Table 2 ordering.
+
+    python examples/sensitivity_analysis.py [model] [format]
+"""
+
+import sys
+
+from repro.autograd import Tensor
+from repro.quant import (
+    PTQConfig, collect_activation_stats, layer_sensitivity, summarize_stats,
+)
+from repro.zoo import dataset, evaluate_vision, pretrained
+
+
+def main(model_name: str = "MobileNet_v3", fmt: str = "Posit(8,0)") -> None:
+    model, _ = pretrained(model_name)
+    ds = dataset()
+    calib = ds.calibration_split(60)
+    test = ds.test_split(250)
+
+    print(f"== Activation statistics ({model_name}) ==")
+    stats = collect_activation_stats(model, calib.images[:32])
+    summary = summarize_stats(stats)
+    for k, v in summary.items():
+        print(f"  {k}: {v:.2f}")
+    worst = max(stats, key=lambda s: s.range_ratio if s.abs_median else 0)
+    print(f"  widest layer: {worst.layer} (max/median {worst.range_ratio:.1f})")
+
+    print(f"\n== Layer sensitivity under {fmt} ==")
+    results = layer_sensitivity(
+        model, PTQConfig(fmt), list(calib.batches(60)),
+        evaluate=lambda m: evaluate_vision(m, test),
+        forward=lambda m, b: m(Tensor(b[0])))
+    print(f"  {'layer':42s} {'accuracy':>9s} {'drop':>7s}")
+    for r in results[:12]:
+        print(f"  {r.layer:42s} {r.score:9.2f} {r.drop:7.2f}")
+
+
+if __name__ == "__main__":
+    args = sys.argv[1:]
+    main(args[0] if args else "MobileNet_v3",
+         args[1] if len(args) > 1 else "Posit(8,0)")

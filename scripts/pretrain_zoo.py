@@ -1,0 +1,19 @@
+"""Pretrain every zoo model and cache the weights (idempotent).
+
+Run from the repository root:  python scripts/pretrain_zoo.py
+"""
+import time
+
+from repro.zoo import ALL_MODELS, pretrained
+
+ORDER = ["SST-2", "CoLA", "MRPC", "MNLI-mm",           # fast text models first
+         "VGG16", "MobileNet_v2", "EfficientNet_v2", "ResNet50",
+         "MobileNet_v3", "EfficientNet_b0", "ResNet18", "ResNet101"]
+
+if __name__ == "__main__":
+    for name in ORDER:
+        assert name in ALL_MODELS
+        t0 = time.time()
+        _, score = pretrained(name)
+        print(f"[{time.time() - t0:6.0f}s] {name:16s} fp32 score {score:.2f}", flush=True)
+    print("zoo complete", flush=True)

@@ -1,0 +1,21 @@
+"""repro: reproduction of MERSIT (DAC 2024).
+
+A hardware-efficient 8-bit data format with enhanced post-training
+quantization accuracy, plus every substrate the paper's evaluation rests on:
+
+* :mod:`repro.formats` — INT8 / FP8 / Posit8 / MERSIT8 codebook formats.
+* :mod:`repro.quant` — calibration + fake-quantization PTQ framework.
+* :mod:`repro.autograd` / :mod:`repro.nn` — numpy reverse-mode autodiff and
+  a neural-network layer library.
+* :mod:`repro.zoo` — miniaturised VGG/ResNet/MobileNet/EfficientNet/BERT
+  families, trained from scratch and cached.
+* :mod:`repro.data` — procedural image-classification and GLUE-style tasks.
+* :mod:`repro.hardware` — gate-level netlists, 45nm-style cell library, and
+  the Kulisch-accumulator MAC units of the paper's hardware study.
+* :mod:`repro.experiments` — one driver per paper table/figure.
+"""
+
+from .formats import get_format
+
+__version__ = "1.0.0"
+__all__ = ["get_format", "__version__"]

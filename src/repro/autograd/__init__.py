@@ -1,0 +1,6 @@
+"""Reverse-mode autodiff over numpy: the training substrate for the zoo."""
+
+from . import functional
+from .tensor import Tensor, is_grad_enabled, no_grad
+
+__all__ = ["Tensor", "no_grad", "is_grad_enabled", "functional"]

@@ -1,0 +1,262 @@
+"""Neural-network operations on :class:`~repro.autograd.tensor.Tensor`.
+
+Convolution and pooling use stride-trick window views with scatter-add
+backward passes; everything is batched and vectorised.  Activation
+functions cover the zoo's needs: ReLU6 (MobileNetV2), hard-swish/hard-
+sigmoid (MobileNetV3), SiLU (EfficientNet) and GELU (BERT).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = [
+    "linear", "conv2d", "max_pool2d", "avg_pool2d", "global_avg_pool2d",
+    "relu", "relu6", "hardsigmoid", "hardswish", "silu", "gelu", "softmax",
+    "log_softmax", "cross_entropy", "embedding", "dropout",
+]
+
+
+# ----------------------------------------------------------------------
+# dense / conv primitives
+# ----------------------------------------------------------------------
+def linear(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:
+    """``x @ weight.T + bias`` with weight of shape (out, in)."""
+    out = x @ weight.transpose()
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def _window_view(x: np.ndarray, kh: int, kw: int, sh: int, sw: int) -> np.ndarray:
+    """(N,C,H,W) -> (N,C,OH,OW,KH,KW) strided window view (read-only)."""
+    windows = np.lib.stride_tricks.sliding_window_view(x, (kh, kw), axis=(2, 3))
+    return windows[:, :, ::sh, ::sw]
+
+
+def _conv_out_size(size: int, k: int, s: int, p: int) -> int:
+    return (size + 2 * p - k) // s + 1
+
+
+def _conv2d_pointwise(x: Tensor, weight: Tensor, bias: Tensor | None,
+                      groups: int) -> Tensor:
+    """Fast path for 1x1 stride-1 unpadded convolution (a channel matmul)."""
+    n, c_in, h, w = x.shape
+    c_out = weight.shape[0]
+    og = c_out // groups
+    c_g = c_in // groups
+    p = h * w
+    x4 = x.data.reshape(n, groups, c_g, p)
+    w3 = weight.data.reshape(groups, og, c_g)
+    out_data = (w3 @ x4).reshape(n, c_out, h, w)
+    if bias is not None:
+        out_data = out_data + bias.data.reshape(1, c_out, 1, 1)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(g):
+        g4 = g.reshape(n, groups, og, p)
+        if weight.requires_grad:
+            dw = np.einsum("ngop,ngcp->goc", g4, x4, optimize=True)
+            Tensor._accum(weight, dw.reshape(weight.data.shape))
+        if bias is not None and bias.requires_grad:
+            Tensor._accum(bias, g.sum(axis=(0, 2, 3)))
+        if x.requires_grad:
+            dx = (w3.transpose(0, 2, 1) @ g4).reshape(n, c_in, h, w)
+            Tensor._accum(x, dx)
+
+    return Tensor._make(out_data, parents, backward)
+
+
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Tensor | None = None,
+    stride: int = 1,
+    padding: int = 0,
+    groups: int = 1,
+) -> Tensor:
+    """2-D convolution (cross-correlation), NCHW layout.
+
+    ``weight`` has shape ``(C_out, C_in // groups, KH, KW)``; ``groups ==
+    C_in == C_out`` gives a depthwise convolution (MobileNet/EfficientNet).
+    """
+    n, c_in, h, w = x.shape
+    c_out, c_g, kh, kw = weight.shape
+    if c_in % groups or c_out % groups:
+        raise ValueError(f"channels ({c_in}->{c_out}) not divisible by groups={groups}")
+    if c_g != c_in // groups:
+        raise ValueError(f"weight expects {c_g * groups} input channels, got {c_in}")
+    if kh == 1 and kw == 1 and stride == 1 and padding == 0:
+        return _conv2d_pointwise(x, weight, bias, groups)
+    sh = sw = stride
+    oh = _conv_out_size(h, kh, sh, padding)
+    ow = _conv_out_size(w, kw, sw, padding)
+    og = c_out // groups
+
+    x_pad = np.pad(x.data, ((0, 0), (0, 0), (padding, padding), (padding, padding))) \
+        if padding else x.data
+    p = oh * ow
+    k = c_g * kh * kw
+    # im2col with a single copy: (N,C,OH,OW,KH,KW) view -> (N,G,P,K)
+    windows = _window_view(x_pad, kh, kw, sh, sw)
+    windows = windows.reshape(n, groups, c_g, oh, ow, kh, kw)  # still a view
+    cols = windows.transpose(0, 1, 3, 4, 2, 5, 6).reshape(n, groups, p, k)
+    w_mat = weight.data.reshape(groups, og, k).transpose(0, 2, 1)  # (G, K, Og)
+
+    out_data = cols @ w_mat                               # (N, G, P, Og)
+    out_data = out_data.transpose(0, 1, 3, 2).reshape(n, c_out, oh, ow)
+    if bias is not None:
+        out_data = out_data + bias.data.reshape(1, c_out, 1, 1)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(g):
+        g4 = g.reshape(n, groups, og, p)                  # (N, G, Og, P)
+        if weight.requires_grad:
+            dw = np.einsum("ngop,ngpk->gok", g4, cols, optimize=True)
+            Tensor._accum(weight, dw.reshape(c_out, c_g, kh, kw))
+        if bias is not None and bias.requires_grad:
+            Tensor._accum(bias, g.sum(axis=(0, 2, 3)))
+        if x.requires_grad:
+            dcols = w_mat @ g4                            # (N, G, K, P)
+            # view back to (N, G, Cg, KH, KW, OH, OW) without materialising
+            dwin = dcols.reshape(n, groups, c_g, kh, kw, oh, ow)
+            dx_pad = np.zeros_like(x_pad)
+            dx_view = dx_pad.reshape(n, groups, c_g, *x_pad.shape[2:])
+            for u in range(kh):
+                for v in range(kw):
+                    dx_view[:, :, :, u:u + sh * oh:sh, v:v + sw * ow:sw] += \
+                        dwin[:, :, :, u, v]
+            if padding:
+                dx = dx_pad[:, :, padding:padding + h, padding:padding + w]
+            else:
+                dx = dx_pad
+            Tensor._accum(x, dx)
+
+    return Tensor._make(out_data, parents, backward)
+
+
+def max_pool2d(x: Tensor, kernel: int = 2, stride: int | None = None) -> Tensor:
+    """Max pooling with square window; default stride = kernel."""
+    stride = kernel if stride is None else stride
+    n, c, h, w = x.shape
+    oh = (h - kernel) // stride + 1
+    ow = (w - kernel) // stride + 1
+    windows = _window_view(x.data, kernel, kernel, stride, stride)
+    out_data = windows.max(axis=(4, 5))
+
+    def backward(g):
+        mask = windows == out_data[..., None, None]
+        counts = mask.sum(axis=(4, 5), keepdims=True)
+        dwin = g[..., None, None] * mask / counts
+        dx = np.zeros_like(x.data)
+        for u in range(kernel):
+            for v in range(kernel):
+                dx[:, :, u:u + stride * oh:stride, v:v + stride * ow:stride] += dwin[..., u, v]
+        Tensor._accum(x, dx)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def avg_pool2d(x: Tensor, kernel: int = 2, stride: int | None = None) -> Tensor:
+    """Average pooling with square window; default stride = kernel."""
+    stride = kernel if stride is None else stride
+    n, c, h, w = x.shape
+    oh = (h - kernel) // stride + 1
+    ow = (w - kernel) // stride + 1
+    windows = _window_view(x.data, kernel, kernel, stride, stride)
+    out_data = windows.mean(axis=(4, 5))
+    inv = 1.0 / (kernel * kernel)
+
+    def backward(g):
+        dx = np.zeros_like(x.data)
+        gi = g * inv
+        for u in range(kernel):
+            for v in range(kernel):
+                dx[:, :, u:u + stride * oh:stride, v:v + stride * ow:stride] += gi
+        Tensor._accum(x, dx)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def global_avg_pool2d(x: Tensor) -> Tensor:
+    """(N,C,H,W) -> (N,C): spatial mean."""
+    return x.mean(axis=(2, 3))
+
+
+# ----------------------------------------------------------------------
+# activations
+# ----------------------------------------------------------------------
+def relu(x: Tensor) -> Tensor:
+    """max(x, 0)."""
+    return x.relu()
+
+
+def relu6(x: Tensor) -> Tensor:
+    """min(max(x, 0), 6) — MobileNetV2's bounded activation."""
+    return x.clip(0.0, 6.0)
+
+
+def hardsigmoid(x: Tensor) -> Tensor:
+    """piecewise-linear sigmoid: clip(x/6 + 1/2, 0, 1)."""
+    return (x * (1.0 / 6.0) + 0.5).clip(0.0, 1.0)
+
+
+def hardswish(x: Tensor) -> Tensor:
+    """x * hardsigmoid(x) — MobileNetV3's activation."""
+    return x * hardsigmoid(x)
+
+
+def silu(x: Tensor) -> Tensor:
+    """x * sigmoid(x) (a.k.a. swish) — EfficientNet's activation."""
+    return x * x.sigmoid()
+
+
+def gelu(x: Tensor) -> Tensor:
+    """Gaussian error linear unit (tanh approximation) — BERT's activation."""
+    inner = (x + (x * x * x) * 0.044715) * 0.7978845608028654
+    return x * (inner.tanh() + 1.0) * 0.5
+
+
+# ----------------------------------------------------------------------
+# softmax / losses
+# ----------------------------------------------------------------------
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    shifted = x - x.max(axis=axis, keepdims=True).detach()
+    e = shifted.exp()
+    return e / e.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """log(softmax(x)) computed stably along ``axis``."""
+    shifted = x - x.max(axis=axis, keepdims=True).detach()
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """Mean cross-entropy of (N, K) logits against integer labels (N,)."""
+    labels = np.asarray(labels)
+    if logits.ndim != 2:
+        raise ValueError(f"logits must be 2-D, got shape {logits.shape}")
+    n = logits.shape[0]
+    logp = log_softmax(logits, axis=-1)
+    picked = logp[np.arange(n), labels]
+    return -picked.mean()
+
+
+def embedding(weight: Tensor, ids: np.ndarray) -> Tensor:
+    """Row lookup ``weight[ids]`` with scatter-add backward."""
+    return weight[np.asarray(ids)]
+
+
+def dropout(x: Tensor, p: float, rng: np.random.Generator, training: bool = True) -> Tensor:
+    """Inverted dropout; identity when not training or p == 0."""
+    if not training or p <= 0.0:
+        return x
+    keep = 1.0 - p
+    mask = (rng.random(x.shape) < keep).astype(x.dtype) / keep
+    return x * mask

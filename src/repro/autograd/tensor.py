@@ -1,0 +1,449 @@
+"""Reverse-mode automatic differentiation over numpy arrays.
+
+This is the training substrate for the model zoo: the paper evaluates PTQ on
+*pretrained* networks, so we need to pretrain miniature networks from
+scratch, which requires gradients.  The design is a tape-based, define-by-run
+graph (micrograd-style) with fully vectorised numpy kernels:
+
+* :class:`Tensor` wraps an ``np.ndarray`` plus an optional gradient.
+* Every operation records a backward closure and its parent tensors.
+* :meth:`Tensor.backward` topologically sorts the tape and accumulates
+  gradients, with correct unbroadcasting for numpy-style broadcasting.
+
+Only the ops the zoo architectures need are implemented, but each is
+general (arbitrary shapes/axes) and is covered by finite-difference
+gradient checks in ``tests/test_autograd_gradcheck.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Tensor", "no_grad", "is_grad_enabled"]
+
+_GRAD_ENABLED = True
+
+
+class no_grad:
+    """Context manager disabling graph construction (inference mode)."""
+
+    def __enter__(self):
+        global _GRAD_ENABLED
+        self._prev = _GRAD_ENABLED
+        _GRAD_ENABLED = False
+        return self
+
+    def __exit__(self, *exc):
+        global _GRAD_ENABLED
+        _GRAD_ENABLED = self._prev
+        return False
+
+
+def is_grad_enabled() -> bool:
+    """Whether operations currently record the autograd tape."""
+    return _GRAD_ENABLED
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape``, inverting numpy broadcasting."""
+    if grad.shape == shape:
+        return grad
+    # sum away leading axes added by broadcasting
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # sum along axes that were size-1 in the original
+    axes = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+def _as_array(value) -> np.ndarray:
+    arr = np.asarray(value)
+    if arr.dtype not in (np.float32, np.float64):
+        arr = arr.astype(np.float32)
+    return arr
+
+
+class Tensor:
+    """A numpy array with an autograd tape entry.
+
+    Arithmetic operators accept Tensors, numpy arrays and python scalars;
+    non-Tensor operands are treated as constants.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents")
+    __array_priority__ = 100  # keep numpy from hijacking ndarray (op) Tensor
+
+    def __init__(self, data, requires_grad: bool = False):
+        self.data = _as_array(data)
+        self.grad: np.ndarray | None = None
+        self.requires_grad = bool(requires_grad)
+        self._backward = None
+        self._parents: tuple[Tensor, ...] = ()
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _make(data: np.ndarray, parents: tuple["Tensor", ...], backward) -> "Tensor":
+        out = Tensor(data)
+        if _GRAD_ENABLED and any(p.requires_grad for p in parents):
+            out.requires_grad = True
+            out._parents = tuple(p for p in parents if p.requires_grad)
+            out._backward = backward
+        return out
+
+    @staticmethod
+    def as_tensor(value) -> "Tensor":
+        return value if isinstance(value, Tensor) else Tensor(value)
+
+    # ------------------------------------------------------------------
+    # basic protocol
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    def numpy(self) -> np.ndarray:
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data.item())
+
+    def detach(self) -> "Tensor":
+        return Tensor(self.data)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        grad = ", grad" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}{grad})\n{self.data!r}"
+
+    # ------------------------------------------------------------------
+    # backward pass
+    # ------------------------------------------------------------------
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Backpropagate from this tensor through the recorded tape."""
+        if not self.requires_grad:
+            raise RuntimeError("backward() on a tensor that does not require grad")
+        if grad is None:
+            if self.size != 1:
+                raise RuntimeError("backward() without grad is only valid for scalars")
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=self.data.dtype)
+
+        # topological order of the reachable tape
+        order: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for p in node._parents:
+                if id(p) not in visited:
+                    stack.append((p, False))
+
+        self.grad = grad if self.grad is None else self.grad + grad
+        for node in reversed(order):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+
+    @staticmethod
+    def _accum(t: "Tensor", grad: np.ndarray) -> None:
+        grad = _unbroadcast(np.asarray(grad), t.data.shape)
+        t.grad = grad if t.grad is None else t.grad + grad
+
+    # ------------------------------------------------------------------
+    # arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other) -> "Tensor":
+        other = Tensor.as_tensor(other)
+        out_data = self.data + other.data
+
+        def backward(g):
+            if self.requires_grad:
+                Tensor._accum(self, g)
+            if other.requires_grad:
+                Tensor._accum(other, g)
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        def backward(g):
+            Tensor._accum(self, -g)
+
+        return Tensor._make(-self.data, (self,), backward)
+
+    def __sub__(self, other) -> "Tensor":
+        return self + (-Tensor.as_tensor(other))
+
+    def __rsub__(self, other) -> "Tensor":
+        return Tensor.as_tensor(other) + (-self)
+
+    def __mul__(self, other) -> "Tensor":
+        other = Tensor.as_tensor(other)
+        out_data = self.data * other.data
+
+        def backward(g):
+            if self.requires_grad:
+                Tensor._accum(self, g * other.data)
+            if other.requires_grad:
+                Tensor._accum(other, g * self.data)
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Tensor":
+        other = Tensor.as_tensor(other)
+        out_data = self.data / other.data
+
+        def backward(g):
+            if self.requires_grad:
+                Tensor._accum(self, g / other.data)
+            if other.requires_grad:
+                Tensor._accum(other, -g * self.data / (other.data ** 2))
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    def __rtruediv__(self, other) -> "Tensor":
+        return Tensor.as_tensor(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not np.isscalar(exponent):
+            raise TypeError("only scalar exponents are supported")
+        out_data = self.data ** exponent
+
+        def backward(g):
+            Tensor._accum(self, g * exponent * self.data ** (exponent - 1))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def __matmul__(self, other) -> "Tensor":
+        other = Tensor.as_tensor(other)
+        out_data = self.data @ other.data
+
+        def backward(g):
+            if self.requires_grad:
+                if other.data.ndim == 1:
+                    Tensor._accum(self, np.expand_dims(g, -1) * other.data)
+                else:
+                    ga = g @ np.swapaxes(other.data, -1, -2)
+                    Tensor._accum(self, _unbroadcast(ga, self.data.shape))
+            if other.requires_grad:
+                if self.data.ndim == 1:
+                    Tensor._accum(other, np.outer(self.data, g))
+                else:
+                    gb = np.swapaxes(self.data, -1, -2) @ g
+                    Tensor._accum(other, _unbroadcast(gb, other.data.shape))
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    # ------------------------------------------------------------------
+    # elementwise functions
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        out_data = np.exp(self.data)
+
+        def backward(g):
+            Tensor._accum(self, g * out_data)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def log(self) -> "Tensor":
+        def backward(g):
+            Tensor._accum(self, g / self.data)
+
+        return Tensor._make(np.log(self.data), (self,), backward)
+
+    def sqrt(self) -> "Tensor":
+        out_data = np.sqrt(self.data)
+
+        def backward(g):
+            Tensor._accum(self, g / (2.0 * out_data))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def tanh(self) -> "Tensor":
+        out_data = np.tanh(self.data)
+
+        def backward(g):
+            Tensor._accum(self, g * (1.0 - out_data ** 2))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def sigmoid(self) -> "Tensor":
+        out_data = 1.0 / (1.0 + np.exp(-self.data))
+
+        def backward(g):
+            Tensor._accum(self, g * out_data * (1.0 - out_data))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+
+        def backward(g):
+            Tensor._accum(self, g * mask)
+
+        return Tensor._make(self.data * mask, (self,), backward)
+
+    def clip(self, lo: float, hi: float) -> "Tensor":
+        """Hard clip; gradient passes only inside the open interval."""
+        out_data = np.clip(self.data, lo, hi)
+        mask = (self.data > lo) & (self.data < hi)
+
+        def backward(g):
+            Tensor._accum(self, g * mask)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def abs(self) -> "Tensor":
+        sign = np.sign(self.data)
+
+        def backward(g):
+            Tensor._accum(self, g * sign)
+
+        return Tensor._make(np.abs(self.data), (self,), backward)
+
+    def maximum(self, other) -> "Tensor":
+        other = Tensor.as_tensor(other)
+        out_data = np.maximum(self.data, other.data)
+        take_self = self.data >= other.data
+
+        def backward(g):
+            if self.requires_grad:
+                Tensor._accum(self, g * take_self)
+            if other.requires_grad:
+                Tensor._accum(other, g * ~take_self)
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    # ------------------------------------------------------------------
+    # reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(g):
+            grad = np.asarray(g)
+            if not keepdims and axis is not None:
+                grad = np.expand_dims(grad, axis)
+            Tensor._accum(self, np.broadcast_to(grad, self.data.shape))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        count = self.size if axis is None else np.prod(
+            [self.shape[a] for a in (axis if isinstance(axis, tuple) else (axis,))])
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / float(count))
+
+    def var(self, axis=None, keepdims: bool = False) -> "Tensor":
+        mu = self.mean(axis=axis, keepdims=True)
+        centered = self - mu
+        return (centered * centered).mean(axis=axis, keepdims=keepdims)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(g):
+            grad = np.asarray(g)
+            expanded = out_data
+            if not keepdims and axis is not None:
+                grad = np.expand_dims(grad, axis)
+                expanded = np.expand_dims(out_data, axis)
+            mask = self.data == expanded
+            # split gradient across ties, matching the subgradient convention
+            counts = mask.sum(axis=axis, keepdims=True)
+            Tensor._accum(self, grad * mask / counts)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # shape manipulation
+    # ------------------------------------------------------------------
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        out_data = self.data.reshape(shape)
+        original = self.data.shape
+
+        def backward(g):
+            Tensor._accum(self, g.reshape(original))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def transpose(self, *axes) -> "Tensor":
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        if not axes:
+            axes = tuple(reversed(range(self.ndim)))
+        inverse = np.argsort(axes)
+
+        def backward(g):
+            Tensor._accum(self, g.transpose(inverse))
+
+        return Tensor._make(self.data.transpose(axes), (self,), backward)
+
+    def __getitem__(self, key) -> "Tensor":
+        out_data = self.data[key]
+        shape = self.data.shape
+        dtype = self.data.dtype
+
+        def backward(g):
+            full = np.zeros(shape, dtype=dtype)
+            np.add.at(full, key, g)
+            Tensor._accum(self, full)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def pad(self, pad_width) -> "Tensor":
+        out_data = np.pad(self.data, pad_width)
+        slices = tuple(slice(lo, lo + n) for (lo, _), n in zip(pad_width, self.shape))
+
+        def backward(g):
+            Tensor._accum(self, g[slices])
+
+        return Tensor._make(out_data, (self,), backward)
+
+    @staticmethod
+    def concat(tensors: list["Tensor"], axis: int = 0) -> "Tensor":
+        tensors = [Tensor.as_tensor(t) for t in tensors]
+        out_data = np.concatenate([t.data for t in tensors], axis=axis)
+        sizes = [t.shape[axis] for t in tensors]
+        offsets = np.cumsum([0] + sizes)
+
+        def backward(g):
+            for t, lo, hi in zip(tensors, offsets[:-1], offsets[1:]):
+                if t.requires_grad:
+                    idx = [slice(None)] * g.ndim
+                    idx[axis] = slice(lo, hi)
+                    Tensor._accum(t, g[tuple(idx)])
+
+        return Tensor._make(out_data, tuple(tensors), backward)

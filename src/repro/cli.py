@@ -1,0 +1,172 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Commands
+--------
+formats
+    List the supported formats with ranges and precision.
+inspect FORMAT [VALUE|CODE]
+    Decode a code (``0x..``/``0b..``/int) or encode a value.
+ptq MODEL [--formats F1,F2] [--eval N]
+    Run the paper's PTQ recipe on one zoo model.
+hardware [--formats F1,F2] [--stream N]
+    Build the MAC units, verify exactness and report area/power.
+experiments [NAMES...]
+    Run experiment drivers (table1 fig2 fig4 fig6 fig7 table3 headline
+    table2); defaults to the fast set.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def _split_formats(spec: str) -> list[str]:
+    """Split a comma-separated format list, ignoring commas inside parens."""
+    return [tok.strip() for tok in re.split(r",(?![^()]*\))", spec) if tok.strip()]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree for the ``repro`` CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="MERSIT (DAC'24) reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("formats", help="list supported formats")
+
+    p_inspect = sub.add_parser("inspect", help="inspect one format")
+    p_inspect.add_argument("format")
+    p_inspect.add_argument("token", nargs="?", default=None,
+                           help="a code (0x.., 0b.., int) or a float value")
+
+    p_ptq = sub.add_parser("ptq", help="PTQ one zoo model")
+    p_ptq.add_argument("model")
+    p_ptq.add_argument("--formats", default="INT8,FP(8,4),Posit(8,1),MERSIT(8,2)")
+    p_ptq.add_argument("--eval", type=int, default=300, dest="eval_n")
+    p_ptq.add_argument("--calib", type=int, default=100, dest="calib_n")
+
+    p_hw = sub.add_parser("hardware", help="MAC area/power report")
+    p_hw.add_argument("--formats", default="FP(8,4),Posit(8,1),MERSIT(8,2)")
+    p_hw.add_argument("--stream", type=int, default=256)
+
+    p_exp = sub.add_parser("experiments", help="run experiment drivers")
+    p_exp.add_argument("names", nargs="*", default=[])
+    return parser
+
+
+def _cmd_formats() -> int:
+    from .formats import available_formats, get_format
+    from .formats.analysis import summarize
+    print(f"{'name':14s} {'range':>14s}  P  M   W  max frac")
+    for name in available_formats():
+        s = summarize(get_format(name))
+        print(f"{name:14s} {s.dynamic_range:>14s} {s.exponent_width:>2d} "
+              f"{s.significand_bits:>2d} {s.product_width:>3d} "
+              f"{s.significand_bits - 1:>8d}")
+    return 0
+
+
+def _cmd_inspect(args) -> int:
+    from .formats import get_format
+    fmt = get_format(args.format)
+    if args.token is None:
+        from .formats.analysis import precision_segments
+        print(f"{fmt.name}: range {fmt.dynamic_range}, "
+              f"{len(fmt.finite_values)} finite values")
+        for lo, hi, bits in precision_segments(fmt):
+            print(f"  2^{lo:>4d} .. 2^{hi:>4d}: {bits} fraction bits")
+        return 0
+    token = args.token
+    if token.lower().startswith(("0x", "0b")) or token.isdigit():
+        code = int(token, 0)
+        d = fmt.decode(code)
+        print(f"code 0b{code:0{fmt.nbits}b}: {d.value} ({d.value_class})")
+        if d.is_finite:
+            print(f"  sign={d.sign} regime={d.regime} "
+                  f"eff_exp={d.effective_exponent} "
+                  f"frac={d.fraction_field}/{1 << (d.fraction_bits or 0)}")
+    else:
+        value = float(token)
+        code = fmt.encode(value)
+        print(f"{value} -> code 0x{code:02X} = {fmt.decode(code).value}")
+    return 0
+
+
+def _cmd_ptq(args) -> int:
+    from .autograd import Tensor
+    from .quant import PTQConfig, dequantize_model, quantize_model
+    from .zoo import ALL_MODELS, dataset, evaluate_text, evaluate_vision, glue_task, pretrained
+    if args.model not in ALL_MODELS:
+        print(f"unknown model {args.model!r}; available: {sorted(ALL_MODELS)}")
+        return 2
+    entry = ALL_MODELS[args.model]
+    model, ref = pretrained(args.model)
+    if entry.kind == "vision":
+        calib = dataset().calibration_split(args.calib_n)
+        test = dataset().test_split(args.eval_n)
+        fwd = lambda m, b: m(Tensor(b[0]))
+        score = lambda: evaluate_vision(model, test)
+    else:
+        task = glue_task(entry.task)
+        calib = task.calibration_split(args.calib_n)
+        test = task.test_split(args.eval_n)
+        fwd = lambda m, b: m(b[0], b[1])
+        score = lambda: evaluate_text(model, test, entry.metric)
+    fp32 = score()
+    print(f"{args.model} FP32 {entry.metric}: {fp32:.2f} (train-time ref {ref:.2f})")
+    for name in _split_formats(args.formats):
+        quantize_model(model, PTQConfig(weight_format=name.strip()),
+                       calib.batches(50), forward=fwd)
+        s = score()
+        dequantize_model(model)
+        print(f"  {name.strip():12s} {s:7.2f}  (drop {fp32 - s:+.2f})")
+    return 0
+
+
+def _cmd_hardware(args) -> int:
+    from .formats import get_format
+    from .hardware import MacUnit
+    rng = np.random.default_rng(0)
+    w = rng.integers(0, 256, args.stream)
+    a = rng.integers(0, 256, args.stream)
+    print(f"{'format':12s} {'exact':>6s} {'area um^2':>10s} {'power uW':>9s} "
+          f"{'path ns':>8s} {'acc bits':>9s}")
+    for name in _split_formats(args.formats):
+        fmt = get_format(name)
+        mac = MacUnit(fmt)
+        exact = mac.accumulate_hw(w[:48], a[:48]) == mac.accumulate_reference(w[:48], a[:48])
+        area = mac.area().total
+        power = mac.power(w, a).total
+        path = mac.circuit.critical_path()
+        print(f"{fmt.name:12s} {'yes' if exact else 'NO':>6s} {area:10.0f} "
+              f"{power:9.1f} {path:8.2f} {mac.acc_width:9d}")
+    return 0
+
+
+def _cmd_experiments(args) -> int:
+    from .experiments.runner import main as run_experiments
+    return run_experiments(args.names or None)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "formats":
+        return _cmd_formats()
+    if args.command == "inspect":
+        return _cmd_inspect(args)
+    if args.command == "ptq":
+        return _cmd_ptq(args)
+    if args.command == "hardware":
+        return _cmd_hardware(args)
+    if args.command == "experiments":
+        return _cmd_experiments(args)
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,9 @@
+"""Synthetic datasets: the ImageNet and GLUE stand-ins (see DESIGN.md)."""
+
+from .glue import GLUE_TASKS, TASK_METRICS, GlueTask, TextBatches, Vocab, make_task
+from .images import ImageBatches, SynthImageNet
+
+__all__ = [
+    "SynthImageNet", "ImageBatches",
+    "GlueTask", "TextBatches", "Vocab", "make_task", "GLUE_TASKS", "TASK_METRICS",
+]

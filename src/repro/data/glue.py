@@ -1,0 +1,205 @@
+"""Synthetic GLUE-style sentence tasks (the paper's BERT-base benchmark).
+
+The paper reports CoLA (Matthews correlation), MNLI-mm, MRPC (F1) and SST-2
+(accuracy) with BERT-base.  We build four analogue tasks over a small token
+vocabulary that exercise the same *kinds* of reasoning, so that a miniature
+transformer trained from scratch reaches a solid FP32 score and the PTQ
+experiment measures format-induced degradation:
+
+* ``sst2``  — lexical polarity: every content token carries a fixed polarity
+  weight; the label is the sign of the sequence polarity sum.
+* ``cola``  — acceptability: positive sequences follow a rigid alternating
+  token-class grammar; negatives have a local grammar violation.
+  Class-imbalanced (70/30), scored with Matthews correlation like CoLA.
+* ``mrpc``  — paraphrase detection over a sentence pair `A [SEP] B`:
+  paraphrases are shuffled copies with synonym substitutions; non-
+  paraphrases share topic tokens but differ in content.  Scored with F1.
+* ``mnli``  — 3-way entailment: B entails A (token subset), contradicts A
+  (contains antonyms of A's tokens) or is neutral.
+
+All tasks use the shared vocabulary layout of :data:`Vocab`, sequences are
+fixed length with explicit padding masks, and generation is deterministic
+in the seed.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Vocab", "TextBatches", "GlueTask", "make_task", "GLUE_TASKS", "TASK_METRICS"]
+
+
+@dataclass(frozen=True)
+class Vocab:
+    """Shared token layout: specials then content tokens."""
+
+    pad: int = 0
+    cls: int = 1
+    sep: int = 2
+    neg: int = 3          # negation marker (the mnli contradiction cue)
+    content_start: int = 4
+    size: int = 64
+
+    @property
+    def num_content(self) -> int:
+        return self.size - self.content_start
+
+
+VOCAB = Vocab()
+
+#: GLUE metric per task, matching the paper's Table 2 conventions.
+TASK_METRICS = {"sst2": "accuracy", "cola": "matthews", "mrpc": "f1", "mnli": "accuracy"}
+
+GLUE_TASKS = ("cola", "mnli", "mrpc", "sst2")
+
+
+@dataclass(frozen=True)
+class TextBatches:
+    """A split: token ids (N,T) int64, mask (N,T) float32, labels (N,)."""
+
+    ids: np.ndarray
+    mask: np.ndarray
+    labels: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+    def batches(self, batch_size: int):
+        for i in range(0, len(self), batch_size):
+            yield (self.ids[i:i + batch_size], self.mask[i:i + batch_size],
+                   self.labels[i:i + batch_size])
+
+
+class GlueTask:
+    """One synthetic GLUE-style task with deterministic splits."""
+
+    def __init__(self, name: str, seq_len: int = 24, seed: int = 77):
+        if name not in GLUE_TASKS:
+            raise KeyError(f"unknown task {name!r}; choose from {GLUE_TASKS}")
+        if seq_len < 16:
+            raise ValueError(f"seq_len must be >= 16 for the pair tasks, got {seq_len}")
+        self.name = name
+        self.seq_len = seq_len
+        self.seed = seed
+        self.vocab = VOCAB
+        self.num_labels = 3 if name == "mnli" else 2
+        rng = np.random.default_rng((seed, zlib.crc32(name.encode()) & 0xFFFF))
+        n_content = self.vocab.num_content
+        # task-specific fixed structure
+        self._polarity = rng.choice([-1.0, 1.0], size=n_content) * rng.uniform(0.2, 1.0, n_content)
+        self._token_class = rng.integers(0, 3, size=n_content)  # grammar classes for cola
+        perm = rng.permutation(n_content)
+        self._synonym = perm                       # mrpc synonym map (content index space)
+        self._antonym = rng.permutation(n_content)  # mnli antonym map
+
+    # ------------------------------------------------------------------
+    def _content(self, rng, n):
+        return rng.integers(0, self.vocab.num_content, size=n)
+
+    def _to_ids(self, content: np.ndarray) -> np.ndarray:
+        return content + self.vocab.content_start
+
+    def _finish(self, body: list[int]) -> tuple[np.ndarray, np.ndarray]:
+        """[CLS] + body, padded to seq_len, with mask."""
+        ids = np.full(self.seq_len, self.vocab.pad, dtype=np.int64)
+        seq = [self.vocab.cls] + list(body)
+        seq = seq[: self.seq_len]
+        ids[: len(seq)] = seq
+        mask = (ids != self.vocab.pad).astype(np.float32)
+        mask[0] = 1.0  # CLS always attended
+        return ids, mask
+
+    # ------------------------------------------------------------------
+    def _gen_sst2(self, rng) -> tuple[np.ndarray, np.ndarray, int]:
+        n = int(rng.integers(8, self.seq_len - 2))
+        content = self._content(rng, n)
+        label = int(self._polarity[content].sum() > 0)
+        ids, mask = self._finish(self._to_ids(content))
+        return ids, mask, label
+
+    def _gen_cola(self, rng) -> tuple[np.ndarray, np.ndarray, int]:
+        n = int(rng.integers(9, self.seq_len - 2))
+        label = int(rng.random() < 0.7)
+        # grammatical: token classes cycle 0,1,2,0,1,2,...
+        tokens = []
+        for i in range(n):
+            want = i % 3
+            pool = np.flatnonzero(self._token_class == want)
+            tokens.append(int(rng.choice(pool)))
+        if not label:
+            # ungrammatical: two local violations of the class pattern
+            positions = rng.choice(n, size=2, replace=False)
+            for i in positions:
+                bad = np.flatnonzero(self._token_class != i % 3)
+                tokens[i] = int(rng.choice(bad))
+        ids, mask = self._finish(self._to_ids(np.array(tokens)))
+        return ids, mask, label
+
+    def _gen_mrpc(self, rng) -> tuple[np.ndarray, np.ndarray, int]:
+        half = (self.seq_len - 3) // 2
+        n = int(rng.integers(max(4, half - 4), half))
+        a = self._content(rng, n)
+        label = int(rng.random() < 0.5)
+        if label:
+            # paraphrase: a shuffled copy with a few synonym substitutions
+            b = a.copy()
+            rng.shuffle(b)
+            swap = rng.random(n) < 0.15
+            b[swap] = self._synonym[b[swap]]
+        else:
+            # different sentence on the same "topic": small token overlap
+            b = self._content(rng, n)
+            keep = rng.choice(n, size=max(1, n // 5), replace=False)
+            b[keep] = rng.choice(a, size=len(keep))
+        body = list(self._to_ids(a)) + [self.vocab.sep] + list(self._to_ids(b))
+        ids, mask = self._finish(body)
+        return ids, mask, label
+
+    def _gen_mnli(self, rng) -> tuple[np.ndarray, np.ndarray, int]:
+        half = (self.seq_len - 4) // 2
+        n = int(rng.integers(max(5, half - 3), half))
+        premise = self._content(rng, n)
+        label = int(rng.integers(0, 3))  # 0=entail, 1=neutral, 2=contradict
+        m = max(3, n // 2)
+        if label == 0:
+            # entailment: the hypothesis restates part of the premise
+            hypo = list(self._to_ids(rng.choice(premise, size=m, replace=False)))
+        elif label == 2:
+            # contradiction: a negated restatement ("NOT <premise facts>")
+            base = rng.choice(premise, size=m, replace=False)
+            hypo = [self.vocab.neg] + list(self._to_ids(base))
+        else:
+            # neutral: unrelated facts (low accidental overlap)
+            hypo = list(self._to_ids(self._content(rng, m)))
+        body = list(self._to_ids(premise)) + [self.vocab.sep] + hypo
+        ids, mask = self._finish(body)
+        return ids, mask, label
+
+    # ------------------------------------------------------------------
+    def sample(self, n: int, seed: int) -> TextBatches:
+        rng = np.random.default_rng((self.seed, seed, zlib.crc32(self.name.encode()) & 0xFFFF))
+        gen = getattr(self, f"_gen_{self.name}")
+        ids = np.empty((n, self.seq_len), dtype=np.int64)
+        mask = np.empty((n, self.seq_len), dtype=np.float32)
+        labels = np.empty(n, dtype=np.int64)
+        for i in range(n):
+            ids[i], mask[i], labels[i] = gen(rng)
+        return TextBatches(ids=ids, mask=mask, labels=labels)
+
+    def train_split(self, n: int) -> TextBatches:
+        return self.sample(n, seed=1)
+
+    def calibration_split(self, n: int) -> TextBatches:
+        """The paper's '5 % of the data inputs' analogue."""
+        return self.sample(n, seed=2)
+
+    def test_split(self, n: int) -> TextBatches:
+        return self.sample(n, seed=3)
+
+
+def make_task(name: str, seq_len: int = 24, seed: int = 77) -> GlueTask:
+    """Factory for the four GLUE-style tasks."""
+    return GlueTask(name, seq_len=seq_len, seed=seed)

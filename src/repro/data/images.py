@@ -1,0 +1,151 @@
+"""Procedural image-classification dataset (the ImageNet stand-in).
+
+The paper evaluates PTQ on ImageNet, which we cannot ship.  What the PTQ
+experiment actually requires from the dataset is:
+
+* a classification task hard enough that a miniature CNN reaches a stable
+  but non-saturated FP32 accuracy (so quantization damage is measurable),
+* realistic low-level statistics (smooth spatial structure, broad dynamic
+  range after normalisation) so activation distributions behave like real
+  feature maps,
+* a small calibration split disjoint from the evaluation split.
+
+``SynthImageNet`` generates each class from a seeded recipe: a smooth
+random-field prototype plus a class-specific geometric glyph and grating,
+then per-sample jitter (translation, contrast, occlusion, noise).  The
+recipe is deterministic in ``(num_classes, image_size, seed)``, so train
+and test sets are reproducible across processes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SynthImageNet", "ImageBatches"]
+
+
+def _smooth_field(rng: np.random.Generator, size: int, cutoff: int) -> np.ndarray:
+    """Low-frequency Gaussian random field in [-1, 1], size x size."""
+    spectrum = np.zeros((size, size), dtype=np.complex128)
+    k = cutoff
+    spectrum[:k, :k] = rng.normal(size=(k, k)) + 1j * rng.normal(size=(k, k))
+    field = np.real(np.fft.ifft2(spectrum))
+    field -= field.mean()
+    peak = np.abs(field).max()
+    return field / (peak + 1e-12)
+
+
+def _glyph_mask(kind: int, size: int, cx: float, cy: float, radius: float) -> np.ndarray:
+    """Binary mask of a class glyph: disk / square / ring / diagonal cross."""
+    yy, xx = np.mgrid[0:size, 0:size]
+    dx, dy = xx - cx, yy - cy
+    r = np.sqrt(dx ** 2 + dy ** 2)
+    kind = kind % 4
+    if kind == 0:
+        return r < radius
+    if kind == 1:
+        return (np.abs(dx) < radius) & (np.abs(dy) < radius)
+    if kind == 2:
+        return (r < radius) & (r > radius * 0.55)
+    return (np.abs(dx - dy) < radius * 0.35) | (np.abs(dx + dy) < radius * 0.35)
+
+
+@dataclass(frozen=True)
+class ImageBatches:
+    """A split of the dataset: images (N,C,H,W) float32 and labels (N,)."""
+
+    images: np.ndarray
+    labels: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+    def batches(self, batch_size: int):
+        """Yield (images, labels) minibatches in order."""
+        for i in range(0, len(self), batch_size):
+            yield self.images[i:i + batch_size], self.labels[i:i + batch_size]
+
+
+class SynthImageNet:
+    """Deterministic procedural multi-class image dataset.
+
+    Parameters
+    ----------
+    num_classes:
+        Number of classes; each gets an independent seeded recipe.
+    image_size:
+        Square image side in pixels.
+    seed:
+        Master seed for the class recipes.  Split sampling uses independent
+        per-split seeds so train/calibration/test never overlap.
+    """
+
+    def __init__(self, num_classes: int = 10, image_size: int = 24, seed: int = 2024):
+        self.num_classes = num_classes
+        self.image_size = image_size
+        self.seed = seed
+        self.channels = 3
+        recipe_rng = np.random.default_rng(seed)
+        self._prototypes = []
+        self._params = []
+        for c in range(num_classes):
+            proto = np.stack([
+                _smooth_field(recipe_rng, image_size, cutoff=3 + (c % 3))
+                for _ in range(self.channels)
+            ])
+            color = recipe_rng.uniform(-1.0, 1.0, size=self.channels)
+            freq = 1.5 + 0.9 * (c % 5)
+            angle = recipe_rng.uniform(0, np.pi)
+            self._prototypes.append(proto)
+            self._params.append((c % 4, color, freq, angle))
+
+    # ------------------------------------------------------------------
+    def _render(self, label: int, rng: np.random.Generator) -> np.ndarray:
+        size = self.image_size
+        glyph_kind, color, freq, angle = self._params[label]
+        proto = self._prototypes[label]
+
+        # per-sample jitter: translation (circular), contrast, glyph pose
+        shift = rng.integers(-size // 4, size // 4 + 1, size=2)
+        img = np.roll(proto, shift, axis=(1, 2)).copy()
+        img *= rng.uniform(0.5, 1.5)
+
+        cx = size / 2 + rng.uniform(-size / 6, size / 6)
+        cy = size / 2 + rng.uniform(-size / 6, size / 6)
+        radius = size * rng.uniform(0.10, 0.20)
+        mask = _glyph_mask(glyph_kind, size, cx, cy, radius)
+        img += mask[None, :, :] * color[:, None, None] * rng.uniform(0.8, 1.2)
+
+        # class-frequency grating
+        yy, xx = np.mgrid[0:size, 0:size]
+        phase = rng.uniform(0, 2 * np.pi)
+        grating = np.sin(2 * np.pi * freq / size *
+                         (np.cos(angle) * xx + np.sin(angle) * yy) + phase)
+        img += 0.25 * grating[None, :, :]
+
+        # occlusion patch + pixel noise
+        if rng.random() < 0.6:
+            ox, oy = rng.integers(0, size - size // 4, size=2)
+            img[:, oy:oy + size // 4, ox:ox + size // 4] = rng.normal(scale=0.3)
+        img += rng.normal(scale=0.70, size=img.shape)
+        return img.astype(np.float32)
+
+    def sample(self, n: int, seed: int) -> ImageBatches:
+        """Draw ``n`` labelled images using an independent stream ``seed``."""
+        rng = np.random.default_rng((self.seed, seed))
+        labels = rng.integers(0, self.num_classes, size=n)
+        images = np.stack([self._render(int(c), rng) for c in labels])
+        return ImageBatches(images=images, labels=labels.astype(np.int64))
+
+    # conventional split seeds -----------------------------------------
+    def train_split(self, n: int) -> ImageBatches:
+        return self.sample(n, seed=1)
+
+    def calibration_split(self, n: int) -> ImageBatches:
+        """The paper's '1000 random training images' analogue."""
+        return self.sample(n, seed=2)
+
+    def test_split(self, n: int) -> ImageBatches:
+        return self.sample(n, seed=3)

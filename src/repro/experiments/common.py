@@ -1,0 +1,51 @@
+"""Shared plumbing for the experiment drivers: artifact cache and tables."""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+__all__ = ["artifacts_dir", "save_artifact", "load_artifact", "format_table"]
+
+
+def artifacts_dir() -> Path:
+    """Where experiment outputs (JSON) are stored: $REPRO_ARTIFACTS or ./artifacts."""
+    root = Path(os.environ.get("REPRO_ARTIFACTS", "artifacts"))
+    root.mkdir(parents=True, exist_ok=True)
+    return root
+
+
+def save_artifact(name: str, payload: dict) -> Path:
+    """Write an experiment result as pretty JSON; returns the path."""
+    path = artifacts_dir() / f"{name}.json"
+    with open(path, "w") as f:
+        json.dump(payload, f, indent=2, sort_keys=True)
+    return path
+
+
+def load_artifact(name: str) -> dict | None:
+    """Load a previously saved experiment result, or None if absent."""
+    path = artifacts_dir() / f"{name}.json"
+    if not path.exists():
+        return None
+    with open(path) as f:
+        return json.load(f)
+
+
+def format_table(headers: list[str], rows: list[list], floatfmt: str = ".2f") -> str:
+    """Plain-text table with right-aligned numeric columns."""
+    def cell(v):
+        if isinstance(v, float):
+            return format(v, floatfmt)
+        return str(v)
+
+    str_rows = [[cell(v) for v in row] for row in rows]
+    widths = [max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+              for i, h in enumerate(headers)]
+    def line(vals):
+        return "  ".join(v.rjust(w) for v, w in zip(vals, widths))
+
+    out = [line(headers), line(["-" * w for w in widths])]
+    out.extend(line(r) for r in str_rows)
+    return "\n".join(out)

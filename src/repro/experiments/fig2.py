@@ -1,0 +1,49 @@
+"""Experiment fig2: the MAC-width table embedded in the paper's Fig. 2.
+
+Dynamic range, exponent-bus width P, max fraction width M (with hidden
+bit), and the Kulisch product width W for FP(8,4), Posit(8,1) and
+MERSIT(8,2).
+"""
+
+from __future__ import annotations
+
+from ..formats import get_format
+from ..formats.analysis import exponent_field_width, kulisch_product_width, summarize
+from .common import format_table, save_artifact
+
+__all__ = ["PAPER_FIG2", "run", "render"]
+
+#: the paper's Fig. 2 table: format -> (range_lo, range_hi, P, M, W)
+PAPER_FIG2 = {
+    "FP(8,4)": (-9, 7, 5, 4, 33),
+    "Posit(8,1)": (-12, 10, 5, 5, 45),
+    "MERSIT(8,2)": (-9, 8, 5, 5, 35),
+}
+
+
+def run() -> dict:
+    """Measure the Fig. 2 widths and diff them against the paper."""
+    rows = {}
+    for name, paper in PAPER_FIG2.items():
+        fmt = get_format(name)
+        dr = fmt.dynamic_range
+        got = (dr.min_log2, dr.max_log2, exponent_field_width(fmt),
+               summarize(fmt).significand_bits, kulisch_product_width(fmt))
+        rows[name] = {"measured": list(got), "paper": list(paper),
+                      "matches": got == paper}
+    result = {"rows": rows, "all_match": all(r["matches"] for r in rows.values())}
+    save_artifact("fig2", result)
+    return result
+
+
+def render(result: dict | None = None) -> str:
+    """Plain-text rendering of the Fig. 2 comparison."""
+    result = result or run()
+    headers = ["Format", "Dynamic Range", "P", "M", "W", "paper W", "match"]
+    rows = []
+    for name, r in result["rows"].items():
+        lo, hi, p, m, w = r["measured"]
+        rows.append([name, f"2^{lo} ~ 2^{hi}", p, m, w, r["paper"][4],
+                     "yes" if r["matches"] else "NO"])
+    status = "MATCHES PAPER" if result["all_match"] else "MISMATCH"
+    return f"Fig. 2 table - MAC widths [{status}]\n" + format_table(headers, rows)

@@ -1,0 +1,68 @@
+"""Experiment fig4: range and fraction precision of the 8-bit formats.
+
+For every format in the paper's Fig. 4, the binade-by-binade fraction
+precision profile as contiguous segments, plus the Section 3.2 claims
+(e.g. MERSIT(8,2) sustains 4-bit precision over a wider band than
+Posit(8,1)).
+"""
+
+from __future__ import annotations
+
+from ..formats import get_format
+from ..formats.analysis import precision_segments, range_with_precision
+from .common import format_table, save_artifact
+
+__all__ = ["FIG4_FORMATS", "run", "render"]
+
+FIG4_FORMATS = (
+    "FP(8,2)", "FP(8,3)", "FP(8,4)", "FP(8,5)",
+    "Posit(8,0)", "Posit(8,1)", "Posit(8,2)",
+    "MERSIT(8,2)", "MERSIT(8,3)",
+)
+
+
+def run() -> dict:
+    """Compute range/precision profiles and the Section 3.2 claims."""
+    profiles = {}
+    for name in FIG4_FORMATS:
+        fmt = get_format(name)
+        dr = fmt.dynamic_range
+        profiles[name] = {
+            "range": [dr.min_log2, dr.max_log2],
+            "segments": [list(s) for s in precision_segments(fmt)],
+            "max_fraction_bits": fmt.max_fraction_bits(),
+        }
+    m4 = range_with_precision(get_format("MERSIT(8,2)"), 4)
+    p4 = range_with_precision(get_format("Posit(8,1)"), 4)
+    claims = {
+        "mersit82_4bit_band": list(m4),
+        "posit81_4bit_band": list(p4),
+        # Section 3.2: the 4-bit band of MERSIT(8,2) is broader
+        "mersit_band_wider": (m4[1] - m4[0]) > (p4[1] - p4[0]),
+        # Section 4.3: fraction-bearing range 2^-6..2^5 vs 2^-8..2^7
+        "mersit82_fraction_band": list(range_with_precision(get_format("MERSIT(8,2)"), 1)),
+        "posit81_fraction_band": list(range_with_precision(get_format("Posit(8,1)"), 1)),
+    }
+    result = {"profiles": profiles, "claims": claims}
+    save_artifact("fig4", result)
+    return result
+
+
+def render(result: dict | None = None) -> str:
+    """Plain-text rendering of the Fig. 4 profiles."""
+    result = result or run()
+    lines = ["Fig. 4 - dynamic range and fraction precision by binade", ""]
+    headers = ["Format", "Range", "Precision segments (lo..hi: bits)"]
+    rows = []
+    for name, prof in result["profiles"].items():
+        segs = ", ".join(f"2^{a}..2^{b}:{bits}b" for a, b, bits in prof["segments"])
+        lo, hi = prof["range"]
+        rows.append([name, f"2^{lo} ~ 2^{hi}", segs])
+    lines.append(format_table(headers, rows))
+    c = result["claims"]
+    lines.append("")
+    lines.append(f"4-bit-precision band: MERSIT(8,2) 2^{c['mersit82_4bit_band'][0]}.."
+                 f"2^{c['mersit82_4bit_band'][1]}  vs Posit(8,1) "
+                 f"2^{c['posit81_4bit_band'][0]}..2^{c['posit81_4bit_band'][1]}"
+                 f"  -> wider for MERSIT: {c['mersit_band_wider']} (paper 3.2: True)")
+    return "\n".join(lines)

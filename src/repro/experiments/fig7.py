@@ -1,0 +1,117 @@
+"""Experiment fig7: area and power of the three MAC designs (paper Fig. 7).
+
+Builds gate-level MAC units for FP(8,4), Posit(8,1) and MERSIT(8,2),
+reports synthesised area and activity-based power while streaming operand
+codes encoded from *actual DNN data* (weights and activations of the
+ResNet50 analogue), at the paper's 100 MHz.
+
+Absolute um^2/uW differ from the paper (cell library), the ratios are the
+reproduction target: MERSIT well below Posit, comparable to FP8.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor, no_grad
+from ..formats import PAPER_FORMATS, get_format
+from ..hardware import MacUnit, dnn_operand_stream, mac_cost
+from .common import format_table, load_artifact, save_artifact
+
+__all__ = ["PAPER_FIG7_HEADLINES", "activity_tensors", "run", "render"]
+
+#: headline percentages stated in the paper's Section 4.3
+PAPER_FIG7_HEADLINES = {
+    "area_saving_vs_posit_pct": 26.6,
+    "power_saving_vs_posit_pct": 22.2,
+    "area_premium_vs_fp8_pct": 11.0,
+}
+
+
+def activity_tensors(model_name: str = "ResNet50", n_images: int = 32) -> tuple[np.ndarray, np.ndarray]:
+    """(weights, activations) of a pretrained zoo model for activity sim.
+
+    Falls back to heavy-tailed synthetic tensors when the zoo cache is
+    unavailable (keeps the hardware experiment self-contained).
+    """
+    try:
+        from ..quant.ptq import quantized_layers
+        from ..zoo import dataset, pretrained
+        model, _ = pretrained(model_name)
+        weights = np.concatenate([layer.weight.data.ravel()
+                                  for _, layer in quantized_layers(model)])
+        images = dataset().calibration_split(n_images).images
+        acts: list[np.ndarray] = []
+        layers = [layer for _, layer in quantized_layers(model)]
+        originals = [type(layer).forward for layer in layers]
+
+        def make_hook(layer, orig):
+            def hooked(x):
+                acts.append(np.asarray(x.data).ravel())
+                return orig(layer, x)
+            return hooked
+
+        for layer, orig in zip(layers, originals):
+            layer.forward = make_hook(layer, orig)
+        try:
+            with no_grad():
+                model(Tensor(images))
+        finally:
+            for layer in layers:
+                del layer.forward
+        activations = np.concatenate(acts)
+        return weights, activations
+    except Exception:
+        rng = np.random.default_rng(7)
+        weights = rng.standard_t(df=4, size=200_000) * 0.05
+        activations = np.abs(rng.standard_t(df=3, size=200_000)) * 0.5
+        return weights, activations
+
+
+def run(stream_len: int = 512, clock_mhz: float = 100.0, refresh: bool = False) -> dict:
+    """Build the three MACs and measure Fig. 7 area/power (cached)."""
+    cached = load_artifact("fig7")
+    if cached is not None and not refresh and cached.get("stream_len") == stream_len:
+        return cached
+    weights, activations = activity_tensors()
+    rows = {}
+    for name in PAPER_FORMATS:
+        fmt = get_format(name)
+        mac = MacUnit(fmt)
+        w_codes, a_codes = dnn_operand_stream(fmt, weights, activations, n=stream_len)
+        row = mac_cost(mac, w_codes, a_codes, clock_mhz=clock_mhz)
+        rows[name] = {
+            "area_total": row.area_total,
+            "power_total": row.power_total,
+            "area_by_group": row.area_by_group,
+            "power_by_group": row.power_by_group,
+            "acc_width": mac.acc_width,
+            "paper_w": mac.paper_w,
+        }
+    me, po, fp = rows["MERSIT(8,2)"], rows["Posit(8,1)"], rows["FP(8,4)"]
+    headlines = {
+        "area_saving_vs_posit_pct": 100 * (1 - me["area_total"] / po["area_total"]),
+        "power_saving_vs_posit_pct": 100 * (1 - me["power_total"] / po["power_total"]),
+        "area_premium_vs_fp8_pct": 100 * (me["area_total"] / fp["area_total"] - 1),
+    }
+    result = {"rows": rows, "headlines": headlines, "paper": PAPER_FIG7_HEADLINES,
+              "stream_len": stream_len, "clock_mhz": clock_mhz}
+    save_artifact("fig7", result)
+    return result
+
+
+def render(result: dict | None = None) -> str:
+    """Plain-text rendering of the Fig. 7 bars and headline deltas."""
+    result = result or run()
+    headers = ["Format", "Area um^2", "Power uW", "mult", "aligner", "accum", "W(paper)"]
+    rows = []
+    for name, r in result["rows"].items():
+        mult_area = sum(r["area_by_group"][g]
+                        for g in ("decoder", "exp_adder", "frac_multiplier"))
+        rows.append([name, round(r["area_total"], 0), round(r["power_total"], 1),
+                     round(mult_area, 0), round(r["area_by_group"]["aligner"], 0),
+                     round(r["area_by_group"]["accumulator"], 0), r["paper_w"]])
+    lines = ["Fig. 7 - MAC area / power (measured)", format_table(headers, rows), ""]
+    for key, val in result["headlines"].items():
+        lines.append(f"  {key}: {val:.1f}%  (paper: {result['paper'][key]:.1f}%)")
+    return "\n".join(lines)

@@ -1,0 +1,63 @@
+"""Experiment headline: the paper's abstract/Section 4.3 claims in one place.
+
+* MERSIT MAC saves 26.6 % area and 22.2 % power vs the Posit MAC.
+* MERSIT MAC area is ~11 % above FP(8,4) with comparable power.
+* The MERSIT decoder saves 59.2 % area vs the Posit decoder.
+* Posit multiplier costs ~80 % more area / ~46 % more power than FP8's
+  (the Section 1 motivation).
+* MERSIT(8,2) PTQ accuracy tracks Posit(8,1) within noise and beats INT8
+  on the fragile models (from the Table 2 grid, when available).
+"""
+
+from __future__ import annotations
+
+from .common import load_artifact, save_artifact
+from . import fig7, table3
+
+__all__ = ["run", "render"]
+
+
+def run(refresh: bool = False) -> dict:
+    """Assemble every headline claim from the fig7/table3/table2 artifacts."""
+    f7 = fig7.run(refresh=refresh)
+    t3 = table3.run(refresh=refresh)
+    me = t3["rows"]["MERSIT(8,2)"]
+    po = t3["rows"]["Posit(8,1)"]
+    fp = t3["rows"]["FP(8,4)"]
+    claims = {
+        "mac_area_saving_vs_posit_pct": {
+            "measured": f7["headlines"]["area_saving_vs_posit_pct"], "paper": 26.6},
+        "mac_power_saving_vs_posit_pct": {
+            "measured": f7["headlines"]["power_saving_vs_posit_pct"], "paper": 22.2},
+        "mac_area_premium_vs_fp8_pct": {
+            "measured": f7["headlines"]["area_premium_vs_fp8_pct"], "paper": 11.0},
+        "decoder_area_saving_vs_posit_pct": {
+            "measured": t3["decoder_area_saving_vs_posit_pct"], "paper": 59.2},
+        "posit_multiplier_area_overhead_vs_fp8_pct": {
+            "measured": 100 * (po["area"]["total"] / fp["area"]["total"] - 1),
+            "paper": 80.0},
+        "posit_multiplier_power_overhead_vs_fp8_pct": {
+            "measured": 100 * (po["power"]["total"] / fp["power"]["total"] - 1),
+            "paper": 46.0},
+    }
+    table2 = load_artifact("table2")
+    if table2 and "grid" in table2:
+        grid = table2["grid"]
+        deltas = [abs(row.get("MERSIT(8,2)", 0) - row.get("Posit(8,1)", 0))
+                  for row in grid.values()
+                  if "MERSIT(8,2)" in row and "Posit(8,1)" in row]
+        if deltas:
+            claims["max_abs_accuracy_gap_mersit_vs_posit"] = {
+                "measured": max(deltas), "paper": 1.5}
+    result = {"claims": claims}
+    save_artifact("headline", result)
+    return result
+
+
+def render(result: dict | None = None) -> str:
+    """Plain-text measured-vs-paper listing of the headline claims."""
+    result = result or run()
+    lines = ["Headline claims - measured vs paper"]
+    for name, vals in result["claims"].items():
+        lines.append(f"  {name}: {vals['measured']:.1f} (paper: {vals['paper']})")
+    return "\n".join(lines)

@@ -1,0 +1,44 @@
+"""Run every experiment and print the paper artefacts.
+
+Usage::
+
+    python -m repro.experiments.runner [table1 fig2 fig4 fig6 fig7 table3 headline table2]
+
+Without arguments runs everything except the full Table 2 grid (which
+takes the longest; run it explicitly or via its benchmark).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from . import fig2, fig4, fig6, fig7, headline, table1, table2, table3
+
+EXPERIMENTS = {
+    "table1": table1,
+    "fig2": fig2,
+    "fig4": fig4,
+    "fig6": fig6,
+    "fig7": fig7,
+    "table3": table3,
+    "headline": headline,
+    "table2": table2,
+}
+
+DEFAULT = ["table1", "fig2", "fig4", "fig6", "fig7", "table3", "headline"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    names = (argv if argv is not None else sys.argv[1:]) or DEFAULT
+    for name in names:
+        if name not in EXPERIMENTS:
+            print(f"unknown experiment {name!r}; known: {sorted(EXPERIMENTS)}")
+            return 2
+        mod = EXPERIMENTS[name]
+        print(f"\n===== {name} =====")
+        print(mod.render())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

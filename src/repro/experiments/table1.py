@@ -1,0 +1,56 @@
+"""Experiment table1: regenerate the paper's Table 1 (MERSIT(8,2) decode).
+
+The table is generated from the format implementation and compared against
+the hardcoded rows of the paper, so this experiment doubles as a bit-exact
+reproduction check.
+"""
+
+from __future__ import annotations
+
+from ..formats import MERSIT8_2
+from .common import format_table, save_artifact
+
+__all__ = ["PAPER_TABLE_1", "run", "render"]
+
+#: The paper's Table 1 rows: (pattern, k, exp, (2^es-1)k + exp, fraction bits).
+PAPER_TABLE_1 = [
+    ("0111111", None, None, "zero", 0),
+    ("0111100", -3, 0, -9, 0), ("0111101", -3, 1, -8, 0), ("0111110", -3, 2, -7, 0),
+    ("01100xx", -2, 0, -6, 2), ("01101xx", -2, 1, -5, 2), ("01110xx", -2, 2, -4, 2),
+    ("000xxxx", -1, 0, -3, 4), ("001xxxx", -1, 1, -2, 4), ("010xxxx", -1, 2, -1, 4),
+    ("100xxxx", 0, 0, 0, 4), ("101xxxx", 0, 1, 1, 4), ("110xxxx", 0, 2, 2, 4),
+    ("11100xx", 1, 0, 3, 2), ("11101xx", 1, 1, 4, 2), ("11110xx", 1, 2, 5, 2),
+    ("1111100", 2, 0, 6, 0), ("1111101", 2, 1, 7, 0), ("1111110", 2, 2, 8, 0),
+    ("1111111", None, None, "inf", 0),
+]
+
+
+def run() -> dict:
+    """Generate the table and diff it against the paper row by row."""
+    rows = MERSIT8_2.decode_table()
+    generated = [(r["pattern"], r["k"], r["exp"], r["eff_exp"], r["fraction_bits"])
+                 for r in rows]
+    paper = [tuple(r) for r in PAPER_TABLE_1]
+    mismatches = [
+        {"generated": list(g), "paper": list(p)}
+        for g, p in zip(generated, paper) if g != p
+    ]
+    result = {
+        "rows": [list(r) for r in generated],
+        "row_count": len(generated),
+        "matches_paper": not mismatches and len(generated) == len(paper),
+        "mismatches": mismatches,
+    }
+    save_artifact("table1", result)
+    return result
+
+
+def render(result: dict | None = None) -> str:
+    """Plain-text rendering of the regenerated Table 1."""
+    result = result or run()
+    headers = ["b6..b0", "k", "exp", "(2^es-1)k+exp", "frac bits"]
+    rows = [[p, "" if k is None else k, "" if e is None else e, eff, fb]
+            for p, k, e, eff, fb in (tuple(r) for r in result["rows"])]
+    status = "MATCHES PAPER" if result["matches_paper"] else "MISMATCH vs PAPER"
+    return (f"Table 1 - MERSIT(8,2) representation [{status}]\n"
+            + format_table(headers, rows))

@@ -1,0 +1,79 @@
+"""Experiment table3: multiplier breakdown analysis (paper Table 3).
+
+Area and power of the multiplier part of each MAC (two decoders, the
+exponent adder and the fraction multiplier), per component.  The paper's
+key numbers: the MERSIT(8,2) decoder saves 59.2 % area over Posit(8,1)'s,
+and the MERSIT multiplier total lands near FP(8,4)'s.
+"""
+
+from __future__ import annotations
+
+from ..formats import PAPER_FORMATS, get_format
+from ..hardware import MacUnit, dnn_operand_stream, multiplier_breakdown
+from .common import format_table, load_artifact, save_artifact
+from .fig7 import activity_tensors
+
+__all__ = ["PAPER_TABLE3", "run", "render"]
+
+#: the paper's Table 3 (area um^2 / power uW per component)
+PAPER_TABLE3 = {
+    "FP(8,4)": {"area": {"decoder": 434, "exp_adder": 46, "frac_multiplier": 128},
+                "power": {"decoder": 41.73, "exp_adder": 6.57, "frac_multiplier": 12.60}},
+    "Posit(8,1)": {"area": {"decoder": 830, "exp_adder": 54, "frac_multiplier": 216},
+                   "power": {"decoder": 63.52, "exp_adder": 3.78, "frac_multiplier": 19.50}},
+    "MERSIT(8,2)": {"area": {"decoder": 338, "exp_adder": 54, "frac_multiplier": 216},
+                    "power": {"decoder": 33.95, "exp_adder": 6.25, "frac_multiplier": 11.00}},
+}
+
+
+def run(stream_len: int = 512, clock_mhz: float = 100.0, refresh: bool = False) -> dict:
+    """Measure the Table 3 multiplier breakdowns (cached by stream_len)."""
+    cached = load_artifact("table3")
+    if cached is not None and not refresh and cached.get("stream_len") == stream_len:
+        return cached
+    weights, activations = activity_tensors()
+    rows = {}
+    for name in PAPER_FORMATS:
+        fmt = get_format(name)
+        mac = MacUnit(fmt)
+        w_codes, a_codes = dnn_operand_stream(fmt, weights, activations, n=stream_len)
+        b = multiplier_breakdown(mac, w_codes, a_codes, clock_mhz=clock_mhz)
+        rows[name] = {
+            "area": {"decoder": b.area_decoder, "exp_adder": b.area_exp_adder,
+                     "frac_multiplier": b.area_frac_multiplier, "total": b.area_total},
+            "power": {"decoder": b.power_decoder, "exp_adder": b.power_exp_adder,
+                      "frac_multiplier": b.power_frac_multiplier, "total": b.power_total},
+        }
+    decoder_saving = 100 * (1 - rows["MERSIT(8,2)"]["area"]["decoder"]
+                            / rows["Posit(8,1)"]["area"]["decoder"])
+    result = {"rows": rows, "paper": PAPER_TABLE3,
+              "decoder_area_saving_vs_posit_pct": decoder_saving,
+              "paper_decoder_area_saving_pct": 59.2,
+              "stream_len": stream_len}
+    save_artifact("table3", result)
+    return result
+
+
+def render(result: dict | None = None) -> str:
+    """Plain-text measured-vs-paper rendering of Table 3."""
+    result = result or run()
+    headers = ["Component", "FP(8,4)", "Posit(8,1)", "MERSIT(8,2)",
+               "paper FP", "paper Posit", "paper MERSIT"]
+    lines = ["Table 3 - multiplier breakdown (measured vs paper)"]
+    for kind, unit in (("area", "um^2"), ("power", "uW")):
+        rows = []
+        for comp in ("decoder", "exp_adder", "frac_multiplier", "total"):
+            row = [comp]
+            for f in PAPER_FORMATS:
+                row.append(round(result["rows"][f][kind][comp], 1))
+            for f in PAPER_FORMATS:
+                paper = PAPER_TABLE3[f][kind]
+                row.append(round(sum(paper.values()), 1) if comp == "total"
+                           else paper[comp])
+            rows.append(row)
+        lines.append(f"\n{kind} ({unit}):")
+        lines.append(format_table(headers, rows))
+    lines.append(f"\n  MERSIT decoder area saving vs Posit: "
+                 f"{result['decoder_area_saving_vs_posit_pct']:.1f}% "
+                 f"(paper: {result['paper_decoder_area_saving_pct']}%)")
+    return "\n".join(lines)

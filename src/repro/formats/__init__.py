@@ -1,0 +1,32 @@
+"""8-bit data formats: INT8, FP8, Posit8 and the paper's MERSIT8.
+
+Every format is a :class:`~repro.formats.base.CodebookFormat` — an
+enumerable bit-exact code/value bijection with built-in nearest-value
+quantization.  Formats are usually obtained by name::
+
+    from repro.formats import get_format
+    mersit = get_format("MERSIT(8,2)")
+    mersit.quantize(x)          # round x to representable values
+    mersit.dynamic_range        # 2^-9 ~ 2^8
+"""
+
+from .adaptivfloat import AdaptivFloatFormat, fit_bias
+from .base import CodebookFormat, DecodedValue, DynamicRange, ValueClass
+from .fp8 import FP8_E2, FP8_E3, FP8_E4, FP8_E5, FloatFormat
+from .int8 import INT8, IntFormat
+from .mersit import MERSIT8_2, MERSIT8_3, MersitFormat
+from .posit import POSIT8_0, POSIT8_1, POSIT8_2, POSIT8_3, PositFormat
+from .registry import PAPER_FORMATS, TABLE2_FORMATS, available_formats, get_format
+from . import analysis, arithmetic, bitops, convert
+
+__all__ = [
+    "CodebookFormat", "DecodedValue", "DynamicRange", "ValueClass",
+    "FloatFormat", "IntFormat", "PositFormat", "MersitFormat",
+    "AdaptivFloatFormat", "fit_bias",
+    "INT8",
+    "FP8_E2", "FP8_E3", "FP8_E4", "FP8_E5",
+    "POSIT8_0", "POSIT8_1", "POSIT8_2", "POSIT8_3",
+    "MERSIT8_2", "MERSIT8_3",
+    "get_format", "available_formats", "PAPER_FORMATS", "TABLE2_FORMATS",
+    "analysis", "arithmetic", "bitops", "convert",
+]

@@ -1,0 +1,70 @@
+"""AdaptivFloat (Tambe et al., DAC'20) — a related format from paper §2.1.
+
+A simplified float: no subnormals, no inf/NaN, and a per-tensor integer
+exponent bias acting as the scaling parameter.  The paper argues that
+under its channel/layer max-scaling methodology AdaptivFloat "aligns with
+FP8"; implementing it lets the ablation benchmark *verify* that claim
+instead of assuming it.
+
+``AdaptivFloatFormat`` fixes the bias at construction; the companion
+:func:`fit_bias` picks the bias the AdaptivFloat paper prescribes — the
+largest representable value covers the tensor max.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .base import CodebookFormat, DecodedValue, ValueClass
+
+__all__ = ["AdaptivFloatFormat", "fit_bias"]
+
+
+class AdaptivFloatFormat(CodebookFormat):
+    """AdaptivFloat(N,E) with a fixed integer exponent bias.
+
+    value = (-1)^s * 2^(expfield - bias) * (1 + frac/2^fbits), with
+    ``expfield = 0, frac = 0`` reserved for zero (the format drops
+    subnormals entirely).
+    """
+
+    def __init__(self, nbits: int = 8, ebits: int = 4, bias: int | None = None):
+        if ebits < 1 or ebits > nbits - 2:
+            raise ValueError(f"need 1 <= ebits <= nbits-2, got {ebits}")
+        self.nbits = nbits
+        self.ebits = ebits
+        self.fbits = nbits - 1 - ebits
+        self.bias = (1 << (ebits - 1)) - 1 if bias is None else bias
+        self.name = f"AdaptivFloat({nbits},{ebits},bias={self.bias})"
+
+    def decode(self, code: int) -> DecodedValue:
+        if not 0 <= code < self.ncodes:
+            raise ValueError(f"code {code} out of range for {self.name}")
+        sign = (code >> (self.nbits - 1)) & 1
+        expf = (code >> self.fbits) & ((1 << self.ebits) - 1)
+        frac = code & ((1 << self.fbits) - 1)
+        if expf == 0 and frac == 0:
+            return DecodedValue(code=code, value=-0.0 if sign else 0.0,
+                                value_class=ValueClass.ZERO, sign=sign)
+        eff = expf - self.bias
+        value = (-1.0) ** sign * (1.0 + frac / (1 << self.fbits)) * 2.0 ** eff
+        return DecodedValue(code=code, value=value, sign=sign,
+                            effective_exponent=eff, fraction_field=frac,
+                            fraction_bits=self.fbits)
+
+
+def fit_bias(x: np.ndarray, nbits: int = 8, ebits: int = 4) -> AdaptivFloatFormat:
+    """AdaptivFloat with the bias fitted to a tensor (Tambe et al. §III).
+
+    Chooses the bias so the largest representable binade matches the
+    tensor's max-magnitude binade.
+    """
+    amax = float(np.max(np.abs(x)))
+    if amax == 0.0:
+        return AdaptivFloatFormat(nbits, ebits)
+    top_binade = math.floor(math.log2(amax))
+    # largest expfield is 2^E - 1; align its binade with the data's
+    bias = ((1 << ebits) - 1) - top_binade
+    return AdaptivFloatFormat(nbits, ebits, bias=bias)

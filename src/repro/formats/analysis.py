@@ -1,0 +1,112 @@
+"""Range/precision analysis of codebook formats (paper Fig. 2 table, Fig. 4).
+
+These helpers turn a :class:`~repro.formats.base.CodebookFormat` into the
+summary statistics the paper tabulates: dynamic range, maximum exponent /
+fraction field widths (the ``P`` and ``M`` columns of Fig. 2), the Kulisch
+product width ``W``, and the binade-by-binade fraction-precision profile
+plotted in Fig. 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .base import CodebookFormat
+
+__all__ = [
+    "FormatSummary",
+    "summarize",
+    "kulisch_product_width",
+    "precision_segments",
+    "range_with_precision",
+]
+
+
+@dataclass(frozen=True)
+class FormatSummary:
+    """One row of the Fig. 2 comparison table."""
+
+    name: str
+    min_log2: int          # smallest positive value is 2^min_log2
+    max_log2: int          # binade of the largest finite value
+    exponent_width: int    # P: bits to carry the signed effective exponent
+    significand_bits: int  # M: widest significand incl. the hidden bit
+    product_width: int     # W: Kulisch fixed-point width for a*b
+
+    @property
+    def dynamic_range(self) -> str:
+        return f"2^{self.min_log2} ~ 2^{self.max_log2}"
+
+
+def _signed_width(lo: int, hi: int) -> int:
+    """Bits of a two's-complement field covering the integers [lo, hi]."""
+    width = 1
+    while not (-(1 << (width - 1)) <= lo and hi <= (1 << (width - 1)) - 1):
+        width += 1
+    return width
+
+
+def exponent_field_width(fmt: CodebookFormat) -> int:
+    """Width P of the signed effective-exponent bus out of the decoder."""
+    exps = [d.effective_exponent for d in fmt.decoded
+            if d.is_finite and d.effective_exponent is not None]
+    return _signed_width(min(exps), max(exps))
+
+
+def kulisch_product_width(fmt: CodebookFormat) -> int:
+    """The paper's ``W``: fixed-point bits covering every product ``a*b``.
+
+    Fig. 2 gives ``W = 2*(|min_log2| + max_log2) + 1``: a product of two
+    format values spans effective exponents ``2*min_log2 .. 2*max_log2``;
+    with one bit per binade across that span plus a sign bit,
+    ``W = 2*span + 1`` (e.g. 33 for FP(8,4), 45 for Posit(8,1), 35 for
+    MERSIT(8,2)).
+    """
+    return 2 * fmt.dynamic_range.span + 1
+
+
+def summarize(fmt: CodebookFormat) -> FormatSummary:
+    """Compute the Fig. 2 table row for ``fmt``."""
+    dr = fmt.dynamic_range
+    return FormatSummary(
+        name=fmt.name,
+        min_log2=dr.min_log2,
+        max_log2=dr.max_log2,
+        exponent_width=exponent_field_width(fmt),
+        significand_bits=fmt.max_fraction_bits() + 1,
+        product_width=kulisch_product_width(fmt),
+    )
+
+
+def precision_segments(fmt: CodebookFormat) -> list[tuple[int, int, int]]:
+    """Fig. 4 data: contiguous binade runs with constant fraction precision.
+
+    Returns ``(start_exponent, end_exponent, fraction_bits)`` triples, with
+    inclusive binade bounds, sorted by start exponent.
+    """
+    profile = fmt.precision_profile()
+    if not profile:
+        return []
+    segments: list[tuple[int, int, int]] = []
+    start_e, cur_bits = profile[0][0], profile[0][1]
+    prev_e = start_e
+    for e, bits in profile[1:]:
+        if bits != cur_bits or e != prev_e + 1:
+            segments.append((start_e, prev_e, cur_bits))
+            start_e, cur_bits = e, bits
+        prev_e = e
+    segments.append((start_e, prev_e, cur_bits))
+    return segments
+
+
+def range_with_precision(fmt: CodebookFormat, min_bits: int) -> tuple[int, int] | None:
+    """Binade range over which ``fmt`` sustains >= ``min_bits`` of fraction.
+
+    The paper's Section 3.2 argument: MERSIT(8,2) holds 4-bit precision over
+    a broader range than Posit(8,1).  Returns inclusive (lo, hi) binades or
+    ``None`` if the precision is never reached.
+    """
+    binades = [e for e, bits in fmt.precision_profile() if bits >= min_bits]
+    if not binades:
+        return None
+    return min(binades), max(binades)

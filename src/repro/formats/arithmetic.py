@@ -1,0 +1,67 @@
+"""Exact software arithmetic in format space (softposit-style reference).
+
+Operations take and return *codes* of a format: multiply/add decode the
+operands, compute exactly over rationals, and re-round to the nearest
+representable value; :func:`dot` accumulates the whole product list
+exactly before the single final rounding — the software model of the
+paper's Kulisch accumulator, and the reference the gate-level MAC +
+encoder chain is compared against.
+
+Exactness is guaranteed by ``fractions.Fraction``: every finite format
+value is a dyadic rational, so sums and products are representable
+without error.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+
+from .base import CodebookFormat
+
+__all__ = ["fmt_mul", "fmt_add", "dot", "exact_value"]
+
+
+def exact_value(fmt: CodebookFormat, code: int) -> Fraction:
+    """The exact rational value of a finite code (0 for specials)."""
+    d = fmt.decode(int(code))
+    if not d.is_finite:
+        return Fraction(0)
+    m = d.fraction_bits or 0
+    sig = Fraction((1 << m) + (d.fraction_field or 0), 1 << m)
+    e = d.effective_exponent
+    scale = Fraction(1 << e, 1) if e >= 0 else Fraction(1, 1 << (-e))
+    return (-1 if d.sign else 1) * sig * scale
+
+
+def _round_to_code(fmt: CodebookFormat, value: Fraction) -> int:
+    """Nearest-value code for an exact rational (ties to the lower code)."""
+    return int(fmt.encode(float(value)))
+
+
+def fmt_mul(fmt: CodebookFormat, a: int, b: int) -> int:
+    """Correctly rounded product of two codes."""
+    return _round_to_code(fmt, exact_value(fmt, a) * exact_value(fmt, b))
+
+
+def fmt_add(fmt: CodebookFormat, a: int, b: int) -> int:
+    """Correctly rounded sum of two codes."""
+    return _round_to_code(fmt, exact_value(fmt, a) + exact_value(fmt, b))
+
+
+def dot(fmt: CodebookFormat, a_codes, b_codes) -> tuple[int, Fraction]:
+    """Exact (Kulisch) dot product with one final rounding.
+
+    Returns ``(code, exact_sum)`` so callers can quantify the single
+    rounding step.  This is the software contract of the paper's MAC:
+    no intermediate rounding regardless of accumulation length.
+    """
+    a_codes = np.asarray(a_codes, dtype=np.int64)
+    b_codes = np.asarray(b_codes, dtype=np.int64)
+    if a_codes.shape != b_codes.shape:
+        raise ValueError("operand code arrays must have the same shape")
+    total = Fraction(0)
+    for x, y in zip(a_codes.ravel(), b_codes.ravel()):
+        total += exact_value(fmt, int(x)) * exact_value(fmt, int(y))
+    return _round_to_code(fmt, total), total

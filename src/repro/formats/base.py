@@ -1,0 +1,276 @@
+"""Common machinery shared by every 8-bit (and general N-bit) data format.
+
+Every format in this package is a *codebook format*: a bijection between an
+N-bit code and a representable value (possibly zero, +/-inf or NaN).  For
+N <= 12 the whole codebook fits comfortably in memory, so quantization is
+implemented once here as nearest-value rounding against the sorted set of
+finite representable values, and each concrete format only has to provide
+``decode(code)`` and, optionally, a specialised ``encode(value)``.
+
+The decode/encode pair is the *reference semantics* of a format; the
+gate-level decoders in :mod:`repro.hardware.decoders` are verified
+exhaustively against it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+__all__ = [
+    "DecodedValue",
+    "ValueClass",
+    "CodebookFormat",
+    "DynamicRange",
+]
+
+
+class ValueClass:
+    """Enumeration of the classes a decoded code can fall into."""
+
+    FINITE = "finite"
+    ZERO = "zero"
+    INF = "inf"
+    NAN = "nan"
+
+
+@dataclass(frozen=True)
+class DecodedValue:
+    """The full decomposition of one code of a format.
+
+    Attributes
+    ----------
+    code:
+        The raw integer code, ``0 <= code < 2**nbits``.
+    value:
+        The represented real value (``0.0``, ``+/-inf`` or ``nan`` for the
+        special classes).
+    value_class:
+        One of the :class:`ValueClass` constants.
+    sign:
+        0 for non-negative, 1 for negative.
+    effective_exponent:
+        The power-of-two scale of the value, i.e. the ``e`` in
+        ``(-1)^s * 2^e * (1 + frac)``.  ``None`` for specials.
+    fraction_field:
+        The raw fraction bits as an integer.  ``None`` for specials.
+    fraction_bits:
+        Number of fraction bits carried by this particular code (dynamic for
+        Posit/MERSIT, static for FP within the normal range).
+    regime:
+        The regime value ``k`` for regime-bearing formats, else ``None``.
+    """
+
+    code: int
+    value: float
+    value_class: str = ValueClass.FINITE
+    sign: int = 0
+    effective_exponent: int | None = None
+    fraction_field: int | None = None
+    fraction_bits: int | None = None
+    regime: int | None = None
+
+    @property
+    def is_finite(self) -> bool:
+        return self.value_class == ValueClass.FINITE
+
+    @property
+    def significand(self) -> float:
+        """``1 + frac`` scaled significand, or 0.0 for specials."""
+        if not self.is_finite:
+            return 0.0
+        if self.fraction_bits in (None, 0):
+            return 1.0
+        return 1.0 + self.fraction_field / (1 << self.fraction_bits)
+
+
+@dataclass(frozen=True)
+class DynamicRange:
+    """Finite dynamic range of a format, expressed in powers of two.
+
+    ``min_log2``/``max_log2`` bound the *binade* of the smallest and largest
+    positive finite representable values: ``2^min_log2`` is the smallest
+    positive value and ``2^max_log2`` the binade of the largest (the paper's
+    Fig. 2 convention, e.g. FP(8,4): ``2^-9 ... 2^7``).
+    """
+
+    min_log2: int
+    max_log2: int
+
+    @property
+    def span(self) -> int:
+        """Width of the dynamic range in octaves: ``|min| + max``."""
+        return -self.min_log2 + self.max_log2
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"2^{self.min_log2} ~ 2^{self.max_log2}"
+
+
+class CodebookFormat:
+    """Base class for enumerable bit-exact numeric formats.
+
+    Subclasses implement :meth:`decode` and set ``nbits`` and ``name``.
+    Everything else (codebooks, quantization, range analysis) is derived.
+    """
+
+    #: total number of bits in a code word
+    nbits: int
+    #: short human-readable name, e.g. ``"MERSIT(8,2)"``
+    name: str
+
+    # ------------------------------------------------------------------
+    # interface to implement
+    # ------------------------------------------------------------------
+    def decode(self, code: int) -> DecodedValue:
+        """Decode an integer code into its :class:`DecodedValue`."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # derived machinery
+    # ------------------------------------------------------------------
+    @property
+    def ncodes(self) -> int:
+        return 1 << self.nbits
+
+    @cached_property
+    def decoded(self) -> tuple[DecodedValue, ...]:
+        """All codes decoded, indexed by code."""
+        return tuple(self.decode(c) for c in range(self.ncodes))
+
+    @cached_property
+    def values(self) -> np.ndarray:
+        """Represented value of every code (float64), indexed by code."""
+        return np.array([d.value for d in self.decoded], dtype=np.float64)
+
+    @cached_property
+    def finite_values(self) -> np.ndarray:
+        """Sorted, deduplicated array of finite representable values.
+
+        Zero is included exactly once even when the format has signed zero.
+        """
+        vals = [d.value for d in self.decoded if d.is_finite or d.value_class == ValueClass.ZERO]
+        return np.unique(np.array(vals, dtype=np.float64))
+
+    @cached_property
+    def positive_finite_values(self) -> np.ndarray:
+        vals = self.finite_values
+        return vals[vals > 0.0]
+
+    @cached_property
+    def _sorted_codes(self) -> tuple[np.ndarray, np.ndarray]:
+        """(sorted finite values incl. zero, code achieving each value)."""
+        pairs: dict[float, int] = {}
+        for d in self.decoded:
+            if d.is_finite or d.value_class == ValueClass.ZERO:
+                # prefer the positive-sign representation when duplicated
+                if d.value not in pairs or d.sign == 0:
+                    pairs[d.value] = d.code
+        values = np.array(sorted(pairs), dtype=np.float64)
+        codes = np.array([pairs[v] for v in values], dtype=np.int64)
+        return values, codes
+
+    @property
+    def max_value(self) -> float:
+        """Largest finite representable magnitude."""
+        return float(self.finite_values[-1])
+
+    @property
+    def quantization_gain(self) -> float:
+        """Value the observed tensor max is mapped onto when quantizing.
+
+        For uniform-precision formats (INT8, FP8) the whole range is usable,
+        so the max maps onto ``max_value`` — the familiar ``x * 127 / s``
+        for INT8.  Tapered formats (Posit, MERSIT) override this with 1.0:
+        mapping the max onto maxpos would park all data in the zero-
+        fraction-bit regime tail, so they instead scale data into the
+        high-precision band around 2^0 (the convention of the posit DNN
+        literature the paper builds on [2, 8]).
+        """
+        return self.max_value
+
+    @property
+    def min_positive(self) -> float:
+        """Smallest positive representable value."""
+        return float(self.positive_finite_values[0])
+
+    @cached_property
+    def dynamic_range(self) -> DynamicRange:
+        """Finite dynamic range in the paper's Fig. 2 convention."""
+        lo = int(round(math.log2(self.min_positive)))
+        hi = int(math.floor(math.log2(self.max_value)))
+        return DynamicRange(lo, hi)
+
+    # ------------------------------------------------------------------
+    # quantization
+    # ------------------------------------------------------------------
+    @cached_property
+    def _midpoints(self) -> np.ndarray:
+        vals = self.finite_values
+        return (vals[1:] + vals[:-1]) / 2.0
+
+    def quantize(self, x: np.ndarray) -> np.ndarray:
+        """Round every element of ``x`` to the nearest representable value.
+
+        Values beyond the finite range saturate to ``+/-max_value``;
+        non-finite inputs are saturated likewise (NaN maps to 0).
+        """
+        x = np.asarray(x, dtype=np.float64)
+        clean = np.nan_to_num(x, nan=0.0, posinf=self.max_value, neginf=-self.max_value)
+        clipped = np.clip(clean, -self.max_value, self.max_value)
+        idx = np.searchsorted(self._midpoints, clipped, side="left")
+        return self.finite_values[idx]
+
+    def encode(self, value: float) -> int:
+        """Code of the representable value nearest to ``value``."""
+        values, codes = self._sorted_codes
+        q = float(self.quantize(np.array([value]))[0])
+        idx = int(np.searchsorted(values, q))
+        return int(codes[idx])
+
+    def encode_array(self, x: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`encode`: nearest-value codes for an array."""
+        values, codes = self._sorted_codes
+        q = self.quantize(np.asarray(x, dtype=np.float64))
+        idx = np.searchsorted(values, q)
+        return codes[idx]
+
+    def decode_array(self, codes: np.ndarray) -> np.ndarray:
+        """Vectorised decode of an integer code array to values."""
+        return self.values[np.asarray(codes, dtype=np.int64)]
+
+    # ------------------------------------------------------------------
+    # analysis helpers
+    # ------------------------------------------------------------------
+    def fraction_bits_at(self, value: float) -> int:
+        """Fraction precision (bits) of the representable value nearest ``value``."""
+        code = self.encode(value)
+        d = self.decoded[code]
+        return 0 if d.fraction_bits is None else d.fraction_bits
+
+    def max_fraction_bits(self) -> int:
+        return max((d.fraction_bits or 0) for d in self.decoded if d.is_finite)
+
+    def precision_profile(self) -> list[tuple[int, int]]:
+        """(effective_exponent, fraction_bits) for every positive finite binade.
+
+        Used by the Fig. 4 reproduction: for each power-of-two binade the
+        format covers, how many fraction bits are available there.
+        """
+        prof: dict[int, int] = {}
+        for d in self.decoded:
+            if d.is_finite and d.sign == 0 and d.effective_exponent is not None:
+                bits = d.fraction_bits or 0
+                prof[d.effective_exponent] = max(prof.get(d.effective_exponent, 0), bits)
+        return sorted(prof.items())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name}>"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, CodebookFormat) and self.name == other.name
+
+    def __hash__(self) -> int:
+        return hash(self.name)

@@ -1,0 +1,296 @@
+"""Vectorised bit-level codecs for the 8-bit format families.
+
+The :class:`~repro.formats.base.CodebookFormat` machinery decodes through
+an enumerated codebook, which is the clearest *reference semantics* but
+not how a software library would ship.  This module provides direct
+bit-manipulation codecs over numpy integer arrays:
+
+* ``decode_*`` — field extraction with integer ops, no enumeration;
+* ``encode_*`` — true round-to-nearest-even encoding in format space,
+  including fraction rounding with carry propagation into the exponent
+  and regime, saturation at the finite extremes and underflow to zero.
+
+They are cross-validated against the codebook reference in
+``tests/test_formats_bitops.py`` (decode: exact equality on all codes;
+encode: the returned code is always one of the nearest-value codes).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .fp8 import FloatFormat
+from .mersit import MersitFormat
+from .posit import PositFormat
+
+__all__ = [
+    "decode_fp8", "decode_posit", "decode_mersit",
+    "encode_fp8", "encode_posit", "encode_mersit",
+    "decode_array_fast", "encode_array_fast",
+]
+
+
+# ----------------------------------------------------------------------
+# decode
+# ----------------------------------------------------------------------
+def decode_fp8(codes: np.ndarray, fmt: FloatFormat) -> np.ndarray:
+    """Vectorised FP(N,E) decode; inf -> +/-inf, NaN -> nan."""
+    codes = np.asarray(codes, dtype=np.int64)
+    n, e, f = fmt.nbits, fmt.ebits, fmt.fbits
+    sign = (codes >> (n - 1)) & 1
+    expf = (codes >> f) & ((1 << e) - 1)
+    frac = codes & ((1 << f) - 1)
+    sgn = np.where(sign == 1, -1.0, 1.0)
+
+    normal = sgn * (1.0 + frac / (1 << f)) * np.exp2(expf - fmt.bias)
+    subnormal = sgn * (frac / (1 << f)) * np.exp2(1 - fmt.bias)
+    out = np.where(expf == 0, subnormal, normal)
+    if fmt.reserve_infnan:
+        special = expf == (1 << e) - 1
+        out = np.where(special & (frac == 0), sgn * np.inf, out)
+        out = np.where(special & (frac != 0), np.nan, out)
+    return out
+
+
+def decode_posit(codes: np.ndarray, fmt: PositFormat) -> np.ndarray:
+    """Vectorised Posit(N,es) decode (paper +/-inf variant respected)."""
+    codes = np.asarray(codes, dtype=np.int64)
+    n, es = fmt.nbits, fmt.es
+    body_w = n - 1
+    mask_body = (1 << body_w) - 1
+
+    sign = (codes >> (n - 1)) & 1
+    mag = np.where(sign == 1, (-codes) & ((1 << n) - 1), codes) & mask_body
+
+    # leading-run length of the MSB value, vectorised over the 7 body bits
+    msb = (mag >> (body_w - 1)) & 1
+    run = np.ones_like(mag)
+    cont = np.ones_like(mag, dtype=bool)
+    for i in range(1, body_w):
+        bit = (mag >> (body_w - 1 - i)) & 1
+        cont = cont & (bit == msb)
+        run = run + cont.astype(np.int64)
+    k = np.where(msb == 1, run - 1, -run)
+
+    # shift out sign/regime/terminator, then exponent and fraction
+    shift = run + 1
+    payload = (mag << shift) & mask_body
+    exp = (payload >> (body_w - es)) & ((1 << es) - 1) if es else np.zeros_like(mag)
+    frac_w = body_w - 1 - es - 1  # max stored fraction bits
+    frac_field = (payload >> (body_w - es - fmt.max_fraction_bits())) \
+        & ((1 << fmt.max_fraction_bits()) - 1)
+
+    eff = (k << es) + exp if es else k
+    value = np.where(sign == 1, -1.0, 1.0) * \
+        (1.0 + frac_field / (1 << fmt.max_fraction_bits())) * np.exp2(eff)
+
+    value = np.where(codes == 0, 0.0, value)
+    nar = codes == (1 << (n - 1))
+    if fmt.inf_maxpos:
+        pos_inf = mag == mask_body
+        value = np.where(pos_inf & (sign == 0), np.inf, value)
+        value = np.where((pos_inf & (sign == 1)) | nar, -np.inf, value)
+    else:
+        value = np.where(nar, np.nan, value)
+    del frac_w
+    return value
+
+
+def decode_mersit(codes: np.ndarray, fmt: MersitFormat) -> np.ndarray:
+    """Vectorised MERSIT(N,E) decode."""
+    codes = np.asarray(codes, dtype=np.int64)
+    n, es, g_count = fmt.nbits, fmt.es, fmt.ngroups
+    step = fmt.regime_step
+    mag_w = n - 2
+
+    sign = (codes >> (n - 1)) & 1
+    ks = (codes >> (n - 2)) & 1
+    mag = codes & ((1 << mag_w) - 1)
+
+    # first EC containing a zero, vectorised
+    g = np.full_like(mag, g_count)       # g_count == "no exponent found"
+    exp = np.zeros_like(mag)
+    found = np.zeros_like(mag, dtype=bool)
+    for gi in range(g_count):
+        shift = mag_w - (gi + 1) * es
+        ec = (mag >> shift) & step
+        hit = (~found) & (ec != step)
+        g = np.where(hit, gi, g)
+        exp = np.where(hit, ec, exp)
+        found |= hit
+
+    k = np.where(ks == 1, g, -(g + 1))
+    fbits = (g_count - 1 - np.minimum(g, g_count - 1)) * es
+    frac = mag & ((1 << fbits) - 1)
+    eff = step * k + exp
+    value = np.where(sign == 1, -1.0, 1.0) * (1.0 + frac / np.exp2(fbits)) * np.exp2(eff)
+
+    value = np.where(~found & (ks == 0), np.where(sign == 1, -0.0, 0.0), value)
+    value = np.where(~found & (ks == 1),
+                     np.where(sign == 1, -np.inf, np.inf), value)
+    return value
+
+
+# ----------------------------------------------------------------------
+# encode (round-to-nearest-even in format space)
+# ----------------------------------------------------------------------
+def _split_float(x: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(sign, binade exponent e, significand in [1,2)) for finite nonzero x."""
+    sign = (np.signbit(x)).astype(np.int64)
+    ax = np.abs(x)
+    with np.errstate(divide="ignore"):
+        e = np.floor(np.log2(ax))
+    # guard against log2 rounding at binade boundaries
+    e = np.where(np.exp2(e + 1) <= ax, e + 1, e)
+    e = np.where(np.exp2(e) > ax, e - 1, e)
+    m = ax / np.exp2(e)
+    return sign, e.astype(np.int64), m
+
+
+def _round_sig(m: np.ndarray, e: np.ndarray, fbits: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Round significand m in [1,2) to fbits fractional bits, RNE.
+
+    Returns (fraction_field, exponent_carry) where carry is 1 when the
+    rounding overflowed to 2.0.
+    """
+    scaled = (m - 1.0) * np.exp2(fbits)
+    frac = np.rint(scaled)  # numpy rint = round-half-to-even
+    carry = (frac >= np.exp2(fbits)).astype(np.int64)
+    frac = np.where(carry == 1, 0, frac)
+    return frac.astype(np.int64), carry
+
+
+def encode_fp8(x: np.ndarray, fmt: FloatFormat) -> np.ndarray:
+    """Round-to-nearest-even FP(N,E) encoding with saturation."""
+    x = np.asarray(x, dtype=np.float64)
+    n, e_bits, f = fmt.nbits, fmt.ebits, fmt.fbits
+    out = np.zeros(x.shape, dtype=np.int64)
+    finite = np.isfinite(x) & (x != 0)
+    sign_all = (np.signbit(x) & (x != 0)).astype(np.int64)
+
+    sign, e, m = _split_float(np.where(finite, x, 1.0))
+    e_min = 1 - fmt.bias
+
+    # normal path
+    frac, carry = _round_sig(m, e, np.full_like(e, f, dtype=np.float64))
+    e_n = e + carry
+    # subnormal path: fewer effective fraction bits
+    sub = e < e_min
+    sub_bits = f - (e_min - e)
+    scaled = np.abs(np.where(finite, x, 0.0)) / np.exp2(1 - fmt.bias - f)
+    sub_field = np.rint(scaled).astype(np.int64)  # in subnormal LSBs
+    sub_overflow = sub_field >= (1 << f)          # rounded up into normals
+
+    expf = np.where(sub & ~sub_overflow, 0, e_n + fmt.bias)
+    frac_out = np.where(sub & ~sub_overflow, sub_field, frac)
+    expf = np.where(sub & sub_overflow, 1, expf)
+    frac_out = np.where(sub & sub_overflow, 0, frac_out)
+
+    # saturate at the largest finite code
+    max_expf = ((1 << e_bits) - 2) if fmt.reserve_infnan else ((1 << e_bits) - 1)
+    too_big = expf > max_expf
+    expf = np.where(too_big, max_expf, expf)
+    frac_out = np.where(too_big, (1 << f) - 1, frac_out)
+    # underflow to zero
+    zero = sub_field == 0
+    code = (sign << (n - 1)) | (expf << f) | frac_out
+    code = np.where(sub & zero & ~sub_overflow, sign << (n - 1), code)
+    out = np.where(finite, code, sign_all << (n - 1))
+    # overflow inputs (inf) saturate too
+    out = np.where(np.isinf(x), (sign_all << (n - 1)) | (max_expf << f) | ((1 << f) - 1), out)
+    del sub_bits
+    return out
+
+
+def encode_mersit(x: np.ndarray, fmt: MersitFormat) -> np.ndarray:
+    """Round-to-nearest-even MERSIT(N,E) encoding with saturation."""
+    x = np.asarray(x, dtype=np.float64)
+    n, es, g_count = fmt.nbits, fmt.es, fmt.ngroups
+    step = fmt.regime_step
+    mag_w = n - 2
+    e_min = -step * g_count            # smallest effective exponent
+    e_max = step * g_count - 1         # largest
+
+    finite = np.isfinite(x) & (x != 0)
+    sign_all = (np.signbit(x) & (x != 0)).astype(np.int64)
+    sign, e, m = _split_float(np.where(finite, x, 1.0))
+
+    e = np.clip(e, e_min - 1, e_max + 1)
+    # fraction bits depend on the regime group of the (possibly carried) exp
+    for _ in range(2):  # carry can bump e into the next group once
+        e_cl = np.clip(e, e_min, e_max)
+        k = np.floor_divide(e_cl, step)
+        g = np.where(k >= 0, k, -k - 1)
+        fbits = (g_count - 1 - g) * es
+        frac, carry = _round_sig(m, e, fbits.astype(np.float64))
+        bumped = carry == 1
+        if not np.any(bumped):
+            break
+        e = e + carry
+        m = np.where(bumped, 1.0, m)
+
+    # saturate / underflow after rounding
+    e_cl = np.clip(e, e_min, e_max)
+    sat_hi = e > e_max
+    sat_lo = e < e_min
+    k = np.floor_divide(e_cl, step)
+    g = np.where(k >= 0, k, -k - 1)
+    fbits = (g_count - 1 - g) * es
+    exp_field = e_cl - k * step
+    frac = np.where(sat_hi, 0, frac)
+    exp_field = np.where(sat_hi, step - 1, exp_field)
+    frac = np.where(sat_lo, 0, frac)
+    exp_field = np.where(sat_lo, 0, exp_field)
+
+    ks = (k >= 0).astype(np.int64)
+    # magnitude: g leading all-ones groups, the exponent EC, then fraction
+    mag = np.zeros_like(e)
+    for gi in range(g_count):
+        shift = mag_w - (gi + 1) * es
+        here_ones = gi < g
+        here_exp = gi == g
+        field = np.where(here_ones, step, np.where(here_exp, exp_field, 0))
+        mag = mag | (field << shift)
+    mag = mag | frac
+
+    code = (sign << (n - 1)) | (ks << (n - 2)) | mag
+    zero_code = sign_all << (n - 1) | ((1 << mag_w) - 1)  # ks=0, all-ones
+    out = np.where(finite, code, zero_code)
+    # underflow: closer to zero than to minpos
+    underflow = np.abs(x) < np.exp2(e_min) / 2
+    out = np.where(finite & underflow, zero_code, out)
+    # infinities saturate to the largest finite code
+    max_code = (1 << (n - 2)) | (((1 << mag_w) - 1) ^ 1)  # ks=1, mag=111..10
+    out = np.where(np.isinf(x), (sign_all << (n - 1)) | max_code, out)
+    out = np.where(x == 0, zero_code & ~(1 << (n - 1)), out)
+    return out
+
+
+def encode_posit(x: np.ndarray, fmt: PositFormat) -> np.ndarray:
+    """Round-to-nearest Posit(N,es) encoding (via the codebook; posit
+    rounding interacts with two's complement in ways that the shared
+    codebook path already handles exactly)."""
+    return fmt.encode_array(np.asarray(x, dtype=np.float64))
+
+
+# ----------------------------------------------------------------------
+# dispatch
+# ----------------------------------------------------------------------
+def decode_array_fast(codes: np.ndarray, fmt) -> np.ndarray:
+    """Bit-level decode dispatch (falls back to the codebook for INT8)."""
+    if isinstance(fmt, FloatFormat):
+        return decode_fp8(codes, fmt)
+    if isinstance(fmt, PositFormat):
+        return decode_posit(codes, fmt)
+    if isinstance(fmt, MersitFormat):
+        return decode_mersit(codes, fmt)
+    return fmt.decode_array(codes)
+
+
+def encode_array_fast(x: np.ndarray, fmt) -> np.ndarray:
+    """Bit-level encode dispatch (falls back to the codebook path)."""
+    if isinstance(fmt, FloatFormat):
+        return encode_fp8(x, fmt)
+    if isinstance(fmt, MersitFormat):
+        return encode_mersit(x, fmt)
+    return fmt.encode_array(np.asarray(x, dtype=np.float64))

@@ -1,0 +1,98 @@
+"""FP(N,E): low-bit floating point with subnormals (paper Fig. 1a).
+
+The paper's FP8 family is an IEEE-like miniature float: 1 sign bit, ``E``
+exponent bits, ``N-1-E`` fraction bits, exponent bias ``2^(E-1)-1``,
+subnormal representation when the exponent field is zero, and the all-ones
+exponent reserved for inf/NaN.  With this convention FP(8,4) has dynamic
+range ``2^-9 ... 2^7``, exactly as the table in Fig. 2 states.
+
+The class is parameterised over both N and E so the same code also provides
+FP16-style references for tests.
+"""
+
+from __future__ import annotations
+
+from .base import CodebookFormat, DecodedValue, ValueClass
+
+__all__ = ["FloatFormat", "FP8_E2", "FP8_E3", "FP8_E4", "FP8_E5"]
+
+
+class FloatFormat(CodebookFormat):
+    """IEEE-like float with ``nbits`` total bits and ``ebits`` exponent bits.
+
+    Parameters
+    ----------
+    nbits, ebits:
+        Word width and exponent field width. Fraction width is
+        ``nbits - 1 - ebits``.
+    reserve_infnan:
+        When True (paper convention) the all-ones exponent encodes
+        inf (fraction == 0) and NaN (fraction != 0).  When False every
+        exponent value encodes normal numbers, extending the range by one
+        binade (the "FN" convention of some FP8 proposals).
+    """
+
+    def __init__(self, nbits: int = 8, ebits: int = 4, reserve_infnan: bool = True):
+        if ebits < 1 or ebits > nbits - 2:
+            raise ValueError(f"need 1 <= ebits <= nbits-2, got ebits={ebits}, nbits={nbits}")
+        self.nbits = nbits
+        self.ebits = ebits
+        self.fbits = nbits - 1 - ebits
+        self.bias = (1 << (ebits - 1)) - 1
+        self.reserve_infnan = reserve_infnan
+        self.name = f"FP({nbits},{ebits})"
+        if not reserve_infnan:
+            self.name += "fn"
+
+    # ------------------------------------------------------------------
+    def decode(self, code: int) -> DecodedValue:
+        if not 0 <= code < self.ncodes:
+            raise ValueError(f"code {code} out of range for {self.name}")
+        sign = (code >> (self.nbits - 1)) & 1
+        expfield = (code >> self.fbits) & ((1 << self.ebits) - 1)
+        frac = code & ((1 << self.fbits) - 1)
+        sgn = -1.0 if sign else 1.0
+
+        if self.reserve_infnan and expfield == (1 << self.ebits) - 1:
+            if frac == 0:
+                return DecodedValue(code=code, value=sgn * float("inf"),
+                                    value_class=ValueClass.INF, sign=sign)
+            return DecodedValue(code=code, value=float("nan"),
+                                value_class=ValueClass.NAN, sign=sign)
+
+        if expfield == 0:
+            if frac == 0:
+                return DecodedValue(code=code, value=sgn * 0.0,
+                                    value_class=ValueClass.ZERO, sign=sign)
+            # subnormal: value = (-1)^s * 2^(1-bias) * (frac / 2^fbits)
+            # expressed in normalised (1+f) form for the decoder contract:
+            # the leading 1 of frac becomes the hidden bit and the bits
+            # below it form the (shortened) effective fraction.
+            shift = self.fbits - frac.bit_length() + 1
+            eff_bits = self.fbits - shift
+            norm_frac = frac - (1 << (frac.bit_length() - 1))
+            eff_exp = 1 - self.bias - shift
+            value = sgn * (frac / (1 << self.fbits)) * 2.0 ** (1 - self.bias)
+            return DecodedValue(
+                code=code, value=value, sign=sign,
+                effective_exponent=eff_exp,
+                fraction_field=norm_frac,
+                # effective precision shrinks as the subnormal gets smaller
+                fraction_bits=eff_bits,
+            )
+
+        eff_exp = expfield - self.bias
+        value = sgn * (1.0 + frac / (1 << self.fbits)) * 2.0 ** eff_exp
+        return DecodedValue(
+            code=code, value=value, sign=sign,
+            effective_exponent=eff_exp,
+            fraction_field=frac,
+            fraction_bits=self.fbits,
+        )
+
+
+#: The four FP8 configurations evaluated in the paper.
+FP8_E2 = FloatFormat(8, 2)
+FP8_E3 = FloatFormat(8, 3)
+FP8_E4 = FloatFormat(8, 4)
+FP8_E5 = FloatFormat(8, 5)

@@ -1,0 +1,48 @@
+"""Symmetric signed integer formats (the paper's INT8 baseline).
+
+The paper's INT8 PTQ baseline uses symmetric quantization: codes are two's
+complement integers and the represented value is simply the integer itself
+(the scaling parameter lives in the quantizer, not the format).  We exclude
+the most negative code so the codebook is symmetric (-127..127 for INT8),
+the standard convention for symmetric DNN quantization.
+"""
+
+from __future__ import annotations
+
+from .base import CodebookFormat, DecodedValue, ValueClass
+
+__all__ = ["IntFormat", "INT8"]
+
+
+class IntFormat(CodebookFormat):
+    """Symmetric two's-complement integer format with ``nbits`` bits."""
+
+    def __init__(self, nbits: int = 8, symmetric: bool = True):
+        if nbits < 2:
+            raise ValueError("IntFormat needs at least 2 bits")
+        self.nbits = nbits
+        self.symmetric = symmetric
+        self.name = f"INT{nbits}"
+
+    def decode(self, code: int) -> DecodedValue:
+        if not 0 <= code < self.ncodes:
+            raise ValueError(f"code {code} out of range for {self.name}")
+        half = self.ncodes // 2
+        signed = code - self.ncodes if code >= half else code
+        if self.symmetric and signed == -half:
+            # -128 aliases to -127: keep the codebook symmetric.
+            signed = -(half - 1)
+        if signed == 0:
+            return DecodedValue(code=code, value=0.0, value_class=ValueClass.ZERO)
+        return DecodedValue(
+            code=code,
+            value=float(signed),
+            sign=1 if signed < 0 else 0,
+            effective_exponent=abs(signed).bit_length() - 1,
+            fraction_field=0,
+            fraction_bits=0,
+        )
+
+
+#: The paper's INT8 baseline format.
+INT8 = IntFormat(8)

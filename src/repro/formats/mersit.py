@@ -1,0 +1,161 @@
+"""MERSIT(N,E): the paper's contribution (Fig. 3, Table 1).
+
+A MERSIT word is ``[sign | ks | EC_0 | EC_1 | ... | EC_{G-1}]`` where each
+*exponent candidate* (EC) is an ``es``-bit group and ``G = (N-2)/es``.
+
+Decoding (paper Section 3.1):
+
+* Every EC is AND-reduced; the first EC (MSB side) whose AND is 0 — i.e.
+  the first EC containing a zero bit — is designated the exponent.  Its
+  group index ``g`` determines the regime ``k``:
+
+  ``k = g`` if ``ks = 1`` (non-negative regime), else ``k = -(g+1)``.
+
+* The exponent value ``exp`` is the EC's own bits (0 .. 2^es - 2; the
+  all-ones pattern cannot be the exponent by construction).
+
+* The ECs *after* the exponent hold the fraction, so the fraction width is
+  ``(G - 1 - g) * es`` bits: precision shrinks as ``|k|`` grows, exactly as
+  in Posit.
+
+* If no EC contains a zero (all-ones magnitude): ``ks = 0`` encodes zero,
+  ``ks = 1`` encodes +/-inf (Table 1's last rows).
+
+The represented value merges regime and exponent:
+
+    value = (-1)^sign * 2^((2^es - 1) * k) * 2^exp * (1 + .frac)
+
+Because ``exp`` ranges over ``0 .. 2^es-2`` and the regime step is
+``2^es - 1``, consecutive (k, exp) pairs tile a contiguous effective
+exponent range — MERSIT(8,2) covers -9 .. 8 (Table 1), giving the Fig. 2
+dynamic range ``2^-9 ... 2^8``.
+"""
+
+from __future__ import annotations
+
+from .base import CodebookFormat, DecodedValue, ValueClass
+
+__all__ = ["MersitFormat", "MERSIT8_2", "MERSIT8_3"]
+
+
+class MersitFormat(CodebookFormat):
+    """MERSIT with ``nbits`` total bits and ``es``-bit exponent candidates."""
+
+    def __init__(self, nbits: int = 8, es: int = 2):
+        if nbits < 4:
+            raise ValueError("MersitFormat needs at least 4 bits")
+        if es < 1:
+            raise ValueError("es must be >= 1")
+        if (nbits - 2) % es != 0:
+            raise ValueError(
+                f"MERSIT({nbits},{es}) is ill-formed: nbits-2 = {nbits - 2} "
+                f"must be divisible by es = {es}"
+            )
+        self.nbits = nbits
+        self.es = es
+        self.ngroups = (nbits - 2) // es
+        self.regime_step = (1 << es) - 1  # the (2^es - 1) factor
+        self.name = f"MERSIT({nbits},{es})"
+
+    # ------------------------------------------------------------------
+    def split_groups(self, magnitude: int) -> list[int]:
+        """Split the ``nbits-2`` magnitude bits into MSB-first ECs."""
+        groups = []
+        width = self.nbits - 2
+        for g in range(self.ngroups):
+            shift = width - (g + 1) * self.es
+            groups.append((magnitude >> shift) & self.regime_step)
+        return groups
+
+    def decode(self, code: int) -> DecodedValue:
+        if not 0 <= code < self.ncodes:
+            raise ValueError(f"code {code} out of range for {self.name}")
+        sign = (code >> (self.nbits - 1)) & 1
+        ks = (code >> (self.nbits - 2)) & 1
+        magnitude = code & ((1 << (self.nbits - 2)) - 1)
+        groups = self.split_groups(magnitude)
+
+        all_ones = self.regime_step
+        g = next((i for i, ec in enumerate(groups) if ec != all_ones), None)
+        if g is None:
+            # no EC contains a zero: zero (ks=0) or +/-inf (ks=1)
+            if ks == 0:
+                return DecodedValue(code=code, value=-0.0 if sign else 0.0,
+                                    value_class=ValueClass.ZERO, sign=sign)
+            value = float("-inf") if sign else float("inf")
+            return DecodedValue(code=code, value=value,
+                                value_class=ValueClass.INF, sign=sign)
+
+        k = g if ks else -(g + 1)
+        exp = groups[g]
+        fbits = (self.ngroups - 1 - g) * self.es
+        frac = magnitude & ((1 << fbits) - 1) if fbits else 0
+        eff_exp = self.regime_step * k + exp
+        value = (1.0 + (frac / (1 << fbits) if fbits else 0.0)) * 2.0 ** eff_exp
+        if sign:
+            value = -value
+        return DecodedValue(
+            code=code, value=value, sign=sign,
+            effective_exponent=eff_exp,
+            fraction_field=frac,
+            fraction_bits=fbits,
+            regime=k,
+        )
+
+    # ------------------------------------------------------------------
+    def decode_table(self) -> list[dict]:
+        """Rows of the paper's Table 1: one entry per magnitude pattern class.
+
+        Returns a list of dicts with keys ``pattern`` (the ks+EC bits with
+        fraction positions shown as ``x``), ``k``, ``exp``, ``eff_exp``
+        (``(2^es-1)*k + exp``; the strings ``"zero"``/``"inf"`` for the
+        special rows) and ``fraction_bits``.
+        """
+        rows = []
+        seen: set[str] = set()
+        for code in range(self.ncodes // 2):  # sign = 0 is enough
+            d = self.decode(code)
+            ks = (code >> (self.nbits - 2)) & 1
+            magnitude = code & ((1 << (self.nbits - 2)) - 1)
+            if d.value_class == ValueClass.ZERO and magnitude != (1 << (self.nbits - 2)) - 1:
+                continue  # only the canonical all-ones zero pattern
+            width = self.nbits - 2
+            bits = format((ks << width) | magnitude, f"0{width + 1}b")
+            if d.is_finite and d.fraction_bits:
+                bits = bits[: len(bits) - d.fraction_bits] + "x" * d.fraction_bits
+            if bits in seen:
+                continue
+            seen.add(bits)
+            if d.value_class == ValueClass.ZERO:
+                rows.append({"pattern": bits, "k": None, "exp": None,
+                             "eff_exp": "zero", "fraction_bits": 0})
+            elif d.value_class == ValueClass.INF:
+                rows.append({"pattern": bits, "k": None, "exp": None,
+                             "eff_exp": "inf", "fraction_bits": 0})
+            else:
+                exp = d.effective_exponent - self.regime_step * d.regime
+                rows.append({"pattern": bits, "k": d.regime, "exp": exp,
+                             "eff_exp": d.effective_exponent,
+                             "fraction_bits": d.fraction_bits})
+        rows.sort(key=_table_order)
+        return rows
+
+    @property
+    def quantization_gain(self) -> float:
+        """Tapered format: scale the tensor max to 1.0 (see CodebookFormat)."""
+        return 1.0
+
+
+def _table_order(row: dict) -> tuple:
+    """Sort rows in Table 1's order: zero first, ascending eff exp, inf last."""
+    e = row["eff_exp"]
+    if e == "zero":
+        return (0, 0)
+    if e == "inf":
+        return (2, 0)
+    return (1, e)
+
+
+#: The two MERSIT configurations evaluated in the paper.
+MERSIT8_2 = MersitFormat(8, 2)
+MERSIT8_3 = MersitFormat(8, 3)

@@ -1,0 +1,108 @@
+"""Posit(N,es) (Gustafson & Yonemoto 2017), paper Fig. 1b.
+
+Standard posit semantics: two's-complement encoding, a unary regime run
+terminated by the opposite bit, ``es`` exponent bits, and the remaining
+bits as fraction.  ``value = (-1)^s * useed^k * 2^e * (1 + f)`` with
+``useed = 2^(2^es)``.
+
+Paper variant
+-------------
+The paper treats the extreme-magnitude codes as infinities, mirroring its
+MERSIT design where the all-ones magnitude is +/-inf (Table 1): with
+``inf_maxpos=True`` (the default, and the configuration used throughout the
+paper) the codes for +/-maxpos decode to +/-inf, so the *finite* dynamic
+range of Posit(8,1) is ``2^-12 ... 2^10`` — matching the Fig. 2 table
+(``W = 2*(12+10)+1 = 45``).  Set ``inf_maxpos=False`` for the standard
+posit, where ``0x80`` is NaR and maxpos is finite.
+"""
+
+from __future__ import annotations
+
+from .base import CodebookFormat, DecodedValue, ValueClass
+
+__all__ = ["PositFormat", "POSIT8_0", "POSIT8_1", "POSIT8_2", "POSIT8_3"]
+
+
+class PositFormat(CodebookFormat):
+    """Posit with ``nbits`` total bits and ``es`` exponent bits."""
+
+    def __init__(self, nbits: int = 8, es: int = 1, inf_maxpos: bool = True):
+        if nbits < 3:
+            raise ValueError("PositFormat needs at least 3 bits")
+        if es < 0:
+            raise ValueError("es must be non-negative")
+        self.nbits = nbits
+        self.es = es
+        self.useed_log2 = 1 << es  # log2(useed) = 2^es
+        self.inf_maxpos = inf_maxpos
+        self.name = f"Posit({nbits},{es})"
+        if not inf_maxpos:
+            self.name += "std"
+
+    # ------------------------------------------------------------------
+    def decode(self, code: int) -> DecodedValue:
+        if not 0 <= code < self.ncodes:
+            raise ValueError(f"code {code} out of range for {self.name}")
+        n = self.nbits
+        if code == 0:
+            return DecodedValue(code=code, value=0.0, value_class=ValueClass.ZERO)
+        if code == 1 << (n - 1):
+            # 0x80: NaR in the standard; the paper folds it with the inf pole.
+            cls = ValueClass.INF if self.inf_maxpos else ValueClass.NAN
+            value = float("-inf") if self.inf_maxpos else float("nan")
+            return DecodedValue(code=code, value=value, value_class=cls, sign=1)
+
+        sign = (code >> (n - 1)) & 1
+        mag = code if sign == 0 else ((-code) & (self.ncodes - 1))
+
+        if self.inf_maxpos and mag == self.ncodes // 2 - 1:
+            # +/-maxpos codes (0x7F / 0x81 for N=8) are the paper's +/-inf.
+            value = float("-inf") if sign else float("inf")
+            return DecodedValue(code=code, value=value, value_class=ValueClass.INF, sign=sign)
+
+        # regime: run of identical bits after the sign bit
+        body = mag & ((1 << (n - 1)) - 1)  # n-1 bits below the sign
+        bits = [(body >> i) & 1 for i in range(n - 2, -1, -1)]
+        lead = bits[0]
+        run = 1
+        while run < len(bits) and bits[run] == lead:
+            run += 1
+        k = (run - 1) if lead == 1 else -run
+
+        # bits after the terminating (opposite) bit: exponent then fraction
+        rest = bits[run + 1:] if run < len(bits) else []
+        ebits = rest[: self.es]
+        exp = 0
+        for b in ebits:
+            exp = (exp << 1) | b
+        # a truncated exponent field is padded with zeros on the right
+        exp <<= self.es - len(ebits)
+        fbits_list = rest[self.es:]
+        frac = 0
+        for b in fbits_list:
+            frac = (frac << 1) | b
+        fbits = len(fbits_list)
+
+        eff_exp = self.useed_log2 * k + exp
+        value = (1.0 + (frac / (1 << fbits) if fbits else 0.0)) * 2.0 ** eff_exp
+        if sign:
+            value = -value
+        return DecodedValue(
+            code=code, value=value, sign=sign,
+            effective_exponent=eff_exp,
+            fraction_field=frac,
+            fraction_bits=fbits,
+            regime=k,
+        )
+
+    @property
+    def quantization_gain(self) -> float:
+        """Tapered format: scale the tensor max to 1.0 (see CodebookFormat)."""
+        return 1.0
+
+
+#: The four Posit8 configurations evaluated in the paper.
+POSIT8_0 = PositFormat(8, 0)
+POSIT8_1 = PositFormat(8, 1)
+POSIT8_2 = PositFormat(8, 2)
+POSIT8_3 = PositFormat(8, 3)

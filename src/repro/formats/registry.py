@@ -1,0 +1,67 @@
+"""Name-based lookup of the formats evaluated in the paper.
+
+The experiment drivers and benchmarks refer to formats by the paper's
+spelling — ``"INT8"``, ``"FP(8,4)"``, ``"Posit(8,1)"``, ``"MERSIT(8,2)"`` —
+and this module resolves those names (case-insensitively, with or without
+punctuation) to singleton format objects.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .base import CodebookFormat
+from .fp8 import FloatFormat
+from .int8 import IntFormat
+from .mersit import MersitFormat
+from .posit import PositFormat
+
+__all__ = ["get_format", "available_formats", "PAPER_FORMATS", "TABLE2_FORMATS"]
+
+_CACHE: dict[str, CodebookFormat] = {}
+
+_PATTERNS = [
+    (re.compile(r"^int(\d+)$"), lambda m: IntFormat(int(m.group(1)))),
+    (re.compile(r"^fp\((\d+),(\d+)\)$"), lambda m: FloatFormat(int(m.group(1)), int(m.group(2)))),
+    (re.compile(r"^fp(\d+)e(\d+)$"), lambda m: FloatFormat(int(m.group(1)), int(m.group(2)))),
+    (re.compile(r"^posit\((\d+),(\d+)\)$"), lambda m: PositFormat(int(m.group(1)), int(m.group(2)))),
+    (re.compile(r"^posit(\d+)_(\d+)$"), lambda m: PositFormat(int(m.group(1)), int(m.group(2)))),
+    (re.compile(r"^mersit\((\d+),(\d+)\)$"), lambda m: MersitFormat(int(m.group(1)), int(m.group(2)))),
+    (re.compile(r"^mersit(\d+)_(\d+)$"), lambda m: MersitFormat(int(m.group(1)), int(m.group(2)))),
+]
+
+
+def get_format(name: str) -> CodebookFormat:
+    """Resolve a format name like ``"MERSIT(8,2)"`` to a (cached) format.
+
+    Accepted spellings per family (case-insensitive, spaces ignored):
+    ``INT8``; ``FP(8,4)`` / ``fp8e4``; ``Posit(8,1)`` / ``posit8_1``;
+    ``MERSIT(8,2)`` / ``mersit8_2``.
+    """
+    key = name.strip().lower().replace(" ", "")
+    if key in _CACHE:
+        return _CACHE[key]
+    for pattern, factory in _PATTERNS:
+        m = pattern.match(key)
+        if m:
+            fmt = factory(m)
+            _CACHE[key] = fmt
+            return fmt
+    raise KeyError(f"unknown format name: {name!r}")
+
+
+#: Every 8-bit format column of the paper's Table 2 (quantized columns only).
+TABLE2_FORMATS = (
+    "INT8",
+    "FP(8,2)", "FP(8,3)", "FP(8,4)", "FP(8,5)",
+    "Posit(8,0)", "Posit(8,1)", "Posit(8,2)", "Posit(8,3)",
+    "MERSIT(8,2)", "MERSIT(8,3)",
+)
+
+#: The three head-to-head formats of the hardware study (Fig. 7, Table 3).
+PAPER_FORMATS = ("FP(8,4)", "Posit(8,1)", "MERSIT(8,2)")
+
+
+def available_formats() -> list[str]:
+    """Names of the paper's evaluated formats, in Table 2 column order."""
+    return list(TABLE2_FORMATS)

@@ -1,0 +1,29 @@
+"""Gate-level hardware cost model: cells, netlists, decoders, MAC units."""
+
+from .array import LayerMapping, PEArrayModel
+from .cells import CELLS, Cell, cell
+from .decoders import (
+    DecoderPins, build_fp8_decoder, build_mersit_decoder, build_posit_decoder,
+    decoder_for_format,
+)
+from .encoders import MersitEncoder, build_mersit_encoder
+from .mac import MAC_GROUPS, MULTIPLIER_GROUPS, MacUnit
+from .netlist import AreaReport, Bus, Circuit, PowerReport
+from .report import (
+    MacCostRow, MultiplierBreakdown, dnn_operand_stream, headline_deltas,
+    mac_cost, multiplier_breakdown,
+)
+from . import arith_variants
+
+__all__ = [
+    "Cell", "CELLS", "cell",
+    "Circuit", "Bus", "AreaReport", "PowerReport",
+    "DecoderPins", "build_fp8_decoder", "build_posit_decoder",
+    "build_mersit_decoder", "decoder_for_format",
+    "MersitEncoder", "build_mersit_encoder",
+    "MacUnit", "MAC_GROUPS", "MULTIPLIER_GROUPS",
+    "PEArrayModel", "LayerMapping",
+    "MacCostRow", "MultiplierBreakdown", "mac_cost", "multiplier_breakdown",
+    "dnn_operand_stream", "headline_deltas",
+    "arith_variants",
+]

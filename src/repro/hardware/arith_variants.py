@@ -1,0 +1,94 @@
+"""Alternative arithmetic implementations: carry-lookahead and Wallace tree.
+
+The paper synthesises at a relaxed 100 MHz precisely so the comparison is
+about logic volume, not architecture selection — its MAC uses the plain
+ripple/array structures of :mod:`repro.hardware.components`.  These
+variants exist for the timing-oriented ablation: a carry-lookahead adder
+and Wallace-tree multiplier trade area for critical path, letting users
+reproduce the classic area/delay curve on this cell library.
+
+All variants are functionally exhaustively equivalent to the plain
+structures (see ``tests/test_hardware_arith_variants.py``).
+"""
+
+from __future__ import annotations
+
+from .components import full_adder
+from .netlist import Bus, Circuit, Net
+
+__all__ = ["carry_lookahead_adder", "wallace_multiplier", "carry_save_reduce"]
+
+
+def carry_lookahead_adder(c: Circuit, a: Bus, b: Bus,
+                          cin: Net | None = None) -> tuple[Bus, Net]:
+    """Flat carry-lookahead adder (single-level P/G network).
+
+    ``c_{i+1} = g_i | (p_i & c_i)`` unrolled into an AND-OR tree per carry:
+    O(n^2) gates, O(log n) depth — the area/delay opposite of the ripple
+    adder.
+    """
+    if len(a) != len(b):
+        raise ValueError("width mismatch")
+    n = len(a)
+    carry0 = cin if cin is not None else c.ZERO
+    p = [c.xor2(x, y) for x, y in zip(a, b)]
+    g = [c.and2(x, y) for x, y in zip(a, b)]
+
+    carries = [carry0]
+    for i in range(n):
+        # c_{i+1} = g_i | p_i g_{i-1} | ... | p_i..p_0 c_0
+        terms = [g[i]]
+        prefix = None
+        for j in range(i, -1, -1):
+            prefix = p[j] if prefix is None else c.and2(prefix, p[j])
+            src = g[j - 1] if j > 0 else carry0
+            terms.append(c.and2(prefix, src))
+        carries.append(c.or_tree(terms))
+    s = Bus(c.xor2(p[i], carries[i]) for i in range(n))
+    return s, carries[n]
+
+
+def carry_save_reduce(c: Circuit, rows: list[Bus], width: int) -> tuple[Bus, Bus]:
+    """Wallace-style 3:2 carry-save reduction of addend rows.
+
+    Rows are little-endian buses already aligned to bit 0 of the result;
+    reduction proceeds until two rows remain, which the caller adds.
+    """
+    cols: list[list[Net]] = [[] for _ in range(width)]
+    for row in rows:
+        for i, bit in enumerate(row):
+            if i < width:
+                cols[i].append(bit)
+    while max(len(col) for col in cols) > 2:
+        nxt: list[list[Net]] = [[] for _ in range(width + 1)]
+        for i, col in enumerate(cols):
+            j = 0
+            while len(col) - j >= 3:
+                s, cy = full_adder(c, col[j], col[j + 1], col[j + 2])
+                nxt[i].append(s)
+                nxt[i + 1].append(cy)
+                j += 3
+            if len(col) - j == 2:
+                s = c.xor2(col[j], col[j + 1])
+                cy = c.and2(col[j], col[j + 1])
+                nxt[i].append(s)
+                nxt[i + 1].append(cy)
+                j += 2
+            nxt[i].extend(col[j:])
+        cols = nxt[:width]
+    out_a = Bus(col[0] if len(col) > 0 else c.ZERO for col in cols)
+    out_b = Bus(col[1] if len(col) > 1 else c.ZERO for col in cols)
+    return out_a, out_b
+
+
+def wallace_multiplier(c: Circuit, a: Bus, b: Bus) -> Bus:
+    """Unsigned Wallace-tree multiplier: CSA reduction + one CLA."""
+    n, m = len(a), len(b)
+    width = n + m
+    rows = []
+    for j, bj in enumerate(b):
+        row = Bus([c.ZERO] * j + [c.and2(ai, bj) for ai in a])
+        rows.append(row)
+    sa, sb = carry_save_reduce(c, rows, width)
+    out, _ = carry_lookahead_adder(c, sa, sb)
+    return Bus(out[:width])

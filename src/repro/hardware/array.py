@@ -1,0 +1,123 @@
+"""Accelerator-level roll-up: a PE array of format-specific MAC units.
+
+The paper's conclusion frames MERSIT as enabling "deep learning
+acceleration"; this module scales the measured per-MAC costs up to a
+weight-stationary PE array so format-level savings can be read at
+accelerator scale:
+
+* each PE = one MAC unit + an 8-bit weight register + an 8-bit operand
+  pipeline register,
+* each column ends in one output encoder (fixed point -> format code),
+* utilisation and cycle counts for conv/linear layer shapes follow the
+  standard weight-stationary mapping (output channels on columns,
+  reduction on rows).
+
+The roll-up composes *measured* netlist numbers — it does not build the
+multi-million-gate array netlist, matching how accelerator papers report
+array-level area/energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..formats.base import CodebookFormat
+from ..formats.mersit import MersitFormat
+from .cells import cell
+from .mac import MacUnit
+
+__all__ = ["PEArrayModel", "LayerMapping"]
+
+
+@dataclass(frozen=True)
+class LayerMapping:
+    """Mapping report for one layer on the array."""
+
+    layer: str
+    macs: int                # multiply-accumulates in the layer
+    cycles: int              # array cycles under the mapping
+    utilization: float       # fraction of PEs doing useful work
+    energy_uj: float         # dynamic+leakage energy for the layer
+
+
+class PEArrayModel:
+    """Cost model of a rows x cols weight-stationary array for one format."""
+
+    def __init__(self, fmt: CodebookFormat, rows: int = 16, cols: int = 16,
+                 clock_mhz: float = 100.0, overflow_margin: int = 14):
+        self.fmt = fmt
+        self.rows = rows
+        self.cols = cols
+        self.clock_mhz = clock_mhz
+        self.mac = MacUnit(fmt, overflow_margin=overflow_margin)
+        dff = cell("DFF")
+        # per-PE registers: weight (nbits) + operand pipeline (nbits)
+        self._reg_area_per_pe = 2 * fmt.nbits * dff.area
+        self._reg_leak_per_pe = 2 * fmt.nbits * dff.leakage  # nW
+        if isinstance(fmt, MersitFormat):
+            from .encoders import MersitEncoder
+            self._encoder_area = MersitEncoder(fmt).area().total
+        else:
+            # other formats get an encoder of comparable structure; use the
+            # MAC decoder area doubled as a conservative placeholder until a
+            # dedicated netlist exists for them.
+            self._encoder_area = 2 * self.mac.area().by_group["decoder"]
+
+    # ------------------------------------------------------------------
+    @property
+    def num_pes(self) -> int:
+        return self.rows * self.cols
+
+    def area_um2(self) -> float:
+        """Total array area: PEs + registers + column encoders."""
+        per_pe = self.mac.area().total + self._reg_area_per_pe
+        return per_pe * self.num_pes + self._encoder_area * self.cols
+
+    def power_uw(self, w_codes: np.ndarray, a_codes: np.ndarray) -> float:
+        """Array power while streaming a representative operand trace."""
+        mac_power = self.mac.power(w_codes, a_codes, clock_mhz=self.clock_mhz)
+        # registers: data activity ~ operand toggle rate, clock always on
+        reg_uw_per_pe = self._reg_leak_per_pe * 1e-3 + \
+            2 * self.fmt.nbits * cell("DFF").energy * self.clock_mhz * 1e6 * 0.5 * 1e-9
+        return (mac_power.total + reg_uw_per_pe) * self.num_pes
+
+    # ------------------------------------------------------------------
+    def map_conv(self, name: str, c_in: int, c_out: int, k: int,
+                 oh: int, ow: int, w_codes: np.ndarray,
+                 a_codes: np.ndarray) -> LayerMapping:
+        """Weight-stationary mapping of a conv layer onto the array.
+
+        Columns carry output channels, rows carry the c_in*k*k reduction;
+        both are tiled when they exceed the array dimensions.
+        """
+        reduction = c_in * k * k
+        row_tiles = -(-reduction // self.rows)
+        col_tiles = -(-c_out // self.cols)
+        spatial = oh * ow
+        cycles = row_tiles * col_tiles * spatial
+        macs = reduction * c_out * spatial
+        utilization = macs / (cycles * self.num_pes)
+        power = self.power_uw(w_codes, a_codes)  # uW at full activity
+        seconds = cycles / (self.clock_mhz * 1e6)
+        energy_uj = power * utilization * seconds * 1e-6 * 1e6  # uW*s -> uJ
+        return LayerMapping(layer=name, macs=macs, cycles=cycles,
+                            utilization=utilization, energy_uj=energy_uj)
+
+    def map_linear(self, name: str, in_features: int, out_features: int,
+                   w_codes: np.ndarray, a_codes: np.ndarray) -> LayerMapping:
+        """A linear layer is a 1x1 conv with unit spatial extent."""
+        return self.map_conv(name, in_features, out_features, 1, 1, 1,
+                             w_codes, a_codes)
+
+    def summary(self) -> dict:
+        return {
+            "format": self.fmt.name,
+            "rows": self.rows,
+            "cols": self.cols,
+            "area_um2": self.area_um2(),
+            "mac_area_um2": self.mac.area().total,
+            "encoder_area_um2": self._encoder_area,
+            "acc_width": self.mac.acc_width,
+        }

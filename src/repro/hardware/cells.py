@@ -1,0 +1,80 @@
+"""Standard-cell library: a 45 nm-class characterisation.
+
+The paper synthesises with Synopsys DC on a commercial 45 nm library at
+100 MHz, chosen deliberately slack so that the comparison measures *logic
+overhead* rather than timing closure (paper Section 4.1).  Under that
+regime, area is the sum of cell areas and dynamic power is dominated by
+switching activity — both of which a gate-level netlist reproduces.
+
+Cell areas follow the NanGate 45 nm Open Cell Library X1 drive strengths;
+per-toggle switching energies and leakage are scaled to the same process
+class.  Absolute numbers therefore differ from the paper's commercial
+library by a roughly constant factor; the area/power *ratios* between the
+FP8/Posit/MERSIT units are library-independent (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Cell", "CELLS", "cell"]
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One combinational cell type.
+
+    Attributes
+    ----------
+    name:
+        Library name, e.g. ``"NAND2"``.
+    inputs:
+        Number of input pins.
+    area:
+        Cell area in um^2 (NanGate45 X1).
+    energy:
+        Internal + output switching energy per *output toggle*, in fJ.
+    leakage:
+        Static leakage power in nW.
+    delay:
+        Typical propagation delay in ns (X1 drive, nominal load).
+    """
+
+    name: str
+    inputs: int
+    area: float
+    energy: float
+    leakage: float
+    delay: float = 0.03
+
+
+# NanGate 45nm OCL X1 footprints; energies in fJ/toggle, leakage in nW.
+_LIBRARY = [
+    Cell("INV", 1, 0.532, 0.30, 1.5, 0.013),
+    Cell("BUF", 1, 0.798, 0.35, 1.7, 0.03),
+    Cell("NAND2", 2, 0.798, 0.45, 2.0, 0.02),
+    Cell("NOR2", 2, 0.798, 0.45, 2.0, 0.022),
+    Cell("AND2", 2, 1.064, 0.55, 2.4, 0.033),
+    Cell("OR2", 2, 1.064, 0.55, 2.4, 0.035),
+    Cell("NAND3", 3, 1.064, 0.60, 2.8, 0.028),
+    Cell("NOR3", 3, 1.064, 0.60, 2.8, 0.032),
+    Cell("AND3", 3, 1.330, 0.70, 3.0, 0.042),
+    Cell("OR3", 3, 1.330, 0.70, 3.0, 0.044),
+    Cell("XOR2", 2, 1.596, 0.95, 3.5, 0.048),
+    Cell("XNOR2", 2, 1.596, 0.95, 3.5, 0.048),
+    Cell("MUX2", 3, 1.862, 1.00, 3.8, 0.052),   # inputs: a, b, sel
+    Cell("AOI21", 3, 1.064, 0.65, 2.6, 0.03),  # ~(a&b | c)
+    Cell("OAI21", 3, 1.064, 0.65, 2.6, 0.03),  # ~((a|b) & c)
+    Cell("DFF", 1, 4.522, 1.80, 9.0, 0.09),    # sequential: input d, output q
+    Cell("TIE", 0, 0.0, 0.0, 0.0, 0.0),       # constant 0/1 driver (free)
+]
+
+CELLS: dict[str, Cell] = {c.name: c for c in _LIBRARY}
+
+
+def cell(name: str) -> Cell:
+    """Look up a cell by name, raising a clear error for unknown cells."""
+    try:
+        return CELLS[name]
+    except KeyError:
+        raise KeyError(f"unknown cell {name!r}; known: {sorted(CELLS)}") from None

@@ -1,0 +1,153 @@
+"""Arithmetic building blocks over :class:`~repro.hardware.netlist.Circuit`.
+
+Adders, shifters, multipliers, leading-zero detection and priority
+encoding — the "widely used circuits" of the paper's MAC scheme (Fig. 2),
+all parameterised in width.  Every builder takes the circuit and
+little-endian input buses and returns little-endian output buses.
+"""
+
+from __future__ import annotations
+
+from .netlist import Bus, Circuit, Net
+
+__all__ = [
+    "full_adder", "ripple_adder", "ripple_addsub", "twos_complement_negate",
+    "sign_extend", "array_multiplier", "barrel_shifter_left",
+    "priority_encoder_first_one", "equals_const", "mux_bus", "incrementer",
+]
+
+
+def full_adder(c: Circuit, a: Net, b: Net, cin: Net) -> tuple[Net, Net]:
+    """(sum, carry) via two XORs and an AOI-style majority."""
+    axb = c.xor2(a, b)
+    s = c.xor2(axb, cin)
+    # carry = (a & b) | (cin & (a ^ b))
+    t1 = c.and2(a, b)
+    t2 = c.and2(cin, axb)
+    cout = c.or2(t1, t2)
+    return s, cout
+
+
+def ripple_adder(c: Circuit, a: Bus, b: Bus, cin: Net | None = None) -> tuple[Bus, Net]:
+    """n-bit ripple-carry adder; returns (sum bus, carry out)."""
+    if len(a) != len(b):
+        raise ValueError(f"width mismatch: {len(a)} vs {len(b)}")
+    carry = cin if cin is not None else c.ZERO
+    out = Bus()
+    for ai, bi in zip(a, b):
+        s, carry = full_adder(c, ai, bi, carry)
+        out.append(s)
+    return out, carry
+
+
+def ripple_addsub(c: Circuit, a: Bus, b: Bus, subtract: Net) -> tuple[Bus, Net]:
+    """a + b or a - b (two's complement) selected by ``subtract``."""
+    b_x = Bus(c.xor2(bi, subtract) for bi in b)
+    return ripple_adder(c, a, b_x, cin=subtract)
+
+
+def twos_complement_negate(c: Circuit, a: Bus) -> Bus:
+    """-a in two's complement: invert and increment."""
+    inv = Bus(c.inv(ai) for ai in a)
+    return incrementer(c, inv)
+
+
+def incrementer(c: Circuit, a: Bus) -> Bus:
+    """a + 1 with a half-adder chain."""
+    out = Bus()
+    carry = c.ONE
+    for ai in a:
+        out.append(c.xor2(ai, carry))
+        carry = c.and2(ai, carry)
+    return out
+
+
+def sign_extend(c: Circuit, a: Bus, width: int) -> Bus:
+    """Two's complement sign extension to ``width`` bits."""
+    if width < len(a):
+        raise ValueError("cannot sign-extend to a narrower bus")
+    return Bus(list(a) + [a[-1]] * (width - len(a)))
+
+
+def zero_extend(a: Bus, width: int, c: Circuit) -> Bus:
+    if width < len(a):
+        raise ValueError("cannot zero-extend to a narrower bus")
+    return Bus(list(a) + [c.ZERO] * (width - len(a)))
+
+
+def array_multiplier(c: Circuit, a: Bus, b: Bus) -> Bus:
+    """Unsigned array multiplier: AND partial products + ripple rows."""
+    n, m = len(a), len(b)
+    # partial product rows
+    rows = [[c.and2(ai, bj) for ai in a] for bj in b]
+    acc = Bus(rows[0])
+    result = Bus([acc[0]])
+    acc = Bus(acc[1:])
+    for j in range(1, m):
+        row = Bus(rows[j])
+        padded_acc = Bus(list(acc) + [c.ZERO] * (len(row) - len(acc)))
+        summed, carry = ripple_adder(c, padded_acc, row)
+        result.append(summed[0])
+        acc = Bus(list(summed[1:]) + [carry])
+    result.extend(acc)
+    if len(result) != n + m:
+        raise AssertionError("multiplier width bookkeeping error")
+    return result
+
+
+def barrel_shifter_left(c: Circuit, a: Bus, shamt: Bus, max_shift: int | None = None) -> Bus:
+    """Logical left shift of ``a`` by the unsigned ``shamt`` bus.
+
+    Log-depth mux stages; bits shifted past the top are dropped and zeros
+    enter at the bottom.  ``max_shift`` caps the honoured shift distance
+    (higher shamt bits are still applied unless the bus is truncated by
+    the caller).
+    """
+    bits = Bus(a)
+    for stage, sel in enumerate(shamt):
+        dist = 1 << stage
+        if max_shift is not None and dist > max_shift:
+            break
+        shifted = Bus([c.ZERO] * min(dist, len(bits)) +
+                      list(bits[: max(0, len(bits) - dist)]))
+        bits = Bus(c.mux2(orig, shift_bit, sel)
+                   for orig, shift_bit in zip(bits, shifted))
+    return bits
+
+
+def priority_encoder_first_one(c: Circuit, bits: list[Net]) -> tuple[Bus, Net]:
+    """Index of the first 1 in ``bits`` (position 0 scanned first).
+
+    Returns (index bus of ceil(log2(n)) bits, valid flag).  The index is 0
+    when no bit is set (valid = 0).
+    """
+    n = len(bits)
+    if n == 0:
+        raise ValueError("empty priority encoder")
+    width = max(1, (n - 1).bit_length())
+    # one-hot: first_i = bits[i] & ~bits[j<i]
+    none_before = c.ONE
+    onehot: list[Net] = []
+    for i, b in enumerate(bits):
+        onehot.append(c.and2(b, none_before) if i else b)
+        if i < n - 1:
+            none_before = c.and2(none_before, c.inv(b))
+    valid = c.or_tree(list(onehot))
+    index = Bus()
+    for k in range(width):
+        contributors = [oh for i, oh in enumerate(onehot) if (i >> k) & 1]
+        index.append(c.or_tree(contributors) if contributors else c.ZERO)
+    return index, valid
+
+
+def equals_const(c: Circuit, a: Bus, const: int) -> Net:
+    """Single net that is 1 iff bus ``a`` equals the constant."""
+    terms = [ai if (const >> i) & 1 else c.inv(ai) for i, ai in enumerate(a)]
+    return c.and_tree(terms)
+
+
+def mux_bus(c: Circuit, a: Bus, b: Bus, sel: Net) -> Bus:
+    """Per-bit 2:1 mux over equal-width buses: ``sel ? b : a``."""
+    if len(a) != len(b):
+        raise ValueError("mux_bus width mismatch")
+    return Bus(c.mux2(x, y, sel) for x, y in zip(a, b))

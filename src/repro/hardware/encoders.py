@@ -1,0 +1,271 @@
+"""Gate-level MERSIT encoder: fixed point -> MERSIT code.
+
+The paper's MAC accumulates in Kulisch fixed point; a complete
+accelerator must re-encode the accumulator (or a post-scaled copy of it)
+into the 8-bit format before it becomes the next layer's operand.  The
+decoder side is the paper's contribution (Fig. 5); this module provides
+the matching *encoder*, built from the same grouped-regime structure:
+
+1. a leading-one detector over the fixed-point magnitude (binade find),
+2. a normalising barrel shifter,
+3. per-regime-band rounding (round half up) of the tapered fraction,
+   with carry into the exponent,
+4. the regime/exponent composer: ``g`` all-ones ECs, the exponent EC,
+   then the fraction — the exact inverse of Table 1,
+5. saturation at the finite extremes and underflow to the zero code.
+
+``encode_reference`` implements the same semantics in plain python and
+the netlist is verified against it exhaustively in the tests; a property
+test additionally checks every emitted code is a nearest-value code.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..formats.mersit import MersitFormat
+from .components import (
+    barrel_shifter_left, incrementer, mux_bus,
+    priority_encoder_first_one, ripple_adder,
+)
+from .netlist import Bus, Circuit, Net
+
+__all__ = ["build_mersit_encoder", "encode_reference", "MersitEncoder"]
+
+
+def _const_bus(c: Circuit, value: int, width: int) -> Bus:
+    return Bus(c.ONE if (value >> i) & 1 else c.ZERO for i in range(width))
+
+
+def build_mersit_encoder(c: Circuit, sign: Net, mag: Bus, fmt: MersitFormat,
+                         lsb_exp: int, group: str = "encoder") -> Bus:
+    """Encode an unsigned fixed-point magnitude into a MERSIT code.
+
+    Parameters
+    ----------
+    sign:
+        Sign net of the value (0 positive).
+    mag:
+        Little-endian unsigned magnitude bus; bit i weighs ``2^(lsb_exp+i)``.
+    fmt:
+        Target MERSIT format.
+    lsb_exp:
+        Binade of the magnitude LSB.
+
+    Returns the ``fmt.nbits``-wide code bus (little-endian).
+    """
+    n, es, g_count = fmt.nbits, fmt.es, fmt.ngroups
+    step = fmt.regime_step
+    mag_w_fmt = n - 2
+    width = len(mag)
+    e_min = -step * g_count
+    e_max = step * g_count - 1
+    max_frac = fmt.max_fraction_bits()
+
+    with c.group(group):
+        # 1. leading one: index from the MSB side
+        lz_idx, any_one = priority_encoder_first_one(c, list(reversed(mag)))
+
+        # 2. normalise: shift the leading one to the top bit
+        norm = barrel_shifter_left(c, mag, lz_idx)
+        # significand bits below the leading one, MSB-first
+        sig_msb = [norm[width - 2 - i] if width - 2 - i >= 0 else c.ZERO
+                   for i in range(max_frac + 1)]  # +1 round bit
+
+        # binade e = lsb_exp + width - 1 - lz; compute e - e_min >= 0
+        ew = max((e_max - e_min + 2).bit_length(),
+                 (width + 1).bit_length()) + 1
+        base = (lsb_exp + width - 1 - e_min) % (1 << ew)
+        lz_ext = Bus(list(lz_idx) + [c.ZERO] * (ew - len(lz_idx)))
+        neg_lz = Bus(c.inv(b) for b in lz_ext)
+        e_rel, _ = ripple_adder(c, _const_bus(c, (base - 0) % (1 << ew), ew),
+                                neg_lz, cin=c.ONE)  # base - lz
+
+        # 3. per-band rounding.  For each regime group g the fraction has
+        # (g_count-1-g)*es bits; round half up at that width, with carry.
+        # Band of e_rel: g = floor(e_rel/step) mapped through k sign.
+        # We precompute band membership with constant comparators.
+        def ge_const(bus: Bus, const: int) -> Net:
+            """bus >= const for an unsigned bus (const within range)."""
+            if const <= 0:
+                return c.ONE
+            if const >= (1 << len(bus)):
+                return c.ZERO
+            # bus - const carries out iff bus >= const
+            neg = (-const) % (1 << len(bus))
+            _, carry = ripple_adder(c, bus, _const_bus(c, neg, len(bus)))
+            return carry
+
+        # candidate codes per k band, then select
+        band_codes: list[tuple[Net, Bus]] = []
+        for k in range(-g_count, g_count):
+            g = k if k >= 0 else -k - 1
+            fbits = (g_count - 1 - g) * es
+            lo = k * step - e_min          # e_rel low edge of band
+            hi = lo + step                  # exclusive
+            in_band = c.and2(ge_const(e_rel, lo),
+                             c.inv(ge_const(e_rel, hi)))
+            # fraction + round
+            frac_bits = Bus(list(reversed(sig_msb[:fbits])))  # little-endian
+            round_bit = sig_msb[fbits]
+            rounded = incrementer(c, frac_bits) if fbits else Bus()
+            frac_sel = mux_bus(c, frac_bits, Bus(rounded[:fbits]), round_bit) \
+                if fbits else Bus()
+            carry = c.and2(round_bit, c.and_tree(list(frac_bits))) \
+                if fbits else round_bit
+            # exponent field within band: e_rel - lo (0..step-1), +carry
+            exp_val = Bus(e_rel[: max(2, es + 1)])
+            sub = (-lo) % (1 << len(exp_val))
+            exp_rel, _ = ripple_adder(c, exp_val,
+                                      _const_bus(c, sub, len(exp_val)))
+            exp_rel = Bus(exp_rel[: es + 1])
+            exp_inc = incrementer(c, exp_rel)
+            exp_fin = mux_bus(c, exp_rel, exp_inc, carry)
+            # carry past exp == step-1 bumps into the next band: the
+            # composed magnitude then needs g+1 ones-groups.  Detect it.
+            overflowed = ge_const(exp_fin, step)
+            # compose magnitude for (k, exp_fin, frac) and for the bumped
+            # band (k+1, exp 0, frac 0)
+            def compose(g_ones: int, exp_bus: Bus, frac_bus: Bus, fb: int) -> Bus:
+                bits = Bus([c.ZERO] * mag_w_fmt)
+                for gi in range(g_count):
+                    shift = mag_w_fmt - (gi + 1) * es
+                    for b in range(es):
+                        if gi < g_ones:
+                            bits[shift + b] = c.ONE
+                        elif gi == g_ones:
+                            bits[shift + b] = exp_bus[b] if b < len(exp_bus) else c.ZERO
+                for b in range(fb):
+                    bits[b] = frac_bus[b]
+                return bits
+            g_here = g
+            normal = compose(g_here, Bus(exp_fin[:es]), frac_sel, fbits)
+            if k + 1 < g_count:  # bump stays in range
+                g_next = (k + 1) if (k + 1) >= 0 else -(k + 2)
+                bumped = compose(g_next, _const_bus(c, 0, es), Bus(), 0)
+            else:                # bump saturates at the top finite code
+                bumped = compose(g_count - 1, _const_bus(c, step - 1, es), Bus(), 0)
+            mag_code = mux_bus(c, normal, bumped, overflowed)
+            ks_here = c.ONE if k >= 0 else c.ZERO
+            # bump from k=-1 to k=0 flips ks
+            ks_net = c.mux2(ks_here, c.ONE if k + 1 >= 0 else c.ZERO, overflowed)
+            band_codes.append((in_band, Bus(list(mag_code) + [ks_net])))
+
+        # select the active band
+        selected = Bus([c.ZERO] * (mag_w_fmt + 1))
+        for in_band, code_bits in band_codes:
+            selected = Bus(c.or2(s, c.and2(b, in_band))
+                           for s, b in zip(selected, code_bits))
+
+        # saturation / underflow
+        above = ge_const(e_rel, e_max - e_min + 1)
+        # below range: e_rel < 0 can't happen (unsigned); values smaller
+        # than minpos have their leading one below bit weight 2^e_min:
+        # they appear as e_rel "wrapped" large OR any_one with small e.
+        # We detect underflow as: no one at all, or leading-one binade
+        # below e_min, i.e. lz > lsb-relative threshold.
+        thresh = lsb_exp + width - 1 - e_min  # lz beyond this -> e < e_min
+        if thresh < 0:
+            below = c.ONE
+        elif thresh >= (1 << len(lz_idx)):
+            below = c.ZERO
+        else:
+            neg = (-(thresh + 1)) % (1 << len(lz_idx))
+            _, below_c = ripple_adder(c, lz_idx, _const_bus(c, neg, len(lz_idx)))
+            below = below_c  # lz >= thresh+1
+        below = c.or2(below, c.inv(any_one))
+
+        max_code = _const_bus(c, (1 << mag_w_fmt) | (((1 << mag_w_fmt) - 1) ^ 1),
+                              mag_w_fmt + 1)
+        zero_code = _const_bus(c, (1 << mag_w_fmt) - 1, mag_w_fmt + 1)
+        out = mux_bus(c, selected, max_code, above)
+        out = mux_bus(c, out, zero_code, below)
+        return Bus(list(out) + [sign])
+
+
+def encode_reference(value: float, fmt: MersitFormat) -> int:
+    """Round-half-up MERSIT encoding (the encoder netlist's contract)."""
+    import math
+    if value == 0 or not math.isfinite(value):
+        mag_w = fmt.nbits - 2
+        if value == 0 or math.isnan(value):
+            return (1 << mag_w) - 1  # +zero code
+        code = (1 << mag_w) | (((1 << mag_w) - 1) ^ 1)
+        return code | (1 << (fmt.nbits - 1)) if value < 0 else code
+    sign = 1 if value < 0 else 0
+    a = abs(value)
+    step = fmt.regime_step
+    g_count = fmt.ngroups
+    e_min, e_max = -step * g_count, step * g_count - 1
+    mag_w = fmt.nbits - 2
+    e = math.floor(math.log2(a))
+    if e < e_min:
+        if a * 2 <= 2.0 ** e_min:  # closer to zero (ties away from zero)
+            return ((1 << mag_w) - 1) | (sign << (fmt.nbits - 1))
+        e = e_min
+        m = 1.0
+    else:
+        m = a / 2.0 ** e
+    if e > e_max:
+        code = (1 << mag_w) | (((1 << mag_w) - 1) ^ 1)
+        return code | (sign << (fmt.nbits - 1))
+    k = e // step
+    g = k if k >= 0 else -k - 1
+    fbits = (g_count - 1 - g) * es_of(fmt)
+    frac = math.floor((m - 1.0) * 2 ** fbits + 0.5)  # round half up
+    if frac >= 1 << fbits:
+        frac = 0
+        e += 1
+        if e > e_max:
+            code = (1 << mag_w) | (((1 << mag_w) - 1) ^ 1)
+            return code | (sign << (fmt.nbits - 1))
+        k = e // step
+        g = k if k >= 0 else -k - 1
+        fbits = (g_count - 1 - g) * es_of(fmt)
+    exp = e - k * step
+    mag = 0
+    for gi in range(g_count):
+        shift = mag_w - (gi + 1) * es_of(fmt)
+        if gi < g:
+            mag |= step << shift
+        elif gi == g:
+            mag |= exp << shift
+    mag |= frac
+    ks = 1 if k >= 0 else 0
+    return (sign << (fmt.nbits - 1)) | (ks << (fmt.nbits - 2)) | mag
+
+
+def es_of(fmt: MersitFormat) -> int:
+    return fmt.es
+
+
+class MersitEncoder:
+    """A standalone encoder circuit over a fixed-point magnitude input."""
+
+    def __init__(self, fmt: MersitFormat, width: int = 16, lsb_exp: int = -10):
+        self.fmt = fmt
+        self.width = width
+        self.lsb_exp = lsb_exp
+        self.circuit = Circuit(f"encode_{fmt.name}")
+        c = self.circuit
+        sign = c.input_bus(1)
+        mag = c.input_bus(width)
+        code = build_mersit_encoder(c, sign[0], mag, fmt, lsb_exp)
+        c.set_output("code", code)
+
+    def encode_values(self, values: np.ndarray) -> np.ndarray:
+        """Drive the netlist with real values (fixed-point quantised)."""
+        values = np.asarray(values, dtype=np.float64)
+        scale = 2.0 ** -self.lsb_exp
+        mags = np.clip(np.rint(np.abs(values) * scale), 0,
+                       (1 << self.width) - 1).astype(np.int64)
+        signs = (values < 0).astype(np.int64)
+        stim = np.zeros((len(values), 1 + self.width), dtype=bool)
+        stim[:, 0] = signs == 1
+        for i in range(self.width):
+            stim[:, 1 + i] = (mags >> i) & 1
+        sim = self.circuit.simulate(stim)
+        return sim["outputs"]["code"].astype(np.int64)
+
+    def area(self):
+        return self.circuit.area()

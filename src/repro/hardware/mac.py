@@ -1,0 +1,186 @@
+"""The Kulisch-accumulator MAC unit of the paper's Fig. 2.
+
+Structure (one per data format):
+
+* two format decoders (weight and activation operands),
+* a sign XOR,
+* a signed exponent adder (``P+1`` bits),
+* an unsigned fraction multiplier (``(M+1) x (M+1)`` array),
+* the aligner: a barrel shifter placing the product in the fixed-point
+  accumulation field according to the exponent sum,
+* the Kulisch accumulator: a ``W_acc``-bit two's-complement adder plus a
+  ``W_acc``-bit register.
+
+Accumulator width
+-----------------
+The paper's ``W = 2*(|emin| + emax) + 1`` counts the *binades* a product
+can span (33/45/35 for FP(8,4)/Posit(8,1)/MERSIT(8,2)).  An exact Kulisch
+register additionally keeps the ``2M`` product fraction bits below the
+smallest binade and ``V`` overflow-margin bits on top (``V = 14`` supports
+16K error-free accumulations), so the implemented register width is
+``W + 2M + 1 + V``.  Both figures are exposed (:attr:`MacUnit.paper_w`,
+:attr:`MacUnit.acc_width`); the ordering between formats is identical.
+
+The unit is *exact*: accumulating N products through the netlist equals
+integer-exact arithmetic, which the tests verify against
+:mod:`repro.formats` decoding.  Zero and inf/NaN operands contribute 0
+(DNN quantizers saturate, so specials never occur in real streams).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..formats.analysis import exponent_field_width, kulisch_product_width
+from ..formats.base import CodebookFormat
+from .components import (
+    array_multiplier, barrel_shifter_left, ripple_adder, ripple_addsub,
+    sign_extend,
+)
+from .decoders import decoder_for_format
+from .netlist import Bus, Circuit
+
+__all__ = ["MacUnit", "MULTIPLIER_GROUPS", "MAC_GROUPS"]
+
+#: groups reported as "the multiplier" in the paper's Table 3
+MULTIPLIER_GROUPS = ("decoder", "exp_adder", "frac_multiplier")
+#: all functional groups of the MAC
+MAC_GROUPS = MULTIPLIER_GROUPS + ("aligner", "accumulator")
+
+
+class MacUnit:
+    """A gate-level MAC for one 8-bit format.
+
+    The circuit is combinational with the accumulator state as an explicit
+    input bus (replay-style simulation); the register cost is modelled by
+    DFF cells on the next-state nets.
+
+    Attributes
+    ----------
+    fmt: the data format.
+    paper_w: the paper's W figure (Fig. 2 table).
+    acc_width: implemented accumulator register width.
+    circuit: the underlying netlist.
+    """
+
+    def __init__(self, fmt: CodebookFormat, overflow_margin: int = 14):
+        self.fmt = fmt
+        self.overflow_margin = overflow_margin
+        self.p = exponent_field_width(fmt)
+        self.m = fmt.max_fraction_bits()
+        self.paper_w = kulisch_product_width(fmt)
+        dr = fmt.dynamic_range
+        self.emin, self.emax = dr.min_log2, dr.max_log2
+        # LSB of the fixed-point field has weight 2^(2*emin - 2M); the top
+        # product binade is 2*emax + 1; V margin + 1 sign bit on top.
+        self.frac_lsb_exp = 2 * self.emin - 2 * self.m
+        self.acc_width = (2 * self.emax + 1) - self.frac_lsb_exp + 1 + overflow_margin + 1
+        self.max_shift = 2 * (self.emax - self.emin)
+
+        self.circuit = Circuit(f"mac_{fmt.name}")
+        self._build()
+
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        c = self.circuit
+        self.w_code = c.input_bus(self.fmt.nbits)
+        self.a_code = c.input_bus(self.fmt.nbits)
+        self.acc_state = c.input_bus(self.acc_width)
+
+        w = decoder_for_format(c, self.w_code, self.fmt, group="decoder")
+        a = decoder_for_format(c, self.a_code, self.fmt, group="decoder")
+
+        with c.group("exp_adder"):
+            sign = c.xor2(w.sign, a.sign)
+            exp_w = sign_extend(c, w.exp_eff, self.p + 1)
+            exp_a = sign_extend(c, a.exp_eff, self.p + 1)
+            exp_sum, _ = ripple_adder(c, exp_w, exp_a)
+            # shift = exp_sum - 2*emin  (always >= 0 for finite operands)
+            shift_bias = (-2 * self.emin) % (1 << (self.p + 1))
+            bias_bus = Bus(c.ONE if (shift_bias >> i) & 1 else c.ZERO
+                           for i in range(self.p + 1))
+            shamt, _ = ripple_adder(c, exp_sum, bias_bus)
+            shamt_bits = (self.max_shift).bit_length()
+            shamt = Bus(shamt[:shamt_bits])
+
+        with c.group("frac_multiplier"):
+            product = array_multiplier(c, w.frac_eff, a.frac_eff)  # 2M+2 bits
+
+        with c.group("aligner"):
+            field = Bus(list(product) + [c.ZERO] * (self.acc_width - len(product)))
+            aligned = barrel_shifter_left(c, field, shamt, max_shift=self.max_shift)
+
+        with c.group("accumulator"):
+            acc_next, _ = ripple_addsub(c, self.acc_state, aligned, sign)
+            for bit in acc_next:
+                c.dff(bit)
+
+        c.set_output("acc_next", acc_next)
+        c.set_output("product_sign", [sign])
+
+    # ------------------------------------------------------------------
+    # behavioural reference
+    # ------------------------------------------------------------------
+    def product_int(self, w_code: int, a_code: int) -> int:
+        """Exact signed product of two codes, in accumulator LSB units."""
+        dw = self.fmt.decode(w_code)
+        da = self.fmt.decode(a_code)
+        if not (dw.is_finite and da.is_finite):
+            return 0
+        if dw.value == 0.0 or da.value == 0.0:
+            return 0
+        m = self.m
+        fw = (1 << m) | (dw.fraction_field << (m - dw.fraction_bits))
+        fa = (1 << m) | (da.fraction_field << (m - da.fraction_bits))
+        shift = dw.effective_exponent + da.effective_exponent - 2 * self.emin
+        mag = (fw * fa) << shift
+        return -mag if dw.sign != da.sign else mag
+
+    def accumulate_reference(self, w_codes: np.ndarray, a_codes: np.ndarray) -> list[int]:
+        """Exact accumulator trajectory (value after each pair), wrapped to
+        the register width like the hardware."""
+        mod = 1 << self.acc_width
+        acc = 0
+        out = []
+        for wc, ac in zip(w_codes, a_codes):
+            acc = (acc + self.product_int(int(wc), int(ac))) % mod
+            out.append(acc)
+        return out
+
+    # ------------------------------------------------------------------
+    # simulation helpers
+    # ------------------------------------------------------------------
+    def _stimulus(self, w_codes: np.ndarray, a_codes: np.ndarray) -> np.ndarray:
+        """Build the replay stimulus: per-lane codes + previous acc state."""
+        w_codes = np.asarray(w_codes, dtype=np.int64)
+        a_codes = np.asarray(a_codes, dtype=np.int64)
+        n = len(w_codes)
+        states = [0] + self.accumulate_reference(w_codes, a_codes)[:-1]
+        stim = np.zeros((n, self.fmt.nbits * 2 + self.acc_width), dtype=bool)
+        for i in range(self.fmt.nbits):
+            stim[:, i] = (w_codes >> i) & 1
+            stim[:, self.fmt.nbits + i] = (a_codes >> i) & 1
+        st = np.array(states, dtype=object)
+        for i in range(self.acc_width):
+            stim[:, 2 * self.fmt.nbits + i] = [(int(s) >> i) & 1 for s in st]
+        return stim
+
+    def run(self, w_codes: np.ndarray, a_codes: np.ndarray) -> dict:
+        """Simulate the netlist over a code stream; returns the sim dict."""
+        return self.circuit.simulate(self._stimulus(w_codes, a_codes))
+
+    def accumulate_hw(self, w_codes: np.ndarray, a_codes: np.ndarray) -> list[int]:
+        """Accumulator trajectory as computed by the gates."""
+        sim = self.run(w_codes, a_codes)
+        bits = sim["bits"]["acc_next"]
+        return [int(sum(1 << i for i in range(self.acc_width) if row[i]))
+                for row in bits]
+
+    def power(self, w_codes: np.ndarray, a_codes: np.ndarray,
+              clock_mhz: float = 100.0):
+        """Activity-based power while streaming real operand codes."""
+        return self.circuit.power(self._stimulus(w_codes, a_codes),
+                                  clock_mhz=clock_mhz)
+
+    def area(self):
+        return self.circuit.area()

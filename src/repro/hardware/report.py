@@ -1,0 +1,135 @@
+"""Assemble the paper's hardware-efficiency artefacts (Fig. 7, Table 3).
+
+Given MAC units for the three head-to-head formats, these helpers produce:
+
+* the Fig. 7 area/power bars per functional group (multiplier, aligner,
+  accumulator), with power extracted from *actual DNN operand streams*
+  exactly as the paper does with PrimeTime PX;
+* the Table 3 multiplier breakdown (decoder / exponent-adder /
+  fraction-multiplier);
+* the headline deltas (MERSIT vs Posit area/power savings, decoder area
+  saving, MERSIT vs FP8 area premium).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..formats.base import CodebookFormat
+from .mac import MAC_GROUPS, MacUnit
+
+__all__ = [
+    "MacCostRow", "MultiplierBreakdown", "mac_cost", "multiplier_breakdown",
+    "dnn_operand_stream", "headline_deltas",
+]
+
+
+@dataclass(frozen=True)
+class MacCostRow:
+    """Fig. 7 bar: one format's MAC area (um^2) and power (uW) by group."""
+
+    format_name: str
+    area_total: float
+    power_total: float
+    area_by_group: dict[str, float] = field(default_factory=dict)
+    power_by_group: dict[str, float] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class MultiplierBreakdown:
+    """Table 3 column: the multiplier part of one format's MAC."""
+
+    format_name: str
+    area_decoder: float
+    area_exp_adder: float
+    area_frac_multiplier: float
+    power_decoder: float
+    power_exp_adder: float
+    power_frac_multiplier: float
+
+    @property
+    def area_total(self) -> float:
+        return self.area_decoder + self.area_exp_adder + self.area_frac_multiplier
+
+    @property
+    def power_total(self) -> float:
+        return self.power_decoder + self.power_exp_adder + self.power_frac_multiplier
+
+
+def dnn_operand_stream(fmt: CodebookFormat, weights: np.ndarray,
+                       activations: np.ndarray, n: int = 512,
+                       seed: int = 0) -> tuple[np.ndarray, np.ndarray]:
+    """Encode real DNN tensors into format codes for activity simulation.
+
+    Weights and activations are scaled the same way the PTQ quantizer
+    scales them (max onto the format's quantization gain) and encoded to
+    codes; ``n`` pairs are drawn to form the MAC's operand stream.
+    """
+    rng = np.random.default_rng(seed)
+    w = np.asarray(weights, dtype=np.float64).ravel()
+    a = np.asarray(activations, dtype=np.float64).ravel()
+    w_scale = np.max(np.abs(w)) or 1.0
+    a_scale = np.max(np.abs(a)) or 1.0
+    w_codes = fmt.encode_array(w * (fmt.quantization_gain / w_scale))
+    a_codes = fmt.encode_array(a * (fmt.quantization_gain / a_scale))
+    wi = rng.integers(0, len(w_codes), size=n)
+    ai = rng.integers(0, len(a_codes), size=n)
+    return w_codes[wi], a_codes[ai]
+
+
+def mac_cost(mac: MacUnit, w_codes: np.ndarray, a_codes: np.ndarray,
+             clock_mhz: float = 100.0) -> MacCostRow:
+    """One Fig. 7 bar: synthesise area, simulate activity-based power."""
+    area = mac.area()
+    power = mac.power(w_codes, a_codes, clock_mhz=clock_mhz)
+    groups = {g: area.by_group.get(g, 0.0) for g in MAC_GROUPS}
+    pgroups = {g: power.by_group.get(g, 0.0) for g in MAC_GROUPS}
+    return MacCostRow(
+        format_name=mac.fmt.name,
+        area_total=sum(groups.values()),
+        power_total=sum(pgroups.values()),
+        area_by_group=groups,
+        power_by_group=pgroups,
+    )
+
+
+def multiplier_breakdown(mac: MacUnit, w_codes: np.ndarray, a_codes: np.ndarray,
+                         clock_mhz: float = 100.0) -> MultiplierBreakdown:
+    """One Table 3 column from the same simulation."""
+    row = mac_cost(mac, w_codes, a_codes, clock_mhz)
+    return MultiplierBreakdown(
+        format_name=mac.fmt.name,
+        area_decoder=row.area_by_group["decoder"],
+        area_exp_adder=row.area_by_group["exp_adder"],
+        area_frac_multiplier=row.area_by_group["frac_multiplier"],
+        power_decoder=row.power_by_group["decoder"],
+        power_exp_adder=row.power_by_group["exp_adder"],
+        power_frac_multiplier=row.power_by_group["frac_multiplier"],
+    )
+
+
+def headline_deltas(rows: dict[str, MacCostRow],
+                    breakdowns: dict[str, MultiplierBreakdown] | None = None) -> dict[str, float]:
+    """The paper's headline percentages from Fig. 7 / Table 3 rows.
+
+    Expects rows keyed by ``"FP(8,4)"``, ``"Posit(8,1)"``, ``"MERSIT(8,2)"``.
+    Returns a dict with:
+
+    * ``area_saving_vs_posit_pct``  (paper: 26.6)
+    * ``power_saving_vs_posit_pct`` (paper: 22.2)
+    * ``area_premium_vs_fp8_pct``   (paper: 11.0)
+    * ``decoder_area_saving_vs_posit_pct`` (paper: 59.2, from Table 3)
+    """
+    fp, po, me = rows["FP(8,4)"], rows["Posit(8,1)"], rows["MERSIT(8,2)"]
+    out = {
+        "area_saving_vs_posit_pct": 100.0 * (1 - me.area_total / po.area_total),
+        "power_saving_vs_posit_pct": 100.0 * (1 - me.power_total / po.power_total),
+        "area_premium_vs_fp8_pct": 100.0 * (me.area_total / fp.area_total - 1),
+    }
+    if breakdowns is not None:
+        pod = breakdowns["Posit(8,1)"].area_decoder
+        med = breakdowns["MERSIT(8,2)"].area_decoder
+        out["decoder_area_saving_vs_posit_pct"] = 100.0 * (1 - med / pod)
+    return out

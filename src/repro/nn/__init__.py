@@ -1,0 +1,19 @@
+"""Neural-network layer library over :mod:`repro.autograd`."""
+
+from .attention import MultiHeadAttention, TransformerEncoderLayer
+from .layers import (
+    AvgPool2d, BatchNorm2d, Conv2d, Dropout, Flatten, GELU, GlobalAvgPool2d,
+    Hardsigmoid, Hardswish, Identity, LayerNorm, Linear, MaxPool2d,
+    QuantizableMixin, ReLU, ReLU6, Sigmoid, SiLU, Tanh,
+)
+from .module import Module, Parameter, Sequential
+from .optim import SGD, Adam
+
+__all__ = [
+    "Module", "Parameter", "Sequential",
+    "Linear", "Conv2d", "BatchNorm2d", "LayerNorm",
+    "ReLU", "ReLU6", "Hardswish", "Hardsigmoid", "SiLU", "GELU", "Tanh", "Sigmoid",
+    "MaxPool2d", "AvgPool2d", "GlobalAvgPool2d", "Flatten", "Dropout", "Identity",
+    "MultiHeadAttention", "TransformerEncoderLayer",
+    "QuantizableMixin", "SGD", "Adam",
+]

@@ -1,0 +1,79 @@
+"""Transformer building blocks for the BERT-style GLUE models.
+
+Multi-head self-attention with optional padding masks, and the standard
+pre-softmax scaled dot-product.  The Q/K/V/output projections and the FFN
+are ordinary :class:`~repro.nn.layers.Linear` layers, so the PTQ driver
+quantizes them exactly like CNN layers; softmax and layer-norm stay in
+full precision, matching common 8-bit transformer PTQ practice (and the
+paper's weight/activation-only quantization).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor, functional as F
+from .layers import GELU, Dropout, LayerNorm, Linear
+from .module import Module
+
+__all__ = ["MultiHeadAttention", "TransformerEncoderLayer"]
+
+_NEG_INF = -1e9
+
+
+class MultiHeadAttention(Module):
+    """Standard multi-head self-attention over (N, T, D) sequences."""
+
+    def __init__(self, dim: int, num_heads: int, rng: np.random.Generator | None = None):
+        super().__init__()
+        if dim % num_heads:
+            raise ValueError(f"dim={dim} not divisible by num_heads={num_heads}")
+        self.dim = dim
+        self.num_heads = num_heads
+        self.head_dim = dim // num_heads
+        rng = rng or np.random.default_rng(0)
+        self.q_proj = Linear(dim, dim, rng=rng)
+        self.k_proj = Linear(dim, dim, rng=rng)
+        self.v_proj = Linear(dim, dim, rng=rng)
+        self.out_proj = Linear(dim, dim, rng=rng)
+
+    def _split_heads(self, x: Tensor, n: int, t: int) -> Tensor:
+        # (N, T, D) -> (N, H, T, Dh)
+        return x.reshape(n, t, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def forward(self, x: Tensor, mask: np.ndarray | None = None) -> Tensor:
+        """``mask`` is (N, T) with 1 for real tokens, 0 for padding."""
+        n, t, _ = x.shape
+        q = self._split_heads(self.q_proj(x), n, t)
+        k = self._split_heads(self.k_proj(x), n, t)
+        v = self._split_heads(self.v_proj(x), n, t)
+
+        scores = (q @ k.transpose(0, 1, 3, 2)) * (1.0 / np.sqrt(self.head_dim))
+        if mask is not None:
+            bias = np.where(np.asarray(mask)[:, None, None, :] > 0, 0.0, _NEG_INF)
+            scores = scores + Tensor(bias.astype(np.float32))
+        attn = F.softmax(scores, axis=-1)
+        ctx = attn @ v                                    # (N, H, T, Dh)
+        ctx = ctx.transpose(0, 2, 1, 3).reshape(n, t, self.dim)
+        return self.out_proj(ctx)
+
+
+class TransformerEncoderLayer(Module):
+    """Post-LN transformer encoder block (BERT convention)."""
+
+    def __init__(self, dim: int, num_heads: int, ffn_dim: int,
+                 dropout: float = 0.0, rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.attn = MultiHeadAttention(dim, num_heads, rng=rng)
+        self.norm1 = LayerNorm(dim)
+        self.fc1 = Linear(dim, ffn_dim, rng=rng)
+        self.act = GELU()
+        self.fc2 = Linear(ffn_dim, dim, rng=rng)
+        self.norm2 = LayerNorm(dim)
+        self.drop = Dropout(dropout)
+
+    def forward(self, x: Tensor, mask: np.ndarray | None = None) -> Tensor:
+        x = self.norm1(x + self.drop(self.attn(x, mask)))
+        x = self.norm2(x + self.drop(self.fc2(self.act(self.fc1(x)))))
+        return x

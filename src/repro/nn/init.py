@@ -1,0 +1,39 @@
+"""Weight initialisers (He/Xavier) used by the zoo architectures."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["kaiming_normal", "xavier_uniform", "normal", "zeros", "ones"]
+
+
+def kaiming_normal(shape: tuple[int, ...], rng: np.random.Generator,
+                   fan_in: int | None = None) -> np.ndarray:
+    """He initialisation for ReLU-family networks."""
+    if fan_in is None:
+        fan_in = int(np.prod(shape[1:])) if len(shape) > 1 else shape[0]
+    std = np.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=shape).astype(np.float32)
+
+
+def xavier_uniform(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Glorot initialisation for tanh/linear layers (BERT-style)."""
+    fan_in = int(np.prod(shape[1:])) if len(shape) > 1 else shape[0]
+    fan_out = shape[0]
+    bound = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def normal(shape: tuple[int, ...], rng: np.random.Generator, std: float = 0.02) -> np.ndarray:
+    """Gaussian init with small std (embedding tables)."""
+    return rng.normal(0.0, std, size=shape).astype(np.float32)
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    """All-zeros parameter (biases)."""
+    return np.zeros(shape, dtype=np.float32)
+
+
+def ones(shape: tuple[int, ...]) -> np.ndarray:
+    """All-ones parameter (norm scales)."""
+    return np.ones(shape, dtype=np.float32)

@@ -1,0 +1,237 @@
+"""Core layers: dense/conv/normalisation/activations, with PTQ hooks.
+
+The two compute layers (:class:`Linear`, :class:`Conv2d`) carry optional
+quantization hooks used by :mod:`repro.quant.ptq`:
+
+* ``weight_quant`` — a :class:`~repro.quant.fakequant.FakeQuantizer` applied
+  to the weight every forward (per-output-channel scales, paper Section 4.1).
+* ``input_quant`` — applied to the incoming activation (per-tensor scale).
+* ``observing`` — when True the input quantizer only records running maxes
+  (calibration pass) and the layer computes in full precision.
+
+Keeping the hooks inside the layer mirrors how fake-quant PTQ frameworks
+instrument torch modules, and keeps the zoo architectures quantization-
+agnostic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor, functional as F
+from . import init
+from .module import Module, Parameter
+
+__all__ = [
+    "Linear", "Conv2d", "BatchNorm2d", "LayerNorm",
+    "ReLU", "ReLU6", "Hardswish", "Hardsigmoid", "SiLU", "GELU", "Tanh", "Sigmoid",
+    "MaxPool2d", "AvgPool2d", "GlobalAvgPool2d", "Flatten", "Dropout", "Identity",
+    "QuantizableMixin",
+]
+
+
+class QuantizableMixin:
+    """Fake-quant hook slots shared by Linear and Conv2d."""
+
+    def _init_quant(self) -> None:
+        self.weight_quant = None
+        self.input_quant = None
+        self.observing = False
+
+    def _maybe_quant_input(self, x: Tensor) -> Tensor:
+        if self.input_quant is None:
+            return x
+        if self.observing:
+            self.input_quant.observe(x.data)
+            return x
+        if self.input_quant.calibrated:
+            return Tensor(self.input_quant(x.data).astype(np.float32))
+        return x
+
+    def _effective_weight(self) -> Tensor:
+        if self.weight_quant is None or self.observing:
+            return self.weight
+        return Tensor(self.weight_quant(self.weight.data).astype(np.float32))
+
+    def quant_enabled(self) -> bool:
+        return self.weight_quant is not None or self.input_quant is not None
+
+    def clear_quant(self) -> None:
+        self._init_quant()
+
+
+class Linear(Module, QuantizableMixin):
+    """Affine layer ``y = x W^T + b`` with weight shape (out, in)."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.kaiming_normal((out_features, in_features), rng))
+        self.bias = Parameter(init.zeros((out_features,))) if bias else None
+        self._init_quant()
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = self._maybe_quant_input(x)
+        return F.linear(x, self._effective_weight(), self.bias)
+
+
+class Conv2d(Module, QuantizableMixin):
+    """2-D convolution, NCHW, square kernels; supports grouped/depthwise."""
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int,
+                 stride: int = 1, padding: int = 0, groups: int = 1,
+                 bias: bool = True, rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        if in_channels % groups or out_channels % groups:
+            raise ValueError("channels must divide groups")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self.groups = groups
+        shape = (out_channels, in_channels // groups, kernel_size, kernel_size)
+        self.weight = Parameter(init.kaiming_normal(shape, rng))
+        self.bias = Parameter(init.zeros((out_channels,))) if bias else None
+        self._init_quant()
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = self._maybe_quant_input(x)
+        return F.conv2d(x, self._effective_weight(), self.bias,
+                        stride=self.stride, padding=self.padding, groups=self.groups)
+
+
+class BatchNorm2d(Module):
+    """Batch normalisation over (N,H,W) per channel with running statistics."""
+
+    def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1):
+        super().__init__()
+        self.num_features = num_features
+        self.eps = eps
+        self.momentum = momentum
+        self.weight = Parameter(init.ones((num_features,)))
+        self.bias = Parameter(init.zeros((num_features,)))
+        self.register_buffer("running_mean", init.zeros((num_features,)))
+        self.register_buffer("running_var", init.ones((num_features,)))
+
+    def forward(self, x: Tensor) -> Tensor:
+        c = self.num_features
+        if self.training:
+            mu = x.mean(axis=(0, 2, 3), keepdims=True)
+            var = x.var(axis=(0, 2, 3), keepdims=True)
+            m = self.momentum
+            self.set_buffer("running_mean",
+                            (1 - m) * self.running_mean + m * mu.data.reshape(c))
+            self.set_buffer("running_var",
+                            (1 - m) * self.running_var + m * var.data.reshape(c))
+        else:
+            mu = Tensor(self.running_mean.reshape(1, c, 1, 1))
+            var = Tensor(self.running_var.reshape(1, c, 1, 1))
+        inv = (var + self.eps) ** -0.5
+        w = self.weight.reshape(1, c, 1, 1)
+        b = self.bias.reshape(1, c, 1, 1)
+        return (x - mu) * inv * w + b
+
+
+class LayerNorm(Module):
+    """Layer normalisation over the last dimension (transformer-style)."""
+
+    def __init__(self, dim: int, eps: float = 1e-5):
+        super().__init__()
+        self.dim = dim
+        self.eps = eps
+        self.weight = Parameter(init.ones((dim,)))
+        self.bias = Parameter(init.zeros((dim,)))
+
+    def forward(self, x: Tensor) -> Tensor:
+        mu = x.mean(axis=-1, keepdims=True)
+        var = x.var(axis=-1, keepdims=True)
+        return (x - mu) * ((var + self.eps) ** -0.5) * self.weight + self.bias
+
+
+class _Activation(Module):
+    _fn = staticmethod(lambda x: x)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self._fn(x)
+
+
+class ReLU(_Activation):
+    _fn = staticmethod(F.relu)
+
+
+class ReLU6(_Activation):
+    _fn = staticmethod(F.relu6)
+
+
+class Hardswish(_Activation):
+    _fn = staticmethod(F.hardswish)
+
+
+class Hardsigmoid(_Activation):
+    _fn = staticmethod(F.hardsigmoid)
+
+
+class SiLU(_Activation):
+    _fn = staticmethod(F.silu)
+
+
+class GELU(_Activation):
+    _fn = staticmethod(F.gelu)
+
+
+class Tanh(_Activation):
+    _fn = staticmethod(lambda x: x.tanh())
+
+
+class Sigmoid(_Activation):
+    _fn = staticmethod(lambda x: x.sigmoid())
+
+
+class Identity(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x
+
+
+class MaxPool2d(Module):
+    def __init__(self, kernel_size: int, stride: int | None = None):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.max_pool2d(x, self.kernel_size, self.stride)
+
+
+class AvgPool2d(Module):
+    def __init__(self, kernel_size: int, stride: int | None = None):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.avg_pool2d(x, self.kernel_size, self.stride)
+
+
+class GlobalAvgPool2d(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return F.global_avg_pool2d(x)
+
+
+class Flatten(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.reshape(x.shape[0], -1)
+
+
+class Dropout(Module):
+    def __init__(self, p: float = 0.1, seed: int = 0):
+        super().__init__()
+        self.p = p
+        self._rng = np.random.default_rng(seed)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.p, self._rng, training=self.training)

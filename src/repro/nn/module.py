@@ -1,0 +1,165 @@
+"""Module system: parameter containers with train/eval modes and state dicts.
+
+A thin torch-like layer over :mod:`repro.autograd`: modules own
+:class:`Parameter` tensors, compose into trees, and serialise to flat
+``name -> ndarray`` state dicts (used by the zoo's train-once cache).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator
+
+import numpy as np
+
+from ..autograd import Tensor
+
+__all__ = ["Parameter", "Module", "Sequential"]
+
+
+class Parameter(Tensor):
+    """A trainable tensor (requires_grad=True by default)."""
+
+    def __init__(self, data, requires_grad: bool = True):
+        super().__init__(np.asarray(data, dtype=np.float32), requires_grad=requires_grad)
+
+
+class Module:
+    """Base class for layers and models."""
+
+    def __init__(self):
+        self._modules: "OrderedDict[str, Module]" = OrderedDict()
+        self._params: "OrderedDict[str, Parameter]" = OrderedDict()
+        self._buffers: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        self.training = True
+
+    # ------------------------------------------------------------------
+    # attribute plumbing
+    # ------------------------------------------------------------------
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_params", OrderedDict())[name] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", OrderedDict())[name] = value
+        object.__setattr__(self, name, value)
+
+    def register_buffer(self, name: str, value: np.ndarray) -> None:
+        """Track a non-trainable array (e.g. BN running stats) in the state dict."""
+        self._buffers[name] = np.asarray(value, dtype=np.float32)
+        object.__setattr__(self, name, self._buffers[name])
+
+    def set_buffer(self, name: str, value: np.ndarray) -> None:
+        if name not in self._buffers:
+            raise KeyError(f"no buffer named {name!r}")
+        self._buffers[name] = np.asarray(value, dtype=np.float32)
+        object.__setattr__(self, name, self._buffers[name])
+
+    # ------------------------------------------------------------------
+    # traversal
+    # ------------------------------------------------------------------
+    def named_modules(self, prefix: str = "") -> Iterator[tuple[str, "Module"]]:
+        yield prefix, self
+        for name, child in self._modules.items():
+            child_prefix = f"{prefix}.{name}" if prefix else name
+            yield from child.named_modules(child_prefix)
+
+    def modules(self) -> Iterator["Module"]:
+        for _, m in self.named_modules():
+            yield m
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        for name, p in self._params.items():
+            yield (f"{prefix}.{name}" if prefix else name), p
+        for name, child in self._modules.items():
+            child_prefix = f"{prefix}.{name}" if prefix else name
+            yield from child.named_parameters(child_prefix)
+
+    def parameters(self) -> list[Parameter]:
+        return [p for _, p in self.named_parameters()]
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    # ------------------------------------------------------------------
+    # modes
+    # ------------------------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        for m in self.modules():
+            m.training = mode
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    # ------------------------------------------------------------------
+    # state dict
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, np.ndarray]:
+        state: dict[str, np.ndarray] = {}
+        for name, mod in self.named_modules():
+            for pname, p in mod._params.items():
+                state[f"{name}.{pname}" if name else pname] = p.data.copy()
+            for bname, b in mod._buffers.items():
+                state[f"{name}.{bname}" if name else bname] = b.copy()
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        own: dict[str, tuple[Module, str, bool]] = {}
+        for name, mod in self.named_modules():
+            for pname in mod._params:
+                own[f"{name}.{pname}" if name else pname] = (mod, pname, True)
+            for bname in mod._buffers:
+                own[f"{name}.{bname}" if name else bname] = (mod, bname, False)
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise KeyError(f"state dict mismatch: missing={sorted(missing)}, "
+                           f"unexpected={sorted(unexpected)}")
+        for key, (mod, name, is_param) in own.items():
+            value = np.asarray(state[key], dtype=np.float32)
+            if is_param:
+                param = mod._params[name]
+                if param.data.shape != value.shape:
+                    raise ValueError(f"shape mismatch for {key}: "
+                                     f"{param.data.shape} vs {value.shape}")
+                param.data = value.copy()
+            else:
+                mod.set_buffer(name, value)
+
+    # ------------------------------------------------------------------
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} params={self.num_parameters()}>"
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, *layers: Module):
+        super().__init__()
+        self.layers = list(layers)
+        for i, layer in enumerate(layers):
+            setattr(self, f"layer{i}", layer)
+
+    def forward(self, x):
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+    def __iter__(self):
+        return iter(self.layers)
+
+    def __getitem__(self, idx: int) -> Module:
+        return self.layers[idx]
+
+    def __len__(self) -> int:
+        return len(self.layers)

@@ -1,0 +1,80 @@
+"""Optimisers for pretraining the zoo: SGD with momentum and Adam."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .module import Parameter
+
+__all__ = ["SGD", "Adam"]
+
+
+class Optimizer:
+    def __init__(self, params: list[Parameter], lr: float):
+        self.params = list(params)
+        if not self.params:
+            raise ValueError("optimizer got an empty parameter list")
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with classical momentum and weight decay."""
+
+    def __init__(self, params: list[Parameter], lr: float = 0.01,
+                 momentum: float = 0.9, weight_decay: float = 0.0):
+        super().__init__(params, lr)
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        for p, v in zip(self.params, self._velocity):
+            if p.grad is None:
+                continue
+            g = p.grad
+            if self.weight_decay:
+                g = g + self.weight_decay * p.data
+            v *= self.momentum
+            v += g
+            p.data = p.data - self.lr * v
+
+
+class Adam(Optimizer):
+    """Adam with bias correction (Kingma & Ba 2015)."""
+
+    def __init__(self, params: list[Parameter], lr: float = 1e-3,
+                 betas: tuple[float, float] = (0.9, 0.999), eps: float = 1e-8,
+                 weight_decay: float = 0.0):
+        super().__init__(params, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        b1, b2 = self.beta1, self.beta2
+        bias1 = 1.0 - b1 ** self._t
+        bias2 = 1.0 - b2 ** self._t
+        for p, m, v in zip(self.params, self._m, self._v):
+            if p.grad is None:
+                continue
+            g = p.grad
+            if self.weight_decay:
+                g = g + self.weight_decay * p.data
+            m *= b1
+            m += (1 - b1) * g
+            v *= b2
+            v += (1 - b2) * g * g
+            m_hat = m / bias1
+            v_hat = v / bias2
+            p.data = p.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

@@ -1,0 +1,18 @@
+"""Post-training quantization: fake-quant, calibration, metrics, PTQ driver."""
+
+from .activation_stats import ActivationStats, collect_activation_stats, summarize_stats
+from .bfp import bfp_quantize
+from .fakequant import FakeQuantizer, quantize_with_scale
+from .sensitivity import LayerSensitivity, layer_sensitivity
+from .observers import MaxObserver, MSEObserver, PercentileObserver, make_observer
+from .metrics import accuracy, f1_score, matthews_corrcoef, relative_rmse, rmse, sqnr_db
+from .ptq import PTQConfig, dequantize_model, quantize_model, quantized_layers
+
+__all__ = [
+    "FakeQuantizer", "quantize_with_scale",
+    "ActivationStats", "collect_activation_stats", "summarize_stats",
+    "LayerSensitivity", "layer_sensitivity", "bfp_quantize",
+    "MaxObserver", "PercentileObserver", "MSEObserver", "make_observer",
+    "rmse", "relative_rmse", "sqnr_db", "accuracy", "f1_score", "matthews_corrcoef",
+    "PTQConfig", "quantize_model", "dequantize_model", "quantized_layers",
+]

@@ -1,0 +1,99 @@
+"""Activation-distribution statistics across a model's quantized layers.
+
+The paper's Table 2 ordering is driven by activation statistics: depthwise
+and squeeze-excite architectures produce heavy-tailed activations whose
+max-calibrated quantization crushes typical values.  This module measures
+exactly that — per-layer max/median ratio, kurtosis, and the effective
+number of INT8 levels the median value receives — making the mechanism
+quantifiable rather than anecdotal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..autograd import Tensor, no_grad
+from ..nn.module import Module
+from .ptq import quantized_layers
+
+__all__ = ["ActivationStats", "collect_activation_stats", "summarize_stats"]
+
+
+@dataclass(frozen=True)
+class ActivationStats:
+    """Distribution statistics of one layer's input activations."""
+
+    layer: str
+    abs_max: float
+    abs_median: float
+    kurtosis: float
+
+    @property
+    def range_ratio(self) -> float:
+        """max/median of |x|: how far the tail stretches past typical values."""
+        if self.abs_median == 0.0:
+            return float("inf")
+        return self.abs_max / self.abs_median
+
+    @property
+    def median_int8_levels(self) -> float:
+        """INT8 levels available to the median |x| under max calibration."""
+        if self.abs_max == 0.0:
+            return 0.0
+        return 127.0 * self.abs_median / self.abs_max
+
+
+def collect_activation_stats(model: Module, inputs, forward=None) -> list[ActivationStats]:
+    """Run ``inputs`` through ``model`` and collect per-layer input stats.
+
+    ``forward(model, inputs)`` defaults to ``model(Tensor(inputs))`` for
+    vision models; pass an adapter for multi-input models.
+    """
+    forward = forward or (lambda m, x: m(Tensor(np.asarray(x))))
+    layers = [(n, l) for n, l in quantized_layers(model)]
+    captured: list[tuple[str, np.ndarray]] = []
+    originals = [type(l).forward for _, l in layers]
+
+    def make_hook(name, layer, orig):
+        def hooked(x):
+            captured.append((name, np.asarray(x.data, dtype=np.float64)))
+            return orig(layer, x)
+        return hooked
+
+    for (name, layer), orig in zip(layers, originals):
+        layer.forward = make_hook(name, layer, orig)
+    try:
+        model.eval()
+        with no_grad():
+            forward(model, inputs)
+    finally:
+        for _, layer in layers:
+            del layer.forward
+
+    stats = []
+    for name, act in captured:
+        a = np.abs(act.ravel())
+        nz = a[a > 0]
+        median = float(np.median(nz)) if nz.size else 0.0
+        x = act.ravel()
+        var = float(x.var())
+        kurt = float(((x - x.mean()) ** 4).mean() / (var ** 2)) if var > 0 else 0.0
+        stats.append(ActivationStats(layer=name, abs_max=float(a.max(initial=0.0)),
+                                     abs_median=median, kurtosis=kurt))
+    return stats
+
+
+def summarize_stats(stats: list[ActivationStats]) -> dict[str, float]:
+    """Model-level aggregates: the numbers behind the Table 2 ordering."""
+    if not stats:
+        raise ValueError("no activation stats collected")
+    ratios = [s.range_ratio for s in stats if np.isfinite(s.range_ratio)]
+    return {
+        "layers": float(len(stats)),
+        "mean_range_ratio": float(np.mean(ratios)),
+        "max_range_ratio": float(np.max(ratios)),
+        "mean_kurtosis": float(np.mean([s.kurtosis for s in stats])),
+        "min_median_int8_levels": float(min(s.median_int8_levels for s in stats)),
+    }

@@ -1,0 +1,46 @@
+"""Block floating point (paper §2.1's second related format).
+
+BFP shares one exponent across a block of fixed-point mantissas; the
+shared exponent doubles as a per-block scaling parameter (Yeh et al.,
+ICML'22).  The paper treats BFP as aligning with FP8 under its scaling
+methodology; :func:`bfp_quantize` implements it so the ablation bench can
+measure that alignment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["bfp_quantize"]
+
+
+def bfp_quantize(x: np.ndarray, mantissa_bits: int = 7, block_size: int = 16,
+                 axis: int = -1) -> np.ndarray:
+    """Quantize ``x`` to block floating point along ``axis``.
+
+    Each contiguous block of ``block_size`` elements shares the exponent
+    of its max-magnitude member; mantissas are signed fixed point with
+    ``mantissa_bits`` bits (sign included), rounded to nearest.
+
+    The trailing partial block (when the axis length is not divisible by
+    ``block_size``) is quantized as its own smaller block.
+    """
+    if mantissa_bits < 2:
+        raise ValueError("mantissa_bits must be >= 2 (sign + magnitude)")
+    if block_size < 1:
+        raise ValueError("block_size must be positive")
+    x = np.asarray(x, dtype=np.float64)
+    moved = np.moveaxis(x, axis, -1)
+    out = np.empty_like(moved)
+    length = moved.shape[-1]
+    levels = (1 << (mantissa_bits - 1)) - 1  # symmetric mantissa range
+    for start in range(0, length, block_size):
+        block = moved[..., start:start + block_size]
+        amax = np.max(np.abs(block), axis=-1, keepdims=True)
+        # shared exponent: smallest power of two covering the block max
+        with np.errstate(divide="ignore"):
+            exp = np.ceil(np.log2(np.where(amax > 0, amax / levels, 1.0)))
+        step = np.exp2(exp)
+        q = np.clip(np.rint(block / step), -levels, levels) * step
+        out[..., start:start + block_size] = np.where(amax > 0, q, 0.0)
+    return np.moveaxis(out, -1, axis)

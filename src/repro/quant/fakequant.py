@@ -1,0 +1,143 @@
+"""Fake quantization: scale -> round-to-format -> rescale (paper Section 4.1).
+
+The paper's PTQ methodology is deliberately simple: the only calibration is
+a max observer, whose value becomes the scaling parameter.  A tensor ``x``
+with scale ``s`` is quantized as::
+
+    q = (format_max / s) * x      # map the observed max onto the format max
+    q = format.quantize(q)        # round-to-nearest representable
+    x' = q * (s / format_max)     # back to real units
+
+For INT8 this degenerates to the familiar symmetric ``round(x * 127 / s)``.
+Scales can be scalar (per-tensor) or one-per-channel (per-output-channel for
+weights, as in the paper).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..formats.base import CodebookFormat
+
+__all__ = ["FakeQuantizer", "quantize_with_scale"]
+
+
+def _broadcast_scale(scale: np.ndarray | float, x: np.ndarray, axis: int | None) -> np.ndarray:
+    """Reshape a per-channel scale vector for broadcasting along ``axis``."""
+    s = np.asarray(scale, dtype=np.float64)
+    if s.ndim == 0 or axis is None:
+        return s
+    if s.ndim != 1:
+        raise ValueError(f"scale must be scalar or 1-D, got shape {s.shape}")
+    if s.shape[0] != x.shape[axis]:
+        raise ValueError(
+            f"scale length {s.shape[0]} does not match x.shape[{axis}] = {x.shape[axis]}")
+    shape = [1] * x.ndim
+    shape[axis] = s.shape[0]
+    return s.reshape(shape)
+
+
+def quantize_with_scale(
+    x: np.ndarray,
+    fmt: CodebookFormat,
+    scale: np.ndarray | float,
+    axis: int | None = None,
+    gain: float | None = None,
+) -> np.ndarray:
+    """Fake-quantize ``x`` with max-value ``scale`` mapped onto ``fmt``'s gain.
+
+    The observed max magnitude ``scale`` is mapped onto the format's
+    ``quantization_gain``: ``max_value`` for uniform-precision formats
+    (INT8's familiar ``x * 127 / s``), 1.0 for tapered formats (Posit,
+    MERSIT), which places the data in the high-precision regime band.
+
+    Parameters
+    ----------
+    x:
+        Input array (not modified).
+    fmt:
+        Target codebook format.
+    scale:
+        Observed max magnitude: a scalar (per-tensor) or a 1-D vector with
+        one entry per index of ``axis`` (per-channel).
+    axis:
+        Channel axis for per-channel scales; ignored for scalar scales.
+    gain:
+        Override of ``fmt.quantization_gain`` (used by ablation studies).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    s = _broadcast_scale(scale, x, axis)
+    # all-zero channels quantize to zero anyway; subnormal scales would
+    # overflow the reciprocal, so clamp them to the smallest normal double
+    tiny = np.finfo(np.float64).tiny
+    s = np.where(s <= 0.0, 1.0, np.maximum(s, tiny))
+    g = fmt.quantization_gain if gain is None else gain
+    return fmt.quantize((x / s) * g) * (s / g)
+
+
+class FakeQuantizer:
+    """A reusable (format, scale policy) pair.
+
+    The quantizer is calibrated once with :meth:`calibrate` (or by passing
+    ``scale=``) and then applied to any number of tensors via
+    :meth:`__call__`.
+    """
+
+    def __init__(
+        self,
+        fmt: CodebookFormat,
+        axis: int | None = None,
+        scale: np.ndarray | float | None = None,
+        gain: float | None = None,
+        observer=None,
+    ):
+        self.fmt = fmt
+        self.axis = axis
+        self.scale = None if scale is None else np.asarray(scale, dtype=np.float64)
+        self.gain = gain
+        #: optional streaming observer (see repro.quant.observers); when
+        #: set, observe() delegates to it and finalize() derives the scale.
+        self.observer = observer
+
+    @property
+    def calibrated(self) -> bool:
+        return self.scale is not None
+
+    def calibrate(self, x: np.ndarray) -> "FakeQuantizer":
+        """Set the scale to the max magnitude of ``x`` (per-channel if axis set)."""
+        x = np.asarray(x, dtype=np.float64)
+        if self.axis is None:
+            self.scale = np.asarray(np.max(np.abs(x)) if x.size else 1.0)
+        else:
+            moved = np.moveaxis(np.abs(x), self.axis, 0)
+            self.scale = moved.reshape(moved.shape[0], -1).max(axis=1)
+        return self
+
+    def observe(self, x: np.ndarray) -> "FakeQuantizer":
+        """Streaming calibration update (running max, or the attached observer)."""
+        if self.observer is not None:
+            self.observer.observe(x)
+            return self
+        x = np.asarray(x, dtype=np.float64)
+        if self.axis is None:
+            new = np.asarray(np.max(np.abs(x)) if x.size else 0.0)
+        else:
+            moved = np.moveaxis(np.abs(x), self.axis, 0)
+            new = moved.reshape(moved.shape[0], -1).max(axis=1)
+        self.scale = new if self.scale is None else np.maximum(self.scale, new)
+        return self
+
+    def finalize(self) -> "FakeQuantizer":
+        """Derive the scale from the attached observer (no-op otherwise)."""
+        if self.observer is not None:
+            self.scale = np.asarray(self.observer.compute_scale(), dtype=np.float64)
+        return self
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        if self.scale is None:
+            raise RuntimeError("FakeQuantizer used before calibration")
+        return quantize_with_scale(x, self.fmt, self.scale, self.axis, self.gain)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        where = "per-tensor" if self.axis is None else f"per-channel(axis={self.axis})"
+        return f"<FakeQuantizer {self.fmt.name} {where} calibrated={self.calibrated}>"

@@ -1,0 +1,91 @@
+"""Error and task metrics used by the paper's evaluation.
+
+* :func:`rmse` — the Fig. 6 root-mean-square error between FP32 and
+  quantized tensors.
+* :func:`sqnr_db` — signal-to-quantization-noise ratio, a standard
+  supplementary view of the same comparison.
+* GLUE metrics — accuracy, F1 (MRPC) and Matthews correlation (CoLA),
+  matching the conventions of the GLUE benchmark the paper reports.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "rmse",
+    "relative_rmse",
+    "sqnr_db",
+    "accuracy",
+    "f1_score",
+    "matthews_corrcoef",
+]
+
+
+def rmse(reference: np.ndarray, quantized: np.ndarray) -> float:
+    """Root-mean-square error between a reference and its quantized copy."""
+    reference = np.asarray(reference, dtype=np.float64)
+    quantized = np.asarray(quantized, dtype=np.float64)
+    if reference.shape != quantized.shape:
+        raise ValueError(f"shape mismatch: {reference.shape} vs {quantized.shape}")
+    return float(np.sqrt(np.mean((reference - quantized) ** 2)))
+
+
+def relative_rmse(reference: np.ndarray, quantized: np.ndarray) -> float:
+    """RMSE normalised by the reference RMS, comparable across layers."""
+    denom = float(np.sqrt(np.mean(np.asarray(reference, dtype=np.float64) ** 2)))
+    if denom == 0.0:
+        return 0.0
+    return rmse(reference, quantized) / denom
+
+
+def sqnr_db(reference: np.ndarray, quantized: np.ndarray) -> float:
+    """Signal-to-quantization-noise ratio in dB (higher is better)."""
+    reference = np.asarray(reference, dtype=np.float64)
+    noise = reference - np.asarray(quantized, dtype=np.float64)
+    p_sig = float(np.mean(reference ** 2))
+    p_noise = float(np.mean(noise ** 2))
+    if p_noise == 0.0:
+        return float("inf")
+    if p_sig == 0.0:
+        return float("-inf")
+    return 10.0 * np.log10(p_sig / p_noise)
+
+
+def accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of exact label matches, in percent."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValueError("label arrays must have the same shape")
+    if y_true.size == 0:
+        raise ValueError("empty label arrays")
+    return float(np.mean(y_true == y_pred)) * 100.0
+
+
+def f1_score(y_true: np.ndarray, y_pred: np.ndarray, positive: int = 1) -> float:
+    """Binary F1 (percent), the GLUE metric for MRPC."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    tp = float(np.sum((y_pred == positive) & (y_true == positive)))
+    fp = float(np.sum((y_pred == positive) & (y_true != positive)))
+    fn = float(np.sum((y_pred != positive) & (y_true == positive)))
+    if tp == 0.0:
+        return 0.0
+    precision = tp / (tp + fp)
+    recall = tp / (tp + fn)
+    return 200.0 * precision * recall / (precision + recall)
+
+
+def matthews_corrcoef(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Matthews correlation coefficient (percent), the GLUE metric for CoLA."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    tp = float(np.sum((y_pred == 1) & (y_true == 1)))
+    tn = float(np.sum((y_pred == 0) & (y_true == 0)))
+    fp = float(np.sum((y_pred == 1) & (y_true == 0)))
+    fn = float(np.sum((y_pred == 0) & (y_true == 1)))
+    denom = np.sqrt((tp + fp) * (tp + fn) * (tn + fp) * (tn + fn))
+    if denom == 0.0:
+        return 0.0
+    return 100.0 * (tp * tn - fp * fn) / denom

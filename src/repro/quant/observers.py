@@ -1,0 +1,159 @@
+"""Calibration observers: max, percentile and MSE-optimal scaling.
+
+The paper deliberately uses plain max observers ("basic settings", §4.1)
+so that accuracy differences are attributable to the data format.  This
+module adds the two standard alternatives so that choice can be measured
+rather than assumed:
+
+* :class:`MaxObserver` — the paper's policy (absolute maximum).
+* :class:`PercentileObserver` — clip the top tail (robust to outliers;
+  the usual way INT8 is rescued on heavy-tailed activations).
+* :class:`MSEObserver` — grid-search the scale minimising quantization
+  MSE against the calibration data.
+
+All observers stream batches via :meth:`observe` and produce a scalar or
+per-channel ``scale`` compatible with
+:class:`~repro.quant.fakequant.FakeQuantizer`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..formats.base import CodebookFormat
+from .fakequant import quantize_with_scale
+
+__all__ = ["MaxObserver", "PercentileObserver", "MSEObserver", "make_observer"]
+
+
+class _ObserverBase:
+    """Shared channel handling for streaming observers."""
+
+    def __init__(self, axis: int | None = None):
+        self.axis = axis
+
+    def _per_channel(self, x: np.ndarray) -> np.ndarray:
+        moved = np.moveaxis(np.abs(x), self.axis, 0)
+        return moved.reshape(moved.shape[0], -1)
+
+    def observe(self, x: np.ndarray) -> "_ObserverBase":
+        raise NotImplementedError
+
+    def compute_scale(self) -> np.ndarray | float:
+        raise NotImplementedError
+
+
+class MaxObserver(_ObserverBase):
+    """Running absolute maximum (the paper's calibration)."""
+
+    def __init__(self, axis: int | None = None):
+        super().__init__(axis)
+        self._max: np.ndarray | float | None = None
+
+    def observe(self, x: np.ndarray) -> "MaxObserver":
+        x = np.asarray(x, dtype=np.float64)
+        new = (np.max(np.abs(x)) if self.axis is None
+               else self._per_channel(x).max(axis=1))
+        self._max = new if self._max is None else np.maximum(self._max, new)
+        return self
+
+    def compute_scale(self):
+        if self._max is None:
+            raise RuntimeError("observer saw no data")
+        return self._max
+
+
+class PercentileObserver(_ObserverBase):
+    """Percentile of |x| over the whole calibration stream.
+
+    Keeps a bounded reservoir of samples per channel so memory stays flat
+    regardless of stream length.
+    """
+
+    def __init__(self, axis: int | None = None, percentile: float = 99.9,
+                 reservoir: int = 100_000, seed: int = 0):
+        if not 0 < percentile <= 100:
+            raise ValueError("percentile must be in (0, 100]")
+        super().__init__(axis)
+        self.percentile = percentile
+        self.reservoir = reservoir
+        self._rng = np.random.default_rng(seed)
+        self._samples: list[np.ndarray] = []
+
+    def observe(self, x: np.ndarray) -> "PercentileObserver":
+        x = np.asarray(x, dtype=np.float64)
+        flat = np.abs(x) if self.axis is None else self._per_channel(x)
+        if self.axis is None:
+            flat = flat.ravel()
+            if flat.size > self.reservoir:
+                flat = self._rng.choice(flat, self.reservoir, replace=False)
+            self._samples.append(flat)
+        else:
+            keep = min(flat.shape[1], max(1, self.reservoir // flat.shape[0]))
+            if flat.shape[1] > keep:
+                idx = self._rng.choice(flat.shape[1], keep, replace=False)
+                flat = flat[:, idx]
+            self._samples.append(flat)
+        return self
+
+    def compute_scale(self):
+        if not self._samples:
+            raise RuntimeError("observer saw no data")
+        if self.axis is None:
+            return float(np.percentile(np.concatenate(self._samples),
+                                       self.percentile))
+        data = np.concatenate(self._samples, axis=1)
+        return np.percentile(data, self.percentile, axis=1)
+
+
+class MSEObserver(_ObserverBase):
+    """Scale minimising quantization MSE on the calibration stream.
+
+    Searches a multiplicative grid below the observed max; per-tensor
+    only (the standard usage for activations).
+    """
+
+    def __init__(self, fmt: CodebookFormat, grid: int = 24,
+                 lowest: float = 0.25):
+        super().__init__(axis=None)
+        self.fmt = fmt
+        self.grid = grid
+        self.lowest = lowest
+        self._chunks: list[np.ndarray] = []
+        self._max = 0.0
+
+    def observe(self, x: np.ndarray) -> "MSEObserver":
+        x = np.asarray(x, dtype=np.float64).ravel()
+        if x.size > 20_000:
+            x = x[:: x.size // 20_000 + 1]
+        self._chunks.append(x)
+        self._max = max(self._max, float(np.max(np.abs(x))) if x.size else 0.0)
+        return self
+
+    def compute_scale(self) -> float:
+        if not self._chunks:
+            raise RuntimeError("observer saw no data")
+        data = np.concatenate(self._chunks)
+        if self._max == 0.0:
+            return 1.0
+        best_scale, best_err = self._max, np.inf
+        for factor in np.geomspace(self.lowest, 1.0, self.grid):
+            scale = self._max * factor
+            q = quantize_with_scale(data, self.fmt, scale)
+            err = float(np.mean((data - q) ** 2))
+            if err < best_err:
+                best_scale, best_err = scale, err
+        return best_scale
+
+
+def make_observer(kind: str, fmt: CodebookFormat, axis: int | None = None):
+    """Factory: ``"max"`` | ``"percentile"`` | ``"mse"``."""
+    if kind == "max":
+        return MaxObserver(axis=axis)
+    if kind == "percentile":
+        return PercentileObserver(axis=axis)
+    if kind == "mse":
+        if axis is not None:
+            raise ValueError("MSEObserver is per-tensor only")
+        return MSEObserver(fmt)
+    raise KeyError(f"unknown observer kind {kind!r}")

@@ -1,0 +1,146 @@
+"""Model-level post-training quantization (the paper's Section 4.1 recipe).
+
+The methodology deliberately mirrors the paper's "basic settings":
+
+1. Attach a fake quantizer to every quantizable layer (Linear/Conv2d):
+   weights per-output-channel, activations per-tensor (layer-level).
+2. Weight scales come straight from the weight maxima.
+3. Activation scales come from a *small* calibration stream (the paper uses
+   1000 ImageNet images / 5 % of GLUE inputs) via running-max observers.
+4. No advanced PTQ (no PD-Quant/QDrop, no bias correction, no per-layer
+   tuning) so accuracy differences are attributable to the format alone.
+
+The driver is architecture-agnostic: it walks the module tree for
+:class:`~repro.nn.layers.QuantizableMixin` layers and uses a caller-supplied
+``forward`` callable for the calibration stream.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass, field
+
+from ..autograd import no_grad
+from ..formats import CodebookFormat, get_format
+from ..nn.layers import QuantizableMixin
+from ..nn.module import Module
+from .fakequant import FakeQuantizer
+
+__all__ = ["PTQConfig", "quantize_model", "dequantize_model", "quantized_layers"]
+
+
+@dataclass
+class PTQConfig:
+    """What to quantize and how.
+
+    Attributes
+    ----------
+    weight_format / activation_format:
+        Format objects or registry names. The paper always uses the same
+        format for both; they are separate here to support ablations.
+    per_channel_weights:
+        Per-output-channel weight scales (paper default). Axis 0 is the
+        output channel for both Conv2d (OIHW) and Linear (out, in).
+    skip:
+        Optional predicate ``(name, module) -> bool``; layers for which it
+        returns True stay in full precision.
+    """
+
+    weight_format: CodebookFormat | str = "MERSIT(8,2)"
+    activation_format: CodebookFormat | str | None = None
+    per_channel_weights: bool = True
+    skip: Callable[[str, Module], bool] | None = None
+    #: override of the formats' quantization_gain (ablation studies only)
+    gain_override: float | None = None
+    #: activation calibration policy: "max" (paper), "percentile" or "mse"
+    activation_observer: str = "max"
+    _wfmt: CodebookFormat = field(init=False, repr=False, default=None)
+    _afmt: CodebookFormat = field(init=False, repr=False, default=None)
+
+    def __post_init__(self):
+        self._wfmt = (get_format(self.weight_format)
+                      if isinstance(self.weight_format, str) else self.weight_format)
+        act = self.activation_format if self.activation_format is not None else self._wfmt
+        self._afmt = get_format(act) if isinstance(act, str) else act
+
+    @property
+    def wfmt(self) -> CodebookFormat:
+        return self._wfmt
+
+    @property
+    def afmt(self) -> CodebookFormat:
+        return self._afmt
+
+
+def quantized_layers(model: Module) -> list[tuple[str, QuantizableMixin]]:
+    """All (name, layer) pairs in ``model`` that carry quantization hooks."""
+    return [(name, m) for name, m in model.named_modules()
+            if isinstance(m, QuantizableMixin)]
+
+
+def quantize_model(
+    model: Module,
+    config: PTQConfig,
+    calibration_batches: Iterable,
+    forward: Callable[[Module, object], object] | None = None,
+) -> Module:
+    """Attach and calibrate fake quantizers on ``model`` (in place).
+
+    Parameters
+    ----------
+    model:
+        The pretrained model; switched to eval mode.
+    config:
+        Formats and scaling policy.
+    calibration_batches:
+        Iterable of batches fed through the model once to observe
+        activation maxima.
+    forward:
+        ``forward(model, batch)`` adapter; defaults to ``model(batch)``.
+        Use it for models with multi-input signatures (e.g. BERT takes
+        ``(ids, mask)``).
+    """
+    forward = forward or (lambda m, batch: m(batch))
+    model.eval()
+
+    targets = []
+    for name, layer in quantized_layers(model):
+        if config.skip is not None and config.skip(name, layer):
+            continue
+        targets.append(layer)
+        axis = 0 if config.per_channel_weights else None
+        layer.weight_quant = FakeQuantizer(
+            config.wfmt, axis=axis, gain=config.gain_override).calibrate(layer.weight.data)
+        observer = None
+        if config.activation_observer != "max":
+            from .observers import make_observer
+            observer = make_observer(config.activation_observer, config.afmt)
+        layer.input_quant = FakeQuantizer(config.afmt, axis=None,
+                                          gain=config.gain_override,
+                                          observer=observer)
+        layer.observing = True
+
+    if not targets:
+        raise ValueError("model has no quantizable layers")
+
+    with no_grad():
+        saw_batch = False
+        for batch in calibration_batches:
+            saw_batch = True
+            forward(model, batch)
+    if not saw_batch:
+        raise ValueError("calibration stream is empty")
+
+    for layer in targets:
+        layer.observing = False
+        layer.input_quant.finalize()
+        if not layer.input_quant.calibrated:
+            raise RuntimeError("a quantized layer saw no calibration data")
+    return model
+
+
+def dequantize_model(model: Module) -> Module:
+    """Strip every quantization hook, restoring full-precision inference."""
+    for _, layer in quantized_layers(model):
+        layer.clear_quant()
+    return model

@@ -1,0 +1,31 @@
+"""Miniaturised model zoo: the paper's eight CNNs and BERT, trained from scratch."""
+
+from .bert import MiniBERT
+from .blocks import (
+    BasicBlock, Bottleneck, ConvBNAct, FusedMBConv, InvertedResidual, MBConv,
+    SqueezeExcite,
+)
+from .efficientnet import MiniEfficientNetB0, MiniEfficientNetV2
+from .mobilenet import MiniMobileNetV2, MiniMobileNetV3
+from .registry import (
+    ALL_MODELS, GLUE_MODELS, VISION_MODELS, ZooEntry, dataset, glue_task,
+    pretrained, zoo_cache_dir,
+)
+from .resnet import MiniResNet, resnet18_mini, resnet50_mini, resnet101_mini
+from .trainer import (
+    TrainConfig, evaluate_text, evaluate_vision, predict_text, predict_vision,
+    train_text, train_vision,
+)
+from .vgg import MiniVGG
+
+__all__ = [
+    "MiniVGG", "MiniResNet", "resnet18_mini", "resnet50_mini", "resnet101_mini",
+    "MiniMobileNetV2", "MiniMobileNetV3", "MiniEfficientNetB0", "MiniEfficientNetV2",
+    "MiniBERT",
+    "ConvBNAct", "BasicBlock", "Bottleneck", "SqueezeExcite", "InvertedResidual",
+    "MBConv", "FusedMBConv",
+    "TrainConfig", "train_vision", "train_text", "evaluate_vision", "evaluate_text",
+    "predict_vision", "predict_text",
+    "ZooEntry", "ALL_MODELS", "VISION_MODELS", "GLUE_MODELS",
+    "pretrained", "zoo_cache_dir", "dataset", "glue_task",
+]

@@ -1,0 +1,60 @@
+"""MiniBERT: the BERT-base analogue for the GLUE-style tasks.
+
+Token + learned positional embeddings, a stack of post-LN transformer
+encoder layers, and a tanh CLS pooler feeding the classification head —
+the standard BERT fine-tuning topology, miniaturised.  All Linear layers
+(Q/K/V/out projections, FFN, pooler, classifier) are quantizable; softmax
+and LayerNorm stay in full precision.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor, functional as F
+from ..nn import LayerNorm, Linear, Module, Parameter, TransformerEncoderLayer
+from ..nn import init
+
+__all__ = ["MiniBERT"]
+
+
+class MiniBERT(Module):
+    """Tiny BERT encoder for sequence classification.
+
+    ``forward(ids, mask)`` takes integer token ids (N, T) and a float mask
+    (N, T) with 1 for real tokens; returns (N, num_labels) logits.
+    """
+
+    def __init__(self, vocab_size: int = 64, seq_len: int = 24, dim: int = 64,
+                 num_heads: int = 4, num_layers: int = 2, ffn_dim: int = 128,
+                 num_labels: int = 2, sep_id: int = 2, seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.dim = dim
+        self.sep_id = sep_id
+        self.tok_emb = Parameter(init.normal((vocab_size, dim), rng, std=0.05))
+        self.pos_emb = Parameter(init.normal((seq_len, dim), rng, std=0.05))
+        # segment (token-type) embeddings, derived from the [SEP] position
+        self.seg_emb = Parameter(init.normal((2, dim), rng, std=0.05))
+        self.emb_norm = LayerNorm(dim)
+        self.encoder_layers = [
+            TransformerEncoderLayer(dim, num_heads, ffn_dim, rng=rng)
+            for _ in range(num_layers)
+        ]
+        for i, layer in enumerate(self.encoder_layers):
+            setattr(self, f"encoder{i}", layer)
+        self.pooler = Linear(dim, dim, rng=rng)
+        self.classifier = Linear(dim, num_labels, rng=rng)
+
+    def forward(self, ids: np.ndarray, mask: np.ndarray | None = None) -> Tensor:
+        ids = np.asarray(ids)
+        # segment 1 after the first [SEP] (BERT's token-type ids)
+        segments = (np.cumsum(ids == self.sep_id, axis=1) > 0).astype(np.int64)
+        x = F.embedding(self.tok_emb, ids) + self.pos_emb \
+            + F.embedding(self.seg_emb, segments)
+        x = self.emb_norm(x)
+        for layer in self.encoder_layers:
+            x = layer(x, mask)
+        cls = x[:, 0, :]                       # CLS token representation
+        pooled = self.pooler(cls).tanh()
+        return self.classifier(pooled)

@@ -1,0 +1,167 @@
+"""Shared building blocks for the miniaturised architecture families.
+
+Each block reproduces the structural trait that drives its family's PTQ
+behaviour in the paper's Table 2:
+
+* plain conv stacks (VGG/ResNet) — well-conditioned activations, robust
+  to every 8-bit format;
+* inverted residuals with depthwise convolutions and linear bottlenecks
+  (MobileNetV2) — wider activation ranges;
+* squeeze-excite gating and hard-swish/SiLU (MobileNetV3/EfficientNet) —
+  heavy-tailed activations that punish narrow-dynamic-range formats.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor, functional as F
+from ..nn import (
+    BatchNorm2d, Conv2d, GlobalAvgPool2d, Hardsigmoid, Hardswish, Identity,
+    Linear, Module, ReLU, ReLU6, Sequential, SiLU,
+)
+
+__all__ = [
+    "ConvBNAct", "BasicBlock", "Bottleneck", "SqueezeExcite",
+    "InvertedResidual", "MBConv", "FusedMBConv",
+]
+
+
+def _activation(name: str) -> Module:
+    table = {"relu": ReLU, "relu6": ReLU6, "hardswish": Hardswish,
+             "silu": SiLU, "none": Identity}
+    return table[name]()
+
+
+class ConvBNAct(Module):
+    """Conv -> BatchNorm -> activation, the universal CNN cell."""
+
+    def __init__(self, cin: int, cout: int, kernel: int = 3, stride: int = 1,
+                 groups: int = 1, act: str = "relu",
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        self.conv = Conv2d(cin, cout, kernel, stride=stride,
+                           padding=kernel // 2, groups=groups, bias=False, rng=rng)
+        self.bn = BatchNorm2d(cout)
+        self.act = _activation(act)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.act(self.bn(self.conv(x)))
+
+
+class BasicBlock(Module):
+    """ResNet-18/34 residual block: two 3x3 convs plus identity shortcut."""
+
+    def __init__(self, cin: int, cout: int, stride: int = 1,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        self.conv1 = ConvBNAct(cin, cout, 3, stride=stride, rng=rng)
+        self.conv2 = ConvBNAct(cout, cout, 3, act="none", rng=rng)
+        if stride != 1 or cin != cout:
+            self.shortcut = ConvBNAct(cin, cout, 1, stride=stride, act="none", rng=rng)
+        else:
+            self.shortcut = Identity()
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.relu(self.conv2(self.conv1(x)) + self.shortcut(x))
+
+
+class Bottleneck(Module):
+    """ResNet-50/101 bottleneck: 1x1 reduce, 3x3, 1x1 expand (x expansion)."""
+
+    expansion = 4
+
+    def __init__(self, cin: int, width: int, stride: int = 1,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        cout = width * self.expansion
+        self.conv1 = ConvBNAct(cin, width, 1, rng=rng)
+        self.conv2 = ConvBNAct(width, width, 3, stride=stride, rng=rng)
+        self.conv3 = ConvBNAct(width, cout, 1, act="none", rng=rng)
+        if stride != 1 or cin != cout:
+            self.shortcut = ConvBNAct(cin, cout, 1, stride=stride, act="none", rng=rng)
+        else:
+            self.shortcut = Identity()
+        self.cout = cout
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.relu(self.conv3(self.conv2(self.conv1(x))) + self.shortcut(x))
+
+
+class SqueezeExcite(Module):
+    """Channel gating: global pool -> FC -> act -> FC -> sigmoid -> scale.
+
+    The multiplicative gate is the main source of activation outliers in
+    MobileNetV3/EfficientNet, which is exactly what stresses 8-bit formats
+    with narrow dynamic range.
+    """
+
+    def __init__(self, channels: int, reduction: int = 4, gate: str = "hardsigmoid",
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        hidden = max(2, channels // reduction)
+        self.pool = GlobalAvgPool2d()
+        self.fc1 = Linear(channels, hidden, rng=rng)
+        self.fc2 = Linear(hidden, channels, rng=rng)
+        self.gate = Hardsigmoid() if gate == "hardsigmoid" else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        n, c = x.shape[0], x.shape[1]
+        s = self.pool(x)
+        s = F.relu(self.fc1(s))
+        s = self.fc2(s)
+        s = self.gate(s) if self.gate is not None else s.sigmoid()
+        return x * s.reshape(n, c, 1, 1)
+
+
+class InvertedResidual(Module):
+    """MobileNetV2 block: 1x1 expand -> depthwise 3x3 -> 1x1 linear project."""
+
+    def __init__(self, cin: int, cout: int, stride: int = 1, expand: int = 4,
+                 act: str = "relu6", use_se: bool = False,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        hidden = cin * expand
+        layers = []
+        if expand != 1:
+            layers.append(ConvBNAct(cin, hidden, 1, act=act, rng=rng))
+        layers.append(ConvBNAct(hidden, hidden, 3, stride=stride,
+                                groups=hidden, act=act, rng=rng))
+        if use_se:
+            layers.append(SqueezeExcite(hidden, rng=rng))
+        layers.append(ConvBNAct(hidden, cout, 1, act="none", rng=rng))
+        self.body = Sequential(*layers)
+        self.use_res = stride == 1 and cin == cout
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.body(x)
+        return out + x if self.use_res else out
+
+
+class MBConv(Module):
+    """EfficientNet MBConv: inverted residual with SE and SiLU."""
+
+    def __init__(self, cin: int, cout: int, stride: int = 1, expand: int = 4,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        self.block = InvertedResidual(cin, cout, stride=stride, expand=expand,
+                                      act="silu", use_se=True, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.block(x)
+
+
+class FusedMBConv(Module):
+    """EfficientNetV2 fused block: full 3x3 expand conv instead of depthwise."""
+
+    def __init__(self, cin: int, cout: int, stride: int = 1, expand: int = 4,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        hidden = cin * expand
+        self.expand_conv = ConvBNAct(cin, hidden, 3, stride=stride, act="silu", rng=rng)
+        self.project = ConvBNAct(hidden, cout, 1, act="none", rng=rng)
+        self.use_res = stride == 1 and cin == cout
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.project(self.expand_conv(x))
+        return out + x if self.use_res else out

@@ -1,0 +1,68 @@
+"""MiniEfficientNet-B0/V2: MBConv analogues with SE and SiLU.
+
+EfficientNets are the most quantization-fragile vision models in the
+paper's Table 2 (INT8 drops from 77.7 to 50.3 on B0, 84.2 to 25.3 on V2):
+SiLU's unbounded positive range combined with squeeze-excite gating
+produces the widest activation distributions in the zoo.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor
+from ..nn import Flatten, GlobalAvgPool2d, Linear, Module, Sequential
+from .blocks import ConvBNAct, FusedMBConv, MBConv
+
+__all__ = ["MiniEfficientNetB0", "MiniEfficientNetV2"]
+
+
+class MiniEfficientNetB0(Module):
+    """MBConv (depthwise + SE + SiLU) trunk."""
+
+    def __init__(self, num_classes: int = 10, width: int = 12, in_channels: int = 3,
+                 seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        w = width
+        self.stem = ConvBNAct(in_channels, w, act="silu", rng=rng)
+        self.blocks = Sequential(
+            MBConv(w, w, expand=1, rng=rng),
+            MBConv(w, 2 * w, stride=2, expand=4, rng=rng),
+            MBConv(2 * w, 2 * w, expand=4, rng=rng),
+            MBConv(2 * w, 3 * w, stride=2, expand=4, rng=rng),
+            MBConv(3 * w, 3 * w, expand=4, rng=rng),
+        )
+        self.final = ConvBNAct(3 * w, 6 * w, 1, act="silu", rng=rng)
+        self.head = Sequential(GlobalAvgPool2d(), Flatten(),
+                               Linear(6 * w, num_classes, rng=rng))
+
+    def forward(self, x) -> Tensor:
+        x = Tensor.as_tensor(x)
+        return self.head(self.final(self.blocks(self.stem(x))))
+
+
+class MiniEfficientNetV2(Module):
+    """Fused-MBConv early stages, MBConv late stages (the V2 hybrid)."""
+
+    def __init__(self, num_classes: int = 10, width: int = 12, in_channels: int = 3,
+                 seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        w = width
+        self.stem = ConvBNAct(in_channels, w, act="silu", rng=rng)
+        self.blocks = Sequential(
+            FusedMBConv(w, w, expand=2, rng=rng),
+            FusedMBConv(w, 2 * w, stride=2, expand=4, rng=rng),
+            FusedMBConv(2 * w, 2 * w, expand=4, rng=rng),
+            MBConv(2 * w, 3 * w, stride=2, expand=4, rng=rng),
+            MBConv(3 * w, 3 * w, expand=4, rng=rng),
+            MBConv(3 * w, 3 * w, expand=4, rng=rng),
+        )
+        self.final = ConvBNAct(3 * w, 6 * w, 1, act="silu", rng=rng)
+        self.head = Sequential(GlobalAvgPool2d(), Flatten(),
+                               Linear(6 * w, num_classes, rng=rng))
+
+    def forward(self, x) -> Tensor:
+        x = Tensor.as_tensor(x)
+        return self.head(self.final(self.blocks(self.stem(x))))

@@ -1,0 +1,72 @@
+"""MiniMobileNetV2/V3: depthwise inverted-residual analogues.
+
+These are the architectures where the paper's Table 2 shows INT8 and the
+narrow-range formats (FP(8,2), Posit(8,0)) collapsing: depthwise
+convolutions yield per-channel activation statistics with heavy tails, and
+V3 adds squeeze-excite gating plus hard-swish, stretching activation ranges
+further.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor
+from ..nn import Flatten, GlobalAvgPool2d, Linear, Module, Sequential
+from .blocks import ConvBNAct, InvertedResidual
+
+__all__ = ["MiniMobileNetV2", "MiniMobileNetV3"]
+
+
+class MiniMobileNetV2(Module):
+    """Inverted residual blocks, ReLU6, linear bottlenecks (no SE)."""
+
+    def __init__(self, num_classes: int = 10, width: int = 12, in_channels: int = 3,
+                 seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        w = width
+        self.stem = ConvBNAct(in_channels, w, act="relu6", rng=rng)
+        self.blocks = Sequential(
+            InvertedResidual(w, w, expand=1, act="relu6", rng=rng),
+            InvertedResidual(w, 2 * w, stride=2, expand=4, act="relu6", rng=rng),
+            InvertedResidual(2 * w, 2 * w, expand=4, act="relu6", rng=rng),
+            InvertedResidual(2 * w, 3 * w, stride=2, expand=4, act="relu6", rng=rng),
+            InvertedResidual(3 * w, 3 * w, expand=4, act="relu6", rng=rng),
+        )
+        self.final = ConvBNAct(3 * w, 6 * w, 1, act="relu6", rng=rng)
+        self.head = Sequential(GlobalAvgPool2d(), Flatten(),
+                               Linear(6 * w, num_classes, rng=rng))
+
+    def forward(self, x) -> Tensor:
+        x = Tensor.as_tensor(x)
+        return self.head(self.final(self.blocks(self.stem(x))))
+
+
+class MiniMobileNetV3(Module):
+    """V2 topology plus squeeze-excite and hard-swish (the V3 additions)."""
+
+    def __init__(self, num_classes: int = 10, width: int = 12, in_channels: int = 3,
+                 seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        w = width
+        self.stem = ConvBNAct(in_channels, w, act="hardswish", rng=rng)
+        self.blocks = Sequential(
+            InvertedResidual(w, w, expand=1, act="relu6", use_se=True, rng=rng),
+            InvertedResidual(w, 2 * w, stride=2, expand=4, act="hardswish",
+                             use_se=True, rng=rng),
+            InvertedResidual(2 * w, 2 * w, expand=4, act="hardswish",
+                             use_se=True, rng=rng),
+            InvertedResidual(2 * w, 3 * w, stride=2, expand=4, act="hardswish",
+                             use_se=True, rng=rng),
+            InvertedResidual(3 * w, 3 * w, expand=4, act="hardswish",
+                             use_se=True, rng=rng),
+        )
+        self.final = ConvBNAct(3 * w, 6 * w, 1, act="hardswish", rng=rng)
+        self.head = Sequential(GlobalAvgPool2d(), Flatten(),
+                               Linear(6 * w, num_classes, rng=rng))
+
+    def forward(self, x) -> Tensor:
+        x = Tensor.as_tensor(x)
+        return self.head(self.final(self.blocks(self.stem(x))))

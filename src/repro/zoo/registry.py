@@ -1,0 +1,177 @@
+"""The pretrained-model zoo: train-once, cache, reload.
+
+``pretrained(name)`` returns the paper's model analogue with trained
+weights, training it on first use and caching the state dict (plus its
+FP32 reference score) as an ``.npz`` under the cache directory
+(``$REPRO_ZOO_CACHE`` or ``.zoo_cache/`` in the working directory).
+
+Vision entries share one :class:`~repro.data.images.SynthImageNet`
+instance; each GLUE entry owns a task. The registry records, per entry,
+everything the Table 2 experiment needs: datasets, eval metric, and a
+``forward`` adapter for calibration.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from ..data.glue import TASK_METRICS, GlueTask, make_task
+from ..data.images import SynthImageNet
+from ..nn import Module
+from .bert import MiniBERT
+from .efficientnet import MiniEfficientNetB0, MiniEfficientNetV2
+from .mobilenet import MiniMobileNetV2, MiniMobileNetV3
+from .resnet import resnet18_mini, resnet50_mini, resnet101_mini
+from .trainer import (
+    TrainConfig, evaluate_text, evaluate_vision, train_text, train_vision,
+)
+from .vgg import MiniVGG
+
+__all__ = [
+    "ZooEntry", "VISION_MODELS", "GLUE_MODELS", "ALL_MODELS",
+    "pretrained", "zoo_cache_dir", "dataset", "glue_task",
+]
+
+# shared dataset geometry (kept small so from-scratch training is minutes,
+# not hours, while leaving quantization-visible headroom; see DESIGN.md)
+NUM_CLASSES = 16
+IMAGE_SIZE = 24
+TRAIN_N = 2000
+SEQ_LEN = 24
+TEXT_TRAIN_N = 3000
+
+_DATASET: SynthImageNet | None = None
+_TASKS: dict[str, GlueTask] = {}
+
+
+def dataset() -> SynthImageNet:
+    """The shared synthetic image-classification dataset."""
+    global _DATASET
+    if _DATASET is None:
+        _DATASET = SynthImageNet(num_classes=NUM_CLASSES, image_size=IMAGE_SIZE)
+    return _DATASET
+
+
+def glue_task(name: str) -> GlueTask:
+    """The shared GlueTask instance for a task name."""
+    if name not in _TASKS:
+        _TASKS[name] = make_task(name, seq_len=SEQ_LEN)
+    return _TASKS[name]
+
+
+@dataclass
+class ZooEntry:
+    """One row of the paper's Table 2."""
+
+    name: str                    # paper's model name
+    kind: str                    # "vision" | "glue"
+    factory: Callable[[], Module]
+    train_cfg: TrainConfig = field(default_factory=TrainConfig)
+    task: str | None = None      # GLUE task name for kind == "glue"
+
+    @property
+    def metric(self) -> str:
+        return TASK_METRICS[self.task] if self.kind == "glue" else "accuracy"
+
+
+def _bert_factory(task_name: str) -> Callable[[], Module]:
+    def make() -> Module:
+        t = glue_task(task_name)
+        return MiniBERT(vocab_size=t.vocab.size, seq_len=t.seq_len,
+                        num_labels=t.num_labels, seed=11)
+    return make
+
+
+_VISION_CFG = TrainConfig(epochs=10, batch_size=64, lr=2e-3, weight_decay=1e-4)
+_TEXT_CFG = TrainConfig(epochs=20, batch_size=64, lr=2e-3, weight_decay=1e-5)
+
+
+def _vision_entry(name: str, factory: Callable[[], Module]) -> ZooEntry:
+    return ZooEntry(name, "vision", factory, train_cfg=_VISION_CFG)
+
+
+def _glue_entry(name: str, task: str) -> ZooEntry:
+    return ZooEntry(name, "glue", _bert_factory(task), train_cfg=_TEXT_CFG, task=task)
+
+
+VISION_MODELS: dict[str, ZooEntry] = {
+    "VGG16": _vision_entry(
+        "VGG16", lambda: MiniVGG(num_classes=NUM_CLASSES, image_size=IMAGE_SIZE, seed=1)),
+    "ResNet18": _vision_entry("ResNet18", lambda: resnet18_mini(NUM_CLASSES, seed=2)),
+    "ResNet50": _vision_entry("ResNet50", lambda: resnet50_mini(NUM_CLASSES, seed=3)),
+    "ResNet101": _vision_entry("ResNet101", lambda: resnet101_mini(NUM_CLASSES, seed=4)),
+    "MobileNet_v2": _vision_entry(
+        "MobileNet_v2", lambda: MiniMobileNetV2(NUM_CLASSES, seed=5)),
+    "MobileNet_v3": _vision_entry(
+        "MobileNet_v3", lambda: MiniMobileNetV3(NUM_CLASSES, seed=6)),
+    "EfficientNet_b0": _vision_entry(
+        "EfficientNet_b0", lambda: MiniEfficientNetB0(NUM_CLASSES, seed=7)),
+    "EfficientNet_v2": _vision_entry(
+        "EfficientNet_v2", lambda: MiniEfficientNetV2(NUM_CLASSES, seed=8)),
+}
+
+GLUE_MODELS: dict[str, ZooEntry] = {
+    "CoLA": _glue_entry("CoLA", "cola"),
+    "MNLI-mm": _glue_entry("MNLI-mm", "mnli"),
+    "MRPC": _glue_entry("MRPC", "mrpc"),
+    "SST-2": _glue_entry("SST-2", "sst2"),
+}
+
+ALL_MODELS: dict[str, ZooEntry] = {**VISION_MODELS, **GLUE_MODELS}
+
+
+def zoo_cache_dir() -> Path:
+    """Directory holding trained-model caches (created on demand)."""
+    root = os.environ.get("REPRO_ZOO_CACHE", ".zoo_cache")
+    path = Path(root)
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def _cache_path(name: str) -> Path:
+    safe = name.replace("/", "_").replace(" ", "_")
+    return zoo_cache_dir() / f"{safe}.npz"
+
+
+def _train_entry(entry: ZooEntry, model: Module, verbose: bool) -> float:
+    cfg = entry.train_cfg
+    if verbose:
+        cfg = TrainConfig(**{**cfg.__dict__, "verbose": True})
+    if entry.kind == "vision":
+        train_vision(model, dataset().train_split(TRAIN_N), cfg)
+        return evaluate_vision(model, dataset().test_split(1000))
+    task = glue_task(entry.task)
+    train_text(model, task.train_split(TEXT_TRAIN_N), cfg)
+    return evaluate_text(model, task.test_split(1000), entry.metric)
+
+
+def pretrained(name: str, retrain: bool = False, verbose: bool = False) -> tuple[Module, float]:
+    """Return ``(model, fp32_reference_score)`` for a Table 2 row.
+
+    The model is trained on first call and cached; subsequent calls load
+    the cached state dict.  ``retrain=True`` forces retraining.
+    """
+    if name not in ALL_MODELS:
+        raise KeyError(f"unknown model {name!r}; available: {sorted(ALL_MODELS)}")
+    entry = ALL_MODELS[name]
+    model = entry.factory()
+    path = _cache_path(name)
+    if path.exists() and not retrain:
+        blob = dict(np.load(path))
+        score = float(blob.pop("__fp32_score__"))
+        model.load_state_dict(blob)
+        model.eval()
+        return model, score
+    score = _train_entry(entry, model, verbose)
+    state = model.state_dict()
+    state["__fp32_score__"] = np.array(score, dtype=np.float64)
+    tmp = path.with_suffix(f".tmp{os.getpid()}.npz")
+    np.savez(tmp, **state)
+    os.replace(tmp, path)  # atomic: concurrent trainers cannot corrupt the cache
+    model.eval()
+    return model, score

@@ -1,0 +1,62 @@
+"""MiniResNet: ResNet-18/50/101 analogues (basic vs bottleneck, two depths)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor
+from ..nn import Flatten, GlobalAvgPool2d, Linear, Module, Sequential
+from .blocks import BasicBlock, Bottleneck, ConvBNAct
+
+__all__ = ["MiniResNet", "resnet18_mini", "resnet50_mini", "resnet101_mini"]
+
+
+class MiniResNet(Module):
+    """Three-stage residual network over 24x24 inputs.
+
+    ``block`` selects the ResNet-18 basic block or the ResNet-50/101
+    bottleneck; ``blocks_per_stage`` scales depth, mirroring how ResNet-101
+    differs from ResNet-50 only by depth.
+    """
+
+    def __init__(self, block: str = "basic", blocks_per_stage: tuple[int, ...] = (2, 2, 2),
+                 num_classes: int = 10, width: int = 16, in_channels: int = 3, seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.stem = ConvBNAct(in_channels, width, rng=rng)
+        stages = []
+        cin = width
+        for stage_idx, n_blocks in enumerate(blocks_per_stage):
+            stage_width = width * (2 ** stage_idx)
+            for b in range(n_blocks):
+                stride = 2 if (b == 0 and stage_idx > 0) else 1
+                if block == "basic":
+                    layer = BasicBlock(cin, stage_width, stride=stride, rng=rng)
+                    cin = stage_width
+                elif block == "bottleneck":
+                    layer = Bottleneck(cin, stage_width // 2, stride=stride, rng=rng)
+                    cin = layer.cout
+                else:
+                    raise ValueError(f"unknown block type {block!r}")
+                stages.append(layer)
+        self.stages = Sequential(*stages)
+        self.head = Sequential(GlobalAvgPool2d(), Flatten(), Linear(cin, num_classes, rng=rng))
+
+    def forward(self, x) -> Tensor:
+        x = Tensor.as_tensor(x)
+        return self.head(self.stages(self.stem(x)))
+
+
+def resnet18_mini(num_classes: int = 10, seed: int = 0) -> MiniResNet:
+    """ResNet-18 analogue: basic blocks, shallow."""
+    return MiniResNet("basic", (2, 2, 2), num_classes=num_classes, seed=seed)
+
+
+def resnet50_mini(num_classes: int = 10, seed: int = 0) -> MiniResNet:
+    """ResNet-50 analogue: bottleneck blocks."""
+    return MiniResNet("bottleneck", (2, 2, 2), num_classes=num_classes, seed=seed)
+
+
+def resnet101_mini(num_classes: int = 10, seed: int = 0) -> MiniResNet:
+    """ResNet-101 analogue: bottleneck blocks, deeper."""
+    return MiniResNet("bottleneck", (2, 3, 3), num_classes=num_classes, seed=seed)

@@ -1,0 +1,134 @@
+"""Training and evaluation loops for the zoo (vision + text)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..autograd import Tensor, functional as F, no_grad
+from ..data.glue import TASK_METRICS, TextBatches
+from ..data.images import ImageBatches
+from ..nn import Adam, Module, SGD
+from ..quant.metrics import accuracy, f1_score, matthews_corrcoef
+
+__all__ = [
+    "TrainConfig", "train_vision", "train_text",
+    "evaluate_vision", "evaluate_text", "predict_vision", "predict_text",
+]
+
+
+@dataclass
+class TrainConfig:
+    epochs: int = 12
+    batch_size: int = 50
+    lr: float = 2e-3
+    weight_decay: float = 1e-4
+    optimizer: str = "adam"
+    seed: int = 0
+    verbose: bool = False
+
+
+def _make_optimizer(model: Module, cfg: TrainConfig):
+    if cfg.optimizer == "adam":
+        return Adam(model.parameters(), lr=cfg.lr, weight_decay=cfg.weight_decay)
+    if cfg.optimizer == "sgd":
+        return SGD(model.parameters(), lr=cfg.lr, momentum=0.9,
+                   weight_decay=cfg.weight_decay)
+    raise ValueError(f"unknown optimizer {cfg.optimizer!r}")
+
+
+def train_vision(model: Module, data: ImageBatches, cfg: TrainConfig) -> list[float]:
+    """Minibatch training on an image split; returns per-epoch mean losses."""
+    opt = _make_optimizer(model, cfg)
+    rng = np.random.default_rng(cfg.seed)
+    n = len(data)
+    losses = []
+    model.train()
+    for epoch in range(cfg.epochs):
+        order = rng.permutation(n)
+        epoch_loss = 0.0
+        nb = 0
+        for i in range(0, n, cfg.batch_size):
+            idx = order[i:i + cfg.batch_size]
+            logits = model(Tensor(data.images[idx]))
+            loss = F.cross_entropy(logits, data.labels[idx])
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+            epoch_loss += loss.item()
+            nb += 1
+        losses.append(epoch_loss / nb)
+        if cfg.verbose:  # pragma: no cover - logging
+            print(f"  epoch {epoch + 1}/{cfg.epochs} loss {losses[-1]:.4f}")
+    model.eval()
+    return losses
+
+
+def train_text(model: Module, data: TextBatches, cfg: TrainConfig) -> list[float]:
+    """Minibatch training on a GLUE-style split."""
+    opt = _make_optimizer(model, cfg)
+    rng = np.random.default_rng(cfg.seed)
+    n = len(data)
+    losses = []
+    model.train()
+    for epoch in range(cfg.epochs):
+        order = rng.permutation(n)
+        epoch_loss = 0.0
+        nb = 0
+        for i in range(0, n, cfg.batch_size):
+            idx = order[i:i + cfg.batch_size]
+            logits = model(data.ids[idx], data.mask[idx])
+            loss = F.cross_entropy(logits, data.labels[idx])
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+            epoch_loss += loss.item()
+            nb += 1
+        losses.append(epoch_loss / nb)
+        if cfg.verbose:  # pragma: no cover - logging
+            print(f"  epoch {epoch + 1}/{cfg.epochs} loss {losses[-1]:.4f}")
+    model.eval()
+    return losses
+
+
+def predict_vision(model: Module, images: np.ndarray, batch_size: int = 100) -> np.ndarray:
+    """Argmax class predictions for a stack of images."""
+    model.eval()
+    preds = []
+    with no_grad():
+        for i in range(0, len(images), batch_size):
+            logits = model(Tensor(images[i:i + batch_size]))
+            preds.append(np.argmax(logits.data, axis=-1))
+    return np.concatenate(preds)
+
+
+def predict_text(model: Module, ids: np.ndarray, mask: np.ndarray,
+                 batch_size: int = 100) -> np.ndarray:
+    """Argmax label predictions for a batch of token sequences."""
+    model.eval()
+    preds = []
+    with no_grad():
+        for i in range(0, len(ids), batch_size):
+            logits = model(ids[i:i + batch_size], mask[i:i + batch_size])
+            preds.append(np.argmax(logits.data, axis=-1))
+    return np.concatenate(preds)
+
+
+def evaluate_vision(model: Module, data: ImageBatches, batch_size: int = 100) -> float:
+    """Top-1 accuracy (percent) on an image split."""
+    preds = predict_vision(model, data.images, batch_size)
+    return accuracy(data.labels, preds)
+
+
+def evaluate_text(model: Module, data: TextBatches, metric: str = "accuracy",
+                  batch_size: int = 100) -> float:
+    """Task metric (percent) on a text split: accuracy, f1 or matthews."""
+    preds = predict_text(model, data.ids, data.mask, batch_size)
+    if metric == "accuracy":
+        return accuracy(data.labels, preds)
+    if metric == "f1":
+        return f1_score(data.labels, preds)
+    if metric == "matthews":
+        return matthews_corrcoef(data.labels, preds)
+    raise ValueError(f"unknown metric {metric!r}; see TASK_METRICS: {TASK_METRICS}")

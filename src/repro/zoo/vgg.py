@@ -1,0 +1,48 @@
+"""MiniVGG: the VGG16 analogue — plain 3x3 conv stacks with an FC head."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..autograd import Tensor
+from ..nn import Flatten, Linear, MaxPool2d, Module, ReLU, Sequential
+from .blocks import ConvBNAct
+
+__all__ = ["MiniVGG"]
+
+
+class MiniVGG(Module):
+    """VGG-style stacked 3x3 convolutions with max-pool stage transitions.
+
+    Like VGG16, there are no shortcuts, no depthwise convolutions and a
+    large fully-connected head; in the paper's Table 2 this family is the
+    most quantization-robust.
+    """
+
+    def __init__(self, num_classes: int = 10, width: int = 16, in_channels: int = 3,
+                 image_size: int = 24, seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        w = width
+        self.features = Sequential(
+            ConvBNAct(in_channels, w, rng=rng),
+            ConvBNAct(w, w, rng=rng),
+            MaxPool2d(2),
+            ConvBNAct(w, 2 * w, rng=rng),
+            ConvBNAct(2 * w, 2 * w, rng=rng),
+            MaxPool2d(2),
+            ConvBNAct(2 * w, 3 * w, rng=rng),
+            ConvBNAct(3 * w, 3 * w, rng=rng),
+            MaxPool2d(2),
+        )
+        spatial = image_size // 8
+        self.classifier = Sequential(
+            Flatten(),
+            Linear(3 * w * spatial * spatial, 4 * w, rng=rng),
+            ReLU(),
+            Linear(4 * w, num_classes, rng=rng),
+        )
+
+    def forward(self, x) -> Tensor:
+        x = Tensor.as_tensor(x)
+        return self.classifier(self.features(x))

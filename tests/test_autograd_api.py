@@ -1,0 +1,161 @@
+"""Tensor API surface: construction, dtype policy, graph mechanics."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, functional as F, is_grad_enabled, no_grad
+
+
+class TestConstruction:
+    def test_int_input_promoted_to_float32(self):
+        t = Tensor([1, 2, 3])
+        assert t.dtype == np.float32
+
+    def test_float64_preserved(self):
+        t = Tensor(np.zeros(3, dtype=np.float64))
+        assert t.dtype == np.float64
+
+    def test_as_tensor_passthrough(self):
+        t = Tensor(np.ones(2))
+        assert Tensor.as_tensor(t) is t
+        assert isinstance(Tensor.as_tensor([1.0]), Tensor)
+
+    def test_shape_size_ndim(self):
+        t = Tensor(np.zeros((2, 3, 4)))
+        assert t.shape == (2, 3, 4)
+        assert t.size == 24
+        assert t.ndim == 3
+        assert len(t) == 2
+
+    def test_item_scalar(self):
+        assert Tensor(np.array([3.5])).item() == 3.5
+
+    def test_numpy_returns_backing_array(self):
+        arr = np.ones(3, dtype=np.float32)
+        assert Tensor(arr).numpy() is arr
+
+
+class TestGradMode:
+    def test_no_grad_nesting(self):
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+            with no_grad():
+                assert not is_grad_enabled()
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_no_grad_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with no_grad():
+                raise RuntimeError("boom")
+        assert is_grad_enabled()
+
+    def test_constants_produce_no_tape(self):
+        a = Tensor(np.ones(3))
+        b = Tensor(np.ones(3))
+        out = a * b + a
+        assert not out.requires_grad
+        assert out._parents == ()
+
+
+class TestOperatorCoercion:
+    def test_scalar_left_ops(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        y = 3.0 * x + 1.0
+        y.backward(np.ones(1))
+        np.testing.assert_allclose(x.grad, [3.0])
+
+    def test_rsub_rdiv(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        y = (1.0 - x) + (4.0 / x)
+        y.backward(np.ones(1))
+        np.testing.assert_allclose(x.grad, [-1.0 - 4.0 / 4.0])
+
+    def test_ndarray_operand(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        y = (x * np.array([1.0, 2.0, 3.0])).sum()
+        y.backward()
+        np.testing.assert_allclose(x.grad, [1, 2, 3])
+
+    def test_matmul_vector_result(self):
+        x = Tensor(np.ones((2, 3)), requires_grad=True)
+        v = np.array([1.0, 2.0, 3.0])
+        out = (x @ v).sum()
+        out.backward()
+        np.testing.assert_allclose(x.grad, np.tile(v, (2, 1)))
+
+    def test_pow_requires_scalar(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        with pytest.raises(TypeError):
+            x ** np.ones(3)
+
+
+class TestGradAccumulationSemantics:
+    def test_two_backward_calls_accumulate(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        y = x * 5
+        y.backward(np.ones(1))
+        y2 = x * 5
+        y2.backward(np.ones(1))
+        np.testing.assert_allclose(x.grad, [10.0])
+
+    def test_zero_grad_resets(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        (x * 2).backward(np.ones(1))
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_long_chain_depth(self):
+        """Iterative topo sort must handle deep graphs (no recursion limit)."""
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        y = x
+        for _ in range(3000):
+            y = y + 1.0
+        y.backward(np.ones(1))
+        np.testing.assert_allclose(x.grad, [1.0])
+
+    def test_branching_graph_visits_once(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        shared = x * x           # 4
+        out = shared * 3 + shared * 5   # 8 * x^2 -> d/dx = 16x = 32
+        out.backward(np.ones(1))
+        np.testing.assert_allclose(x.grad, [32.0])
+
+
+class TestFunctionalEdgeCases:
+    def test_cross_entropy_requires_2d(self):
+        with pytest.raises(ValueError):
+            F.cross_entropy(Tensor(np.zeros(4)), np.array([0]))
+
+    def test_softmax_invariant_to_shift(self):
+        x = np.array([[1.0, 2.0, 3.0]])
+        a = F.softmax(Tensor(x)).data
+        b = F.softmax(Tensor(x + 100.0)).data
+        np.testing.assert_allclose(a, b, atol=1e-6)
+
+    def test_softmax_rows_sum_to_one(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(rng.normal(size=(5, 7)) * 10)
+        s = F.softmax(x, axis=-1).data
+        np.testing.assert_allclose(s.sum(axis=-1), 1.0, atol=1e-6)
+
+    def test_gelu_matches_erf_form(self):
+        from scipy.special import erf
+        x = np.linspace(-3, 3, 50)
+        got = F.gelu(Tensor(x)).data
+        want = x * 0.5 * (1 + erf(x / np.sqrt(2)))
+        np.testing.assert_allclose(got, want, atol=5e-3)
+
+    def test_hardswish_known_points(self):
+        x = Tensor(np.array([-4.0, -3.0, 0.0, 3.0, 5.0]))
+        np.testing.assert_allclose(F.hardswish(x).data, [0, 0, 0, 3, 5], atol=1e-7)
+
+    def test_relu6_clamps(self):
+        x = Tensor(np.array([-1.0, 3.0, 9.0]))
+        np.testing.assert_allclose(F.relu6(x).data, [0, 3, 6])
+
+    def test_cross_entropy_of_perfect_prediction_near_zero(self):
+        logits = Tensor(np.array([[100.0, 0.0], [0.0, 100.0]]))
+        loss = F.cross_entropy(logits, np.array([0, 1]))
+        assert loss.item() < 1e-6

@@ -1,0 +1,306 @@
+"""Finite-difference gradient checks for every autograd op."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, functional as F
+
+
+def numeric_grad(fn, x: np.ndarray, eps: float = 1e-5) -> np.ndarray:
+    """Central-difference gradient of scalar-valued fn at x."""
+    g = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    gflat = g.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        f_hi = fn(x)
+        flat[i] = orig - eps
+        f_lo = fn(x)
+        flat[i] = orig
+        gflat[i] = (f_hi - f_lo) / (2 * eps)
+    return g
+
+
+def check(op, *shapes, wrt=0, seed=0, atol=1e-4, positive=False, scale=1.0):
+    """Compare autograd and numeric grads of sum(op(*tensors)) wrt one input."""
+    rng = np.random.default_rng(seed)
+    arrays = []
+    for s in shapes:
+        a = rng.normal(size=s).astype(np.float64) * scale
+        if positive:
+            a = np.abs(a) + 0.5
+        arrays.append(a)
+
+    def scalar_fn(x):
+        args = [Tensor(a) for a in arrays]
+        args[wrt] = Tensor(x)
+        return float(op(*args).sum().data)
+
+    tensors = [Tensor(a, requires_grad=(i == wrt)) for i, a in enumerate(arrays)]
+    out = op(*tensors).sum()
+    out.backward()
+    analytic = tensors[wrt].grad
+    numeric = numeric_grad(scalar_fn, arrays[wrt].copy())
+    np.testing.assert_allclose(analytic, numeric, atol=atol, rtol=1e-3)
+
+
+class TestArithmetic:
+    def test_add(self):
+        check(lambda a, b: a + b, (3, 4), (3, 4), wrt=0)
+
+    def test_add_broadcast(self):
+        check(lambda a, b: a + b, (3, 4), (4,), wrt=1)
+
+    def test_sub(self):
+        check(lambda a, b: a - b, (5,), (5,), wrt=1)
+
+    def test_mul(self):
+        check(lambda a, b: a * b, (2, 3), (2, 3), wrt=0)
+
+    def test_mul_broadcast_scalar_shape(self):
+        check(lambda a, b: a * b, (2, 3), (1, 3), wrt=1)
+
+    def test_div(self):
+        check(lambda a, b: a / b, (4,), (4,), wrt=0, positive=True)
+        check(lambda a, b: a / b, (4,), (4,), wrt=1, positive=True)
+
+    def test_pow(self):
+        check(lambda a: a ** 3, (6,))
+
+    def test_neg(self):
+        check(lambda a: -a, (3, 3))
+
+    def test_matmul(self):
+        check(lambda a, b: a @ b, (3, 4), (4, 5), wrt=0)
+        check(lambda a, b: a @ b, (3, 4), (4, 5), wrt=1)
+
+    def test_matmul_batched(self):
+        check(lambda a, b: a @ b, (2, 3, 4), (2, 4, 5), wrt=0)
+        check(lambda a, b: a @ b, (2, 3, 4), (2, 4, 5), wrt=1)
+
+    def test_matmul_broadcast_rhs(self):
+        check(lambda a, b: a @ b, (2, 3, 4), (4, 5), wrt=1)
+
+
+class TestElementwise:
+    def test_exp(self):
+        check(lambda a: a.exp(), (4, 4))
+
+    def test_log(self):
+        check(lambda a: a.log(), (4,), positive=True)
+
+    def test_sqrt(self):
+        check(lambda a: a.sqrt(), (4,), positive=True)
+
+    def test_tanh(self):
+        check(lambda a: a.tanh(), (5,))
+
+    def test_sigmoid(self):
+        check(lambda a: a.sigmoid(), (5,))
+
+    def test_relu(self):
+        check(lambda a: a.relu(), (7,), seed=3)
+
+    def test_abs(self):
+        check(lambda a: a.abs(), (7,), seed=3)
+
+    def test_clip(self):
+        check(lambda a: a.clip(-0.5, 0.5), (9,), seed=1)
+
+    def test_maximum(self):
+        check(lambda a, b: a.maximum(b), (6,), (6,), wrt=0, seed=5)
+
+
+class TestReductions:
+    def test_sum_all(self):
+        check(lambda a: a.sum(), (3, 4))
+
+    def test_sum_axis(self):
+        check(lambda a: a.sum(axis=1), (3, 4))
+
+    def test_sum_keepdims(self):
+        check(lambda a: a.sum(axis=0, keepdims=True), (3, 4))
+
+    def test_mean(self):
+        check(lambda a: a.mean(axis=1), (3, 4))
+
+    def test_mean_multi_axis(self):
+        check(lambda a: a.mean(axis=(1, 2)), (2, 3, 4))
+
+    def test_var(self):
+        check(lambda a: a.var(axis=0), (5, 3))
+
+    def test_max(self):
+        check(lambda a: a.max(axis=1), (4, 5), seed=2)
+
+
+class TestShape:
+    def test_reshape(self):
+        check(lambda a: (a.reshape(6, 2) * 2).sum(axis=0), (3, 4))
+
+    def test_transpose(self):
+        check(lambda a: a.transpose(1, 0) @ a, (3, 4))
+
+    def test_getitem_slice(self):
+        check(lambda a: a[1:, :2], (4, 4))
+
+    def test_getitem_fancy(self):
+        idx = np.array([0, 2, 2])
+        check(lambda a: a[idx], (4, 3))
+
+    def test_pad(self):
+        check(lambda a: a.pad(((1, 1), (2, 0))), (3, 3))
+
+    def test_concat(self):
+        check(lambda a, b: Tensor.concat([a, b], axis=1), (2, 3), (2, 2), wrt=0)
+        check(lambda a, b: Tensor.concat([a, b], axis=1), (2, 3), (2, 2), wrt=1)
+
+
+class TestNNOps:
+    def test_linear(self):
+        check(lambda x, w, b: F.linear(x, w, b), (4, 6), (3, 6), (3,), wrt=0)
+        check(lambda x, w, b: F.linear(x, w, b), (4, 6), (3, 6), (3,), wrt=1)
+        check(lambda x, w, b: F.linear(x, w, b), (4, 6), (3, 6), (3,), wrt=2)
+
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (1, 1), (2, 1)])
+    def test_conv2d(self, stride, padding):
+        op = lambda x, w, b: F.conv2d(x, w, b, stride=stride, padding=padding)
+        check(op, (2, 3, 6, 6), (4, 3, 3, 3), (4,), wrt=0)
+        check(op, (2, 3, 6, 6), (4, 3, 3, 3), (4,), wrt=1)
+        check(op, (2, 3, 6, 6), (4, 3, 3, 3), (4,), wrt=2)
+
+    def test_conv2d_grouped(self):
+        op = lambda x, w: F.conv2d(x, w, stride=1, padding=1, groups=2)
+        check(op, (1, 4, 5, 5), (6, 2, 3, 3), wrt=0)
+        check(op, (1, 4, 5, 5), (6, 2, 3, 3), wrt=1)
+
+    def test_conv2d_depthwise(self):
+        op = lambda x, w: F.conv2d(x, w, stride=2, padding=1, groups=4)
+        check(op, (2, 4, 6, 6), (4, 1, 3, 3), wrt=0)
+        check(op, (2, 4, 6, 6), (4, 1, 3, 3), wrt=1)
+
+    def test_conv2d_1x1(self):
+        op = lambda x, w: F.conv2d(x, w)
+        check(op, (2, 3, 4, 4), (5, 3, 1, 1), wrt=1)
+
+    def test_max_pool(self):
+        check(lambda x: F.max_pool2d(x, 2), (2, 3, 6, 6), seed=4)
+
+    def test_max_pool_stride(self):
+        check(lambda x: F.max_pool2d(x, 3, stride=2), (1, 2, 7, 7), seed=4)
+
+    def test_avg_pool(self):
+        check(lambda x: F.avg_pool2d(x, 2), (2, 3, 6, 6))
+
+    def test_global_avg_pool(self):
+        check(lambda x: F.global_avg_pool2d(x), (2, 3, 5, 5))
+
+    @pytest.mark.parametrize("act", [F.relu6, F.hardswish, F.hardsigmoid, F.silu, F.gelu],
+                             ids=["relu6", "hardswish", "hardsigmoid", "silu", "gelu"])
+    def test_activations(self, act):
+        check(lambda x: act(x), (17,), seed=9, scale=2.0)
+
+    def test_softmax(self):
+        check(lambda x: F.softmax(x, axis=-1) * np.arange(5.0), (3, 5))
+
+    def test_log_softmax(self):
+        check(lambda x: F.log_softmax(x, axis=-1) * np.arange(5.0), (3, 5))
+
+    def test_cross_entropy(self):
+        labels = np.array([0, 2, 1])
+        check(lambda x: F.cross_entropy(x, labels), (3, 4))
+
+    def test_embedding(self):
+        ids = np.array([[0, 1], [1, 3]])
+        check(lambda w: F.embedding(w, ids), (5, 3))
+
+
+class TestConvForwardValues:
+    """Conv forward agrees with a direct nested-loop reference."""
+
+    def test_against_reference(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(1, 2, 5, 5))
+        w = rng.normal(size=(3, 2, 3, 3))
+        out = F.conv2d(Tensor(x), Tensor(w), stride=2, padding=1).data
+        # reference
+        xp = np.pad(x, ((0, 0), (0, 0), (1, 1), (1, 1)))
+        ref = np.zeros((1, 3, 3, 3))
+        for o in range(3):
+            for p in range(3):
+                for q in range(3):
+                    patch = xp[0, :, 2 * p:2 * p + 3, 2 * q:2 * q + 3]
+                    ref[0, o, p, q] = np.sum(patch * w[o])
+        np.testing.assert_allclose(out, ref, rtol=1e-6, atol=1e-8)
+
+    def test_depthwise_against_reference(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(1, 3, 4, 4))
+        w = rng.normal(size=(3, 1, 3, 3))
+        out = F.conv2d(Tensor(x), Tensor(w), padding=1, groups=3).data
+        xp = np.pad(x, ((0, 0), (0, 0), (1, 1), (1, 1)))
+        ref = np.zeros((1, 3, 4, 4))
+        for c in range(3):
+            for p in range(4):
+                for q in range(4):
+                    ref[0, c, p, q] = np.sum(xp[0, c, p:p + 3, q:q + 3] * w[c, 0])
+        np.testing.assert_allclose(out, ref, rtol=1e-6, atol=1e-8)
+
+    def test_channel_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            F.conv2d(Tensor(np.zeros((1, 3, 4, 4))), Tensor(np.zeros((4, 2, 3, 3))))
+
+
+class TestTapeMechanics:
+    def test_grad_accumulates_over_reuse(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        y = x * 3 + x * 4  # dy/dx = 7
+        y.backward()
+        np.testing.assert_allclose(x.grad, [7.0])
+
+    def test_diamond_graph(self):
+        x = Tensor(np.array([1.5]), requires_grad=True)
+        a = x * 2
+        b = x * 3
+        out = (a * b).sum()  # d/dx 6x^2 = 12x
+        out.backward()
+        np.testing.assert_allclose(x.grad, [18.0])
+
+    def test_no_grad_blocks_tape(self):
+        from repro.autograd import no_grad
+        x = Tensor(np.ones(3), requires_grad=True)
+        with no_grad():
+            y = x * 2
+        assert not y.requires_grad
+
+    def test_backward_on_nonscalar_requires_grad_arg(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        y = x * 2
+        with pytest.raises(RuntimeError):
+            y.backward()
+        y.backward(np.ones(3))
+        np.testing.assert_allclose(x.grad, [2.0, 2.0, 2.0])
+
+    def test_detach_cuts_graph(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        y = (x * 2).detach() * 3
+        assert not y.requires_grad
+
+    def test_backward_without_requires_grad_raises(self):
+        x = Tensor(np.ones(1))
+        with pytest.raises(RuntimeError):
+            x.backward()
+
+    def test_dropout_eval_is_identity(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(np.ones((4, 4)))
+        out = F.dropout(x, 0.5, rng, training=False)
+        np.testing.assert_array_equal(out.data, x.data)
+
+    def test_dropout_scales_by_keep_prob(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(np.ones((100, 100)))
+        out = F.dropout(x, 0.5, rng, training=True).data
+        assert set(np.unique(out)) <= {0.0, 2.0}
+        assert abs(out.mean() - 1.0) < 0.1

@@ -1,0 +1,128 @@
+"""Synthetic datasets: determinism, split disjointness, label structure."""
+
+import numpy as np
+import pytest
+
+from repro.data import GLUE_TASKS, GlueTask, SynthImageNet, TASK_METRICS, make_task
+
+
+class TestSynthImageNet:
+    def test_deterministic_across_instances(self):
+        a = SynthImageNet(num_classes=4, image_size=16, seed=9).sample(20, seed=5)
+        b = SynthImageNet(num_classes=4, image_size=16, seed=9).sample(20, seed=5)
+        np.testing.assert_array_equal(a.images, b.images)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_different_seeds_differ(self):
+        ds = SynthImageNet(num_classes=4, image_size=16)
+        a = ds.sample(20, seed=1)
+        b = ds.sample(20, seed=2)
+        assert not np.array_equal(a.images, b.images)
+
+    def test_splits_are_disjoint_streams(self):
+        ds = SynthImageNet(num_classes=4, image_size=16)
+        tr = ds.train_split(10)
+        ca = ds.calibration_split(10)
+        te = ds.test_split(10)
+        assert not np.array_equal(tr.images, ca.images)
+        assert not np.array_equal(ca.images, te.images)
+
+    def test_shapes_and_dtypes(self):
+        ds = SynthImageNet(num_classes=5, image_size=20)
+        split = ds.sample(7, seed=0)
+        assert split.images.shape == (7, 3, 20, 20)
+        assert split.images.dtype == np.float32
+        assert split.labels.shape == (7,)
+        assert split.labels.dtype == np.int64
+
+    def test_labels_in_range(self):
+        ds = SynthImageNet(num_classes=6, image_size=16)
+        labels = ds.sample(300, seed=3).labels
+        assert labels.min() >= 0 and labels.max() < 6
+        assert len(np.unique(labels)) == 6  # every class appears
+
+    def test_batches_cover_split(self):
+        ds = SynthImageNet(num_classes=3, image_size=16)
+        split = ds.sample(25, seed=0)
+        seen = 0
+        for x, y in split.batches(8):
+            assert len(x) == len(y) <= 8
+            seen += len(x)
+        assert seen == 25
+
+    def test_classes_are_distinguishable(self):
+        """Mean class prototypes must differ (the task is not degenerate)."""
+        ds = SynthImageNet(num_classes=3, image_size=16)
+        split = ds.sample(300, seed=1)
+        means = [split.images[split.labels == c].mean(axis=0) for c in range(3)]
+        for i in range(3):
+            for j in range(i + 1, 3):
+                assert np.abs(means[i] - means[j]).mean() > 0.05
+
+
+class TestGlueTasks:
+    @pytest.mark.parametrize("name", GLUE_TASKS)
+    def test_deterministic(self, name):
+        a = make_task(name).sample(30, seed=4)
+        b = make_task(name).sample(30, seed=4)
+        np.testing.assert_array_equal(a.ids, b.ids)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    @pytest.mark.parametrize("name", GLUE_TASKS)
+    def test_shapes_and_mask(self, name):
+        t = make_task(name, seq_len=20)
+        split = t.sample(15, seed=0)
+        assert split.ids.shape == (15, 20)
+        assert split.mask.shape == (15, 20)
+        # mask is 1 exactly on non-pad positions
+        np.testing.assert_array_equal(split.mask, (split.ids != t.vocab.pad))
+
+    @pytest.mark.parametrize("name", GLUE_TASKS)
+    def test_starts_with_cls(self, name):
+        t = make_task(name)
+        split = t.sample(10, seed=0)
+        assert np.all(split.ids[:, 0] == t.vocab.cls)
+
+    def test_label_counts(self):
+        assert make_task("mnli").num_labels == 3
+        assert make_task("sst2").num_labels == 2
+
+    def test_cola_imbalance(self):
+        labels = make_task("cola").sample(1000, seed=1).labels
+        pos = labels.mean()
+        assert 0.6 < pos < 0.8  # the 70/30 CoLA-like imbalance
+
+    def test_mrpc_balance(self):
+        labels = make_task("mrpc").sample(1000, seed=1).labels
+        assert 0.4 < labels.mean() < 0.6
+
+    def test_mnli_covers_three_classes(self):
+        labels = make_task("mnli").sample(300, seed=1).labels
+        assert set(np.unique(labels)) == {0, 1, 2}
+
+    def test_pair_tasks_contain_sep(self):
+        for name in ("mrpc", "mnli"):
+            t = make_task(name)
+            split = t.sample(20, seed=0)
+            assert np.all((split.ids == t.vocab.sep).sum(axis=1) == 1)
+
+    def test_sst2_has_no_sep(self):
+        t = make_task("sst2")
+        split = t.sample(20, seed=0)
+        assert np.all((split.ids == t.vocab.sep).sum(axis=1) == 0)
+
+    def test_unknown_task_raises(self):
+        with pytest.raises(KeyError):
+            make_task("qqp")
+
+    def test_metrics_registry(self):
+        assert TASK_METRICS["cola"] == "matthews"
+        assert TASK_METRICS["mrpc"] == "f1"
+
+    def test_mnli_contradiction_has_negation_marker(self):
+        t = make_task("mnli")
+        split = t.sample(400, seed=2)
+        has_neg = (split.ids == t.vocab.neg).any(axis=1)
+        # exactly the contradiction class carries the marker
+        assert np.all(has_neg[split.labels == 2])
+        assert not np.any(has_neg[split.labels != 2])

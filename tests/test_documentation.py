@@ -1,0 +1,81 @@
+"""Documentation invariants: every public item is documented."""
+
+import ast
+import importlib
+import inspect
+import pkgutil
+from pathlib import Path
+
+import pytest
+
+import repro
+
+REPO_ROOT = Path(repro.__file__).resolve().parents[2]
+
+
+def all_repro_modules():
+    names = ["repro"]
+    for mod in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        names.append(mod.name)
+    return names
+
+
+@pytest.mark.parametrize("module_name", all_repro_modules())
+def test_module_has_docstring(module_name):
+    mod = importlib.import_module(module_name)
+    assert mod.__doc__ and mod.__doc__.strip(), f"{module_name} lacks a docstring"
+
+
+@pytest.mark.parametrize("module_name", all_repro_modules())
+def test_public_classes_and_functions_documented(module_name):
+    mod = importlib.import_module(module_name)
+    public = getattr(mod, "__all__", None)
+    if public is None:
+        return
+    for name in public:
+        obj = getattr(mod, name)
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            if getattr(obj, "__module__", "").startswith("repro"):
+                assert inspect.getdoc(obj), f"{module_name}.{name} lacks a docstring"
+
+
+def test_every_package_defines_all_or_is_leaf():
+    for name in all_repro_modules():
+        mod = importlib.import_module(name)
+        if hasattr(mod, "__path__"):  # a package
+            assert hasattr(mod, "__all__"), f"package {name} lacks __all__"
+
+
+class TestRepoDocs:
+    @pytest.mark.parametrize("fname", ["README.md", "DESIGN.md"])
+    def test_top_level_docs_exist(self, fname):
+        path = REPO_ROOT / fname
+        assert path.exists(), f"{fname} missing"
+        assert len(path.read_text()) > 500
+
+    def test_design_lists_every_experiment(self):
+        text = (REPO_ROOT / "DESIGN.md").read_text()
+        for artefact in ("table1", "table2", "table3", "fig4", "fig6", "fig7"):
+            assert artefact in text
+
+    def test_examples_have_module_docstrings(self):
+        for path in sorted((REPO_ROOT / "examples").glob("*.py")):
+            tree = ast.parse(path.read_text())
+            assert ast.get_docstring(tree), f"{path.name} lacks a docstring"
+
+    def test_examples_quickstart_exists(self):
+        assert (REPO_ROOT / "examples" / "quickstart.py").exists()
+
+    def test_at_least_three_examples(self):
+        examples = list((REPO_ROOT / "examples").glob("*.py"))
+        assert len(examples) >= 3
+
+    def test_benchmarks_cover_every_paper_artifact(self):
+        names = {p.name for p in (REPO_ROOT / "benchmarks").glob("bench_*.py")}
+        for artefact in ("table1", "fig2", "fig4", "table2", "fig6", "fig7",
+                         "table3", "headline"):
+            assert any(artefact in n for n in names), f"no bench for {artefact}"
+
+    def test_examples_are_valid_python(self):
+        for path in sorted((REPO_ROOT / "examples").glob("*.py")):
+            compile(path.read_text(), str(path), "exec")

@@ -1,0 +1,56 @@
+"""Smoke tests: the lightweight examples run end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[1]
+
+
+def run_example(name: str, *args: str) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(REPO / "examples" / name), *args],
+        capture_output=True, text=True, timeout=300, cwd=REPO)
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+class TestLightExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "MERSIT(8,2)" in out
+        assert "relative RMSE" in out
+
+    def test_format_explorer_overview(self):
+        out = run_example("format_explorer.py", "MERSIT(8,2)")
+        assert "2^-9 ~ 2^8" in out
+
+    def test_format_explorer_decode(self):
+        out = run_example("format_explorer.py", "Posit(8,1)", "0x40")
+        assert "1.0" in out
+
+    def test_format_explorer_encode(self):
+        out = run_example("format_explorer.py", "FP(8,4)", "0.5")
+        assert "0x" in out
+
+    def test_format_explorer_no_args_lists_formats(self):
+        out = run_example("format_explorer.py")
+        assert "INT8" in out
+
+
+class TestCliModule:
+    def test_cli_formats_via_subprocess(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "formats"],
+            capture_output=True, text=True, timeout=120, cwd=REPO)
+        assert proc.returncode == 0
+        assert "MERSIT(8,2)" in proc.stdout
+
+    def test_experiments_runner_module(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.experiments.runner", "fig2"],
+            capture_output=True, text=True, timeout=120, cwd=REPO)
+        assert proc.returncode == 0
+        assert "MATCHES PAPER" in proc.stdout

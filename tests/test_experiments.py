@@ -1,0 +1,105 @@
+"""Experiment drivers: artifact plumbing and the paper-pinned fast checks."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.experiments import common, fig2, fig4, table1
+
+
+@pytest.fixture(autouse=True)
+def isolated_artifacts(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_ARTIFACTS", str(tmp_path))
+    yield tmp_path
+
+
+class TestCommon:
+    def test_save_load_roundtrip(self, isolated_artifacts):
+        payload = {"a": [1, 2], "b": {"c": 3.5}}
+        path = common.save_artifact("unit", payload)
+        assert path.exists()
+        assert common.load_artifact("unit") == payload
+
+    def test_load_missing_returns_none(self):
+        assert common.load_artifact("nope") is None
+
+    def test_artifact_is_valid_json(self, isolated_artifacts):
+        common.save_artifact("x", {"k": 1})
+        with open(isolated_artifacts / "x.json") as f:
+            assert json.load(f) == {"k": 1}
+
+    def test_format_table_alignment(self):
+        out = common.format_table(["a", "bb"], [[1, 2.5], [10, 0.25]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert all(len(l) == len(lines[0]) for l in lines)
+
+    def test_format_table_floatfmt(self):
+        out = common.format_table(["x"], [[1.23456]], floatfmt=".3f")
+        assert "1.235" in out
+
+
+class TestTable1:
+    def test_matches_paper(self):
+        result = table1.run()
+        assert result["matches_paper"]
+        assert result["row_count"] == 20
+        assert result["mismatches"] == []
+
+    def test_render_contains_status(self):
+        assert "MATCHES PAPER" in table1.render()
+
+    def test_artifact_written(self, isolated_artifacts):
+        table1.run()
+        assert (isolated_artifacts / "table1.json").exists()
+
+
+class TestFig2:
+    def test_all_rows_match(self):
+        result = fig2.run()
+        assert result["all_match"]
+        for name, row in result["rows"].items():
+            assert row["measured"] == row["paper"], name
+
+    def test_render(self):
+        out = fig2.render()
+        assert "MATCHES PAPER" in out
+        assert "45" in out  # Posit(8,1) W
+
+
+class TestFig4:
+    def test_profiles_cover_all_formats(self):
+        result = fig4.run()
+        assert set(result["profiles"]) == set(fig4.FIG4_FORMATS)
+
+    def test_section32_claims(self):
+        claims = fig4.run()["claims"]
+        assert claims["mersit_band_wider"] is True
+        assert claims["mersit82_4bit_band"] == [-3, 2]
+        assert claims["posit81_4bit_band"] == [-2, 1]
+
+    def test_section43_fraction_band_claim(self):
+        """Paper 4.3: MERSIT fraction-bearing range 2^-6..2^5 vs 2^-8..2^7."""
+        claims = fig4.run()["claims"]
+        assert claims["mersit82_fraction_band"] == [-6, 5]
+        assert claims["posit81_fraction_band"] == [-8, 7]
+
+    def test_segments_are_sorted_and_disjoint(self):
+        result = fig4.run()
+        for name, prof in result["profiles"].items():
+            segs = prof["segments"]
+            for (a, b, _), (c, d, _) in zip(segs, segs[1:]):
+                assert c > b, name
+
+
+class TestRunnerDispatch:
+    def test_unknown_experiment_rejected(self):
+        from repro.experiments.runner import main
+        assert main(["not_an_experiment"]) == 2
+
+    def test_fast_experiments_run(self, capsys):
+        from repro.experiments.runner import main
+        assert main(["table1", "fig2", "fig4"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out and "fig4" in out

@@ -1,0 +1,121 @@
+"""AdaptivFloat and BFP: the related formats of paper §2.1."""
+
+import numpy as np
+import pytest
+
+from repro.formats import FP8_E4
+from repro.formats.adaptivfloat import AdaptivFloatFormat, fit_bias
+from repro.quant import FakeQuantizer, relative_rmse
+from repro.quant.bfp import bfp_quantize
+
+
+class TestAdaptivFloat:
+    def test_no_specials(self):
+        fmt = AdaptivFloatFormat(8, 4)
+        classes = {d.value_class for d in fmt.decoded}
+        assert classes == {"finite", "zero"}
+
+    def test_zero_code(self):
+        fmt = AdaptivFloatFormat(8, 4)
+        assert fmt.decode(0).value == 0.0
+        assert fmt.decode(0x80).value_class == "zero"
+
+    def test_no_subnormals(self):
+        """Smallest nonzero magnitude has a full significand."""
+        fmt = AdaptivFloatFormat(8, 4)
+        smallest = fmt.positive_finite_values[0]
+        d = fmt.decode(fmt.encode(float(smallest)))
+        assert d.fraction_bits == fmt.fbits
+
+    def test_bias_shifts_range(self):
+        lo = AdaptivFloatFormat(8, 4, bias=10)
+        hi = AdaptivFloatFormat(8, 4, bias=0)
+        assert lo.max_value < hi.max_value
+        assert lo.max_value == pytest.approx(hi.max_value / 2 ** 10)
+
+    def test_fit_bias_covers_tensor_max(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=500) * 0.03
+        fmt = fit_bias(x, 8, 4)
+        amax = np.abs(x).max()
+        assert fmt.max_value >= amax
+        assert fmt.max_value < amax * 4  # and not wastefully larger
+
+    def test_fit_bias_zero_tensor(self):
+        fmt = fit_bias(np.zeros(8))
+        assert fmt.bias == 7  # the static default
+
+    def test_bad_ebits(self):
+        with pytest.raises(ValueError):
+            AdaptivFloatFormat(8, 0)
+
+    def test_paper_claim_aligns_with_fp8(self):
+        """Paper §2.1: with max scaling, AdaptivFloat ~ FP8 in error."""
+        rng = np.random.default_rng(1)
+        w = rng.normal(size=3000) * 0.08
+        af = fit_bias(w, 8, 4)
+        err_af = relative_rmse(w, af.quantize(w))
+        err_fp8 = relative_rmse(w, FakeQuantizer(FP8_E4).calibrate(w)(w))
+        assert err_af == pytest.approx(err_fp8, rel=0.35)
+
+
+class TestBFP:
+    def test_exact_on_block_scaled_integers(self):
+        step = 0.25
+        x = np.arange(-8, 8) * step
+        q = bfp_quantize(x, mantissa_bits=8, block_size=16)
+        np.testing.assert_allclose(q, x)
+
+    def test_zero_block(self):
+        q = bfp_quantize(np.zeros(32), mantissa_bits=4, block_size=8)
+        np.testing.assert_array_equal(q, 0.0)
+
+    def test_error_bounded_by_block_step(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(4, 64))
+        m = 6
+        q = bfp_quantize(x, mantissa_bits=m, block_size=16, axis=-1)
+        levels = (1 << (m - 1)) - 1
+        for r in range(4):
+            for start in range(0, 64, 16):
+                blk = x[r, start:start + 16]
+                err = np.abs(blk - q[r, start:start + 16])
+                amax = np.abs(blk).max()
+                step = 2.0 ** np.ceil(np.log2(amax / levels))
+                assert err.max() <= step / 2 + 1e-12
+
+    def test_partial_trailing_block(self):
+        x = np.linspace(-1, 1, 20)  # 16 + 4
+        q = bfp_quantize(x, mantissa_bits=8, block_size=16)
+        assert q.shape == x.shape
+
+    def test_axis_handling(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(8, 5))
+        q0 = bfp_quantize(x, block_size=4, axis=0)
+        q1 = bfp_quantize(x.T, block_size=4, axis=1).T
+        np.testing.assert_allclose(q0, q1)
+
+    def test_outlier_poisons_its_block_only(self):
+        """The known BFP failure mode: an outlier crushes only its block."""
+        x = np.ones(32) * 0.01
+        x[3] = 100.0
+        q = bfp_quantize(x, mantissa_bits=4, block_size=8)
+        assert np.all(q[:8][np.arange(8) != 3] == 0.0)  # block 0 wiped out
+        np.testing.assert_allclose(q[8:], 0.0100, atol=2e-3)  # others fine
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bfp_quantize(np.ones(4), mantissa_bits=1)
+        with pytest.raises(ValueError):
+            bfp_quantize(np.ones(4), block_size=0)
+
+    def test_int8_equivalence_at_full_width(self):
+        """BFP with 8-bit mantissas and per-tensor blocks ~ INT8+scale."""
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=64)
+        q = bfp_quantize(x, mantissa_bits=8, block_size=64)
+        levels = 127
+        amax = np.abs(x).max()
+        step = 2.0 ** np.ceil(np.log2(amax / levels))
+        np.testing.assert_allclose(q, np.clip(np.rint(x / step), -127, 127) * step)

@@ -1,0 +1,101 @@
+"""Exact format-space arithmetic, cross-checked against the gate-level MAC."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.formats import get_format
+from repro.formats.arithmetic import dot, exact_value, fmt_add, fmt_mul
+
+
+@pytest.fixture(scope="module")
+def mersit():
+    return get_format("MERSIT(8,2)")
+
+
+class TestExactValue:
+    def test_matches_float_decode(self, mersit):
+        for code in range(256):
+            d = mersit.decode(code)
+            if d.is_finite:
+                assert float(exact_value(mersit, code)) == d.value
+
+    def test_specials_are_zero(self, mersit):
+        assert exact_value(mersit, 0b01111111) == 0  # +inf code
+        assert exact_value(mersit, 0b00111111) == 0  # zero code
+
+    def test_is_exact_rational(self, mersit):
+        v = exact_value(mersit, mersit.encode(0.1))
+        assert isinstance(v, Fraction)
+        # 0.1 is not dyadic, so the encoded value differs but is exact
+        assert v.denominator & (v.denominator - 1) == 0  # power of two
+
+
+class TestMulAdd:
+    def test_mul_exact_when_representable(self, mersit):
+        a = mersit.encode(2.0)
+        b = mersit.encode(1.5)
+        assert mersit.decode(fmt_mul(mersit, a, b)).value == 3.0
+
+    def test_mul_rounds_to_nearest(self, mersit):
+        rng = np.random.default_rng(0)
+        for _ in range(100):
+            a, b = rng.integers(0, 256, 2)
+            exact = exact_value(mersit, int(a)) * exact_value(mersit, int(b))
+            got = mersit.decode(fmt_mul(mersit, int(a), int(b))).value
+            best = float(mersit.quantize(np.array([float(exact)]))[0])
+            clipped = min(max(float(exact), -mersit.max_value), mersit.max_value)
+            assert abs(clipped - got) <= abs(clipped - best) + 1e-15
+
+    def test_add_commutative(self, mersit):
+        rng = np.random.default_rng(1)
+        for _ in range(50):
+            a, b = (int(v) for v in rng.integers(0, 256, 2))
+            assert fmt_add(mersit, a, b) == fmt_add(mersit, b, a)
+
+    def test_add_identity(self, mersit):
+        zero = 0b00111111
+        for code in [mersit.encode(v) for v in (1.0, -2.5, 0.125)]:
+            out = fmt_add(mersit, code, zero)
+            assert mersit.decode(out).value == mersit.decode(code).value
+
+
+class TestDot:
+    def test_no_intermediate_rounding(self, mersit):
+        """Kulisch-style: sum of cancelling terms is exact."""
+        big = mersit.encode(128.0)
+        neg_big = mersit.encode(-128.0)
+        small = mersit.encode(0.125)
+        one = mersit.encode(1.0)
+        # 128*1 + (-128)*1 + 0.125*1: naive seq rounding could lose 0.125
+        code, exact = dot(mersit, [big, neg_big, small], [one, one, one])
+        assert float(exact) == 0.125
+        assert mersit.decode(code).value == 0.125
+
+    def test_matches_gate_level_mac(self, mersit):
+        """The software quire equals the hardware Kulisch accumulator."""
+        from repro.hardware import MacUnit
+        rng = np.random.default_rng(2)
+        w = rng.integers(0, 256, 40)
+        a = rng.integers(0, 256, 40)
+        _, exact = dot(mersit, w, a)
+        mac = MacUnit(mersit)
+        acc = mac.accumulate_hw(w, a)[-1]
+        if acc >= 1 << (mac.acc_width - 1):
+            acc -= 1 << mac.acc_width
+        hw_value = Fraction(acc) * Fraction(2) ** mac.frac_lsb_exp
+        assert hw_value == exact
+
+    def test_shape_mismatch(self, mersit):
+        with pytest.raises(ValueError):
+            dot(mersit, [1, 2], [3])
+
+    def test_dot_on_fp8_too(self):
+        fmt = get_format("FP(8,4)")
+        rng = np.random.default_rng(3)
+        w = rng.integers(0, 256, 16)
+        a = rng.integers(0, 256, 16)
+        code, exact = dot(fmt, w, a)
+        best = float(fmt.quantize(np.array([float(exact)]))[0])
+        assert fmt.decode(code).value == pytest.approx(best)

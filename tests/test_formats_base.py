@@ -1,0 +1,173 @@
+"""Codebook machinery shared by every format: quantization, encode, analysis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formats import (
+    INT8,
+    FP8_E4,
+    MERSIT8_2,
+    POSIT8_1,
+    TABLE2_FORMATS,
+    available_formats,
+    get_format,
+)
+from repro.formats.analysis import (
+    kulisch_product_width,
+    precision_segments,
+    range_with_precision,
+    summarize,
+)
+
+ALL = [get_format(n) for n in TABLE2_FORMATS]
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", TABLE2_FORMATS)
+    def test_every_paper_format_resolves(self, name):
+        fmt = get_format(name)
+        assert fmt.nbits == 8
+
+    def test_names_case_insensitive(self):
+        assert get_format("mersit(8,2)") is get_format("MERSIT(8,2)")
+
+    def test_alternate_spellings(self):
+        assert get_format("fp8e4").name == "FP(8,4)"
+        assert get_format("posit8_1").name == "Posit(8,1)"
+        assert get_format("mersit8_2").name == "MERSIT(8,2)"
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            get_format("bfloat16")
+
+    def test_available_formats_order(self):
+        assert available_formats()[0] == "INT8"
+        assert "MERSIT(8,2)" in available_formats()
+
+
+class TestQuantize:
+    @pytest.mark.parametrize("fmt", ALL, ids=lambda f: f.name)
+    def test_representable_values_are_fixed_points(self, fmt):
+        vals = fmt.finite_values
+        np.testing.assert_array_equal(fmt.quantize(vals), vals)
+
+    @pytest.mark.parametrize("fmt", ALL, ids=lambda f: f.name)
+    def test_saturation(self, fmt):
+        big = np.array([1e30, -1e30, np.inf, -np.inf])
+        q = fmt.quantize(big)
+        np.testing.assert_array_equal(
+            q, [fmt.max_value, -fmt.max_value, fmt.max_value, -fmt.max_value])
+
+    @pytest.mark.parametrize("fmt", ALL, ids=lambda f: f.name)
+    def test_nan_maps_to_zero(self, fmt):
+        assert fmt.quantize(np.array([np.nan]))[0] == 0.0
+
+    @pytest.mark.parametrize("fmt", ALL, ids=lambda f: f.name)
+    def test_nearest_rounding(self, fmt):
+        """|x - Q(x)| <= |x - v| for every representable v (spot check)."""
+        rng = np.random.default_rng(7)
+        x = rng.normal(scale=fmt.max_value / 4, size=200)
+        q = fmt.quantize(x)
+        err = np.abs(x - q)
+        # distance to both neighbours of q must be >= err
+        vals = fmt.finite_values
+        idx = np.searchsorted(vals, q)
+        lower = vals[np.maximum(idx - 1, 0)]
+        upper = vals[np.minimum(idx + 1, len(vals) - 1)]
+        assert np.all(err <= np.abs(x - lower) + 1e-15)
+        assert np.all(err <= np.abs(x - upper) + 1e-15)
+
+    @pytest.mark.parametrize("fmt", ALL, ids=lambda f: f.name)
+    def test_quantize_preserves_shape_and_input(self, fmt):
+        x = np.linspace(-2, 2, 24).reshape(2, 3, 4)
+        x_copy = x.copy()
+        q = fmt.quantize(x)
+        assert q.shape == x.shape
+        np.testing.assert_array_equal(x, x_copy)
+
+    def test_quantize_is_idempotent_mersit(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=1000)
+        q1 = MERSIT8_2.quantize(x)
+        np.testing.assert_array_equal(MERSIT8_2.quantize(q1), q1)
+
+
+class TestEncodeDecodeRoundtrip:
+    @pytest.mark.parametrize("fmt", ALL, ids=lambda f: f.name)
+    def test_encode_of_representable_roundtrips(self, fmt):
+        for v in fmt.finite_values[:: max(1, len(fmt.finite_values) // 64)]:
+            code = fmt.encode(float(v))
+            assert fmt.decode(code).value == v
+
+    @pytest.mark.parametrize("fmt", ALL, ids=lambda f: f.name)
+    def test_encode_array_matches_scalar_encode(self, fmt):
+        rng = np.random.default_rng(11)
+        x = rng.normal(size=50)
+        codes = fmt.encode_array(x)
+        decoded = fmt.decode_array(codes)
+        np.testing.assert_array_equal(decoded, fmt.quantize(x))
+
+    @pytest.mark.parametrize("fmt", ALL, ids=lambda f: f.name)
+    def test_decode_rejects_out_of_range(self, fmt):
+        with pytest.raises(ValueError):
+            fmt.decode(256)
+        with pytest.raises(ValueError):
+            fmt.decode(-1)
+
+
+class TestHypothesisInvariants:
+    @given(x=st.floats(min_value=-1e6, max_value=1e6, allow_nan=False))
+    @settings(max_examples=200, deadline=None)
+    def test_mersit_quantize_within_half_ulp(self, x):
+        q = float(MERSIT8_2.quantize(np.array([x]))[0])
+        vals = MERSIT8_2.finite_values
+        clipped = min(max(x, -MERSIT8_2.max_value), MERSIT8_2.max_value)
+        best = vals[np.argmin(np.abs(vals - clipped))]
+        assert abs(clipped - q) <= abs(clipped - best) + 1e-12
+
+    @given(x=st.lists(st.floats(-300, 300, allow_nan=False), min_size=1, max_size=32))
+    @settings(max_examples=100, deadline=None)
+    def test_quantize_monotone(self, x):
+        """Quantization preserves (weak) order."""
+        arr = np.sort(np.array(x))
+        q = MERSIT8_2.quantize(arr)
+        assert np.all(np.diff(q) >= 0)
+
+    @given(code=st.integers(0, 255))
+    @settings(max_examples=256, deadline=None)
+    def test_posit_decode_total(self, code):
+        d = POSIT8_1.decode(code)
+        assert d.code == code
+
+
+class TestAnalysis:
+    def test_product_widths_match_fig2(self):
+        assert kulisch_product_width(FP8_E4) == 33
+        assert kulisch_product_width(POSIT8_1) == 45
+        assert kulisch_product_width(MERSIT8_2) == 35
+
+    def test_summary_row(self):
+        s = summarize(MERSIT8_2)
+        assert s.dynamic_range == "2^-9 ~ 2^8"
+        assert s.exponent_width == 5
+        assert s.significand_bits == 5
+
+    def test_precision_segments_cover_range(self):
+        segs = precision_segments(MERSIT8_2)
+        assert segs[0][0] == -9 and segs[-1][1] == 8
+        # segments must abut with no overlap
+        for (a, b, _), (c, d, _) in zip(segs, segs[1:]):
+            assert c == b + 1
+
+    def test_mersit_holds_4bit_precision_wider_than_posit(self):
+        """Paper 3.2: MERSIT(8,2)'s 4-bit-precision range beats Posit(8,1)'s."""
+        m = range_with_precision(MERSIT8_2, 4)
+        p = range_with_precision(POSIT8_1, 4)
+        assert m is not None and p is not None
+        assert (m[1] - m[0]) > (p[1] - p[0])
+
+    def test_int8_profile(self):
+        assert INT8.max_fraction_bits() == 0
+        assert INT8.max_value == 127.0

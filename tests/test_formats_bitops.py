@@ -1,0 +1,137 @@
+"""Bit-level codecs cross-validated against the codebook reference."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formats import get_format
+from repro.formats.bitops import (
+    decode_array_fast, decode_fp8, decode_mersit, decode_posit,
+    encode_array_fast, encode_fp8, encode_mersit,
+)
+
+FP_FORMATS = ["FP(8,2)", "FP(8,3)", "FP(8,4)", "FP(8,5)"]
+POSIT_FORMATS = ["Posit(8,0)", "Posit(8,1)", "Posit(8,2)", "Posit(8,3)"]
+MERSIT_FORMATS = ["MERSIT(8,2)", "MERSIT(8,3)"]
+ALL = FP_FORMATS + POSIT_FORMATS + MERSIT_FORMATS
+
+
+def assert_decode_matches(fmt, fast):
+    codes = np.arange(256)
+    ref = fmt.values[codes]
+    got = fast(codes, fmt)
+    both_nan = np.isnan(ref) & np.isnan(got)
+    np.testing.assert_array_equal(np.where(both_nan, 0.0, got),
+                                  np.where(both_nan, 0.0, ref))
+
+
+class TestDecodeExhaustive:
+    @pytest.mark.parametrize("name", FP_FORMATS)
+    def test_fp8(self, name):
+        assert_decode_matches(get_format(name), decode_fp8)
+
+    @pytest.mark.parametrize("name", POSIT_FORMATS)
+    def test_posit(self, name):
+        assert_decode_matches(get_format(name), decode_posit)
+
+    @pytest.mark.parametrize("name", MERSIT_FORMATS)
+    def test_mersit(self, name):
+        assert_decode_matches(get_format(name), decode_mersit)
+
+    @pytest.mark.parametrize("name", ALL)
+    def test_dispatch(self, name):
+        assert_decode_matches(get_format(name), decode_array_fast)
+
+    def test_dispatch_falls_back_for_int8(self):
+        fmt = get_format("INT8")
+        codes = np.arange(256)
+        np.testing.assert_array_equal(decode_array_fast(codes, fmt),
+                                      fmt.decode_array(codes))
+
+    @pytest.mark.parametrize("name", MERSIT_FORMATS)
+    def test_preserves_shape(self, name):
+        fmt = get_format(name)
+        codes = np.arange(12).reshape(3, 4)
+        assert decode_mersit(codes, fmt).shape == (3, 4)
+
+
+def assert_encode_nearest(fmt, encode):
+    """Encoded value must be one of the nearest representable values."""
+    rng = np.random.default_rng(0)
+    x = np.concatenate([
+        rng.normal(size=300) * fmt.max_value / 8,
+        rng.normal(size=300) * fmt.min_positive * 8,
+        np.array([0.0, fmt.max_value, -fmt.max_value,
+                  fmt.max_value * 3, fmt.min_positive / 5]),
+        fmt.finite_values[::7],
+    ])
+    codes = encode(x, fmt)
+    got = fmt.values[codes]
+    clipped = np.clip(x, -fmt.max_value, fmt.max_value)
+    best = fmt.quantize(x)
+    err_got = np.abs(clipped - got)
+    err_best = np.abs(clipped - best)
+    bad = err_got > err_best + 1e-15
+    assert not np.any(bad), (
+        f"{fmt.name}: non-nearest encodings at x={x[bad][:5]} "
+        f"got={got[bad][:5]} best={best[bad][:5]}")
+
+
+class TestEncodeNearest:
+    @pytest.mark.parametrize("name", FP_FORMATS)
+    def test_fp8(self, name):
+        assert_encode_nearest(get_format(name), encode_fp8)
+
+    @pytest.mark.parametrize("name", MERSIT_FORMATS)
+    def test_mersit(self, name):
+        assert_encode_nearest(get_format(name), encode_mersit)
+
+    @pytest.mark.parametrize("name", ALL)
+    def test_dispatch(self, name):
+        assert_encode_nearest(get_format(name), encode_array_fast)
+
+    @pytest.mark.parametrize("name", FP_FORMATS + MERSIT_FORMATS)
+    def test_roundtrip_exact_on_representables(self, name):
+        fmt = get_format(name)
+        vals = fmt.finite_values
+        codes = encode_array_fast(vals, fmt)
+        np.testing.assert_array_equal(fmt.values[codes], vals)
+
+    @pytest.mark.parametrize("name", FP_FORMATS + MERSIT_FORMATS)
+    def test_specials(self, name):
+        fmt = get_format(name)
+        codes = encode_array_fast(np.array([np.inf, -np.inf, 0.0]), fmt)
+        got = fmt.values[codes]
+        assert got[0] == fmt.max_value
+        assert got[1] == -fmt.max_value
+        assert got[2] == 0.0
+
+    @given(x=st.floats(-1e4, 1e4, allow_nan=False))
+    @settings(max_examples=150, deadline=None)
+    def test_hypothesis_mersit_nearest(self, x):
+        fmt = get_format("MERSIT(8,2)")
+        code = int(encode_mersit(np.array([x]), fmt)[0])
+        got = fmt.values[code]
+        clipped = min(max(x, -fmt.max_value), fmt.max_value)
+        best = float(fmt.quantize(np.array([x]))[0])
+        assert abs(clipped - got) <= abs(clipped - best) + 1e-15
+
+    @given(x=st.floats(-300, 300, allow_nan=False))
+    @settings(max_examples=150, deadline=None)
+    def test_hypothesis_fp84_nearest(self, x):
+        fmt = get_format("FP(8,4)")
+        code = int(encode_fp8(np.array([x]), fmt)[0])
+        got = fmt.values[code]
+        clipped = min(max(x, -fmt.max_value), fmt.max_value)
+        best = float(fmt.quantize(np.array([x]))[0])
+        assert abs(clipped - got) <= abs(clipped - best) + 1e-15
+
+
+class TestSpeedContract:
+    def test_fast_decode_is_vectorised(self):
+        """Fast decode handles a large array in one call without error."""
+        fmt = get_format("MERSIT(8,2)")
+        codes = np.random.default_rng(0).integers(0, 256, 100_000)
+        vals = decode_array_fast(codes, fmt)
+        assert vals.shape == codes.shape

@@ -1,0 +1,80 @@
+"""Cross-format conversion tables and double-rounding analysis."""
+
+import numpy as np
+import pytest
+
+from repro.formats import get_format
+from repro.formats.convert import conversion_error, conversion_table, convert_codes
+
+FMT_PAIRS = [
+    ("MERSIT(8,2)", "Posit(8,1)"),
+    ("Posit(8,1)", "MERSIT(8,2)"),
+    ("FP(8,4)", "MERSIT(8,2)"),
+    ("INT8", "FP(8,4)"),
+]
+
+
+class TestConversionTable:
+    @pytest.mark.parametrize("src,dst", FMT_PAIRS)
+    def test_table_shape_and_range(self, src, dst):
+        s, d = get_format(src), get_format(dst)
+        table = conversion_table(s, d)
+        assert table.shape == (256,)
+        assert table.min() >= 0 and table.max() < 256
+
+    @pytest.mark.parametrize("src,dst", FMT_PAIRS)
+    def test_conversion_is_nearest_value(self, src, dst):
+        s, d = get_format(src), get_format(dst)
+        table = conversion_table(s, d)
+        for code in range(0, 256, 3):
+            v = s.values[code]
+            if not np.isfinite(v):
+                continue
+            got = d.values[table[code]]
+            clipped = np.clip(v, -d.max_value, d.max_value)
+            best = float(d.quantize(np.array([v]))[0])
+            assert abs(clipped - got) <= abs(clipped - best) + 1e-15
+
+    def test_identity_conversion_preserves_values(self):
+        fmt = get_format("MERSIT(8,2)")
+        table = conversion_table(fmt, fmt)
+        finite = [c for c in range(256) if np.isfinite(fmt.values[c])]
+        for c in finite:
+            assert fmt.values[table[c]] == fmt.values[c]
+
+    def test_specials_handled(self):
+        s, d = get_format("Posit(8,1)"), get_format("MERSIT(8,2)")
+        table = conversion_table(s, d)
+        # posit +inf code (0x7F) saturates to the max finite mersit value
+        assert d.values[table[0x7F]] == d.max_value
+        assert d.values[table[0x81]] == -d.max_value
+
+    def test_convert_codes_applies_table(self):
+        s, d = get_format("FP(8,4)"), get_format("MERSIT(8,2)")
+        codes = np.array([0x00, 0x41, 0x80, 0xC1])
+        out = convert_codes(codes, s, d)
+        table = conversion_table(s, d)
+        np.testing.assert_array_equal(out, table[codes])
+
+
+class TestConversionError:
+    def test_chained_at_least_direct(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=2000)
+        err = conversion_error(x, get_format("INT8"), get_format("MERSIT(8,2)"))
+        assert err["chained"] >= err["direct"] - 1e-12
+        assert err["excess"] >= -1e-12
+
+    def test_identity_chain_adds_nothing(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=500)
+        fmt = get_format("MERSIT(8,2)")
+        err = conversion_error(x, fmt, fmt)
+        assert err["excess"] == pytest.approx(0.0, abs=1e-12)
+
+    def test_similar_formats_lose_little(self):
+        """Posit(8,1) -> MERSIT(8,2): overlapping high-precision bands."""
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=2000) * 0.5
+        err = conversion_error(x, get_format("Posit(8,1)"), get_format("MERSIT(8,2)"))
+        assert err["chained"] < 2.0 * err["direct"]

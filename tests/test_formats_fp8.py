@@ -1,0 +1,123 @@
+"""FP(8,E) semantics: IEEE-like miniature float with subnormals."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.formats import FP8_E2, FP8_E3, FP8_E4, FP8_E5, FloatFormat, ValueClass
+
+ALL_FP8 = [FP8_E2, FP8_E3, FP8_E4, FP8_E5]
+
+
+class TestStructure:
+    @pytest.mark.parametrize("ebits,fbits", [(2, 5), (3, 4), (4, 3), (5, 2)])
+    def test_field_widths(self, ebits, fbits):
+        fmt = FloatFormat(8, ebits)
+        assert fmt.fbits == fbits
+        assert fmt.bias == (1 << (ebits - 1)) - 1
+
+    def test_bad_ebits_rejected(self):
+        with pytest.raises(ValueError):
+            FloatFormat(8, 0)
+        with pytest.raises(ValueError):
+            FloatFormat(8, 7)
+
+
+class TestDynamicRange:
+    """Fig. 2 table pins FP(8,4) at 2^-9 ~ 2^7."""
+
+    def test_fp84_matches_fig2(self):
+        dr = FP8_E4.dynamic_range
+        assert (dr.min_log2, dr.max_log2) == (-9, 7)
+
+    @pytest.mark.parametrize(
+        "fmt,lo,hi",
+        [(FP8_E2, -5, 1), (FP8_E3, -6, 3), (FP8_E4, -9, 7), (FP8_E5, -16, 15)],
+        ids=lambda x: getattr(x, "name", x),
+    )
+    def test_ranges(self, fmt, lo, hi):
+        dr = fmt.dynamic_range
+        assert (dr.min_log2, dr.max_log2) == (lo, hi)
+
+    def test_smallest_subnormal(self):
+        # 2^(1-bias) * 2^-fbits
+        assert FP8_E4.min_positive == pytest.approx(2.0 ** (1 - 7) * 2.0 ** -3)
+
+    def test_largest_normal(self):
+        # exponent field 1110 (all-ones reserved), full fraction
+        assert FP8_E4.max_value == pytest.approx(2.0 ** 7 * (1 + 7 / 8))
+
+
+class TestSpecials:
+    @pytest.mark.parametrize("fmt", ALL_FP8, ids=lambda f: f.name)
+    def test_inf_codes(self, fmt):
+        pos_inf = ((1 << fmt.ebits) - 1) << fmt.fbits
+        assert fmt.decode(pos_inf).value == math.inf
+        assert fmt.decode(pos_inf | 0x80).value == -math.inf
+
+    @pytest.mark.parametrize("fmt", ALL_FP8, ids=lambda f: f.name)
+    def test_nan_codes(self, fmt):
+        nan_code = (((1 << fmt.ebits) - 1) << fmt.fbits) | 1
+        assert fmt.decode(nan_code).value_class == ValueClass.NAN
+
+    @pytest.mark.parametrize("fmt", ALL_FP8, ids=lambda f: f.name)
+    def test_signed_zero(self, fmt):
+        assert fmt.decode(0).value == 0.0
+        assert fmt.decode(0x80).value_class == ValueClass.ZERO
+
+    def test_fn_variant_has_no_specials(self):
+        fmt = FloatFormat(8, 4, reserve_infnan=False)
+        classes = {d.value_class for d in fmt.decoded}
+        assert ValueClass.INF not in classes
+        assert ValueClass.NAN not in classes
+        # one extra binade of range
+        assert fmt.dynamic_range.max_log2 == 8
+
+
+class TestSubnormals:
+    def test_subnormal_values_linear(self):
+        """Subnormals are equally spaced at 2^(1-bias-fbits)."""
+        fmt = FP8_E4
+        subs = [fmt.decode(c).value for c in range(1, 1 << fmt.fbits)]
+        step = 2.0 ** (1 - fmt.bias) / (1 << fmt.fbits)
+        np.testing.assert_allclose(subs, [step * i for i in range(1, 8)])
+
+    def test_subnormal_effective_precision_shrinks(self):
+        """The paper's Fig. 4 note: effective precision varies in subnormals."""
+        fmt = FP8_E4
+        # frac=1 -> 0 effective fraction bits; frac=0b100 -> 2 bits below lead
+        assert fmt.decode(0b001).fraction_bits == 0
+        assert fmt.decode(0b100).fraction_bits == 2
+
+    def test_no_gap_at_subnormal_boundary(self):
+        """Largest subnormal and smallest normal are one step apart."""
+        fmt = FP8_E4
+        largest_sub = fmt.decode((1 << fmt.fbits) - 1).value
+        smallest_norm = fmt.decode(1 << fmt.fbits).value
+        step = 2.0 ** (1 - fmt.bias) / (1 << fmt.fbits)
+        assert smallest_norm - largest_sub == pytest.approx(step)
+
+
+class TestAgainstNumpyFloat:
+    """FP(8,E) decode must agree with exact binary float arithmetic."""
+
+    @pytest.mark.parametrize("fmt", ALL_FP8, ids=lambda f: f.name)
+    def test_roundtrip_through_quantize(self, fmt):
+        for d in fmt.decoded:
+            if d.is_finite:
+                assert fmt.quantize(np.array([d.value]))[0] == d.value
+
+    @pytest.mark.parametrize("fmt", ALL_FP8, ids=lambda f: f.name)
+    def test_values_exactly_representable_in_float64(self, fmt):
+        for d in fmt.decoded:
+            if d.is_finite and d.value != 0:
+                m, _ = math.frexp(abs(d.value))
+                # mantissa must fit in fbits+1 bits
+                assert (m * (1 << (fmt.fbits + 1))) == int(m * (1 << (fmt.fbits + 1)))
+
+    def test_monotone_by_code_within_positive_half(self):
+        for fmt in ALL_FP8:
+            finite_max_code = ((1 << fmt.ebits) - 1) << fmt.fbits  # inf code
+            vals = [fmt.decode(c).value for c in range(finite_max_code)]
+            assert vals == sorted(vals)

@@ -1,0 +1,122 @@
+"""Posit(8,es) semantics, including the paper's +/-maxpos -> +/-inf variant."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.formats import POSIT8_0, POSIT8_1, POSIT8_2, POSIT8_3, PositFormat, ValueClass
+
+ALL_POSIT8 = [POSIT8_0, POSIT8_1, POSIT8_2, POSIT8_3]
+
+
+class TestKnownValues:
+    """Hand-computed Posit(8,1) codes (useed = 4)."""
+
+    @pytest.mark.parametrize(
+        "code,value",
+        [
+            (0b01000000, 1.0),           # k=0, e=0, f=0
+            (0b01010000, 2.0),           # k=0, e=1
+            (0b01100000, 4.0),           # k=1, e=0
+            (0b01001000, 1.5),           # f=0b1000 of 4 bits -> 1+8/16
+            (0b00100000, 0.25),          # k=-1, e=0
+            (0b00110000, 0.5),           # k=-1, e=1
+            (0b00000001, 2.0 ** -12),    # minpos
+            (0b01111110, 2.0 ** 10),     # max finite (paper variant)
+        ],
+    )
+    def test_positive_decode(self, code, value):
+        assert POSIT8_1.decode(code).value == pytest.approx(value)
+
+    def test_twos_complement_negation(self):
+        for code in range(1, 128):
+            pos = POSIT8_1.decode(code)
+            neg = POSIT8_1.decode((-code) & 0xFF)
+            if pos.is_finite:
+                assert neg.value == pytest.approx(-pos.value)
+
+    def test_zero(self):
+        assert POSIT8_1.decode(0).value_class == ValueClass.ZERO
+
+
+class TestPaperInfVariant:
+    def test_maxpos_codes_are_inf(self):
+        assert POSIT8_1.decode(0x7F).value == math.inf
+        assert POSIT8_1.decode(0x81).value == -math.inf
+        assert POSIT8_1.decode(0x80).value == -math.inf
+
+    def test_finite_dynamic_range_matches_fig2(self):
+        dr = POSIT8_1.dynamic_range
+        assert (dr.min_log2, dr.max_log2) == (-12, 10)
+
+    def test_standard_variant_keeps_maxpos(self):
+        std = PositFormat(8, 1, inf_maxpos=False)
+        assert std.decode(0x7F).value == pytest.approx(2.0 ** 12)
+        assert std.decode(0x80).value_class == ValueClass.NAN
+        assert std.dynamic_range.max_log2 == 12
+
+    @pytest.mark.parametrize(
+        "fmt,lo,hi",
+        [(POSIT8_0, -6, 5), (POSIT8_1, -12, 10), (POSIT8_2, -24, 20), (POSIT8_3, -48, 40)],
+        ids=lambda x: getattr(x, "name", x),
+    )
+    def test_all_ranges(self, fmt, lo, hi):
+        dr = fmt.dynamic_range
+        assert (dr.min_log2, dr.max_log2) == (lo, hi)
+
+
+class TestPrecision:
+    @pytest.mark.parametrize(
+        "fmt,maxbits", [(POSIT8_0, 5), (POSIT8_1, 4), (POSIT8_2, 3), (POSIT8_3, 2)],
+        ids=lambda x: getattr(x, "name", x),
+    )
+    def test_max_fraction_bits(self, fmt, maxbits):
+        assert fmt.max_fraction_bits() == maxbits
+
+    def test_fraction_shrinks_with_regime(self):
+        """Longer regimes leave fewer fraction bits."""
+        for d in POSIT8_1.decoded:
+            if d.is_finite and d.regime is not None:
+                run = d.regime + 1 if d.regime >= 0 else -d.regime
+                # sign(1) + regime run + terminator(1) + es, remainder is fraction
+                expected = max(0, 8 - 1 - run - 1 - POSIT8_1.es)
+                assert d.fraction_bits == expected
+
+
+class TestCodebookProperties:
+    @pytest.mark.parametrize("fmt", ALL_POSIT8, ids=lambda f: f.name)
+    def test_monotone_over_signed_codes(self, fmt):
+        """Posits compare like 2's-complement integers."""
+        codes = list(range(256))
+        signed = [(c - 256 if c >= 128 else c) for c in codes]
+        pairs = [(s, fmt.decode(c).value) for s, c in zip(signed, codes)
+                 if fmt.decode(c).is_finite or fmt.decode(c).value_class == ValueClass.ZERO]
+        pairs.sort()
+        values = [v for _, v in pairs]
+        assert values == sorted(values)
+
+    @pytest.mark.parametrize("fmt", ALL_POSIT8, ids=lambda f: f.name)
+    def test_codebook_symmetric(self, fmt):
+        vals = fmt.finite_values
+        np.testing.assert_allclose(vals, -vals[::-1])
+
+    @pytest.mark.parametrize("fmt", ALL_POSIT8, ids=lambda f: f.name)
+    def test_no_duplicate_finite_values(self, fmt):
+        finite = [d.value for d in fmt.decoded if d.is_finite]
+        assert len(finite) == len(set(finite))
+
+    def test_codebook_size(self):
+        # 256 codes - 1 zero - 3 inf codes (0x7F, 0x80, 0x81) = 252 finite, +1 zero
+        assert len(POSIT8_1.finite_values) == 253
+
+
+class TestDecoderContract:
+    """Reconstruction identity used by the hardware decoders."""
+
+    @pytest.mark.parametrize("fmt", ALL_POSIT8, ids=lambda f: f.name)
+    def test_value_reconstruction(self, fmt):
+        for d in fmt.decoded:
+            if d.is_finite:
+                rebuilt = (-1.0) ** d.sign * d.significand * 2.0 ** d.effective_exponent
+                assert rebuilt == pytest.approx(d.value)

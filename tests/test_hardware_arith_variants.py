@@ -1,0 +1,97 @@
+"""CLA / Wallace variants: exhaustive equivalence and area-delay trade-off."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.arith_variants import carry_lookahead_adder, wallace_multiplier
+from repro.hardware.components import array_multiplier, ripple_adder
+from repro.hardware.netlist import Circuit
+
+
+def stimulus(pairs, widths):
+    rows = []
+    for tup in pairs:
+        bits = []
+        for v, w in zip(tup, widths):
+            bits.extend((v >> i) & 1 for i in range(w))
+        rows.append(bits)
+    return np.array(rows, dtype=bool)
+
+
+class TestCarryLookahead:
+    @pytest.mark.parametrize("width", [2, 4, 6])
+    def test_exhaustive_matches_ripple(self, width):
+        c = Circuit()
+        a = c.input_bus(width)
+        b = c.input_bus(width)
+        s_cla, cout_cla = carry_lookahead_adder(c, a, b)
+        s_rip, cout_rip = ripple_adder(c, a, b)
+        c.set_output("cla", s_cla)
+        c.set_output("rip", s_rip)
+        c.set_output("cc", [cout_cla])
+        c.set_output("cr", [cout_rip])
+        pairs = [(x, y) for x in range(1 << width) for y in range(1 << width)]
+        sim = c.simulate(stimulus(pairs, [width, width]))
+        np.testing.assert_array_equal(sim["outputs"]["cla"], sim["outputs"]["rip"])
+        np.testing.assert_array_equal(sim["outputs"]["cc"], sim["outputs"]["cr"])
+
+    def test_with_carry_in(self):
+        c = Circuit()
+        a = c.input_bus(4)
+        b = c.input_bus(4)
+        ci = c.input_bus(1)
+        s, cout = carry_lookahead_adder(c, a, b, ci[0])
+        c.set_output("s", s)
+        c.set_output("c", [cout])
+        pairs = [(x, y, m) for x in range(16) for y in range(16) for m in (0, 1)]
+        sim = c.simulate(stimulus(pairs, [4, 4, 1]))
+        got = sim["outputs"]["s"] + (sim["outputs"]["c"] << 4)
+        np.testing.assert_array_equal(got, [x + y + m for x, y, m in pairs])
+
+    def test_width_mismatch(self):
+        c = Circuit()
+        with pytest.raises(ValueError):
+            carry_lookahead_adder(c, c.input_bus(3), c.input_bus(4))
+
+    def test_area_delay_tradeoff(self):
+        """CLA: more area, less delay than ripple at useful widths."""
+        def build(kind, width):
+            c = Circuit()
+            a = c.input_bus(width)
+            b = c.input_bus(width)
+            fn = carry_lookahead_adder if kind == "cla" else ripple_adder
+            s, cout = fn(c, a, b)
+            c.set_output("s", s)
+            return c
+        width = 16
+        cla = build("cla", width)
+        rip = build("ripple", width)
+        assert cla.area().total > rip.area().total
+        assert cla.critical_path() < rip.critical_path()
+
+
+class TestWallace:
+    @pytest.mark.parametrize("n,m", [(3, 3), (4, 4), (5, 5)])
+    def test_exhaustive_matches_array(self, n, m):
+        c = Circuit()
+        a = c.input_bus(n)
+        b = c.input_bus(m)
+        c.set_output("w", wallace_multiplier(c, a, b))
+        c.set_output("r", array_multiplier(c, a, b))
+        pairs = [(x, y) for x in range(1 << n) for y in range(1 << m)]
+        sim = c.simulate(stimulus(pairs, [n, m]))
+        np.testing.assert_array_equal(sim["outputs"]["w"], sim["outputs"]["r"])
+        np.testing.assert_array_equal(sim["outputs"]["w"],
+                                      [x * y for x, y in pairs])
+
+    def test_wallace_faster_at_width(self):
+        def build(kind, width):
+            c = Circuit()
+            a = c.input_bus(width)
+            b = c.input_bus(width)
+            fn = wallace_multiplier if kind == "w" else array_multiplier
+            c.set_output("p", fn(c, a, b))
+            return c
+        w8 = build("w", 8)
+        a8 = build("a", 8)
+        assert w8.critical_path() < a8.critical_path()

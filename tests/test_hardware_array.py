@@ -1,0 +1,103 @@
+"""PE-array roll-up model and critical-path timing."""
+
+import numpy as np
+import pytest
+
+from repro.formats import get_format
+from repro.hardware import Circuit, decoder_for_format
+from repro.hardware.array import PEArrayModel
+
+
+@pytest.fixture(scope="module")
+def arrays():
+    return {n: PEArrayModel(get_format(n), rows=8, cols=8)
+            for n in ("FP(8,4)", "Posit(8,1)", "MERSIT(8,2)")}
+
+
+@pytest.fixture(scope="module")
+def stream():
+    rng = np.random.default_rng(0)
+    return rng.integers(0, 256, 128), rng.integers(0, 256, 128)
+
+
+class TestArrayCosts:
+    def test_area_scales_with_pe_count(self):
+        fmt = get_format("MERSIT(8,2)")
+        small = PEArrayModel(fmt, rows=4, cols=4).area_um2()
+        big = PEArrayModel(fmt, rows=8, cols=8).area_um2()
+        assert 3.5 < big / small < 4.3  # ~4x PEs, sublinear encoder share
+
+    def test_format_ordering_survives_rollup(self, arrays):
+        a = {n: m.area_um2() for n, m in arrays.items()}
+        assert a["MERSIT(8,2)"] < a["Posit(8,1)"]
+
+    def test_power_positive_and_ordered(self, arrays, stream):
+        w, a = stream
+        p = {n: m.power_uw(w, a) for n, m in arrays.items()}
+        assert all(v > 0 for v in p.values())
+        assert p["MERSIT(8,2)"] < p["Posit(8,1)"]
+
+    def test_summary_fields(self, arrays):
+        s = arrays["MERSIT(8,2)"].summary()
+        assert s["rows"] == 8 and s["cols"] == 8
+        assert s["area_um2"] > s["mac_area_um2"] * 64
+
+
+class TestLayerMapping:
+    def test_perfect_fit_full_utilization(self, arrays, stream):
+        w, a = stream
+        m = arrays["MERSIT(8,2)"].map_linear("fc", 8, 8, w, a)
+        assert m.utilization == pytest.approx(1.0)
+        assert m.cycles == 1
+
+    def test_tiling_counts(self, arrays, stream):
+        w, a = stream
+        # reduction 3*3*3=27 -> 4 row tiles of 8; c_out 16 -> 2 col tiles
+        m = arrays["MERSIT(8,2)"].map_conv("conv", 3, 16, 3, 5, 5, w, a)
+        assert m.cycles == 4 * 2 * 25
+        assert m.macs == 27 * 16 * 25
+        assert 0 < m.utilization <= 1.0
+
+    def test_energy_scales_with_work(self, arrays, stream):
+        w, a = stream
+        arr = arrays["MERSIT(8,2)"]
+        small = arr.map_conv("s", 8, 8, 3, 4, 4, w, a)
+        big = arr.map_conv("b", 8, 8, 3, 8, 8, w, a)
+        assert big.energy_uj > small.energy_uj
+
+    def test_mersit_layer_energy_below_posit(self, arrays, stream):
+        w, a = stream
+        e = {n: m.map_conv("c", 16, 16, 3, 8, 8, w, a).energy_uj
+             for n, m in arrays.items()}
+        assert e["MERSIT(8,2)"] < e["Posit(8,1)"]
+
+
+class TestCriticalPath:
+    def _decoder_delay(self, name):
+        c = Circuit()
+        code = c.input_bus(8)
+        decoder_for_format(c, code, get_format(name))
+        return c.critical_path()
+
+    def test_mersit_decoder_faster_than_posit(self):
+        """Paper 4.1: 'our decoder having a shorter critical path than the
+        Posit one'."""
+        assert self._decoder_delay("MERSIT(8,2)") < self._decoder_delay("Posit(8,1)")
+
+    def test_delays_positive(self):
+        for n in ("FP(8,4)", "Posit(8,1)", "MERSIT(8,2)"):
+            assert self._decoder_delay(n) > 0
+
+    def test_empty_circuit_zero_delay(self):
+        c = Circuit()
+        c.input_bus(4)
+        assert c.critical_path() == 0.0
+
+    def test_chain_adds_up(self):
+        from repro.hardware.cells import cell
+        c = Circuit()
+        a = c.input_bus(1)
+        x = a[0]
+        for _ in range(5):
+            x = c.inv(x)
+        assert c.critical_path() == pytest.approx(5 * cell("INV").delay)

@@ -1,0 +1,206 @@
+"""Gate-level component correctness: exhaustive/randomised vs integer arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware.components import (
+    array_multiplier, barrel_shifter_left, equals_const, incrementer, mux_bus,
+    priority_encoder_first_one, ripple_adder, ripple_addsub, sign_extend,
+    twos_complement_negate,
+)
+from repro.hardware.netlist import Bus, Circuit
+
+
+def int_to_bits(value: int, width: int) -> list[int]:
+    return [(value >> i) & 1 for i in range(width)]
+
+
+def stimulus_from_ints(values: list[tuple[int, ...]], widths: list[int]) -> np.ndarray:
+    rows = []
+    for tup in values:
+        bits: list[int] = []
+        for v, w in zip(tup, widths):
+            bits.extend(int_to_bits(v, w))
+        rows.append(bits)
+    return np.array(rows, dtype=bool)
+
+
+class TestRippleAdder:
+    def test_exhaustive_4bit(self):
+        c = Circuit()
+        a = c.input_bus(4)
+        b = c.input_bus(4)
+        s, cout = ripple_adder(c, a, b)
+        c.set_output("sum", s)
+        c.set_output("cout", cout)
+        pairs = [(x, y) for x in range(16) for y in range(16)]
+        sim = c.simulate(stimulus_from_ints(pairs, [4, 4]))
+        expect = np.array([x + y for x, y in pairs])
+        got = sim["outputs"]["sum"] + (sim["outputs"]["cout"] << 4)
+        np.testing.assert_array_equal(got, expect)
+
+    def test_addsub_exhaustive_4bit(self):
+        c = Circuit()
+        a = c.input_bus(4)
+        b = c.input_bus(4)
+        sub = c.input_bus(1)
+        s, _ = ripple_addsub(c, a, b, sub[0])
+        c.set_output("r", s)
+        cases = [(x, y, m) for x in range(16) for y in range(16) for m in (0, 1)]
+        sim = c.simulate(stimulus_from_ints(cases, [4, 4, 1]))
+        expect = np.array([(x - y if m else x + y) % 16 for x, y, m in cases])
+        np.testing.assert_array_equal(sim["outputs"]["r"], expect)
+
+    def test_width_mismatch_raises(self):
+        c = Circuit()
+        with pytest.raises(ValueError):
+            ripple_adder(c, c.input_bus(4), c.input_bus(3))
+
+
+class TestNegateIncrement:
+    def test_negate_exhaustive_5bit(self):
+        c = Circuit()
+        a = c.input_bus(5)
+        c.set_output("neg", twos_complement_negate(c, a))
+        vals = [(x,) for x in range(32)]
+        sim = c.simulate(stimulus_from_ints(vals, [5]))
+        expect = np.array([(-x) % 32 for (x,) in vals])
+        np.testing.assert_array_equal(sim["outputs"]["neg"], expect)
+
+    def test_incrementer(self):
+        c = Circuit()
+        a = c.input_bus(6)
+        c.set_output("inc", incrementer(c, a))
+        vals = [(x,) for x in range(64)]
+        sim = c.simulate(stimulus_from_ints(vals, [6]))
+        np.testing.assert_array_equal(sim["outputs"]["inc"],
+                                      [(x + 1) % 64 for (x,) in vals])
+
+
+class TestMultiplier:
+    @pytest.mark.parametrize("n,m", [(3, 3), (4, 4), (5, 5), (4, 6)])
+    def test_exhaustive(self, n, m):
+        c = Circuit()
+        a = c.input_bus(n)
+        b = c.input_bus(m)
+        c.set_output("p", array_multiplier(c, a, b))
+        cases = [(x, y) for x in range(1 << n) for y in range(1 << m)]
+        sim = c.simulate(stimulus_from_ints(cases, [n, m]))
+        np.testing.assert_array_equal(sim["outputs"]["p"],
+                                      [x * y for x, y in cases])
+
+
+class TestBarrelShifter:
+    def test_shift_left_8bit(self):
+        c = Circuit()
+        a = c.input_bus(8)
+        sh = c.input_bus(3)
+        c.set_output("r", barrel_shifter_left(c, a, sh))
+        cases = [(x, s) for x in (0x01, 0x5A, 0xFF, 0x80) for s in range(8)]
+        sim = c.simulate(stimulus_from_ints(cases, [8, 3]))
+        np.testing.assert_array_equal(sim["outputs"]["r"],
+                                      [(x << s) & 0xFF for x, s in cases])
+
+
+class TestPriorityEncoder:
+    @pytest.mark.parametrize("n", [2, 3, 6, 7])
+    def test_exhaustive(self, n):
+        c = Circuit()
+        bits = c.input_bus(n)
+        idx, valid = priority_encoder_first_one(c, list(bits))
+        c.set_output("idx", idx)
+        c.set_output("valid", valid)
+        cases = [(x,) for x in range(1 << n)]
+        sim = c.simulate(stimulus_from_ints(cases, [n]))
+        for (x,), got_idx, got_valid in zip(cases, sim["outputs"]["idx"],
+                                            sim["outputs"]["valid"]):
+            if x == 0:
+                assert got_valid == 0
+            else:
+                first = (x & -x).bit_length() - 1
+                assert got_valid == 1 and got_idx == first
+
+
+class TestSmallHelpers:
+    def test_equals_const(self):
+        c = Circuit()
+        a = c.input_bus(4)
+        c.set_output("eq", Bus([equals_const(c, a, 0b1010)]))
+        sim = c.simulate(stimulus_from_ints([(x,) for x in range(16)], [4]))
+        np.testing.assert_array_equal(sim["outputs"]["eq"],
+                                      [int(x == 0b1010) for x in range(16)])
+
+    def test_mux_bus(self):
+        c = Circuit()
+        a = c.input_bus(4)
+        b = c.input_bus(4)
+        s = c.input_bus(1)
+        c.set_output("r", mux_bus(c, a, b, s[0]))
+        cases = [(3, 12, 0), (3, 12, 1), (15, 0, 0), (15, 0, 1)]
+        sim = c.simulate(stimulus_from_ints(cases, [4, 4, 1]))
+        np.testing.assert_array_equal(sim["outputs"]["r"], [3, 12, 15, 0])
+
+    def test_sign_extend(self):
+        c = Circuit()
+        a = c.input_bus(3)
+        c.set_output("r", sign_extend(c, a, 6))
+        sim = c.simulate(stimulus_from_ints([(x,) for x in range(8)], [3]))
+        expect = [x if x < 4 else x | 0b111000 for x in range(8)]
+        np.testing.assert_array_equal(sim["outputs"]["r"], expect)
+
+
+class TestCircuitInfrastructure:
+    def test_area_report_groups(self):
+        c = Circuit()
+        a = c.input_bus(2)
+        with c.group("left"):
+            x = c.and2(a[0], a[1])
+        with c.group("right"):
+            y = c.xor2(a[0], a[1])
+        c.set_output("x", Bus([x]))
+        c.set_output("y", Bus([y]))
+        rep = c.area()
+        assert set(rep.by_group) == {"left", "right"}
+        assert rep.by_group["left"] == pytest.approx(1.064)
+        assert rep.by_group["right"] == pytest.approx(1.596)
+        assert rep.total == pytest.approx(1.064 + 1.596)
+        assert rep.gate_count == 2
+
+    def test_power_counts_toggles(self):
+        c = Circuit()
+        a = c.input_bus(1)
+        c.set_output("q", Bus([c.inv(a[0])]))
+        toggling = np.array([[0], [1], [0], [1]], dtype=bool)
+        quiet = np.zeros((4, 1), dtype=bool)
+        p_hot = c.power(toggling)
+        p_cold = c.power(quiet)
+        assert p_hot.dynamic > p_cold.dynamic
+        assert p_cold.dynamic == 0.0
+        assert p_hot.leakage == p_cold.leakage > 0
+
+    def test_power_needs_two_vectors(self):
+        c = Circuit()
+        a = c.input_bus(1)
+        c.set_output("q", Bus([c.inv(a[0])]))
+        with pytest.raises(ValueError):
+            c.power(np.zeros((1, 1), dtype=bool))
+
+    def test_bad_stimulus_shape(self):
+        c = Circuit()
+        c.input_bus(3)
+        with pytest.raises(ValueError):
+            c.simulate(np.zeros((4, 2), dtype=bool))
+
+    @given(x=st.integers(0, 255), y=st.integers(0, 255))
+    @settings(max_examples=30, deadline=None)
+    def test_adder_8bit_hypothesis(self, x, y):
+        c = Circuit()
+        a = c.input_bus(8)
+        b = c.input_bus(8)
+        s, cout = ripple_adder(c, a, b)
+        c.set_output("s", s)
+        c.set_output("c", cout)
+        sim = c.simulate(stimulus_from_ints([(x, y), (x, y)], [8, 8]))
+        assert int(sim["outputs"]["s"][0] + (sim["outputs"]["c"][0] << 8)) == x + y

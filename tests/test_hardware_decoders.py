@@ -1,0 +1,132 @@
+"""Gate-level decoders verified exhaustively against behavioural decode."""
+
+import numpy as np
+import pytest
+
+from repro.formats import ValueClass, get_format
+from repro.formats.analysis import exponent_field_width
+from repro.hardware import Circuit, decoder_for_format
+from repro.hardware.decoders import (
+    build_fp8_decoder, build_mersit_decoder, build_posit_decoder,
+)
+
+ALL_DECODED_FORMATS = [
+    "FP(8,2)", "FP(8,3)", "FP(8,4)", "FP(8,5)",
+    "Posit(8,0)", "Posit(8,1)", "Posit(8,2)", "Posit(8,3)",
+    "MERSIT(8,2)", "MERSIT(8,3)",
+]
+
+
+def build_decoder_circuit(fmt):
+    c = Circuit()
+    code = c.input_bus(8)
+    pins = decoder_for_format(c, code, fmt)
+    c.set_output("exp", pins.exp_eff)
+    c.set_output("frac", pins.frac_eff)
+    c.set_output("sign", [pins.sign])
+    c.set_output("zero", [pins.is_zero])
+    c.set_output("special", [pins.is_special])
+    return c
+
+
+def all_codes_stimulus():
+    return np.array([[(v >> i) & 1 for i in range(8)] for v in range(256)],
+                    dtype=bool)
+
+
+@pytest.fixture(scope="module")
+def sims():
+    cache = {}
+    for name in ALL_DECODED_FORMATS:
+        fmt = get_format(name)
+        c = build_decoder_circuit(fmt)
+        cache[name] = (fmt, c, c.simulate(all_codes_stimulus()))
+    return cache
+
+
+class TestExhaustiveAgainstBehavioural:
+    @pytest.mark.parametrize("name", ALL_DECODED_FORMATS)
+    def test_all_256_codes(self, sims, name):
+        fmt, _, sim = sims[name]
+        p = exponent_field_width(fmt)
+        m = fmt.max_fraction_bits()
+        for code in range(256):
+            d = fmt.decode(code)
+            hw_exp = int(sim["outputs"]["exp"][code])
+            if hw_exp >= 1 << (p - 1):
+                hw_exp -= 1 << p
+            hw_frac = int(sim["outputs"]["frac"][code])
+            hw_zero = int(sim["outputs"]["zero"][code])
+            hw_special = int(sim["outputs"]["special"][code])
+            if d.value_class == ValueClass.ZERO:
+                assert hw_zero == 1 and hw_frac == 0, f"code {code:#04x}"
+            elif d.value_class in (ValueClass.INF, ValueClass.NAN):
+                assert hw_special == 1 and hw_frac == 0, f"code {code:#04x}"
+            else:
+                want_frac = (1 << m) | (d.fraction_field << (m - d.fraction_bits))
+                assert hw_exp == d.effective_exponent, f"code {code:#04x}"
+                assert hw_frac == want_frac, f"code {code:#04x}"
+                assert int(sim["outputs"]["sign"][code]) == d.sign
+                assert hw_zero == 0 and hw_special == 0
+
+    @pytest.mark.parametrize("name", ALL_DECODED_FORMATS)
+    def test_flags_partition_the_code_space(self, sims, name):
+        fmt, _, sim = sims[name]
+        zeros = int(sim["outputs"]["zero"].sum())
+        specials = int(sim["outputs"]["special"].sum())
+        ref_zero = sum(d.value_class == ValueClass.ZERO for d in fmt.decoded)
+        ref_special = sum(d.value_class in (ValueClass.INF, ValueClass.NAN)
+                          for d in fmt.decoded)
+        assert zeros == ref_zero
+        assert specials == ref_special
+
+
+class TestDecoderAreas:
+    """The paper's decoder-cost ordering (Table 3 direction)."""
+
+    def area(self, name):
+        fmt = get_format(name)
+        return build_decoder_circuit(fmt).area().total
+
+    def test_mersit_smaller_than_posit(self):
+        assert self.area("MERSIT(8,2)") < 0.7 * self.area("Posit(8,1)")
+
+    def test_posit_is_the_most_expensive(self):
+        areas = {n: self.area(n) for n in ("FP(8,4)", "Posit(8,1)", "MERSIT(8,2)")}
+        assert max(areas, key=areas.get) == "Posit(8,1)"
+
+    def test_posit_area_grows_mildly_with_es(self):
+        a = [self.area(f"Posit(8,{es})") for es in range(4)]
+        assert a == sorted(a)
+
+    def test_mersit_grouped_shift_beats_bitwise(self):
+        """The grouped shifter gives MERSIT fewer mux stages than Posit."""
+        from repro.hardware.cells import cell
+        def muxes(name):
+            c = build_decoder_circuit(get_format(name))
+            return c.area().by_cell.get("MUX2", 0)
+        assert muxes("MERSIT(8,2)") < muxes("Posit(8,1)")
+
+
+class TestDispatch:
+    def test_dispatch_by_family(self):
+        for name, builder in [("FP(8,4)", build_fp8_decoder),
+                              ("Posit(8,1)", build_posit_decoder),
+                              ("MERSIT(8,2)", build_mersit_decoder)]:
+            c = Circuit()
+            code = c.input_bus(8)
+            pins = builder(c, code, get_format(name))
+            assert len(pins.frac_eff) == get_format(name).max_fraction_bits() + 1
+
+    def test_unknown_format_raises(self):
+        from repro.formats.int8 import INT8
+        c = Circuit()
+        code = c.input_bus(8)
+        with pytest.raises(TypeError):
+            decoder_for_format(c, code, INT8)
+
+    def test_group_label_applied(self):
+        c = Circuit()
+        code = c.input_bus(8)
+        decoder_for_format(c, code, get_format("MERSIT(8,2)"), group="dec0")
+        assert set(c.area().by_group) == {"dec0"}

@@ -1,0 +1,89 @@
+"""The MERSIT encoder netlist: reference equivalence and nearest-code checks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formats import MERSIT8_2, MERSIT8_3
+from repro.hardware.encoders import MersitEncoder, encode_reference
+
+
+@pytest.fixture(scope="module")
+def encoder82():
+    return MersitEncoder(MERSIT8_2, width=16, lsb_exp=-10)
+
+
+class TestReferenceEncoder:
+    def test_representables_roundtrip(self):
+        fmt = MERSIT8_2
+        for v in fmt.finite_values:
+            code = encode_reference(float(v), fmt)
+            assert fmt.values[code] == v
+
+    def test_zero_and_specials(self):
+        fmt = MERSIT8_2
+        assert fmt.values[encode_reference(0.0, fmt)] == 0.0
+        assert fmt.values[encode_reference(float("inf"), fmt)] == fmt.max_value
+        assert fmt.values[encode_reference(float("-inf"), fmt)] == -fmt.max_value
+        assert fmt.values[encode_reference(1e9, fmt)] == fmt.max_value
+
+    def test_underflow(self):
+        fmt = MERSIT8_2
+        assert fmt.values[encode_reference(fmt.min_positive / 3, fmt)] == 0.0
+
+    @given(x=st.floats(-300, 300, allow_nan=False))
+    @settings(max_examples=200, deadline=None)
+    def test_reference_emits_nearest_code(self, x):
+        fmt = MERSIT8_2
+        code = encode_reference(x, fmt)
+        got = fmt.values[code]
+        clipped = min(max(x, -fmt.max_value), fmt.max_value)
+        best = float(fmt.quantize(np.array([x]))[0])
+        assert abs(clipped - got) <= abs(clipped - best) + 1e-15
+
+    def test_mersit83_also_supported(self):
+        fmt = MERSIT8_3
+        for v in fmt.finite_values[::5]:
+            assert fmt.values[encode_reference(float(v), fmt)] == v
+
+
+class TestEncoderNetlist:
+    def test_dense_sweep_matches_reference(self, encoder82):
+        fmt = MERSIT8_2
+        mags = np.arange(0, 1 << 12, 3)
+        vals = mags * 2.0 ** -10
+        vals = np.concatenate([vals, -vals[1:]])
+        codes = encoder82.encode_values(vals)
+        for v, code in zip(vals, codes):
+            assert int(code) == encode_reference(float(v), fmt), f"v={v}"
+
+    def test_random_sweep_matches_reference(self, encoder82):
+        fmt = MERSIT8_2
+        rng = np.random.default_rng(3)
+        mags = rng.integers(0, 1 << 16, 3000)
+        vals = mags * 2.0 ** -10 * np.where(rng.random(3000) < 0.5, 1, -1)
+        codes = encoder82.encode_values(vals)
+        refs = np.array([encode_reference(float(v), fmt) for v in vals])
+        np.testing.assert_array_equal(codes, refs)
+
+    def test_saturation_at_top(self, encoder82):
+        fmt = MERSIT8_2
+        codes = encoder82.encode_values(np.array([60.0, 63.9]))
+        # with lsb -10 and width 16, max magnitude is 64 - already in range
+        got = fmt.values[codes]
+        assert np.all(np.abs(got) <= fmt.max_value)
+
+    def test_zero_input(self, encoder82):
+        codes = encoder82.encode_values(np.array([0.0]))
+        assert MERSIT8_2.values[int(codes[0])] == 0.0
+
+    def test_signs(self, encoder82):
+        codes = encoder82.encode_values(np.array([1.5, -1.5]))
+        v = MERSIT8_2.values[codes]
+        assert v[0] == 1.5 and v[1] == -1.5
+
+    def test_area_reported(self, encoder82):
+        rep = encoder82.area()
+        assert rep.total > 0
+        assert set(rep.by_group) == {"encoder"}

@@ -1,0 +1,130 @@
+"""The Kulisch MAC: exactness, widths, area/power structure."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formats import get_format
+from repro.hardware import MacUnit
+
+FORMATS = ["FP(8,4)", "Posit(8,1)", "MERSIT(8,2)"]
+
+
+@pytest.fixture(scope="module")
+def macs():
+    return {n: MacUnit(get_format(n)) for n in FORMATS}
+
+
+class TestExactAccumulation:
+    @pytest.mark.parametrize("name", FORMATS)
+    def test_random_stream_bit_exact(self, macs, name):
+        mac = macs[name]
+        rng = np.random.default_rng(1)
+        w = rng.integers(0, 256, 200)
+        a = rng.integers(0, 256, 200)
+        assert mac.accumulate_hw(w, a) == mac.accumulate_reference(w, a)
+
+    @pytest.mark.parametrize("name", FORMATS)
+    def test_specials_contribute_zero(self, macs, name):
+        mac = macs[name]
+        fmt = mac.fmt
+        specials = [d.code for d in fmt.decoded if not d.is_finite]
+        w = np.array(specials[:4] * 2)
+        a = np.full(len(w), fmt.encode(1.0))
+        assert mac.accumulate_reference(w, a)[-1] == 0
+        assert mac.accumulate_hw(w, a)[-1] == 0
+
+    def test_accumulation_matches_float_math(self, macs):
+        """Decoded-value dot product equals the fixed-point result."""
+        mac = macs["MERSIT(8,2)"]
+        fmt = mac.fmt
+        rng = np.random.default_rng(5)
+        values_w = rng.normal(size=50) * 0.5
+        values_a = rng.normal(size=50) * 0.5
+        w = fmt.encode_array(values_w)
+        a = fmt.encode_array(values_a)
+        acc = mac.accumulate_hw(w, a)[-1]
+        width = mac.acc_width
+        if acc >= 1 << (width - 1):
+            acc -= 1 << width
+        got = acc * 2.0 ** mac.frac_lsb_exp
+        want = float(np.sum(fmt.decode_array(w) * fmt.decode_array(a)))
+        assert got == pytest.approx(want, rel=1e-12)
+
+    @given(codes=st.lists(st.tuples(st.integers(0, 255), st.integers(0, 255)),
+                          min_size=1, max_size=24))
+    @settings(max_examples=25, deadline=None)
+    def test_hypothesis_streams_mersit(self, codes):
+        mac = MacUnit(get_format("MERSIT(8,2)"))
+        w = np.array([c[0] for c in codes])
+        a = np.array([c[1] for c in codes])
+        assert mac.accumulate_hw(w, a) == mac.accumulate_reference(w, a)
+
+
+class TestWidths:
+    def test_paper_w_values(self, macs):
+        assert macs["FP(8,4)"].paper_w == 33
+        assert macs["Posit(8,1)"].paper_w == 45
+        assert macs["MERSIT(8,2)"].paper_w == 35
+
+    def test_acc_width_ordering_follows_w(self, macs):
+        widths = {n: macs[n].acc_width for n in FORMATS}
+        assert widths["FP(8,4)"] < widths["MERSIT(8,2)"] < widths["Posit(8,1)"]
+
+    def test_margin_adds_exact_bits(self):
+        fmt = get_format("MERSIT(8,2)")
+        assert MacUnit(fmt, overflow_margin=20).acc_width == \
+            MacUnit(fmt, overflow_margin=10).acc_width + 10
+
+
+class TestCostStructure:
+    def test_area_groups_complete(self, macs):
+        from repro.hardware import MAC_GROUPS
+        for mac in macs.values():
+            by_group = mac.area().by_group
+            assert set(by_group) == set(MAC_GROUPS)
+
+    def test_mac_area_ordering(self, macs):
+        a = {n: macs[n].area().total for n in FORMATS}
+        assert a["MERSIT(8,2)"] < a["Posit(8,1)"]
+        assert a["FP(8,4)"] < a["Posit(8,1)"]
+
+    def test_power_scales_with_activity(self, macs):
+        mac = macs["MERSIT(8,2)"]
+        quiet_w = np.full(64, mac.fmt.encode(0.0))
+        quiet_a = np.full(64, mac.fmt.encode(0.0))
+        rng = np.random.default_rng(0)
+        hot_w = rng.integers(0, 256, 64)
+        hot_a = rng.integers(0, 256, 64)
+        p_quiet = mac.power(quiet_w, quiet_a)
+        p_hot = mac.power(hot_w, hot_a)
+        assert p_hot.dynamic > p_quiet.dynamic
+
+    def test_power_zero_fraction_codes_cheaper(self, macs):
+        """The paper's switching argument: MERSIT ops with zero-length
+        fractions toggle less than full-fraction operands."""
+        mac = macs["MERSIT(8,2)"]
+        fmt = mac.fmt
+        # zero-fraction codes: |k| in {2, 3} <-> magnitudes near range ends
+        zero_frac = [d.code for d in fmt.decoded
+                     if d.is_finite and d.fraction_bits == 0 and d.sign == 0]
+        full_frac = [d.code for d in fmt.decoded
+                     if d.is_finite and d.fraction_bits == 4 and d.sign == 0]
+        rng = np.random.default_rng(2)
+        zf = rng.choice(zero_frac, 128)
+        ff = rng.choice(full_frac, 128)
+        p_zf = mac.power(zf, zf)
+        p_ff = mac.power(ff, ff)
+        # compare the fraction multiplier's group power
+        assert p_zf.by_group["frac_multiplier"] < p_ff.by_group["frac_multiplier"]
+
+    def test_clock_scaling_linear_in_dynamic(self, macs):
+        mac = macs["FP(8,4)"]
+        rng = np.random.default_rng(0)
+        w = rng.integers(0, 256, 64)
+        a = rng.integers(0, 256, 64)
+        p100 = mac.power(w, a, clock_mhz=100)
+        p200 = mac.power(w, a, clock_mhz=200)
+        assert p200.dynamic == pytest.approx(2 * p100.dynamic)
+        assert p200.leakage == pytest.approx(p100.leakage)

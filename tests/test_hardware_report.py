@@ -1,0 +1,89 @@
+"""Report assembly: Fig. 7 rows, Table 3 breakdowns, headline deltas."""
+
+import numpy as np
+import pytest
+
+from repro.formats import get_format
+from repro.hardware import (
+    MacUnit, dnn_operand_stream, headline_deltas, mac_cost, multiplier_breakdown,
+)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    rng = np.random.default_rng(0)
+    weights = rng.standard_t(df=4, size=20_000) * 0.05
+    acts = np.abs(rng.standard_t(df=3, size=20_000)) * 0.4
+    rows, breakdowns = {}, {}
+    for name in ("FP(8,4)", "Posit(8,1)", "MERSIT(8,2)"):
+        fmt = get_format(name)
+        mac = MacUnit(fmt)
+        w, a = dnn_operand_stream(fmt, weights, acts, n=128)
+        rows[name] = mac_cost(mac, w, a)
+        breakdowns[name] = multiplier_breakdown(mac, w, a)
+    return rows, breakdowns
+
+
+class TestOperandStream:
+    def test_codes_in_range(self):
+        fmt = get_format("MERSIT(8,2)")
+        rng = np.random.default_rng(1)
+        w, a = dnn_operand_stream(fmt, rng.normal(size=500), rng.normal(size=500), n=64)
+        assert len(w) == len(a) == 64
+        assert w.min() >= 0 and w.max() < 256
+
+    def test_deterministic_in_seed(self):
+        fmt = get_format("FP(8,4)")
+        rng = np.random.default_rng(2)
+        data = rng.normal(size=300)
+        w1, a1 = dnn_operand_stream(fmt, data, data, n=32, seed=5)
+        w2, a2 = dnn_operand_stream(fmt, data, data, n=32, seed=5)
+        np.testing.assert_array_equal(w1, w2)
+        np.testing.assert_array_equal(a1, a2)
+
+    def test_zero_tensors_safe(self):
+        fmt = get_format("INT8")
+        w, a = dnn_operand_stream(fmt, np.zeros(10), np.zeros(10), n=8)
+        np.testing.assert_array_equal(fmt.decode_array(w), 0.0)
+
+
+class TestMacCost:
+    def test_totals_are_group_sums(self, setup):
+        rows, _ = setup
+        for row in rows.values():
+            assert row.area_total == pytest.approx(sum(row.area_by_group.values()))
+            assert row.power_total == pytest.approx(sum(row.power_by_group.values()))
+
+    def test_breakdown_consistent_with_cost(self, setup):
+        rows, breakdowns = setup
+        for name in rows:
+            assert breakdowns[name].area_decoder == \
+                pytest.approx(rows[name].area_by_group["decoder"])
+
+    def test_breakdown_totals(self, setup):
+        _, breakdowns = setup
+        b = breakdowns["MERSIT(8,2)"]
+        assert b.area_total == pytest.approx(
+            b.area_decoder + b.area_exp_adder + b.area_frac_multiplier)
+
+
+class TestHeadlineDeltas:
+    def test_directions_match_paper(self, setup):
+        rows, breakdowns = setup
+        d = headline_deltas(rows, breakdowns)
+        assert d["area_saving_vs_posit_pct"] > 0
+        assert d["power_saving_vs_posit_pct"] > 0
+        assert d["area_premium_vs_fp8_pct"] > 0
+        assert d["decoder_area_saving_vs_posit_pct"] > 0
+
+    def test_magnitudes_in_paper_ballpark(self, setup):
+        rows, breakdowns = setup
+        d = headline_deltas(rows, breakdowns)
+        assert 10 < d["area_saving_vs_posit_pct"] < 45      # paper 26.6
+        assert 10 < d["power_saving_vs_posit_pct"] < 40     # paper 22.2
+        assert 30 < d["decoder_area_saving_vs_posit_pct"] < 75  # paper 59.2
+
+    def test_without_breakdowns(self, setup):
+        rows, _ = setup
+        d = headline_deltas(rows)
+        assert "decoder_area_saving_vs_posit_pct" not in d

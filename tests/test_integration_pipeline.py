@@ -1,0 +1,83 @@
+"""End-to-end integration: train -> PTQ -> encode -> gate-level MAC.
+
+One compact test per pipeline stage boundary, exercising the whole stack
+the way the experiments do, at micro scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, functional as F
+from repro.data import SynthImageNet
+from repro.formats import get_format
+from repro.hardware import MacUnit, dnn_operand_stream
+from repro.nn import Adam, Conv2d, Flatten, GlobalAvgPool2d, Linear, ReLU, Sequential
+from repro.quant import PTQConfig, dequantize_model, quantize_model
+from repro.quant.ptq import quantized_layers
+from repro.zoo.trainer import TrainConfig, evaluate_vision, train_vision
+
+
+@pytest.fixture(scope="module")
+def trained_micro():
+    ds = SynthImageNet(num_classes=4, image_size=16, seed=3)
+    rng = np.random.default_rng(0)
+    model = Sequential(
+        Conv2d(3, 8, 3, padding=1, rng=rng), ReLU(),
+        Conv2d(8, 8, 3, padding=1, stride=2, rng=rng), ReLU(),
+        GlobalAvgPool2d(), Flatten(), Linear(8, 4, rng=rng),
+    )
+    train_vision(model, ds.train_split(384),
+                 TrainConfig(epochs=8, batch_size=32, lr=3e-3))
+    return model, ds
+
+
+class TestTrainToPTQ:
+    def test_micro_model_learns(self, trained_micro):
+        model, ds = trained_micro
+        acc = evaluate_vision(model, ds.test_split(200))
+        assert acc > 40.0  # 4 classes, chance is 25
+
+    @pytest.mark.parametrize("fmt", ["Posit(8,1)", "MERSIT(8,2)"])
+    def test_wide_formats_track_fp32(self, trained_micro, fmt):
+        model, ds = trained_micro
+        test = ds.test_split(200)
+        fp32 = evaluate_vision(model, test)
+        quantize_model(model, PTQConfig(fmt),
+                       ds.calibration_split(40).batches(40),
+                       forward=lambda m, b: m(Tensor(b[0])))
+        q = evaluate_vision(model, test)
+        dequantize_model(model)
+        assert q > fp32 - 6.0
+
+    def test_quantized_weights_feed_hardware_exactly(self, trained_micro):
+        """The PTQ'd model's real tensors drive a bit-exact MAC stream."""
+        model, ds = trained_micro
+        fmt = get_format("MERSIT(8,2)")
+        weights = np.concatenate([l.weight.data.ravel()
+                                  for _, l in quantized_layers(model)])
+        images = ds.calibration_split(8).images
+        w_codes, a_codes = dnn_operand_stream(fmt, weights, images.ravel(), n=96)
+        mac = MacUnit(fmt)
+        assert mac.accumulate_hw(w_codes, a_codes) == \
+            mac.accumulate_reference(w_codes, a_codes)
+
+    def test_mac_dot_product_matches_quantized_network_math(self, trained_micro):
+        """A linear layer computed through the gate-level MAC equals the
+        fake-quantized numpy computation up to the shared scale factors."""
+        model, ds = trained_micro
+        fmt = get_format("MERSIT(8,2)")
+        lin = model.layers[-1]
+        w = lin.weight.data[0].astype(np.float64)   # one output neuron
+        x = ds.calibration_split(1).images.ravel()[: len(w)].astype(np.float64)
+        w_scale = float(np.abs(w).max())
+        x_scale = float(np.abs(x).max())
+        w_codes = fmt.encode_array(w / w_scale)
+        a_codes = fmt.encode_array(x / x_scale)
+        mac = MacUnit(fmt)
+        acc = mac.accumulate_hw(w_codes, a_codes)[-1]
+        if acc >= 1 << (mac.acc_width - 1):
+            acc -= 1 << mac.acc_width
+        got = acc * 2.0 ** mac.frac_lsb_exp * w_scale * x_scale
+        want = float(np.sum(fmt.decode_array(w_codes) * fmt.decode_array(a_codes))
+                     * w_scale * x_scale)
+        assert got == pytest.approx(want, rel=1e-10)

@@ -1,0 +1,212 @@
+"""Module system, layers, and optimiser behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, functional as F
+from repro.nn import (
+    Adam, BatchNorm2d, Conv2d, Dropout, Flatten, GlobalAvgPool2d, LayerNorm,
+    Linear, Module, MultiHeadAttention, Parameter, ReLU, SGD, Sequential,
+    TransformerEncoderLayer,
+)
+
+
+class TestModuleTree:
+    def test_named_parameters_paths(self):
+        model = Sequential(Linear(4, 8), ReLU(), Linear(8, 2))
+        names = {n for n, _ in model.named_parameters()}
+        assert "layer0.weight" in names
+        assert "layer2.bias" in names
+
+    def test_num_parameters(self):
+        lin = Linear(4, 8)
+        assert lin.num_parameters() == 4 * 8 + 8
+
+    def test_train_eval_propagates(self):
+        model = Sequential(Linear(2, 2), Dropout(0.5))
+        model.eval()
+        assert all(not m.training for m in model.modules())
+        model.train()
+        assert all(m.training for m in model.modules())
+
+    def test_zero_grad_clears(self):
+        lin = Linear(3, 3)
+        out = lin(Tensor(np.ones((2, 3)))).sum()
+        out.backward()
+        assert lin.weight.grad is not None
+        lin.zero_grad()
+        assert lin.weight.grad is None
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        a = Sequential(Linear(4, 5), Linear(5, 2))
+        b = Sequential(Linear(4, 5), Linear(5, 2))
+        # make them differ
+        b.layers[0].weight.data += 1.0
+        b.load_state_dict(a.state_dict())
+        x = Tensor(np.random.default_rng(0).normal(size=(3, 4)).astype(np.float32))
+        np.testing.assert_allclose(a(x).data, b(x).data)
+
+    def test_buffers_in_state_dict(self):
+        bn = BatchNorm2d(3)
+        state = bn.state_dict()
+        assert "running_mean" in state and "running_var" in state
+
+    def test_missing_key_raises(self):
+        a = Linear(2, 2)
+        state = a.state_dict()
+        del state["bias"]
+        with pytest.raises(KeyError, match="missing"):
+            a.load_state_dict(state)
+
+    def test_unexpected_key_raises(self):
+        a = Linear(2, 2)
+        state = a.state_dict()
+        state["extra"] = np.zeros(1)
+        with pytest.raises(KeyError, match="unexpected"):
+            a.load_state_dict(state)
+
+    def test_shape_mismatch_raises(self):
+        a = Linear(2, 2)
+        state = a.state_dict()
+        state["weight"] = np.zeros((3, 3), dtype=np.float32)
+        with pytest.raises(ValueError, match="shape"):
+            a.load_state_dict(state)
+
+    def test_loaded_copy_is_independent(self):
+        a = Linear(2, 2)
+        state = a.state_dict()
+        a.weight.data[:] = 99.0
+        b = Linear(2, 2)
+        b.load_state_dict(state)
+        assert not np.allclose(b.weight.data, 99.0)
+
+
+class TestBatchNorm:
+    def test_train_normalises_batch(self):
+        bn = BatchNorm2d(4)
+        rng = np.random.default_rng(0)
+        x = Tensor(rng.normal(3.0, 2.0, size=(8, 4, 5, 5)).astype(np.float32))
+        y = bn(x).data
+        assert abs(y.mean()) < 1e-4
+        assert abs(y.std() - 1.0) < 1e-2
+
+    def test_running_stats_update(self):
+        bn = BatchNorm2d(2, momentum=0.5)
+        x = Tensor(np.ones((4, 2, 3, 3), dtype=np.float32) * 10.0)
+        bn(x)
+        assert np.all(bn.running_mean > 0)
+
+    def test_eval_uses_running_stats(self):
+        bn = BatchNorm2d(2)
+        bn.set_buffer("running_mean", np.array([1.0, 2.0], dtype=np.float32))
+        bn.set_buffer("running_var", np.array([4.0, 9.0], dtype=np.float32))
+        bn.eval()
+        x = Tensor(np.ones((1, 2, 2, 2), dtype=np.float32))
+        y = bn(x).data
+        np.testing.assert_allclose(y[0, 0], (1 - 1) / 2, atol=1e-3)
+        np.testing.assert_allclose(y[0, 1], (1 - 2) / 3, atol=1e-3)
+
+    def test_unknown_buffer_raises(self):
+        bn = BatchNorm2d(2)
+        with pytest.raises(KeyError):
+            bn.set_buffer("nope", np.zeros(2))
+
+
+class TestLayerNorm:
+    def test_normalises_last_axis(self):
+        ln = LayerNorm(8)
+        rng = np.random.default_rng(1)
+        x = Tensor(rng.normal(5, 3, size=(4, 8)).astype(np.float32))
+        y = ln(x).data
+        np.testing.assert_allclose(y.mean(axis=-1), 0, atol=1e-4)
+        np.testing.assert_allclose(y.std(axis=-1), 1, atol=1e-2)
+
+
+class TestAttention:
+    def test_output_shape(self):
+        mha = MultiHeadAttention(16, 4)
+        x = Tensor(np.random.default_rng(0).normal(size=(2, 5, 16)).astype(np.float32))
+        assert mha(x).shape == (2, 5, 16)
+
+    def test_mask_blocks_padding(self):
+        """Changing a masked position must not change the output."""
+        mha = MultiHeadAttention(8, 2)
+        rng = np.random.default_rng(0)
+        base = rng.normal(size=(1, 4, 8)).astype(np.float32)
+        mask = np.array([[1, 1, 0, 0]], dtype=np.float32)
+        altered = base.copy()
+        altered[0, 3] += 5.0
+        out1 = mha(Tensor(base), mask).data
+        out2 = mha(Tensor(altered), mask).data
+        np.testing.assert_allclose(out1[0, :2], out2[0, :2], atol=1e-5)
+
+    def test_indivisible_heads_raise(self):
+        with pytest.raises(ValueError):
+            MultiHeadAttention(10, 3)
+
+    def test_encoder_layer_shape(self):
+        enc = TransformerEncoderLayer(16, 4, 32)
+        x = Tensor(np.random.default_rng(2).normal(size=(3, 6, 16)).astype(np.float32))
+        assert enc(x).shape == (3, 6, 16)
+
+
+class TestOptimisers:
+    def _quadratic_step(self, opt_cls, **kw):
+        p = Parameter(np.array([5.0], dtype=np.float32))
+        opt = opt_cls([p], **kw)
+        for _ in range(200):
+            loss = (p * p).sum()
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        return float(p.data[0])
+
+    def test_sgd_converges(self):
+        assert abs(self._quadratic_step(SGD, lr=0.1, momentum=0.5)) < 1e-3
+
+    def test_adam_converges(self):
+        assert abs(self._quadratic_step(Adam, lr=0.1)) < 1e-3
+
+    def test_weight_decay_shrinks(self):
+        p = Parameter(np.array([1.0], dtype=np.float32))
+        opt = SGD([p], lr=0.1, momentum=0.0, weight_decay=1.0)
+        # zero gradient: only decay acts
+        p.grad = np.zeros(1, dtype=np.float32)
+        opt.step()
+        assert p.data[0] < 1.0
+
+    def test_empty_params_raise(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_step_skips_gradless_params(self):
+        p = Parameter(np.ones(1))
+        q = Parameter(np.ones(1))
+        opt = Adam([p, q], lr=0.5)
+        p.grad = np.ones(1, dtype=np.float32)
+        opt.step()
+        assert q.data[0] == 1.0 and p.data[0] != 1.0
+
+
+class TestShapesThroughLayers:
+    def test_conv_output_shape(self):
+        conv = Conv2d(3, 8, 3, stride=2, padding=1)
+        out = conv(Tensor(np.zeros((2, 3, 24, 24), dtype=np.float32)))
+        assert out.shape == (2, 8, 12, 12)
+
+    def test_depthwise_shapes(self):
+        conv = Conv2d(6, 6, 3, padding=1, groups=6)
+        out = conv(Tensor(np.zeros((1, 6, 8, 8), dtype=np.float32)))
+        assert out.shape == (1, 6, 8, 8)
+        assert conv.weight.shape == (6, 1, 3, 3)
+
+    def test_bad_groups_raise(self):
+        with pytest.raises(ValueError):
+            Conv2d(5, 8, 3, groups=2)
+
+    def test_flatten_and_pool(self):
+        x = Tensor(np.zeros((2, 4, 6, 6), dtype=np.float32))
+        assert GlobalAvgPool2d()(x).shape == (2, 4)
+        assert Flatten()(x).shape == (2, 4 * 36)

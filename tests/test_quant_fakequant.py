@@ -1,0 +1,133 @@
+"""Fake-quantization and calibration semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formats import INT8, MERSIT8_2, POSIT8_1, get_format
+from repro.quant import FakeQuantizer, quantize_with_scale
+
+
+class TestQuantizeWithScale:
+    def test_int8_matches_classic_formula(self):
+        """Per-tensor INT8 equals round(x * 127 / s) * s / 127."""
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=200) * 3.0
+        s = np.max(np.abs(x))
+        q = quantize_with_scale(x, INT8, s)
+        classic = np.round(x * 127.0 / s) * s / 127.0
+        np.testing.assert_allclose(q, classic, atol=1e-12)
+
+    def test_max_value_is_exactly_representable(self):
+        x = np.array([-5.0, 0.0, 5.0])
+        q = quantize_with_scale(x, INT8, 5.0)
+        np.testing.assert_allclose(q, x)
+
+    def test_tapered_formats_map_max_to_unity(self):
+        """Posit/MERSIT scale the max to 1.0, not maxpos."""
+        x = np.array([8.0])
+        q = quantize_with_scale(x, MERSIT8_2, 8.0)
+        # 8/8 -> 1.0 -> exactly representable -> returns 8.0
+        np.testing.assert_allclose(q, [8.0])
+        assert MERSIT8_2.quantization_gain == 1.0
+        assert POSIT8_1.quantization_gain == 1.0
+        assert INT8.quantization_gain == 127.0
+
+    def test_gain_override(self):
+        # span many binades so the taper boundaries land differently
+        x = np.geomspace(1e-3, 2.0, 64)
+        q1 = quantize_with_scale(x, MERSIT8_2, 2.0, gain=1.0)
+        q4 = quantize_with_scale(x, MERSIT8_2, 2.0, gain=16.0)
+        assert not np.allclose(q1, q4)
+
+    def test_per_channel_scales(self):
+        x = np.stack([np.full(8, 1.0), np.full(8, 100.0)])
+        q = quantize_with_scale(x, INT8, np.array([1.0, 100.0]), axis=0)
+        np.testing.assert_allclose(q, x)
+
+    def test_per_channel_wrong_length_raises(self):
+        with pytest.raises(ValueError, match="does not match"):
+            quantize_with_scale(np.zeros((2, 4)), INT8, np.ones(3), axis=0)
+
+    def test_bad_scale_ndim_raises(self):
+        with pytest.raises(ValueError, match="scalar or 1-D"):
+            quantize_with_scale(np.zeros((2, 4)), INT8, np.ones((2, 2)), axis=0)
+
+    def test_zero_scale_channel_is_safe(self):
+        x = np.zeros((2, 4))
+        q = quantize_with_scale(x, INT8, np.array([0.0, 0.0]), axis=0)
+        np.testing.assert_array_equal(q, x)
+
+    def test_input_not_modified(self):
+        x = np.linspace(-1, 1, 16)
+        x0 = x.copy()
+        quantize_with_scale(x, MERSIT8_2, 1.0)
+        np.testing.assert_array_equal(x, x0)
+
+    @given(st.lists(st.floats(-1e3, 1e3, allow_nan=False), min_size=2, max_size=64))
+    @settings(max_examples=80, deadline=None)
+    def test_error_bounded_by_largest_gap(self, values):
+        """Quantization error never exceeds half the largest codebook gap."""
+        x = np.array(values)
+        s = float(np.max(np.abs(x)))
+        if s < 1e-100:  # subnormal scales are clamped by design
+            return
+        q = quantize_with_scale(x, MERSIT8_2, s)
+        scaled = x / s  # in [-1, 1]
+        vals = MERSIT8_2.finite_values
+        in_band = vals[(vals >= -1.0) & (vals <= 1.0)]
+        max_gap = np.max(np.diff(in_band))
+        assert np.max(np.abs(q / s - MERSIT8_2.quantize(scaled))) < 1e-12
+        assert np.max(np.abs(scaled - q / s)) <= max_gap / 2 + 1e-12
+
+
+class TestFakeQuantizer:
+    def test_calibrate_per_tensor(self):
+        fq = FakeQuantizer(INT8).calibrate(np.array([1.0, -3.0, 2.0]))
+        assert fq.scale == 3.0
+        assert fq.calibrated
+
+    def test_calibrate_per_channel(self):
+        x = np.arange(12, dtype=float).reshape(3, 4)
+        fq = FakeQuantizer(INT8, axis=0).calibrate(x)
+        np.testing.assert_array_equal(fq.scale, [3.0, 7.0, 11.0])
+
+    def test_observe_running_max(self):
+        fq = FakeQuantizer(INT8)
+        fq.observe(np.array([1.0]))
+        fq.observe(np.array([5.0]))
+        fq.observe(np.array([2.0]))
+        assert fq.scale == 5.0
+
+    def test_observe_per_channel(self):
+        fq = FakeQuantizer(INT8, axis=1)
+        fq.observe(np.array([[1.0, 10.0]]))
+        fq.observe(np.array([[7.0, 2.0]]))
+        np.testing.assert_array_equal(fq.scale, [7.0, 10.0])
+
+    def test_uncalibrated_call_raises(self):
+        with pytest.raises(RuntimeError, match="calibration"):
+            FakeQuantizer(INT8)(np.ones(3))
+
+    def test_quantized_output_is_representable_after_rescale(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=100)
+        fq = FakeQuantizer(MERSIT8_2).calibrate(x)
+        q = fq(x)
+        # re-applying is a fixed point
+        np.testing.assert_allclose(fq(q), q, atol=1e-15)
+
+    def test_explicit_scale_constructor(self):
+        fq = FakeQuantizer(INT8, scale=2.0)
+        assert fq.calibrated
+        np.testing.assert_allclose(fq(np.array([2.0])), [2.0])
+
+    @pytest.mark.parametrize("name", ["INT8", "FP(8,4)", "Posit(8,1)", "MERSIT(8,2)"])
+    def test_idempotent_for_every_family(self, name):
+        fmt = get_format(name)
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=64)
+        fq = FakeQuantizer(fmt).calibrate(x)
+        q = fq(x)
+        np.testing.assert_allclose(fq(q), q, atol=1e-15)

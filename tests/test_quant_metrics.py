@@ -1,0 +1,88 @@
+"""Error and GLUE metrics."""
+
+import numpy as np
+import pytest
+
+from repro.quant.metrics import (
+    accuracy, f1_score, matthews_corrcoef, relative_rmse, rmse, sqnr_db,
+)
+
+
+class TestRmse:
+    def test_zero_for_identical(self):
+        x = np.arange(10.0)
+        assert rmse(x, x) == 0.0
+
+    def test_known_value(self):
+        assert rmse(np.array([0.0, 0.0]), np.array([3.0, 4.0])) == pytest.approx(
+            np.sqrt(12.5))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            rmse(np.zeros(3), np.zeros(4))
+
+    def test_relative_normalisation(self):
+        x = np.array([10.0, 10.0])
+        q = np.array([9.0, 11.0])
+        assert relative_rmse(x, q) == pytest.approx(0.1)
+
+    def test_relative_zero_reference(self):
+        assert relative_rmse(np.zeros(4), np.zeros(4)) == 0.0
+
+    def test_scale_invariance_of_relative(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=100)
+        q = x + rng.normal(size=100) * 0.01
+        assert relative_rmse(x, q) == pytest.approx(relative_rmse(10 * x, 10 * q))
+
+
+class TestSqnr:
+    def test_inf_for_exact(self):
+        x = np.ones(5)
+        assert sqnr_db(x, x) == np.inf
+
+    def test_10db_per_decade(self):
+        x = np.ones(1000)
+        q1 = x + 0.01
+        q2 = x + 0.1
+        assert sqnr_db(x, q1) - sqnr_db(x, q2) == pytest.approx(20.0, abs=0.1)
+
+
+class TestGlueMetrics:
+    def test_accuracy_percent(self):
+        assert accuracy(np.array([1, 0, 1, 1]), np.array([1, 0, 0, 1])) == 75.0
+
+    def test_accuracy_empty_raises(self):
+        with pytest.raises(ValueError):
+            accuracy(np.array([]), np.array([]))
+
+    def test_f1_perfect(self):
+        y = np.array([1, 0, 1, 1, 0])
+        assert f1_score(y, y) == 100.0
+
+    def test_f1_no_positives_predicted(self):
+        assert f1_score(np.array([1, 1, 0]), np.array([0, 0, 0])) == 0.0
+
+    def test_f1_known_value(self):
+        y_true = np.array([1, 1, 0, 0])
+        y_pred = np.array([1, 0, 1, 0])
+        # precision 0.5, recall 0.5 -> F1 50
+        assert f1_score(y_true, y_pred) == pytest.approx(50.0)
+
+    def test_matthews_perfect_and_inverted(self):
+        y = np.array([1, 0, 1, 0, 1])
+        assert matthews_corrcoef(y, y) == pytest.approx(100.0)
+        assert matthews_corrcoef(y, 1 - y) == pytest.approx(-100.0)
+
+    def test_matthews_constant_prediction_is_zero(self):
+        y = np.array([1, 0, 1, 0])
+        assert matthews_corrcoef(y, np.ones(4, dtype=int)) == 0.0
+
+    def test_matthews_against_scipy(self):
+        from scipy.stats import pearsonr
+        rng = np.random.default_rng(0)
+        y_true = rng.integers(0, 2, 200)
+        y_pred = (y_true + (rng.random(200) < 0.3)) % 2
+        got = matthews_corrcoef(y_true, y_pred) / 100.0
+        want = pearsonr(y_true, y_pred).statistic
+        assert got == pytest.approx(want, abs=1e-9)

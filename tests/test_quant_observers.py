@@ -1,0 +1,125 @@
+"""Calibration observers: max / percentile / MSE."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.formats import INT8, MERSIT8_2, get_format
+from repro.nn import Conv2d, Flatten, GlobalAvgPool2d, Linear, ReLU, Sequential
+from repro.quant import FakeQuantizer, PTQConfig, quantize_model
+from repro.quant.observers import (
+    MaxObserver, MSEObserver, PercentileObserver, make_observer,
+)
+
+
+class TestMaxObserver:
+    def test_matches_global_max(self):
+        obs = MaxObserver()
+        rng = np.random.default_rng(0)
+        chunks = [rng.normal(size=50) for _ in range(4)]
+        for c in chunks:
+            obs.observe(c)
+        assert obs.compute_scale() == np.abs(np.concatenate(chunks)).max()
+
+    def test_per_channel(self):
+        obs = MaxObserver(axis=1)
+        obs.observe(np.array([[1.0, -5.0], [2.0, 3.0]]))
+        obs.observe(np.array([[4.0, 0.5], [0.1, 0.2]]))
+        np.testing.assert_array_equal(obs.compute_scale(), [4.0, 5.0])
+
+    def test_no_data_raises(self):
+        with pytest.raises(RuntimeError):
+            MaxObserver().compute_scale()
+
+
+class TestPercentileObserver:
+    def test_below_max_for_heavy_tail(self):
+        rng = np.random.default_rng(1)
+        x = rng.standard_t(df=2, size=20_000)
+        obs = PercentileObserver(percentile=99.0).observe(x)
+        assert obs.compute_scale() < np.abs(x).max()
+
+    def test_hundredth_percentile_equals_max(self):
+        x = np.linspace(-3, 7, 101)
+        obs = PercentileObserver(percentile=100.0).observe(x)
+        assert obs.compute_scale() == pytest.approx(7.0)
+
+    def test_reservoir_bounds_memory(self):
+        obs = PercentileObserver(reservoir=100)
+        for _ in range(5):
+            obs.observe(np.ones(10_000))
+        assert sum(len(s) for s in obs._samples) <= 500
+
+    def test_per_channel(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(3, 5000))
+        obs = PercentileObserver(axis=0, percentile=50.0).observe(x)
+        scale = obs.compute_scale()
+        assert scale.shape == (3,)
+        ref = np.percentile(np.abs(x), 50.0, axis=1)
+        np.testing.assert_allclose(scale, ref, rtol=0.2)
+
+    def test_bad_percentile(self):
+        with pytest.raises(ValueError):
+            PercentileObserver(percentile=0.0)
+
+
+class TestMSEObserver:
+    def test_beats_max_scale_on_heavy_tail(self):
+        rng = np.random.default_rng(3)
+        x = rng.standard_t(df=2, size=5000)
+        obs = MSEObserver(INT8).observe(x)
+        scale = obs.compute_scale()
+        from repro.quant import quantize_with_scale
+        err_mse = np.mean((x - quantize_with_scale(x, INT8, scale)) ** 2)
+        err_max = np.mean((x - quantize_with_scale(x, INT8, np.abs(x).max())) ** 2)
+        assert err_mse <= err_max
+        assert scale <= np.abs(x).max()
+
+    def test_zero_data(self):
+        obs = MSEObserver(INT8).observe(np.zeros(100))
+        assert obs.compute_scale() == 1.0
+
+
+class TestFactoryAndIntegration:
+    def test_factory_kinds(self):
+        assert isinstance(make_observer("max", INT8), MaxObserver)
+        assert isinstance(make_observer("percentile", INT8), PercentileObserver)
+        assert isinstance(make_observer("mse", INT8), MSEObserver)
+        with pytest.raises(KeyError):
+            make_observer("entropy", INT8)
+        with pytest.raises(ValueError):
+            make_observer("mse", INT8, axis=0)
+
+    def test_fakequant_delegates_to_observer(self):
+        fq = FakeQuantizer(MERSIT8_2, observer=MaxObserver())
+        fq.observe(np.array([2.0, -8.0]))
+        assert not fq.calibrated
+        fq.finalize()
+        assert fq.calibrated and float(fq.scale) == 8.0
+
+    @pytest.mark.parametrize("kind", ["percentile", "mse"])
+    def test_ptq_with_alternative_observer(self, kind):
+        rng = np.random.default_rng(4)
+        model = Sequential(
+            Conv2d(3, 4, 3, padding=1, rng=rng), ReLU(),
+            GlobalAvgPool2d(), Flatten(), Linear(4, 3, rng=rng))
+        batches = [rng.normal(size=(4, 3, 8, 8)).astype(np.float32)
+                   for _ in range(2)]
+        cfg = PTQConfig("MERSIT(8,2)", activation_observer=kind)
+        quantize_model(model, cfg, batches, forward=lambda m, b: m(Tensor(b)))
+        out = model(Tensor(batches[0]))
+        assert np.isfinite(out.data).all()
+
+    def test_percentile_rescues_int8_on_outliers(self):
+        """The classic effect: clipping the tail helps INT8 accuracy."""
+        rng = np.random.default_rng(5)
+        x = rng.normal(size=20_000)
+        x[:20] *= 50.0  # inject outliers
+        from repro.quant import quantize_with_scale
+        max_scale = np.abs(x).max()
+        pct_scale = PercentileObserver(percentile=99.9).observe(x).compute_scale()
+        typical = np.abs(x) < 3.0
+        err_max = np.mean((x[typical] - quantize_with_scale(x[typical], INT8, max_scale)) ** 2)
+        err_pct = np.mean((x[typical] - quantize_with_scale(x[typical], INT8, pct_scale)) ** 2)
+        assert err_pct < err_max

@@ -1,0 +1,158 @@
+"""Model-level PTQ driver: hooks, calibration, quantized inference."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.nn import Conv2d, Flatten, GlobalAvgPool2d, Linear, ReLU, Sequential
+from repro.quant import PTQConfig, dequantize_model, quantize_model, quantized_layers
+from repro.formats import get_format
+
+
+def tiny_cnn(seed=0):
+    rng = np.random.default_rng(seed)
+    return Sequential(
+        Conv2d(3, 4, 3, padding=1, rng=rng),
+        ReLU(),
+        Conv2d(4, 4, 3, padding=1, rng=rng),
+        GlobalAvgPool2d(),
+        Flatten(),
+        Linear(4, 5, rng=rng),
+    )
+
+
+def batches(n=2, bs=4, seed=0):
+    rng = np.random.default_rng(seed)
+    return [rng.normal(size=(bs, 3, 8, 8)).astype(np.float32) for _ in range(n)]
+
+
+class TestQuantizeModel:
+    def test_all_layers_hooked(self):
+        model = tiny_cnn()
+        quantize_model(model, PTQConfig("INT8"), batches(),
+                       forward=lambda m, b: m(Tensor(b)))
+        layers = [l for _, l in quantized_layers(model)]
+        assert len(layers) == 3
+        assert all(l.weight_quant is not None for l in layers)
+        assert all(l.input_quant.calibrated for l in layers)
+        assert all(not l.observing for l in layers)
+
+    def test_weight_scales_per_channel(self):
+        model = tiny_cnn()
+        quantize_model(model, PTQConfig("INT8"), batches(),
+                       forward=lambda m, b: m(Tensor(b)))
+        conv = model.layers[0]
+        assert conv.weight_quant.scale.shape == (4,)  # out channels
+        assert conv.input_quant.scale.ndim == 0       # per tensor
+
+    def test_per_tensor_weights_option(self):
+        model = tiny_cnn()
+        cfg = PTQConfig("INT8", per_channel_weights=False)
+        quantize_model(model, cfg, batches(), forward=lambda m, b: m(Tensor(b)))
+        assert model.layers[0].weight_quant.scale.ndim == 0
+
+    def test_output_changes_under_quantization(self):
+        model = tiny_cnn()
+        x = Tensor(batches(1)[0])
+        ref = model(x).data.copy()
+        quantize_model(model, PTQConfig("FP(8,2)"), batches(),
+                       forward=lambda m, b: m(Tensor(b)))
+        quant = model(x).data
+        assert not np.allclose(ref, quant)
+
+    def test_dequantize_restores_fp32(self):
+        model = tiny_cnn()
+        x = Tensor(batches(1)[0])
+        ref = model(x).data.copy()
+        quantize_model(model, PTQConfig("INT8"), batches(),
+                       forward=lambda m, b: m(Tensor(b)))
+        dequantize_model(model)
+        np.testing.assert_allclose(model(x).data, ref)
+
+    def test_weights_not_mutated(self):
+        model = tiny_cnn()
+        w0 = model.layers[0].weight.data.copy()
+        quantize_model(model, PTQConfig("MERSIT(8,2)"), batches(),
+                       forward=lambda m, b: m(Tensor(b)))
+        model(Tensor(batches(1)[0]))
+        np.testing.assert_array_equal(model.layers[0].weight.data, w0)
+
+    def test_effective_weight_is_representable(self):
+        model = tiny_cnn()
+        cfg = PTQConfig("MERSIT(8,2)")
+        quantize_model(model, cfg, batches(), forward=lambda m, b: m(Tensor(b)))
+        conv = model.layers[0]
+        w_eff = conv._effective_weight().data
+        # rescaled back: w_eff * gain/scale must hit codebook values exactly
+        fmt = get_format("MERSIT(8,2)")
+        g = fmt.quantization_gain / conv.weight_quant.scale[:, None, None, None]
+        scaled = w_eff * g
+        np.testing.assert_allclose(fmt.quantize(scaled), scaled, atol=1e-12)
+
+    def test_skip_predicate(self):
+        model = tiny_cnn()
+        cfg = PTQConfig("INT8", skip=lambda name, m: isinstance(m, Linear))
+        quantize_model(model, cfg, batches(), forward=lambda m, b: m(Tensor(b)))
+        assert model.layers[0].weight_quant is not None
+        assert model.layers[5].weight_quant is None
+
+    def test_empty_calibration_raises(self):
+        model = tiny_cnn()
+        with pytest.raises(ValueError, match="empty"):
+            quantize_model(model, PTQConfig("INT8"), [],
+                           forward=lambda m, b: m(Tensor(b)))
+
+    def test_no_quantizable_layers_raises(self):
+        model = Sequential(ReLU())
+        with pytest.raises(ValueError, match="quantizable"):
+            quantize_model(model, PTQConfig("INT8"), batches())
+
+    def test_format_objects_accepted(self):
+        cfg = PTQConfig(get_format("INT8"), activation_format=get_format("FP(8,4)"))
+        assert cfg.wfmt.name == "INT8"
+        assert cfg.afmt.name == "FP(8,4)"
+
+    def test_activation_format_defaults_to_weight_format(self):
+        cfg = PTQConfig("Posit(8,1)")
+        assert cfg.afmt.name == "Posit(8,1)"
+
+    def test_gain_override_plumbed(self):
+        model = tiny_cnn()
+        cfg = PTQConfig("MERSIT(8,2)", gain_override=4.0)
+        quantize_model(model, cfg, batches(), forward=lambda m, b: m(Tensor(b)))
+        assert model.layers[0].weight_quant.gain == 4.0
+
+
+class TestQuantizedAccuracySanity:
+    """High-precision formats must track FP32 on a tiny trained model."""
+
+    def _train_tiny(self):
+        from repro.nn import Adam
+        from repro.autograd import functional as F
+        rng = np.random.default_rng(42)
+        x = rng.normal(size=(256, 8)).astype(np.float32)
+        w_true = rng.normal(size=(8,))
+        y = (x @ w_true > 0).astype(np.int64)
+        model = Sequential(Linear(8, 16, rng=rng), ReLU(), Linear(16, 2, rng=rng))
+        opt = Adam(model.parameters(), lr=0.01)
+        for _ in range(60):
+            loss = F.cross_entropy(model(Tensor(x)), y)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        model.eval()
+        return model, x, y
+
+    def _accuracy(self, model, x, y):
+        pred = np.argmax(model(Tensor(x)).data, axis=-1)
+        return float(np.mean(pred == y))
+
+    @pytest.mark.parametrize("fmt", ["INT8", "FP(8,4)", "Posit(8,1)", "MERSIT(8,2)"])
+    def test_8bit_close_to_fp32(self, fmt):
+        model, x, y = self._train_tiny()
+        fp32 = self._accuracy(model, x, y)
+        assert fp32 > 0.9
+        quantize_model(model, PTQConfig(fmt), [x[:64]],
+                       forward=lambda m, b: m(Tensor(b)))
+        q = self._accuracy(model, x, y)
+        assert q > fp32 - 0.05

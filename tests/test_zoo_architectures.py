@@ -1,0 +1,153 @@
+"""Zoo architectures: shapes, family traits, micro-trainability, registry."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, functional as F
+from repro.nn import Conv2d
+from repro.zoo import (
+    ALL_MODELS, GLUE_MODELS, MiniBERT, MiniEfficientNetB0, MiniEfficientNetV2,
+    MiniMobileNetV2, MiniMobileNetV3, MiniVGG, TrainConfig, VISION_MODELS,
+    resnet18_mini, resnet50_mini, resnet101_mini, train_vision,
+)
+from repro.zoo.blocks import InvertedResidual, SqueezeExcite
+from repro.quant.ptq import quantized_layers
+
+VISION_FACTORIES = {
+    "vgg": lambda: MiniVGG(num_classes=7, width=8, image_size=16),
+    "resnet18": lambda: resnet18_mini(7),
+    "resnet50": lambda: resnet50_mini(7),
+    "resnet101": lambda: resnet101_mini(7),
+    "mobilenet_v2": lambda: MiniMobileNetV2(7, width=8),
+    "mobilenet_v3": lambda: MiniMobileNetV3(7, width=8),
+    "efficientnet_b0": lambda: MiniEfficientNetB0(7, width=8),
+    "efficientnet_v2": lambda: MiniEfficientNetV2(7, width=8),
+}
+
+
+class TestForwardShapes:
+    @pytest.mark.parametrize("name", list(VISION_FACTORIES))
+    def test_logit_shape(self, name):
+        model = VISION_FACTORIES[name]()
+        size = 16 if name == "vgg" else 24
+        x = np.random.default_rng(0).normal(size=(2, 3, size, size)).astype(np.float32)
+        model.eval()
+        assert model(x).shape == (2, 7)
+
+    def test_bert_logit_shape(self):
+        m = MiniBERT(vocab_size=32, seq_len=12, dim=16, num_heads=2,
+                     num_layers=1, ffn_dim=32, num_labels=3)
+        ids = np.random.default_rng(0).integers(0, 32, size=(4, 12))
+        mask = np.ones((4, 12), dtype=np.float32)
+        assert m(ids, mask).shape == (4, 3)
+
+
+class TestFamilyTraits:
+    """Architectural fingerprints that drive the paper's Table 2 ordering."""
+
+    def _has_depthwise(self, model):
+        return any(isinstance(m, Conv2d) and m.groups > 1 for m in model.modules())
+
+    def _has_se(self, model):
+        return any(isinstance(m, SqueezeExcite) for m in model.modules())
+
+    def test_plain_families_have_no_depthwise(self):
+        assert not self._has_depthwise(VISION_FACTORIES["vgg"]())
+        assert not self._has_depthwise(VISION_FACTORIES["resnet50"]())
+
+    def test_mobile_families_have_depthwise(self):
+        for name in ("mobilenet_v2", "mobilenet_v3", "efficientnet_b0"):
+            assert self._has_depthwise(VISION_FACTORIES[name]())
+
+    def test_se_only_in_v3_and_efficientnet(self):
+        assert not self._has_se(VISION_FACTORIES["mobilenet_v2"]())
+        assert self._has_se(VISION_FACTORIES["mobilenet_v3"]())
+        assert self._has_se(VISION_FACTORIES["efficientnet_b0"]())
+
+    def test_efficientnet_v2_mixes_fused_and_mbconv(self):
+        from repro.zoo.blocks import FusedMBConv, MBConv
+        model = VISION_FACTORIES["efficientnet_v2"]()
+        kinds = {type(m) for m in model.modules()}
+        assert FusedMBConv in kinds and MBConv in kinds
+
+    def test_resnet_depth_ordering(self):
+        p18 = resnet18_mini(7).num_parameters()
+        p50 = resnet50_mini(7).num_parameters()
+        p101 = resnet101_mini(7).num_parameters()
+        assert p101 > p50
+
+    def test_inverted_residual_uses_skip_only_when_shapes_match(self):
+        with_skip = InvertedResidual(8, 8, stride=1)
+        without = InvertedResidual(8, 16, stride=2)
+        assert with_skip.use_res and not without.use_res
+
+    def test_all_models_have_quantizable_layers(self):
+        for name, factory in VISION_FACTORIES.items():
+            layers = quantized_layers(factory())
+            assert len(layers) >= 5, name
+
+
+class TestMicroTraining:
+    def test_vgg_loss_decreases_on_tiny_task(self):
+        from repro.data import SynthImageNet
+        ds = SynthImageNet(num_classes=3, image_size=16, seed=1)
+        model = MiniVGG(num_classes=3, width=8, image_size=16)
+        losses = train_vision(model, ds.train_split(96),
+                              TrainConfig(epochs=4, batch_size=32, lr=3e-3))
+        assert losses[-1] < losses[0] * 0.8
+
+    def test_bert_learns_trivial_rule(self):
+        """One-token lookup task: loss must collapse quickly."""
+        rng = np.random.default_rng(0)
+        from repro.nn import Adam
+        m = MiniBERT(vocab_size=16, seq_len=6, dim=16, num_heads=2,
+                     num_layers=1, ffn_dim=32, num_labels=2)
+        ids = rng.integers(4, 16, size=(128, 6))
+        labels = (ids[:, 1] % 2).astype(np.int64)
+        mask = np.ones((128, 6), dtype=np.float32)
+        opt = Adam(m.parameters(), lr=3e-3)
+        first = last = None
+        for step in range(30):
+            loss = F.cross_entropy(m(ids, mask), labels)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+            first = first if first is not None else loss.item()
+            last = loss.item()
+        assert last < first * 0.5
+
+
+class TestRegistry:
+    def test_twelve_rows(self):
+        assert len(ALL_MODELS) == 12
+        assert len(VISION_MODELS) == 8
+        assert len(GLUE_MODELS) == 4
+
+    def test_metrics_per_row(self):
+        assert ALL_MODELS["CoLA"].metric == "matthews"
+        assert ALL_MODELS["MRPC"].metric == "f1"
+        assert ALL_MODELS["VGG16"].metric == "accuracy"
+
+    def test_unknown_model_raises(self):
+        from repro.zoo import pretrained
+        with pytest.raises(KeyError):
+            pretrained("AlexNet")
+
+    def test_pretrained_cache_roundtrip(self, tmp_path, monkeypatch):
+        """Train a micro entry once, reload it identically from cache."""
+        import repro.zoo.registry as reg
+        monkeypatch.setenv("REPRO_ZOO_CACHE", str(tmp_path))
+        micro = reg.ZooEntry(
+            "micro", "vision",
+            lambda: MiniVGG(num_classes=reg.NUM_CLASSES, width=4,
+                            image_size=reg.IMAGE_SIZE, seed=0),
+            train_cfg=TrainConfig(epochs=1, batch_size=64, lr=1e-3))
+        monkeypatch.setitem(reg.ALL_MODELS, "micro", micro)
+        monkeypatch.setattr(reg, "TRAIN_N", 64)
+        m1, s1 = reg.pretrained("micro")
+        m2, s2 = reg.pretrained("micro")
+        assert s1 == s2
+        assert (tmp_path / "micro.npz").exists()
+        x = np.random.default_rng(0).normal(
+            size=(2, 3, reg.IMAGE_SIZE, reg.IMAGE_SIZE)).astype(np.float32)
+        np.testing.assert_allclose(m1(x).data, m2(x).data, atol=1e-6)

@@ -1,0 +1,72 @@
+"""MiniBERT specifics: segments, masking, and GLUE-model plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import no_grad
+from repro.data import make_task
+from repro.zoo import MiniBERT
+
+
+@pytest.fixture(scope="module")
+def bert():
+    return MiniBERT(vocab_size=32, seq_len=10, dim=16, num_heads=2,
+                    num_layers=1, ffn_dim=32, num_labels=2, sep_id=2, seed=0)
+
+
+class TestSegments:
+    def test_segment_embedding_changes_output(self, bert):
+        """Moving the [SEP] position must change the representation."""
+        rng = np.random.default_rng(0)
+        base = rng.integers(4, 32, size=(1, 10))
+        a = base.copy()
+        b = base.copy()
+        a[0, 4] = 2   # SEP early
+        b[0, 7] = 2   # SEP late
+        mask = np.ones((1, 10), dtype=np.float32)
+        with no_grad():
+            out_a = bert(a, mask).data
+            out_b = bert(b, mask).data
+        assert not np.allclose(out_a, out_b)
+
+    def test_padding_does_not_change_logits(self, bert):
+        """Tokens behind the mask must not affect the CLS prediction."""
+        rng = np.random.default_rng(1)
+        ids = rng.integers(4, 32, size=(1, 10))
+        ids[0, 6:] = 0
+        mask = np.zeros((1, 10), dtype=np.float32)
+        mask[0, :6] = 1.0
+        altered = ids.copy()
+        altered[0, 8] = 17  # change a masked position
+        with no_grad():
+            out1 = bert(ids, mask).data
+            out2 = bert(altered, mask).data
+        np.testing.assert_allclose(out1, out2, atol=2e-4)
+
+    def test_no_mask_still_works(self, bert):
+        ids = np.random.default_rng(2).integers(4, 32, size=(3, 10))
+        with no_grad():
+            out = bert(ids).data
+        assert out.shape == (3, 2)
+
+
+class TestGlueModelCompat:
+    @pytest.mark.parametrize("task_name", ["cola", "sst2", "mrpc", "mnli"])
+    def test_bert_accepts_task_batches(self, task_name):
+        task = make_task(task_name, seq_len=16)
+        model = MiniBERT(vocab_size=task.vocab.size, seq_len=task.seq_len,
+                         dim=16, num_heads=2, num_layers=1, ffn_dim=32,
+                         num_labels=task.num_labels, seed=1)
+        split = task.sample(6, seed=0)
+        with no_grad():
+            out = model(split.ids, split.mask).data
+        assert out.shape == (6, task.num_labels)
+        assert np.isfinite(out).all()
+
+    def test_quantizable_layer_census(self):
+        """Q/K/V/out per layer + 2 FFN + pooler + classifier are hooked."""
+        from repro.quant.ptq import quantized_layers
+        model = MiniBERT(vocab_size=16, seq_len=8, dim=16, num_heads=2,
+                         num_layers=2, ffn_dim=32)
+        layers = quantized_layers(model)
+        assert len(layers) == 2 * (4 + 2) + 2
