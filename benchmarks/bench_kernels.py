@@ -1,0 +1,173 @@
+"""Bench kernels: LUT vs reference quantize, serial vs parallel Table 2.
+
+Times the two layers the ``repro.kernels`` subsystem accelerates and writes
+the numbers to ``BENCH_kernels.json`` at the repo root (override with
+``--out``), so the performance trajectory is tracked from PR to PR:
+
+* ``quantize_1m`` — per-tensor MERSIT(8,2) quantize of a 1M-element array,
+  reference ``searchsorted`` path vs the bit-LUT kernel.  Runs are
+  interleaved and both min and median are recorded, because shared CI boxes
+  are noisy.
+* ``table2_grid`` — a small (model x format) grid run serially and with
+  ``--jobs N``, using a throwaway artifacts directory so the real artifact
+  cache is untouched.  Requires the zoo caches (trains on first use).
+
+Usage::
+
+    python benchmarks/bench_kernels.py [--fast] [--skip-table2]
+                                       [--jobs N] [--out PATH]
+
+``--fast`` shrinks the array and repeat counts (used by the tier-1 smoke
+test); ``--skip-table2`` skips the grid section (no zoo training).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro import kernels  # noqa: E402
+from repro.formats import get_format  # noqa: E402
+
+DEFAULT_OUT = REPO_ROOT / "BENCH_kernels.json"
+
+
+def _host_meta() -> dict:
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "cpu_count": os.cpu_count(),
+        "affinity_cpus": len(os.sched_getaffinity(0))
+        if hasattr(os, "sched_getaffinity") else None,
+    }
+
+
+def bench_quantize(n: int = 1_000_000, repeats: int = 11, fmt_name: str = "MERSIT(8,2)") -> dict:
+    """Interleaved timing of reference vs LUT quantize on ``n`` normals."""
+    fmt = get_format(fmt_name)
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=n)
+    kernels.kernel_for(fmt)  # build the tables outside the timed region
+
+    def sample(backend: str, inner: int) -> tuple:
+        # batch `inner` calls per sample so each measurement is long enough
+        # (~100 ms) to ride out scheduler hiccups on shared machines
+        with kernels.use_backend(backend):
+            t0 = time.perf_counter()
+            for _ in range(inner):
+                q = fmt.quantize(x)
+            elapsed = (time.perf_counter() - t0) * 1e3 / inner
+        return elapsed, q
+
+    ref_ms, lut_ms = [], []
+    for _ in range(repeats):
+        t, q_ref = sample("reference", 1)
+        ref_ms.append(t)
+        t, q_lut = sample("lut", 5)
+        lut_ms.append(t)
+    assert np.array_equal(q_ref, q_lut), "LUT kernel diverged from reference"
+    return {
+        "format": fmt_name,
+        "n": n,
+        "repeats": repeats,
+        "reference_ms": {"min": min(ref_ms), "median": float(np.median(ref_ms))},
+        "lut_ms": {"min": min(lut_ms), "median": float(np.median(lut_ms))},
+        "speedup_min": min(ref_ms) / min(lut_ms),
+        "speedup_median": float(np.median(ref_ms) / np.median(lut_ms)),
+    }
+
+
+def bench_table2(jobs: int = 4, eval_n: int = 200, calib_n: int = 50,
+                 models: list[str] | None = None,
+                 formats: list[str] | None = None) -> dict:
+    """Serial vs ``jobs``-way parallel fill of a small Table 2 grid."""
+    from repro.experiments import table2
+    from repro.zoo import pretrained
+
+    models = models or ["SST-2", "CoLA", "MRPC", "MNLI-mm"]
+    formats = formats or ["INT8", "FP(8,4)", "Posit(8,1)", "MERSIT(8,2)"]
+    for name in models:  # train/load outside the timed region
+        pretrained(name)
+
+    def timed_run(njobs: int) -> tuple[float, dict]:
+        with tempfile.TemporaryDirectory() as tmp:
+            prev = os.environ.get("REPRO_ARTIFACTS")
+            os.environ["REPRO_ARTIFACTS"] = tmp
+            try:
+                t0 = time.perf_counter()
+                result = table2.run(models=models, formats=formats,
+                                    eval_n=eval_n, calib_n=calib_n,
+                                    refresh=True, jobs=njobs)
+                return time.perf_counter() - t0, result["grid"]
+            finally:
+                if prev is None:
+                    os.environ.pop("REPRO_ARTIFACTS", None)
+                else:
+                    os.environ["REPRO_ARTIFACTS"] = prev
+
+    serial_s, grid_serial = timed_run(1)
+    parallel_s, grid_parallel = timed_run(jobs)
+    return {
+        "models": models,
+        "formats": formats,
+        "eval_n": eval_n,
+        "calib_n": calib_n,
+        "jobs": jobs,
+        "serial_s": serial_s,
+        "parallel_s": parallel_s,
+        "speedup": serial_s / parallel_s,
+        "grids_match": grid_serial == grid_parallel,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--fast", action="store_true",
+                        help="small sizes for smoke testing")
+    parser.add_argument("--skip-table2", action="store_true",
+                        help="skip the table2 grid section (needs zoo caches)")
+    parser.add_argument("--jobs", type=int, default=4)
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
+    args = parser.parse_args(argv)
+
+    payload = {"host": _host_meta()}
+    if args.fast:
+        payload["quantize_1m"] = bench_quantize(n=50_000, repeats=3)
+    else:
+        payload["quantize_1m"] = bench_quantize()
+    q = payload["quantize_1m"]
+    print(f"quantize {q['format']} n={q['n']}: "
+          f"ref {q['reference_ms']['median']:.1f} ms, "
+          f"lut {q['lut_ms']['median']:.1f} ms, "
+          f"speedup x{q['speedup_median']:.1f} (median), "
+          f"x{q['speedup_min']:.1f} (min)")
+
+    if not args.skip_table2:
+        payload["table2_grid"] = bench_table2(jobs=args.jobs)
+        t = payload["table2_grid"]
+        print(f"table2 {len(t['models'])}x{len(t['formats'])} grid: "
+              f"serial {t['serial_s']:.1f} s, "
+              f"--jobs {t['jobs']} {t['parallel_s']:.1f} s, "
+              f"speedup x{t['speedup']:.2f}, "
+              f"grids_match={t['grids_match']}")
+
+    with open(args.out, "w") as f:
+        json.dump(payload, f, indent=2, sort_keys=True)
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -73,15 +73,43 @@ class Tensor:
     non-Tensor operands are treated as constants.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents")
+    __slots__ = ("_data", "_version", "grad", "requires_grad", "_backward", "_parents")
     __array_priority__ = 100  # keep numpy from hijacking ndarray (op) Tensor
 
     def __init__(self, data, requires_grad: bool = False):
+        self._version = 0
         self.data = _as_array(data)
         self.grad: np.ndarray | None = None
         self.requires_grad = bool(requires_grad)
         self._backward = None
         self._parents: tuple[Tensor, ...] = ()
+
+    # ------------------------------------------------------------------
+    # data versioning
+    # ------------------------------------------------------------------
+    @property
+    def data(self) -> np.ndarray:
+        return self._data
+
+    @data.setter
+    def data(self, value) -> None:
+        # Rebinding .data (optimizer steps, load_state_dict, augmented
+        # assignment like ``p.data += g``) bumps the version, which is the
+        # invalidation signal for caches keyed on tensor contents (e.g.
+        # FakeQuantizer.quantize_cached).  In-place writes through the array
+        # (``t.data[...] = v``) bypass the setter: callers doing that must
+        # call bump_version() themselves.
+        self._data = _as_array(value)
+        self._version += 1
+
+    @property
+    def version(self) -> int:
+        """Monotonic counter incremented on every rebinding of ``data``."""
+        return self._version
+
+    def bump_version(self) -> None:
+        """Mark the tensor's contents as changed after an in-place array write."""
+        self._version += 1
 
     # ------------------------------------------------------------------
     # construction helpers

@@ -10,9 +10,10 @@ ptq MODEL [--formats F1,F2] [--eval N]
     Run the paper's PTQ recipe on one zoo model.
 hardware [--formats F1,F2] [--stream N]
     Build the MAC units, verify exactness and report area/power.
-experiments [NAMES...]
+experiments [NAMES...] [--jobs N]
     Run experiment drivers (table1 fig2 fig4 fig6 fig7 table3 headline
-    table2); defaults to the fast set.
+    table2, or ``all``); defaults to the fast set.  ``--jobs`` fans the
+    table2 grid across worker processes.
 """
 
 from __future__ import annotations
@@ -54,7 +55,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_hw.add_argument("--stream", type=int, default=256)
 
     p_exp = sub.add_parser("experiments", help="run experiment drivers")
-    p_exp.add_argument("names", nargs="*", default=[])
+    p_exp.add_argument("names", nargs="*", default=[],
+                       help="experiment names, or 'all' (default: fast set)")
+    p_exp.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for the table2 grid")
     return parser
 
 
@@ -149,7 +153,12 @@ def _cmd_hardware(args) -> int:
 
 def _cmd_experiments(args) -> int:
     from .experiments.runner import main as run_experiments
-    return run_experiments(args.names or None)
+    # always pass an explicit argv: None would make the runner re-parse
+    # this process's sys.argv (and swallow this CLI's own arguments)
+    argv = list(args.names)
+    if args.jobs != 1:
+        argv += ["--jobs", str(args.jobs)]
+    return run_experiments(argv)
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -2,14 +2,17 @@
 
 Usage::
 
-    python -m repro.experiments.runner [table1 fig2 fig4 fig6 fig7 table3 headline table2]
+    python -m repro.experiments.runner [--jobs N] [all | table1 fig2 fig4 fig6 fig7 table3 headline table2]
 
 Without arguments runs everything except the full Table 2 grid (which
-takes the longest; run it explicitly or via its benchmark).
+takes the longest; run it explicitly, as part of ``all``, or via its
+benchmark).  ``--jobs N`` parallelises the Table 2 grid fill across N
+worker processes (the other experiments are cheap and stay serial).
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 
 from . import fig2, fig4, fig6, fig7, headline, table1, table2, table3
@@ -27,16 +30,35 @@ EXPERIMENTS = {
 
 DEFAULT = ["table1", "fig2", "fig4", "fig6", "fig7", "table3", "headline"]
 
+#: the ``all`` pseudo-experiment: the fast set plus the Table 2 grid
+ALL = DEFAULT + ["table2"]
+
 
 def main(argv: list[str] | None = None) -> int:
-    names = (argv if argv is not None else sys.argv[1:]) or DEFAULT
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments.runner",
+        description="run experiment drivers and print their artefacts")
+    parser.add_argument("names", nargs="*", default=[],
+                        help="experiment names, or 'all' (default: fast set)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the table2 grid (default: serial)")
+    args = parser.parse_args(sys.argv[1:] if argv is None else argv)
+
+    names = args.names or DEFAULT
     for name in names:
-        if name not in EXPERIMENTS:
+        if name != "all" and name not in EXPERIMENTS:
             print(f"unknown experiment {name!r}; known: {sorted(EXPERIMENTS)}")
             return 2
+    if "all" in names:
+        names = ALL
+    for name in names:
         mod = EXPERIMENTS[name]
         print(f"\n===== {name} =====")
-        print(mod.render())
+        if name == "table2" and args.jobs > 1:
+            # fill missing grid cells in parallel, then render the result
+            print(table2.render(table2.run(jobs=args.jobs)))
+        else:
+            print(mod.render())
     return 0
 
 

@@ -16,7 +16,9 @@ from .fp8 import FP8_E2, FP8_E3, FP8_E4, FP8_E5, FloatFormat
 from .int8 import INT8, IntFormat
 from .mersit import MERSIT8_2, MERSIT8_3, MersitFormat
 from .posit import POSIT8_0, POSIT8_1, POSIT8_2, POSIT8_3, PositFormat
-from .registry import PAPER_FORMATS, TABLE2_FORMATS, available_formats, get_format
+from .registry import (
+    PAPER_FORMATS, TABLE2_FORMATS, available_formats, get_format, registered_formats,
+)
 from . import analysis, arithmetic, bitops, convert
 
 __all__ = [
@@ -27,6 +29,7 @@ __all__ = [
     "FP8_E2", "FP8_E3", "FP8_E4", "FP8_E5",
     "POSIT8_0", "POSIT8_1", "POSIT8_2", "POSIT8_3",
     "MERSIT8_2", "MERSIT8_3",
-    "get_format", "available_formats", "PAPER_FORMATS", "TABLE2_FORMATS",
+    "get_format", "available_formats", "registered_formats",
+    "PAPER_FORMATS", "TABLE2_FORMATS",
     "analysis", "arithmetic", "bitops", "convert",
 ]

@@ -211,31 +211,69 @@ class CodebookFormat:
         vals = self.finite_values
         return (vals[1:] + vals[:-1]) / 2.0
 
+    @cached_property
+    def _midpoints_ext(self) -> np.ndarray:
+        # NaN-padded so the tie fix-up below can index one-past-the-end
+        # (NaN never compares equal, so the pad entry never bumps)
+        return np.concatenate([self._midpoints, [np.nan]])
+
+    def _reference_index(self, x: np.ndarray) -> np.ndarray:
+        """Index into ``finite_values`` of the nearest value to each element.
+
+        Tie-breaking convention: **round half away from zero**.  With
+        ``side="left"`` an input exactly on a midpoint resolves to the lower
+        value, which is away-from-zero for negative midpoints but toward-zero
+        for positive ones, so positive exact-midpoint hits are bumped up one
+        index.  The LUT kernel (:mod:`repro.kernels.lut`) folds the same rule
+        into its thresholds; ``tests/test_kernels_lut.py`` pins both.
+        """
+        clean = np.nan_to_num(x, nan=0.0, posinf=self.max_value, neginf=-self.max_value)
+        clipped = np.clip(clean, -self.max_value, self.max_value)
+        idx = np.searchsorted(self._midpoints, clipped, side="left")
+        m = self._midpoints_ext[idx]
+        return idx + ((m == clipped) & (clipped > 0))
+
+    def quantize_reference(self, x: np.ndarray) -> np.ndarray:
+        """The reference ``searchsorted`` implementation of :meth:`quantize`.
+
+        Always available regardless of the active kernel backend; the LUT
+        kernel is validated bit-exact against this path.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        return self.finite_values[self._reference_index(x)]
+
     def quantize(self, x: np.ndarray) -> np.ndarray:
         """Round every element of ``x`` to the nearest representable value.
 
         Values beyond the finite range saturate to ``+/-max_value``;
-        non-finite inputs are saturated likewise (NaN maps to 0).
+        non-finite inputs are saturated likewise (NaN maps to 0); ties round
+        half away from zero.  Dispatches to the bit-LUT kernel
+        (:mod:`repro.kernels`) unless ``REPRO_KERNELS=reference`` selects the
+        ``searchsorted`` path; both are bit-exact with each other.
         """
-        x = np.asarray(x, dtype=np.float64)
-        clean = np.nan_to_num(x, nan=0.0, posinf=self.max_value, neginf=-self.max_value)
-        clipped = np.clip(clean, -self.max_value, self.max_value)
-        idx = np.searchsorted(self._midpoints, clipped, side="left")
-        return self.finite_values[idx]
+        from ..kernels import LUT_MAX_BITS, get_backend, kernel_for
+
+        if self.nbits <= LUT_MAX_BITS and get_backend() == "lut":
+            return kernel_for(self).quantize(x)
+        return self.quantize_reference(x)
 
     def encode(self, value: float) -> int:
         """Code of the representable value nearest to ``value``."""
-        values, codes = self._sorted_codes
-        q = float(self.quantize(np.array([value]))[0])
-        idx = int(np.searchsorted(values, q))
+        _, codes = self._sorted_codes
+        idx = self._reference_index(np.asarray(float(value)))
         return int(codes[idx])
 
     def encode_array(self, x: np.ndarray) -> np.ndarray:
-        """Vectorised :meth:`encode`: nearest-value codes for an array."""
-        values, codes = self._sorted_codes
-        q = self.quantize(np.asarray(x, dtype=np.float64))
-        idx = np.searchsorted(values, q)
-        return codes[idx]
+        """Vectorised :meth:`encode`: nearest-value codes for an array.
+
+        Dispatches through the same kernel switch as :meth:`quantize`.
+        """
+        from ..kernels import LUT_MAX_BITS, get_backend, kernel_for
+
+        if self.nbits <= LUT_MAX_BITS and get_backend() == "lut":
+            return kernel_for(self).encode(x)
+        _, codes = self._sorted_codes
+        return codes[self._reference_index(np.asarray(x, dtype=np.float64))]
 
     def decode_array(self, codes: np.ndarray) -> np.ndarray:
         """Vectorised decode of an integer code array to values."""

@@ -16,7 +16,8 @@ from .int8 import IntFormat
 from .mersit import MersitFormat
 from .posit import PositFormat
 
-__all__ = ["get_format", "available_formats", "PAPER_FORMATS", "TABLE2_FORMATS"]
+__all__ = ["get_format", "available_formats", "registered_formats",
+           "PAPER_FORMATS", "TABLE2_FORMATS"]
 
 _CACHE: dict[str, CodebookFormat] = {}
 
@@ -65,3 +66,12 @@ PAPER_FORMATS = ("FP(8,4)", "Posit(8,1)", "MERSIT(8,2)")
 def available_formats() -> list[str]:
     """Names of the paper's evaluated formats, in Table 2 column order."""
     return list(TABLE2_FORMATS)
+
+
+def registered_formats() -> list[CodebookFormat]:
+    """The Table 2 format objects, resolved, in column order.
+
+    The set the kernel tests and benchmarks iterate: every entry is 8-bit
+    and therefore eligible for the bit-LUT kernel (``nbits <= 12``).
+    """
+    return [get_format(name) for name in TABLE2_FORMATS]

@@ -1,0 +1,33 @@
+"""Fast quantization kernels and the backend dispatch switch.
+
+The reproduction's hot path is nearest-value rounding against an 8-bit
+codebook (:meth:`repro.formats.base.CodebookFormat.quantize`).  This package
+provides a table-driven implementation of that rounding — a 65,536-entry
+lookup table indexed by the top 16 bits of the float32 bit pattern of the
+input (:mod:`repro.kernels.lut`) — plus the switch that selects between it
+and the reference ``searchsorted`` path (:mod:`repro.kernels.dispatch`).
+
+Both paths implement identical semantics (round-to-nearest with ties away
+from zero, NaN to 0, saturation to ``+/-max_value``) and are verified
+bit-exact against each other exhaustively in ``tests/test_kernels_lut.py``.
+Select the backend with the ``REPRO_KERNELS`` environment variable
+(``lut``, the default, or ``reference``) or programmatically::
+
+    from repro import kernels
+    with kernels.use_backend("reference"):
+        fmt.quantize(x)        # slow path, for A/B validation
+"""
+
+from .dispatch import BACKENDS, get_backend, set_backend, use_backend
+from .lut import LUT_MAX_BITS, BitLUTKernel, clear_kernel_cache, kernel_for
+
+__all__ = [
+    "BACKENDS",
+    "get_backend",
+    "set_backend",
+    "use_backend",
+    "LUT_MAX_BITS",
+    "BitLUTKernel",
+    "kernel_for",
+    "clear_kernel_cache",
+]

@@ -1,0 +1,56 @@
+"""Kernel backend selection: ``REPRO_KERNELS=reference|lut``.
+
+The switch exists for A/B validation: the LUT kernel is bit-exact with the
+reference path by construction, so flipping the backend must never change a
+result.  When debugging a suspect quantization, run once under each backend
+and diff; any difference is a kernel bug, not a format property.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+
+__all__ = ["BACKENDS", "get_backend", "set_backend", "use_backend"]
+
+#: recognised backend names
+BACKENDS = ("lut", "reference")
+
+_ENV_VAR = "REPRO_KERNELS"
+
+#: programmatic override; takes precedence over the environment variable
+_override: str | None = None
+
+
+def _validate(name: str) -> str:
+    if name not in BACKENDS:
+        raise ValueError(
+            f"unknown kernel backend {name!r}; expected one of {BACKENDS} "
+            f"(set via {_ENV_VAR} or repro.kernels.set_backend)")
+    return name
+
+
+def get_backend() -> str:
+    """The active kernel backend: the override, else ``$REPRO_KERNELS``, else ``lut``."""
+    if _override is not None:
+        return _override
+    env = os.environ.get(_ENV_VAR)
+    return _validate(env) if env else "lut"
+
+
+def set_backend(name: str | None) -> None:
+    """Set (or with ``None`` clear) the programmatic backend override."""
+    global _override
+    _override = None if name is None else _validate(name)
+
+
+@contextlib.contextmanager
+def use_backend(name: str):
+    """Temporarily switch the kernel backend (restores the prior override)."""
+    global _override
+    prev = _override
+    _override = _validate(name)
+    try:
+        yield
+    finally:
+        _override = prev

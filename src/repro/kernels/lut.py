@@ -1,0 +1,177 @@
+"""Bit-LUT quantize kernel: table-driven nearest-value rounding.
+
+The idea (standard in the posit-DNN literature: small codebooks admit
+table-driven rounding) is to bucket inputs by the top 16 bits of their
+float32 bit pattern — sign, the full 8-bit exponent and the top 7 mantissa
+bits — and precompute, per bucket, the index of the nearest representable
+value.  A bucket spans a relative width of 2^-7, wider than the gap between
+neighbouring codebook values for very precise formats, so a bucket may
+straddate at most ``kmax`` rounding midpoints; the kernel stores the bucket's
+*lowest* candidate index and resolves the remaining ``kmax`` steps with exact
+float64 comparisons against the true midpoints.  For every 8-bit format in
+the paper ``kmax == 1``, which collapses the fix-up to a single fused
+compare against a per-bucket threshold.
+
+Exactness argument (verified exhaustively in ``tests/test_kernels_lut.py``):
+
+* An input ``x`` (any float dtype) is cast to float32 to pick its bucket.
+  The cast rounds, so ``x`` itself is only guaranteed to lie within one
+  float32 ULP of the bucket; the per-bucket index window is therefore built
+  from the bucket bounds *extended by one ULP on each side*, and the window
+  always contains the true index.
+* The fix-up comparisons use the original (unrounded) input against exact
+  float64 midpoints and replicate the reference tie rule (ties away from
+  zero), so the resolved index matches :meth:`CodebookFormat.quantize_reference`
+  bit-for-bit for every input, not just for bucket representatives.
+* Saturation falls out of clipping the bucket bounds during construction;
+  NaN inputs are detected at lookup time and routed to the zero entry.
+
+The sibling code table maps the same resolved index to the format's code
+word, accelerating ``encode_array`` with the identical machinery.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["LUT_MAX_BITS", "BitLUTKernel", "kernel_for", "clear_kernel_cache"]
+
+#: LUT construction enumerates the codebook; cap it at 12-bit formats
+#: (4096 codes) so the table build and the midpoint windows stay small.
+LUT_MAX_BITS = 12
+
+#: number of 16-bit bucket patterns
+_NBUCKETS = 1 << 16
+
+_U16 = np.uint32(16)
+
+
+class BitLUTKernel:
+    """Precomputed rounding tables for one :class:`CodebookFormat`.
+
+    Attributes
+    ----------
+    values:
+        Sorted finite representable values (float64), the rounding targets.
+    codes:
+        Code word of each entry of ``values``.
+    base:
+        Per-bucket lowest candidate index into ``values`` (int32).
+    thr:
+        Per-bucket decision threshold (``kmax == 1`` formats): the input
+        rounds to ``values[base + 1]`` iff it compares strictly greater.
+        Tie-away-from-zero is folded in by nudging positive midpoints one
+        float64 ULP down, so a single ``>`` implements the full tie rule.
+    mid_ext:
+        Midpoints padded with NaN (``kmax > 1`` fallback); NaN never
+        compares true, so the padded entry also terminates saturated runs.
+    kmax:
+        Maximum number of midpoints any bucket window spans.
+    zero_idx:
+        Index of 0.0 in ``values`` (the NaN target).
+    """
+
+    __slots__ = ("name", "values", "codes", "base", "thr", "mid_ext", "kmax",
+                 "zero_idx")
+
+    def __init__(self, fmt):
+        values, codes = fmt._sorted_codes
+        self.name = fmt.name
+        self.values = values
+        self.codes = codes
+        self.zero_idx = int(np.searchsorted(values, 0.0))
+        mids = (values[1:] + values[:-1]) / 2.0
+        self.mid_ext = np.concatenate([mids, [np.nan]])
+
+        # Bucket bounds: value range covered by each 16-bit prefix.  The
+        # all-ones low pattern is the bucket's other endpoint; for negative
+        # buckets the endpoints swap (larger pattern = more negative).  NaN
+        # buckets (exponent all ones, non-zero high mantissa) get pinned to
+        # the zero entry; the +/-inf buckets saturate via clipping below.
+        pat = np.arange(_NBUCKETS, dtype=np.uint32) << _U16
+        with np.errstate(invalid="ignore", over="ignore"):
+            e_lo = pat.view(np.float32).astype(np.float64)
+            e_hi = (pat | np.uint32(0xFFFF)).view(np.float32).astype(np.float64)
+            bmin = np.fmin(e_lo, e_hi)
+            bmax = np.fmax(e_lo, e_hi)
+            nan_bucket = np.isnan(bmin)
+            bmin[nan_bucket] = 0.0
+            bmax[nan_bucket] = 0.0
+            # widen by one float32 ULP per side: the float32 cast of an
+            # input may round it into this bucket from just outside
+            lo = np.nextafter(bmin.astype(np.float32), np.float32(-np.inf))
+            hi = np.nextafter(bmax.astype(np.float32), np.float32(np.inf))
+        lo_idx = fmt._reference_index(lo)
+        hi_idx = fmt._reference_index(hi)
+        lo_idx[nan_bucket] = self.zero_idx
+        hi_idx[nan_bucket] = self.zero_idx
+        self.base = lo_idx.astype(np.int32)
+        self.kmax = int(np.max(hi_idx - lo_idx))
+
+        if self.kmax == 1:
+            # fold the one fix-up step into a threshold: bump iff x > thr.
+            # The reference rounds ties away from zero, i.e. bump at x >= m
+            # for positive midpoints; x >= m is x > nextafter(m, -inf).
+            thr = np.full(_NBUCKETS, np.inf)
+            strad = hi_idx > lo_idx
+            m = self.mid_ext[lo_idx[strad]]
+            thr[strad] = np.where(m > 0, np.nextafter(m, -np.inf), m)
+            self.thr = thr
+        else:
+            self.thr = None
+
+    # ------------------------------------------------------------------
+    def _indices(self, x: np.ndarray) -> np.ndarray:
+        """Resolved per-element indices into ``values`` for flat ``x``."""
+        with np.errstate(invalid="ignore", over="ignore"):
+            # the cast saturates huge magnitudes to +/-inf, which land in the
+            # saturating inf buckets — exactly the semantics we want
+            x32 = np.ascontiguousarray(x, dtype=np.float32)
+        u = (x32.view(np.uint32) >> _U16).astype(np.intp)
+        idx = self.base[u]
+        if self.kmax == 1:
+            np.add(idx, x > self.thr[u], out=idx, casting="unsafe")
+        elif self.kmax > 1:
+            for _ in range(self.kmax):
+                m = self.mid_ext[idx]
+                step = (x > m) | ((x == m) & (m > 0))
+                if not step.any():
+                    break
+                np.add(idx, step, out=idx, casting="unsafe")
+        nan = np.isnan(x32)
+        if nan.any():
+            idx[nan] = self.zero_idx
+        return idx
+
+    def quantize(self, x) -> np.ndarray:
+        """Bit-exact fast path for :meth:`CodebookFormat.quantize_reference`."""
+        x = np.asarray(x, dtype=np.float64)
+        flat = x.reshape(-1)
+        return self.values[self._indices(flat)].reshape(x.shape)
+
+    def encode(self, x) -> np.ndarray:
+        """Bit-exact fast path for :meth:`CodebookFormat.encode_array`."""
+        x = np.asarray(x, dtype=np.float64)
+        flat = x.reshape(-1)
+        return self.codes[self._indices(flat)].reshape(x.shape)
+
+
+#: built kernels, keyed by format name (formats hash/compare by name)
+_CACHE: dict[str, BitLUTKernel] = {}
+
+
+def kernel_for(fmt) -> BitLUTKernel:
+    """The (lazily built, cached) LUT kernel for ``fmt``."""
+    kernel = _CACHE.get(fmt.name)
+    if kernel is None:
+        if fmt.nbits > LUT_MAX_BITS:
+            raise ValueError(
+                f"{fmt.name}: LUT kernel supports at most {LUT_MAX_BITS}-bit "
+                f"formats, got nbits={fmt.nbits}")
+        kernel = _CACHE[fmt.name] = BitLUTKernel(fmt)
+    return kernel
+
+
+def clear_kernel_cache() -> None:
+    """Drop all built kernels (tests and memory-sensitive callers)."""
+    _CACHE.clear()

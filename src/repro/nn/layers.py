@@ -51,7 +51,9 @@ class QuantizableMixin:
     def _effective_weight(self) -> Tensor:
         if self.weight_quant is None or self.observing:
             return self.weight
-        return Tensor(self.weight_quant(self.weight.data).astype(np.float32))
+        # weights are static after calibration, so the quantizer memoizes on
+        # the weight tensor's data version (see FakeQuantizer.quantize_cached)
+        return Tensor(self.weight_quant.quantize_cached(self.weight))
 
     def quant_enabled(self) -> bool:
         return self.weight_quant is not None or self.input_quant is not None

@@ -72,7 +72,19 @@ def quantize_with_scale(
     tiny = np.finfo(np.float64).tiny
     s = np.where(s <= 0.0, 1.0, np.maximum(s, tiny))
     g = fmt.quantization_gain if gain is None else gain
-    return fmt.quantize((x / s) * g) * (s / g)
+    # fused scaling: one broadcast multiply in, one out (the naive
+    # ``(x / s) * g`` form does a divide plus a multiply per element)
+    return fmt.quantize(x * (g / s)) * (s / g)
+
+
+def _channel_max(x: np.ndarray, axis: int, empty: float) -> np.ndarray:
+    """Per-channel max magnitude along ``axis``; ``empty`` when channels hold
+    zero elements (a zero-size reduction would raise)."""
+    moved = np.moveaxis(np.abs(x), axis, 0)
+    flat = moved.reshape(moved.shape[0], -1)
+    if flat.shape[1] == 0:
+        return np.full(flat.shape[0], empty)
+    return flat.max(axis=1)
 
 
 class FakeQuantizer:
@@ -80,7 +92,9 @@ class FakeQuantizer:
 
     The quantizer is calibrated once with :meth:`calibrate` (or by passing
     ``scale=``) and then applied to any number of tensors via
-    :meth:`__call__`.
+    :meth:`__call__`.  For tensors that rarely change between calls (layer
+    weights), :meth:`quantize_cached` memoizes the result keyed on the
+    tensor's data version and this quantizer's scale version.
     """
 
     def __init__(
@@ -93,6 +107,8 @@ class FakeQuantizer:
     ):
         self.fmt = fmt
         self.axis = axis
+        self._scale_version = 0
+        self._qcache: tuple | None = None
         self.scale = None if scale is None else np.asarray(scale, dtype=np.float64)
         self.gain = gain
         #: optional streaming observer (see repro.quant.observers); when
@@ -100,21 +116,40 @@ class FakeQuantizer:
         self.observer = observer
 
     @property
+    def scale(self) -> np.ndarray | None:
+        return self._scale
+
+    @scale.setter
+    def scale(self, value) -> None:
+        # every (re)calibration lands here, so bumping the version in the
+        # setter is what keeps quantize_cached honest across recalibration
+        self._scale = value
+        self._scale_version += 1
+        self._qcache = None
+
+    @property
     def calibrated(self) -> bool:
         return self.scale is not None
 
     def calibrate(self, x: np.ndarray) -> "FakeQuantizer":
-        """Set the scale to the max magnitude of ``x`` (per-channel if axis set)."""
+        """Set the scale to the max magnitude of ``x`` (per-channel if axis set).
+
+        Empty input calibrates to the neutral scale 1.0 (per-channel: a
+        channel with zero elements gets 1.0) rather than raising.
+        """
         x = np.asarray(x, dtype=np.float64)
         if self.axis is None:
             self.scale = np.asarray(np.max(np.abs(x)) if x.size else 1.0)
         else:
-            moved = np.moveaxis(np.abs(x), self.axis, 0)
-            self.scale = moved.reshape(moved.shape[0], -1).max(axis=1)
+            self.scale = _channel_max(x, self.axis, empty=1.0)
         return self
 
     def observe(self, x: np.ndarray) -> "FakeQuantizer":
-        """Streaming calibration update (running max, or the attached observer)."""
+        """Streaming calibration update (running max, or the attached observer).
+
+        Empty input contributes 0.0 — the identity of the running max — so
+        it never shrinks an already-observed scale.
+        """
         if self.observer is not None:
             self.observer.observe(x)
             return self
@@ -122,8 +157,7 @@ class FakeQuantizer:
         if self.axis is None:
             new = np.asarray(np.max(np.abs(x)) if x.size else 0.0)
         else:
-            moved = np.moveaxis(np.abs(x), self.axis, 0)
-            new = moved.reshape(moved.shape[0], -1).max(axis=1)
+            new = _channel_max(x, self.axis, empty=0.0)
         self.scale = new if self.scale is None else np.maximum(self.scale, new)
         return self
 
@@ -137,6 +171,25 @@ class FakeQuantizer:
         if self.scale is None:
             raise RuntimeError("FakeQuantizer used before calibration")
         return quantize_with_scale(x, self.fmt, self.scale, self.axis, self.gain)
+
+    def quantize_cached(self, tensor) -> np.ndarray:
+        """Quantize an :class:`~repro.autograd.Tensor`'s data, memoized.
+
+        The cache key is (tensor identity, ``tensor.version``, this
+        quantizer's scale version): replacing or updating ``tensor.data``
+        bumps the tensor version, and any recalibration bumps the scale
+        version, so either invalidates the cache.  Callers mutating a
+        tensor's array *in place* (``t.data[...] = ...``) must call
+        ``t.bump_version()`` — see the contract on ``Tensor.data``.
+        """
+        cached = self._qcache
+        if (cached is not None and cached[0] is tensor
+                and cached[1] == tensor.version
+                and cached[2] == self._scale_version):
+            return cached[3]
+        out = self(tensor.data).astype(np.float32)
+        self._qcache = (tensor, tensor.version, self._scale_version, out)
+        return out
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         where = "per-tensor" if self.axis is None else f"per-channel(axis={self.axis})"

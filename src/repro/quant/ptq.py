@@ -136,6 +136,9 @@ def quantize_model(
         layer.input_quant.finalize()
         if not layer.input_quant.calibrated:
             raise RuntimeError("a quantized layer saw no calibration data")
+        # warm the memoized weight path so the first evaluation batch does
+        # not pay the one-off quantization cost (weights are static now)
+        layer.weight_quant.quantize_cached(layer.weight)
     return model
 
 

@@ -162,11 +162,16 @@ def pretrained(name: str, retrain: bool = False, verbose: bool = False) -> tuple
     model = entry.factory()
     path = _cache_path(name)
     if path.exists() and not retrain:
-        blob = dict(np.load(path))
-        score = float(blob.pop("__fp32_score__"))
-        model.load_state_dict(blob)
-        model.eval()
-        return model, score
+        try:
+            blob = dict(np.load(path))
+            score = float(blob.pop("__fp32_score__"))
+            model.load_state_dict(blob)
+        except Exception as exc:  # corrupt/truncated cache: retrain instead
+            print(f"zoo: cache {path} unreadable ({exc!r}); retraining {name}",
+                  flush=True)
+        else:
+            model.eval()
+            return model, score
     score = _train_entry(entry, model, verbose)
     state = model.state_dict()
     state["__fp32_score__"] = np.array(score, dtype=np.float64)

@@ -159,3 +159,50 @@ class TestFunctionalEdgeCases:
         logits = Tensor(np.array([[100.0, 0.0], [0.0, 100.0]]))
         loss = F.cross_entropy(logits, np.array([0, 1]))
         assert loss.item() < 1e-6
+
+
+class TestDataVersioning:
+    """The data-version counter that backs quantized-weight caching."""
+
+    def test_fresh_tensor_has_stable_version(self):
+        t = Tensor(np.ones(3))
+        v = t.version
+        assert t.version == v  # reading does not bump
+
+    def test_rebinding_data_bumps(self):
+        t = Tensor(np.ones(3))
+        v = t.version
+        t.data = np.zeros(3)
+        assert t.version == v + 1
+
+    def test_augmented_assignment_bumps(self):
+        t = Tensor(np.ones(3))
+        v = t.version
+        t.data += 1.0  # read + rebind through the property setter
+        assert t.version > v
+
+    def test_inplace_array_write_does_not_bump(self):
+        # documented contract: writes through the array bypass the setter
+        t = Tensor(np.ones(3))
+        v = t.version
+        t.data[:] = 0.0
+        assert t.version == v
+        t.bump_version()
+        assert t.version == v + 1
+
+    def test_setter_keeps_dtype_policy(self):
+        t = Tensor(np.ones(3, dtype=np.float32))
+        t.data = [1, 2, 3]  # ints promoted like the constructor promotes
+        assert t.dtype == np.float32
+
+    def test_optimizer_step_invalidates(self):
+        from repro.nn import Linear
+        from repro.nn.optim import SGD
+        layer = Linear(4, 2)
+        v = layer.weight.version
+        opt = SGD(layer.parameters(), lr=0.1)
+        layer.weight.grad = np.ones_like(layer.weight.data)
+        if layer.bias is not None:
+            layer.bias.grad = np.zeros_like(layer.bias.data)
+        opt.step()
+        assert layer.weight.version > v

@@ -1,0 +1,25 @@
+"""Smoke test: benchmarks/bench_kernels.py runs and emits valid JSON."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH = REPO_ROOT / "benchmarks" / "bench_kernels.py"
+
+
+def test_bench_kernels_fast_mode(tmp_path):
+    out = tmp_path / "BENCH_kernels.json"
+    proc = subprocess.run(
+        [sys.executable, str(BENCH), "--fast", "--skip-table2",
+         "--out", str(out)],
+        capture_output=True, text=True, timeout=300)
+    assert proc.returncode == 0, proc.stderr
+    payload = json.loads(out.read_text())
+    assert "host" in payload and payload["host"]["cpu_count"] >= 1
+    q = payload["quantize_1m"]
+    assert q["format"] == "MERSIT(8,2)"
+    assert q["reference_ms"]["min"] > 0 and q["lut_ms"]["min"] > 0
+    assert q["speedup_min"] > 0
+    assert "speedup x" in proc.stdout

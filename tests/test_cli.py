@@ -55,3 +55,28 @@ class TestCheapCommands:
         assert main(["experiments", "table1"]) == 0
         out = capsys.readouterr().out
         assert "MATCHES PAPER" in out
+
+    def test_experiments_jobs_propagated(self, monkeypatch):
+        import repro.experiments.runner as runner
+        seen = {}
+
+        def fake_runner(argv):
+            seen["argv"] = argv
+            return 0
+
+        monkeypatch.setattr(runner, "main", fake_runner)
+        assert main(["experiments", "table1", "--jobs", "4"]) == 0
+        assert seen["argv"] == ["table1", "--jobs", "4"]
+
+    def test_experiments_always_passes_explicit_argv(self, monkeypatch):
+        # regression: empty names used to fall back to this process's argv
+        import repro.experiments.runner as runner
+        seen = {}
+
+        def fake_runner(argv):
+            seen["argv"] = argv
+            return 0
+
+        monkeypatch.setattr(runner, "main", fake_runner)
+        assert main(["experiments"]) == 0
+        assert seen["argv"] == []

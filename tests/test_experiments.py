@@ -98,8 +98,90 @@ class TestRunnerDispatch:
         from repro.experiments.runner import main
         assert main(["not_an_experiment"]) == 2
 
+    def test_unknown_name_rejected_before_running_anything(self, capsys):
+        from repro.experiments.runner import main
+        assert main(["table1", "not_an_experiment"]) == 2
+        out = capsys.readouterr().out
+        assert "=====" not in out  # nothing rendered
+
+    def test_unknown_name_beside_all_rejected(self, capsys):
+        # regression: 'all' expansion used to swallow a typo'd name and
+        # launch the full (slow) suite instead of erroring
+        from repro.experiments.runner import main
+        assert main(["all", "not_an_experiment"]) == 2
+        out = capsys.readouterr().out
+        assert "=====" not in out
+
     def test_fast_experiments_run(self, capsys):
         from repro.experiments.runner import main
         assert main(["table1", "fig2", "fig4"]) == 0
         out = capsys.readouterr().out
         assert "table1" in out and "fig4" in out
+
+    def test_all_expands_to_every_experiment(self, capsys, monkeypatch):
+        from repro.experiments import runner
+        for name, mod in runner.EXPERIMENTS.items():
+            monkeypatch.setattr(mod, "render", lambda name=name: f"<{name}>")
+        assert runner.main(["all"]) == 0
+        out = capsys.readouterr().out
+        for name in runner.EXPERIMENTS:
+            assert f"<{name}>" in out
+
+    def test_jobs_flag_reaches_table2(self, capsys, monkeypatch):
+        from repro.experiments import runner, table2
+        seen = {}
+
+        def fake_run(jobs=1):
+            seen["jobs"] = jobs
+            return {"grid": {}, "meta_key": "x"}
+
+        monkeypatch.setattr(table2, "run", fake_run)
+        monkeypatch.setattr(table2, "render", lambda result=None: "<table2>")
+        assert runner.main(["table2", "--jobs", "3"]) == 0
+        assert seen["jobs"] == 3
+        assert "<table2>" in capsys.readouterr().out
+
+
+def _fake_cell(name, fmt_name, eval_n, calib_n):
+    # deterministic, cheap stand-in for a grid cell evaluation
+    return float(len(name) * 10 + len(fmt_name) + eval_n / 100 + calib_n / 1000)
+
+
+class TestTable2Parallel:
+    def _run(self, jobs):
+        from repro.experiments import table2
+        return table2.run(models=["VGG16", "SST-2"],
+                          formats=["INT8", "MERSIT(8,2)"],
+                          eval_n=10, calib_n=5, refresh=True, jobs=jobs)
+
+    def test_parallel_matches_serial_bit_identically(self, monkeypatch):
+        from repro.experiments import table2
+        monkeypatch.setattr(table2, "_eval_cell", _fake_cell)
+        serial = self._run(jobs=1)
+        parallel = self._run(jobs=2)
+        assert serial == parallel
+        # ordering (hence the serialized artifact) must also be identical
+        assert list(serial["grid"]) == list(parallel["grid"])
+        for model in serial["grid"]:
+            assert list(serial["grid"][model]) == list(parallel["grid"][model])
+
+    def test_parallel_artifact_readable(self, isolated_artifacts, monkeypatch):
+        from repro.experiments import common, table2
+        monkeypatch.setattr(table2, "_eval_cell", _fake_cell)
+        result = self._run(jobs=2)
+        assert common.load_artifact("table2") == result
+
+    def test_incremental_cells_reused(self, monkeypatch):
+        from repro.experiments import table2
+        calls = []
+
+        def counting_cell(name, fmt_name, eval_n, calib_n):
+            calls.append((name, fmt_name))
+            return _fake_cell(name, fmt_name, eval_n, calib_n)
+
+        monkeypatch.setattr(table2, "_eval_cell", counting_cell)
+        self._run(jobs=1)
+        n_first = len(calls)
+        table2.run(models=["VGG16", "SST-2"], formats=["INT8", "MERSIT(8,2)"],
+                   eval_n=10, calib_n=5, jobs=1)  # no refresh: all cached
+        assert len(calls) == n_first

@@ -1,0 +1,154 @@
+"""Bit-LUT kernel: exhaustive bit-exactness, tie-breaking, backend dispatch."""
+
+import numpy as np
+import pytest
+
+from repro import kernels
+from repro.formats import get_format, registered_formats
+
+ALL = registered_formats()
+
+
+def _probe_inputs(fmt) -> np.ndarray:
+    """Every float16-spaced value plus specials and rounding boundaries."""
+    # all 65,536 float16 bit patterns: covers +/-0, subnormals, NaN, +/-inf
+    # and a dense sweep of the magnitude range every 8-bit format lives in
+    h = np.arange(1 << 16, dtype=np.uint16).view(np.float16).astype(np.float64)
+    mids = fmt._midpoints
+    near = np.concatenate([mids,
+                           np.nextafter(mids, np.inf),
+                           np.nextafter(mids, -np.inf)])
+    specials = np.array([0.0, -0.0, np.nan, np.inf, -np.inf,
+                         fmt.max_value, -fmt.max_value,
+                         np.nextafter(fmt.max_value, np.inf),
+                         np.nextafter(-fmt.max_value, -np.inf),
+                         1e300, -1e300])
+    return np.concatenate([h, near, specials, fmt.finite_values])
+
+
+class TestBitExactness:
+    @pytest.mark.parametrize("fmt", ALL, ids=lambda f: f.name)
+    def test_quantize_exhaustive(self, fmt):
+        x = _probe_inputs(fmt)
+        ref = fmt.quantize_reference(x)
+        lut = kernels.kernel_for(fmt).quantize(x)
+        np.testing.assert_array_equal(ref, lut)
+
+    @pytest.mark.parametrize("fmt", ALL, ids=lambda f: f.name)
+    def test_encode_exhaustive(self, fmt):
+        x = _probe_inputs(fmt)
+        _, codes = fmt._sorted_codes
+        ref = codes[fmt._reference_index(x)]
+        lut = kernels.kernel_for(fmt).encode(x)
+        np.testing.assert_array_equal(ref, lut)
+
+    @pytest.mark.parametrize("fmt", ALL, ids=lambda f: f.name)
+    def test_random_normals_exact(self, fmt):
+        rng = np.random.default_rng(42)
+        for scale in (1e-3, 1.0, 100.0):
+            x = rng.normal(scale=scale, size=20000)
+            np.testing.assert_array_equal(
+                fmt.quantize_reference(x), kernels.kernel_for(fmt).quantize(x))
+
+    def test_shapes_preserved(self):
+        fmt = get_format("MERSIT(8,2)")
+        k = kernels.kernel_for(fmt)
+        assert k.quantize(np.zeros((2, 3, 4))).shape == (2, 3, 4)
+        assert k.quantize(np.asarray(0.75)).shape == ()
+        assert k.encode(np.zeros((5, 2))).shape == (5, 2)
+
+
+class TestTieBreaking:
+    """The pinned convention: ties round half *away from zero*."""
+
+    @pytest.mark.parametrize("fmt", ALL, ids=lambda f: f.name)
+    @pytest.mark.parametrize("backend", ["reference", "lut"])
+    def test_midpoints_round_away_from_zero(self, fmt, backend):
+        mids = fmt._midpoints
+        vals = fmt.finite_values
+        i = np.arange(len(mids))
+        expected = np.where(mids > 0, vals[i + 1], vals[i])
+        with kernels.use_backend(backend):
+            np.testing.assert_array_equal(fmt.quantize(mids), expected)
+
+    def test_backends_agree_on_midpoints(self):
+        fmt = get_format("MERSIT(8,2)")
+        with kernels.use_backend("reference"):
+            ref = fmt.quantize(fmt._midpoints)
+        with kernels.use_backend("lut"):
+            lut = fmt.quantize(fmt._midpoints)
+        np.testing.assert_array_equal(ref, lut)
+
+
+class TestDispatch:
+    def test_default_backend_is_lut(self, monkeypatch):
+        monkeypatch.delenv("REPRO_KERNELS", raising=False)
+        kernels.set_backend(None)
+        assert kernels.get_backend() == "lut"
+
+    def test_env_var_selects_reference(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNELS", "reference")
+        kernels.set_backend(None)
+        assert kernels.get_backend() == "reference"
+
+    def test_invalid_env_var_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNELS", "simd")
+        kernels.set_backend(None)
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            kernels.get_backend()
+
+    def test_set_backend_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNELS", "reference")
+        kernels.set_backend("lut")
+        try:
+            assert kernels.get_backend() == "lut"
+        finally:
+            kernels.set_backend(None)
+
+    def test_use_backend_restores(self):
+        before = kernels.get_backend()
+        with kernels.use_backend("reference"):
+            assert kernels.get_backend() == "reference"
+        assert kernels.get_backend() == before
+
+    def test_quantize_identical_across_backends(self):
+        fmt = get_format("Posit(8,1)")
+        x = np.random.default_rng(5).normal(size=5000)
+        with kernels.use_backend("reference"):
+            ref = fmt.quantize(x)
+        with kernels.use_backend("lut"):
+            lut = fmt.quantize(x)
+        np.testing.assert_array_equal(ref, lut)
+
+    def test_encode_array_identical_across_backends(self):
+        fmt = get_format("FP(8,4)")
+        x = np.random.default_rng(6).normal(size=5000)
+        with kernels.use_backend("reference"):
+            ref = fmt.encode_array(x)
+        with kernels.use_backend("lut"):
+            lut = fmt.encode_array(x)
+        np.testing.assert_array_equal(ref, lut)
+
+
+class TestKernelCache:
+    def test_kernel_is_cached_per_format(self):
+        fmt = get_format("MERSIT(8,2)")
+        assert kernels.kernel_for(fmt) is kernels.kernel_for(fmt)
+
+    def test_clear_cache_rebuilds(self):
+        fmt = get_format("INT8")
+        k1 = kernels.kernel_for(fmt)
+        kernels.clear_kernel_cache()
+        assert kernels.kernel_for(fmt) is not k1
+
+    def test_wide_format_rejected_by_kernel(self):
+        wide = get_format("int13")  # 13 bits > LUT_MAX_BITS
+        with pytest.raises(ValueError, match="at most"):
+            kernels.kernel_for(wide)
+
+    def test_wide_format_quantize_falls_back_to_reference(self):
+        wide = get_format("int13")
+        x = np.array([0.4, 1.6, -2.5])
+        with kernels.use_backend("lut"):
+            np.testing.assert_array_equal(wide.quantize(x),
+                                          wide.quantize_reference(x))

@@ -5,6 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.autograd import Tensor
 from repro.formats import INT8, MERSIT8_2, POSIT8_1, get_format
 from repro.quant import FakeQuantizer, quantize_with_scale
 
@@ -74,7 +75,8 @@ class TestQuantizeWithScale:
         if s < 1e-100:  # subnormal scales are clamped by design
             return
         q = quantize_with_scale(x, MERSIT8_2, s)
-        scaled = x / s  # in [-1, 1]
+        # mirror the fused scaling (one multiply by g/s, see fakequant.py)
+        scaled = x * (1.0 / s)  # in [-1, 1] up to one ulp
         vals = MERSIT8_2.finite_values
         in_band = vals[(vals >= -1.0) & (vals <= 1.0)]
         max_gap = np.max(np.diff(in_band))
@@ -131,3 +133,83 @@ class TestFakeQuantizer:
         fq = FakeQuantizer(fmt).calibrate(x)
         q = fq(x)
         np.testing.assert_allclose(fq(q), q, atol=1e-15)
+
+
+class TestEmptyInput:
+    """Regression: per-channel reductions used to raise on zero-size input."""
+
+    def test_calibrate_empty_per_tensor(self):
+        fq = FakeQuantizer(INT8).calibrate(np.empty(0))
+        assert fq.scale == 1.0
+
+    def test_calibrate_empty_per_channel(self):
+        fq = FakeQuantizer(INT8, axis=0).calibrate(np.empty((3, 0)))
+        np.testing.assert_array_equal(fq.scale, [1.0, 1.0, 1.0])
+        # and the quantizer stays usable
+        np.testing.assert_array_equal(fq(np.empty((3, 0))), np.empty((3, 0)))
+
+    def test_observe_empty_per_channel_is_identity(self):
+        fq = FakeQuantizer(INT8, axis=1)
+        fq.observe(np.array([[1.0, 10.0]]))
+        fq.observe(np.empty((0, 2)))
+        np.testing.assert_array_equal(fq.scale, [1.0, 10.0])
+
+    def test_observe_empty_first(self):
+        fq = FakeQuantizer(INT8, axis=0)
+        fq.observe(np.empty((2, 0)))
+        np.testing.assert_array_equal(fq.scale, [0.0, 0.0])
+        fq.observe(np.array([[3.0], [4.0]]))
+        np.testing.assert_array_equal(fq.scale, [3.0, 4.0])
+
+
+class TestQuantizeCached:
+    def test_cache_hit_returns_same_array(self):
+        t = Tensor(np.linspace(-1, 1, 16))
+        fq = FakeQuantizer(MERSIT8_2).calibrate(t.data)
+        q1 = fq.quantize_cached(t)
+        assert fq.quantize_cached(t) is q1
+        np.testing.assert_allclose(q1, fq(t.data).astype(np.float32))
+
+    def test_invalidated_on_data_rebinding(self):
+        t = Tensor(np.linspace(-1, 1, 16))
+        fq = FakeQuantizer(MERSIT8_2).calibrate(t.data)
+        q1 = fq.quantize_cached(t)
+        t.data = t.data * 0.5
+        q2 = fq.quantize_cached(t)
+        assert q2 is not q1
+        np.testing.assert_allclose(q2, fq(t.data).astype(np.float32))
+
+    def test_inplace_write_needs_bump_version(self):
+        t = Tensor(np.linspace(-1, 1, 16))
+        fq = FakeQuantizer(MERSIT8_2).calibrate(t.data)
+        q1 = fq.quantize_cached(t)
+        t.data[:] = 0.0  # bypasses the setter: cache is stale by contract
+        assert fq.quantize_cached(t) is q1
+        t.bump_version()
+        q2 = fq.quantize_cached(t)
+        assert q2 is not q1
+        np.testing.assert_array_equal(q2, np.zeros(16, dtype=np.float32))
+
+    def test_invalidated_on_recalibration(self):
+        t = Tensor(np.linspace(-1, 1, 16))
+        fq = FakeQuantizer(INT8).calibrate(t.data)
+        q1 = fq.quantize_cached(t)
+        fq.calibrate(t.data * 4.0)  # new scale -> new quantization grid
+        q2 = fq.quantize_cached(t)
+        assert q2 is not q1
+        assert not np.array_equal(q1, q2)
+
+    def test_invalidated_on_observe(self):
+        t = Tensor(np.ones(8))
+        fq = FakeQuantizer(INT8).calibrate(t.data)
+        q1 = fq.quantize_cached(t)
+        fq.observe(np.array([5.0]))
+        assert fq.quantize_cached(t) is not q1
+
+    def test_different_tensor_not_conflated(self):
+        a = Tensor(np.linspace(-1, 1, 16))
+        b = Tensor(np.linspace(-2, 2, 16))
+        fq = FakeQuantizer(MERSIT8_2).calibrate(a.data)
+        fq.quantize_cached(a)
+        qb = fq.quantize_cached(b)
+        np.testing.assert_allclose(qb, fq(b.data).astype(np.float32))
