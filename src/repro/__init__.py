@@ -12,6 +12,8 @@ quantization accuracy, plus every substrate the paper's evaluation rests on:
 * :mod:`repro.data` — procedural image-classification and GLUE-style tasks.
 * :mod:`repro.hardware` — gate-level netlists, 45nm-style cell library, and
   the Kulisch-accumulator MAC units of the paper's hardware study.
+* :mod:`repro.engine` — vectorized true-quantized inference: bit-true
+  Kulisch arithmetic in 8-bit code space (PTQ ``mode="engine"``).
 * :mod:`repro.experiments` — one driver per paper table/figure.
 """
 

@@ -6,8 +6,9 @@ formats
     List the supported formats with ranges and precision.
 inspect FORMAT [VALUE|CODE]
     Decode a code (``0x..``/``0b..``/int) or encode a value.
-ptq MODEL [--formats F1,F2] [--eval N]
-    Run the paper's PTQ recipe on one zoo model.
+ptq MODEL [--formats F1,F2] [--eval N] [--mode fakequant|engine]
+    Run the paper's PTQ recipe on one zoo model (optionally through the
+    bit-true quantized inference engine).
 hardware [--formats F1,F2] [--stream N]
     Build the MAC units, verify exactness and report area/power.
 experiments [NAMES...] [--jobs N]
@@ -49,6 +50,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_ptq.add_argument("--formats", default="INT8,FP(8,4),Posit(8,1),MERSIT(8,2)")
     p_ptq.add_argument("--eval", type=int, default=300, dest="eval_n")
     p_ptq.add_argument("--calib", type=int, default=100, dest="calib_n")
+    p_ptq.add_argument("--mode", default="fakequant",
+                       choices=("fakequant", "engine"),
+                       help="fakequant estimate or bit-true engine inference")
 
     p_hw = sub.add_parser("hardware", help="MAC area/power report")
     p_hw.add_argument("--formats", default="FP(8,4),Posit(8,1),MERSIT(8,2)")
@@ -123,7 +127,8 @@ def _cmd_ptq(args) -> int:
     fp32 = score()
     print(f"{args.model} FP32 {entry.metric}: {fp32:.2f} (train-time ref {ref:.2f})")
     for name in _split_formats(args.formats):
-        quantize_model(model, PTQConfig(weight_format=name.strip()),
+        quantize_model(model,
+                       PTQConfig(weight_format=name.strip(), mode=args.mode),
                        calib.batches(50), forward=fwd)
         s = score()
         dequantize_model(model)

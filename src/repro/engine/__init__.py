@@ -1,0 +1,30 @@
+"""True-quantized inference engine: bit-true Kulisch arithmetic, fast.
+
+The fake-quant PTQ path estimates low-precision accuracy while computing
+every layer in float.  This package *executes* layers in format-code
+space, the way the paper's hardware would:
+
+1. decode 8-bit codes to integer (sign, exponent, significand) planes
+   (:mod:`~repro.engine.planes`),
+2. accumulate products exactly in blocked int64 fixed point over the full
+   Kulisch product range (:mod:`~repro.engine.kulisch`),
+3. re-encode each output once — the MAC's single rounding.
+
+It is bit-exact against the ``Fraction`` reference
+(:func:`repro.formats.arithmetic.dot`) and the gate-level
+:class:`repro.hardware.mac.MacUnit`, but runs whole layers in
+milliseconds (``benchmarks/bench_engine.py``).  Layer-level execution and
+the ``mode="engine"`` PTQ hook live in :mod:`~repro.engine.executor`.
+"""
+
+from .kulisch import dot_exact, matmul_exact, qdot, qmatmul
+from .planes import BLOCK, CodePlanes, clear_planes_cache, planes_for
+from .executor import (
+    Conv2dEngine, LayerEngine, LinearEngine, build_layer_engine,
+)
+
+__all__ = [
+    "qdot", "qmatmul", "dot_exact", "matmul_exact",
+    "BLOCK", "CodePlanes", "planes_for", "clear_planes_cache",
+    "LayerEngine", "LinearEngine", "Conv2dEngine", "build_layer_engine",
+]

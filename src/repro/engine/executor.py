@@ -1,0 +1,150 @@
+"""True-quantized layer execution: run Linear/Conv2d through the engine.
+
+A :class:`LayerEngine` replays the paper's datapath for one calibrated
+layer (Fig. 2): activations and weights are scaled exactly as in the
+fake-quant path, *encoded to 8-bit codes* (through the bit-LUT kernels),
+contracted with the exact Kulisch matmul (:func:`repro.engine.kulisch
+.qmatmul`), and each output is re-encoded to the format once — the MAC's
+single output rounding, which the fake-quant estimator does not model —
+then decoded and rescaled back to real units.  The bias is added in full
+precision afterwards, matching the fake-quant convention.
+
+Engines are attached by :func:`repro.quant.ptq.quantize_model` when the
+config asks for ``mode="engine"`` and are picked up by the layer
+``forward`` methods (see :class:`repro.nn.layers.QuantizableMixin`).
+Weight codes are computed once at attach time — weights are static after
+calibration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .kulisch import qmatmul
+
+__all__ = ["LayerEngine", "LinearEngine", "Conv2dEngine", "build_layer_engine"]
+
+
+class LayerEngine:
+    """Shared scaling/encode plumbing of the true-quantized layers.
+
+    Parameters mirror the fake-quant transform ``q = fmt.quantize(x*g/s)``:
+    inputs are encoded at scale ``g_a/s_a`` (per tensor), weights at
+    ``g_w/s_w`` (per output channel when calibrated per-channel), and the
+    output is rescaled by the product of the inverse factors.
+    """
+
+    def __init__(self, layer, wfmt, afmt, w_scale, a_scale,
+                 w_gain: float, a_gain: float):
+        self.wfmt = wfmt
+        self.afmt = afmt
+        self.w_scale = np.asarray(w_scale, dtype=np.float64)
+        self.a_scale = float(a_scale)
+        self.w_gain = float(w_gain)
+        self.a_gain = float(a_gain)
+        # degenerate calibrations: the exact clamps of quantize_with_scale,
+        # so engine and fake-quant scale factors are bit-identical
+        tiny = np.finfo(np.float64).tiny
+        self.a_scale = 1.0 if self.a_scale <= 0 else max(self.a_scale, tiny)
+        self.w_scale = np.where(self.w_scale <= 0.0, 1.0,
+                                np.maximum(self.w_scale, tiny))
+        self.bias = None if layer.bias is None else layer.bias.data.astype(np.float64)
+        w = layer.weight.data.astype(np.float64)
+        wshape = [1] * w.ndim
+        if self.w_scale.ndim:
+            wshape[0] = self.w_scale.shape[0]
+        self._w_rescale = self.w_scale.reshape(wshape) / self.w_gain
+        self.w_codes = wfmt.encode_array(w / self._w_rescale).astype(np.int64)
+        # per-output-channel factor restoring real units after decode
+        self.out_rescale = (self.a_scale / self.a_gain) * \
+            (self.w_scale.reshape(-1) / self.w_gain)
+
+    def encode_input(self, x: np.ndarray) -> np.ndarray:
+        """Scale a float activation tensor and encode it to codes."""
+        x = np.asarray(x, dtype=np.float64)
+        return self.afmt.encode_array(x * (self.a_gain / self.a_scale)).astype(np.int64)
+
+    def _contract(self, x_codes: np.ndarray, w_codes_t: np.ndarray) -> np.ndarray:
+        """(rows, k) x (k, cout) code matmul -> decoded float values."""
+        out_codes = qmatmul(self.afmt, x_codes, w_codes_t,
+                            fmt_b=self.wfmt, out_fmt=self.afmt)
+        return self.afmt.decode_array(out_codes)
+
+
+class LinearEngine(LayerEngine):
+    """True-quantized ``y = x W^T + b`` (weight shape (out, in))."""
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x)
+        lead = x.shape[:-1]
+        rows = self.encode_input(x.reshape(-1, x.shape[-1]))
+        vals = self._contract(rows, self.w_codes.T)
+        y = vals * self.out_rescale
+        if self.bias is not None:
+            y = y + self.bias
+        return y.reshape(*lead, -1)
+
+
+class Conv2dEngine(LayerEngine):
+    """True-quantized 2-D convolution via im2col over the code tensor.
+
+    Padding inserts the format's canonical zero code, so padded positions
+    contribute exactly nothing to the Kulisch sum.
+    """
+
+    def __init__(self, layer, wfmt, afmt, w_scale, a_scale, w_gain, a_gain):
+        super().__init__(layer, wfmt, afmt, w_scale, a_scale, w_gain, a_gain)
+        self.stride = layer.stride
+        self.padding = layer.padding
+        self.groups = layer.groups
+        self.zero_code = int(afmt.encode_array(np.zeros(1))[0])
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        n, c_in, h, w = x.shape
+        c_out, c_g, kh, kw = self.w_codes.shape
+        g = self.groups
+        og = c_out // g
+        codes = self.encode_input(x)
+        if self.padding:
+            p = self.padding
+            codes = np.pad(codes, ((0, 0), (0, 0), (p, p), (p, p)),
+                           constant_values=self.zero_code)
+        windows = np.lib.stride_tricks.sliding_window_view(codes, (kh, kw), axis=(2, 3))
+        windows = windows[:, :, ::self.stride, ::self.stride]
+        oh, ow = windows.shape[2], windows.shape[3]
+        p_out = oh * ow
+        k = c_g * kh * kw
+        cols = (windows.reshape(n, g, c_g, oh, ow, kh, kw)
+                .transpose(0, 1, 3, 4, 2, 5, 6).reshape(n, g, p_out, k))
+        w_mat = self.w_codes.reshape(g, og, k)
+        out = np.empty((n, g, og, p_out), dtype=np.float64)
+        for gi in range(g):
+            vals = self._contract(cols[:, gi].reshape(n * p_out, k),
+                                  w_mat[gi].T)                # (n*p, og)
+            out[:, gi] = vals.reshape(n, p_out, og).transpose(0, 2, 1)
+        y = out.reshape(n, c_out, oh, ow) * self.out_rescale.reshape(1, c_out, 1, 1)
+        if self.bias is not None:
+            y = y + self.bias.reshape(1, c_out, 1, 1)
+        return y
+
+
+def build_layer_engine(layer, wfmt, afmt, gain_override=None) -> LayerEngine:
+    """Build the engine for a calibrated quantizable layer.
+
+    Reads the scales off the layer's (already calibrated) fake quantizers,
+    so the engine evaluates exactly the quantization the fake-quant path
+    would — only the arithmetic differs.
+    """
+    from ..nn.layers import Conv2d, Linear
+
+    if layer.weight_quant is None or not layer.input_quant.calibrated:
+        raise RuntimeError("layer must be calibrated before attaching an engine")
+    w_gain = wfmt.quantization_gain if gain_override is None else gain_override
+    a_gain = afmt.quantization_gain if gain_override is None else gain_override
+    args = (layer, wfmt, afmt, layer.weight_quant.scale,
+            float(layer.input_quant.scale), w_gain, a_gain)
+    if isinstance(layer, Conv2d):
+        return Conv2dEngine(*args)
+    if isinstance(layer, Linear):
+        return LinearEngine(*args)
+    raise TypeError(f"no engine for layer type {type(layer).__name__}")

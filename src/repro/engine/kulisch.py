@@ -1,0 +1,236 @@
+"""Vectorized Kulisch accumulation in code space.
+
+A dot product of two 8-bit code streams is computed *exactly* as an
+integer: every operand is ``msig * 2^(pmin + texp)`` (see
+:mod:`repro.engine.planes`), so a product is an integer significand
+product shifted by the exponent sum, and a dot product is an exact
+fixed-point integer in units of ``2^lsb`` with ``lsb = pmin_a + pmin_b``
+— the software analogue of the paper's Fig. 2 Kulisch accumulator, with
+no intermediate rounding regardless of accumulation length.
+
+The full shift range (up to ``2*span`` binades, ~190 bits for
+Posit(8,3)) does not fit an int64, so the accumulation is *blocked*:
+with ``texp = h*BLOCK + l``, the in-word shift ``l`` is baked into the
+operand planes and each pair of exponent blocks ``(h_a, h_b)``
+contributes one plain int64 matmul to the limb ``H = h_a + h_b``.  The
+exact accumulator value is ``sum_H limbs[H] << (BLOCK*H)``; blocks with
+no operands are skipped, so well-scaled tensors (the PTQ case: data
+concentrated around 2^0) cost only a handful of int64 matmuls.
+
+The final re-encode — the MAC's single output rounding — is exact:
+accumulator integers are compared against the codebook midpoints as
+integers (never through float64), with the repo-wide round-to-nearest,
+ties-away-from-zero rule.  When the operand exponent ranges allow it,
+the compare is a single vectorized ``searchsorted`` against int64
+midpoint units; otherwise a float64 approximation proposes a candidate
+index and an exact arbitrary-precision fix-up settles values near a
+midpoint.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+import numpy as np
+
+from .planes import BLOCK, CodePlanes, planes_for
+
+__all__ = ["qdot", "qmatmul", "dot_exact", "matmul_exact"]
+
+
+def _as_code_matrix(codes, name: str) -> np.ndarray:
+    arr = np.ascontiguousarray(codes, dtype=np.int64)
+    if arr.ndim != 2:
+        raise ValueError(f"{name} must be 2-D (got shape {arr.shape})")
+    return arr
+
+
+def _limb_matmul(pa: CodePlanes, pb: CodePlanes,
+                 a: np.ndarray, b: np.ndarray) -> tuple[np.ndarray, bool]:
+    """Blocked exact matmul: (m,k) @ (k,n) codes -> limbs.
+
+    Returns ``(limbs, is_object)`` where ``limbs[H]`` has shape (m, n) and
+    the exact value is ``sum_H limbs[H] * 2^(lsb + BLOCK*H)``.  Limbs are
+    int64 when the contraction provably cannot overflow, else Python ints
+    (object dtype) accumulated chunk-wise.
+    """
+    k = a.shape[1]
+    ha_max = pa.max_block(a)
+    hb_max = pb.max_block(b)
+    nlimbs = ha_max + hb_max + 1
+    # per-element product < 2^(mbA+mbB+2*BLOCK); limbs with the same H sum
+    # k * npairs such terms
+    npairs = min(ha_max, hb_max) + 1
+    term_bits = pa.msig_bits + pb.msig_bits + 2 * BLOCK
+    headroom = 62 - term_bits
+    safe_terms = 1 << max(headroom, 0)
+
+    def chunk_limbs(a_chunk: np.ndarray, b_chunk: np.ndarray) -> np.ndarray:
+        limbs = np.zeros((nlimbs, a_chunk.shape[0], b_chunk.shape[1]),
+                         dtype=np.int64)
+        for ha in range(ha_max + 1):
+            ablk = pa.blocked[ha][a_chunk]
+            if not ablk.any():
+                continue
+            for hb in range(hb_max + 1):
+                bblk = pb.blocked[hb][b_chunk]
+                if not bblk.any():
+                    continue
+                limbs[ha + hb] += ablk @ bblk
+        return limbs
+
+    if k * npairs <= safe_terms:
+        return chunk_limbs(a, b), False
+    # contraction too long for int64 limbs: chunk it and carry the partial
+    # sums as exact Python ints
+    step = max(safe_terms // max(npairs, 1), 1)
+    total = np.zeros((nlimbs, a.shape[0], b.shape[1]), dtype=object)
+    for lo in range(0, k, step):
+        total += chunk_limbs(a[:, lo:lo + step], b[lo:lo + step, :])
+    return total, True
+
+
+def _combine_int64(limbs: np.ndarray) -> np.ndarray:
+    """``sum_H limbs[H] << (BLOCK*H)`` in int64 (caller checked the bound)."""
+    total = limbs[0].copy()
+    for h in range(1, limbs.shape[0]):
+        total += limbs[h] << np.int64(BLOCK * h)
+    return total
+
+
+def _combine_object(limbs: np.ndarray) -> np.ndarray:
+    """The same combine with exact Python-int elements."""
+    total = limbs[0].astype(object)
+    for h in range(1, limbs.shape[0]):
+        total = total + (limbs[h].astype(object) << (BLOCK * h))
+    return total
+
+
+def _encode_int64(po: CodePlanes, total: np.ndarray, lsb: int) -> np.ndarray:
+    """Exact vectorized re-encode when midpoints fit int64 lsb units.
+
+    ``mid * 2^-lsb`` is an integer whenever ``lsb <= -mid_den_exp`` — the
+    accumulator grid is then at least as fine as the midpoint grid — and
+    the compare is ordinary integer ``searchsorted``.
+    """
+    up = -po.mid_den_exp - lsb
+    mid_units = np.array([n << up for n in po.mid_num], dtype=np.int64)
+    idx = np.searchsorted(mid_units, total, side="left")
+    on_mid = (idx < len(mid_units)) & (mid_units[np.minimum(idx, len(mid_units) - 1)] == total)
+    idx = idx + (on_mid & (total > 0))
+    return po.sorted_codes[idx]
+
+
+def _above_mid(po: CodePlanes, total: int, lsb: int, i: int) -> bool:
+    """Does the exact value ``total * 2^lsb`` round above midpoint ``i``?
+
+    True when the value is strictly greater, or equal with the midpoint
+    positive (ties away from zero).
+    """
+    num = po.mid_num[i]
+    shift = lsb + po.mid_den_exp
+    if shift >= 0:
+        lhs, rhs = total << shift, num
+    else:
+        lhs, rhs = total, num << (-shift)
+    return lhs > rhs or (lhs == rhs and num > 0)
+
+
+def _encode_object(po: CodePlanes, total: np.ndarray, lsb: int) -> np.ndarray:
+    """Exact re-encode for arbitrary-width accumulators.
+
+    A float64 approximation proposes an index (off by at most one step);
+    exact integer comparisons against the neighbouring midpoints settle it.
+    """
+    scale = math.ldexp(1.0, lsb)
+    approx = total.astype(np.float64) * scale
+    idx = np.searchsorted(po.mid_floats, approx, side="left").ravel()
+    flat = total.ravel()
+    nmids = len(po.mid_num)
+    for j in range(flat.size):
+        t = int(flat[j])
+        i = int(idx[j])
+        while i > 0 and not _above_mid(po, t, lsb, i - 1):
+            i -= 1
+        while i < nmids and _above_mid(po, t, lsb, i):
+            i += 1
+        idx[j] = i
+    return po.sorted_codes[idx.reshape(total.shape)]
+
+
+def _matmul_codes(pa: CodePlanes, pb: CodePlanes, po: CodePlanes,
+                  a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    lsb = pa.pmin + pb.pmin
+    limbs, is_object = _limb_matmul(pa, pb, a, b)
+    if not is_object:
+        # |total| < 2^bound_bits in lsb units, from the blocks actually present
+        k = max(a.shape[1], 1)
+        bound_bits = (BLOCK * (pa.max_block(a) + pb.max_block(b))
+                      + pa.msig_bits + pb.msig_bits + 2 * BLOCK
+                      + k.bit_length())
+        mid_bits = (max((n.bit_length() for n in po.mid_num), default=1)
+                    + max(-po.mid_den_exp - lsb, 0))
+        if bound_bits <= 62 and mid_bits <= 62 and lsb <= -po.mid_den_exp:
+            return _encode_int64(po, _combine_int64(limbs), lsb)
+        total = _combine_object(limbs)
+    else:
+        total = _combine_object(limbs)
+    return _encode_object(po, total, lsb)
+
+
+def qmatmul(fmt, a_codes, b_codes, fmt_b=None, out_fmt=None) -> np.ndarray:
+    """True-quantized matmul: ``(m,k) @ (k,n)`` code arrays -> code array.
+
+    Each output element is the exact Kulisch dot product of a row of
+    ``a_codes`` with a column of ``b_codes``, re-encoded to ``out_fmt``
+    (default: ``fmt``) with a single rounding.  ``fmt_b`` supports
+    mixed-format ablations; the paper's MAC has ``fmt_b == fmt``.
+    """
+    pa = planes_for(fmt)
+    pb = planes_for(fmt_b) if fmt_b is not None else pa
+    po = planes_for(out_fmt) if out_fmt is not None else pa
+    a = _as_code_matrix(a_codes, "a_codes")
+    b = _as_code_matrix(b_codes, "b_codes")
+    if a.shape[1] != b.shape[0]:
+        raise ValueError(f"contraction mismatch: {a.shape} @ {b.shape}")
+    return _matmul_codes(pa, pb, po, a, b)
+
+
+def matmul_exact(fmt, a_codes, b_codes, fmt_b=None) -> tuple[np.ndarray, int]:
+    """The unrounded accumulators: ``(totals, lsb)``.
+
+    ``totals`` is an object array of exact Python ints; element values are
+    ``totals[i, j] * 2^lsb``.  This is the engine-side twin of the exact
+    sum returned by :func:`repro.formats.arithmetic.dot`.
+    """
+    pa = planes_for(fmt)
+    pb = planes_for(fmt_b) if fmt_b is not None else pa
+    a = _as_code_matrix(a_codes, "a_codes")
+    b = _as_code_matrix(b_codes, "b_codes")
+    if a.shape[1] != b.shape[0]:
+        raise ValueError(f"contraction mismatch: {a.shape} @ {b.shape}")
+    limbs, _ = _limb_matmul(pa, pb, a, b)
+    return _combine_object(limbs), pa.pmin + pb.pmin
+
+
+def qdot(fmt, a_codes, b_codes) -> int:
+    """True-quantized dot product of two 1-D code vectors -> output code."""
+    a = np.asarray(a_codes, dtype=np.int64).reshape(1, -1)
+    b = np.asarray(b_codes, dtype=np.int64).reshape(-1, 1)
+    if a.shape[1] != b.shape[0]:
+        raise ValueError("operand code arrays must have the same length")
+    return int(qmatmul(fmt, a, b)[0, 0])
+
+
+def dot_exact(fmt, a_codes, b_codes) -> tuple[int, Fraction]:
+    """Engine dot with the exact sum, signature-compatible with
+    :func:`repro.formats.arithmetic.dot` for differential testing."""
+    a = np.asarray(a_codes, dtype=np.int64).reshape(1, -1)
+    b = np.asarray(b_codes, dtype=np.int64).reshape(-1, 1)
+    if a.shape[1] != b.shape[0]:
+        raise ValueError("operand code arrays must have the same length")
+    total, lsb = matmul_exact(fmt, a, b)
+    exact = Fraction(int(total[0, 0])) * Fraction(2) ** lsb
+    code = int(qmatmul(fmt, a, b)[0, 0])
+    return code, exact

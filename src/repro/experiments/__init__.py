@@ -1,6 +1,9 @@
 """Experiment drivers, one per paper table/figure (see DESIGN.md index)."""
 
-from . import common, fig2, fig4, fig6, fig7, headline, table1, table2, table3
+from . import (
+    common, engine_delta, fig2, fig4, fig6, fig7, headline, table1, table2,
+    table3,
+)
 
 __all__ = ["common", "table1", "fig2", "fig4", "table2", "fig6", "fig7",
-           "table3", "headline"]
+           "table3", "headline", "engine_delta"]

@@ -1,0 +1,80 @@
+"""Experiment engine_delta: fake-quant vs true-quantized accuracy.
+
+The fake-quant PTQ path (and the paper's Table 2) estimates low-precision
+accuracy while accumulating in float64 without rounding layer outputs.
+The hardware (Fig. 2) accumulates exactly in the Kulisch register but
+*re-encodes every MAC output to the 8-bit format* — one extra rounding
+per output that the estimator does not model.  This experiment quantifies
+that modelling gap: it scores one GLUE zoo model under both the
+fake-quant path and the true-quantized engine (:mod:`repro.engine`,
+``mode="engine"``) and reports the accuracy delta per format.
+
+A small delta is the evidence that fake-quant PTQ numbers transfer to
+the real datapath; a large delta would mean Table 2-style evaluations
+overstate deployable accuracy for that format.
+"""
+
+from __future__ import annotations
+
+from ..quant import PTQConfig, dequantize_model, quantize_model
+from ..zoo import ALL_MODELS, evaluate_text, glue_task, pretrained
+from .common import format_table, load_artifact, save_artifact
+
+__all__ = ["DELTA_FORMATS", "run", "render"]
+
+#: headline pair: the paper's proposed format and its accuracy peer
+DELTA_FORMATS = ("MERSIT(8,2)", "Posit(8,1)")
+
+_ARTIFACT = "engine_delta"
+
+
+def _eval_pair(model_name: str, fmt_name: str, eval_n: int,
+               calib_n: int) -> dict:
+    """Score one model/format under fakequant and engine modes."""
+    entry = ALL_MODELS[model_name]
+    if entry.kind != "glue":
+        raise ValueError("engine_delta targets the GLUE zoo models")
+    task = glue_task(entry.task)
+    calib = task.calibration_split(calib_n)
+    test = task.test_split(eval_n)
+    scores = {}
+    for mode in ("fakequant", "engine"):
+        model, _ = pretrained(model_name)
+        quantize_model(model, PTQConfig(weight_format=fmt_name, mode=mode),
+                       calib.batches(50),
+                       forward=lambda m, b: m(b[0], b[1]))
+        scores[mode] = float(evaluate_text(model, test, entry.metric))
+        dequantize_model(model)
+    scores["delta"] = scores["engine"] - scores["fakequant"]
+    return scores
+
+
+def run(model: str = "SST-2", formats: tuple[str, ...] = DELTA_FORMATS,
+        eval_n: int = 128, calib_n: int = 32, refresh: bool = False) -> dict:
+    """Fill (incrementally) the fakequant-vs-engine delta table.
+
+    Keyed ``rows[format] -> {fakequant, engine, delta}`` on one zoo model
+    (default SST-2: the Linear-only MiniBERT, where every compute layer
+    runs through the engine).
+    """
+    art = (load_artifact(_ARTIFACT) or {}) if not refresh else {}
+    meta_key = f"{model}/{eval_n}/{calib_n}"
+    rows = art.get("rows", {}) if art.get("meta_key") == meta_key else {}
+    for fmt_name in formats:
+        if fmt_name not in rows:
+            rows[fmt_name] = _eval_pair(model, fmt_name, eval_n, calib_n)
+            save_artifact(_ARTIFACT, {"model": model, "rows": rows,
+                                      "meta_key": meta_key})
+    result = {"model": model, "rows": rows, "meta_key": meta_key}
+    save_artifact(_ARTIFACT, result)
+    return result
+
+
+def render(result: dict | None = None) -> str:
+    """Plain-text delta table."""
+    result = result or (load_artifact(_ARTIFACT) or run())
+    headers = ["Format", "fakequant", "engine", "delta"]
+    rows = [[name, vals["fakequant"], vals["engine"], vals["delta"]]
+            for name, vals in sorted(result["rows"].items())]
+    return (f"Fake-quant vs true-quantized accuracy ({result['model']})\n"
+            + format_table(headers, rows, floatfmt=".2f"))

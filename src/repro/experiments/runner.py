@@ -2,11 +2,12 @@
 
 Usage::
 
-    python -m repro.experiments.runner [--jobs N] [all | table1 fig2 fig4 fig6 fig7 table3 headline table2]
+    python -m repro.experiments.runner [--jobs N] \
+        [all | table1 fig2 fig4 fig6 fig7 table3 headline table2 engine_delta]
 
-Without arguments runs everything except the full Table 2 grid (which
-takes the longest; run it explicitly, as part of ``all``, or via its
-benchmark).  ``--jobs N`` parallelises the Table 2 grid fill across N
+Without arguments runs everything except the two expensive grids — the
+full Table 2 fill and the fakequant-vs-true-quantized ``engine_delta``
+table (run those explicitly or as part of ``all``).  ``--jobs N`` parallelises the Table 2 grid fill across N
 worker processes (the other experiments are cheap and stay serial).
 """
 
@@ -15,7 +16,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from . import fig2, fig4, fig6, fig7, headline, table1, table2, table3
+from . import engine_delta, fig2, fig4, fig6, fig7, headline, table1, table2, table3
 
 EXPERIMENTS = {
     "table1": table1,
@@ -26,12 +27,13 @@ EXPERIMENTS = {
     "table3": table3,
     "headline": headline,
     "table2": table2,
+    "engine_delta": engine_delta,
 }
 
 DEFAULT = ["table1", "fig2", "fig4", "fig6", "fig7", "table3", "headline"]
 
-#: the ``all`` pseudo-experiment: the fast set plus the Table 2 grid
-ALL = DEFAULT + ["table2"]
+#: the ``all`` pseudo-experiment: the fast set plus the expensive grids
+ALL = DEFAULT + ["table2", "engine_delta"]
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -5,15 +5,27 @@ operands, compute exactly over rationals, and re-round to the nearest
 representable value; :func:`dot` accumulates the whole product list
 exactly before the single final rounding — the software model of the
 paper's Kulisch accumulator, and the reference the gate-level MAC +
-encoder chain is compared against.
+encoder chain and the vectorized :mod:`repro.engine` are compared
+against.
 
 Exactness is guaranteed by ``fractions.Fraction``: every finite format
 value is a dyadic rational, so sums and products are representable
 without error.
+
+Rounding rule
+-------------
+One rule everywhere: **round to nearest, ties away from zero**, the same
+convention as :meth:`CodebookFormat.quantize_reference` and the bit-LUT
+kernels (:mod:`repro.kernels.lut`).  :func:`_round_to_code` implements it
+with exact rational midpoint comparisons — it never converts the
+accumulated value to a float first, because a ``Fraction -> float64``
+cast rounds to 53 bits and that double rounding can push a value across
+a codebook midpoint (wide-format sums span hundreds of bits).
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from fractions import Fraction
 
 import numpy as np
@@ -24,20 +36,50 @@ __all__ = ["fmt_mul", "fmt_add", "dot", "exact_value"]
 
 
 def exact_value(fmt: CodebookFormat, code: int) -> Fraction:
-    """The exact rational value of a finite code (0 for specials)."""
+    """The exact rational value of a finite code (0 for specials).
+
+    Every finite value of an enumerable format is an exactly-represented
+    float64, so ``Fraction(value)`` is exact.  Going through the float
+    (rather than re-assembling sign/exponent/fraction fields) also stays
+    faithful for formats whose decomposition fields are not of the
+    ``(1 + f) * 2^e`` form — INT8 reports ``fraction_bits=0`` yet
+    represents non-powers-of-two.
+    """
     d = fmt.decode(int(code))
     if not d.is_finite:
         return Fraction(0)
-    m = d.fraction_bits or 0
-    sig = Fraction((1 << m) + (d.fraction_field or 0), 1 << m)
-    e = d.effective_exponent
-    scale = Fraction(1 << e, 1) if e >= 0 else Fraction(1, 1 << (-e))
-    return (-1 if d.sign else 1) * sig * scale
+    return Fraction(d.value)
+
+
+#: per-format exact rounding tables: (codebook values as Fractions,
+#: midpoints as Fractions, code of each value)
+_ROUND_TABLES: dict[str, tuple] = {}
+
+
+def _round_tables(fmt: CodebookFormat) -> tuple:
+    tables = _ROUND_TABLES.get(fmt.name)
+    if tables is None:
+        values, codes = fmt._sorted_codes
+        vals = [Fraction(v) for v in values]
+        mids = [(a + b) / 2 for a, b in zip(vals, vals[1:])]
+        tables = _ROUND_TABLES[fmt.name] = (mids, codes)
+    return tables
 
 
 def _round_to_code(fmt: CodebookFormat, value: Fraction) -> int:
-    """Nearest-value code for an exact rational (ties to the lower code)."""
-    return int(fmt.encode(float(value)))
+    """Nearest-value code for an exact rational.
+
+    Ties round **half away from zero** (the repo-wide rule, pinned
+    together with the kernel paths in ``tests/test_engine_roundtrip.py``);
+    out-of-range magnitudes saturate to the format maximum.  All
+    comparisons are exact rational comparisons.
+    """
+    value = Fraction(value)
+    mids, codes = _round_tables(fmt)
+    idx = bisect_left(mids, value)
+    if idx < len(mids) and mids[idx] == value and value > 0:
+        idx += 1
+    return int(codes[idx])
 
 
 def fmt_mul(fmt: CodebookFormat, a: int, b: int) -> int:

@@ -8,6 +8,9 @@ quantization hooks used by :mod:`repro.quant.ptq`:
 * ``input_quant`` — applied to the incoming activation (per-tensor scale).
 * ``observing`` — when True the input quantizer only records running maxes
   (calibration pass) and the layer computes in full precision.
+* ``engine_exec`` — optional true-quantized executor
+  (:mod:`repro.engine`): when attached (PTQ ``mode="engine"``) the layer
+  bypasses the fake-quant float path entirely and computes in code space.
 
 Keeping the hooks inside the layer mirrors how fake-quant PTQ frameworks
 instrument torch modules, and keeps the zoo architectures quantization-
@@ -37,6 +40,15 @@ class QuantizableMixin:
         self.weight_quant = None
         self.input_quant = None
         self.observing = False
+        # true-quantized executor (repro.engine); attached by quantize_model
+        # when the PTQ config asks for mode="engine"
+        self.engine_exec = None
+
+    def _engine_forward(self, x: Tensor) -> Tensor | None:
+        """Run through the attached true-quantized engine, if any."""
+        if self.engine_exec is None or self.observing:
+            return None
+        return Tensor(self.engine_exec(x.data).astype(np.float32))
 
     def _maybe_quant_input(self, x: Tensor) -> Tensor:
         if self.input_quant is None:
@@ -76,6 +88,9 @@ class Linear(Module, QuantizableMixin):
         self._init_quant()
 
     def forward(self, x: Tensor) -> Tensor:
+        y = self._engine_forward(x)
+        if y is not None:
+            return y
         x = self._maybe_quant_input(x)
         return F.linear(x, self._effective_weight(), self.bias)
 
@@ -102,6 +117,9 @@ class Conv2d(Module, QuantizableMixin):
         self._init_quant()
 
     def forward(self, x: Tensor) -> Tensor:
+        y = self._engine_forward(x)
+        if y is not None:
+            return y
         x = self._maybe_quant_input(x)
         return F.conv2d(x, self._effective_weight(), self.bias,
                         stride=self.stride, padding=self.padding, groups=self.groups)

@@ -44,12 +44,18 @@ class PTQConfig:
     skip:
         Optional predicate ``(name, module) -> bool``; layers for which it
         returns True stay in full precision.
+    mode:
+        ``"fakequant"`` (default) estimates quantization in float;
+        ``"engine"`` additionally attaches a true-quantized executor
+        (:mod:`repro.engine`) to every quantized layer after calibration,
+        so inference runs bit-true Kulisch arithmetic in code space.
     """
 
     weight_format: CodebookFormat | str = "MERSIT(8,2)"
     activation_format: CodebookFormat | str | None = None
     per_channel_weights: bool = True
     skip: Callable[[str, Module], bool] | None = None
+    mode: str = "fakequant"
     #: override of the formats' quantization_gain (ablation studies only)
     gain_override: float | None = None
     #: activation calibration policy: "max" (paper), "percentile" or "mse"
@@ -58,6 +64,9 @@ class PTQConfig:
     _afmt: CodebookFormat = field(init=False, repr=False, default=None)
 
     def __post_init__(self):
+        if self.mode not in ("fakequant", "engine"):
+            raise ValueError(f"unknown PTQ mode {self.mode!r} "
+                             "(expected 'fakequant' or 'engine')")
         self._wfmt = (get_format(self.weight_format)
                       if isinstance(self.weight_format, str) else self.weight_format)
         act = self.activation_format if self.activation_format is not None else self._wfmt
@@ -139,6 +148,10 @@ def quantize_model(
         # warm the memoized weight path so the first evaluation batch does
         # not pay the one-off quantization cost (weights are static now)
         layer.weight_quant.quantize_cached(layer.weight)
+        if config.mode == "engine":
+            from ..engine import build_layer_engine
+            layer.engine_exec = build_layer_engine(
+                layer, config.wfmt, config.afmt, config.gain_override)
     return model
 
 

@@ -1,0 +1,24 @@
+"""Smoke test: benchmarks/bench_engine.py runs and emits valid JSON."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH = REPO_ROOT / "benchmarks" / "bench_engine.py"
+
+
+def test_bench_engine_fast_mode(tmp_path):
+    out = tmp_path / "BENCH_engine.json"
+    proc = subprocess.run(
+        [sys.executable, str(BENCH), "--fast", "--out", str(out)],
+        capture_output=True, text=True, timeout=600)
+    assert proc.returncode == 0, proc.stderr
+    payload = json.loads(out.read_text())
+    assert "host" in payload and payload["host"]["cpu_count"] >= 1
+    assert payload["fuzz"]["total_mismatches"] == 0
+    m = payload["matmul_64"]
+    assert m["all_bit_exact"]
+    assert m["min_speedup"] > 0
+    assert "min speedup x" in proc.stdout

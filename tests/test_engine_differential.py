@@ -1,0 +1,168 @@
+"""Differential fuzz harness: engine vs exact rationals vs gate-level MAC.
+
+Three independent implementations of the paper's Kulisch dot product are
+held to bit-identical answers on seeded random code streams:
+
+* the vectorized engine (:mod:`repro.engine`),
+* the exact-rational reference (:func:`repro.formats.arithmetic.dot`),
+* the gate-level :class:`repro.hardware.mac.MacUnit` netlist.
+
+Tier-1 runs a small per-format sample (gate-level restricted to the
+paper's three formats and short streams); the ``slow`` marker gates the
+larger sweeps.
+"""
+
+import zlib
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.engine import dot_exact, matmul_exact, qdot, qmatmul
+from repro.formats import PAPER_FORMATS, get_format, registered_formats
+from repro.formats.arithmetic import dot
+from repro.hardware.mac import MacUnit
+
+ALL_FORMATS = [fmt.name for fmt in registered_formats()]
+
+
+def _finite_codes(fmt):
+    return [c for c, d in enumerate(fmt.decoded) if d.is_finite]
+
+
+def _special_codes(fmt):
+    return [c for c, d in enumerate(fmt.decoded) if not d.is_finite]
+
+
+def _fuzz_codes(fmt, rng, n):
+    """Random codes with the occasional special sprinkled in."""
+    codes = rng.integers(0, fmt.ncodes, n)
+    specials = _special_codes(fmt)
+    if specials and n >= 4:
+        k = int(rng.integers(1, max(n // 8, 2)))
+        pos = rng.choice(n, size=k, replace=False)
+        codes[pos] = rng.choice(specials, size=k)
+    return codes
+
+
+@pytest.mark.parametrize("fmt_name", ALL_FORMATS)
+def test_fuzz_dot_matches_exact_rational(fmt_name):
+    """Engine code AND exact sum equal the Fraction reference."""
+    fmt = get_format(fmt_name)
+    rng = np.random.default_rng(zlib.crc32(fmt_name.encode()))
+    for _ in range(60):
+        n = int(rng.integers(1, 48))
+        a = _fuzz_codes(fmt, rng, n)
+        b = _fuzz_codes(fmt, rng, n)
+        code_ref, exact_ref = dot(fmt, a, b)
+        code_eng, exact_eng = dot_exact(fmt, a, b)
+        assert code_eng == code_ref
+        assert exact_eng == exact_ref
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("fmt_name", ALL_FORMATS)
+def test_fuzz_dot_matches_exact_rational_deep(fmt_name):
+    """The full-depth sweep of the same property (1000 dots per format)."""
+    fmt = get_format(fmt_name)
+    rng = np.random.default_rng(zlib.crc32(fmt_name.encode()) + 1)
+    for _ in range(1000):
+        n = int(rng.integers(1, 64))
+        a = _fuzz_codes(fmt, rng, n)
+        b = _fuzz_codes(fmt, rng, n)
+        assert qdot(fmt, a, b) == dot(fmt, a, b)[0]
+
+
+@pytest.mark.parametrize("fmt_name", ["MERSIT(8,2)", "Posit(8,1)", "INT8"])
+def test_zero_and_special_streams(fmt_name):
+    """Specials and zeros contribute exactly nothing (MAC convention)."""
+    fmt = get_format(fmt_name)
+    zero = int(fmt.encode_array(np.zeros(1))[0])
+    some = _finite_codes(fmt)[len(_finite_codes(fmt)) // 3]
+    # all-zero stream rounds to the zero code
+    assert qdot(fmt, [zero] * 8, [some] * 8) == zero
+    # specials mixed into a stream leave the sum unchanged
+    specials = _special_codes(fmt)
+    if specials:
+        a = [some, specials[0], some]
+        b = [some, some, specials[-1]]
+        code, exact = dot_exact(fmt, a, b)
+        code2, exact2 = dot_exact(fmt, [some], [some])
+        assert (code, exact) == (code2, exact2)
+
+
+@pytest.mark.parametrize("fmt_name", ["MERSIT(8,2)", "Posit(8,1)"])
+def test_saturation_stream(fmt_name):
+    """A stream of max*max products saturates to the format maximum."""
+    fmt = get_format(fmt_name)
+    vmax = max(fmt.finite_values)
+    cmax = int(fmt.encode_array(np.array([vmax]))[0])
+    assert qdot(fmt, [cmax] * 16, [cmax] * 16) == cmax
+    # alternating +max/-max products cancel exactly back to zero
+    cneg = int(fmt.encode_array(np.array([-vmax]))[0])
+    zero = int(fmt.encode_array(np.zeros(1))[0])
+    code, exact = dot_exact(fmt, [cmax, cneg] * 8, [cmax] * 16)
+    assert exact == 0 and code == zero
+
+
+@pytest.mark.parametrize("fmt_name", ["MERSIT(8,2)", "Posit(8,2)", "INT8"])
+def test_qmatmul_matches_per_element_qdot(fmt_name):
+    fmt = get_format(fmt_name)
+    rng = np.random.default_rng(7)
+    a = rng.integers(0, fmt.ncodes, (5, 9))
+    b = rng.integers(0, fmt.ncodes, (9, 4))
+    c = qmatmul(fmt, a, b)
+    for i in range(5):
+        for j in range(4):
+            assert c[i, j] == qdot(fmt, a[i], b[:, j])
+
+
+def _mac_final_value(mac, w_codes, a_codes) -> Fraction:
+    """Final gate-level accumulator state as an exact rational."""
+    acc = mac.accumulate_hw(w_codes, a_codes)[-1]
+    if acc >= 1 << (mac.acc_width - 1):  # two's complement
+        acc -= 1 << mac.acc_width
+    return Fraction(acc) * Fraction(2) ** mac.frac_lsb_exp
+
+
+@pytest.mark.parametrize("fmt_name", PAPER_FORMATS)
+def test_gate_level_mac_matches_engine(fmt_name):
+    """The netlist accumulator lands on the engine's exact sum."""
+    fmt = get_format(fmt_name)
+    mac = MacUnit(fmt)
+    finite = np.array(_finite_codes(fmt))
+    rng = np.random.default_rng(11)
+    for _ in range(3):
+        n = 6
+        a = rng.choice(finite, n)
+        b = rng.choice(finite, n)
+        _, exact = dot_exact(fmt, a, b)
+        assert _mac_final_value(mac, a, b) == exact
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("fmt_name", PAPER_FORMATS)
+def test_gate_level_mac_matches_engine_deep(fmt_name):
+    """Longer streams and more trials through the gates."""
+    fmt = get_format(fmt_name)
+    mac = MacUnit(fmt)
+    finite = np.array(_finite_codes(fmt))
+    rng = np.random.default_rng(13)
+    for _ in range(10):
+        n = int(rng.integers(4, 32))
+        a = rng.choice(finite, n)
+        b = rng.choice(finite, n)
+        _, exact = dot_exact(fmt, a, b)
+        assert _mac_final_value(mac, a, b) == exact
+
+
+def test_matmul_exact_exposes_raw_accumulators():
+    fmt = get_format("MERSIT(8,2)")
+    rng = np.random.default_rng(3)
+    a = rng.integers(0, 256, (3, 7))
+    b = rng.integers(0, 256, (7, 2))
+    totals, lsb = matmul_exact(fmt, a, b)
+    for i in range(3):
+        for j in range(2):
+            exact = Fraction(int(totals[i, j])) * Fraction(2) ** lsb
+            assert exact == dot(fmt, a[i], b[:, j])[1]

@@ -156,3 +156,33 @@ class TestQuantizedAccuracySanity:
                        forward=lambda m, b: m(Tensor(b)))
         q = self._accuracy(model, x, y)
         assert q > fp32 - 0.05
+
+
+class TestEngineMode:
+    def test_engine_attached_and_cleared(self):
+        model = tiny_cnn()
+        quantize_model(model, PTQConfig("MERSIT(8,2)", mode="engine"),
+                       batches(), forward=lambda m, b: m(Tensor(b)))
+        layers = [l for _, l in quantized_layers(model)]
+        assert all(l.engine_exec is not None for l in layers)
+        dequantize_model(model)
+        assert all(l.engine_exec is None for l in layers)
+
+    def test_engine_close_to_fakequant(self):
+        x = Tensor(batches(1)[0])
+        model = tiny_cnn()
+        quantize_model(model, PTQConfig("MERSIT(8,2)"), batches(),
+                       forward=lambda m, b: m(Tensor(b)))
+        fake = model(x).data.copy()
+        dequantize_model(model)
+        quantize_model(model, PTQConfig("MERSIT(8,2)", mode="engine"),
+                       batches(), forward=lambda m, b: m(Tensor(b)))
+        engine = model(x).data
+        # the engine adds one output rounding per MAC; everything else is
+        # identical, so outputs differ by at most a few output ULPs
+        assert not np.array_equal(fake, engine)
+        assert np.allclose(fake, engine, rtol=0.2, atol=0.2)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown PTQ mode"):
+            PTQConfig("INT8", mode="typo")

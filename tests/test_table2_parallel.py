@@ -1,0 +1,104 @@
+"""Regression: the ``--jobs N`` Table 2 fill is byte-identical to serial.
+
+The grid cells run on a fork-based process pool but are committed in
+submission order, so the artifact JSON must come out byte-for-byte the
+same as a serial fill.  The zoo is monkeypatched with tiny deterministic
+stand-ins (real quantization, fake data/metrics) so the 2x2 grid runs in
+seconds; fork workers inherit the patched module state.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, no_grad
+from repro.experiments import table2
+from repro.nn.layers import Linear
+from repro.nn.module import Module
+
+
+class _TinyModel(Module):
+    def __init__(self, seed: int):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.fc1 = Linear(8, 16, rng=rng)
+        self.fc2 = Linear(16, 4, rng=rng)
+
+    def forward(self, x):
+        return self.fc2(self.fc1(x).relu())
+
+
+class _Entry:
+    kind = "vision"
+    metric = "accuracy"
+
+
+class _Split:
+    def __init__(self, n: int):
+        rng = np.random.default_rng(n)
+        self.x = rng.normal(size=(n, 8)).astype(np.float32)
+
+    def batches(self, batch_size: int):
+        return [(self.x[i:i + batch_size],)
+                for i in range(0, len(self.x), batch_size)]
+
+
+class _Data:
+    def calibration_split(self, n):
+        return _Split(n)
+
+    def test_split(self, n):
+        return _Split(n)
+
+
+def _fake_pretrained(name: str):
+    return _TinyModel(seed=sum(map(ord, name))), {}
+
+
+def _fake_evaluate(model, split, *args):
+    with no_grad():
+        out = model(Tensor(split.x))
+    return float(np.sum(np.abs(out.data)))
+
+
+@pytest.fixture
+def tiny_zoo(monkeypatch):
+    monkeypatch.setattr(table2, "ALL_MODELS",
+                        {"tinyA": _Entry(), "tinyB": _Entry()})
+    monkeypatch.setattr(table2, "pretrained", _fake_pretrained)
+    monkeypatch.setattr(table2, "dataset", lambda: _Data())
+    monkeypatch.setattr(table2, "evaluate_vision", _fake_evaluate)
+
+
+def _run_grid(tmp_dir, monkeypatch, jobs: int) -> bytes:
+    monkeypatch.setenv("REPRO_ARTIFACTS", str(tmp_dir))
+    result = table2.run(models=["tinyA", "tinyB"],
+                        formats=["MERSIT(8,2)", "Posit(8,1)"],
+                        eval_n=16, calib_n=8, refresh=True, jobs=jobs)
+    assert set(result["grid"]) == {"tinyA", "tinyB"}
+    return (tmp_dir / "table2.json").read_bytes()
+
+
+def test_parallel_grid_is_byte_identical_to_serial(tiny_zoo, tmp_path,
+                                                   monkeypatch):
+    serial = _run_grid(tmp_path / "serial", monkeypatch, jobs=1)
+    parallel = _run_grid(tmp_path / "parallel", monkeypatch, jobs=2)
+    assert serial == parallel
+    # and a re-run over the existing artifact changes nothing (cache hit)
+    monkeypatch.setenv("REPRO_ARTIFACTS", str(tmp_path / "parallel"))
+    table2.run(models=["tinyA", "tinyB"],
+               formats=["MERSIT(8,2)", "Posit(8,1)"],
+               eval_n=16, calib_n=8, jobs=2)
+    assert (tmp_path / "parallel" / "table2.json").read_bytes() == serial
+
+
+def test_grid_scores_are_real_numbers(tiny_zoo, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_ARTIFACTS", str(tmp_path))
+    result = table2.run(models=["tinyA"], formats=["MERSIT(8,2)"],
+                        eval_n=16, calib_n=8, refresh=True)
+    row = result["grid"]["tinyA"]
+    assert set(row) == {"FP32", "MERSIT(8,2)"}
+    assert all(np.isfinite(v) for v in row.values())
+    # quantization must actually change the score of the tiny model
+    assert row["FP32"] != row["MERSIT(8,2)"]
