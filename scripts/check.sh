@@ -1,0 +1,28 @@
+#!/usr/bin/env sh
+# Repo-wide CI gate: static analysis + tier-1 tests.
+#
+#   scripts/check.sh           # lint + netlist verify + tier-1 pytest
+#   scripts/check.sh --slow    # additionally run the slow sweeps
+#
+# Exits non-zero on the first failing stage.
+set -eu
+
+cd "$(dirname "$0")/.."
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+export PYTHONPATH
+
+echo "== repro analyze lint =="
+python -m repro.cli analyze lint
+
+echo "== repro analyze netlist --all =="
+python -m repro.cli analyze netlist --all
+
+echo "== tier-1 pytest =="
+python -m pytest -x -q
+
+if [ "${1:-}" = "--slow" ]; then
+    echo "== slow sweeps =="
+    python -m pytest -x -q -m slow
+fi
+
+echo "check.sh: all gates passed"

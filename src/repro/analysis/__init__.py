@@ -1,0 +1,31 @@
+"""Static analysis: netlist structural verification and numerics linting.
+
+Two pass families keep the reproduction's claims checkable:
+
+* the **structural verifier** (:mod:`~repro.analysis.structural`,
+  :mod:`~repro.analysis.levelize`) proves every gate-level netlist behind
+  the paper's Fig. 7 / Table 3 numbers is a sound DAG — no combinational
+  loops, no floating or shorted nets, no dead logic inflating gate counts
+  — and reports each variant's levelized logic depth;
+* the **numerics linter** (:mod:`~repro.analysis.lint`) walks the Python
+  AST for the invariants PTQ correctness rests on: no silent float64
+  promotion in quantized paths, no float equality, no unseeded RNGs, no
+  ``Tensor.data`` mutation that bypasses the data-version counter.
+
+Run both from the CLI: ``repro analyze netlist --all`` and
+``repro analyze lint``; both are also tier-1 pytest gates.
+"""
+
+from .diagnostics import AnalysisReport, Diagnostic
+from .levelize import DepthRow, depth_of, depth_report, render_depth_report
+from .lint import lint_paths, lint_source
+from .run import analyze_lint, analyze_netlists
+from .structural import verify_circuit
+
+__all__ = [
+    "AnalysisReport", "Diagnostic",
+    "DepthRow", "depth_of", "depth_report", "render_depth_report",
+    "lint_paths", "lint_source",
+    "analyze_lint", "analyze_netlists",
+    "verify_circuit",
+]

@@ -1,0 +1,105 @@
+"""Diagnostic records shared by every analysis pass.
+
+A :class:`Diagnostic` is one finding — a planted combinational loop, a
+float equality, a dead gate — with a rule id, a severity, a location
+string and a human message.  Passes return plain lists of diagnostics;
+:class:`AnalysisReport` aggregates them per analysis run and renders both
+the machine-readable JSON the CI gate consumes and the human listing the
+CLI prints.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+__all__ = ["Diagnostic", "AnalysisReport", "ERROR", "WARNING"]
+
+ERROR = "error"
+WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of an analysis pass.
+
+    Attributes
+    ----------
+    rule:
+        Stable kebab-case rule id, e.g. ``"combinational-loop"`` or
+        ``"float-equality"``.
+    severity:
+        ``"error"`` (gates CI) or ``"warning"`` (reported, non-fatal).
+    where:
+        Location: ``path:line`` for lint findings, the variant name for
+        netlist findings.
+    message:
+        Human-readable description of the finding.
+    data:
+        Optional structured payload (net ids, cycle members, ...).
+    """
+
+    rule: str
+    severity: str
+    where: str
+    message: str
+    data: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form."""
+        out = {"rule": self.rule, "severity": self.severity,
+               "where": self.where, "message": self.message}
+        if self.data:
+            out["data"] = self.data
+        return out
+
+    def render(self) -> str:
+        """One-line human rendering: ``where: severity[rule] message``."""
+        return f"{self.where}: {self.severity}[{self.rule}] {self.message}"
+
+
+@dataclass
+class AnalysisReport:
+    """The aggregated outcome of one analysis run.
+
+    ``summary`` carries pass-specific counters (files linted, variants
+    verified, logic depths); ``ok`` is the CI gate: true iff no
+    error-severity diagnostic was produced.
+    """
+
+    kind: str
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    summary: dict = field(default_factory=dict)
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        """The error-severity subset."""
+        return [d for d in self.diagnostics if d.severity == ERROR]
+
+    @property
+    def ok(self) -> bool:
+        """True iff the run produced no error-severity diagnostics."""
+        return not self.errors
+
+    def extend(self, diags: list[Diagnostic]) -> None:
+        """Append a pass's findings."""
+        self.diagnostics.extend(diags)
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """Machine-readable report (stable key order)."""
+        return json.dumps({
+            "kind": self.kind,
+            "ok": self.ok,
+            "summary": self.summary,
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }, indent=indent, sort_keys=True)
+
+    def render(self) -> str:
+        """Human listing: one line per diagnostic plus a verdict line."""
+        lines = [d.render() for d in self.diagnostics]
+        n_err = len(self.errors)
+        n_warn = len(self.diagnostics) - n_err
+        verdict = "clean" if not self.diagnostics else \
+            f"{n_err} error(s), {n_warn} warning(s)"
+        lines.append(f"{self.kind}: {verdict}")
+        return "\n".join(lines)

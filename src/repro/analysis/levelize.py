@@ -1,0 +1,69 @@
+"""Levelized logic-depth report across registered netlist variants.
+
+Gate levels (critical path counted in cells rather than nanoseconds) are
+the library-independent way to compare decoder pipelines: the paper's
+grouped MERSIT decoding is shallower than the Posit leading-run detector
+regardless of cell timing.  :func:`depth_of` levelizes one circuit;
+:func:`depth_report` tabulates levels, gate count and critical-path delay
+for a set of registered variants so the numbers can sit next to the area
+figures in ``repro.hardware.report`` output and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hardware.netlist import Circuit
+
+__all__ = ["DepthRow", "depth_of", "depth_report", "render_depth_report"]
+
+
+@dataclass(frozen=True)
+class DepthRow:
+    """One variant's levelized-depth summary."""
+
+    variant: str
+    logic_depth: int
+    gate_count: int
+    critical_path_ns: float
+    depth_by_output: dict[str, int]
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form."""
+        return {"variant": self.variant, "logic_depth": self.logic_depth,
+                "gate_count": self.gate_count,
+                "critical_path_ns": round(self.critical_path_ns, 3),
+                "depth_by_output": self.depth_by_output}
+
+
+def depth_of(c: Circuit, name: str = "") -> DepthRow:
+    """Levelize one circuit into a :class:`DepthRow`."""
+    levels = c.logic_levels()
+    by_output = {oname: max((levels.get(net, 0) for net in bus), default=0)
+                 for oname, bus in c.outputs.items()}
+    return DepthRow(
+        variant=name or c.name,
+        logic_depth=c.logic_depth(),
+        gate_count=len(c.gates),
+        critical_path_ns=c.critical_path(),
+        depth_by_output=by_output,
+    )
+
+
+def depth_report(names: list[str] | None = None) -> list[DepthRow]:
+    """Depth rows for the given registered variants (default: all)."""
+    from ..hardware.variants import build_variant, registered_variants
+    rows = []
+    for name in (names or registered_variants()):
+        rows.append(depth_of(build_variant(name), name))
+    return rows
+
+
+def render_depth_report(rows: list[DepthRow]) -> str:
+    """Fixed-width human table of a depth report."""
+    header = f"{'variant':26s} {'levels':>6s} {'gates':>7s} {'path ns':>8s}"
+    lines = [header, "-" * len(header)]
+    for r in rows:
+        lines.append(f"{r.variant:26s} {r.logic_depth:>6d} {r.gate_count:>7d} "
+                     f"{r.critical_path_ns:>8.2f}")
+    return "\n".join(lines)

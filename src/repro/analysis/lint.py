@@ -1,0 +1,247 @@
+"""Numerics linter: AST checks for the invariants the PTQ stack relies on.
+
+The quantization results are only trustworthy if the Python stack never
+silently changes numeric behaviour.  Four rule families guard that:
+
+``implicit-float64``
+    Calls to numpy array constructors (``np.zeros``, ``np.full``,
+    ``np.arange``, ...) without an explicit ``dtype=`` inside *quantized
+    code paths* (``repro.quant``, ``repro.kernels``, ``repro.engine``,
+    ``repro.formats``).  Implicit float64 is how dequantized float32
+    activations get silently promoted mid-pipeline.
+
+``float-equality``
+    ``==`` / ``!=`` comparisons against float literals anywhere in the
+    tree.  Exact-zero guards are legitimate but must say so via a waiver,
+    so every remaining occurrence is a reviewed decision.
+
+``unseeded-rng``
+    RNG construction without a seed (``np.random.default_rng()``,
+    ``np.random.RandomState()``, ``random.Random()``) and use of the
+    hidden global numpy RNG (``np.random.<fn>(...)``).  Every stochastic
+    choice in the repo must be reproducible from an explicit seed.
+
+``tensor-data-mutation``
+    In-place writes through ``tensor.data[...]`` in a function that never
+    calls ``bump_version()``.  Such writes bypass the data-version counter
+    that ``FakeQuantizer.quantize_cached`` keys its cache on, producing
+    stale quantized weights.
+
+Waivers
+-------
+A finding is suppressed by an inline waiver on the flagged line or the
+line directly above::
+
+    if amax == 0.0:  # lint: allow[float-equality] exact-zero guard
+
+The justification text after the rule id is mandatory; a waiver without
+one is itself reported (``waiver-missing-reason``).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+
+from .diagnostics import ERROR, Diagnostic
+
+__all__ = ["lint_source", "lint_paths", "QUANTIZED_PACKAGES", "RULES"]
+
+#: sub-packages of repro treated as quantized code paths for dtype rules
+QUANTIZED_PACKAGES = ("quant", "kernels", "engine", "formats")
+
+#: numpy constructors that default to float64 when dtype is omitted
+_FLOAT64_CONSTRUCTORS = frozenset({
+    "zeros", "ones", "empty", "full", "arange", "linspace",
+    "eye", "identity", "array",
+})
+
+#: module-level numpy.random functions backed by the hidden global RNG
+_GLOBAL_RNG_FNS = frozenset({
+    "seed", "random", "rand", "randn", "randint", "integers", "choice",
+    "normal", "uniform", "shuffle", "permutation", "standard_normal",
+})
+
+#: every rule id the linter can emit (documented in DESIGN.md section 9)
+RULES = ("implicit-float64", "float-equality", "unseeded-rng",
+         "tensor-data-mutation", "waiver-missing-reason", "syntax-error")
+
+_WAIVER_RE = re.compile(r"#\s*lint:\s*allow\[([a-z0-9-]+)\]\s*(.*)")
+
+
+def _collect_waivers(source_lines: list[str]) -> tuple[dict, list]:
+    """Map line -> waived rule ids; also return malformed waivers.
+
+    A waiver on line L covers findings on L and L+1 (comment-above style).
+    """
+    waived: dict[int, set[str]] = {}
+    malformed: list[tuple[int, str]] = []
+    for i, line in enumerate(source_lines, start=1):
+        m = _WAIVER_RE.search(line)
+        if not m:
+            continue
+        rule, reason = m.group(1), m.group(2).strip()
+        if not reason:
+            malformed.append((i, rule))
+            continue
+        for covered in (i, i + 1) if line.lstrip().startswith("#") else (i,):
+            waived.setdefault(covered, set()).add(rule)
+    return waived, malformed
+
+
+def _dotted(node: ast.AST) -> str:
+    """Best-effort dotted name of a call target (``np.random.default_rng``)."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _is_float_literal(node: ast.AST) -> bool:
+    if isinstance(node, ast.Constant) and type(node.value) is float:
+        return True
+    # unary minus on a float literal (-0.5)
+    return (isinstance(node, ast.UnaryOp)
+            and isinstance(node.op, (ast.USub, ast.UAdd))
+            and _is_float_literal(node.operand))
+
+
+class _Visitor(ast.NodeVisitor):
+    """One-file AST walk collecting raw findings (waivers applied later)."""
+
+    def __init__(self, filename: str, quantized_path: bool):
+        self.filename = filename
+        self.quantized_path = quantized_path
+        self.findings: list[tuple[int, str, str]] = []  # (line, rule, msg)
+        self._function_stack: list[set[str]] = []
+
+    # -- helpers ---------------------------------------------------------
+    def _add(self, node: ast.AST, rule: str, message: str) -> None:
+        self.findings.append((node.lineno, rule, message))
+
+    def _enter_function(self, node) -> None:
+        calls = {_dotted(n.func).rsplit(".", 1)[-1]
+                 for n in ast.walk(node) if isinstance(n, ast.Call)}
+        self._function_stack.append(calls)
+        self.generic_visit(node)
+        self._function_stack.pop()
+
+    visit_FunctionDef = _enter_function
+    visit_AsyncFunctionDef = _enter_function
+
+    # -- implicit-float64 --------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        target = _dotted(node.func)
+        head, _, fn = target.rpartition(".")
+
+        if (self.quantized_path and head in ("np", "numpy")
+                and fn in _FLOAT64_CONSTRUCTORS
+                and not any(kw.arg == "dtype" for kw in node.keywords)):
+            self._add(node, "implicit-float64",
+                      f"{target}(...) without an explicit dtype defaults to "
+                      f"float64 in a quantized code path")
+
+        # unseeded-rng: constructors with no positional seed argument
+        if (target in ("np.random.default_rng", "numpy.random.default_rng",
+                       "np.random.RandomState", "numpy.random.RandomState",
+                       "random.Random")
+                and not node.args and not node.keywords):
+            self._add(node, "unseeded-rng",
+                      f"{target}() constructed without a seed")
+        # unseeded-rng: hidden global numpy RNG
+        elif head in ("np.random", "numpy.random") and fn in _GLOBAL_RNG_FNS:
+            self._add(node, "unseeded-rng",
+                      f"{target}(...) uses the hidden global RNG; construct "
+                      f"a seeded Generator instead")
+        self.generic_visit(node)
+
+    # -- float-equality ----------------------------------------------------
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if isinstance(op, (ast.Eq, ast.NotEq)) and (
+                    _is_float_literal(left) or _is_float_literal(right)):
+                sym = "==" if isinstance(op, ast.Eq) else "!="
+                self._add(node, "float-equality",
+                          f"float literal compared with {sym}; use a "
+                          f"tolerance or waive an intentional exact check")
+                break
+        self.generic_visit(node)
+
+    # -- tensor-data-mutation -----------------------------------------------
+    def _check_store(self, target: ast.AST, node: ast.AST) -> None:
+        if (isinstance(target, ast.Subscript)
+                and isinstance(target.value, ast.Attribute)
+                and target.value.attr == "data"):
+            bumps = self._function_stack[-1] if self._function_stack else set()
+            if "bump_version" not in bumps:
+                self._add(node, "tensor-data-mutation",
+                          "in-place write through .data[...] bypasses the "
+                          "data-version counter; rebind .data or call "
+                          "bump_version() in this function")
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_store(target, node)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_store(node.target, node)
+        self.generic_visit(node)
+
+
+def lint_source(source: str, filename: str = "<string>",
+                quantized_path: bool | None = None) -> list[Diagnostic]:
+    """Lint one source string; returns the surviving diagnostics.
+
+    ``quantized_path`` forces the dtype rule on/off; by default it is
+    inferred from the filename (membership in :data:`QUANTIZED_PACKAGES`).
+    """
+    if quantized_path is None:
+        parts = Path(filename).parts
+        quantized_path = any(p in QUANTIZED_PACKAGES for p in parts)
+    try:
+        tree = ast.parse(source, filename=filename)
+    except SyntaxError as exc:
+        return [Diagnostic(rule="syntax-error", severity=ERROR,
+                           where=f"{filename}:{exc.lineno or 0}",
+                           message=str(exc.msg))]
+    lines = source.splitlines()
+    waived, malformed = _collect_waivers(lines)
+    visitor = _Visitor(filename, quantized_path)
+    visitor.visit(tree)
+
+    diags = [Diagnostic(rule="waiver-missing-reason", severity=ERROR,
+                        where=f"{filename}:{line}",
+                        message=f"waiver for [{rule}] lacks a justification "
+                                f"(write `# lint: allow[{rule}] -- why`)")
+             for line, rule in malformed]
+    for line, rule, message in sorted(set(visitor.findings)):
+        if rule in waived.get(line, ()):
+            continue
+        diags.append(Diagnostic(rule=rule, severity=ERROR,
+                                where=f"{filename}:{line}", message=message))
+    return diags
+
+
+def lint_paths(paths: list[Path | str]) -> tuple[list[Diagnostic], int]:
+    """Lint every ``.py`` file under the given paths.
+
+    Returns (diagnostics, number of files linted).  Paths may be files or
+    directories; directories are walked recursively.
+    """
+    files: list[Path] = []
+    for p in paths:
+        p = Path(p)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.py")))
+        else:
+            files.append(p)
+    diags: list[Diagnostic] = []
+    for f in files:
+        diags.extend(lint_source(f.read_text(), filename=str(f)))
+    return diags, len(files)

@@ -1,0 +1,52 @@
+"""Orchestration for ``repro analyze``: assemble reports, pick exit codes.
+
+Two entry points mirror the CLI subcommands:
+
+* :func:`analyze_netlists` — build registered hardware variants, run the
+  structural verifier on each, and attach the levelized depth summary;
+* :func:`analyze_lint` — run the numerics linter over a source tree.
+
+Both return an :class:`~repro.analysis.diagnostics.AnalysisReport` whose
+``ok`` flag is the CI gate; the CLI maps it to the process exit code.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from .diagnostics import AnalysisReport
+from .levelize import depth_of
+from .lint import lint_paths
+from .structural import verify_circuit
+
+__all__ = ["analyze_netlists", "analyze_lint", "default_lint_root"]
+
+
+def analyze_netlists(names: list[str] | None = None) -> AnalysisReport:
+    """Verify registered netlist variants (default: the full registry)."""
+    from ..hardware.variants import build_variant, registered_variants
+    names = names or registered_variants()
+    report = AnalysisReport(kind="netlist")
+    depths = {}
+    for name in names:
+        circuit = build_variant(name)
+        report.extend(verify_circuit(circuit, name))
+        depths[name] = depth_of(circuit, name).to_dict()
+    report.summary = {"variants": names, "depth": depths}
+    return report
+
+
+def default_lint_root() -> Path:
+    """The repo's own package tree (``src/repro``), the default lint target."""
+    return Path(__file__).resolve().parents[1]
+
+
+def analyze_lint(paths: list[str] | None = None) -> AnalysisReport:
+    """Lint the given files/directories (default: all of ``src/repro``)."""
+    targets = [Path(p) for p in paths] if paths else [default_lint_root()]
+    diags, nfiles = lint_paths(targets)
+    report = AnalysisReport(kind="lint")
+    report.extend(diags)
+    report.summary = {"files": nfiles,
+                      "targets": [str(t) for t in targets]}
+    return report

@@ -1,0 +1,193 @@
+"""Netlist structural verifier over :class:`repro.hardware.netlist.Circuit`.
+
+The paper's area/power comparisons (Fig. 7, Table 3) are only as credible
+as the gate graphs behind them.  This module checks the structural
+invariants a synthesis tool would enforce:
+
+* **combinational-loop** — a cycle through combinational gates (DFF
+  outputs legitimately close feedback paths and break the search);
+* **undriven-net** — a net read by a gate or exported as an output that
+  no gate drives and that is neither a constant nor a primary input;
+* **multiply-driven-net** — two or more gates driving one net (a short);
+* **arity / width** — gate input counts must match the cell library
+  definition, all nets must be in the allocated id range, every declared
+  output bus must be non-empty;
+* **dead-logic** — gates outside the cone of influence of the declared
+  outputs (reported as warnings: dead logic simulates fine but inflates
+  the gate counts the paper's Table 3 claims rest on).
+
+``verify_circuit`` runs every pass and returns the combined findings.
+"""
+
+from __future__ import annotations
+
+from ..hardware.cells import CELLS
+from ..hardware.netlist import Circuit
+from .diagnostics import ERROR, WARNING, Diagnostic
+
+__all__ = [
+    "find_combinational_loops", "find_undriven_nets", "find_multiply_driven",
+    "check_arity", "find_dead_logic", "verify_circuit",
+]
+
+
+def _state_nets(c: Circuit) -> set[int]:
+    return {g.output for g in c._dffs}
+
+
+def find_combinational_loops(c: Circuit, name: str = "") -> list[Diagnostic]:
+    """Cycle search on the combinational gate graph (DFFs break paths)."""
+    state = _state_nets(c)
+    producers = {}
+    for g in c.gates:
+        producers.setdefault(g.output, g)
+    WHITE, GREY, BLACK = 0, 1, 2
+    color: dict[int, int] = {}
+    diags: list[Diagnostic] = []
+    reported: set[frozenset] = set()
+
+    for root in c.gates:
+        if color.get(id(root), WHITE) != WHITE or root.output in state:
+            continue
+        # iterative DFS with an explicit path stack for cycle extraction
+        stack = [(root, iter(root.inputs))]
+        color[id(root)] = GREY
+        path = [root]
+        while stack:
+            node, it = stack[-1]
+            advanced = False
+            for net in it:
+                p = producers.get(net)
+                if p is None or p.output in state:
+                    continue
+                cstat = color.get(id(p), WHITE)
+                if cstat == GREY:
+                    # found a cycle: slice the current path at p
+                    idx = next(i for i, g in enumerate(path) if g is p)
+                    cycle = path[idx:]
+                    key = frozenset(id(g) for g in cycle)
+                    if key not in reported:
+                        reported.add(key)
+                        nets = [g.output for g in cycle]
+                        diags.append(Diagnostic(
+                            rule="combinational-loop", severity=ERROR,
+                            where=name or c.name,
+                            message=(f"combinational cycle through "
+                                     f"{len(cycle)} gate(s), nets {nets}"),
+                            data={"nets": nets}))
+                elif cstat == WHITE:
+                    color[id(p)] = GREY
+                    stack.append((p, iter(p.inputs)))
+                    path.append(p)
+                    advanced = True
+                    break
+            if not advanced:
+                color[id(node)] = BLACK
+                stack.pop()
+                path.pop()
+    return diags
+
+
+def find_undriven_nets(c: Circuit, name: str = "") -> list[Diagnostic]:
+    """Nets consumed somewhere but driven by nothing."""
+    driven = {0, 1} | set(c.inputs) | {g.output for g in c.gates}
+    used: dict[int, str] = {}
+    for g in c.gates:
+        for net in g.inputs:
+            used.setdefault(net, f"input of {g.cell.name} gate")
+    for oname, bus in c.outputs.items():
+        for net in bus:
+            used.setdefault(net, f"bit of output {oname!r}")
+    diags = []
+    for net in sorted(set(used) - driven):
+        diags.append(Diagnostic(
+            rule="undriven-net", severity=ERROR, where=name or c.name,
+            message=f"net {net} is undriven ({used[net]})",
+            data={"net": net}))
+    return diags
+
+
+def find_multiply_driven(c: Circuit, name: str = "") -> list[Diagnostic]:
+    """Nets with more than one driver, or drivers shorting inputs/constants."""
+    diags = []
+    for net, gates in sorted(c.drivers().items()):
+        reasons = []
+        if len(gates) > 1:
+            reasons.append(f"driven by {len(gates)} gates")
+        if net in (0, 1):
+            reasons.append("drives the constant net")
+        if net in set(c.inputs):
+            reasons.append("drives a primary input")
+        if reasons:
+            diags.append(Diagnostic(
+                rule="multiply-driven-net", severity=ERROR,
+                where=name or c.name,
+                message=f"net {net}: {'; '.join(reasons)}",
+                data={"net": net, "drivers": len(gates)}))
+    return diags
+
+
+def check_arity(c: Circuit, name: str = "") -> list[Diagnostic]:
+    """Cell-library port arity and net-id range checks."""
+    diags = []
+    nnets = c._nnets
+    for i, g in enumerate(c.gates):
+        if g.cell.name not in CELLS:
+            diags.append(Diagnostic(
+                rule="unknown-cell", severity=ERROR, where=name or c.name,
+                message=f"gate {i} instantiates unknown cell {g.cell.name!r}"))
+            continue
+        if len(g.inputs) != g.cell.inputs:
+            diags.append(Diagnostic(
+                rule="port-arity", severity=ERROR, where=name or c.name,
+                message=(f"gate {i} ({g.cell.name}) has {len(g.inputs)} "
+                         f"inputs, cell defines {g.cell.inputs}"),
+                data={"gate": i, "cell": g.cell.name}))
+        for net in (*g.inputs, g.output):
+            if not 0 <= net < nnets:
+                diags.append(Diagnostic(
+                    rule="net-out-of-range", severity=ERROR,
+                    where=name or c.name,
+                    message=(f"gate {i} ({g.cell.name}) references net {net} "
+                             f"outside the allocated range [0, {nnets})"),
+                    data={"gate": i, "net": net}))
+    for oname, bus in c.outputs.items():
+        if len(bus) == 0:
+            diags.append(Diagnostic(
+                rule="empty-output-bus", severity=ERROR, where=name or c.name,
+                message=f"output {oname!r} is an empty bus"))
+        for net in bus:
+            if not 0 <= net < nnets:
+                diags.append(Diagnostic(
+                    rule="net-out-of-range", severity=ERROR,
+                    where=name or c.name,
+                    message=f"output {oname!r} references net {net} "
+                            f"outside the allocated range [0, {nnets})",
+                    data={"output": oname, "net": net}))
+    return diags
+
+
+def find_dead_logic(c: Circuit, name: str = "") -> list[Diagnostic]:
+    """Gates outside the cone of influence of the declared outputs."""
+    dead = c.dead_gates()
+    if not dead:
+        return []
+    cells = sorted({g.cell.name for g in dead})
+    return [Diagnostic(
+        rule="dead-logic", severity=WARNING, where=name or c.name,
+        message=(f"{len(dead)} gate(s) outside the output cone of influence "
+                 f"(cells: {', '.join(cells)}); prune_dead() removes them"),
+        data={"count": len(dead), "nets": [g.output for g in dead]})]
+
+
+def verify_circuit(c: Circuit, name: str = "") -> list[Diagnostic]:
+    """Run every structural pass on one circuit and combine the findings."""
+    diags = check_arity(c, name)
+    diags += find_multiply_driven(c, name)
+    diags += find_undriven_nets(c, name)
+    diags += find_combinational_loops(c, name)
+    # dead-logic and levelization both assume an acyclic, driven graph;
+    # skip them when the graph itself is broken
+    if not any(d.severity == ERROR for d in diags):
+        diags += find_dead_logic(c, name)
+    return diags

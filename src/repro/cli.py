@@ -15,6 +15,11 @@ experiments [NAMES...] [--jobs N]
     Run experiment drivers (table1 fig2 fig4 fig6 fig7 table3 headline
     table2, or ``all``); defaults to the fast set.  ``--jobs`` fans the
     table2 grid across worker processes.
+analyze netlist [NAMES...|--all] [--json]
+    Structural verification + levelized depth report over the registered
+    gate-level netlists (decoders, encoders, MACs).
+analyze lint [PATHS...] [--json]
+    Numerics linter over a source tree (default: ``src/repro``).
 """
 
 from __future__ import annotations
@@ -63,6 +68,21 @@ def build_parser() -> argparse.ArgumentParser:
                        help="experiment names, or 'all' (default: fast set)")
     p_exp.add_argument("--jobs", type=int, default=1,
                        help="worker processes for the table2 grid")
+
+    p_an = sub.add_parser("analyze", help="static analysis passes")
+    an_sub = p_an.add_subparsers(dest="analyze_command", required=True)
+    p_nl = an_sub.add_parser("netlist", help="verify gate-level netlists")
+    p_nl.add_argument("names", nargs="*", default=[],
+                      help="registered variant names (see --all)")
+    p_nl.add_argument("--all", action="store_true", dest="all_variants",
+                      help="verify every registered variant")
+    p_nl.add_argument("--json", action="store_true",
+                      help="machine-readable report on stdout")
+    p_li = an_sub.add_parser("lint", help="numerics linter")
+    p_li.add_argument("paths", nargs="*", default=[],
+                      help="files or directories (default: src/repro)")
+    p_li.add_argument("--json", action="store_true",
+                      help="machine-readable report on stdout")
     return parser
 
 
@@ -143,7 +163,7 @@ def _cmd_hardware(args) -> int:
     w = rng.integers(0, 256, args.stream)
     a = rng.integers(0, 256, args.stream)
     print(f"{'format':12s} {'exact':>6s} {'area um^2':>10s} {'power uW':>9s} "
-          f"{'path ns':>8s} {'acc bits':>9s}")
+          f"{'path ns':>8s} {'levels':>7s} {'acc bits':>9s}")
     for name in _split_formats(args.formats):
         fmt = get_format(name)
         mac = MacUnit(fmt)
@@ -151,9 +171,36 @@ def _cmd_hardware(args) -> int:
         area = mac.area().total
         power = mac.power(w, a).total
         path = mac.circuit.critical_path()
+        depth = mac.circuit.logic_depth()
         print(f"{fmt.name:12s} {'yes' if exact else 'NO':>6s} {area:10.0f} "
-              f"{power:9.1f} {path:8.2f} {mac.acc_width:9d}")
+              f"{power:9.1f} {path:8.2f} {depth:7d} {mac.acc_width:9d}")
     return 0
+
+
+def _cmd_analyze(args) -> int:
+    from .analysis import analyze_lint, analyze_netlists, render_depth_report
+    from .analysis.levelize import DepthRow
+    if args.analyze_command == "netlist":
+        names = None if (args.all_variants or not args.names) else args.names
+        report = analyze_netlists(names)
+        if args.json:
+            print(report.to_json())
+        else:
+            rows = [DepthRow(variant=n, logic_depth=d["logic_depth"],
+                             gate_count=d["gate_count"],
+                             critical_path_ns=d["critical_path_ns"],
+                             depth_by_output=d["depth_by_output"])
+                    for n, d in report.summary["depth"].items()]
+            print(render_depth_report(rows))
+            print()
+            print(report.render())
+    else:
+        report = analyze_lint(args.paths or None)
+        if args.json:
+            print(report.to_json())
+        else:
+            print(report.render())
+    return 0 if report.ok else 1
 
 
 def _cmd_experiments(args) -> int:
@@ -179,6 +226,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_hardware(args)
     if args.command == "experiments":
         return _cmd_experiments(args)
+    if args.command == "analyze":
+        return _cmd_analyze(args)
     raise AssertionError("unreachable")
 
 

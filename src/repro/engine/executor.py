@@ -97,7 +97,7 @@ class Conv2dEngine(LayerEngine):
         self.stride = layer.stride
         self.padding = layer.padding
         self.groups = layer.groups
-        self.zero_code = int(afmt.encode_array(np.zeros(1))[0])
+        self.zero_code = int(afmt.encode_array(np.zeros(1, dtype=np.float64))[0])
 
     def __call__(self, x: np.ndarray) -> np.ndarray:
         n, c_in, h, w = x.shape

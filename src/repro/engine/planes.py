@@ -87,6 +87,7 @@ class CodePlanes:
         pexp = np.zeros(ncodes, dtype=np.int64)
         finite = np.zeros(ncodes, dtype=bool)
         for code, d in enumerate(fmt.decoded):
+            # lint: allow[float-equality] exact-zero codes carry no plane
             if not d.is_finite or d.value == 0.0:
                 continue
             frac = Fraction(d.value)  # exact: finite values are dyadic floats

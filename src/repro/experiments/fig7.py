@@ -87,6 +87,7 @@ def run(stream_len: int = 512, clock_mhz: float = 100.0, refresh: bool = False) 
             "power_by_group": row.power_by_group,
             "acc_width": mac.acc_width,
             "paper_w": mac.paper_w,
+            "logic_depth": row.logic_depth,
         }
     me, po, fp = rows["MERSIT(8,2)"], rows["Posit(8,1)"], rows["FP(8,4)"]
     headlines = {
@@ -103,14 +104,16 @@ def run(stream_len: int = 512, clock_mhz: float = 100.0, refresh: bool = False) 
 def render(result: dict | None = None) -> str:
     """Plain-text rendering of the Fig. 7 bars and headline deltas."""
     result = result or run()
-    headers = ["Format", "Area um^2", "Power uW", "mult", "aligner", "accum", "W(paper)"]
+    headers = ["Format", "Area um^2", "Power uW", "mult", "aligner", "accum",
+               "levels", "W(paper)"]
     rows = []
     for name, r in result["rows"].items():
         mult_area = sum(r["area_by_group"][g]
                         for g in ("decoder", "exp_adder", "frac_multiplier"))
         rows.append([name, round(r["area_total"], 0), round(r["power_total"], 1),
                      round(mult_area, 0), round(r["area_by_group"]["aligner"], 0),
-                     round(r["area_by_group"]["accumulator"], 0), r["paper_w"]])
+                     round(r["area_by_group"]["accumulator"], 0),
+                     r.get("logic_depth", 0), r["paper_w"]])
     lines = ["Fig. 7 - MAC area / power (measured)", format_table(headers, rows), ""]
     for key, val in result["headlines"].items():
         lines.append(f"  {key}: {val:.1f}%  (paper: {result['paper'][key]:.1f}%)")

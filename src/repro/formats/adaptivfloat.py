@@ -62,7 +62,7 @@ def fit_bias(x: np.ndarray, nbits: int = 8, ebits: int = 4) -> AdaptivFloatForma
     tensor's max-magnitude binade.
     """
     amax = float(np.max(np.abs(x)))
-    if amax == 0.0:
+    if amax == 0.0:  # lint: allow[float-equality] exact all-zero tensor guard
         return AdaptivFloatFormat(nbits, ebits)
     top_binade = math.floor(math.log2(amax))
     # largest expfield is 2^E - 1; align its binade with the data's

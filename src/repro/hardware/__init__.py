@@ -13,9 +13,11 @@ from .report import (
     MacCostRow, MultiplierBreakdown, dnn_operand_stream, headline_deltas,
     mac_cost, multiplier_breakdown,
 )
+from .variants import PAPER_MACS, build_variant, decoder_circuit, registered_variants
 from . import arith_variants
 
 __all__ = [
+    "PAPER_MACS", "build_variant", "decoder_circuit", "registered_variants",
     "Cell", "CELLS", "cell",
     "Circuit", "Bus", "AreaReport", "PowerReport",
     "DecoderPins", "build_fp8_decoder", "build_posit_decoder",

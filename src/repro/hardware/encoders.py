@@ -252,6 +252,9 @@ class MersitEncoder:
         mag = c.input_bus(width)
         code = build_mersit_encoder(c, sign[0], mag, fmt, lsb_exp)
         c.set_output("code", code)
+        # band-composer byproducts that the final band mux discards are
+        # dead; prune so the reported encoder cost covers live logic only
+        c.prune_dead()
 
     def encode_values(self, values: np.ndarray) -> np.ndarray:
         """Drive the netlist with real values (fixed-point quantised)."""

@@ -117,6 +117,17 @@ class MacUnit:
 
         c.set_output("acc_next", acc_next)
         c.set_output("product_sign", [sign])
+        # exception pins: a surrounding PE array needs these to propagate
+        # zero/NaN decisions (they are also what keeps the decoders' flag
+        # logic live — the multiplier datapath itself forces frac_eff = 0)
+        c.set_output("w_is_zero", [w.is_zero])
+        c.set_output("a_is_zero", [a.is_zero])
+        c.set_output("w_is_special", [w.is_special])
+        c.set_output("a_is_special", [a.is_special])
+        # drop logic whose result is discarded (truncated shift-amount sum
+        # bits, unused priority-encoder valid flags, ...) so gate counts in
+        # Fig. 7 / Table 3 cover live logic only
+        c.prune_dead()
 
     # ------------------------------------------------------------------
     # behavioural reference
@@ -127,6 +138,7 @@ class MacUnit:
         da = self.fmt.decode(a_code)
         if not (dw.is_finite and da.is_finite):
             return 0
+        # lint: allow[float-equality] exact-zero codes contribute nothing
         if dw.value == 0.0 or da.value == 0.0:
             return 0
         m = self.m

@@ -201,6 +201,89 @@ class Circuit:
         return bits[0]
 
     # ------------------------------------------------------------------
+    # structural introspection (used by repro.analysis)
+    # ------------------------------------------------------------------
+    def drivers(self) -> dict[Net, list[_Gate]]:
+        """Map each gate-driven net to the gate(s) driving it.
+
+        A well-formed circuit has exactly one driver per entry; multiple
+        entries indicate a short (detected by the structural verifier).
+        """
+        out: dict[Net, list[_Gate]] = {}
+        for g in self.gates:
+            out.setdefault(g.output, []).append(g)
+        return out
+
+    def live_gates(self) -> set[int]:
+        """Ids of gates in the cone of influence of the declared outputs.
+
+        The backward closure starts from every net in :attr:`outputs` and
+        from every DFF data input (state is observable by definition); DFF
+        cells themselves are always live — they model register cost even
+        when their Q net is driven externally in replay-style simulation.
+        """
+        producers: dict[Net, _Gate] = {}
+        for g in self.gates:
+            producers.setdefault(g.output, g)
+        frontier: list[Net] = [net for bus in self.outputs.values() for net in bus]
+        live: set[int] = set()
+        for g in self._dffs:
+            live.add(id(g))
+            frontier.extend(g.inputs)
+        seen_nets: set[Net] = set()
+        while frontier:
+            net = frontier.pop()
+            if net in seen_nets:
+                continue
+            seen_nets.add(net)
+            g = producers.get(net)
+            if g is None or id(g) in live:
+                continue
+            live.add(id(g))
+            frontier.extend(g.inputs)
+        return live
+
+    def dead_gates(self) -> list[_Gate]:
+        """Gates outside the cone of influence of the declared outputs."""
+        live = self.live_gates()
+        return [g for g in self.gates if id(g) not in live]
+
+    def prune_dead(self) -> int:
+        """Remove gates that drive neither an output nor any DFF.
+
+        Returns the number of gates removed.  Pruning never changes the
+        simulated output values; it only drops logic whose result is
+        discarded, so reported gate counts (Table 3) cover live logic only.
+        """
+        live = self.live_gates()
+        before = len(self.gates)
+        self.gates = [g for g in self.gates if id(g) in live]
+        self._order_cache = None
+        return before - len(self.gates)
+
+    def logic_levels(self) -> dict[Net, int]:
+        """Levelize the combinational logic: net -> gate level.
+
+        Primary inputs, constants and DFF outputs sit at level 0; each
+        gate's output level is ``1 + max(level of its inputs)``.  The
+        maximum over all nets is the circuit's logic depth in gate levels —
+        the technology-independent companion to :meth:`critical_path`.
+        """
+        levels: dict[Net, int] = {}
+        for g in self._topo_order():
+            levels[g.output] = 1 + max((levels.get(i, 0) for i in g.inputs),
+                                       default=0)
+        return levels
+
+    def logic_depth(self) -> int:
+        """Worst-case combinational depth in gate levels (DFF setup included)."""
+        levels = self.logic_levels()
+        worst = max(levels.values(), default=0)
+        for g in self._dffs:
+            worst = max(worst, levels.get(g.inputs[0], 0) + 1)
+        return worst
+
+    # ------------------------------------------------------------------
     # analysis
     # ------------------------------------------------------------------
     def area(self) -> AreaReport:

@@ -28,13 +28,19 @@ __all__ = [
 
 @dataclass(frozen=True)
 class MacCostRow:
-    """Fig. 7 bar: one format's MAC area (um^2) and power (uW) by group."""
+    """Fig. 7 bar: one format's MAC area (um^2) and power (uW) by group.
+
+    ``logic_depth`` is the MAC's levelized critical path in gate levels
+    (see :mod:`repro.analysis.levelize`) — the library-independent
+    companion to the area/power figures.
+    """
 
     format_name: str
     area_total: float
     power_total: float
     area_by_group: dict[str, float] = field(default_factory=dict)
     power_by_group: dict[str, float] = field(default_factory=dict)
+    logic_depth: int = 0
 
 
 @dataclass(frozen=True)
@@ -92,6 +98,7 @@ def mac_cost(mac: MacUnit, w_codes: np.ndarray, a_codes: np.ndarray,
         power_total=sum(pgroups.values()),
         area_by_group=groups,
         power_by_group=pgroups,
+        logic_depth=mac.circuit.logic_depth(),
     )
 
 

@@ -1,0 +1,110 @@
+"""Registry of every gate-level netlist variant this repo reports numbers for.
+
+The structural verifier (:mod:`repro.analysis`) and the logic-depth report
+need an enumerable list of "all the netlists whose gate counts we quote":
+the per-format decoders (Table 3 / Fig. 5), the MERSIT encoders, the three
+head-to-head MAC units (Fig. 7) and the arithmetic-ablation building
+blocks.  Each entry is a zero-argument builder returning a finished
+:class:`~repro.hardware.netlist.Circuit` with its outputs declared, so a
+cone-of-influence pass has real endpoints to start from.
+
+Builders construct fresh circuits on every call (cheap: pure python gate
+allocation); ``build_variant`` is the single entry point used by the CLI
+(``repro analyze netlist``), the experiments and the tests.
+"""
+
+from __future__ import annotations
+
+from ..formats import available_formats, get_format
+from ..formats.mersit import MersitFormat
+from .decoders import decoder_for_format
+from .encoders import MersitEncoder
+from .netlist import Bus, Circuit
+
+__all__ = [
+    "registered_variants", "build_variant", "decoder_circuit",
+    "PAPER_MACS",
+]
+
+#: the three MACs compared head-to-head in Fig. 7 / Table 3
+PAPER_MACS = ("FP(8,4)", "Posit(8,1)", "MERSIT(8,2)")
+
+
+def decoder_circuit(fmt_name: str, prune: bool = True) -> Circuit:
+    """A standalone decoder netlist with the full pin contract as outputs."""
+    fmt = get_format(fmt_name)
+    c = Circuit(f"decoder_{fmt.name}")
+    code = c.input_bus(fmt.nbits)
+    pins = decoder_for_format(c, code, fmt)
+    c.set_output("sign", [pins.sign])
+    c.set_output("exp_eff", pins.exp_eff)
+    c.set_output("frac_eff", pins.frac_eff)
+    c.set_output("is_zero", [pins.is_zero])
+    c.set_output("is_special", [pins.is_special])
+    if prune:
+        c.prune_dead()
+    return c
+
+
+def _encoder_circuit(fmt_name: str) -> Circuit:
+    fmt = get_format(fmt_name)
+    assert isinstance(fmt, MersitFormat)
+    return MersitEncoder(fmt).circuit
+
+
+def _mac_circuit(fmt_name: str) -> Circuit:
+    from .mac import MacUnit
+    return MacUnit(get_format(fmt_name)).circuit
+
+
+def _cla_adder_circuit(width: int = 16) -> Circuit:
+    from .arith_variants import carry_lookahead_adder
+    c = Circuit(f"cla{width}")
+    a = c.input_bus(width)
+    b = c.input_bus(width)
+    s, cout = carry_lookahead_adder(c, a, b)
+    c.set_output("sum", Bus(list(s) + [cout]))
+    return c
+
+
+def _wallace_circuit(width: int = 8) -> Circuit:
+    from .arith_variants import wallace_multiplier
+    c = Circuit(f"wallace{width}x{width}")
+    a = c.input_bus(width)
+    b = c.input_bus(width)
+    c.set_output("product", wallace_multiplier(c, a, b))
+    c.prune_dead()
+    return c
+
+
+def _build_registry() -> dict:
+    registry: dict = {}
+    for name in available_formats():
+        if name == "INT8":
+            continue  # INT8 needs no decoder: codes are the operands
+        registry[f"decoder:{name}"] = (lambda n=name: decoder_circuit(n))
+        if isinstance(get_format(name), MersitFormat):
+            registry[f"encoder:{name}"] = (lambda n=name: _encoder_circuit(n))
+    for name in PAPER_MACS:
+        registry[f"mac:{name}"] = (lambda n=name: _mac_circuit(n))
+    registry["adder:cla16"] = _cla_adder_circuit
+    registry["multiplier:wallace8x8"] = _wallace_circuit
+    return registry
+
+
+_REGISTRY = _build_registry()
+
+
+def registered_variants() -> list[str]:
+    """Names of every registered netlist variant, sorted."""
+    return sorted(_REGISTRY)
+
+
+def build_variant(name: str) -> Circuit:
+    """Build one registered variant's circuit by name."""
+    try:
+        builder = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(f"unknown netlist variant {name!r}; "
+                       f"known: {registered_variants()}") from None
+    return builder()

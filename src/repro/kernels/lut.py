@@ -112,7 +112,7 @@ class BitLUTKernel:
             # fold the one fix-up step into a threshold: bump iff x > thr.
             # The reference rounds ties away from zero, i.e. bump at x >= m
             # for positive midpoints; x >= m is x > nextafter(m, -inf).
-            thr = np.full(_NBUCKETS, np.inf)
+            thr = np.full(_NBUCKETS, np.inf, dtype=np.float64)
             strad = hi_idx > lo_idx
             m = self.mid_ext[lo_idx[strad]]
             thr[strad] = np.where(m > 0, np.nextafter(m, -np.inf), m)

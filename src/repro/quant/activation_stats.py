@@ -33,14 +33,14 @@ class ActivationStats:
     @property
     def range_ratio(self) -> float:
         """max/median of |x|: how far the tail stretches past typical values."""
-        if self.abs_median == 0.0:
+        if self.abs_median == 0.0:  # lint: allow[float-equality] exact-zero median guard
             return float("inf")
         return self.abs_max / self.abs_median
 
     @property
     def median_int8_levels(self) -> float:
         """INT8 levels available to the median |x| under max calibration."""
-        if self.abs_max == 0.0:
+        if self.abs_max == 0.0:  # lint: allow[float-equality] exact all-zero tensor guard
             return 0.0
         return 127.0 * self.abs_median / self.abs_max
 

@@ -83,7 +83,7 @@ def _channel_max(x: np.ndarray, axis: int, empty: float) -> np.ndarray:
     moved = np.moveaxis(np.abs(x), axis, 0)
     flat = moved.reshape(moved.shape[0], -1)
     if flat.shape[1] == 0:
-        return np.full(flat.shape[0], empty)
+        return np.full(flat.shape[0], empty, dtype=np.float64)
     return flat.max(axis=1)
 
 

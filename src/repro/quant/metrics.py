@@ -34,7 +34,7 @@ def rmse(reference: np.ndarray, quantized: np.ndarray) -> float:
 def relative_rmse(reference: np.ndarray, quantized: np.ndarray) -> float:
     """RMSE normalised by the reference RMS, comparable across layers."""
     denom = float(np.sqrt(np.mean(np.asarray(reference, dtype=np.float64) ** 2)))
-    if denom == 0.0:
+    if denom == 0.0:  # lint: allow[float-equality] exact zero-signal guard
         return 0.0
     return rmse(reference, quantized) / denom
 
@@ -45,9 +45,9 @@ def sqnr_db(reference: np.ndarray, quantized: np.ndarray) -> float:
     noise = reference - np.asarray(quantized, dtype=np.float64)
     p_sig = float(np.mean(reference ** 2))
     p_noise = float(np.mean(noise ** 2))
-    if p_noise == 0.0:
+    if p_noise == 0.0:  # lint: allow[float-equality] exact noiseless guard
         return float("inf")
-    if p_sig == 0.0:
+    if p_sig == 0.0:  # lint: allow[float-equality] exact zero-signal guard
         return float("-inf")
     return 10.0 * np.log10(p_sig / p_noise)
 
@@ -70,7 +70,7 @@ def f1_score(y_true: np.ndarray, y_pred: np.ndarray, positive: int = 1) -> float
     tp = float(np.sum((y_pred == positive) & (y_true == positive)))
     fp = float(np.sum((y_pred == positive) & (y_true != positive)))
     fn = float(np.sum((y_pred != positive) & (y_true == positive)))
-    if tp == 0.0:
+    if tp == 0.0:  # lint: allow[float-equality] tp is an exact integer count
         return 0.0
     precision = tp / (tp + fp)
     recall = tp / (tp + fn)
@@ -86,6 +86,6 @@ def matthews_corrcoef(y_true: np.ndarray, y_pred: np.ndarray) -> float:
     fp = float(np.sum((y_pred == 1) & (y_true == 0)))
     fn = float(np.sum((y_pred == 0) & (y_true == 1)))
     denom = np.sqrt((tp + fp) * (tp + fn) * (tn + fp) * (tn + fn))
-    if denom == 0.0:
+    if denom == 0.0:  # lint: allow[float-equality] exact zero from integer counts
         return 0.0
     return 100.0 * (tp * tn - fp * fn) / denom

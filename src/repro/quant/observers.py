@@ -134,7 +134,7 @@ class MSEObserver(_ObserverBase):
         if not self._chunks:
             raise RuntimeError("observer saw no data")
         data = np.concatenate(self._chunks)
-        if self._max == 0.0:
+        if self._max == 0.0:  # lint: allow[float-equality] exact all-zero stream guard
             return 1.0
         best_scale, best_err = self._max, np.inf
         for factor in np.geomspace(self.lowest, 1.0, self.grid):

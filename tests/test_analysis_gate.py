@@ -1,0 +1,134 @@
+"""Tier-1 static-analysis gate: the repo itself must pass its own passes.
+
+The fast path verifies a representative netlist subset (the three Fig. 7
+MACs, their decoders, the MERSIT encoder) and lints all of ``src/repro``;
+the exhaustive per-variant sweep is marked ``slow``.  Also pins the
+paper-relevant logic-depth ordering: grouped MERSIT decoding is shallower
+than the Posit leading-run detector (paper section 4.1).
+"""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    analyze_lint,
+    analyze_netlists,
+    depth_of,
+    depth_report,
+    verify_circuit,
+)
+from repro.analysis.run import default_lint_root
+from repro.cli import main
+from repro.hardware.variants import (
+    PAPER_MACS,
+    build_variant,
+    registered_variants,
+)
+
+#: tier-1 representative subset: everything the paper quotes numbers for
+TIER1_VARIANTS = sorted(
+    [f"mac:{n}" for n in PAPER_MACS]
+    + ["decoder:FP(8,4)", "decoder:Posit(8,1)", "decoder:MERSIT(8,2)",
+       "encoder:MERSIT(8,2)"])
+
+
+class TestRepoNetlistsClean:
+    @pytest.mark.parametrize("name", TIER1_VARIANTS)
+    def test_tier1_variant_verifies_clean(self, name):
+        diags = verify_circuit(build_variant(name), name)
+        assert diags == [], "\n".join(d.render() for d in diags)
+
+    def test_tier1_subset_report_ok(self):
+        report = analyze_netlists(TIER1_VARIANTS)
+        assert report.ok
+        assert set(report.summary["depth"]) == set(TIER1_VARIANTS)
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("name", registered_variants())
+    def test_every_registered_variant_verifies_clean(self, name):
+        diags = verify_circuit(build_variant(name), name)
+        assert diags == [], "\n".join(d.render() for d in diags)
+
+    def test_no_dead_logic_in_reported_macs(self):
+        # Table 3 / Fig. 7 gate counts must cover live logic only
+        for name in PAPER_MACS:
+            c = build_variant(f"mac:{name}")
+            assert c.dead_gates() == []
+            assert c.prune_dead() == 0
+
+
+class TestRepoLintClean:
+    def test_src_repro_is_lint_clean(self):
+        report = analyze_lint()
+        assert report.ok, "\n".join(d.render() for d in report.errors)
+        # the default target really is the package tree, non-trivially big
+        assert report.summary["files"] > 50
+        assert default_lint_root().name == "repro"
+
+
+class TestLogicDepthRegression:
+    """Pins the levelized depth of the paper's head-to-head decoders."""
+
+    def test_mersit_decoder_shallower_than_posit(self):
+        mersit = depth_of(build_variant("decoder:MERSIT(8,2)"))
+        posit = depth_of(build_variant("decoder:Posit(8,1)"))
+        assert mersit.logic_depth < posit.logic_depth
+
+    def test_pinned_decoder_depths(self):
+        # regression pin: update deliberately, with the netlist change
+        assert depth_of(build_variant("decoder:MERSIT(8,2)")).logic_depth == 23
+        assert depth_of(build_variant("decoder:Posit(8,1)")).logic_depth == 42
+
+    def test_depth_report_rows_consistent(self):
+        rows = depth_report(["decoder:MERSIT(8,2)", "mac:MERSIT(8,2)"])
+        by_name = {r.variant: r for r in rows}
+        dec, mac = by_name["decoder:MERSIT(8,2)"], by_name["mac:MERSIT(8,2)"]
+        assert mac.logic_depth > dec.logic_depth  # MAC embeds the decoder
+        assert dec.logic_depth == max(dec.depth_by_output.values())
+        assert dec.gate_count > 0 and dec.critical_path_ns > 0
+
+    def test_mac_cost_row_carries_depth(self):
+        import numpy as np
+        from repro.formats import get_format
+        from repro.hardware.mac import MacUnit
+        from repro.hardware.report import mac_cost
+        rng = np.random.default_rng(7)
+        codes = rng.integers(0, 256, 64)
+        row = mac_cost(MacUnit(get_format("MERSIT(8,2)")), codes, codes)
+        assert row.logic_depth == build_variant("mac:MERSIT(8,2)").logic_depth()
+
+
+class TestAnalyzeCli:
+    def test_netlist_subset_human(self, capsys):
+        assert main(["analyze", "netlist", "decoder:MERSIT(8,2)"]) == 0
+        out = capsys.readouterr().out
+        assert "decoder:MERSIT(8,2)" in out and "netlist: clean" in out
+
+    def test_netlist_json_shape(self, capsys):
+        assert main(["analyze", "netlist", "--json",
+                     "decoder:MERSIT(8,2)", "decoder:Posit(8,1)"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True and payload["kind"] == "netlist"
+        depth = payload["summary"]["depth"]
+        assert depth["decoder:MERSIT(8,2)"]["logic_depth"] == 23
+
+    def test_unknown_variant_raises(self):
+        with pytest.raises(KeyError, match="unknown netlist variant"):
+            main(["analyze", "netlist", "decoder:NoSuchFormat"])
+
+    def test_lint_dirty_file_exits_nonzero(self, capsys, tmp_path):
+        bad = tmp_path / "quant_mod.py"
+        bad.write_text("import numpy as np\n"
+                       "r = np.random.default_rng()\n")
+        assert main(["analyze", "lint", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "unseeded-rng" in out and "1 error(s)" in out
+
+    def test_lint_json_on_clean_file(self, capsys, tmp_path):
+        good = tmp_path / "ok.py"
+        good.write_text("x = 1\n")
+        assert main(["analyze", "lint", "--json", str(good)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload == {"diagnostics": [], "kind": "lint", "ok": True,
+                           "summary": {"files": 1, "targets": [str(good)]}}

@@ -1,0 +1,147 @@
+"""Numerics linter: each rule fires on a minimal snippet, waivers work."""
+
+import textwrap
+
+from repro.analysis import lint_source
+from repro.analysis.lint import lint_paths
+
+
+def lint(src: str, quantized: bool = True):
+    return lint_source(textwrap.dedent(src), filename="snippet.py",
+                       quantized_path=quantized)
+
+
+def rules(diags):
+    return sorted(d.rule for d in diags)
+
+
+class TestImplicitFloat64:
+    def test_zeros_without_dtype_flagged(self):
+        (d,) = lint("import numpy as np\nx = np.zeros(4)\n")
+        assert d.rule == "implicit-float64" and "np.zeros" in d.message
+        assert d.where == "snippet.py:2"
+
+    def test_explicit_dtype_clean(self):
+        assert lint("import numpy as np\nx = np.zeros(4, dtype=np.int64)\n") == []
+
+    def test_full_numpy_spelling_flagged(self):
+        assert rules(lint("import numpy\nx = numpy.full(3, 0.25)\n")) == \
+            ["implicit-float64"]
+
+    def test_rule_off_outside_quantized_paths(self):
+        assert lint("import numpy as np\nx = np.ones(4)\n", quantized=False) == []
+
+    def test_path_inference_from_filename(self):
+        src = "import numpy as np\nx = np.arange(8)\n"
+        hot = lint_source(src, filename="src/repro/kernels/foo.py")
+        cold = lint_source(src, filename="src/repro/experiments/foo.py")
+        assert rules(hot) == ["implicit-float64"] and cold == []
+
+    def test_non_numpy_namespace_clean(self):
+        assert lint("x = torch.zeros(4)\n") == []
+
+
+class TestFloatEquality:
+    def test_eq_against_float_literal(self):
+        (d,) = lint("ok = x == 0.5\n")
+        assert d.rule == "float-equality" and "==" in d.message
+
+    def test_ne_and_negative_literal(self):
+        assert rules(lint("bad = y != -0.5\n")) == ["float-equality"]
+
+    def test_int_equality_clean(self):
+        assert lint("ok = x == 3\n") == []
+
+    def test_chained_comparison(self):
+        assert rules(lint("ok = 0.0 == x == y\n")) == ["float-equality"]
+
+    def test_inequalities_clean(self):
+        assert lint("ok = x < 0.5 or x >= 1.5\n") == []
+
+
+class TestUnseededRng:
+    def test_default_rng_without_seed(self):
+        (d,) = lint("import numpy as np\nr = np.random.default_rng()\n")
+        assert d.rule == "unseeded-rng" and "without a seed" in d.message
+
+    def test_default_rng_with_seed_clean(self):
+        assert lint("import numpy as np\nr = np.random.default_rng(0)\n") == []
+
+    def test_global_numpy_rng_flagged(self):
+        diags = lint("import numpy as np\n"
+                     "x = np.random.rand(3)\n"
+                     "np.random.seed(0)\n")
+        assert rules(diags) == ["unseeded-rng", "unseeded-rng"]
+
+    def test_stdlib_random_without_seed(self):
+        assert rules(lint("import random\nr = random.Random()\n")) == \
+            ["unseeded-rng"]
+
+    def test_generator_methods_clean(self):
+        # instance methods on a seeded Generator are fine
+        assert lint("r = rng.integers(0, 256, 8)\n") == []
+
+
+class TestTensorDataMutation:
+    def test_subscript_write_flagged(self):
+        (d,) = lint("def f(t):\n    t.data[0] = 1\n")
+        assert d.rule == "tensor-data-mutation"
+
+    def test_augassign_flagged(self):
+        assert rules(lint("def f(t):\n    t.data[:] *= 2\n")) == \
+            ["tensor-data-mutation"]
+
+    def test_write_with_bump_version_clean(self):
+        assert lint("def f(t):\n"
+                    "    t.data[0] = 1\n"
+                    "    t.bump_version()\n") == []
+
+    def test_rebind_clean(self):
+        # rebinding .data goes through the property setter, which bumps
+        assert lint("def f(t, x):\n    t.data = x\n") == []
+
+    def test_read_clean(self):
+        assert lint("def f(t):\n    return t.data[0]\n") == []
+
+
+class TestWaivers:
+    def test_same_line_waiver(self):
+        assert lint("ok = x == 0.5  # lint: allow[float-equality] exact guard\n") == []
+
+    def test_line_above_waiver(self):
+        assert lint("# lint: allow[float-equality] exact sentinel check\n"
+                    "ok = x == 0.5\n") == []
+
+    def test_waiver_for_wrong_rule_does_not_suppress(self):
+        diags = lint("ok = x == 0.5  # lint: allow[unseeded-rng] wrong rule\n")
+        assert rules(diags) == ["float-equality"]
+
+    def test_waiver_without_reason_is_an_error(self):
+        diags = lint("ok = x == 0.5  # lint: allow[float-equality]\n")
+        assert "waiver-missing-reason" in rules(diags)
+
+    def test_trailing_waiver_covers_only_its_line(self):
+        diags = lint("ok = x == 0.5  # lint: allow[float-equality] here only\n"
+                     "bad = y == 0.5\n")
+        assert [d.where for d in diags] == ["snippet.py:2"]
+
+
+class TestHarness:
+    def test_syntax_error_reported_not_raised(self):
+        (d,) = lint("def broken(:\n")
+        assert d.rule == "syntax-error" and d.severity == "error"
+
+    def test_lint_paths_walks_directories(self, tmp_path):
+        pkg = tmp_path / "quant"
+        pkg.mkdir()
+        (pkg / "a.py").write_text("import numpy as np\nx = np.zeros(3)\n")
+        (pkg / "b.py").write_text("y = 1\n")
+        diags, nfiles = lint_paths([tmp_path])
+        assert nfiles == 2
+        assert rules(diags) == ["implicit-float64"]
+
+    def test_diagnostics_sorted_and_deduped(self):
+        diags = lint("import numpy as np\n"
+                     "a = np.zeros(1)\n"
+                     "b = np.ones(2)\n")
+        assert [d.where for d in diags] == ["snippet.py:2", "snippet.py:3"]

@@ -1,0 +1,245 @@
+"""Structural verifier: synthetic netlists with planted defects.
+
+Each test builds a small circuit with exactly one planted structural
+problem — a combinational loop, a floating wire, a double-driven wire,
+dead logic — and asserts the verifier reports exactly that diagnostic.
+"""
+
+import pytest
+
+from repro.analysis import verify_circuit
+from repro.analysis.structural import (
+    check_arity,
+    find_combinational_loops,
+    find_dead_logic,
+    find_multiply_driven,
+    find_undriven_nets,
+)
+from repro.hardware.netlist import Bus, Circuit
+
+
+def _clean_circuit() -> Circuit:
+    """A tiny well-formed reference circuit: q = (a & b) ^ ~a."""
+    c = Circuit("clean")
+    a, b = c.input_bus(2)
+    c.set_output("q", [c.xor2(c.and2(a, b), c.inv(a))])
+    return c
+
+
+def rules(diags):
+    return sorted(d.rule for d in diags)
+
+
+class TestCleanCircuit:
+    def test_no_diagnostics(self):
+        assert verify_circuit(_clean_circuit()) == []
+
+    def test_real_decoder_is_clean(self):
+        from repro.hardware.variants import decoder_circuit
+        assert verify_circuit(decoder_circuit("MERSIT(8,2)")) == []
+
+
+class TestCombinationalLoop:
+    def _looped_circuit(self) -> Circuit:
+        # q = a & loop; loop = ~q  — a 2-gate combinational cycle
+        c = Circuit("looped")
+        (a,) = c.input_bus(1)
+        loop_net = c.new_net()
+        q = c.and2(a, loop_net)
+        inv = c.inv(q)
+        # rewire the INV gate output onto the forward-declared net
+        c.gates[-1].output = loop_net
+        c.set_output("q", [q])
+        assert inv != loop_net  # the planted rewire really happened
+        return c
+
+    def test_planted_loop_detected(self):
+        diags = find_combinational_loops(self._looped_circuit())
+        assert len(diags) == 1
+        d = diags[0]
+        assert d.rule == "combinational-loop" and d.severity == "error"
+        assert len(d.data["nets"]) == 2
+
+    def test_loop_reported_once(self):
+        # the cycle is reachable from both member gates; one report only
+        c = self._looped_circuit()
+        assert len(verify_circuit(c)) == 1
+
+    def test_dff_breaks_the_path(self):
+        # same feedback shape, but through a DFF: legal sequential loop
+        c = Circuit("counter")
+        (en,) = c.input_bus(1)
+        state = c.new_net()
+        nxt = c.xor2(en, state)
+        q = c.dff(nxt)
+        c.gates[-1].output = state
+        c._dffs[-1].output = state
+        c.set_output("q", [state])
+        assert q != state
+        assert find_combinational_loops(c) == []
+
+    def test_self_loop(self):
+        c = Circuit("self")
+        (a,) = c.input_bus(1)
+        fb = c.new_net()
+        c.and2(a, fb)
+        c.gates[-1].output = fb
+        c.set_output("q", [fb])
+        diags = find_combinational_loops(c)
+        assert rules(diags) == ["combinational-loop"]
+        assert diags[0].data["nets"] == [fb]
+
+
+class TestUndrivenNet:
+    def test_floating_gate_input(self):
+        c = Circuit("floating")
+        (a,) = c.input_bus(1)
+        ghost = c.new_net()  # allocated but never driven
+        c.set_output("q", [c.and2(a, ghost)])
+        diags = find_undriven_nets(c)
+        assert rules(diags) == ["undriven-net"]
+        assert diags[0].data["net"] == ghost
+        assert "input of AND2" in diags[0].message
+
+    def test_floating_output_bit(self):
+        c = Circuit("floating_out")
+        (a,) = c.input_bus(1)
+        ghost = c.new_net()
+        c.set_output("q", Bus([c.inv(a), ghost]))
+        diags = find_undriven_nets(c)
+        assert rules(diags) == ["undriven-net"]
+        assert "output" in diags[0].message
+
+    def test_constants_and_inputs_are_driven(self):
+        c = Circuit("consts")
+        (a,) = c.input_bus(1)
+        c.set_output("q", [c.and2(a, c.ONE), c.ZERO, a])
+        assert find_undriven_nets(c) == []
+
+
+class TestMultiplyDrivenNet:
+    def test_double_driver(self):
+        c = Circuit("short")
+        a, b = c.input_bus(2)
+        q1 = c.and2(a, b)
+        c.or2(a, b)
+        c.gates[-1].output = q1  # short the OR output onto the AND output
+        c.set_output("q", [q1])
+        diags = find_multiply_driven(c)
+        assert rules(diags) == ["multiply-driven-net"]
+        assert diags[0].data == {"net": q1, "drivers": 2}
+
+    def test_driving_a_constant_net(self):
+        c = Circuit("const_drive")
+        (a,) = c.input_bus(1)
+        c.inv(a)
+        c.gates[-1].output = c.ONE
+        c.set_output("q", [c.ONE])
+        diags = find_multiply_driven(c)
+        assert rules(diags) == ["multiply-driven-net"]
+        assert "constant" in diags[0].message
+
+    def test_driving_a_primary_input(self):
+        c = Circuit("input_drive")
+        a, b = c.input_bus(2)
+        c.and2(a, b)
+        c.gates[-1].output = b
+        c.set_output("q", [b])
+        diags = find_multiply_driven(c)
+        assert rules(diags) == ["multiply-driven-net"]
+        assert "primary input" in diags[0].message
+
+
+class TestArity:
+    def test_port_arity_mismatch(self):
+        c = _clean_circuit()
+        c.gates[0].inputs = c.gates[0].inputs[:1]  # AND2 with one input
+        diags = check_arity(c)
+        assert rules(diags) == ["port-arity"]
+
+    def test_net_out_of_range(self):
+        c = _clean_circuit()
+        c.gates[0].inputs = (c.gates[0].inputs[0], 10_000)
+        assert "net-out-of-range" in rules(check_arity(c))
+
+    def test_empty_output_bus(self):
+        c = _clean_circuit()
+        c.set_output("empty", [])
+        assert rules(check_arity(c)) == ["empty-output-bus"]
+
+
+class TestDeadLogic:
+    def _with_dead_gate(self) -> Circuit:
+        c = Circuit("dead")
+        a, b = c.input_bus(2)
+        c.set_output("q", [c.and2(a, b)])
+        c.xor2(a, b)  # result never observed
+        return c
+
+    def test_planted_dead_gate_reported(self):
+        c = self._with_dead_gate()
+        diags = find_dead_logic(c)
+        assert rules(diags) == ["dead-logic"]
+        assert diags[0].severity == "warning"
+        assert diags[0].data["count"] == 1
+
+    def test_prune_removes_exactly_the_dead_gate(self):
+        c = self._with_dead_gate()
+        assert c.prune_dead() == 1
+        assert len(c.gates) == 1
+        assert find_dead_logic(c) == []
+
+    def test_dff_is_always_live(self):
+        c = Circuit("reg")
+        (d,) = c.input_bus(1)
+        c.dff(c.inv(d))  # register chain with unobserved Q
+        c.set_output("q", [d])
+        assert find_dead_logic(c) == []
+        assert c.prune_dead() == 0
+
+    def test_prune_preserves_simulation(self):
+        import numpy as np
+        from repro.hardware.variants import decoder_circuit
+        pruned = decoder_circuit("MERSIT(8,2)", prune=True)
+        full = decoder_circuit("MERSIT(8,2)", prune=False)
+        stim = np.unpackbits(
+            np.arange(256, dtype=np.uint8)[:, None], axis=1,
+            bitorder="little").astype(bool)
+        out_f = full.simulate(stim)["outputs"]
+        out_p = pruned.simulate(stim)["outputs"]
+        for name in out_f:
+            np.testing.assert_array_equal(out_f[name], out_p[name])
+
+
+class TestVerifyCircuit:
+    def test_multiple_defects_all_reported(self):
+        c = Circuit("multi")
+        (a,) = c.input_bus(1)
+        ghost = c.new_net()
+        q1 = c.and2(a, ghost)
+        c.inv(a)
+        c.gates[-1].output = q1
+        c.set_output("q", [q1])
+        got = rules(verify_circuit(c))
+        assert "undriven-net" in got and "multiply-driven-net" in got
+
+    def test_dead_logic_skipped_when_graph_broken(self):
+        # a broken graph must not run the cone-of-influence pass
+        c = Circuit("broken")
+        (a,) = c.input_bus(1)
+        fb = c.new_net()
+        c.and2(a, fb)
+        c.gates[-1].output = fb
+        c.xor2(a, a)  # would be dead, but the loop error takes precedence
+        c.set_output("q", [fb])
+        got = rules(verify_circuit(c))
+        assert "combinational-loop" in got and "dead-logic" not in got
+
+    def test_diagnostic_render_shape(self):
+        c = self_test = Circuit("shape")
+        (a,) = c.input_bus(1)
+        ghost = c.new_net()
+        c.set_output("q", [c.and2(a, ghost)])
+        (d,) = verify_circuit(self_test, "planted")
+        assert d.render() == f"planted: error[undriven-net] {d.message}"
+        assert d.to_dict()["where"] == "planted"
