@@ -1,0 +1,127 @@
+"""Bench resilience: crash-safe artifact store vs bare ``json.dump``.
+
+Every Table 2 cell commit persists the whole grid, so the store's extra
+work (checksum, ``.bak`` rotation, tmp + fsync + rename) is paid per
+cell.  This benchmark times both paths on a table2-sized payload and
+writes the numbers to ``BENCH_resilience.json`` at the repo root
+(override with ``--out``), so the overhead is tracked from PR to PR:
+
+* ``save`` — bare ``json.dump`` vs :func:`repro.resilience.store
+  .save_json` (repeated saves, so the store path includes rotation);
+* ``load`` — ``json.load`` vs :func:`repro.resilience.store.load_json`
+  (envelope + checksum verification).
+
+Usage::
+
+    python benchmarks/bench_resilience.py [--fast] [--out PATH]
+
+``--fast`` shrinks the repeat counts (used by the tier-1 smoke test).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.resilience import store  # noqa: E402
+
+DEFAULT_OUT = REPO_ROOT / "BENCH_resilience.json"
+
+
+def _host_meta() -> dict:
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def _table2_payload(n_models: int = 12, n_formats: int = 13) -> dict:
+    """A synthetic grid shaped like the full Table 2 artifact."""
+    rng = np.random.default_rng(0)
+    grid = {f"Model_{m:02d}": {f"Format_{f:02d}": float(rng.uniform(0, 100))
+                               for f in range(n_formats)}
+            for m in range(n_models)}
+    return {"grid": grid, "meta_key": "400/100"}
+
+
+def _time_ms(fn, repeats: int) -> dict:
+    samples = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        samples.append((time.perf_counter() - t0) * 1e3)
+    return {"min": min(samples), "median": float(np.median(samples))}
+
+
+def bench_store(repeats: int = 50) -> dict:
+    """Per-save/per-load cost of both persistence paths."""
+    payload = _table2_payload()
+    with tempfile.TemporaryDirectory() as tmp:
+        bare = Path(tmp) / "bare.json"
+        safe = Path(tmp) / "safe.json"
+
+        def bare_save():
+            with open(bare, "w") as f:
+                json.dump(payload, f, indent=2, sort_keys=True)
+
+        def bare_load():
+            with open(bare) as f:
+                json.load(f)
+
+        bare_save_ms = _time_ms(bare_save, repeats)
+        safe_save_ms = _time_ms(lambda: store.save_json(safe, payload), repeats)
+        bare_load_ms = _time_ms(bare_load, repeats)
+        safe_load_ms = _time_ms(lambda: store.load_json(safe), repeats)
+        assert store.load_json(safe) == (payload, "ok")
+
+    return {
+        "payload_cells": 12 * 13,
+        "repeats": repeats,
+        "bare_save_ms": bare_save_ms,
+        "safe_save_ms": safe_save_ms,
+        "bare_load_ms": bare_load_ms,
+        "safe_load_ms": safe_load_ms,
+        "save_overhead_x": safe_save_ms["median"] / bare_save_ms["median"],
+        "load_overhead_x": safe_load_ms["median"] / bare_load_ms["median"],
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--fast", action="store_true",
+                        help="few repeats, for smoke testing")
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
+    args = parser.parse_args(argv)
+
+    payload = {"host": _host_meta(),
+               "store": bench_store(repeats=5 if args.fast else 50)}
+    s = payload["store"]
+    print(f"save ({s['payload_cells']} cells): "
+          f"bare {s['bare_save_ms']['median']:.2f} ms, "
+          f"crash-safe {s['safe_save_ms']['median']:.2f} ms "
+          f"(x{s['save_overhead_x']:.1f})")
+    print(f"load: bare {s['bare_load_ms']['median']:.2f} ms, "
+          f"crash-safe {s['safe_load_ms']['median']:.2f} ms "
+          f"(x{s['load_overhead_x']:.1f})")
+
+    with open(args.out, "w") as f:
+        json.dump(payload, f, indent=2, sort_keys=True)
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

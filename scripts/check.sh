@@ -3,6 +3,7 @@
 #
 #   scripts/check.sh           # lint + netlist verify + tier-1 pytest
 #   scripts/check.sh --slow    # additionally run the slow sweeps
+#   scripts/check.sh --chaos   # only the fault-injection recovery suite
 #
 # Exits non-zero on the first failing stage.
 set -eu
@@ -10,6 +11,13 @@ set -eu
 cd "$(dirname "$0")/.."
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 export PYTHONPATH
+
+if [ "${1:-}" = "--chaos" ]; then
+    echo "== chaos (fault-injection) suite =="
+    python -m pytest -x -q -m chaos
+    echo "check.sh: chaos suite passed"
+    exit 0
+fi
 
 echo "== repro analyze lint =="
 python -m repro.cli analyze lint

@@ -1,7 +1,7 @@
 """Numerics linter: AST checks for the invariants the PTQ stack relies on.
 
 The quantization results are only trustworthy if the Python stack never
-silently changes numeric behaviour.  Four rule families guard that:
+silently changes numeric behaviour.  Five rule families guard that:
 
 ``implicit-float64``
     Calls to numpy array constructors (``np.zeros``, ``np.full``,
@@ -26,6 +26,13 @@ silently changes numeric behaviour.  Four rule families guard that:
     calls ``bump_version()``.  Such writes bypass the data-version counter
     that ``FakeQuantizer.quantize_cached`` keys its cache on, producing
     stale quantized weights.
+
+``broad-except``
+    ``except Exception`` / ``except BaseException`` / bare ``except:``
+    handlers anywhere in the tree.  Broad handlers swallow
+    :class:`~repro.resilience.NumericsError` and friends, turning loud
+    numeric failures back into silent accuracy loss; each surviving
+    occurrence must be a reviewed, waived decision.
 
 Waivers
 -------
@@ -65,7 +72,8 @@ _GLOBAL_RNG_FNS = frozenset({
 
 #: every rule id the linter can emit (documented in DESIGN.md section 9)
 RULES = ("implicit-float64", "float-equality", "unseeded-rng",
-         "tensor-data-mutation", "waiver-missing-reason", "syntax-error")
+         "tensor-data-mutation", "broad-except", "waiver-missing-reason",
+         "syntax-error")
 
 _WAIVER_RE = re.compile(r"#\s*lint:\s*allow\[([a-z0-9-]+)\]\s*(.*)")
 
@@ -191,6 +199,22 @@ class _Visitor(ast.NodeVisitor):
 
     def visit_AugAssign(self, node: ast.AugAssign) -> None:
         self._check_store(node.target, node)
+        self.generic_visit(node)
+
+    # -- broad-except ------------------------------------------------------
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            caught = "bare `except:`"
+        else:
+            exprs = (node.type.elts if isinstance(node.type, ast.Tuple)
+                     else [node.type])
+            names = [_dotted(e).rsplit(".", 1)[-1] for e in exprs]
+            broad = [n for n in names if n in ("Exception", "BaseException")]
+            caught = f"`except {broad[0]}`" if broad else None
+        if caught is not None:
+            self._add(node, "broad-except",
+                      f"{caught} swallows unrelated failures (NumericsError "
+                      f"included); catch specific types or waive with a reason")
         self.generic_visit(node)
 
 

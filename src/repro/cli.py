@@ -11,10 +11,14 @@ ptq MODEL [--formats F1,F2] [--eval N] [--mode fakequant|engine]
     bit-true quantized inference engine).
 hardware [--formats F1,F2] [--stream N]
     Build the MAC units, verify exactness and report area/power.
-experiments [NAMES...] [--jobs N]
+experiments [NAMES...] [--jobs N] [--cell-timeout S] [--retries N]
     Run experiment drivers (table1 fig2 fig4 fig6 fig7 table3 headline
     table2, or ``all``); defaults to the fast set.  ``--jobs`` fans the
-    table2 grid across worker processes.
+    table2 grid across worker processes; ``--cell-timeout``/``--retries``
+    configure the resilient executor (hung-worker deadline, retry budget).
+faults
+    List the fault-injection points of the resilience harness and
+    whatever ``$REPRO_FAULTS`` currently arms.
 analyze netlist [NAMES...|--all] [--json]
     Structural verification + levelized depth report over the registered
     gate-level netlists (decoders, encoders, MACs).
@@ -68,6 +72,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="experiment names, or 'all' (default: fast set)")
     p_exp.add_argument("--jobs", type=int, default=1,
                        help="worker processes for the table2 grid")
+    p_exp.add_argument("--cell-timeout", type=float, default=None,
+                       dest="cell_timeout",
+                       help="per-cell deadline (s) for the table2 pool")
+    p_exp.add_argument("--retries", type=int, default=None,
+                       help="retry budget for failing table2 cells")
+
+    p_faults = sub.add_parser(
+        "faults", help="list fault-injection points and armed faults")
+    p_faults.add_argument("--spec", default=None,
+                          help="parse this spec instead of $REPRO_FAULTS")
 
     p_an = sub.add_parser("analyze", help="static analysis passes")
     an_sub = p_an.add_subparsers(dest="analyze_command", required=True)
@@ -210,7 +224,23 @@ def _cmd_experiments(args) -> int:
     argv = list(args.names)
     if args.jobs != 1:
         argv += ["--jobs", str(args.jobs)]
+    if args.cell_timeout is not None:
+        argv += ["--cell-timeout", str(args.cell_timeout)]
+    if args.retries is not None:
+        argv += ["--retries", str(args.retries)]
     return run_experiments(argv)
+
+
+def _cmd_faults(args) -> int:
+    from .resilience import faults
+    try:
+        specs = (faults.parse_spec(args.spec) if args.spec is not None
+                 else faults.active_faults())
+    except faults.FaultSpecError as exc:
+        print(f"invalid fault spec: {exc}")
+        return 2
+    print(faults.describe(specs))
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -228,6 +258,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_experiments(args)
     if args.command == "analyze":
         return _cmd_analyze(args)
+    if args.command == "faults":
+        return _cmd_faults(args)
     raise AssertionError("unreachable")
 
 

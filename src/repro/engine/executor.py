@@ -20,6 +20,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..resilience import faults
+from ..resilience.numerics import NumericsError, nonfinite_summary
 from .kulisch import qmatmul
 
 __all__ = ["LayerEngine", "LinearEngine", "Conv2dEngine", "build_layer_engine"]
@@ -60,8 +62,21 @@ class LayerEngine:
             (self.w_scale.reshape(-1) / self.w_gain)
 
     def encode_input(self, x: np.ndarray) -> np.ndarray:
-        """Scale a float activation tensor and encode it to codes."""
+        """Scale a float activation tensor and encode it to codes.
+
+        Non-finite activations would encode to a garbage code and then
+        contaminate the exact Kulisch sums invisibly, so they raise a
+        diagnostic :class:`~repro.resilience.NumericsError` here instead.
+        Hosts the ``engine:encode`` fault-injection point.
+        """
         x = np.asarray(x, dtype=np.float64)
+        if faults.maybe_fault("engine", "encode") == "nan":
+            x = faults.poison_nan(x)
+        summary = nonfinite_summary(x)
+        if summary is not None:
+            raise NumericsError(
+                f"non-finite activation entering engine encode ({summary})",
+                observer="engine", stat="activation")
         return self.afmt.encode_array(x * (self.a_gain / self.a_scale)).astype(np.int64)
 
     def _contract(self, x_codes: np.ndarray, w_codes_t: np.ndarray) -> np.ndarray:

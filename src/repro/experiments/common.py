@@ -1,10 +1,19 @@
-"""Shared plumbing for the experiment drivers: artifact cache and tables."""
+"""Shared plumbing for the experiment drivers: artifact cache and tables.
+
+Artifacts are persisted through the crash-safe store
+(:mod:`repro.resilience.store`): atomic writes, a checksummed envelope,
+and automatic fallback to the last-good ``.bak`` copy when the main file
+is truncated or corrupt.  A corrupt artifact with no recoverable backup
+loads as None (with a one-line warning) — exactly like a missing one —
+so a damaged cache costs a recompute, never a crash.
+"""
 
 from __future__ import annotations
 
-import json
 import os
 from pathlib import Path
+
+from ..resilience import store
 
 __all__ = ["artifacts_dir", "save_artifact", "load_artifact", "format_table"]
 
@@ -17,20 +26,27 @@ def artifacts_dir() -> Path:
 
 
 def save_artifact(name: str, payload: dict) -> Path:
-    """Write an experiment result as pretty JSON; returns the path."""
+    """Crash-safely write an experiment result as JSON; returns the path."""
     path = artifacts_dir() / f"{name}.json"
-    with open(path, "w") as f:
-        json.dump(payload, f, indent=2, sort_keys=True)
-    return path
+    return store.save_json(path, payload, name=name)
 
 
 def load_artifact(name: str) -> dict | None:
-    """Load a previously saved experiment result, or None if absent."""
+    """Load a previously saved experiment result, or None if absent.
+
+    Corruption is contained: a truncated/invalid main file falls back to
+    the ``.bak`` copy; when neither validates the artifact is treated as
+    absent, with a one-line warning naming the damaged file.
+    """
     path = artifacts_dir() / f"{name}.json"
-    if not path.exists():
-        return None
-    with open(path) as f:
-        return json.load(f)
+    payload, status = store.load_json(path)
+    if status == "recovered":
+        print(f"artifact {path}: corrupt or missing; recovered last-good "
+              f"copy from {store.bak_path(path).name}", flush=True)
+    elif status == "corrupt":
+        print(f"artifact {path}: corrupt and no valid backup; ignoring it "
+              f"(the experiment will recompute)", flush=True)
+    return payload
 
 
 def format_table(headers: list[str], rows: list[list], floatfmt: str = ".2f") -> str:

@@ -71,8 +71,17 @@ def run(model: str = "SST-2", formats: tuple[str, ...] = DELTA_FORMATS,
 
 
 def render(result: dict | None = None) -> str:
-    """Plain-text delta table."""
-    result = result or (load_artifact(_ARTIFACT) or run())
+    """Plain-text delta table.
+
+    With no artifact on disk this renders an explicit pointer to the run
+    command instead of silently launching the expensive engine/fakequant
+    evaluation pair.
+    """
+    result = result or load_artifact(_ARTIFACT)
+    if result is None:
+        return ("Engine delta - no artifact found; run "
+                "`python -m repro.cli experiments engine_delta` to compute "
+                "the fakequant-vs-engine table")
     headers = ["Format", "fakequant", "engine", "delta"]
     rows = [[name, vals["fakequant"], vals["engine"], vals["delta"]]
             for name, vals in sorted(result["rows"].items())]

@@ -11,10 +11,20 @@
 
 from __future__ import annotations
 
+import math
+
 from .common import load_artifact, save_artifact
 from . import fig7, table3
 
 __all__ = ["run", "render"]
+
+
+def _finite_score(row: dict, column: str) -> float | None:
+    """A grid cell as a finite float, or None (missing / ``ERR`` entry)."""
+    value = row.get(column)
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return None  # absent, or a structured error entry
+    return float(value) if math.isfinite(value) else None
 
 
 def run(refresh: bool = False) -> dict:
@@ -43,9 +53,12 @@ def run(refresh: bool = False) -> dict:
     table2 = load_artifact("table2")
     if table2 and "grid" in table2:
         grid = table2["grid"]
-        deltas = [abs(row.get("MERSIT(8,2)", 0) - row.get("Posit(8,1)", 0))
-                  for row in grid.values()
-                  if "MERSIT(8,2)" in row and "Posit(8,1)" in row]
+        # error entries / non-finite cells are excluded rather than
+        # silently treated as 0-accuracy rows
+        pairs = [(_finite_score(row, "MERSIT(8,2)"),
+                  _finite_score(row, "Posit(8,1)")) for row in grid.values()]
+        deltas = [abs(me - po) for me, po in pairs
+                  if me is not None and po is not None]
         if deltas:
             claims["max_abs_accuracy_gap_mersit_vs_posit"] = {
                 "measured": max(deltas), "paper": 1.5}

@@ -7,8 +7,17 @@ Usage::
 
 Without arguments runs everything except the two expensive grids — the
 full Table 2 fill and the fakequant-vs-true-quantized ``engine_delta``
-table (run those explicitly or as part of ``all``).  ``--jobs N`` parallelises the Table 2 grid fill across N
-worker processes (the other experiments are cheap and stay serial).
+table (run those explicitly or as part of ``all``).  ``--jobs N``
+parallelises the Table 2 grid fill across N worker processes (the other
+experiments are cheap and stay serial).
+
+The Table 2 fill runs under the resilient executor: ``--cell-timeout``
+bounds each cell (hung-worker detection, pool path only) and
+``--retries`` bounds the retry budget for transiently failing cells;
+cells that exhaust it are recorded as structured errors (``ERR`` in the
+rendered table) while the rest of the grid completes.  The expensive
+grids are computed *here* — their ``render()`` alone never launches a
+run (it points at this command instead).
 """
 
 from __future__ import annotations
@@ -44,6 +53,13 @@ def main(argv: list[str] | None = None) -> int:
                         help="experiment names, or 'all' (default: fast set)")
     parser.add_argument("--jobs", type=int, default=1,
                         help="worker processes for the table2 grid (default: serial)")
+    parser.add_argument("--cell-timeout", type=float, default=None,
+                        dest="cell_timeout",
+                        help="per-cell deadline in seconds for the table2 "
+                             "pool (hung-worker detection; default: none)")
+    parser.add_argument("--retries", type=int, default=1,
+                        help="retry budget for transiently failing table2 "
+                             "cells (default: 1)")
     args = parser.parse_args(sys.argv[1:] if argv is None else argv)
 
     names = args.names or DEFAULT
@@ -56,9 +72,14 @@ def main(argv: list[str] | None = None) -> int:
     for name in names:
         mod = EXPERIMENTS[name]
         print(f"\n===== {name} =====")
-        if name == "table2" and args.jobs > 1:
-            # fill missing grid cells in parallel, then render the result
-            print(table2.render(table2.run(jobs=args.jobs)))
+        if name == "table2":
+            # the expensive grids are computed here explicitly — render()
+            # alone never launches them
+            print(table2.render(table2.run(jobs=args.jobs,
+                                           cell_timeout=args.cell_timeout,
+                                           retries=args.retries)))
+        elif name == "engine_delta":
+            print(engine_delta.render(engine_delta.run()))
         else:
             print(mod.render())
     return 0

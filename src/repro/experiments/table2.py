@@ -11,15 +11,26 @@ expensive), so repeated invocations only compute missing cells; pass
 fans the missing cells across a ``multiprocessing`` pool; results are
 committed in submission order, so the artifact is bit-identical to a
 serial run.
+
+The fill runs on the resilient executor
+(:func:`repro.resilience.run_cells`): a cell that crashes or hangs is
+retried with backoff and, when it exhausts its retries — or fails
+deterministically with a :class:`~repro.resilience.NumericsError` — is
+recorded as a structured ``{"error": ...}`` entry (rendered ``ERR``)
+while the rest of the grid completes.  A later run re-attempts only
+errored/missing cells, so a converged artifact is byte-identical to one
+from a clean serial run.
 """
 
 from __future__ import annotations
 
-import multiprocessing
+import math
 
 from ..autograd import Tensor
 from ..formats import TABLE2_FORMATS
 from ..quant import PTQConfig, dequantize_model, quantize_model
+from ..resilience import NumericsError, is_error_entry, run_cells
+from ..resilience import faults
 from ..zoo import ALL_MODELS, dataset, evaluate_text, evaluate_vision, glue_task, pretrained
 from .common import format_table, load_artifact, save_artifact
 
@@ -76,23 +87,28 @@ def _eval_cell(name: str, fmt_name: str, eval_n: int, calib_n: int) -> float:
 
 
 def _eval_cell_task(cell: tuple) -> float:
-    """Pool-friendly wrapper: one (model, format, eval_n, calib_n) cell."""
+    """Pool-friendly wrapper: one (model, format, eval_n, calib_n) cell.
+
+    Hosts the ``cell`` fault-injection point and the final numeric guard:
+    a non-finite score raises :class:`NumericsError` instead of being
+    pinned into the artifact cache as a plausible-looking number.
+    """
     name, fmt_name, eval_n, calib_n = cell
-    return _eval_cell(name, fmt_name, eval_n, calib_n)
-
-
-def _pool_context():
-    # fork shares the already-loaded zoo caches/format tables with the
-    # workers for free; fall back to the platform default elsewhere
-    try:
-        return multiprocessing.get_context("fork")
-    except ValueError:  # pragma: no cover - non-fork platforms
-        return multiprocessing.get_context()
+    key = f"{name}/{fmt_name}"
+    if faults.maybe_fault("cell", key) == "nan":
+        score = float("nan")
+    else:
+        score = _eval_cell(name, fmt_name, eval_n, calib_n)
+    if not math.isfinite(score):
+        raise NumericsError(f"table2 cell {key} produced a non-finite score",
+                            stat="score")
+    return score
 
 
 def run(models: list[str] | None = None, formats: list[str] | None = None,
         eval_n: int = 400, calib_n: int = 100, refresh: bool = False,
-        verbose: bool = False, jobs: int = 1) -> dict:
+        verbose: bool = False, jobs: int = 1, cell_timeout: float | None = None,
+        retries: int = 1, backoff: float = 0.5) -> dict:
     """Fill (incrementally) the Table 2 grid and return it.
 
     The grid is keyed ``grid[model][format] -> score``; an ``FP32`` column
@@ -101,41 +117,70 @@ def run(models: list[str] | None = None, formats: list[str] | None = None,
     ``jobs > 1`` computes missing cells on a process pool; scores are
     committed in the same model-major order as the serial path, so the
     resulting artifact is identical.
+
+    ``cell_timeout`` (seconds, pool path only) bounds each cell so a hung
+    worker cannot wedge the run; failed cells are retried ``retries``
+    times with exponential ``backoff`` and then recorded as structured
+    error entries (see :mod:`repro.resilience`).  Error entries count as
+    missing on the next invocation, so re-running repairs them.
+
+    When the ``eval_n``/``calib_n`` meta-key changes, the stale grid is
+    not silently wiped: a one-line notice says what was discarded and the
+    old grid is kept under the artifact's ``superseded`` key.
     """
     models = list(models or MODEL_ORDER)
     formats = ["FP32"] + [f for f in (formats or TABLE2_FORMATS) if f != "FP32"]
     art = (load_artifact(_ARTIFACT) or {}) if not refresh else {}
     grid = art.get("grid", {})
+    superseded = art.get("superseded")
     meta_key = f"{eval_n}/{calib_n}"
     if art.get("meta_key") not in (None, meta_key):
+        n_cells = sum(len(row) for row in grid.values())
+        print(f"table2: meta_key changed {art['meta_key']!r} -> {meta_key!r}; "
+              f"discarding {n_cells} cached cell(s), previous grid kept "
+              f"under the artifact's 'superseded' key", flush=True)
+        superseded = {"meta_key": art["meta_key"], "grid": grid}
         grid = {}
     missing = [(name, fmt_name) for name in models for fmt_name in formats
-               if fmt_name not in grid.setdefault(name, {})]
+               if fmt_name not in grid.setdefault(name, {})
+               or is_error_entry(grid[name][fmt_name])]
 
-    def commit(name: str, fmt_name: str, score: float) -> None:
-        grid[name][fmt_name] = score
+    def artifact() -> dict:
+        out = {"grid": grid, "meta_key": meta_key}
+        if superseded is not None:
+            out["superseded"] = superseded
+        return out
+
+    def commit(index: int, value) -> None:
+        name, fmt_name = missing[index]
+        grid[name][fmt_name] = value
         if verbose:  # pragma: no cover - logging
-            print(f"  table2 {name} {fmt_name}: {score:.2f}", flush=True)
-        save_artifact(_ARTIFACT, {"grid": grid, "meta_key": meta_key})
+            shown = (f"ERR({value['error']['kind']})" if is_error_entry(value)
+                     else f"{value:.2f}")
+            print(f"  table2 {name} {fmt_name}: {shown}", flush=True)
+        save_artifact(_ARTIFACT, artifact())
 
-    if jobs <= 1 or len(missing) <= 1:
-        for name, fmt_name in missing:
-            commit(name, fmt_name, _eval_cell(name, fmt_name, eval_n, calib_n))
-    else:
-        tasks = [(n, f, eval_n, calib_n) for n, f in missing]
-        ctx = _pool_context()
-        with ctx.Pool(processes=min(jobs, len(missing))) as pool:
-            # imap yields in submission order: deterministic artifact
-            for (name, fmt_name), score in zip(missing, pool.imap(_eval_cell_task, tasks)):
-                commit(name, fmt_name, score)
-    result = {"grid": grid, "meta_key": meta_key}
+    tasks = [(n, f, eval_n, calib_n) for n, f in missing]
+    run_cells(tasks, _eval_cell_task, jobs=jobs, timeout=cell_timeout,
+              retries=retries, backoff=backoff, commit=commit)
+    result = artifact()
     save_artifact(_ARTIFACT, result)
     return result
 
 
 def render(result: dict | None = None) -> str:
-    """Plain-text rendering of whatever grid cells exist so far."""
-    result = result or (load_artifact(_ARTIFACT) or run())
+    """Plain-text rendering of whatever grid cells exist so far.
+
+    With no artifact on disk this renders an explicit pointer to the run
+    command instead of silently launching the full (hours-long at paper
+    settings) grid fill.  Cells recorded as structured errors render as
+    ``ERR``.
+    """
+    result = result or load_artifact(_ARTIFACT)
+    if result is None:
+        return ("Table 2 - no artifact found; run "
+                "`python -m repro.cli experiments table2` (optionally "
+                "--jobs N) to fill the grid")
     grid = result["grid"]
     formats = ["FP32"] + list(TABLE2_FORMATS)
     headers = ["Model"] + formats
@@ -143,6 +188,10 @@ def render(result: dict | None = None) -> str:
     for name in MODEL_ORDER:
         if name not in grid:
             continue
-        rows.append([name] + [grid[name].get(f, float("nan")) for f in formats])
+        row = [name]
+        for f in formats:
+            value = grid[name].get(f, float("nan"))
+            row.append("ERR" if is_error_entry(value) else value)
+        rows.append(row)
     return ("Table 2 - PTQ accuracy (measured, synthetic-task analogues)\n"
             + format_table(headers, rows, floatfmt=".1f"))

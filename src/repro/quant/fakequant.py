@@ -18,6 +18,8 @@ from __future__ import annotations
 import numpy as np
 
 from ..formats.base import CodebookFormat
+from ..resilience import faults
+from ..resilience.numerics import ensure_finite
 
 __all__ = ["FakeQuantizer", "quantize_with_scale"]
 
@@ -95,6 +97,11 @@ class FakeQuantizer:
     :meth:`__call__`.  For tensors that rarely change between calls (layer
     weights), :meth:`quantize_cached` memoizes the result keyed on the
     tensor's data version and this quantizer's scale version.
+
+    Calibration statistics are guarded: a NaN/Inf reaching the scale
+    raises a diagnostic :class:`~repro.resilience.NumericsError` naming
+    the layer (``name``), the observer and the offending statistic,
+    instead of silently producing a garbage scale.
     """
 
     def __init__(
@@ -104,6 +111,7 @@ class FakeQuantizer:
         scale: np.ndarray | float | None = None,
         gain: float | None = None,
         observer=None,
+        name: str | None = None,
     ):
         self.fmt = fmt
         self.axis = axis
@@ -114,6 +122,9 @@ class FakeQuantizer:
         #: optional streaming observer (see repro.quant.observers); when
         #: set, observe() delegates to it and finalize() derives the scale.
         self.observer = observer
+        #: owning-layer name, used in NumericsError diagnostics and as
+        #: the key of the ``calib`` fault-injection point
+        self.name = name
 
     @property
     def scale(self) -> np.ndarray | None:
@@ -135,36 +146,48 @@ class FakeQuantizer:
         """Set the scale to the max magnitude of ``x`` (per-channel if axis set).
 
         Empty input calibrates to the neutral scale 1.0 (per-channel: a
-        channel with zero elements gets 1.0) rather than raising.
+        channel with zero elements gets 1.0) rather than raising.  A
+        non-finite maximum raises :class:`~repro.resilience.NumericsError`.
         """
         x = np.asarray(x, dtype=np.float64)
         if self.axis is None:
-            self.scale = np.asarray(np.max(np.abs(x)) if x.size else 1.0)
+            scale = np.asarray(np.max(np.abs(x)) if x.size else 1.0)
         else:
-            self.scale = _channel_max(x, self.axis, empty=1.0)
+            scale = _channel_max(x, self.axis, empty=1.0)
+        self.scale = ensure_finite(scale, "max-magnitude scale",
+                                   layer=self.name, observer="max")
         return self
 
     def observe(self, x: np.ndarray) -> "FakeQuantizer":
         """Streaming calibration update (running max, or the attached observer).
 
         Empty input contributes 0.0 — the identity of the running max — so
-        it never shrinks an already-observed scale.
+        it never shrinks an already-observed scale.  A non-finite batch
+        maximum raises :class:`~repro.resilience.NumericsError` at the
+        batch that introduced it.  Hosts the ``calib`` fault-injection
+        point (keyed by the layer name).
         """
+        x = np.asarray(x, dtype=np.float64)
+        if faults.maybe_fault("calib", self.name or "activation") == "nan":
+            x = faults.poison_nan(x)
         if self.observer is not None:
             self.observer.observe(x)
             return self
-        x = np.asarray(x, dtype=np.float64)
         if self.axis is None:
             new = np.asarray(np.max(np.abs(x)) if x.size else 0.0)
         else:
             new = _channel_max(x, self.axis, empty=0.0)
+        ensure_finite(new, "running max", layer=self.name, observer="max")
         self.scale = new if self.scale is None else np.maximum(self.scale, new)
         return self
 
     def finalize(self) -> "FakeQuantizer":
         """Derive the scale from the attached observer (no-op otherwise)."""
         if self.observer is not None:
-            self.scale = np.asarray(self.observer.compute_scale(), dtype=np.float64)
+            scale = np.asarray(self.observer.compute_scale(), dtype=np.float64)
+            self.scale = ensure_finite(
+                scale, "observer scale", layer=self.name,
+                observer=type(self.observer).__name__)
         return self
 
     def __call__(self, x: np.ndarray) -> np.ndarray:

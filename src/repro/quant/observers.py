@@ -21,6 +21,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..formats.base import CodebookFormat
+from ..resilience.numerics import ensure_finite
 from .fakequant import quantize_with_scale
 
 __all__ = ["MaxObserver", "PercentileObserver", "MSEObserver", "make_observer"]
@@ -54,13 +55,15 @@ class MaxObserver(_ObserverBase):
         x = np.asarray(x, dtype=np.float64)
         new = (np.max(np.abs(x)) if self.axis is None
                else self._per_channel(x).max(axis=1))
+        # guard at the batch that introduced the NaN/Inf, not at the end
+        ensure_finite(new, "batch max", observer="max")
         self._max = new if self._max is None else np.maximum(self._max, new)
         return self
 
     def compute_scale(self):
         if self._max is None:
             raise RuntimeError("observer saw no data")
-        return self._max
+        return ensure_finite(self._max, "running max", observer="max")
 
 
 class PercentileObserver(_ObserverBase):
@@ -100,10 +103,12 @@ class PercentileObserver(_ObserverBase):
         if not self._samples:
             raise RuntimeError("observer saw no data")
         if self.axis is None:
-            return float(np.percentile(np.concatenate(self._samples),
-                                       self.percentile))
-        data = np.concatenate(self._samples, axis=1)
-        return np.percentile(data, self.percentile, axis=1)
+            scale = float(np.percentile(np.concatenate(self._samples),
+                                        self.percentile))
+        else:
+            data = np.concatenate(self._samples, axis=1)
+            scale = np.percentile(data, self.percentile, axis=1)
+        return ensure_finite(scale, "percentile scale", observer="percentile")
 
 
 class MSEObserver(_ObserverBase):
@@ -134,6 +139,9 @@ class MSEObserver(_ObserverBase):
         if not self._chunks:
             raise RuntimeError("observer saw no data")
         data = np.concatenate(self._chunks)
+        # a NaN in the stream poisons every grid-search MSE (all
+        # comparisons false), silently returning the raw max — guard first
+        ensure_finite(data, "calibration stream", observer="mse")
         if self._max == 0.0:  # lint: allow[float-equality] exact all-zero stream guard
             return 1.0
         best_scale, best_err = self._max, np.inf

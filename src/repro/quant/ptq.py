@@ -24,6 +24,7 @@ from ..autograd import no_grad
 from ..formats import CodebookFormat, get_format
 from ..nn.layers import QuantizableMixin
 from ..nn.module import Module
+from ..resilience import NumericsError
 from .fakequant import FakeQuantizer
 
 __all__ = ["PTQConfig", "quantize_model", "dequantize_model", "quantized_layers"]
@@ -116,17 +117,20 @@ def quantize_model(
     for name, layer in quantized_layers(model):
         if config.skip is not None and config.skip(name, layer):
             continue
-        targets.append(layer)
+        targets.append((name, layer))
         axis = 0 if config.per_channel_weights else None
+        # quantizers carry the layer name so NumericsError diagnostics
+        # (and the `calib` fault point) identify the offending layer
         layer.weight_quant = FakeQuantizer(
-            config.wfmt, axis=axis, gain=config.gain_override).calibrate(layer.weight.data)
+            config.wfmt, axis=axis, gain=config.gain_override,
+            name=name).calibrate(layer.weight.data)
         observer = None
         if config.activation_observer != "max":
             from .observers import make_observer
             observer = make_observer(config.activation_observer, config.afmt)
         layer.input_quant = FakeQuantizer(config.afmt, axis=None,
                                           gain=config.gain_override,
-                                          observer=observer)
+                                          observer=observer, name=name)
         layer.observing = True
 
     if not targets:
@@ -140,11 +144,15 @@ def quantize_model(
     if not saw_batch:
         raise ValueError("calibration stream is empty")
 
-    for layer in targets:
+    for name, layer in targets:
         layer.observing = False
-        layer.input_quant.finalize()
+        try:
+            layer.input_quant.finalize()
+        except NumericsError as exc:
+            # observers raise without layer context; attach it here
+            raise exc.with_context(layer=name) from exc
         if not layer.input_quant.calibrated:
-            raise RuntimeError("a quantized layer saw no calibration data")
+            raise RuntimeError(f"quantized layer {name!r} saw no calibration data")
         # warm the memoized weight path so the first evaluation batch does
         # not pay the one-off quantization cost (weights are static now)
         layer.weight_quant.quantize_cached(layer.weight)

@@ -1,0 +1,34 @@
+"""Fault-tolerant experiment runtime: the discipline under the grids.
+
+The Table 2 grid is the most expensive computation in the repo; this
+package makes its runtime survive the failures that real long runs hit,
+and makes every recovery path testable:
+
+* :mod:`~repro.resilience.store` — crash-safe artifact persistence:
+  atomic tmp+fsync+rename writes, checksummed schema-versioned
+  envelopes, automatic fallback to the last-good ``.bak`` on corruption;
+* :mod:`~repro.resilience.executor` — resilient grid execution:
+  per-cell deadlines (hung-worker detection), bounded retry with
+  exponential backoff, and structured ``error`` entries for cells that
+  cannot be computed, so the rest of the grid still completes and a
+  later run re-attempts only the errored/missing cells;
+* :mod:`~repro.resilience.numerics` — diagnostic
+  :class:`~repro.resilience.numerics.NumericsError` guards that stop
+  NaN/Inf calibration statistics from becoming plausible-looking grid
+  cells;
+* :mod:`~repro.resilience.faults` — the deterministic ``REPRO_FAULTS``
+  injection harness (``repro faults`` lists the points) that exercises
+  all of the above from tests (``scripts/check.sh --chaos``).
+"""
+
+from .executor import error_entry, is_error_entry, run_cells
+from .faults import FaultInjected, FaultSpec, FaultSpecError
+from .numerics import NumericsError, ensure_finite
+from .store import load_json, save_json
+
+__all__ = [
+    "error_entry", "is_error_entry", "run_cells",
+    "FaultInjected", "FaultSpec", "FaultSpecError",
+    "NumericsError", "ensure_finite",
+    "load_json", "save_json",
+]

@@ -1,0 +1,203 @@
+"""Resilient grid execution: timeouts, bounded retry, graceful degradation.
+
+:func:`run_cells` is the fault-disciplined replacement for the bare
+``pool.imap`` loop the Table 2 grid used to run on.  Guarantees:
+
+* **deterministic commit order** — results are committed in submission
+  order regardless of completion order, so a parallel fill produces an
+  artifact byte-identical to a serial one;
+* **per-cell deadline** — with ``timeout`` set, a cell whose worker
+  hangs (or was hard-killed) is detected; the pool is torn down and
+  rebuilt so one stuck process cannot wedge the whole grid;
+* **bounded retry** — transient failures (a crashed worker, a lost
+  result) are retried up to ``retries`` times with exponential backoff;
+* **graceful degradation** — a cell that exhausts its retries, or
+  raises a deterministic :class:`~repro.resilience.numerics.NumericsError`,
+  resolves to a structured :func:`error_entry` instead of killing the
+  run; the remaining cells complete and a later run re-attempts only the
+  errored/missing cells.
+
+``KeyboardInterrupt`` propagates immediately (after pool teardown): the
+caller's incremental commits mean an interrupted run still leaves a
+loadable artifact behind.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+from . import faults
+from .numerics import NumericsError
+
+__all__ = ["error_entry", "is_error_entry", "run_cells"]
+
+
+def error_entry(kind: str, message: str, attempts: int) -> dict:
+    """The structured artifact entry for a cell that could not be computed."""
+    return {"error": {"kind": kind, "message": message, "attempts": attempts}}
+
+
+def is_error_entry(value: object) -> bool:
+    """True iff ``value`` is a structured error entry (vs a real score)."""
+    return isinstance(value, dict) and "error" in value
+
+
+def _invoke(worker, seq: int, task, fault_action: str | None):
+    """Pool-side shim: enact any parent-fired ``worker`` fault, then run."""
+    if fault_action is not None:
+        faults.enact(fault_action, "worker", str(seq))
+    return worker(task)
+
+
+@dataclass
+class _Cell:
+    task: object
+    attempts: int = 0
+    failure: tuple[str, str] | None = None  # (kind, message) of last failure
+
+
+def _default_context():
+    """Fork when available (shares loaded caches with workers for free)."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-fork platforms
+        return multiprocessing.get_context()
+
+
+def run_cells(
+    tasks: Sequence,
+    worker: Callable,
+    jobs: int = 1,
+    timeout: float | None = None,
+    retries: int = 1,
+    backoff: float = 0.5,
+    backoff_cap: float = 8.0,
+    commit: Callable[[int, object], None] | None = None,
+    ctx=None,
+    sleep: Callable[[float], None] = time.sleep,
+) -> list:
+    """Run ``worker(task)`` for every task; never lose the whole grid.
+
+    Returns one result per task, in task order: the worker's return
+    value, or an :func:`error_entry` for cells that exhausted ``retries``
+    (kind ``"crash"``/``"timeout"``) or failed deterministically (kind
+    ``"numerics"``).  ``commit(index, result)`` is called in strict task
+    order as results resolve — the incremental-persistence hook.
+
+    ``timeout`` (seconds) bounds the wait for each cell's result and is
+    enforced only on the pool path (``jobs > 1``); a timed-out wave
+    tears the pool down (freeing hung workers) and resubmits the
+    unresolved cells.  ``backoff`` doubles per retry, capped at
+    ``backoff_cap``; ``sleep`` is injectable for tests.
+    """
+    cells = [_Cell(task) for task in tasks]
+    results: list = [None] * len(cells)
+    if jobs <= 1:
+        _run_serial(cells, worker, results, retries, backoff, backoff_cap,
+                    commit, sleep)
+    else:
+        _run_pool(cells, worker, results, jobs, timeout, retries, backoff,
+                  backoff_cap, commit, ctx or _default_context(), sleep)
+    return results
+
+
+def _delay(backoff: float, backoff_cap: float, attempt: int) -> float:
+    return min(backoff_cap, backoff * (2.0 ** (attempt - 1)))
+
+
+def _run_serial(cells, worker, results, retries, backoff, backoff_cap,
+                commit, sleep) -> None:
+    for i, cell in enumerate(cells):
+        while True:
+            cell.attempts += 1
+            fault = faults.fire("worker", str(i))
+            try:
+                value = _invoke(worker, i, cell.task,
+                                fault.action if fault else None)
+            except NumericsError as exc:
+                # deterministic numeric failure: retrying cannot help
+                results[i] = error_entry("numerics", str(exc), cell.attempts)
+                break
+            except KeyboardInterrupt:
+                raise
+            except Exception as exc:  # lint: allow[broad-except] retry classification of arbitrary worker failures
+                cell.failure = ("crash", f"{type(exc).__name__}: {exc}")
+                if cell.attempts > retries:
+                    results[i] = error_entry("crash", cell.failure[1],
+                                             cell.attempts)
+                    break
+                sleep(_delay(backoff, backoff_cap, cell.attempts))
+            else:
+                results[i] = value
+                break
+        if commit is not None:
+            commit(i, results[i])
+
+
+def _run_pool(cells, worker, results, jobs, timeout, retries, backoff,
+              backoff_cap, commit, ctx, sleep) -> None:
+    pending = set(range(len(cells)))
+    committed = 0
+
+    def flush_commits():
+        nonlocal committed
+        while committed < len(cells) and committed not in pending:
+            if commit is not None:
+                commit(committed, results[committed])
+            committed += 1
+
+    wave = 0
+    while pending:
+        if wave:
+            sleep(_delay(backoff, backoff_cap, wave))
+        wave += 1
+        order = sorted(pending)
+        pool = ctx.Pool(processes=min(jobs, len(order)))
+        try:
+            # worker-scope faults fire in the parent so their counts
+            # survive pool restarts; the action is enacted in the child
+            handles = []
+            for i in order:
+                fault = faults.fire("worker", str(i))
+                handles.append((i, pool.apply_async(
+                    _invoke, (worker, i, cells[i].task,
+                              fault.action if fault else None))))
+            degraded = False  # a worker may be hung/dead: stop blocking
+            for i, handle in handles:
+                if degraded and not handle.ready():
+                    continue  # no attempt charged; fresh pool next wave
+                cell = cells[i]
+                try:
+                    value = handle.get(timeout)
+                except multiprocessing.TimeoutError:
+                    cell.attempts += 1
+                    cell.failure = ("timeout",
+                                    f"no result within {timeout}s "
+                                    f"(worker hung or killed)")
+                    degraded = True
+                except NumericsError as exc:
+                    results[i] = error_entry("numerics", str(exc),
+                                             cell.attempts + 1)
+                    pending.discard(i)
+                except KeyboardInterrupt:
+                    raise
+                except Exception as exc:  # lint: allow[broad-except] retry classification of arbitrary worker failures
+                    cell.attempts += 1
+                    cell.failure = ("crash", f"{type(exc).__name__}: {exc}")
+                else:
+                    results[i] = value
+                    pending.discard(i)
+                flush_commits()
+        finally:
+            pool.terminate()
+            pool.join()
+        for i in sorted(pending):
+            cell = cells[i]
+            if cell.failure is not None and cell.attempts > retries:
+                results[i] = error_entry(cell.failure[0], cell.failure[1],
+                                         cell.attempts)
+                pending.discard(i)
+        flush_commits()

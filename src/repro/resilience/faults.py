@@ -1,0 +1,233 @@
+"""Deterministic fault injection for the experiment runtime.
+
+Every recovery path in :mod:`repro.resilience` is exercised by tests, not
+trusted: a ``REPRO_FAULTS`` environment spec arms named injection points
+threaded through the experiment drivers, the artifact store, the
+calibration observers and the inference engine.  The spec is a
+comma-separated list of clauses::
+
+    scope[:key]:action[:count]
+
+* ``scope`` — where the fault fires (see :data:`SCOPES`):
+  ``cell`` (a table2 grid cell), ``worker`` (a pool task pickup),
+  ``artifact`` (an artifact-store save), ``calib`` (an activation
+  calibration batch), ``engine`` (activation encode in the engine).
+* ``key`` — which site within the scope; an ``fnmatch`` glob matched
+  against the site key (``MODEL/FORMAT`` for cells, the task sequence
+  index for workers, the artifact name, the layer name for calibration).
+  Omitted key means ``*`` (every site).
+* ``action`` — what happens (see :data:`ACTIONS`): ``crash`` raises
+  :class:`FaultInjected`, ``kill`` hard-exits the process (a SIGKILL
+  analogue), ``hang`` sleeps :data:`HANG_SECONDS`, ``nan`` poisons the
+  site's data with a NaN, ``truncate`` cuts an artifact write short.
+* ``count`` — fire at most this many times (default: every match).
+  Counts are tracked in the process that calls :func:`fire`; the grid
+  executor fires ``worker``-scope faults in the parent so their counts
+  survive pool restarts, while ``cell``/``calib``/``engine`` faults fire
+  inside the worker process.
+
+Examples::
+
+    REPRO_FAULTS=cell:ResNet18/INT8:crash       # that cell always crashes
+    REPRO_FAULTS=worker:2:hang:1                # task 2 hangs once
+    REPRO_FAULTS=artifact:table2:truncate:1     # one save dies mid-write
+    REPRO_FAULTS=calib:nan                      # every calibration batch
+                                                # picks up a NaN
+
+Injection is fully deterministic: a fault fires iff its clause matches
+and its count is not exhausted — there is no randomness to seed, so a
+failing chaos run replays exactly.  ``python -m repro.cli faults`` lists
+the registered injection points and whatever the environment has armed.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import os
+import re
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "ACTIONS", "SCOPES", "HANG_SECONDS", "ENV_VAR",
+    "FaultInjected", "FaultSpecError", "FaultSpec",
+    "parse_spec", "active_faults", "fire", "maybe_fault", "poison_nan",
+    "INJECTION_POINTS", "describe",
+]
+
+#: environment variable holding the armed fault spec
+ENV_VAR = "REPRO_FAULTS"
+
+#: recognised fault actions
+ACTIONS = frozenset({"crash", "kill", "hang", "nan", "truncate"})
+
+#: recognised injection scopes
+SCOPES = frozenset({"cell", "worker", "artifact", "calib", "engine"})
+
+#: how long a ``hang`` action sleeps (long enough that any sane per-cell
+#: deadline expires first)
+HANG_SECONDS = 3600.0
+
+
+class FaultSpecError(ValueError):
+    """A ``REPRO_FAULTS`` clause could not be parsed."""
+
+
+class FaultInjected(RuntimeError):
+    """Raised by the ``crash`` action at an armed injection point."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One armed fault: scope, site-key glob, action and firing budget."""
+
+    scope: str
+    key: str
+    action: str
+    count: int | None  # max firings; None = unlimited
+
+    def render(self) -> str:
+        """The canonical clause text for this spec."""
+        out = f"{self.scope}:{self.key}:{self.action}"
+        return out if self.count is None else f"{out}:{self.count}"
+
+
+def parse_spec(text: str) -> list[FaultSpec]:
+    """Parse a ``REPRO_FAULTS`` spec string into :class:`FaultSpec` list.
+
+    Raises :class:`FaultSpecError` on an unknown scope/action or a
+    malformed count so typos fail loudly instead of silently disarming
+    a chaos run.  Commas inside parentheses do not split clauses —
+    format names like ``Posit(8,1)`` appear verbatim in cell keys.
+    """
+    specs: list[FaultSpec] = []
+    for clause in (c.strip() for c in re.split(r",(?![^()]*\))", text)):
+        if not clause:
+            continue
+        fields = clause.split(":")
+        if len(fields) < 2:
+            raise FaultSpecError(
+                f"clause {clause!r} needs at least scope:action")
+        scope = fields[0]
+        if scope not in SCOPES:
+            raise FaultSpecError(
+                f"unknown scope {scope!r} in {clause!r}; known: {sorted(SCOPES)}")
+        count: int | None = None
+        if len(fields) >= 3 and fields[-1].isdigit() and fields[-2] in ACTIONS:
+            count = int(fields[-1])
+            if count < 1:
+                raise FaultSpecError(f"count must be >= 1 in {clause!r}")
+            fields = fields[:-1]
+        action = fields[-1]
+        if action not in ACTIONS:
+            raise FaultSpecError(
+                f"unknown action {action!r} in {clause!r}; known: {sorted(ACTIONS)}")
+        key = ":".join(fields[1:-1]) or "*"
+        specs.append(FaultSpec(scope=scope, key=key, action=action, count=count))
+    return specs
+
+
+# parse cache keyed on the raw env string, plus per-spec firing counters;
+# counters reset whenever the spec string changes (e.g. between tests)
+_cache_text: str | None = None
+_cache_specs: list[FaultSpec] = []
+_fired: dict[int, int] = {}
+
+
+def active_faults() -> list[FaultSpec]:
+    """The faults currently armed via ``$REPRO_FAULTS`` (parsed, cached)."""
+    global _cache_text, _cache_specs, _fired
+    text = os.environ.get(ENV_VAR, "")
+    if text != _cache_text:
+        _cache_specs = parse_spec(text)
+        _cache_text = text
+        _fired = {}
+    return list(_cache_specs)
+
+
+def fire(scope: str, key: str) -> FaultSpec | None:
+    """Consume one firing of the first armed fault matching ``scope:key``.
+
+    Returns the matched spec (its count decremented) or None.  This only
+    *accounts* for the fault; enacting the action is the caller's job —
+    use :func:`maybe_fault` for the common raise/kill/hang behaviours.
+    """
+    for idx, spec in enumerate(active_faults()):
+        if spec.scope != scope or not fnmatch.fnmatchcase(key, spec.key):
+            continue
+        if spec.count is not None and _fired.get(idx, 0) >= spec.count:
+            continue
+        _fired[idx] = _fired.get(idx, 0) + 1
+        return spec
+    return None
+
+
+def maybe_fault(scope: str, key: str) -> str | None:
+    """Fire and *enact* any armed fault at ``scope:key``.
+
+    ``crash`` raises :class:`FaultInjected`; ``kill`` hard-exits the
+    process without cleanup (the SIGKILL analogue — exercises the
+    hung/dead-worker path); ``hang`` sleeps :data:`HANG_SECONDS`.  Data
+    actions (``nan``, ``truncate``) are returned to the caller, which
+    knows how to corrupt its own payload.  Returns None when nothing
+    fired.
+    """
+    spec = fire(scope, key)
+    if spec is None:
+        return None
+    return enact(spec.action, scope, key)
+
+
+def enact(action: str, scope: str, key: str) -> str:
+    """Carry out a fired fault ``action`` at site ``scope:key``."""
+    if action == "crash":
+        raise FaultInjected(f"injected crash at {scope}:{key}")
+    if action == "kill":
+        os._exit(70)  # pragma: no cover - exits the (worker) process
+    if action == "hang":
+        time.sleep(HANG_SECONDS)
+    return action
+
+
+def poison_nan(x: np.ndarray) -> np.ndarray:
+    """A copy of ``x`` with its first element replaced by NaN."""
+    x = np.array(x, dtype=np.float64, copy=True)
+    if x.size:
+        x.flat[0] = np.nan
+    return x
+
+
+#: registry of injection points: (scope, site, actions, key meaning).
+#: ``repro faults`` renders this so chaos specs can be written without
+#: reading the source.
+INJECTION_POINTS: list[tuple[str, str, str, str]] = [
+    ("cell", "experiments.table2._eval_cell_task",
+     "crash|kill|hang|nan", "MODEL/FORMAT, e.g. ResNet18/INT8"),
+    ("worker", "resilience.executor.run_cells (fired in the parent)",
+     "crash|kill|hang", "task sequence index, e.g. 2"),
+    ("artifact", "resilience.store.save_json",
+     "truncate", "artifact name, e.g. table2"),
+    ("calib", "quant.fakequant.FakeQuantizer.observe",
+     "nan", "layer name (as assigned by quantize_model)"),
+    ("engine", "engine.executor.LayerEngine.encode_input",
+     "nan", "'encode'"),
+]
+
+
+def describe(specs: list[FaultSpec] | None = None) -> str:
+    """Human listing of the injection points and the armed faults."""
+    if specs is None:
+        specs = active_faults()
+    lines = ["fault-injection points (arm via $REPRO_FAULTS, clause "
+             "scope[:key]:action[:count]):"]
+    for scope, site, actions, key_doc in INJECTION_POINTS:
+        lines.append(f"  {scope:9s} {site}")
+        lines.append(f"  {'':9s}   actions: {actions};  key: {key_doc}")
+    if specs:
+        lines.append("armed:")
+        lines.extend(f"  {spec.render()}" for spec in specs)
+    else:
+        lines.append("armed: (none)")
+    return "\n".join(lines)

@@ -1,0 +1,71 @@
+"""Numeric guards: fail loudly and diagnostically on NaN/Inf statistics.
+
+A NaN that sneaks into calibration silently becomes a garbage scale, a
+garbage accuracy cell, and — through the incremental artifact cache — a
+*pinned* garbage cell that later runs trust forever.  The guards here
+turn that into a :class:`NumericsError` carrying the layer, the observer
+and the offending statistic, raised at the first non-finite value, so
+the grid executor records a structured error instead of a plausible
+looking number.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["NumericsError", "nonfinite_summary", "ensure_finite"]
+
+
+class NumericsError(ArithmeticError):
+    """A non-finite value reached a numeric decision point.
+
+    Carries enough context to locate the failure without a debugger:
+    the layer being calibrated/executed, the observer that computed the
+    statistic, and the name of the offending statistic itself.
+    """
+
+    def __init__(self, message: str, layer: str | None = None,
+                 observer: str | None = None, stat: str | None = None):
+        # all-positional args so pool workers can pickle the exception
+        # back to the parent (Exception.__reduce__ replays cls(*args))
+        super().__init__(message, layer, observer, stat)
+        self.message = message
+        self.layer = layer
+        self.observer = observer
+        self.stat = stat
+
+    def with_context(self, layer: str | None = None,
+                     observer: str | None = None) -> "NumericsError":
+        """A copy with missing layer/observer fields filled in."""
+        return NumericsError(self.message,
+                             layer=self.layer or layer,
+                             observer=self.observer or observer,
+                             stat=self.stat)
+
+    def __str__(self) -> str:
+        parts = [f"layer={self.layer}" if self.layer else None,
+                 f"observer={self.observer}" if self.observer else None,
+                 f"stat={self.stat}" if self.stat else None]
+        detail = ", ".join(p for p in parts if p)
+        return f"{self.message} [{detail}]" if detail else self.message
+
+
+def nonfinite_summary(arr: np.ndarray) -> str | None:
+    """``"2 NaN / 1 Inf of 64 values"`` — or None when all finite."""
+    arr = np.asarray(arr, dtype=np.float64)
+    finite = np.isfinite(arr)
+    if finite.all():
+        return None
+    n_nan = int(np.isnan(arr).sum())
+    n_inf = int(arr.size - finite.sum() - n_nan)
+    return f"{n_nan} NaN / {n_inf} Inf of {arr.size} values"
+
+
+def ensure_finite(arr: np.ndarray, stat: str, layer: str | None = None,
+                  observer: str | None = None) -> np.ndarray:
+    """Return ``arr`` unchanged, or raise a diagnostic :class:`NumericsError`."""
+    summary = nonfinite_summary(arr)
+    if summary is not None:
+        raise NumericsError(f"non-finite {stat} ({summary})",
+                            layer=layer, observer=observer, stat=stat)
+    return arr

@@ -1,0 +1,147 @@
+"""Crash-safe JSON artifact store: atomic writes, checksums, ``.bak`` fallback.
+
+The experiment layer persists every result incrementally (the Table 2
+grid saves after each cell), so a ``SIGKILL`` mid-``json.dump`` used to
+leave a truncated file that made every later load raise.  This store
+closes that hole:
+
+* **atomic write** — serialise to a temp file in the same directory,
+  ``fsync``, then ``os.replace`` onto the target: readers only ever see
+  the old or the new complete file;
+* **envelope** — the payload is wrapped with a schema-version field and
+  a SHA-256 checksum of its canonical JSON, so *semantic* corruption
+  (bit rot, concurrent writers, hand edits) is detected, not just
+  truncation; legacy bare-JSON artifacts still load;
+* **last-good ``.bak``** — each save first rotates the current file (if
+  it validates) to ``<name>.json.bak``; a corrupt main file falls back
+  to it automatically on load.
+
+Serialisation is deterministic (sorted keys, fixed separators), so the
+byte-identical-artifact guarantees of the parallel grid fill carry over
+unchanged.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+from . import faults
+
+__all__ = [
+    "SCHEMA_VERSION", "ENVELOPE_KEY",
+    "payload_checksum", "bak_path", "atomic_write_bytes",
+    "save_json", "load_json",
+]
+
+#: bumped when the envelope layout changes incompatibly
+SCHEMA_VERSION = 1
+
+#: top-level key marking an enveloped artifact file
+ENVELOPE_KEY = "__repro_artifact__"
+
+
+def payload_checksum(payload: object) -> str:
+    """SHA-256 over the canonical (sorted, compact) JSON of ``payload``."""
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def bak_path(path: Path) -> Path:
+    """The last-good backup beside ``path`` (``table2.json.bak``)."""
+    path = Path(path)
+    return path.with_name(path.name + ".bak")
+
+
+def atomic_write_bytes(path: Path, data: bytes) -> None:
+    """Write ``data`` to ``path`` via tmp + fsync + rename.
+
+    The temp file lives in the target directory so the final
+    ``os.replace`` is a same-filesystem atomic rename.
+    """
+    path = Path(path)
+    tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+    with open(tmp, "wb") as f:
+        f.write(data)
+        f.flush()
+        os.fsync(f.fileno())
+    os.replace(tmp, path)
+
+
+def _serialize(payload: object) -> bytes:
+    envelope = {
+        ENVELOPE_KEY: {"schema": SCHEMA_VERSION,
+                       "checksum": payload_checksum(payload)},
+        "payload": payload,
+    }
+    return json.dumps(envelope, indent=2, sort_keys=True).encode("utf-8")
+
+
+def _read_valid(path: Path) -> object | None:
+    """The payload of a structurally valid artifact file, else None.
+
+    Accepts both enveloped files (schema + checksum verified) and legacy
+    bare-JSON artifacts from before the envelope existed.
+    """
+    try:
+        raw = path.read_bytes()
+    except OSError:
+        return None
+    try:
+        obj = json.loads(raw)
+    except (json.JSONDecodeError, UnicodeDecodeError):
+        return None
+    if isinstance(obj, dict) and ENVELOPE_KEY in obj:
+        meta = obj[ENVELOPE_KEY]
+        if (not isinstance(meta, dict) or "payload" not in obj
+                or meta.get("schema") != SCHEMA_VERSION
+                or meta.get("checksum") != payload_checksum(obj["payload"])):
+            return None
+        return obj["payload"]
+    return obj  # legacy bare-JSON artifact
+
+
+def save_json(path: Path, payload: object, name: str | None = None) -> Path:
+    """Crash-safely persist ``payload`` as an enveloped JSON artifact.
+
+    The previous file, when it validates, is rotated to ``.bak`` first —
+    so even a fault *between* the rotate and the final rename leaves a
+    recoverable last-good copy.  ``name`` keys the ``artifact`` fault
+    scope (defaults to the file stem).
+    """
+    path = Path(path)
+    data = _serialize(payload)
+    if _read_valid(path) is not None:
+        os.replace(path, bak_path(path))
+    if faults.maybe_fault("artifact", name or path.stem) == "truncate":
+        # simulate dying mid-write: a naive non-atomic write, cut short
+        with open(path, "wb") as f:
+            f.write(data[: len(data) // 2])
+        return path
+    atomic_write_bytes(path, data)
+    return path
+
+
+def load_json(path: Path) -> tuple[object | None, str]:
+    """Load an artifact with corruption fallback; returns ``(payload, status)``.
+
+    Status is one of:
+
+    * ``"ok"`` — the main file validated;
+    * ``"recovered"`` — the main file was corrupt or missing mid-rotation
+      and the ``.bak`` validated instead;
+    * ``"corrupt"`` — a file exists but nothing validated (payload None);
+    * ``"missing"`` — neither file exists (payload None).
+    """
+    path = Path(path)
+    payload = _read_valid(path)
+    if payload is not None:
+        return payload, "ok"
+    backup = _read_valid(bak_path(path))
+    if backup is not None:
+        return backup, "recovered"
+    if path.exists() or bak_path(path).exists():
+        return None, "corrupt"
+    return None, "missing"

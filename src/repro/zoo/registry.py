@@ -166,7 +166,7 @@ def pretrained(name: str, retrain: bool = False, verbose: bool = False) -> tuple
             blob = dict(np.load(path))
             score = float(blob.pop("__fp32_score__"))
             model.load_state_dict(blob)
-        except Exception as exc:  # corrupt/truncated cache: retrain instead
+        except Exception as exc:  # lint: allow[broad-except] corrupt/truncated cache: retrain instead
             print(f"zoo: cache {path} unreadable ({exc!r}); retraining {name}",
                   flush=True)
         else:

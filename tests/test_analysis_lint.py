@@ -104,6 +104,35 @@ class TestTensorDataMutation:
         assert lint("def f(t):\n    return t.data[0]\n") == []
 
 
+class TestBroadExcept:
+    def test_except_exception_flagged(self):
+        (d,) = lint("try:\n    f()\nexcept Exception:\n    pass\n")
+        assert d.rule == "broad-except" and "Exception" in d.message
+        assert d.where == "snippet.py:3"
+
+    def test_bare_except_flagged(self):
+        (d,) = lint("try:\n    f()\nexcept:\n    pass\n")
+        assert d.rule == "broad-except" and "bare" in d.message
+
+    def test_base_exception_flagged(self):
+        assert rules(lint("try:\n    f()\nexcept BaseException:\n    pass\n")) \
+            == ["broad-except"]
+
+    def test_exception_in_tuple_flagged(self):
+        assert rules(lint("try:\n    f()\n"
+                          "except (ValueError, Exception):\n    pass\n")) == \
+            ["broad-except"]
+
+    def test_specific_exceptions_clean(self):
+        assert lint("try:\n    f()\n"
+                    "except (OSError, KeyError, ValueError):\n    pass\n") == []
+
+    def test_waived_with_reason(self):
+        assert lint("try:\n    f()\n"
+                    "except Exception:  # lint: allow[broad-except] retry classifier\n"
+                    "    pass\n") == []
+
+
 class TestWaivers:
     def test_same_line_waiver(self):
         assert lint("ok = x == 0.5  # lint: allow[float-equality] exact guard\n") == []

@@ -1,0 +1,23 @@
+"""Smoke test: benchmarks/bench_resilience.py runs and emits valid JSON."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH = REPO_ROOT / "benchmarks" / "bench_resilience.py"
+
+
+def test_bench_resilience_fast_mode(tmp_path):
+    out = tmp_path / "BENCH_resilience.json"
+    proc = subprocess.run(
+        [sys.executable, str(BENCH), "--fast", "--out", str(out)],
+        capture_output=True, text=True, timeout=300)
+    assert proc.returncode == 0, proc.stderr
+    payload = json.loads(out.read_text())
+    assert "host" in payload
+    s = payload["store"]
+    assert s["bare_save_ms"]["min"] > 0 and s["safe_save_ms"]["min"] > 0
+    assert s["save_overhead_x"] > 0 and s["load_overhead_x"] > 0
+    assert "crash-safe" in proc.stdout

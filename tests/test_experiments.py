@@ -27,7 +27,37 @@ class TestCommon:
     def test_artifact_is_valid_json(self, isolated_artifacts):
         common.save_artifact("x", {"k": 1})
         with open(isolated_artifacts / "x.json") as f:
-            assert json.load(f) == {"k": 1}
+            blob = json.load(f)
+        # artifacts are enveloped: schema version + payload checksum
+        assert blob["payload"] == {"k": 1}
+        meta = blob["__repro_artifact__"]
+        assert meta["schema"] == 1
+        assert isinstance(meta["checksum"], str) and len(meta["checksum"]) == 64
+
+    def test_truncated_artifact_loads_as_none_with_warning(
+            self, isolated_artifacts, capsys):
+        # regression: a SIGKILL mid-save used to leave a truncated JSON
+        # that made every later load_artifact raise JSONDecodeError
+        common.save_artifact("trunc", {"grid": {"a": 1}})
+        path = isolated_artifacts / "trunc.json"
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        bak = isolated_artifacts / "trunc.json.bak"
+        if bak.exists():
+            bak.unlink()
+        assert common.load_artifact("trunc") is None
+        out = capsys.readouterr().out
+        assert "corrupt" in out and "trunc.json" in out
+
+    def test_truncated_artifact_recovers_from_bak(self, isolated_artifacts,
+                                                  capsys):
+        common.save_artifact("r", {"v": 1})
+        common.save_artifact("r", {"v": 2})  # rotates v=1 to .bak
+        path = isolated_artifacts / "r.json"
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        assert common.load_artifact("r") == {"v": 1}
+        assert "recovered" in capsys.readouterr().out
 
     def test_format_table_alignment(self):
         out = common.format_table(["a", "bb"], [[1, 2.5], [10, 0.25]])
@@ -121,7 +151,12 @@ class TestRunnerDispatch:
     def test_all_expands_to_every_experiment(self, capsys, monkeypatch):
         from repro.experiments import runner
         for name, mod in runner.EXPERIMENTS.items():
-            monkeypatch.setattr(mod, "render", lambda name=name: f"<{name}>")
+            monkeypatch.setattr(mod, "render",
+                                lambda result=None, name=name: f"<{name}>")
+        # the expensive grids are computed by the runner itself — stub the
+        # run() calls so 'all' stays fast
+        monkeypatch.setattr(runner.table2, "run", lambda **kw: {"grid": {}})
+        monkeypatch.setattr(runner.engine_delta, "run", lambda **kw: {})
         assert runner.main(["all"]) == 0
         out = capsys.readouterr().out
         for name in runner.EXPERIMENTS:
@@ -131,8 +166,9 @@ class TestRunnerDispatch:
         from repro.experiments import runner, table2
         seen = {}
 
-        def fake_run(jobs=1):
+        def fake_run(jobs=1, **kw):
             seen["jobs"] = jobs
+            seen.update(kw)
             return {"grid": {}, "meta_key": "x"}
 
         monkeypatch.setattr(table2, "run", fake_run)
@@ -140,6 +176,39 @@ class TestRunnerDispatch:
         assert runner.main(["table2", "--jobs", "3"]) == 0
         assert seen["jobs"] == 3
         assert "<table2>" in capsys.readouterr().out
+
+    def test_resilience_flags_reach_table2(self, capsys, monkeypatch):
+        from repro.experiments import runner, table2
+        seen = {}
+
+        def fake_run(**kw):
+            seen.update(kw)
+            return {"grid": {}, "meta_key": "x"}
+
+        monkeypatch.setattr(table2, "run", fake_run)
+        monkeypatch.setattr(table2, "render", lambda result=None: "<table2>")
+        assert runner.main(["table2", "--cell-timeout", "2.5",
+                            "--retries", "4"]) == 0
+        assert seen["cell_timeout"] == 2.5
+        assert seen["retries"] == 4
+
+    def test_table2_render_without_artifact_does_not_run(self, capsys,
+                                                         monkeypatch):
+        from repro.experiments import table2
+        # regression: render() with no artifact used to fall back to the
+        # full (hours-long at paper settings) grid fill
+        monkeypatch.setattr(table2, "run", lambda **kw: pytest.fail(
+            "render() must not launch run()"))
+        out = table2.render()
+        assert "no artifact" in out and "experiments table2" in out
+
+    def test_engine_delta_render_without_artifact_does_not_run(
+            self, monkeypatch):
+        from repro.experiments import engine_delta
+        monkeypatch.setattr(engine_delta, "run", lambda **kw: pytest.fail(
+            "render() must not launch run()"))
+        out = engine_delta.render()
+        assert "no artifact" in out and "engine_delta" in out
 
 
 def _fake_cell(name, fmt_name, eval_n, calib_n):
@@ -185,3 +254,22 @@ class TestTable2Parallel:
         table2.run(models=["VGG16", "SST-2"], formats=["INT8", "MERSIT(8,2)"],
                    eval_n=10, calib_n=5, jobs=1)  # no refresh: all cached
         assert len(calls) == n_first
+
+    def test_meta_key_change_keeps_old_grid_superseded(self, capsys,
+                                                       monkeypatch):
+        # regression: changing eval_n/calib_n used to silently wipe every
+        # cached cell with no trace of what was discarded
+        from repro.experiments import table2
+        monkeypatch.setattr(table2, "_eval_cell", _fake_cell)
+        old = table2.run(models=["VGG16"], formats=["INT8"],
+                         eval_n=10, calib_n=5, refresh=True, jobs=1)
+        capsys.readouterr()
+        new = table2.run(models=["VGG16"], formats=["INT8"],
+                         eval_n=20, calib_n=5, jobs=1)
+        out = capsys.readouterr().out
+        assert "meta_key changed" in out and "superseded" in out
+        assert new["meta_key"] == "20/5"
+        assert new["superseded"]["meta_key"] == "10/5"
+        assert new["superseded"]["grid"] == old["grid"]
+        # the new grid was recomputed at the new settings
+        assert new["grid"]["VGG16"]["INT8"] != old["grid"]["VGG16"]["INT8"]

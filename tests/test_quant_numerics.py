@@ -1,0 +1,180 @@
+"""Numeric guards: NaN/Inf in calibration or the engine fail loudly.
+
+Before these guards a NaN in a calibration batch became a NaN scale, a
+garbage accuracy number, and — through the incremental artifact cache —
+a *pinned* garbage cell.  Every guard must raise a diagnostic
+:class:`NumericsError` naming the layer/observer/statistic instead.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.nn.layers import Linear
+from repro.nn.module import Module
+from repro.quant import PTQConfig, quantize_model
+from repro.quant.fakequant import FakeQuantizer
+from repro.quant.observers import MaxObserver, MSEObserver, PercentileObserver
+from repro.resilience import NumericsError, faults
+from repro.resilience.numerics import ensure_finite, nonfinite_summary
+
+
+@pytest.fixture(autouse=True)
+def no_faults(monkeypatch):
+    monkeypatch.delenv(faults.ENV_VAR, raising=False)
+
+
+class _Net(Module):
+    def __init__(self):
+        super().__init__()
+        rng = np.random.default_rng(7)
+        self.fc1 = Linear(8, 16, rng=rng)
+        self.fc2 = Linear(16, 4, rng=rng)
+
+    def forward(self, x):
+        return self.fc2(self.fc1(x).relu())
+
+
+def _calib_batches(n=3, poison_last=False):
+    rng = np.random.default_rng(0)
+    batches = [rng.normal(size=(4, 8)).astype(np.float32) for _ in range(n)]
+    if poison_last:
+        batches[-1][0, 0] = np.nan
+    return batches
+
+
+class TestPrimitives:
+    def test_nonfinite_summary(self):
+        x = np.array([1.0, np.nan, np.inf, -np.inf, np.nan])
+        assert nonfinite_summary(x) == "2 NaN / 2 Inf of 5 values"
+        assert nonfinite_summary(np.ones(3)) is None
+
+    def test_ensure_finite_passthrough(self):
+        x = np.ones(3)
+        assert ensure_finite(x, "scale") is x
+
+    def test_error_message_carries_context(self):
+        with pytest.raises(NumericsError) as exc:
+            ensure_finite(np.array(np.nan), "running max",
+                          layer="fc1", observer="max")
+        msg = str(exc.value)
+        assert "running max" in msg and "layer=fc1" in msg
+        assert "observer=max" in msg
+        assert exc.value.stat == "running max"
+
+    def test_pickle_roundtrip_preserves_context(self):
+        # pool workers ship NumericsError back to the parent via pickle
+        err = NumericsError("bad", layer="fc1", observer="max", stat="scale")
+        back = pickle.loads(pickle.dumps(err))
+        assert (back.layer, back.observer, back.stat) == ("fc1", "max", "scale")
+        assert str(back) == str(err)
+
+    def test_with_context_fills_only_missing(self):
+        err = NumericsError("bad", observer="mse")
+        out = err.with_context(layer="fc2", observer="max")
+        assert out.layer == "fc2"
+        assert out.observer == "mse"  # existing field wins
+
+
+class TestObserverGuards:
+    def test_max_observer_raises_at_poisoned_batch(self):
+        obs = MaxObserver()
+        obs.observe(np.ones(4))
+        with pytest.raises(NumericsError, match="batch max"):
+            obs.observe(np.array([1.0, np.nan]))
+
+    def test_percentile_observer_raises_on_inf(self):
+        obs = PercentileObserver(percentile=99.0)
+        obs.observe(np.array([1.0, np.inf, 2.0]))
+        with pytest.raises(NumericsError, match="percentile"):
+            obs.compute_scale()
+
+    def test_mse_observer_raises_instead_of_silent_max(self):
+        # regression: a NaN poisons every grid-search MSE (all comparisons
+        # false) so compute_scale silently returned the raw max before
+        from repro.formats import get_format
+        obs = MSEObserver(get_format("INT8"))
+        obs.observe(np.array([1.0, np.nan, 0.5]))
+        with pytest.raises(NumericsError, match="calibration stream"):
+            obs.compute_scale()
+
+
+class TestFakeQuantizerGuards:
+    def test_calibrate_inf_weights_names_layer(self):
+        from repro.formats import get_format
+        fq = FakeQuantizer(get_format("INT8"), name="conv3")
+        with pytest.raises(NumericsError) as exc:
+            fq.calibrate(np.array([1.0, np.inf]))
+        assert exc.value.layer == "conv3"
+        assert exc.value.stat == "max-magnitude scale"
+
+    def test_observe_nan_names_layer(self):
+        from repro.formats import get_format
+        fq = FakeQuantizer(get_format("INT8"), name="fc9")
+        with pytest.raises(NumericsError) as exc:
+            fq.observe(np.array([np.nan]))
+        assert exc.value.layer == "fc9"
+
+
+class TestModelLevel:
+    def test_quantize_model_names_offending_layer(self):
+        with pytest.raises(NumericsError) as exc:
+            quantize_model(_Net(), PTQConfig(weight_format="MERSIT(8,2)"),
+                           [Tensor(b) for b in _calib_batches(poison_last=True)],
+                           forward=lambda m, b: m(b))
+        # the NaN enters at the first layer's input observer
+        assert exc.value.layer == "fc1"
+
+    def test_mse_finalize_attributes_layer(self):
+        cfg = PTQConfig(weight_format="MERSIT(8,2)",
+                        activation_observer="mse")
+        with pytest.raises(NumericsError) as exc:
+            quantize_model(_Net(), cfg,
+                           [Tensor(b) for b in _calib_batches(poison_last=True)],
+                           forward=lambda m, b: m(b))
+        assert exc.value.layer == "fc1"
+        assert exc.value.observer in ("mse", "MSEObserver")
+
+    def test_clean_calibration_unaffected(self):
+        model = quantize_model(
+            _Net(), PTQConfig(weight_format="MERSIT(8,2)"),
+            [Tensor(b) for b in _calib_batches()],
+            forward=lambda m, b: m(b))
+        out = model(Tensor(_calib_batches(1)[0]))
+        assert np.isfinite(out.data).all()
+
+    def test_calib_fault_targets_one_layer(self, monkeypatch):
+        monkeypatch.setenv(faults.ENV_VAR, "calib:fc2:nan")
+        with pytest.raises(NumericsError) as exc:
+            quantize_model(_Net(), PTQConfig(weight_format="MERSIT(8,2)"),
+                           [Tensor(b) for b in _calib_batches()],
+                           forward=lambda m, b: m(b))
+        assert exc.value.layer == "fc2"
+
+
+class TestEngineGuards:
+    def _engine_model(self):
+        return quantize_model(
+            _Net(), PTQConfig(weight_format="MERSIT(8,2)", mode="engine"),
+            [Tensor(b) for b in _calib_batches()],
+            forward=lambda m, b: m(b))
+
+    def test_nan_activation_rejected_at_encode(self):
+        model = self._engine_model()
+        x = _calib_batches(1)[0]
+        x[0, 0] = np.nan
+        with pytest.raises(NumericsError) as exc:
+            model(Tensor(x))
+        assert exc.value.stat == "activation"
+        assert "NaN" in str(exc.value)
+
+    def test_engine_encode_fault(self, monkeypatch):
+        model = self._engine_model()
+        monkeypatch.setenv(faults.ENV_VAR, "engine:encode:nan:1")
+        with pytest.raises(NumericsError):
+            model(Tensor(_calib_batches(1)[0]))
+        monkeypatch.setenv(faults.ENV_VAR, "")
+        out = model(Tensor(_calib_batches(1)[0]))
+        assert np.isfinite(out.data).all()

@@ -1,0 +1,223 @@
+"""Chaos suite: the table2 grid under injected faults (the PR's acceptance
+scenario, run alone via ``scripts/check.sh --chaos``).
+
+Under a worker crash, a worker hang, an artifact truncation mid-write and
+a calibration NaN — all armed at once — the grid fill must complete every
+unaffected cell, record structured errors for the affected ones, and a
+follow-up run with faults disabled must converge to an artifact
+byte-identical to a clean serial run.
+
+The zoo is monkeypatched with tiny deterministic models (real
+quantization, fake data); tinyA and tinyB use distinct layer names so the
+``calib`` fault can target one model's layers only.
+"""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, no_grad
+from repro.experiments import table2
+from repro.nn.layers import Linear
+from repro.nn.module import Module
+from repro.resilience import faults, is_error_entry
+
+pytestmark = pytest.mark.chaos
+
+MODELS = ["tinyA", "tinyB"]
+FORMATS = ["MERSIT(8,2)", "Posit(8,1)"]  # run() prepends FP32
+# submission order: tinyA/FP32(0) tinyA/MERSIT(1) tinyA/Posit(2)
+#                   tinyB/FP32(3) tinyB/MERSIT(4) tinyB/Posit(5)
+CHAOS_SPEC = ",".join([
+    "cell:tinyA/Posit(8,1):crash",   # cell 2 crashes every attempt
+    "worker:3:hang",                 # cell 3's worker hangs every attempt
+    "artifact:table2:truncate:1",    # one save dies mid-write
+    "calib:b1:nan",                  # tinyB calibration batches pick up NaN
+])
+
+
+class _TinyA(Module):
+    def __init__(self):
+        super().__init__()
+        rng = np.random.default_rng(11)
+        self.a1 = Linear(8, 16, rng=rng)
+        self.a2 = Linear(16, 4, rng=rng)
+
+    def forward(self, x):
+        return self.a2(self.a1(x).relu())
+
+
+class _TinyB(Module):
+    def __init__(self):
+        super().__init__()
+        rng = np.random.default_rng(22)
+        self.b1 = Linear(8, 16, rng=rng)
+        self.b2 = Linear(16, 4, rng=rng)
+
+    def forward(self, x):
+        return self.b2(self.b1(x).relu())
+
+
+class _Entry:
+    kind = "vision"
+    metric = "accuracy"
+
+
+class _Split:
+    def __init__(self, n: int):
+        rng = np.random.default_rng(n)
+        self.x = rng.normal(size=(n, 8)).astype(np.float32)
+
+    def batches(self, batch_size: int):
+        return [(self.x[i:i + batch_size],)
+                for i in range(0, len(self.x), batch_size)]
+
+
+class _Data:
+    def calibration_split(self, n):
+        return _Split(n)
+
+    def test_split(self, n):
+        return _Split(n)
+
+
+def _fake_pretrained(name: str):
+    return (_TinyA() if name == "tinyA" else _TinyB()), 0.0
+
+
+def _fake_evaluate(model, split, *args):
+    with no_grad():
+        out = model(Tensor(split.x))
+    return float(np.sum(np.abs(out.data)))
+
+
+@pytest.fixture
+def tiny_zoo(monkeypatch):
+    monkeypatch.setattr(table2, "ALL_MODELS",
+                        {"tinyA": _Entry(), "tinyB": _Entry()})
+    monkeypatch.setattr(table2, "pretrained", _fake_pretrained)
+    monkeypatch.setattr(table2, "dataset", lambda: _Data())
+    monkeypatch.setattr(table2, "evaluate_vision", _fake_evaluate)
+    monkeypatch.delenv(faults.ENV_VAR, raising=False)
+
+
+def _run(**kw):
+    kw.setdefault("models", MODELS)
+    kw.setdefault("formats", FORMATS)
+    kw.setdefault("eval_n", 16)
+    kw.setdefault("calib_n", 8)
+    return table2.run(**kw)
+
+
+def test_grid_survives_combined_faults_and_converges(tiny_zoo, tmp_path,
+                                                     monkeypatch):
+    art_dir = tmp_path / "chaos"
+    monkeypatch.setenv("REPRO_ARTIFACTS", str(art_dir))
+    monkeypatch.setenv(faults.ENV_VAR, CHAOS_SPEC)
+    result = _run(refresh=True, jobs=2, cell_timeout=2.0, retries=1,
+                  backoff=0.01)
+    grid = result["grid"]
+
+    # unaffected cells completed with real scores
+    for model, fmt in (("tinyA", "FP32"), ("tinyA", "MERSIT(8,2)")):
+        assert isinstance(grid[model][fmt], float), (model, fmt)
+    # the crashing cell exhausted its retries
+    assert grid["tinyA"]["Posit(8,1)"]["error"]["kind"] == "crash"
+    # the hung worker was detected by the per-cell deadline
+    assert grid["tinyB"]["FP32"]["error"]["kind"] == "timeout"
+    # the NaN'd calibration failed deterministically (no retry burn)
+    for fmt in FORMATS:
+        entry = grid["tinyB"][fmt]
+        assert entry["error"]["kind"] == "numerics", fmt
+        assert entry["error"]["attempts"] == 1
+        assert "b1" in entry["error"]["message"]
+
+    # despite the mid-write truncation, the persisted artifact is loadable
+    from repro.experiments.common import load_artifact
+    assert load_artifact("table2") == result
+
+    # follow-up run with faults disabled repairs only the errored cells
+    monkeypatch.setenv(faults.ENV_VAR, "")
+    repaired = _run(jobs=1)
+    assert not any(is_error_entry(v) for row in repaired["grid"].values()
+                   for v in row.values())
+
+    # ... and converges byte-identically to a clean serial fill
+    clean_dir = tmp_path / "clean"
+    monkeypatch.setenv("REPRO_ARTIFACTS", str(clean_dir))
+    _run(refresh=True, jobs=1)
+    assert (art_dir / "table2.json").read_bytes() == \
+        (clean_dir / "table2.json").read_bytes()
+
+
+def test_interrupted_run_resumes_byte_identically(tiny_zoo, tmp_path,
+                                                  monkeypatch):
+    art_dir = tmp_path / "interrupted"
+    monkeypatch.setenv("REPRO_ARTIFACTS", str(art_dir))
+    real_save = table2.save_artifact
+    calls = {"n": 0}
+
+    def interrupting_save(name, payload):
+        path = real_save(name, payload)
+        calls["n"] += 1
+        if calls["n"] == 3:
+            raise KeyboardInterrupt  # ctrl-C right after the third commit
+        return path
+
+    monkeypatch.setattr(table2, "save_artifact", interrupting_save)
+    with pytest.raises(KeyboardInterrupt):
+        _run(refresh=True, jobs=1)
+
+    # the interrupted run left a loadable artifact with the committed cells
+    monkeypatch.setattr(table2, "save_artifact", real_save)
+    from repro.experiments.common import load_artifact
+    partial = load_artifact("table2")
+    assert partial is not None
+    n_cells = sum(len(row) for row in partial["grid"].values())
+    assert n_cells == 3
+
+    # resuming computes only the remaining cells ...
+    seen = []
+    real_cell = table2._eval_cell
+
+    def counting_cell(name, fmt, *a):
+        seen.append((name, fmt))
+        return real_cell(name, fmt, *a)
+
+    monkeypatch.setattr(table2, "_eval_cell", counting_cell)
+    _run(jobs=1)
+    assert len(seen) == 3
+
+    # ... and the converged artifact is byte-identical to a clean run
+    clean_dir = tmp_path / "clean"
+    monkeypatch.setenv("REPRO_ARTIFACTS", str(clean_dir))
+    _run(refresh=True, jobs=1)
+    assert (art_dir / "table2.json").read_bytes() == \
+        (clean_dir / "table2.json").read_bytes()
+
+
+def test_interrupted_pool_run_resumes(tiny_zoo, tmp_path, monkeypatch):
+    # same contract on the pool path: commits run in the parent, so an
+    # interrupt between commits still leaves a loadable artifact
+    art_dir = tmp_path / "pool"
+    monkeypatch.setenv("REPRO_ARTIFACTS", str(art_dir))
+    real_save = table2.save_artifact
+    calls = {"n": 0}
+
+    def interrupting_save(name, payload):
+        path = real_save(name, payload)
+        calls["n"] += 1
+        if calls["n"] == 2:
+            raise KeyboardInterrupt
+        return path
+
+    monkeypatch.setattr(table2, "save_artifact", interrupting_save)
+    with pytest.raises(KeyboardInterrupt):
+        _run(refresh=True, jobs=2)
+    monkeypatch.setattr(table2, "save_artifact", real_save)
+
+    from repro.experiments.common import load_artifact
+    assert load_artifact("table2") is not None
+    repaired = _run(jobs=1)
+    assert sum(len(r) for r in repaired["grid"].values()) == 6
+    assert not any(is_error_entry(v) for row in repaired["grid"].values()
+                   for v in row.values())

@@ -1,0 +1,182 @@
+"""Resilient grid executor: retry, timeout, degradation, commit order.
+
+Pool-path workers must be module-level (pickled by reference into fork
+children); flaky behaviour is coordinated through marker files in a
+tmpdir carried inside the task tuple, so attempt counts are visible
+across worker processes.
+"""
+
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.resilience import error_entry, is_error_entry, run_cells
+from repro.resilience import faults
+from repro.resilience.numerics import NumericsError
+
+
+def _ok_worker(task):
+    return task * 10
+
+
+def _flaky_worker(task):
+    """Fail the first ``fail_times`` attempts of cell ``i``, then succeed."""
+    d, i, fail_times = task
+    marker = Path(d) / f"{i}.attempts"
+    n = int(marker.read_text()) if marker.exists() else 0
+    marker.write_text(str(n + 1))
+    if n < fail_times:
+        raise RuntimeError(f"transient failure {i} attempt {n}")
+    return i * 10
+
+
+def _numerics_worker(task):
+    if task == 2:
+        raise NumericsError("bad scale", layer="fc1", observer="max",
+                            stat="scale")
+    return task * 10
+
+
+def _slow_worker(task):
+    time.sleep(task * 0.05)
+    return task
+
+
+@pytest.fixture(autouse=True)
+def no_faults(monkeypatch):
+    monkeypatch.delenv(faults.ENV_VAR, raising=False)
+
+
+class TestErrorEntry:
+    def test_shape(self):
+        e = error_entry("crash", "boom", 3)
+        assert e == {"error": {"kind": "crash", "message": "boom",
+                               "attempts": 3}}
+
+    def test_is_error_entry(self):
+        assert is_error_entry(error_entry("timeout", "m", 1))
+        assert not is_error_entry(73.2)
+        assert not is_error_entry({"grid": {}})
+
+
+class TestSerial:
+    def test_results_in_task_order(self):
+        assert run_cells([3, 1, 2], _ok_worker) == [30, 10, 20]
+
+    def test_commit_called_in_order(self):
+        commits = []
+        run_cells([0, 1, 2], _ok_worker,
+                  commit=lambda i, v: commits.append((i, v)))
+        assert commits == [(0, 0), (1, 10), (2, 20)]
+
+    def test_transient_failure_retried(self, tmp_path):
+        tasks = [(str(tmp_path), 0, 0), (str(tmp_path), 1, 1)]
+        out = run_cells(tasks, _flaky_worker, retries=1, sleep=lambda s: None)
+        assert out == [0, 10]
+
+    def test_exhausted_retries_degrade(self, tmp_path):
+        tasks = [(str(tmp_path), 0, 99), (str(tmp_path), 1, 0)]
+        out = run_cells(tasks, _flaky_worker, retries=2, sleep=lambda s: None)
+        assert is_error_entry(out[0])
+        assert out[0]["error"]["kind"] == "crash"
+        assert out[0]["error"]["attempts"] == 3  # 1 try + 2 retries
+        assert "transient failure" in out[0]["error"]["message"]
+        assert out[1] == 10  # the rest of the grid completed
+
+    def test_backoff_doubles_and_caps(self, tmp_path):
+        delays = []
+        tasks = [(str(tmp_path), 0, 99)]
+        run_cells(tasks, _flaky_worker, retries=4, backoff=1.0,
+                  backoff_cap=3.0, sleep=delays.append)
+        assert delays == [1.0, 2.0, 3.0, 3.0]
+
+    def test_numerics_error_not_retried(self, tmp_path):
+        out = run_cells([0, 1, 2, 3], _numerics_worker, retries=5,
+                        sleep=lambda s: None)
+        assert out[0] == 0 and out[3] == 30
+        assert out[2]["error"]["kind"] == "numerics"
+        assert out[2]["error"]["attempts"] == 1
+        assert "layer=fc1" in out[2]["error"]["message"]
+
+    def test_keyboard_interrupt_propagates_after_commits(self):
+        commits = []
+
+        def ki_worker(task):
+            if task == 2:
+                raise KeyboardInterrupt
+            return task
+
+        with pytest.raises(KeyboardInterrupt):
+            run_cells([0, 1, 2, 3], ki_worker,
+                      commit=lambda i, v: commits.append(i))
+        assert commits == [0, 1]  # everything before the interrupt persisted
+
+
+class TestPool:
+    def test_matches_serial(self):
+        tasks = list(range(8))
+        assert run_cells(tasks, _ok_worker, jobs=3) == \
+            run_cells(tasks, _ok_worker)
+
+    def test_commit_order_despite_completion_order(self):
+        # task 7 sleeps longest; commits must still arrive 0..7
+        commits = []
+        out = run_cells(list(range(8)), _slow_worker, jobs=4,
+                        commit=lambda i, v: commits.append(i))
+        assert out == list(range(8))
+        assert commits == list(range(8))
+
+    def test_transient_failure_retried_across_waves(self, tmp_path):
+        tasks = [(str(tmp_path), i, 1 if i == 2 else 0) for i in range(4)]
+        out = run_cells(tasks, _flaky_worker, jobs=2, retries=1,
+                        sleep=lambda s: None)
+        assert out == [0, 10, 20, 30]
+
+    def test_exhausted_retries_degrade(self, tmp_path):
+        tasks = [(str(tmp_path), i, 99 if i == 1 else 0) for i in range(4)]
+        out = run_cells(tasks, _flaky_worker, jobs=2, retries=1,
+                        sleep=lambda s: None)
+        assert out[1]["error"]["kind"] == "crash"
+        assert [out[0], out[2], out[3]] == [0, 20, 30]
+
+    def test_numerics_error_immediate(self):
+        out = run_cells([0, 1, 2, 3], _numerics_worker, jobs=2, retries=5,
+                        sleep=lambda s: None)
+        assert out[2]["error"]["kind"] == "numerics"
+        assert out[2]["error"]["attempts"] == 1
+
+    def test_hung_worker_detected_and_cell_errored(self, monkeypatch):
+        # worker 1 hangs (via injected fault) on its only attempt budget;
+        # the timeout frees the wave and the cell degrades to an error
+        monkeypatch.setenv(faults.ENV_VAR, "worker:1:hang")
+        t0 = time.monotonic()
+        out = run_cells(list(range(4)), _ok_worker, jobs=2, timeout=1.0,
+                        retries=1, sleep=lambda s: None)
+        assert time.monotonic() - t0 < 30.0  # did not wait HANG_SECONDS
+        assert out[1]["error"]["kind"] == "timeout"
+        assert "hung or killed" in out[1]["error"]["message"]
+        assert [out[0], out[2], out[3]] == [0, 20, 30]
+
+    def test_hung_worker_recovers_when_transient(self, monkeypatch):
+        # the hang fires once; the retry wave recomputes the cell cleanly
+        monkeypatch.setenv(faults.ENV_VAR, "worker:2:hang:1")
+        out = run_cells(list(range(4)), _ok_worker, jobs=2, timeout=1.0,
+                        retries=1, sleep=lambda s: None)
+        assert out == [0, 10, 20, 30]
+
+    def test_killed_worker_recovers(self, monkeypatch):
+        # kill hard-exits the child mid-task (SIGKILL analogue): the pool
+        # loses the result, the timeout flags it, the retry succeeds
+        monkeypatch.setenv(faults.ENV_VAR, "worker:0:kill:1")
+        out = run_cells(list(range(3)), _ok_worker, jobs=2, timeout=5.0,
+                        retries=1, sleep=lambda s: None)
+        assert out == [0, 10, 20]
+
+    def test_crash_fault_in_worker_scope(self, monkeypatch):
+        monkeypatch.setenv(faults.ENV_VAR, "worker:1:crash")
+        out = run_cells(list(range(3)), _ok_worker, jobs=2, retries=1,
+                        sleep=lambda s: None)
+        assert out[1]["error"]["kind"] == "crash"
+        assert "FaultInjected" in out[1]["error"]["message"]
+        assert [out[0], out[2]] == [0, 20]

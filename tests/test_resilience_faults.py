@@ -1,0 +1,146 @@
+"""Fault-spec grammar, firing accounting and the ``repro faults`` CLI."""
+
+import numpy as np
+import pytest
+
+from repro.resilience import faults
+
+
+@pytest.fixture(autouse=True)
+def clean_env(monkeypatch):
+    monkeypatch.delenv(faults.ENV_VAR, raising=False)
+
+
+class TestParse:
+    def test_scope_action(self):
+        (spec,) = faults.parse_spec("calib:nan")
+        assert spec == faults.FaultSpec("calib", "*", "nan", None)
+
+    def test_scope_key_action(self):
+        (spec,) = faults.parse_spec("cell:ResNet18/INT8:crash")
+        assert spec == faults.FaultSpec("cell", "ResNet18/INT8", "crash", None)
+
+    def test_scope_key_action_count(self):
+        (spec,) = faults.parse_spec("worker:2:hang:1")
+        assert spec == faults.FaultSpec("worker", "2", "hang", 1)
+
+    def test_multiple_clauses_with_spaces(self):
+        specs = faults.parse_spec("calib:nan, artifact:table2:truncate:1")
+        assert [s.scope for s in specs] == ["calib", "artifact"]
+
+    def test_format_name_commas_do_not_split_clauses(self):
+        # cell keys embed format names like Posit(8,1); the comma inside
+        # the parens must not be taken as a clause separator
+        specs = faults.parse_spec("cell:tinyA/Posit(8,1):crash,calib:nan")
+        assert specs[0].key == "tinyA/Posit(8,1)"
+        assert specs[1].scope == "calib"
+
+    def test_render_roundtrips(self):
+        for text in ("cell:ResNet18/INT8:crash", "worker:2:hang:1",
+                     "artifact:table2:truncate:1", "calib:*:nan"):
+            (spec,) = faults.parse_spec(text)
+            assert faults.parse_spec(spec.render()) == [spec]
+
+    def test_empty_spec(self):
+        assert faults.parse_spec("") == []
+
+    def test_unknown_scope_raises(self):
+        with pytest.raises(faults.FaultSpecError, match="unknown scope"):
+            faults.parse_spec("gpu:crash")
+
+    def test_unknown_action_raises(self):
+        with pytest.raises(faults.FaultSpecError, match="unknown action"):
+            faults.parse_spec("cell:ResNet18/INT8:explode")
+
+    def test_bare_scope_raises(self):
+        with pytest.raises(faults.FaultSpecError, match="at least"):
+            faults.parse_spec("cell")
+
+    def test_zero_count_raises(self):
+        with pytest.raises(faults.FaultSpecError, match="count"):
+            faults.parse_spec("calib:nan:0")
+
+    def test_numeric_key_is_not_a_count(self):
+        # worker keys are task indices; '2' here is the key, not a count
+        (spec,) = faults.parse_spec("worker:2:crash")
+        assert spec.key == "2" and spec.count is None
+
+
+class TestFiring:
+    def test_fire_matches_scope_and_key(self, monkeypatch):
+        monkeypatch.setenv(faults.ENV_VAR, "cell:tinyA/INT8:crash")
+        assert faults.fire("cell", "tinyA/INT8") is not None
+        assert faults.fire("cell", "tinyA/FP32") is None
+        assert faults.fire("calib", "tinyA/INT8") is None
+
+    def test_glob_key(self, monkeypatch):
+        monkeypatch.setenv(faults.ENV_VAR, "cell:tinyA/*:crash")
+        assert faults.fire("cell", "tinyA/INT8") is not None
+        assert faults.fire("cell", "tinyB/INT8") is None
+
+    def test_count_consumed(self, monkeypatch):
+        monkeypatch.setenv(faults.ENV_VAR, "worker:0:crash:2")
+        assert faults.fire("worker", "0") is not None
+        assert faults.fire("worker", "0") is not None
+        assert faults.fire("worker", "0") is None
+
+    def test_counters_reset_when_spec_changes(self, monkeypatch):
+        monkeypatch.setenv(faults.ENV_VAR, "worker:0:crash:1")
+        assert faults.fire("worker", "0") is not None
+        monkeypatch.setenv(faults.ENV_VAR, "worker:0:crash:1 ")
+        assert faults.fire("worker", "0") is not None
+
+    def test_nothing_armed_is_free(self):
+        assert faults.fire("cell", "anything") is None
+        assert faults.maybe_fault("cell", "anything") is None
+
+    def test_crash_action_raises(self, monkeypatch):
+        monkeypatch.setenv(faults.ENV_VAR, "cell:k:crash")
+        with pytest.raises(faults.FaultInjected, match="cell:k"):
+            faults.maybe_fault("cell", "k")
+
+    def test_data_actions_returned(self, monkeypatch):
+        monkeypatch.setenv(faults.ENV_VAR, "calib:nan,artifact:truncate")
+        assert faults.maybe_fault("calib", "fc1") == "nan"
+        assert faults.maybe_fault("artifact", "table2") == "truncate"
+
+    def test_hang_sleeps(self, monkeypatch):
+        monkeypatch.setenv(faults.ENV_VAR, "worker:0:hang")
+        slept = []
+        monkeypatch.setattr(faults.time, "sleep", slept.append)
+        assert faults.maybe_fault("worker", "0") == "hang"
+        assert slept == [faults.HANG_SECONDS]
+
+
+class TestHelpers:
+    def test_poison_nan_copies(self):
+        x = np.ones(4)
+        y = faults.poison_nan(x)
+        assert np.isnan(y[0]) and not np.isnan(x).any()
+
+    def test_describe_lists_points_and_armed(self, monkeypatch):
+        monkeypatch.setenv(faults.ENV_VAR, "calib:nan")
+        out = faults.describe()
+        for scope, _, _, _ in faults.INJECTION_POINTS:
+            assert scope in out
+        assert "calib:*:nan" in out
+
+    def test_describe_none_armed(self):
+        assert "(none)" in faults.describe()
+
+
+class TestCLI:
+    def test_faults_command(self, capsys):
+        from repro.cli import main
+        assert main(["faults"]) == 0
+        assert "fault-injection points" in capsys.readouterr().out
+
+    def test_faults_command_with_spec(self, capsys):
+        from repro.cli import main
+        assert main(["faults", "--spec", "worker:2:hang:1"]) == 0
+        assert "worker:2:hang:1" in capsys.readouterr().out
+
+    def test_faults_command_rejects_bad_spec(self, capsys):
+        from repro.cli import main
+        assert main(["faults", "--spec", "bogus:crash"]) == 2
+        assert "invalid fault spec" in capsys.readouterr().out

@@ -1,0 +1,124 @@
+"""Crash-safe artifact store: atomicity, checksums, ``.bak`` fallback."""
+
+import json
+import os
+
+import pytest
+
+from repro.resilience import store
+
+
+@pytest.fixture(autouse=True)
+def no_faults(monkeypatch):
+    monkeypatch.delenv(store.faults.ENV_VAR, raising=False)
+
+
+class TestRoundtrip:
+    def test_save_load_ok(self, tmp_path):
+        p = tmp_path / "a.json"
+        store.save_json(p, {"k": [1, 2.5, "x"]})
+        payload, status = store.load_json(p)
+        assert status == "ok"
+        assert payload == {"k": [1, 2.5, "x"]}
+
+    def test_file_is_enveloped(self, tmp_path):
+        p = tmp_path / "a.json"
+        store.save_json(p, {"k": 1})
+        blob = json.loads(p.read_text())
+        meta = blob[store.ENVELOPE_KEY]
+        assert meta["schema"] == store.SCHEMA_VERSION
+        assert meta["checksum"] == store.payload_checksum({"k": 1})
+
+    def test_serialization_is_deterministic(self, tmp_path):
+        # byte-identical artifacts are the contract the parallel grid
+        # fill relies on
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        store.save_json(a, {"z": 1, "a": [2, 3]})
+        store.save_json(b, {"a": [2, 3], "z": 1})
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_no_tmp_file_left_behind(self, tmp_path):
+        store.save_json(tmp_path / "a.json", {"k": 1})
+        assert not [f for f in os.listdir(tmp_path) if ".tmp" in f]
+
+    def test_missing_status(self, tmp_path):
+        payload, status = store.load_json(tmp_path / "nope.json")
+        assert payload is None and status == "missing"
+
+
+class TestCorruption:
+    def _saved(self, tmp_path, *payloads):
+        p = tmp_path / "a.json"
+        for payload in payloads:
+            store.save_json(p, payload)
+        return p
+
+    def test_second_save_rotates_bak(self, tmp_path):
+        p = self._saved(tmp_path, {"v": 1}, {"v": 2})
+        assert store.load_json(p) == ({"v": 2}, "ok")
+        bak = json.loads(store.bak_path(p).read_text())
+        assert bak["payload"] == {"v": 1}
+
+    def test_truncated_main_recovers_from_bak(self, tmp_path):
+        p = self._saved(tmp_path, {"v": 1}, {"v": 2})
+        data = p.read_bytes()
+        p.write_bytes(data[: len(data) // 2])
+        assert store.load_json(p) == ({"v": 1}, "recovered")
+
+    def test_truncated_main_no_bak_is_corrupt(self, tmp_path):
+        p = self._saved(tmp_path, {"v": 1})
+        data = p.read_bytes()
+        p.write_bytes(data[: len(data) // 2])
+        payload, status = store.load_json(p)
+        assert payload is None and status == "corrupt"
+
+    def test_checksum_tamper_detected(self, tmp_path):
+        # structurally valid JSON whose payload was edited by hand: the
+        # checksum no longer matches, so it must not load as "ok"
+        p = self._saved(tmp_path, {"v": 1}, {"v": 2})
+        blob = json.loads(p.read_text())
+        blob["payload"]["v"] = 999
+        p.write_text(json.dumps(blob))
+        assert store.load_json(p) == ({"v": 1}, "recovered")
+
+    def test_wrong_schema_version_rejected(self, tmp_path):
+        p = self._saved(tmp_path, {"v": 1})
+        blob = json.loads(p.read_text())
+        blob[store.ENVELOPE_KEY]["schema"] = store.SCHEMA_VERSION + 1
+        p.write_text(json.dumps(blob))
+        payload, status = store.load_json(p)
+        assert payload is None and status == "corrupt"
+
+    def test_legacy_bare_json_still_loads(self, tmp_path):
+        # artifacts written before the envelope existed are plain dicts
+        p = tmp_path / "a.json"
+        p.write_text(json.dumps({"grid": {"m": {"INT8": 1.0}}}))
+        payload, status = store.load_json(p)
+        assert status == "ok"
+        assert payload == {"grid": {"m": {"INT8": 1.0}}}
+
+    def test_save_over_corrupt_file_does_not_rotate_it(self, tmp_path):
+        p = self._saved(tmp_path, {"v": 1}, {"v": 2})
+        p.write_bytes(b"garbage")
+        store.save_json(p, {"v": 3})
+        # the garbage must not have displaced the valid .bak
+        assert json.loads(store.bak_path(p).read_text())["payload"] == {"v": 1}
+        assert store.load_json(p) == ({"v": 3}, "ok")
+
+
+class TestTruncateFault:
+    def test_injected_truncation_then_recovery(self, tmp_path, monkeypatch):
+        p = tmp_path / "t2.json"
+        store.save_json(p, {"v": 1}, name="t2")
+        monkeypatch.setenv(store.faults.ENV_VAR, "artifact:t2:truncate:1")
+        store.save_json(p, {"v": 2}, name="t2")  # dies mid-write
+        assert store.load_json(p) == ({"v": 1}, "recovered")
+        monkeypatch.setenv(store.faults.ENV_VAR, "")
+        store.save_json(p, {"v": 2}, name="t2")
+        assert store.load_json(p) == ({"v": 2}, "ok")
+
+    def test_fault_keyed_by_name(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(store.faults.ENV_VAR, "artifact:other:truncate")
+        p = tmp_path / "t2.json"
+        store.save_json(p, {"v": 1}, name="t2")  # key mismatch: unharmed
+        assert store.load_json(p) == ({"v": 1}, "ok")
