@@ -1,0 +1,133 @@
+"""Bench serving: dynamic batching vs serial single-sample inference.
+
+The batching scheduler exists to amortise per-forward overhead (Python
+dispatch, im2col, GEMM setup) across coalesced requests.  This benchmark
+quantifies that: a closed-loop load drives the micro CNN through the
+service at ``max_batch`` 1 / 8 / 32 and compares sustained throughput
+against the serial single-sample baseline (the differential-test
+reference path).  Numbers land in ``BENCH_serve.json`` at the repo root
+(override with ``--out``) so the batching win is tracked from PR to PR:
+
+* ``serial`` — one request at a time through ``infer_serial``;
+* ``batched.N`` — closed-loop clients against a scheduler capped at
+  ``max_batch=N`` (N=1 measures pure scheduler overhead);
+* ``speedup_batch32_x`` — batched(32) over serial throughput; the serve
+  acceptance bar is >= 3x.
+
+Usage::
+
+    python benchmarks/bench_serve.py [--fast] [--out PATH]
+        [--mode fakequant|engine]
+
+``--fast`` shrinks request counts (used by the tier-1 smoke test).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.serve import (  # noqa: E402
+    BatchPolicy, InferenceService, ModelRepository, micro_specs,
+    run_closed_loop,
+)
+
+DEFAULT_OUT = REPO_ROOT / "BENCH_serve.json"
+MODEL = "micro-cnn"
+FORMAT = "MERSIT(8,2)"
+BATCH_SIZES = (1, 8, 32)
+
+
+def _host_meta() -> dict:
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def bench_serial(service: InferenceService, payloads: list,
+                 mode: str) -> dict:
+    """One request at a time through the reference path."""
+    t0 = time.perf_counter()
+    for x in payloads:
+        service.infer_serial(MODEL, x, FORMAT, mode)
+    elapsed = time.perf_counter() - t0
+    return {"requests": len(payloads), "elapsed_s": elapsed,
+            "throughput_rps": len(payloads) / elapsed}
+
+
+def bench_batched(repository: ModelRepository, max_batch: int,
+                  requests: int, mode: str) -> dict:
+    """Closed-loop clients against a scheduler capped at ``max_batch``."""
+    policy = BatchPolicy(max_batch=max_batch, max_wait_ms=5.0,
+                         queue_depth=max(64, 8 * max_batch), workers=2)
+    with InferenceService(repository, policy) as service:
+        report = run_closed_loop(
+            service, MODEL, FORMAT, mode, requests=requests,
+            concurrency=max(8, 3 * max_batch), seed=0)
+    d = report.to_dict()
+    return {"requests": requests, "ok": d["ok"],
+            "elapsed_s": d["elapsed_s"],
+            "throughput_rps": d["throughput_rps"],
+            "latency_ms": d["latency_ms"],
+            "mean_batch_size": d["metrics"]["mean_batch_size"],
+            "batch_size_histogram": d["metrics"]["batch_size_histogram"]}
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--fast", action="store_true",
+                    help="small request counts (smoke-test mode)")
+    ap.add_argument("--mode", default="fakequant",
+                    choices=("fakequant", "engine"))
+    ap.add_argument("--out", type=Path, default=DEFAULT_OUT)
+    args = ap.parse_args(argv)
+
+    requests = 64 if args.fast else 512
+    repository = ModelRepository(micro_specs(), calib_n=32, persist=False)
+    payloads = repository.specs[MODEL].requests(requests, seed=0)
+
+    # one warm resolve so calibration cost stays out of every timing
+    with InferenceService(repository) as warm:
+        warm.infer_serial(MODEL, payloads[0], FORMAT, args.mode)
+        serial = bench_serial(warm, payloads, args.mode)
+    print(f"serial          {serial['throughput_rps']:8.1f} req/s")
+
+    batched = {}
+    for n in BATCH_SIZES:
+        batched[str(n)] = bench_batched(repository, n, requests, args.mode)
+        print(f"batched max={n:<3d} {batched[str(n)]['throughput_rps']:8.1f} "
+              f"req/s (mean batch {batched[str(n)]['mean_batch_size']:.1f})")
+
+    speedup = batched["32"]["throughput_rps"] / serial["throughput_rps"]
+    print(f"dynamic batching speedup at max_batch=32: {speedup:.2f}x over serial")
+
+    payload = {
+        "host": _host_meta(),
+        "model": MODEL,
+        "format": FORMAT,
+        "mode": args.mode,
+        "requests": requests,
+        "serial": serial,
+        "batched": batched,
+        "speedup_batch32_x": speedup,
+    }
+    args.out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -4,6 +4,7 @@
 #   scripts/check.sh           # lint + netlist verify + tier-1 pytest
 #   scripts/check.sh --slow    # additionally run the slow sweeps
 #   scripts/check.sh --chaos   # only the fault-injection recovery suite
+#   scripts/check.sh --serve   # only the inference-service suite
 #
 # Exits non-zero on the first failing stage.
 set -eu
@@ -16,6 +17,13 @@ if [ "${1:-}" = "--chaos" ]; then
     echo "== chaos (fault-injection) suite =="
     python -m pytest -x -q -m chaos
     echo "check.sh: chaos suite passed"
+    exit 0
+fi
+
+if [ "${1:-}" = "--serve" ]; then
+    echo "== serve (inference service) suite =="
+    python -m pytest -x -q -m serve
+    echo "check.sh: serve suite passed"
     exit 0
 fi
 

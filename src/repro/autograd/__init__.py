@@ -1,6 +1,12 @@
 """Reverse-mode autodiff over numpy: the training substrate for the zoo."""
 
 from . import functional
-from .tensor import Tensor, is_grad_enabled, no_grad
+from .tensor import (
+    Tensor, batch_invariant_enabled, batch_invariant_matmul, is_grad_enabled,
+    no_grad,
+)
 
-__all__ = ["Tensor", "no_grad", "is_grad_enabled", "functional"]
+__all__ = [
+    "Tensor", "no_grad", "is_grad_enabled", "functional",
+    "batch_invariant_matmul", "batch_invariant_enabled",
+]

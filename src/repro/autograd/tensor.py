@@ -17,31 +17,84 @@ gradient checks in ``tests/test_autograd_gradcheck.py``.
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
-__all__ = ["Tensor", "no_grad", "is_grad_enabled"]
+__all__ = [
+    "Tensor", "no_grad", "is_grad_enabled",
+    "batch_invariant_matmul", "batch_invariant_enabled",
+]
 
-_GRAD_ENABLED = True
+# The grad-enabled flag is thread-local: serving workers run inference
+# under ``no_grad`` concurrently, and a process-global flag would let two
+# workers interleave enter/exit and leave gradient mode corrupted for
+# every other thread (including a training loop).  Each thread starts
+# with gradients enabled and toggles only its own view.
+_GRAD_STATE = threading.local()
 
 
 class no_grad:
     """Context manager disabling graph construction (inference mode)."""
 
     def __enter__(self):
-        global _GRAD_ENABLED
-        self._prev = _GRAD_ENABLED
-        _GRAD_ENABLED = False
+        self._prev = is_grad_enabled()
+        _GRAD_STATE.enabled = False
         return self
 
     def __exit__(self, *exc):
-        global _GRAD_ENABLED
-        _GRAD_ENABLED = self._prev
+        _GRAD_STATE.enabled = self._prev
         return False
 
 
 def is_grad_enabled() -> bool:
-    """Whether operations currently record the autograd tape."""
-    return _GRAD_ENABLED
+    """Whether operations currently record the autograd tape (this thread)."""
+    return getattr(_GRAD_STATE, "enabled", True)
+
+
+# ----------------------------------------------------------------------
+# batch-invariant matmul mode
+# ----------------------------------------------------------------------
+# BLAS results are not row-stable across GEMM heights: the row ``x @ W``
+# computed inside a (32, k) @ (k, n) product differs in the last ulp from
+# the same row computed as (1, k) @ (k, n), because OpenBLAS picks
+# different micro-kernels (and accumulation orders) per output height.
+# The serving layer (repro.serve) promises batched results bit-identical
+# to serial single-sample inference, so under this mode every 2-D matmul
+# whose leading axis is a batch axis is evaluated one row at a time —
+# each row then goes through exactly the (1, k) @ (k, n) kernel a
+# single-sample forward would use.  Broadcast (>= 3-D) matmuls already
+# run one fixed-shape GEMM per sample and are left untouched.  The flag
+# is thread-local: scheduler workers batch under the mode while the rest
+# of the process keeps the fast default.
+_BATCH_INVARIANT = threading.local()
+
+
+def batch_invariant_enabled() -> bool:
+    """Whether 2-D matmuls are currently forced row-stable (this thread)."""
+    return getattr(_BATCH_INVARIANT, "on", False)
+
+
+class batch_invariant_matmul:
+    """Context manager forcing row-stable 2-D matmuls on this thread."""
+
+    def __enter__(self):
+        self._prev = batch_invariant_enabled()
+        _BATCH_INVARIANT.on = True
+        return self
+
+    def __exit__(self, *exc):
+        _BATCH_INVARIANT.on = self._prev
+        return False
+
+
+def _matmul_data(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``a @ b`` honouring the batch-invariant mode for 2-D operands."""
+    if (a.ndim == 2 and b.ndim == 2 and a.shape[0] > 1
+            and batch_invariant_enabled()):
+        return np.concatenate([a[i:i + 1] @ b for i in range(a.shape[0])],
+                              axis=0)
+    return a @ b
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -117,7 +170,7 @@ class Tensor:
     @staticmethod
     def _make(data: np.ndarray, parents: tuple["Tensor", ...], backward) -> "Tensor":
         out = Tensor(data)
-        if _GRAD_ENABLED and any(p.requires_grad for p in parents):
+        if is_grad_enabled() and any(p.requires_grad for p in parents):
             out.requires_grad = True
             out._parents = tuple(p for p in parents if p.requires_grad)
             out._backward = backward
@@ -275,7 +328,7 @@ class Tensor:
 
     def __matmul__(self, other) -> "Tensor":
         other = Tensor.as_tensor(other)
-        out_data = self.data @ other.data
+        out_data = _matmul_data(self.data, other.data)
 
         def backward(g):
             if self.requires_grad:

@@ -16,6 +16,11 @@ experiments [NAMES...] [--jobs N] [--cell-timeout S] [--retries N]
     table2, or ``all``); defaults to the fast set.  ``--jobs`` fans the
     table2 grid across worker processes; ``--cell-timeout``/``--retries``
     configure the resilient executor (hung-worker deadline, retry budget).
+serve MODEL [--format F] [--mode fakequant|engine] [--requests N]
+      [--concurrency C] [--open --rate R] [--stats]
+    Run the dynamic-batching inference service in-process and drive it
+    with the deterministic load generator; ``--stats`` prints the
+    latency/queue/batch metrics afterwards.
 faults
     List the fault-injection points of the resilience harness and
     whatever ``$REPRO_FAULTS`` currently arms.
@@ -77,6 +82,31 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-cell deadline (s) for the table2 pool")
     p_exp.add_argument("--retries", type=int, default=None,
                        help="retry budget for failing table2 cells")
+
+    p_serve = sub.add_parser(
+        "serve", help="run the dynamic-batching inference service")
+    p_serve.add_argument("model", help="zoo model name, or micro-cnn/"
+                         "micro-mlp/micro-attn (no training cost)")
+    p_serve.add_argument("--format", default="MERSIT(8,2)", dest="fmt")
+    p_serve.add_argument("--mode", default="fakequant",
+                         choices=("fakequant", "engine"))
+    p_serve.add_argument("--requests", type=int, default=64)
+    p_serve.add_argument("--concurrency", type=int, default=8,
+                         help="closed-loop client threads")
+    p_serve.add_argument("--open", action="store_true", dest="open_loop",
+                         help="open-loop arrivals instead of closed-loop")
+    p_serve.add_argument("--rate", type=float, default=200.0,
+                         help="open-loop arrival rate (req/s)")
+    p_serve.add_argument("--max-batch", type=int, default=8)
+    p_serve.add_argument("--max-wait-ms", type=float, default=2.0)
+    p_serve.add_argument("--queue-depth", type=int, default=64)
+    p_serve.add_argument("--workers", type=int, default=2)
+    p_serve.add_argument("--deadline-ms", type=float, default=None,
+                         help="per-request deadline")
+    p_serve.add_argument("--calib", type=int, default=64, dest="calib_n")
+    p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.add_argument("--stats", action="store_true",
+                         help="print service metrics after the run")
 
     p_faults = sub.add_parser(
         "faults", help="list fault-injection points and armed faults")
@@ -231,6 +261,43 @@ def _cmd_experiments(args) -> int:
     return run_experiments(argv)
 
 
+def _cmd_serve(args) -> int:
+    from .serve import (
+        BatchPolicy, InferenceService, ModelRepository, micro_specs,
+        run_closed_loop, run_open_loop, zoo_specs,
+    )
+    micro = micro_specs()
+    if args.model in micro:
+        specs = micro
+    else:
+        try:
+            specs = zoo_specs([args.model])
+        except KeyError:
+            from .zoo import ALL_MODELS
+            print(f"unknown model {args.model!r}; available: "
+                  f"{sorted(ALL_MODELS) + sorted(micro)}")
+            return 2
+    repository = ModelRepository(specs, calib_n=args.calib_n)
+    policy = BatchPolicy(max_batch=args.max_batch,
+                         max_wait_ms=args.max_wait_ms,
+                         queue_depth=args.queue_depth, workers=args.workers)
+    with InferenceService(repository, policy) as service:
+        if args.open_loop:
+            report = run_open_loop(
+                service, args.model, args.fmt, args.mode,
+                requests=args.requests, rate_rps=args.rate,
+                seed=args.seed, deadline_ms=args.deadline_ms)
+        else:
+            report = run_closed_loop(
+                service, args.model, args.fmt, args.mode,
+                requests=args.requests, concurrency=args.concurrency,
+                seed=args.seed, deadline_ms=args.deadline_ms)
+        print(report.render())
+        if args.stats:
+            print(service.render_stats())
+    return 0 if report.ok == report.requests else 1
+
+
 def _cmd_faults(args) -> int:
     from .resilience import faults
     try:
@@ -258,6 +325,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_experiments(args)
     if args.command == "analyze":
         return _cmd_analyze(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "faults":
         return _cmd_faults(args)
     raise AssertionError("unreachable")

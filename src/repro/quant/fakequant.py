@@ -204,14 +204,24 @@ class FakeQuantizer:
         version, so either invalidates the cache.  Callers mutating a
         tensor's array *in place* (``t.data[...] = ...``) must call
         ``t.bump_version()`` — see the contract on ``Tensor.data``.
+
+        Safe under concurrent callers (serving workers share one layer):
+        the versions are snapshotted *before* the data is read, so a
+        rebind racing with the computation can only make the stored entry
+        conservatively stale (key = old version, data = new plane), never
+        the reverse; the next call then recomputes instead of serving a
+        stale plane under a fresh version.  The cache slot itself is a
+        single tuple rebinding, which is atomic under the GIL.
         """
         cached = self._qcache
         if (cached is not None and cached[0] is tensor
                 and cached[1] == tensor.version
                 and cached[2] == self._scale_version):
             return cached[3]
+        tensor_version = tensor.version
+        scale_version = self._scale_version
         out = self(tensor.data).astype(np.float32)
-        self._qcache = (tensor, tensor.version, self._scale_version, out)
+        self._qcache = (tensor, tensor_version, scale_version, out)
         return out
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

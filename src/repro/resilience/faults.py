@@ -11,7 +11,8 @@ comma-separated list of clauses::
 * ``scope`` — where the fault fires (see :data:`SCOPES`):
   ``cell`` (a table2 grid cell), ``worker`` (a pool task pickup),
   ``artifact`` (an artifact-store save), ``calib`` (an activation
-  calibration batch), ``engine`` (activation encode in the engine).
+  calibration batch), ``engine`` (activation encode in the engine),
+  ``serve`` (the inference service: batch execution / model load).
 * ``key`` — which site within the scope; an ``fnmatch`` glob matched
   against the site key (``MODEL/FORMAT`` for cells, the task sequence
   index for workers, the artifact name, the layer name for calibration).
@@ -64,7 +65,7 @@ ENV_VAR = "REPRO_FAULTS"
 ACTIONS = frozenset({"crash", "kill", "hang", "nan", "truncate"})
 
 #: recognised injection scopes
-SCOPES = frozenset({"cell", "worker", "artifact", "calib", "engine"})
+SCOPES = frozenset({"cell", "worker", "artifact", "calib", "engine", "serve"})
 
 #: how long a ``hang`` action sleeps (long enough that any sane per-cell
 #: deadline expires first)
@@ -213,6 +214,10 @@ INJECTION_POINTS: list[tuple[str, str, str, str]] = [
      "nan", "layer name (as assigned by quantize_model)"),
     ("engine", "engine.executor.LayerEngine.encode_input",
      "nan", "'encode'"),
+    ("serve", "serve.scheduler worker, before executing a batch",
+     "crash", "batch/MODELKEY, e.g. batch/cnn|MERSIT(8,2)|engine"),
+    ("serve", "serve.repository.ModelRepository.resolve (calibration load)",
+     "crash", "load/MODELKEY"),
 ]
 
 

@@ -1,0 +1,37 @@
+"""Dynamic-batching quantized inference service.
+
+The serving layer of the repo: a :class:`~repro.serve.ModelRepository`
+that calibrates each (model, format, mode) once — memoized in process
+and persisted crash-safely on disk — a
+:class:`~repro.serve.BatchingScheduler` that coalesces concurrent
+single-sample requests into batched forwards under a
+``max_batch``/``max_wait_ms`` policy with bounded queues, backpressure
+and per-request deadlines, and an :class:`~repro.serve.InferenceService`
+front door driving both ``fakequant`` and true-quantized ``engine``
+inference.
+
+The headline correctness property: batched results are **bit-identical**
+to serial single-sample inference, under both kernel backends and both
+PTQ modes (see :mod:`repro.serve.service` for the mechanism and
+``tests/test_serve_differential.py`` for the proof).
+"""
+
+from .errors import (
+    DeadlineExceededError, ModelLoadError, QueueFullError, ServeError,
+    ServiceClosedError, WorkerCrashError,
+)
+from .loadgen import LoadReport, run_closed_loop, run_open_loop
+from .metrics import ServeMetrics, percentile
+from .repository import ModelRepository, ServableSpec, micro_specs, zoo_specs
+from .scheduler import BatchPolicy, BatchingScheduler, ServeFuture
+from .service import InferenceService
+
+__all__ = [
+    "ServeError", "QueueFullError", "DeadlineExceededError",
+    "ModelLoadError", "WorkerCrashError", "ServiceClosedError",
+    "ServeMetrics", "percentile",
+    "ModelRepository", "ServableSpec", "zoo_specs", "micro_specs",
+    "BatchPolicy", "BatchingScheduler", "ServeFuture",
+    "InferenceService",
+    "LoadReport", "run_closed_loop", "run_open_loop",
+]

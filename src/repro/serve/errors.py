@@ -1,0 +1,72 @@
+"""Structured request-level errors of the inference service.
+
+A production serving frontend maps failures to HTTP-style status codes;
+this in-process service keeps the same discipline so callers (and the
+chaos tests) can dispatch on *kind*, not on exception string matching.
+Every error renders to a structured entry ``{"error": {"kind", "code",
+"message"}}`` — the serving twin of the resilience layer's grid error
+entries (:func:`repro.resilience.error_entry`).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ServeError", "QueueFullError", "DeadlineExceededError",
+    "ModelLoadError", "WorkerCrashError", "ServiceClosedError",
+]
+
+
+class ServeError(RuntimeError):
+    """Base class: a request that could not be served.
+
+    Attributes
+    ----------
+    kind:
+        Short machine-readable failure class (``queue-full``,
+        ``deadline``, ``model-load``, ``worker-crash``, ``closed``).
+    code:
+        The HTTP status a fronting gateway would emit (503/504/500).
+    """
+
+    kind = "serve-error"
+    code = 500
+
+    def to_entry(self) -> dict:
+        """The structured error entry for this failure."""
+        return {"error": {"kind": self.kind, "code": self.code,
+                          "message": str(self)}}
+
+
+class QueueFullError(ServeError):
+    """Backpressure: the bounded request queue is at capacity (503)."""
+
+    kind = "queue-full"
+    code = 503
+
+
+class DeadlineExceededError(ServeError):
+    """The request's deadline expired before a worker picked it up (504)."""
+
+    kind = "deadline"
+    code = 504
+
+
+class ModelLoadError(ServeError):
+    """Loading or calibrating the requested model failed (500)."""
+
+    kind = "model-load"
+    code = 500
+
+
+class WorkerCrashError(ServeError):
+    """Batch execution kept failing after the retry budget (500)."""
+
+    kind = "worker-crash"
+    code = 500
+
+
+class ServiceClosedError(ServeError):
+    """The service is shut down and no longer accepts requests (503)."""
+
+    kind = "closed"
+    code = 503

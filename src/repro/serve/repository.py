@@ -1,0 +1,412 @@
+"""Calibrated-model repository: PTQ once, memoize, persist, reuse.
+
+Serving must not re-run PTQ calibration per request — calibration walks a
+whole data stream through the model.  The repository closes that gap at
+two levels:
+
+* **in-process memo** — ``resolve(model, fmt, mode)`` calibrates at most
+  once per key; concurrent resolvers of the *same* key wait on a per-key
+  lock while different keys calibrate in parallel;
+* **on-disk artifact** — the calibration result (per-layer weight /
+  activation scales) is persisted through the crash-safe resilience
+  store (:mod:`repro.resilience.store`: atomic writes, checksums,
+  ``.bak`` fallback), so a restarted process rebuilds the quantized
+  model from the artifact *bit-identically* instead of recalibrating.
+  JSON floats round-trip exactly (``repr`` serialisation), so restored
+  scales equal calibrated scales to the last bit.
+
+The artifact is only honoured when its embedded cache key matches
+exactly.  The key captures everything that changes the served numbers:
+formats, PTQ mode, calibration size/seed, the activation observer
+config, per-channel policy, gain override — and the engine's Kulisch
+accumulator block width (:data:`repro.engine.planes.BLOCK`), which
+changes engine-mode packing.  The block width is read at key-build time,
+so a rebuilt engine never silently reuses an artifact produced under a
+different accumulator configuration.
+
+A :class:`ServableSpec` tells the repository *how* to serve a model:
+build it, feed its calibration stream, collate single-sample requests
+into a batch, and run the batched forward.  ``zoo_specs()`` wraps every
+pretrained zoo entry; ``micro_specs()`` provides tiny seeded models
+(CNN / MLP / attention) for tests and benchmarks that must not pay zoo
+training time.
+
+Hosts the ``serve:load/KEY`` fault-injection point (fired on a cache
+miss before building/calibrating).
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import threading
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from ..autograd import Tensor, no_grad
+from ..formats import get_format
+from ..nn import (
+    Conv2d, Flatten, GlobalAvgPool2d, Linear, MaxPool2d, Module, ReLU,
+    Sequential, TransformerEncoderLayer,
+)
+from ..quant.fakequant import FakeQuantizer
+from ..quant.ptq import PTQConfig, quantize_model, quantized_layers
+from ..resilience import faults
+from ..resilience.store import load_json, save_json
+from .errors import ModelLoadError, ServeError
+
+__all__ = [
+    "ServableSpec", "ModelRepository", "zoo_specs", "micro_specs",
+    "SCALES_SCHEMA",
+]
+
+#: bumped when the persisted calibration-artifact layout changes
+SCALES_SCHEMA = 1
+
+#: canonical calibration-stream seed (matches ``calibration_split``);
+#: a repository ``calib_seed`` offsets from it
+CALIB_STREAM_SEED = 2
+
+
+@dataclass(frozen=True)
+class ServableSpec:
+    """How to build, calibrate and batch-execute one servable model.
+
+    ``collate``/``run`` define the batched data path; ``requests`` draws
+    deterministic single-request inputs for tests and the load
+    generator.  ``run`` returns a plain array whose leading axis indexes
+    the collated requests, so the service can split outputs back out.
+    """
+
+    name: str
+    build: Callable[[], Module]
+    calibration: Callable[[int, int], object]       # (n, seed) -> batches
+    calib_forward: Callable[[Module, object], object]
+    collate: Callable[[list], object]               # [inputs] -> batch
+    run: Callable[[Module, object], np.ndarray]     # (model, batch) -> (N, ...)
+    requests: Callable[[int, int], list]            # (n, seed) -> [inputs]
+
+
+# ----------------------------------------------------------------------
+# specs: zoo models
+# ----------------------------------------------------------------------
+
+def _vision_spec(name: str) -> ServableSpec:
+    from ..zoo import registry as zoo
+
+    return ServableSpec(
+        name=name,
+        build=lambda: zoo.pretrained(name)[0],
+        calibration=lambda n, seed: zoo.dataset().sample(n, seed=seed).batches(32),
+        calib_forward=lambda m, b: m(Tensor(b[0])),
+        collate=lambda xs: np.stack(xs).astype(np.float32),
+        run=lambda m, x: m(Tensor(x)).data,
+        requests=lambda n, seed: list(zoo.dataset().sample(n, seed=seed).images),
+    )
+
+
+def _glue_spec(name: str, task: str) -> ServableSpec:
+    from ..zoo import registry as zoo
+
+    def requests(n: int, seed: int) -> list:
+        split = zoo.glue_task(task).sample(n, seed=seed)
+        return [(split.ids[i], split.mask[i]) for i in range(n)]
+
+    return ServableSpec(
+        name=name,
+        build=lambda: zoo.pretrained(name)[0],
+        calibration=lambda n, seed: zoo.glue_task(task).sample(n, seed=seed).batches(32),
+        calib_forward=lambda m, b: m(b[0], b[1]),
+        collate=lambda xs: (np.stack([x[0] for x in xs]),
+                            np.stack([x[1] for x in xs])),
+        run=lambda m, x: m(x[0], x[1]).data,
+        requests=requests,
+    )
+
+
+def zoo_specs(names: list[str] | None = None) -> dict[str, ServableSpec]:
+    """Servable specs for (a subset of) the pretrained model zoo."""
+    from ..zoo import registry as zoo
+
+    specs: dict[str, ServableSpec] = {}
+    for name, entry in zoo.ALL_MODELS.items():
+        if names is not None and name not in names:
+            continue
+        specs[name] = (_vision_spec(name) if entry.kind == "vision"
+                       else _glue_spec(name, entry.task))
+    if names is not None:
+        missing = set(names) - set(specs)
+        if missing:
+            raise KeyError(f"unknown zoo models: {sorted(missing)}")
+    return specs
+
+
+# ----------------------------------------------------------------------
+# specs: micro models (tests / benchmarks; no zoo training cost)
+# ----------------------------------------------------------------------
+
+class _MicroAttn(Module):
+    """One transformer block plus a mean-pooled classification head."""
+
+    def __init__(self, dim: int = 16, num_heads: int = 2, ffn: int = 32,
+                 classes: int = 8, rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.block = TransformerEncoderLayer(dim, num_heads, ffn, rng=rng)
+        self.head = Linear(dim, classes, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.head(self.block(x).mean(axis=1))
+
+
+def _array_spec(name: str, build: Callable[[], Module],
+                shape: tuple[int, ...]) -> ServableSpec:
+    """A spec over seeded gaussian inputs of a fixed per-request shape."""
+
+    def draw(n: int, seed: int) -> np.ndarray:
+        # zlib.crc32, not hash(): str hashing is salted per process and
+        # these streams must be reproducible across runs
+        rng = np.random.default_rng((zlib.crc32(name.encode()) & 0xFFFF, seed))
+        return rng.normal(size=(n, *shape)).astype(np.float32)
+
+    def built() -> Module:
+        model = build()
+        model.eval()
+        return model
+
+    return ServableSpec(
+        name=name,
+        build=built,
+        calibration=lambda n, seed: [draw(n, seed)],
+        calib_forward=lambda m, b: m(Tensor(b)),
+        collate=lambda xs: np.stack(xs).astype(np.float32),
+        run=lambda m, x: m(Tensor(x)).data,
+        requests=lambda n, seed: list(draw(n, seed + 1)),
+    )
+
+
+def micro_specs() -> dict[str, ServableSpec]:
+    """Tiny deterministic servable models: CNN, MLP, attention block."""
+    return {
+        "micro-cnn": _array_spec(
+            "micro-cnn",
+            lambda: Sequential(
+                Conv2d(3, 8, 3, padding=1, rng=np.random.default_rng(10)),
+                ReLU(), MaxPool2d(2),
+                Conv2d(8, 16, 3, padding=1, rng=np.random.default_rng(11)),
+                ReLU(), GlobalAvgPool2d(), Flatten(),
+                Linear(16, 10, rng=np.random.default_rng(12))),
+            shape=(3, 8, 8)),
+        "micro-mlp": _array_spec(
+            "micro-mlp",
+            lambda: Sequential(
+                Linear(32, 48, rng=np.random.default_rng(20)), ReLU(),
+                Linear(48, 32, rng=np.random.default_rng(21)), ReLU(),
+                Linear(32, 10, rng=np.random.default_rng(22))),
+            shape=(32,)),
+        "micro-attn": _array_spec(
+            "micro-attn",
+            lambda: _MicroAttn(rng=np.random.default_rng(30)),
+            shape=(6, 16)),
+    }
+
+
+# ----------------------------------------------------------------------
+# scale persistence
+# ----------------------------------------------------------------------
+
+def _extract_scales(model: Module) -> dict:
+    """Per-layer calibration scales of a quantized model, JSON-ready."""
+    scales: dict[str, dict] = {}
+    for name, layer in quantized_layers(model):
+        if layer.weight_quant is None:
+            continue
+        w = layer.weight_quant.scale
+        scales[name] = {
+            "weight": w.tolist() if w.ndim else float(w),
+            "input": float(layer.input_quant.scale),
+        }
+    return scales
+
+
+def _apply_scales(model: Module, config: PTQConfig, scales: dict) -> Module:
+    """Rebuild quantizers (and engines) from persisted scales, bit-identically.
+
+    Mirrors the attach loop of :func:`repro.quant.ptq.quantize_model`;
+    raises ``KeyError`` when the artifact's layer set does not match the
+    model (the caller treats that as a stale artifact and recalibrates).
+    """
+    model.eval()
+    names = [name for name, _ in quantized_layers(model)]
+    if set(names) != set(scales):
+        raise KeyError("artifact layer set does not match model")
+    axis = 0 if config.per_channel_weights else None
+    for name, layer in quantized_layers(model):
+        entry = scales[name]
+        layer.weight_quant = FakeQuantizer(
+            config.wfmt, axis=axis, scale=np.asarray(entry["weight"]),
+            gain=config.gain_override, name=name)
+        layer.input_quant = FakeQuantizer(
+            config.afmt, axis=None, scale=np.asarray(entry["input"]),
+            gain=config.gain_override, name=name)
+        layer.observing = False
+        layer.weight_quant.quantize_cached(layer.weight)
+        if config.mode == "engine":
+            from ..engine import build_layer_engine
+            layer.engine_exec = build_layer_engine(
+                layer, config.wfmt, config.afmt, config.gain_override)
+    return model
+
+
+# ----------------------------------------------------------------------
+# the repository
+# ----------------------------------------------------------------------
+
+class ModelRepository:
+    """Thread-safe memo of calibrated PTQ models, persisted across runs.
+
+    Parameters
+    ----------
+    specs:
+        Name -> :class:`ServableSpec`; defaults to the full zoo.
+    calib_n / calib_seed:
+        Calibration stream size and seed offset (both part of the key).
+    observer:
+        Activation observer config (``max`` / ``percentile`` / ``mse``).
+    per_channel / gain_override:
+        PTQ policy knobs, forwarded to :class:`~repro.quant.ptq.PTQConfig`.
+    cache_dir:
+        Where calibration artifacts live (default ``$REPRO_SERVE_CACHE``
+        or ``.serve_cache/``); ``persist=False`` disables the disk layer.
+    """
+
+    def __init__(self, specs: dict[str, ServableSpec] | None = None, *,
+                 calib_n: int = 64, calib_seed: int = 0,
+                 observer: str = "max", per_channel: bool = True,
+                 gain_override: float | None = None,
+                 cache_dir: Path | str | None = None, persist: bool = True):
+        self.specs = specs if specs is not None else zoo_specs()
+        self.calib_n = calib_n
+        self.calib_seed = calib_seed
+        self.observer = observer
+        self.per_channel = per_channel
+        self.gain_override = gain_override
+        self.persist = persist
+        self.cache_dir = Path(
+            cache_dir if cache_dir is not None
+            else os.environ.get("REPRO_SERVE_CACHE", ".serve_cache"))
+        self.calibrations = 0     # cold calibration runs (test observability)
+        self.artifact_hits = 0    # models rebuilt from a persisted artifact
+        self._models: dict[str, tuple[Module, ServableSpec]] = {}
+        self._lock = threading.Lock()
+        self._key_locks: dict[str, threading.Lock] = {}
+
+    # -- keys -----------------------------------------------------------
+    def model_key(self, model: str, fmt: str, mode: str = "fakequant") -> str:
+        """The scheduler/batching key: ``model|format|mode`` (canonical)."""
+        return f"{model}|{get_format(fmt).name}|{mode}"
+
+    def cache_key(self, model: str, fmt: str, mode: str = "fakequant") -> dict:
+        """Everything that changes the served numbers, as a flat dict.
+
+        Reads the engine accumulator block width at call time so a
+        reconfigured engine invalidates persisted engine-mode artifacts.
+        """
+        from ..engine import planes
+
+        fmt_name = get_format(fmt).name
+        return {
+            "schema": SCALES_SCHEMA,
+            "model": model,
+            "weight_format": fmt_name,
+            "activation_format": fmt_name,
+            "mode": mode,
+            "calib_n": self.calib_n,
+            "calib_seed": self.calib_seed,
+            "observer": self.observer,
+            "per_channel": self.per_channel,
+            "gain_override": self.gain_override,
+            "accumulator_block": int(planes.BLOCK),
+        }
+
+    def artifact_path(self, model: str, fmt: str, mode: str = "fakequant") -> Path:
+        key = self.model_key(model, fmt, mode)
+        safe = re.sub(r"[^A-Za-z0-9._-]+", "_", key)
+        return self.cache_dir / f"calib-{safe}.json"
+
+    # -- resolution -----------------------------------------------------
+    def resolve(self, model: str, fmt: str,
+                mode: str = "fakequant") -> tuple[Module, ServableSpec]:
+        """The calibrated ``(model, spec)`` for a key, building it at most once."""
+        key = self.model_key(model, fmt, mode)
+        with self._lock:
+            hit = self._models.get(key)
+            if hit is not None:
+                return hit
+            key_lock = self._key_locks.setdefault(key, threading.Lock())
+        with key_lock:
+            with self._lock:
+                hit = self._models.get(key)
+                if hit is not None:
+                    return hit
+            try:
+                built = self._load(key, model, fmt, mode)
+            except ServeError:
+                raise
+            except Exception as exc:  # lint: allow[broad-except] wrap any load/calibration failure as a structured serve error
+                raise ModelLoadError(
+                    f"loading {key} failed: {type(exc).__name__}: {exc}") from exc
+            with self._lock:
+                self._models[key] = built
+            return built
+
+    def _ptq_config(self, fmt: str, mode: str) -> PTQConfig:
+        return PTQConfig(weight_format=fmt, mode=mode,
+                         per_channel_weights=self.per_channel,
+                         gain_override=self.gain_override,
+                         activation_observer=self.observer)
+
+    def _load(self, key: str, model: str, fmt: str,
+              mode: str) -> tuple[Module, ServableSpec]:
+        spec = self.specs.get(model)
+        if spec is None:
+            raise ModelLoadError(
+                f"unknown model {model!r}; available: {sorted(self.specs)}")
+        faults.maybe_fault("serve", f"load/{key}")
+        net = spec.build()
+        config = self._ptq_config(fmt, mode)
+        cache_key = self.cache_key(model, fmt, mode)
+        path = self.artifact_path(model, fmt, mode)
+        if self.persist:
+            payload, _status = load_json(path)
+            if (isinstance(payload, dict) and payload.get("key") == cache_key):
+                try:
+                    with no_grad():
+                        _apply_scales(net, config, payload["scales"])
+                except KeyError:
+                    pass  # stale layer set: fall through to recalibration
+                else:
+                    self.artifact_hits += 1
+                    return net, spec
+        with no_grad():
+            quantize_model(net, config,
+                           spec.calibration(self.calib_n,
+                                            CALIB_STREAM_SEED + self.calib_seed),
+                           forward=spec.calib_forward)
+        self.calibrations += 1
+        if self.persist:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+            save_json(path, {"key": cache_key, "scales": _extract_scales(net)},
+                      name=f"serve-{model}")
+        return net, spec
+
+    def stats(self) -> dict:
+        """Observability counters (resident models, cold/warm loads)."""
+        with self._lock:
+            resident = sorted(self._models)
+        return {"resident": resident, "calibrations": self.calibrations,
+                "artifact_hits": self.artifact_hits}

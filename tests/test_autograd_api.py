@@ -51,6 +51,38 @@ class TestGradMode:
                 raise RuntimeError("boom")
         assert is_grad_enabled()
 
+    def test_no_grad_is_thread_local(self):
+        """Regression: a process-global flag let two serving workers
+        interleave ``no_grad`` enter/exit (A enters, B enters seeing
+        False, A exits, B exits restoring False) and disable gradients
+        for every other thread — including a later training loop."""
+        import threading
+
+        barrier = threading.Barrier(2)
+        seen = []
+
+        def worker():
+            with no_grad():
+                barrier.wait()   # both threads inside no_grad at once
+                barrier.wait()   # hold until the other has entered too
+            seen.append(is_grad_enabled())
+
+        threads = [threading.Thread(target=worker) for _ in range(2)]
+        with no_grad():
+            pass  # main thread's own toggling must not leak either
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert seen == [True, True]   # each thread restored its own flag
+        assert is_grad_enabled()      # and the main thread never saw it
+        # a thread spawned fresh starts with gradients enabled
+        fresh = []
+        t = threading.Thread(target=lambda: fresh.append(is_grad_enabled()))
+        t.start()
+        t.join()
+        assert fresh == [True]
+
     def test_constants_produce_no_tape(self):
         a = Tensor(np.ones(3))
         b = Tensor(np.ones(3))
@@ -206,3 +238,54 @@ class TestDataVersioning:
             layer.bias.grad = np.zeros_like(layer.bias.data)
         opt.step()
         assert layer.weight.version > v
+
+
+class TestBatchInvariantMatmul:
+    """The serving-mode guarantee: 2-D matmuls are row-stable under the
+    batch-invariant context, so batched rows equal single-row GEMMs."""
+
+    def test_rows_match_single_sample_matmul(self):
+        from repro.autograd import batch_invariant_matmul
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=(64, 96)).astype(np.float32)
+        b = rng.normal(size=(96, 48)).astype(np.float32)
+        with batch_invariant_matmul():
+            full = (Tensor(a) @ Tensor(b)).data
+            for i in (0, 17, 63):
+                row = (Tensor(a[i:i + 1]) @ Tensor(b)).data
+                np.testing.assert_array_equal(full[i:i + 1], row)
+
+    def test_mode_is_off_by_default_and_restores(self):
+        from repro.autograd import batch_invariant_enabled, batch_invariant_matmul
+        assert not batch_invariant_enabled()
+        with batch_invariant_matmul():
+            assert batch_invariant_enabled()
+            with batch_invariant_matmul():
+                assert batch_invariant_enabled()
+            assert batch_invariant_enabled()  # nesting restores the outer state
+        assert not batch_invariant_enabled()
+
+    def test_mode_is_thread_local(self):
+        import threading
+        from repro.autograd import batch_invariant_enabled, batch_invariant_matmul
+        seen = {}
+
+        def other():
+            seen["other"] = batch_invariant_enabled()
+
+        with batch_invariant_matmul():
+            t = threading.Thread(target=other)
+            t.start()
+            t.join()
+        assert seen["other"] is False  # one thread's mode never leaks
+
+    def test_gradients_flow_under_the_mode(self):
+        from repro.autograd import batch_invariant_matmul
+        a = Tensor(np.random.default_rng(1).normal(size=(3, 4)),
+                   requires_grad=True)
+        b = Tensor(np.random.default_rng(2).normal(size=(4, 2)),
+                   requires_grad=True)
+        with batch_invariant_matmul():
+            (a @ b).sum().backward()
+        assert a.grad is not None and b.grad is not None
+        np.testing.assert_allclose(a.grad, np.ones((3, 2)) @ b.data.T)

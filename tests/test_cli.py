@@ -80,3 +80,18 @@ class TestCheapCommands:
         monkeypatch.setattr(runner, "main", fake_runner)
         assert main(["experiments"]) == 0
         assert seen["argv"] == []
+
+
+class TestServeCommand:
+    def test_serve_micro_model_end_to_end(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE_CACHE", str(tmp_path / "cache"))
+        assert main(["serve", "micro-mlp", "--requests", "12",
+                     "--concurrency", "4", "--calib", "8", "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "closed-loop micro-mlp" in out and "12/12 ok" in out
+        assert "serve metrics" in out and "batch histo" in out
+
+    def test_serve_unknown_model(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE_CACHE", str(tmp_path / "cache"))
+        assert main(["serve", "no-such-model"]) == 2
+        assert "unknown model" in capsys.readouterr().out

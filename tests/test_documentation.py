@@ -79,3 +79,40 @@ class TestRepoDocs:
     def test_examples_are_valid_python(self):
         for path in sorted((REPO_ROOT / "examples").glob("*.py")):
             compile(path.read_text(), str(path), "exec")
+
+
+class TestServingDocs:
+    """The serving subsystem is documented where users will look."""
+
+    def test_readme_has_a_serving_section(self):
+        text = (REPO_ROOT / "README.md").read_text()
+        assert "## Serving" in text
+        assert "repro.serve" in text
+        assert "bit-identical" in text
+        assert "check.sh --serve" in text
+
+    def test_design_has_the_serving_section(self):
+        text = (REPO_ROOT / "DESIGN.md").read_text()
+        assert "## 11. Inference serving (`repro.serve`)" in text
+        for term in ("batch_invariant_matmul", "max_batch", "queue_depth",
+                     "BENCH_serve.json", "quantize_cached"):
+            assert term in text, f"DESIGN.md serving section lacks {term}"
+
+    def test_design_fault_table_lists_serve_scope(self):
+        text = (REPO_ROOT / "DESIGN.md").read_text()
+        assert "| `serve` |" in text
+
+    def test_cli_help_lists_serve(self):
+        from repro.cli import build_parser
+        help_text = build_parser().format_help()
+        assert "serve" in help_text
+        args = build_parser().parse_args(
+            ["serve", "micro-cnn", "--max-batch", "4", "--mode", "engine",
+             "--open", "--rate", "100", "--stats"])
+        assert (args.max_batch, args.mode, args.open_loop,
+                args.stats) == (4, "engine", True, True)
+
+    def test_bench_serve_exists_with_docstring(self):
+        path = REPO_ROOT / "benchmarks" / "bench_serve.py"
+        tree = ast.parse(path.read_text())
+        assert ast.get_docstring(tree)

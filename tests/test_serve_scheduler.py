@@ -1,0 +1,191 @@
+"""Unit tests for the batching scheduler: coalescing, backpressure,
+deadlines, retries — against a stub executor (no models involved)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.resilience import NumericsError
+from repro.serve import (
+    BatchPolicy, BatchingScheduler, DeadlineExceededError, QueueFullError,
+    ServeMetrics, ServiceClosedError, WorkerCrashError,
+)
+
+pytestmark = pytest.mark.serve
+
+
+class Recorder:
+    """Stub executor recording every batch it ran."""
+
+    def __init__(self, delay_s=0.0, fail_times=0, exc=RuntimeError("boom")):
+        self.batches = []
+        self.delay_s = delay_s
+        self.fail_times = fail_times
+        self.exc = exc
+        self.lock = threading.Lock()
+        self.gate = threading.Event()
+        self.gate.set()
+
+    def __call__(self, key, inputs_list):
+        self.gate.wait(10)
+        if self.delay_s:
+            time.sleep(self.delay_s)
+        with self.lock:
+            self.batches.append((key, list(inputs_list)))
+            if self.fail_times > 0:
+                self.fail_times -= 1
+                raise self.exc
+        return [(key, x) for x in inputs_list]
+
+
+def make(executor, **policy_kw):
+    policy = BatchPolicy(**{"max_batch": 4, "max_wait_ms": 20.0,
+                            "queue_depth": 8, "workers": 1, **policy_kw})
+    return BatchingScheduler(executor, policy, ServeMetrics())
+
+
+def test_requests_coalesce_up_to_max_batch():
+    ex = Recorder()
+    ex.gate.clear()  # hold the worker so submissions pile up
+    sched = make(ex, max_batch=3, workers=1)
+    futs = [sched.submit("m", i) for i in range(6)]
+    ex.gate.set()
+    results = [f.result(10) for f in futs]
+    assert results == [("m", i) for i in range(6)]
+    sched.close()
+    assert all(len(b) <= 3 for _k, b in ex.batches)
+    assert max(len(b) for _k, b in ex.batches) == 3  # it did coalesce
+
+
+def test_different_keys_never_share_a_batch():
+    ex = Recorder()
+    ex.gate.clear()
+    sched = make(ex, max_batch=8)
+    futs = [sched.submit(f"key{i % 2}", i) for i in range(8)]
+    ex.gate.set()
+    for f in futs:
+        f.result(10)
+    sched.close()
+    for key, batch in ex.batches:
+        assert all(x % 2 == int(key[-1]) for x in batch)
+
+
+def test_partial_batch_dispatches_after_max_wait():
+    ex = Recorder()
+    sched = make(ex, max_batch=32, max_wait_ms=5.0)
+    t0 = time.perf_counter()
+    out = sched.submit("m", 1).result(10)
+    elapsed = time.perf_counter() - t0
+    sched.close()
+    assert out == ("m", 1)
+    assert elapsed < 5.0  # never waits the full queue out for a lone request
+
+
+def test_queue_full_rejects_with_structured_error():
+    ex = Recorder()
+    ex.gate.clear()  # nothing drains
+    sched = make(ex, queue_depth=3, workers=1)
+    futs = [sched.submit("m", i) for i in range(3)]
+    with pytest.raises(QueueFullError) as ei:
+        for i in range(10):  # workers may have picked up some; keep pushing
+            futs.append(sched.submit("m", 100 + i))
+    entry = ei.value.to_entry()
+    assert entry["error"]["kind"] == "queue-full"
+    assert entry["error"]["code"] == 503
+    ex.gate.set()
+    sched.close()
+    assert sched.metrics.snapshot()["rejected"] >= 1
+
+
+def test_deadline_expires_before_execution():
+    ex = Recorder()
+    ex.gate.clear()
+    sched = make(ex, workers=1)
+    # park the worker on a decoy batch, then submit with a tiny deadline
+    decoy = sched.submit("decoy", 0)
+    fut = sched.submit("m", 1, deadline_ms=1.0)
+    time.sleep(0.05)
+    ex.gate.set()
+    decoy.result(10)
+    with pytest.raises(DeadlineExceededError) as ei:
+        fut.result(10)
+    assert ei.value.to_entry()["error"]["code"] == 504
+    sched.close()
+    assert sched.metrics.snapshot()["expired"] == 1
+
+
+def test_transient_failure_is_retried_then_succeeds():
+    ex = Recorder(fail_times=1)
+    sched = make(ex, retries=1)
+    assert sched.submit("m", 7).result(10) == ("m", 7)
+    sched.close()
+    assert sched.metrics.snapshot()["retried_batches"] == 1
+
+
+def test_retry_budget_exhaustion_fails_whole_batch():
+    ex = Recorder(fail_times=10)
+    sched = make(ex, retries=1, workers=1)
+    ex.gate.clear()
+    futs = [sched.submit("m", i) for i in range(3)]
+    ex.gate.set()
+    for f in futs:
+        with pytest.raises(WorkerCrashError) as ei:
+            f.result(10)
+        assert ei.value.to_entry()["error"]["kind"] == "worker-crash"
+    sched.close()
+    assert sched.metrics.snapshot()["failed"] == 3
+
+
+def test_numerics_error_is_not_retried():
+    ex = Recorder(fail_times=10, exc=NumericsError("NaN in scale"))
+    sched = make(ex, retries=5)
+    with pytest.raises(WorkerCrashError):
+        sched.submit("m", 1).result(10)
+    sched.close()
+    assert sched.metrics.snapshot()["retried_batches"] == 0
+    assert len(ex.batches) == 1  # deterministic failure ran exactly once
+
+
+def test_close_drains_queued_requests():
+    ex = Recorder(delay_s=0.01)
+    sched = make(ex, workers=1)
+    futs = [sched.submit("m", i) for i in range(5)]
+    sched.close(drain=True)
+    assert [f.result(0.1) for f in futs] == [("m", i) for i in range(5)]
+
+
+def test_close_without_drain_fails_pending():
+    ex = Recorder()
+    ex.gate.clear()
+    # max_batch=1: the worker holds request 0 in execution (blocked on the
+    # gate) while 1..3 stay queued, so close(drain=False) must fail them
+    sched = make(ex, workers=1, max_batch=1)
+    futs = [sched.submit("m", i) for i in range(4)]
+    time.sleep(0.05)  # let the worker pick up request 0
+    threading.Timer(0.05, ex.gate.set).start()
+    sched.close(drain=False)
+    outcomes = []
+    for f in futs:
+        try:
+            f.result(5)
+            outcomes.append("ok")
+        except ServiceClosedError:
+            outcomes.append("closed")
+    assert "closed" in outcomes  # at least the queued tail was failed fast
+
+
+def test_submit_after_close_raises():
+    sched = make(Recorder())
+    sched.close()
+    with pytest.raises(ServiceClosedError):
+        sched.submit("m", 1)
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        BatchPolicy(max_batch=0)
+    with pytest.raises(ValueError):
+        BatchPolicy(max_wait_ms=-1)
+    with pytest.raises(ValueError):
+        BatchPolicy(retries=-1)
