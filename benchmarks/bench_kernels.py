@@ -11,6 +11,14 @@ the numbers to ``BENCH_kernels.json`` at the repo root (override with
 * ``table2_grid`` — a small (model x format) grid run serially and with
   ``--jobs N``, using a throwaway artifacts directory so the real artifact
   cache is untouched.  Requires the zoo caches (trains on first use).
+  Alongside the timings it records the warm-cache counters from
+  ``executor.last_run_stats`` (zoo memo hits, kernel LUT builds/hits) and
+  the pool shape (worker count, respawns, whether the pool was reused).
+  When the process is confined to fewer CPUs than ``--jobs``
+  (``affinity_cpus < jobs``) the record carries ``"cpu_limited": true``
+  and the speedup is reported as an observation, not a pass/fail claim —
+  a 1-CPU container cannot show a parallel speedup no matter how good the
+  fabric is.
 
 Usage::
 
@@ -94,6 +102,7 @@ def bench_table2(jobs: int = 4, eval_n: int = 200, calib_n: int = 50,
                  formats: list[str] | None = None) -> dict:
     """Serial vs ``jobs``-way parallel fill of a small Table 2 grid."""
     from repro.experiments import table2
+    from repro.resilience import executor, shutdown_all
     from repro.zoo import pretrained
 
     models = models or ["SST-2", "CoLA", "MRPC", "MNLI-mm"]
@@ -101,7 +110,7 @@ def bench_table2(jobs: int = 4, eval_n: int = 200, calib_n: int = 50,
     for name in models:  # train/load outside the timed region
         pretrained(name)
 
-    def timed_run(njobs: int) -> tuple[float, dict]:
+    def timed_run(njobs: int) -> tuple[float, dict, dict]:
         with tempfile.TemporaryDirectory() as tmp:
             prev = os.environ.get("REPRO_ARTIFACTS")
             os.environ["REPRO_ARTIFACTS"] = tmp
@@ -110,15 +119,19 @@ def bench_table2(jobs: int = 4, eval_n: int = 200, calib_n: int = 50,
                 result = table2.run(models=models, formats=formats,
                                     eval_n=eval_n, calib_n=calib_n,
                                     refresh=True, jobs=njobs)
-                return time.perf_counter() - t0, result["grid"]
+                return (time.perf_counter() - t0, result["grid"],
+                        dict(executor.last_run_stats or {}))
             finally:
                 if prev is None:
                     os.environ.pop("REPRO_ARTIFACTS", None)
                 else:
                     os.environ["REPRO_ARTIFACTS"] = prev
 
-    serial_s, grid_serial = timed_run(1)
-    parallel_s, grid_parallel = timed_run(jobs)
+    shutdown_all()  # time a cold pool: spawn + preload included
+    serial_s, grid_serial, serial_stats = timed_run(1)
+    parallel_s, grid_parallel, parallel_stats = timed_run(jobs)
+    affinity = (len(os.sched_getaffinity(0))
+                if hasattr(os, "sched_getaffinity") else os.cpu_count())
     return {
         "models": models,
         "formats": formats,
@@ -129,6 +142,18 @@ def bench_table2(jobs: int = 4, eval_n: int = 200, calib_n: int = 50,
         "parallel_s": parallel_s,
         "speedup": serial_s / parallel_s,
         "grids_match": grid_serial == grid_parallel,
+        "cpu_limited": bool(affinity is not None and affinity < jobs),
+        "affinity_cpus": affinity,
+        "warm_cache": {
+            "serial": serial_stats.get("worker_stats", {}),
+            "parallel": parallel_stats.get("worker_stats", {}),
+        },
+        "pool": {
+            "workers": len(parallel_stats.get("worker_pids", [])),
+            "respawns": parallel_stats.get("respawns", 0),
+            "pool_reused": parallel_stats.get("pool_reused", False),
+            "dispatches": parallel_stats.get("dispatches", 0),
+        },
     }
 
 
@@ -162,6 +187,24 @@ def main(argv: list[str] | None = None) -> int:
               f"--jobs {t['jobs']} {t['parallel_s']:.1f} s, "
               f"speedup x{t['speedup']:.2f}, "
               f"grids_match={t['grids_match']}")
+        warm = t["warm_cache"]["parallel"]
+        print(f"  warm cache (parallel run): "
+              f"zoo hits {warm.get('zoo_warm_hits', 0)}, "
+              f"zoo misses {warm.get('zoo_warm_misses', 0)}, "
+              f"lut builds {warm.get('lut_builds', 0)}, "
+              f"lut hits {warm.get('lut_hits', 0)}; "
+              f"pool workers {t['pool']['workers']}, "
+              f"respawns {t['pool']['respawns']}")
+        if t["cpu_limited"]:
+            print(f"  NOTE: cpu_limited — only {t['affinity_cpus']} CPU(s) "
+                  f"available for --jobs {t['jobs']}; the speedup above is "
+                  f"an observation, not a pass/fail claim")
+        elif t["speedup"] >= t["jobs"] / 2:
+            print(f"  speedup x{t['speedup']:.2f} >= jobs/2 "
+                  f"({t['jobs'] / 2:.1f}): PASS")
+        else:
+            print(f"  speedup x{t['speedup']:.2f} < jobs/2 "
+                  f"({t['jobs'] / 2:.1f}): FAIL")
 
     with open(args.out, "w") as f:
         json.dump(payload, f, indent=2, sort_keys=True)

@@ -5,6 +5,7 @@
 #   scripts/check.sh --slow    # additionally run the slow sweeps
 #   scripts/check.sh --chaos   # only the fault-injection recovery suite
 #   scripts/check.sh --serve   # only the inference-service suite
+#   scripts/check.sh --grid    # only the worker-pool fabric smoke
 #
 # Exits non-zero on the first failing stage.
 set -eu
@@ -17,6 +18,13 @@ if [ "${1:-}" = "--chaos" ]; then
     echo "== chaos (fault-injection) suite =="
     python -m pytest -x -q -m chaos
     echo "check.sh: chaos suite passed"
+    exit 0
+fi
+
+if [ "${1:-}" = "--grid" ]; then
+    echo "== grid (worker-pool fabric) smoke =="
+    python -m pytest -x -q -m grid
+    echo "check.sh: grid smoke passed"
     exit 0
 fi
 

@@ -11,11 +11,13 @@ ptq MODEL [--formats F1,F2] [--eval N] [--mode fakequant|engine]
     bit-true quantized inference engine).
 hardware [--formats F1,F2] [--stream N]
     Build the MAC units, verify exactness and report area/power.
-experiments [NAMES...] [--jobs N] [--cell-timeout S] [--retries N]
+experiments [NAMES...] [--jobs N] [--seeds K] [--cell-timeout S] [--retries N]
     Run experiment drivers (table1 fig2 fig4 fig6 fig7 table3 headline
     table2, or ``all``); defaults to the fast set.  ``--jobs`` fans the
-    table2 grid across worker processes; ``--cell-timeout``/``--retries``
-    configure the resilient executor (hung-worker deadline, retry budget).
+    independent-cell grids (table2, fig4, fig6, table3) across the
+    persistent worker pool; ``--seeds K`` adds a K-seed calibration axis
+    to table2 (error bars); ``--cell-timeout``/``--retries`` configure
+    the resilient executor (hung-worker deadline, retry budget).
 serve MODEL [--format F] [--mode fakequant|engine] [--requests N]
       [--concurrency C] [--open --rate R] [--stats]
     Run the dynamic-batching inference service in-process and drive it
@@ -76,7 +78,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("names", nargs="*", default=[],
                        help="experiment names, or 'all' (default: fast set)")
     p_exp.add_argument("--jobs", type=int, default=1,
-                       help="worker processes for the table2 grid")
+                       help="worker processes for the independent-cell "
+                            "grids (table2, fig4, fig6, table3)")
+    p_exp.add_argument("--seeds", type=int, default=1,
+                       help="calibration seeds per table2 cell (>1 adds "
+                            "the error-bar axis)")
     p_exp.add_argument("--cell-timeout", type=float, default=None,
                        dest="cell_timeout",
                        help="per-cell deadline (s) for the table2 pool")
@@ -254,6 +260,8 @@ def _cmd_experiments(args) -> int:
     argv = list(args.names)
     if args.jobs != 1:
         argv += ["--jobs", str(args.jobs)]
+    if args.seeds != 1:
+        argv += ["--seeds", str(args.seeds)]
     if args.cell_timeout is not None:
         argv += ["--cell-timeout", str(args.cell_timeout)]
     if args.retries is not None:

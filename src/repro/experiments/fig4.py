@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from ..formats import get_format
 from ..formats.analysis import precision_segments, range_with_precision
+from ..resilience import run_cells
 from .common import format_table, save_artifact
 
 __all__ = ["FIG4_FORMATS", "run", "render"]
@@ -21,17 +22,26 @@ FIG4_FORMATS = (
 )
 
 
-def run() -> dict:
-    """Compute range/precision profiles and the Section 3.2 claims."""
-    profiles = {}
-    for name in FIG4_FORMATS:
-        fmt = get_format(name)
-        dr = fmt.dynamic_range
-        profiles[name] = {
-            "range": [dr.min_log2, dr.max_log2],
-            "segments": [list(s) for s in precision_segments(fmt)],
-            "max_fraction_bits": fmt.max_fraction_bits(),
-        }
+def _profile_cell(name: str) -> dict:
+    """One format's range/precision profile (pure; pool-friendly)."""
+    fmt = get_format(name)
+    dr = fmt.dynamic_range
+    return {
+        "range": [dr.min_log2, dr.max_log2],
+        "segments": [list(s) for s in precision_segments(fmt)],
+        "max_fraction_bits": fmt.max_fraction_bits(),
+    }
+
+
+def run(jobs: int = 1) -> dict:
+    """Compute range/precision profiles and the Section 3.2 claims.
+
+    ``jobs > 1`` fans the per-format profiles across the persistent
+    worker pool (cells are independent pure functions, so results are
+    identical to a serial run).
+    """
+    values = run_cells(list(FIG4_FORMATS), _profile_cell, jobs=jobs)
+    profiles = dict(zip(FIG4_FORMATS, values))
     m4 = range_with_precision(get_format("MERSIT(8,2)"), 4)
     p4 = range_with_precision(get_format("Posit(8,1)"), 4)
     claims = {

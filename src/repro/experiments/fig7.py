@@ -40,7 +40,7 @@ def activity_tensors(model_name: str = "ResNet50", n_images: int = 32) -> tuple[
     try:
         from ..quant.ptq import quantized_layers
         from ..zoo import dataset, pretrained
-        model, _ = pretrained(model_name)
+        model, _ = pretrained(model_name, memo=True)
         weights = np.concatenate([layer.weight.data.ravel()
                                   for _, layer in quantized_layers(model)])
         images = dataset().calibration_split(n_images).images

@@ -8,8 +8,11 @@ Usage::
 Without arguments runs everything except the two expensive grids — the
 full Table 2 fill and the fakequant-vs-true-quantized ``engine_delta``
 table (run those explicitly or as part of ``all``).  ``--jobs N``
-parallelises the Table 2 grid fill across N worker processes (the other
-experiments are cheap and stay serial).
+parallelises every grid whose cells are independent — the Table 2 fill
+plus the fig4/fig6/table3 sweeps — on the persistent warm-worker pool
+(table1 is a single deterministic table and stays serial).  ``--seeds K``
+adds a K-seed calibration axis to Table 2 (error bars in the rendered
+table; seed 0 reproduces the single-seed grid byte-for-byte).
 
 The Table 2 fill runs under the resilient executor: ``--cell-timeout``
 bounds each cell (hung-worker detection, pool path only) and
@@ -52,7 +55,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("names", nargs="*", default=[],
                         help="experiment names, or 'all' (default: fast set)")
     parser.add_argument("--jobs", type=int, default=1,
-                        help="worker processes for the table2 grid (default: serial)")
+                        help="worker processes for the independent-cell "
+                             "grids: table2, fig4, fig6, table3 "
+                             "(default: serial)")
+    parser.add_argument("--seeds", type=int, default=1,
+                        help="calibration seeds per table2 cell (>1 adds "
+                             "the error-bar axis; default: 1, the legacy "
+                             "single-seed grid)")
     parser.add_argument("--cell-timeout", type=float, default=None,
                         dest="cell_timeout",
                         help="per-cell deadline in seconds for the table2 "
@@ -69,6 +78,7 @@ def main(argv: list[str] | None = None) -> int:
             return 2
     if "all" in names:
         names = ALL
+    seeds = list(range(args.seeds)) if args.seeds > 1 else None
     for name in names:
         mod = EXPERIMENTS[name]
         print(f"\n===== {name} =====")
@@ -77,9 +87,13 @@ def main(argv: list[str] | None = None) -> int:
             # alone never launches them
             print(table2.render(table2.run(jobs=args.jobs,
                                            cell_timeout=args.cell_timeout,
-                                           retries=args.retries)))
+                                           retries=args.retries,
+                                           seeds=seeds)))
         elif name == "engine_delta":
             print(engine_delta.render(engine_delta.run()))
+        elif name in ("fig4", "fig6", "table3") and args.jobs > 1:
+            # independent-cell sweeps ride the same worker pool
+            print(mod.render(mod.run(jobs=args.jobs)))
         else:
             print(mod.render())
     return 0

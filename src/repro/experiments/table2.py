@@ -8,9 +8,20 @@ advanced PTQ.
 Results are cached incrementally in the artifact JSON (grid cells are
 expensive), so repeated invocations only compute missing cells; pass
 ``refresh=True`` to recompute.  Cells are independent, so ``jobs > 1``
-fans the missing cells across a ``multiprocessing`` pool; results are
-committed in submission order, so the artifact is bit-identical to a
-serial run.
+fans the missing cells across the persistent warm-worker fabric
+(:mod:`repro.resilience.pool`): workers survive across retry waves and
+``run`` calls, each worker is primed once with the zoo models, the data
+splits and the kernel LUTs (:func:`_warm_worker`; on fork platforms the
+parent pre-warms before the first fork so children share the state
+copy-on-write), and cells go to whichever worker is idle.  Results are
+still committed in submission order, so the artifact is bit-identical
+to a serial run.
+
+``run(seeds=[0, 1, 2])`` adds a calibration-seed axis: every non-FP32
+cell is evaluated once per seed (seed 0 is byte-identical to the legacy
+single-seed stream) and stored as ``{"seeds": {"0": ..., "1": ...}}``;
+:func:`render` then shows ``mean±std`` per cell plus a per-format
+spread summary — the error bars the paper's single numbers lack.
 
 The fill runs on the resilient executor
 (:func:`repro.resilience.run_cells`): a cell that crashes or hangs is
@@ -27,11 +38,15 @@ from __future__ import annotations
 import math
 
 from ..autograd import Tensor
-from ..formats import TABLE2_FORMATS
+from ..formats import TABLE2_FORMATS, get_format
+from ..kernels import kernel_for
 from ..quant import PTQConfig, dequantize_model, quantize_model
 from ..resilience import NumericsError, is_error_entry, run_cells
 from ..resilience import faults
-from ..zoo import ALL_MODELS, dataset, evaluate_text, evaluate_vision, glue_task, pretrained
+from ..zoo import (
+    ALL_MODELS, dataset, evaluate_text, evaluate_vision, glue_task, is_cached,
+    pretrained,
+)
 from .common import format_table, load_artifact, save_artifact
 
 __all__ = ["PAPER_TABLE2", "MODEL_ORDER", "run", "render"]
@@ -61,68 +76,136 @@ PAPER_TABLE2 = {
 _ARTIFACT = "table2"
 
 
-def _eval_cell(name: str, fmt_name: str, eval_n: int, calib_n: int) -> float:
-    """Quantize one model with one format and score it."""
+def _eval_cell(name: str, fmt_name: str, eval_n: int, calib_n: int,
+               seed: int = 0) -> float:
+    """Quantize one model with one format and score it.
+
+    The model comes from the per-process warm memo (``pretrained(...,
+    memo=True)``), so repeat cells for the same model skip the state-dict
+    load; the quantize/score/dequantize cycle runs under ``try/finally``
+    so even a failing cell hands the shared model back in its FP32 state.
+    ``seed`` selects the calibration draw (0 = the legacy stream).
+    """
     entry = ALL_MODELS[name]
-    model, _ = pretrained(name)
-    if entry.kind == "vision":
-        calib = dataset().calibration_split(calib_n)
-        test = dataset().test_split(eval_n)
-        if fmt_name != "FP32":
-            quantize_model(model, PTQConfig(weight_format=fmt_name),
-                           calib.batches(50),
-                           forward=lambda m, b: m(Tensor(b[0])))
-        score = evaluate_vision(model, test)
-    else:
-        task = glue_task(entry.task)
-        calib = task.calibration_split(calib_n)
-        test = task.test_split(eval_n)
-        if fmt_name != "FP32":
-            quantize_model(model, PTQConfig(weight_format=fmt_name),
-                           calib.batches(50),
-                           forward=lambda m, b: m(b[0], b[1]))
-        score = evaluate_text(model, test, entry.metric)
-    dequantize_model(model)
+    model, _ = pretrained(name, memo=True)
+    try:
+        if entry.kind == "vision":
+            calib = dataset().calibration_split(calib_n, seed)
+            test = dataset().test_split(eval_n)
+            if fmt_name != "FP32":
+                quantize_model(model, PTQConfig(weight_format=fmt_name),
+                               calib.batches(50),
+                               forward=lambda m, b: m(Tensor(b[0])))
+            score = evaluate_vision(model, test)
+        else:
+            task = glue_task(entry.task)
+            calib = task.calibration_split(calib_n, seed)
+            test = task.test_split(eval_n)
+            if fmt_name != "FP32":
+                quantize_model(model, PTQConfig(weight_format=fmt_name),
+                               calib.batches(50),
+                               forward=lambda m, b: m(b[0], b[1]))
+            score = evaluate_text(model, test, entry.metric)
+    finally:
+        dequantize_model(model)
     return float(score)
 
 
 def _eval_cell_task(cell: tuple) -> float:
-    """Pool-friendly wrapper: one (model, format, eval_n, calib_n) cell.
+    """Pool-friendly wrapper: one (model, format, eval_n, calib_n[, seed]).
 
-    Hosts the ``cell`` fault-injection point and the final numeric guard:
-    a non-finite score raises :class:`NumericsError` instead of being
-    pinned into the artifact cache as a plausible-looking number.
+    Hosts the ``cell`` fault-injection point (key ``MODEL/FORMAT``, or
+    ``MODEL/FORMAT/sSEED`` on the seeds axis) and the final numeric
+    guard: a non-finite score raises :class:`NumericsError` instead of
+    being pinned into the artifact cache as a plausible-looking number.
     """
-    name, fmt_name, eval_n, calib_n = cell
-    key = f"{name}/{fmt_name}"
+    name, fmt_name, eval_n, calib_n, *seed = cell
+    key = f"{name}/{fmt_name}" + (f"/s{seed[0]}" if seed else "")
     if faults.maybe_fault("cell", key) == "nan":
         score = float("nan")
     else:
-        score = _eval_cell(name, fmt_name, eval_n, calib_n)
+        score = _eval_cell(name, fmt_name, eval_n, calib_n, *seed)
     if not math.isfinite(score):
         raise NumericsError(f"table2 cell {key} produced a non-finite score",
                             stat="score")
     return score
 
 
+def _warm_worker(models: tuple, formats: tuple) -> None:
+    """One-time per-process warm-up for a grid run.
+
+    Primes exactly the read-only state the run's cells will touch: the
+    zoo model memo, the shared dataset / GLUE task singletons, and the
+    65,536-entry kernel LUTs.  Runs in the parent before the first fork
+    (copy-on-write sharing) and as the pool initializer in each worker
+    (no-op hits on fork children, real warm-up on spawned or respawned
+    workers).  Only *already-trained* models are loaded — warm-up is an
+    optimization and must never trigger first-use training (that happens
+    once, in the first cell that needs the model).
+    """
+    for name in models:
+        entry = ALL_MODELS.get(name)
+        if entry is None:
+            continue
+        if entry.kind == "vision":
+            dataset()
+        else:
+            glue_task(entry.task)
+        if is_cached(name):
+            pretrained(name, memo=True)
+    for fmt_name in formats:
+        if fmt_name != "FP32":
+            kernel_for(get_format(fmt_name))
+
+
+def _is_seed_cell(value) -> bool:
+    """True iff ``value`` is a seeds-axis cell ``{"seeds": {...}}``."""
+    return isinstance(value, dict) and "seeds" in value
+
+
+def _covered(row: dict, fmt_name: str, seed: int | None) -> bool:
+    """Does ``row`` already hold a usable score for this cell (and seed)?
+
+    ``seed=None`` asks the legacy single-seed question; a seeds-axis cell
+    from an earlier error-bar run satisfies it through its seed-0 entry
+    (the two streams are byte-identical), so mixing modes never recomputes
+    or destroys data.
+    """
+    value = row.get(fmt_name)
+    if value is None or is_error_entry(value):
+        return False
+    if _is_seed_cell(value):
+        entry = value["seeds"].get(str(0 if seed is None else seed))
+        return entry is not None and not is_error_entry(entry)
+    return seed is None or seed == 0
+
+
 def run(models: list[str] | None = None, formats: list[str] | None = None,
         eval_n: int = 400, calib_n: int = 100, refresh: bool = False,
         verbose: bool = False, jobs: int = 1, cell_timeout: float | None = None,
-        retries: int = 1, backoff: float = 0.5) -> dict:
+        retries: int = 1, backoff: float = 0.5,
+        seeds: list[int] | None = None) -> dict:
     """Fill (incrementally) the Table 2 grid and return it.
 
     The grid is keyed ``grid[model][format] -> score``; an ``FP32`` column
     is always included.  ``eval_n``/``calib_n`` scale the evaluation and
     calibration splits (the full-paper analogue settings are the defaults).
-    ``jobs > 1`` computes missing cells on a process pool; scores are
-    committed in the same model-major order as the serial path, so the
-    resulting artifact is identical.
+    ``jobs > 1`` computes missing cells on the persistent warm-worker pool;
+    scores are committed in the same submission order as the serial path,
+    so the resulting artifact is identical.
 
     ``cell_timeout`` (seconds, pool path only) bounds each cell so a hung
     worker cannot wedge the run; failed cells are retried ``retries``
     times with exponential ``backoff`` and then recorded as structured
     error entries (see :mod:`repro.resilience`).  Error entries count as
     missing on the next invocation, so re-running repairs them.
+
+    ``seeds`` (e.g. ``[0, 1, 2]``) adds the calibration-seed axis: every
+    non-FP32 cell is scored once per seed and stored as
+    ``{"seeds": {"0": ..., ...}}`` (FP32 needs no calibration and stays a
+    scalar).  Seed 0 reuses the legacy calibration stream, so existing
+    scalar cells migrate in place as their own seed-0 entry, and the fill
+    is resumable per (cell, seed) exactly like the single-seed grid.
 
     When the ``eval_n``/``calib_n`` meta-key changes, the stale grid is
     not silently wiped: a one-line notice says what was discarded and the
@@ -141,9 +224,26 @@ def run(models: list[str] | None = None, formats: list[str] | None = None,
               f"under the artifact's 'superseded' key", flush=True)
         superseded = {"meta_key": art["meta_key"], "grid": grid}
         grid = {}
-    missing = [(name, fmt_name) for name in models for fmt_name in formats
-               if fmt_name not in grid.setdefault(name, {})
-               or is_error_entry(grid[name][fmt_name])]
+    if seeds is not None:
+        # migrate legacy scalars in place: the old stream IS seed 0
+        for name in models:
+            row = grid.get(name, {})
+            for fmt_name in formats:
+                value = row.get(fmt_name)
+                if (fmt_name != "FP32" and value is not None
+                        and not isinstance(value, dict)):
+                    row[fmt_name] = {"seeds": {"0": value}}
+
+    missing: list[tuple[str, str, int | None]] = []
+    for name in models:
+        row = grid.setdefault(name, {})
+        for fmt_name in formats:
+            if seeds is None or fmt_name == "FP32":
+                if not _covered(row, fmt_name, None):
+                    missing.append((name, fmt_name, None))
+            else:
+                missing.extend((name, fmt_name, s) for s in seeds
+                               if not _covered(row, fmt_name, s))
 
     def artifact() -> dict:
         out = {"grid": grid, "meta_key": meta_key}
@@ -152,20 +252,45 @@ def run(models: list[str] | None = None, formats: list[str] | None = None,
         return out
 
     def commit(index: int, value) -> None:
-        name, fmt_name = missing[index]
-        grid[name][fmt_name] = value
+        name, fmt_name, seed = missing[index]
+        row = grid[name]
+        if seed is None and not _is_seed_cell(row.get(fmt_name)):
+            row[fmt_name] = value
+        else:
+            cell = row.get(fmt_name)
+            if not _is_seed_cell(cell):
+                cell = row[fmt_name] = {"seeds": {}}
+            cell["seeds"][str(seed or 0)] = value
         if verbose:  # pragma: no cover - logging
             shown = (f"ERR({value['error']['kind']})" if is_error_entry(value)
                      else f"{value:.2f}")
-            print(f"  table2 {name} {fmt_name}: {shown}", flush=True)
+            at = "" if seed is None else f" s{seed}"
+            print(f"  table2 {name} {fmt_name}{at}: {shown}", flush=True)
         save_artifact(_ARTIFACT, artifact())
 
-    tasks = [(n, f, eval_n, calib_n) for n, f in missing]
-    run_cells(tasks, _eval_cell_task, jobs=jobs, timeout=cell_timeout,
-              retries=retries, backoff=backoff, commit=commit)
+    if missing:
+        tasks = [(n, f, eval_n, calib_n) if s is None
+                 else (n, f, eval_n, calib_n, s) for n, f, s in missing]
+        warm_models = tuple(dict.fromkeys(n for n, _f, _s in missing))
+        warm_formats = tuple(dict.fromkeys(f for _n, f, _s in missing))
+        run_cells(tasks, _eval_cell_task, jobs=jobs, timeout=cell_timeout,
+                  retries=retries, backoff=backoff, commit=commit,
+                  initializer=_warm_worker, initargs=(warm_models, warm_formats),
+                  preload=lambda: _warm_worker(warm_models, warm_formats))
     result = artifact()
     save_artifact(_ARTIFACT, result)
     return result
+
+
+def _seed_values(value) -> list[float]:
+    """The usable per-seed scores of a seeds-axis cell (errors dropped)."""
+    return [v for v in value["seeds"].values() if not is_error_entry(v)]
+
+
+def _mean_std(values: list[float]) -> tuple[float, float]:
+    mean = sum(values) / len(values)
+    var = sum((v - mean) ** 2 for v in values) / len(values)
+    return mean, math.sqrt(var)
 
 
 def render(result: dict | None = None) -> str:
@@ -174,7 +299,8 @@ def render(result: dict | None = None) -> str:
     With no artifact on disk this renders an explicit pointer to the run
     command instead of silently launching the full (hours-long at paper
     settings) grid fill.  Cells recorded as structured errors render as
-    ``ERR``.
+    ``ERR``; seeds-axis cells render ``mean±std`` across their seeds,
+    with a per-format spread summary (the error bars) appended.
     """
     result = result or load_artifact(_ARTIFACT)
     if result is None:
@@ -185,13 +311,36 @@ def render(result: dict | None = None) -> str:
     formats = ["FP32"] + list(TABLE2_FORMATS)
     headers = ["Model"] + formats
     rows = []
+    spread: dict[str, list[float]] = {}   # format -> per-model stds
+    n_seeds = 0
     for name in MODEL_ORDER:
         if name not in grid:
             continue
         row = [name]
         for f in formats:
             value = grid[name].get(f, float("nan"))
-            row.append("ERR" if is_error_entry(value) else value)
+            if is_error_entry(value):
+                row.append("ERR")
+            elif _is_seed_cell(value):
+                values = _seed_values(value)
+                if not values:
+                    row.append("ERR")
+                elif len(values) == 1:
+                    row.append(values[0])
+                else:
+                    mean, std = _mean_std(values)
+                    row.append(f"{mean:.1f}±{std:.2f}")
+                    spread.setdefault(f, []).append(std)
+                    n_seeds = max(n_seeds, len(values))
+            else:
+                row.append(value)
         rows.append(row)
-    return ("Table 2 - PTQ accuracy (measured, synthetic-task analogues)\n"
-            + format_table(headers, rows, floatfmt=".1f"))
+    out = ("Table 2 - PTQ accuracy (measured, synthetic-task analogues)\n"
+           + format_table(headers, rows, floatfmt=".1f"))
+    if spread:
+        lines = [f"calibration-seed error bars ({n_seeds} seeds; "
+                 f"std averaged over models):"]
+        lines.extend(f"  {f}: ±{sum(s) / len(s):.3f}"
+                     for f, s in spread.items())
+        out += "\n" + "\n".join(lines)
+    return out

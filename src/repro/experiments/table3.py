@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from ..formats import PAPER_FORMATS, get_format
 from ..hardware import MacUnit, dnn_operand_stream, multiplier_breakdown
+from ..resilience import run_cells
 from .common import format_table, load_artifact, save_artifact
 from .fig7 import activity_tensors
 
@@ -26,24 +27,42 @@ PAPER_TABLE3 = {
 }
 
 
-def run(stream_len: int = 512, clock_mhz: float = 100.0, refresh: bool = False) -> dict:
-    """Measure the Table 3 multiplier breakdowns (cached by stream_len)."""
+def _breakdown_cell(cell: tuple) -> dict:
+    """One format's multiplier breakdown (the pool path's unit of work).
+
+    The operand tensors ride in the task tuple — computed once in the
+    parent and shipped to whichever worker picks the cell up, so the
+    parallel fill never recomputes the activity capture per format.
+    """
+    name, weights, activations, stream_len, clock_mhz = cell
+    fmt = get_format(name)
+    mac = MacUnit(fmt)
+    w_codes, a_codes = dnn_operand_stream(fmt, weights, activations, n=stream_len)
+    b = multiplier_breakdown(mac, w_codes, a_codes, clock_mhz=clock_mhz)
+    return {
+        "area": {"decoder": b.area_decoder, "exp_adder": b.area_exp_adder,
+                 "frac_multiplier": b.area_frac_multiplier, "total": b.area_total},
+        "power": {"decoder": b.power_decoder, "exp_adder": b.power_exp_adder,
+                  "frac_multiplier": b.power_frac_multiplier, "total": b.power_total},
+    }
+
+
+def run(stream_len: int = 512, clock_mhz: float = 100.0, refresh: bool = False,
+        jobs: int = 1) -> dict:
+    """Measure the Table 3 multiplier breakdowns (cached by stream_len).
+
+    ``jobs > 1`` fans the independent per-format breakdowns across the
+    persistent worker pool; rows are assembled in ``PAPER_FORMATS`` order
+    either way, so the artifact is identical to a serial run.
+    """
     cached = load_artifact("table3")
     if cached is not None and not refresh and cached.get("stream_len") == stream_len:
         return cached
     weights, activations = activity_tensors()
-    rows = {}
-    for name in PAPER_FORMATS:
-        fmt = get_format(name)
-        mac = MacUnit(fmt)
-        w_codes, a_codes = dnn_operand_stream(fmt, weights, activations, n=stream_len)
-        b = multiplier_breakdown(mac, w_codes, a_codes, clock_mhz=clock_mhz)
-        rows[name] = {
-            "area": {"decoder": b.area_decoder, "exp_adder": b.area_exp_adder,
-                     "frac_multiplier": b.area_frac_multiplier, "total": b.area_total},
-            "power": {"decoder": b.power_decoder, "exp_adder": b.power_exp_adder,
-                      "frac_multiplier": b.power_frac_multiplier, "total": b.power_total},
-        }
+    cells = [(name, weights, activations, stream_len, clock_mhz)
+             for name in PAPER_FORMATS]
+    values = run_cells(cells, _breakdown_cell, jobs=jobs)
+    rows = dict(zip(PAPER_FORMATS, values))
     decoder_saving = 100 * (1 - rows["MERSIT(8,2)"]["area"]["decoder"]
                             / rows["Posit(8,1)"]["area"]["decoder"])
     result = {"rows": rows, "paper": PAPER_TABLE3,

@@ -19,7 +19,9 @@ Select the backend with the ``REPRO_KERNELS`` environment variable
 """
 
 from .dispatch import BACKENDS, get_backend, set_backend, use_backend
-from .lut import LUT_MAX_BITS, BitLUTKernel, clear_kernel_cache, kernel_for
+from .lut import (
+    LUT_MAX_BITS, BitLUTKernel, clear_kernel_cache, kernel_for, kernel_stats,
+)
 
 __all__ = [
     "BACKENDS",
@@ -30,4 +32,5 @@ __all__ = [
     "BitLUTKernel",
     "kernel_for",
     "clear_kernel_cache",
+    "kernel_stats",
 ]

@@ -34,7 +34,10 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["LUT_MAX_BITS", "BitLUTKernel", "kernel_for", "clear_kernel_cache"]
+from ..resilience.pool import register_stats_provider as _register_stats_provider
+
+__all__ = ["LUT_MAX_BITS", "BitLUTKernel", "kernel_for", "clear_kernel_cache",
+           "kernel_stats"]
 
 #: LUT construction enumerates the codebook; cap it at 12-bit formats
 #: (4096 codes) so the table build and the midpoint windows stay small.
@@ -159,6 +162,19 @@ class BitLUTKernel:
 #: built kernels, keyed by format name (formats hash/compare by name)
 _CACHE: dict[str, BitLUTKernel] = {}
 
+# per-process build/hit counters, exported to the parallel fabric so grid
+# runs can verify that fork children inherited the 65,536-entry tables
+# copy-on-write (builds stay 0 in warm workers) instead of rebuilding them
+_STATS = {"lut_builds": 0, "lut_hits": 0}
+
+
+def kernel_stats() -> dict:
+    """Cumulative per-process LUT cache counters (builds/hits)."""
+    return dict(_STATS)
+
+
+_register_stats_provider("kernels", kernel_stats)
+
 
 def kernel_for(fmt) -> BitLUTKernel:
     """The (lazily built, cached) LUT kernel for ``fmt``."""
@@ -168,10 +184,15 @@ def kernel_for(fmt) -> BitLUTKernel:
             raise ValueError(
                 f"{fmt.name}: LUT kernel supports at most {LUT_MAX_BITS}-bit "
                 f"formats, got nbits={fmt.nbits}")
+        _STATS["lut_builds"] += 1
         kernel = _CACHE[fmt.name] = BitLUTKernel(fmt)
+    else:
+        _STATS["lut_hits"] += 1
     return kernel
 
 
 def clear_kernel_cache() -> None:
     """Drop all built kernels (tests and memory-sensitive callers)."""
     _CACHE.clear()
+    _STATS["lut_builds"] = 0
+    _STATS["lut_hits"] = 0

@@ -12,6 +12,13 @@ and makes every recovery path testable:
   exponential backoff, and structured ``error`` entries for cells that
   cannot be computed, so the rest of the grid still completes and a
   later run re-attempts only the errored/missing cells;
+* :mod:`~repro.resilience.pool` — the persistent warm-worker fabric
+  under the executor's pool path: long-lived worker processes that
+  survive across retry waves and ``run_cells`` calls, one-time
+  per-worker warm-up initializers (plus parent-side preloading for
+  copy-on-write sharing on fork platforms), work-stealing dispatch with
+  completion-order collection, and selective respawn of hung or dead
+  workers;
 * :mod:`~repro.resilience.numerics` — diagnostic
   :class:`~repro.resilience.numerics.NumericsError` guards that stop
   NaN/Inf calibration statistics from becoming plausible-looking grid
@@ -24,10 +31,16 @@ and makes every recovery path testable:
 from .executor import error_entry, is_error_entry, run_cells
 from .faults import FaultInjected, FaultSpec, FaultSpecError
 from .numerics import NumericsError, ensure_finite
+from .pool import (
+    WorkerPool, collect_worker_stats, get_pool, register_stats_provider,
+    shutdown_all,
+)
 from .store import load_json, save_json
 
 __all__ = [
     "error_entry", "is_error_entry", "run_cells",
+    "WorkerPool", "get_pool", "shutdown_all",
+    "register_stats_provider", "collect_worker_stats",
     "FaultInjected", "FaultSpec", "FaultSpecError",
     "NumericsError", "ensure_finite",
     "load_json", "save_json",

@@ -6,9 +6,11 @@
 * **deterministic commit order** — results are committed in submission
   order regardless of completion order, so a parallel fill produces an
   artifact byte-identical to a serial one;
-* **per-cell deadline** — with ``timeout`` set, a cell whose worker
-  hangs (or was hard-killed) is detected; the pool is torn down and
-  rebuilt so one stuck process cannot wedge the whole grid;
+* **per-cell deadline** — with ``timeout`` set, each cell's deadline is
+  measured from the moment it is handed to a worker; a cell whose worker
+  hangs (or was hard-killed) is detected when *its own* deadline expires
+  and only that worker is killed and respawned — the rest of the pool
+  keeps computing;
 * **bounded retry** — transient failures (a crashed worker, a lost
   result) are retried up to ``retries`` times with exponential backoff;
 * **graceful degradation** — a cell that exhausts its retries, or
@@ -17,22 +19,43 @@
   run; the remaining cells complete and a later run re-attempts only the
   errored/missing cells.
 
-``KeyboardInterrupt`` propagates immediately (after pool teardown): the
-caller's incremental commits mean an interrupted run still leaves a
-loadable artifact behind.
+The pool path runs on the persistent warm-worker fabric
+(:mod:`repro.resilience.pool`): worker processes survive across retry
+waves *and* across ``run_cells`` calls, cells are dispatched to whichever
+worker is idle (work stealing), and results are collected in completion
+order — a straggler cannot serialize collection or force a full-pool
+teardown.  ``initializer``/``initargs`` prime each worker once with
+expensive read-only state, and ``preload`` runs in the parent *before*
+the first worker forks so fork children share the warm pages
+copy-on-write.  :data:`last_run_stats` reports the run's pool and
+warm-cache counters.
+
+``KeyboardInterrupt`` propagates immediately (after the in-flight
+workers are respawned so the persistent pool stays clean): the caller's
+incremental commits mean an interrupted run still leaves a loadable
+artifact behind.
 """
 
 from __future__ import annotations
 
+import heapq
+import itertools
 import multiprocessing
 import time
+from collections import deque
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 
-from . import faults
+from . import faults, pool as pool_mod
 from .numerics import NumericsError
 
-__all__ = ["error_entry", "is_error_entry", "run_cells"]
+__all__ = ["error_entry", "is_error_entry", "run_cells", "last_run_stats"]
+
+#: statistics of the most recent :func:`run_cells` call in this process:
+#: ``mode`` ("serial"/"pool"), ``jobs``, ``worker_stats`` (per-run deltas
+#: of the warm-cache counters, e.g. ``zoo_warm_hits``), and on the pool
+#: path ``worker_pids``, ``pool_reused``, ``respawns`` and ``dispatches``.
+last_run_stats: dict = {}
 
 
 def error_entry(kind: str, message: str, attempts: int) -> dict:
@@ -46,7 +69,7 @@ def is_error_entry(value: object) -> bool:
 
 
 def _invoke(worker, seq: int, task, fault_action: str | None):
-    """Pool-side shim: enact any parent-fired ``worker`` fault, then run."""
+    """Serial-path shim: enact any parent-fired ``worker`` fault, then run."""
     if fault_action is not None:
         faults.enact(fault_action, "worker", str(seq))
     return worker(task)
@@ -60,7 +83,7 @@ class _Cell:
 
 
 def _default_context():
-    """Fork when available (shares loaded caches with workers for free)."""
+    """Fork when available (shares preloaded caches with workers for free)."""
     try:
         return multiprocessing.get_context("fork")
     except ValueError:  # pragma: no cover - non-fork platforms
@@ -78,6 +101,9 @@ def run_cells(
     commit: Callable[[int, object], None] | None = None,
     ctx=None,
     sleep: Callable[[float], None] = time.sleep,
+    initializer: Callable | None = None,
+    initargs: Sequence = (),
+    preload: Callable[[], None] | None = None,
 ) -> list:
     """Run ``worker(task)`` for every task; never lose the whole grid.
 
@@ -87,11 +113,18 @@ def run_cells(
     ``"numerics"``).  ``commit(index, result)`` is called in strict task
     order as results resolve — the incremental-persistence hook.
 
-    ``timeout`` (seconds) bounds the wait for each cell's result and is
-    enforced only on the pool path (``jobs > 1``); a timed-out wave
-    tears the pool down (freeing hung workers) and resubmits the
-    unresolved cells.  ``backoff`` doubles per retry, capped at
-    ``backoff_cap``; ``sleep`` is injectable for tests.
+    ``timeout`` (seconds) bounds each cell from the moment it is handed
+    to a worker and is enforced only on the pool path (``jobs > 1``); a
+    timed-out cell gets its worker killed and selectively respawned while
+    the rest of the pool keeps computing.  ``backoff`` doubles per retry,
+    capped at ``backoff_cap``; ``sleep`` is injectable for tests.
+
+    ``initializer(*initargs)`` runs once per worker process (persistent
+    workers remember which initializers they have run); ``preload()``
+    runs in the parent before the pool's first worker is created, so on
+    fork platforms the children inherit the warmed caches copy-on-write.
+    Both are optimizations: a failing warm-up degrades to cold cells
+    with a one-line notice, never to a failed run.
     """
     cells = [_Cell(task) for task in tasks]
     results: list = [None] * len(cells)
@@ -100,7 +133,8 @@ def run_cells(
                     commit, sleep)
     else:
         _run_pool(cells, worker, results, jobs, timeout, retries, backoff,
-                  backoff_cap, commit, ctx or _default_context(), sleep)
+                  backoff_cap, commit, ctx or _default_context(), sleep,
+                  initializer, initargs, preload)
     return results
 
 
@@ -108,8 +142,14 @@ def _delay(backoff: float, backoff_cap: float, attempt: int) -> float:
     return min(backoff_cap, backoff * (2.0 ** (attempt - 1)))
 
 
+def _set_last_run_stats(stats: dict) -> None:
+    global last_run_stats
+    last_run_stats = stats
+
+
 def _run_serial(cells, worker, results, retries, backoff, backoff_cap,
                 commit, sleep) -> None:
+    stats_before = pool_mod.collect_worker_stats()
     for i, cell in enumerate(cells):
         while True:
             cell.attempts += 1
@@ -135,69 +175,198 @@ def _run_serial(cells, worker, results, retries, backoff, backoff_cap,
                 break
         if commit is not None:
             commit(i, results[i])
+    _set_last_run_stats({
+        "mode": "serial", "jobs": 1,
+        "worker_stats": pool_mod.diff_stats(pool_mod.collect_worker_stats(),
+                                            stats_before),
+    })
 
 
 def _run_pool(cells, worker, results, jobs, timeout, retries, backoff,
-              backoff_cap, commit, ctx, sleep) -> None:
-    pending = set(range(len(cells)))
+              backoff_cap, commit, ctx, sleep, initializer, initargs,
+              preload) -> None:
+    if preload is not None:
+        try:
+            preload()  # warm the parent before the first fork (CoW sharing)
+        except KeyboardInterrupt:
+            raise
+        except Exception as exc:  # lint: allow[broad-except] a failed warm-up degrades to cold workers, never a failed run
+            print(f"run_cells: parent preload failed "
+                  f"({type(exc).__name__}: {exc}); continuing cold", flush=True)
+    pool = pool_mod.get_pool(ctx)
+    pool_reused = bool(pool.workers)
+    n_workers = min(jobs, max(1, len(cells)))
+    leased = pool.lease(n_workers)
+    init_key = (pool.init_key(initializer, initargs)
+                if initializer is not None else None)
+
+    unresolved = set(range(len(cells)))
+    fresh = deque(range(len(cells)))      # never-dispatched cells
+    retry_ready: deque[int] = deque()     # retries whose backoff elapsed
+    retry_wait: list = []                 # heap of (ready_at, tie, seq)
+    tie = itertools.count()
     committed = 0
+    respawns = dispatches = 0
 
     def flush_commits():
         nonlocal committed
-        while committed < len(cells) and committed not in pending:
+        while committed < len(cells) and committed not in unresolved:
             if commit is not None:
                 commit(committed, results[committed])
             committed += 1
 
-    wave = 0
-    while pending:
-        if wave:
-            sleep(_delay(backoff, backoff_cap, wave))
-        wave += 1
-        order = sorted(pending)
-        pool = ctx.Pool(processes=min(jobs, len(order)))
-        try:
-            # worker-scope faults fire in the parent so their counts
-            # survive pool restarts; the action is enacted in the child
-            handles = []
-            for i in order:
-                fault = faults.fire("worker", str(i))
-                handles.append((i, pool.apply_async(
-                    _invoke, (worker, i, cells[i].task,
-                              fault.action if fault else None))))
-            degraded = False  # a worker may be hung/dead: stop blocking
-            for i, handle in handles:
-                if degraded and not handle.ready():
-                    continue  # no attempt charged; fresh pool next wave
-                cell = cells[i]
+    def fail(seq: int, kind: str, message: str) -> None:
+        cell = cells[seq]
+        cell.attempts += 1
+        cell.failure = (kind, message)
+        if cell.attempts > retries:
+            results[seq] = error_entry(kind, message, cell.attempts)
+            unresolved.discard(seq)
+        else:
+            heapq.heappush(retry_wait,
+                           (time.monotonic()
+                            + _delay(backoff, backoff_cap, cell.attempts),
+                            next(tie), seq))
+
+    def init_degraded(key: str | None, how: str) -> None:
+        if key is not None and key not in pool.failed_inits:
+            pool.failed_inits.add(key)
+            print(f"run_cells: worker initializer {how}; "
+                  f"continuing with cold workers", flush=True)
+
+    def replace(w, idx: int):
+        nonlocal respawns
+        new_w = pool.respawn(w)
+        leased[idx] = new_w
+        respawns += 1
+        return new_w
+
+    def next_dispatchable(now: float):
+        if fresh:
+            return fresh.popleft()
+        if retry_ready:
+            return retry_ready.popleft()
+        while retry_wait and retry_wait[0][0] <= now:
+            retry_ready.append(heapq.heappop(retry_wait)[2])
+        return retry_ready.popleft() if retry_ready else None
+
+    def handle_message(w, msg) -> None:
+        kind = msg[0]
+        if kind == "init_done":
+            _, key, error = msg
+            w.inits.add(key)
+            w.busy_seq = w.init_key = None
+            if error is not None:
+                init_degraded(key, f"failed ({error})")
+            return
+        _, seq, status, payload, stats = msg
+        if seq != w.busy_seq:  # stale result from an aborted dispatch
+            return
+        w.latest_stats = stats
+        w.busy_seq = None
+        cell = cells[seq]
+        if status == "ok":
+            results[seq] = payload
+            unresolved.discard(seq)
+        elif status == "numerics":
+            results[seq] = error_entry("numerics", payload, cell.attempts + 1)
+            unresolved.discard(seq)
+        else:
+            fail(seq, "crash", payload)
+
+    try:
+        while unresolved:
+            now = time.monotonic()
+            # dispatch: fill every idle leased worker (work stealing)
+            for w in leased:
+                if w.busy_seq is not None:
+                    continue
+                if (init_key is not None and init_key not in w.inits
+                        and init_key not in pool.failed_inits):
+                    pool.send_init(w, init_key, initializer, initargs,
+                                   timeout, now)
+                    continue
+                seq = next_dispatchable(now)
+                if seq is None:
+                    break
+                fault = faults.fire("worker", str(seq))
                 try:
-                    value = handle.get(timeout)
-                except multiprocessing.TimeoutError:
-                    cell.attempts += 1
-                    cell.failure = ("timeout",
-                                    f"no result within {timeout}s "
-                                    f"(worker hung or killed)")
-                    degraded = True
-                except NumericsError as exc:
-                    results[i] = error_entry("numerics", str(exc),
-                                             cell.attempts + 1)
-                    pending.discard(i)
-                except KeyboardInterrupt:
-                    raise
-                except Exception as exc:  # lint: allow[broad-except] retry classification of arbitrary worker failures
-                    cell.attempts += 1
-                    cell.failure = ("crash", f"{type(exc).__name__}: {exc}")
-                else:
-                    results[i] = value
-                    pending.discard(i)
-                flush_commits()
-        finally:
-            pool.terminate()
-            pool.join()
-        for i in sorted(pending):
-            cell = cells[i]
-            if cell.failure is not None and cell.attempts > retries:
-                results[i] = error_entry(cell.failure[0], cell.failure[1],
-                                         cell.attempts)
-                pending.discard(i)
+                    pool.send_task(w, seq, worker, cells[seq].task,
+                                   fault.action if fault else None,
+                                   timeout, now)
+                except (OSError, ValueError):
+                    # worker died between runs; respawn and requeue
+                    replace(w, leased.index(w))
+                    fresh.appendleft(seq)
+                    continue
+                dispatches += 1
+
+            busy = [w for w in leased if w.busy_seq is not None]
+            if not busy:
+                if retry_wait:
+                    # nothing in flight: honour the earliest backoff, then
+                    # treat it as elapsed (sleep is injectable in tests)
+                    ready_at, _, seq = heapq.heappop(retry_wait)
+                    sleep(max(0.0, ready_at - time.monotonic()))
+                    retry_ready.append(seq)
+                    continue
+                break  # every unresolved cell just resolved via fail()
+
+            # collect in completion order: wait on whichever pipe is ready
+            wait_timeout = None
+            if timeout is not None:
+                wait_timeout = max(
+                    0.0, min(w.deadline for w in busy) - time.monotonic())
+            ready = pool_mod.wait([w.conn for w in busy], wait_timeout)
+            for conn in ready:
+                w = next(x for x in busy if x.conn is conn)
+                try:
+                    msg = conn.recv()
+                except (EOFError, OSError):
+                    # the worker died mid-cell (hard kill, lost pipe)
+                    seq, key = w.busy_seq, w.init_key
+                    replace(w, leased.index(w))
+                    if seq == pool_mod.INIT_SEQ:
+                        init_degraded(key, "died")
+                    elif seq is not None:
+                        fail(seq, "crash",
+                             "worker process died before returning a result")
+                    continue
+                handle_message(w, msg)
+
+            # deadline sweep: only the genuinely hung worker is respawned
+            if timeout is not None:
+                now = time.monotonic()
+                for idx, w in enumerate(leased):
+                    if w.busy_seq is None or now < w.deadline:
+                        continue
+                    seq, key = w.busy_seq, w.init_key
+                    replace(w, idx)
+                    if seq == pool_mod.INIT_SEQ:
+                        init_degraded(key, "hung")
+                    else:
+                        fail(seq, "timeout",
+                             f"no result within {timeout}s "
+                             f"(worker hung or killed)")
+            flush_commits()
         flush_commits()
+    except BaseException:  # lint: allow[broad-except] re-raised below; pool cleanup must cover KeyboardInterrupt too
+        # leave the persistent pool clean: any worker still computing an
+        # abandoned cell is replaced so its late result cannot leak into
+        # the next run
+        for idx, w in enumerate(leased):
+            if w.busy_seq is not None:
+                replace(w, idx)
+        raise
+    finally:
+        worker_stats: dict = {}
+        for w in leased:
+            pool_mod.merge_stats(
+                worker_stats,
+                pool_mod.diff_stats(w.latest_stats, w.stats_baseline))
+        _set_last_run_stats({
+            "mode": "pool", "jobs": jobs, "pool_reused": pool_reused,
+            "respawns": respawns, "dispatches": dispatches,
+            "worker_pids": [w.pid for w in leased],
+            "worker_stats": worker_stats,
+        })

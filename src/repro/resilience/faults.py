@@ -24,8 +24,15 @@ comma-separated list of clauses::
 * ``count`` — fire at most this many times (default: every match).
   Counts are tracked in the process that calls :func:`fire`; the grid
   executor fires ``worker``-scope faults in the parent so their counts
-  survive pool restarts, while ``cell``/``calib``/``engine`` faults fire
-  inside the worker process.
+  survive worker respawns, while ``cell``/``calib``/``engine`` faults
+  fire inside the worker process.  The executor ships the parent's
+  ``$REPRO_FAULTS`` value with every task it dispatches, so persistent
+  pool workers always see the *current* spec (arming or disarming
+  between runs works without restarting the pool) — but worker-side
+  counters live in the worker process and persist across retry waves
+  and across ``run_cells`` calls for as long as that worker lives, so
+  a counted worker-side clause is consumed at most ``count`` times per
+  worker lifetime, not per run.
 
 Examples::
 
@@ -205,7 +212,8 @@ def poison_nan(x: np.ndarray) -> np.ndarray:
 #: reading the source.
 INJECTION_POINTS: list[tuple[str, str, str, str]] = [
     ("cell", "experiments.table2._eval_cell_task",
-     "crash|kill|hang|nan", "MODEL/FORMAT, e.g. ResNet18/INT8"),
+     "crash|kill|hang|nan",
+     "MODEL/FORMAT (seeds mode: MODEL/FORMAT/sSEED), e.g. ResNet18/INT8"),
     ("worker", "resilience.executor.run_cells (fired in the parent)",
      "crash|kill|hang", "task sequence index, e.g. 2"),
     ("artifact", "resilience.store.save_json",

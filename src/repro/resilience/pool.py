@@ -1,0 +1,325 @@
+"""Persistent warm-worker process pool: the parallel-grid fabric.
+
+The old pool path created a fresh ``multiprocessing.Pool`` per retry
+wave and tore it down at wave end, so pool startup plus per-cell state
+loading swamped the actual cell work (BENCH_kernels.json recorded the
+``--jobs 4`` Table 2 grid *slower* than serial).  This module replaces
+that with a process-level fabric:
+
+* **Persistent workers** — one :class:`WorkerPool` per multiprocessing
+  start method lives for the whole process (module-level registry,
+  :func:`get_pool`); its workers survive across retry waves *and* across
+  :func:`~repro.resilience.executor.run_cells` calls, and are torn down
+  and selectively respawned only when a worker hangs past its deadline
+  or dies.
+* **Warm per-worker state** — a per-run ``initializer`` primes each
+  worker once with expensive read-only state (pretrained weights,
+  dataset splits, kernel LUTs); on fork platforms the caller pre-warms
+  the parent *before* the first worker forks, so children share the
+  pages copy-on-write.  Workers report warm-cache counters (see
+  :func:`register_stats_provider`) with every result, surfaced through
+  ``executor.last_run_stats`` and the kernels benchmark.
+* **Work stealing** — the parent dispatches cells to whichever worker
+  is idle, so a fast worker drains the queue while a slow one computes;
+  each dispatch carries its own deadline measured from submission to
+  the worker, so one straggler can neither serialize collection nor
+  trigger a full-pool teardown.
+
+Each worker owns a private duplex pipe; killing a hung worker can only
+corrupt its own pipe (discarded on respawn), never a sibling's — the
+reason this fabric uses per-worker pipes instead of shared queues.
+
+Fault-injection interplay: the parent ships its current ``REPRO_FAULTS``
+spec with every dispatch and the worker re-exports it before running the
+cell, so re-arming (or disarming) faults between runs takes effect on a
+persistent pool exactly as it would on a fresh one.  Firing *counters*
+for worker-side scopes live per worker process and now persist across
+waves (fresh per-wave pools used to reset them); parent-fired ``worker``
+scope counters are unaffected.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import signal
+from collections.abc import Callable
+from multiprocessing import connection
+
+from . import faults
+from .numerics import NumericsError
+
+__all__ = [
+    "WorkerPool", "get_pool", "shutdown_all",
+    "register_stats_provider", "collect_worker_stats",
+]
+
+#: pseudo task id marking a worker busy running a run initializer
+INIT_SEQ = "__init__"
+
+
+# ----------------------------------------------------------------------
+# warm-state stats providers
+#
+# Subsystems with per-process warm caches (zoo model memo, kernel LUT
+# cache) register a provider returning monotonic counters; workers ship
+# the collected dict with every result so the parent can report per-run
+# cache effectiveness without a side channel.
+
+_STATS_PROVIDERS: dict[str, Callable[[], dict]] = {}
+
+
+def register_stats_provider(name: str, provider: Callable[[], dict]) -> None:
+    """Register ``provider`` (returns a dict of numeric counters) under ``name``.
+
+    Counters must be cumulative per process; consumers difference them to
+    get per-run numbers.  Registering the same name again replaces the
+    provider (idempotent module reloads).
+    """
+    _STATS_PROVIDERS[name] = provider
+
+
+def collect_worker_stats() -> dict:
+    """Merge every registered provider's counters into one flat dict."""
+    out: dict = {}
+    for provider in _STATS_PROVIDERS.values():
+        try:
+            counters = provider()
+        except Exception:  # lint: allow[broad-except] a broken stats provider must not kill a result message
+            continue
+        for key, value in counters.items():
+            out[key] = out.get(key, 0) + value
+    return out
+
+
+def diff_stats(after: dict, before: dict) -> dict:
+    """Per-run delta of two cumulative counter dicts (never negative)."""
+    return {k: v - before.get(k, 0) for k, v in after.items()
+            if isinstance(v, (int, float))}
+
+
+def merge_stats(into: dict, extra: dict) -> dict:
+    """Sum ``extra``'s counters into ``into`` (in place; returned)."""
+    for k, v in extra.items():
+        into[k] = into.get(k, 0) + v
+    return into
+
+
+# ----------------------------------------------------------------------
+# worker side
+
+
+def _classify(exc: BaseException) -> tuple[str, str]:
+    """(status, message) a worker ships for a failed cell."""
+    if isinstance(exc, NumericsError):
+        return "numerics", str(exc)
+    return "crash", f"{type(exc).__name__}: {exc}"
+
+
+def _worker_main(conn) -> None:
+    """Worker loop: receive tasks over the private pipe, ship results.
+
+    Messages from the parent: ``("task", seq, fn, task, fault_action,
+    fault_env)``, ``("init", key, fn, args)``, ``("stop",)``.  Replies:
+    ``("done", seq, status, payload, stats)`` and
+    ``("init_done", key, error_or_None)``.  SIGINT is ignored — on
+    Ctrl-C the parent owns teardown, not a racing signal in each child.
+    """
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            return
+        kind = msg[0]
+        if kind == "stop":
+            return
+        if kind == "init":
+            _, key, fn, args = msg
+            error = None
+            try:
+                fn(*args)
+            except BaseException as exc:  # lint: allow[broad-except] a failed warm-up must degrade, not kill the worker
+                error = f"{type(exc).__name__}: {exc}"
+            conn.send(("init_done", key, error))
+            continue
+        _, seq, fn, task, fault_action, fault_env = msg
+        if fault_env is None:
+            os.environ.pop(faults.ENV_VAR, None)
+        else:
+            os.environ[faults.ENV_VAR] = fault_env
+        try:
+            if fault_action is not None:
+                faults.enact(fault_action, "worker", str(seq))
+            value = fn(task)
+        except BaseException as exc:  # lint: allow[broad-except] failures are shipped to the parent for retry classification
+            status, payload = _classify(exc)
+        else:
+            status, payload = "ok", value
+        try:
+            conn.send(("done", seq, status, payload, collect_worker_stats()))
+        except Exception as exc:  # lint: allow[broad-except] an unpicklable result must surface as a structured crash
+            conn.send(("done", seq, "crash",
+                       f"result not shippable: {type(exc).__name__}: {exc}",
+                       collect_worker_stats()))
+
+
+# ----------------------------------------------------------------------
+# parent side
+
+
+class _Worker:
+    """Parent-side record of one pooled worker process."""
+
+    __slots__ = ("proc", "conn", "inits", "busy_seq", "deadline",
+                 "latest_stats", "stats_baseline", "init_key")
+
+    def __init__(self, proc, conn):
+        self.proc = proc
+        self.conn = conn
+        self.inits: set[str] = set()      # initializer keys already run
+        self.busy_seq = None              # int seq, INIT_SEQ, or None (idle)
+        self.deadline: float | None = None
+        self.latest_stats: dict = {}
+        self.stats_baseline: dict = {}
+        self.init_key: str | None = None  # key of an in-flight init
+
+    @property
+    def pid(self) -> int:
+        return self.proc.pid
+
+
+class WorkerPool:
+    """A resizable set of persistent worker processes (one per start method).
+
+    Obtain through :func:`get_pool`; the executor leases workers per run
+    and returns them idle.  The pool only ever grows (up to the largest
+    ``jobs`` requested) and shrinks through :meth:`shutdown` or selective
+    :meth:`respawn` of hung/dead workers.
+    """
+
+    def __init__(self, ctx):
+        self.ctx = ctx
+        self.workers: list[_Worker] = []
+        self.ever_spawned = 0
+        self.respawns_total = 0
+        self.failed_inits: set[str] = set()
+        self._owner_pid = os.getpid()
+
+    # -- lifecycle -----------------------------------------------------
+    def _spawn(self) -> _Worker:
+        parent_conn, child_conn = self.ctx.Pipe()
+        proc = self.ctx.Process(
+            target=_worker_main, args=(child_conn,), daemon=True,
+            name=f"repro-pool-{self.ever_spawned}")
+        proc.start()
+        child_conn.close()  # the child holds the only copy of its end now
+        self.ever_spawned += 1
+        return _Worker(proc, parent_conn)
+
+    def ensure(self, n: int) -> None:
+        """Grow the pool to at least ``n`` live workers."""
+        self.workers = [w for w in self.workers if w.proc.is_alive()]
+        while len(self.workers) < n:
+            self.workers.append(self._spawn())
+
+    def lease(self, n: int) -> list[_Worker]:
+        """The first ``n`` workers, spawning as needed; baselines stats."""
+        self.ensure(n)
+        leased = self.workers[:n]
+        for w in leased:
+            w.stats_baseline = dict(w.latest_stats)
+        return leased
+
+    def respawn(self, worker: _Worker) -> _Worker:
+        """Kill ``worker`` (hung or dead) and replace it in its slot."""
+        self._kill(worker)
+        replacement = self._spawn()
+        self.workers[self.workers.index(worker)] = replacement
+        self.respawns_total += 1
+        return replacement
+
+    def _kill(self, worker: _Worker) -> None:
+        try:
+            worker.conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        if worker.proc.is_alive():
+            worker.proc.terminate()
+            worker.proc.join(timeout=1.0)
+            if worker.proc.is_alive():  # pragma: no cover - SIGTERM ignored
+                worker.proc.kill()
+                worker.proc.join(timeout=1.0)
+
+    def shutdown(self) -> None:
+        """Stop every worker (graceful, then forceful)."""
+        if os.getpid() != self._owner_pid:
+            return  # a forked child inherited this record: not ours to stop
+        for w in self.workers:
+            try:
+                w.conn.send(("stop",))
+            except (OSError, ValueError):
+                pass
+        for w in self.workers:
+            w.proc.join(timeout=1.0)
+            self._kill(w)
+        self.workers = []
+
+    # -- dispatch ------------------------------------------------------
+    @staticmethod
+    def init_key(initializer, initargs) -> str:
+        """Stable identity of an (initializer, args) warm-up request."""
+        return (f"{getattr(initializer, '__module__', '?')}."
+                f"{getattr(initializer, '__qualname__', repr(initializer))}"
+                f"{initargs!r}")
+
+    def send_init(self, worker: _Worker, key: str, initializer, initargs,
+                  timeout: float | None, now: float) -> None:
+        """Dispatch a one-time warm-up to ``worker`` (marks it busy)."""
+        worker.conn.send(("init", key, initializer, tuple(initargs)))
+        worker.busy_seq = INIT_SEQ
+        worker.init_key = key
+        worker.deadline = None if timeout is None else now + timeout
+
+    def send_task(self, worker: _Worker, seq: int, fn, task,
+                  fault_action: str | None, timeout: float | None,
+                  now: float) -> None:
+        """Dispatch cell ``seq`` to ``worker``; deadline runs from now."""
+        fault_env = os.environ.get(faults.ENV_VAR)
+        worker.conn.send(("task", seq, fn, task, fault_action, fault_env))
+        worker.busy_seq = seq
+        worker.init_key = None
+        worker.deadline = None if timeout is None else now + timeout
+
+
+# ----------------------------------------------------------------------
+# module-level registry: the pool persists across run_cells calls
+
+_POOLS: dict[str, WorkerPool] = {}
+
+
+def get_pool(ctx) -> WorkerPool:
+    """The process-wide persistent pool for ``ctx``'s start method."""
+    key = ctx.get_start_method()
+    pool = _POOLS.get(key)
+    if pool is None or pool._owner_pid != os.getpid():
+        pool = _POOLS[key] = WorkerPool(ctx)
+    return pool
+
+
+def shutdown_all() -> None:
+    """Tear down every persistent pool (tests, interpreter exit).
+
+    Callers that mutate module state inherited by forked workers — test
+    fixtures monkeypatching the zoo, for instance — must call this first
+    so the next run forks workers that see the new state.
+    """
+    for pool in _POOLS.values():
+        pool.shutdown()
+    _POOLS.clear()
+
+
+atexit.register(shutdown_all)
+
+# re-export for the executor's wait loop
+wait = connection.wait

@@ -8,8 +8,9 @@ from .blocks import (
 from .efficientnet import MiniEfficientNetB0, MiniEfficientNetV2
 from .mobilenet import MiniMobileNetV2, MiniMobileNetV3
 from .registry import (
-    ALL_MODELS, GLUE_MODELS, VISION_MODELS, ZooEntry, dataset, glue_task,
-    pretrained, zoo_cache_dir,
+    ALL_MODELS, GLUE_MODELS, VISION_MODELS, ZooEntry, clear_warm_models,
+    dataset, glue_task, is_cached, pretrained, warm_model_stats,
+    zoo_cache_dir,
 )
 from .resnet import MiniResNet, resnet18_mini, resnet50_mini, resnet101_mini
 from .trainer import (
@@ -27,5 +28,6 @@ __all__ = [
     "TrainConfig", "train_vision", "train_text", "evaluate_vision", "evaluate_text",
     "predict_vision", "predict_text",
     "ZooEntry", "ALL_MODELS", "VISION_MODELS", "GLUE_MODELS",
-    "pretrained", "zoo_cache_dir", "dataset", "glue_task",
+    "pretrained", "is_cached", "zoo_cache_dir", "dataset", "glue_task",
+    "warm_model_stats", "clear_warm_models",
 ]

@@ -4,6 +4,17 @@
 weights, training it on first use and caching the state dict (plus its
 FP32 reference score) as an ``.npz`` under the cache directory
 (``$REPRO_ZOO_CACHE`` or ``.zoo_cache/`` in the working directory).
+``pretrained(name, memo=True)`` additionally keeps the built model in a
+per-process warm memo, so grid workers pay the ``.npz`` load and module
+construction once per model instead of once per cell; hit/miss counters
+are exported to the parallel fabric through
+:func:`repro.resilience.pool.register_stats_provider` and show up in
+``executor.last_run_stats`` as ``zoo_warm_hits``/``zoo_warm_misses``.
+
+Memoized models are shared across cells, which is safe because the PTQ
+cycle is exactly reversible: ``quantize_model`` attaches hooks without
+touching weights and ``dequantize_model`` strips them (callers wrap the
+pair in ``try/finally`` so even a failing cell returns the model clean).
 
 Vision entries share one :class:`~repro.data.images.SynthImageNet`
 instance; each GLUE entry owns a task. The registry records, per entry,
@@ -23,6 +34,7 @@ import numpy as np
 from ..data.glue import TASK_METRICS, GlueTask, make_task
 from ..data.images import SynthImageNet
 from ..nn import Module
+from ..resilience.pool import register_stats_provider
 from .bert import MiniBERT
 from .efficientnet import MiniEfficientNetB0, MiniEfficientNetV2
 from .mobilenet import MiniMobileNetV2, MiniMobileNetV3
@@ -34,7 +46,8 @@ from .vgg import MiniVGG
 
 __all__ = [
     "ZooEntry", "VISION_MODELS", "GLUE_MODELS", "ALL_MODELS",
-    "pretrained", "zoo_cache_dir", "dataset", "glue_task",
+    "pretrained", "is_cached", "zoo_cache_dir", "dataset", "glue_task",
+    "warm_model_stats", "clear_warm_models",
 ]
 
 # shared dataset geometry (kept small so from-scratch training is minutes,
@@ -138,6 +151,15 @@ def _cache_path(name: str) -> Path:
     return zoo_cache_dir() / f"{safe}.npz"
 
 
+def is_cached(name: str) -> bool:
+    """True iff ``name`` has a trained state-dict cache on disk.
+
+    Warm-up paths use this to preload without ever *triggering* training:
+    an uncached model trains once, in the first cell that needs it.
+    """
+    return _cache_path(name).exists()
+
+
 def _train_entry(entry: ZooEntry, model: Module, verbose: bool) -> float:
     cfg = entry.train_cfg
     if verbose:
@@ -150,14 +172,44 @@ def _train_entry(entry: ZooEntry, model: Module, verbose: bool) -> float:
     return evaluate_text(model, task.test_split(1000), entry.metric)
 
 
-def pretrained(name: str, retrain: bool = False, verbose: bool = False) -> tuple[Module, float]:
+# per-process warm memo: built models shared across grid cells of a run
+_WARM_MODELS: dict[str, tuple[Module, float]] = {}
+_WARM_STATS = {"zoo_warm_hits": 0, "zoo_warm_misses": 0}
+
+
+def warm_model_stats() -> dict:
+    """Cumulative per-process warm-memo counters (hits/misses)."""
+    return dict(_WARM_STATS)
+
+
+def clear_warm_models() -> None:
+    """Drop the warm memo and zero its counters (tests, memory pressure)."""
+    _WARM_MODELS.clear()
+    _WARM_STATS["zoo_warm_hits"] = 0
+    _WARM_STATS["zoo_warm_misses"] = 0
+
+
+register_stats_provider("zoo", warm_model_stats)
+
+
+def pretrained(name: str, retrain: bool = False, verbose: bool = False,
+               memo: bool = False) -> tuple[Module, float]:
     """Return ``(model, fp32_reference_score)`` for a Table 2 row.
 
     The model is trained on first call and cached; subsequent calls load
     the cached state dict.  ``retrain=True`` forces retraining.
+    ``memo=True`` serves repeat calls from the per-process warm memo —
+    the *same* model object each time, so callers must leave it in its
+    FP32 state (quantize/dequantize in pairs).
     """
     if name not in ALL_MODELS:
         raise KeyError(f"unknown model {name!r}; available: {sorted(ALL_MODELS)}")
+    if memo and not retrain:
+        warm = _WARM_MODELS.get(name)
+        if warm is not None:
+            _WARM_STATS["zoo_warm_hits"] += 1
+            return warm
+        _WARM_STATS["zoo_warm_misses"] += 1
     entry = ALL_MODELS[name]
     model = entry.factory()
     path = _cache_path(name)
@@ -171,6 +223,8 @@ def pretrained(name: str, retrain: bool = False, verbose: bool = False) -> tuple
                   flush=True)
         else:
             model.eval()
+            if memo:
+                _WARM_MODELS[name] = (model, score)
             return model, score
     score = _train_entry(entry, model, verbose)
     state = model.state_dict()
@@ -179,4 +233,6 @@ def pretrained(name: str, retrain: bool = False, verbose: bool = False) -> tuple
     np.savez(tmp, **state)
     os.replace(tmp, path)  # atomic: concurrent trainers cannot corrupt the cache
     model.eval()
+    if memo:
+        _WARM_MODELS[name] = (model, score)
     return model, score

@@ -1,0 +1,22 @@
+"""Shared test fixtures.
+
+The persistent worker pool (:mod:`repro.resilience.pool`) deliberately
+keeps worker processes alive across ``run_cells`` calls.  Fork workers
+capture the parent's module state at fork time, so a pool forked under
+one test's monkeypatches must never serve the next test: tear every pool
+down after each test (cheap when no pool was started).  The warm model
+memo is per-process parent state with the same hazard, so it is cleared
+too.
+"""
+
+import pytest
+
+from repro.resilience import pool
+from repro.zoo import registry
+
+
+@pytest.fixture(autouse=True)
+def _fresh_worker_pools():
+    yield
+    pool.shutdown_all()
+    registry.clear_warm_models()

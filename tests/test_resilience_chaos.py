@@ -73,14 +73,14 @@ class _Split:
 
 
 class _Data:
-    def calibration_split(self, n):
-        return _Split(n)
+    def calibration_split(self, n, seed=0):
+        return _Split(n + 1000 * seed)
 
     def test_split(self, n):
         return _Split(n)
 
 
-def _fake_pretrained(name: str):
+def _fake_pretrained(name: str, memo: bool = False):
     return (_TinyA() if name == "tinyA" else _TinyB()), 0.0
 
 
@@ -142,6 +142,35 @@ def test_grid_survives_combined_faults_and_converges(tiny_zoo, tmp_path,
                    for v in row.values())
 
     # ... and converges byte-identically to a clean serial fill
+    clean_dir = tmp_path / "clean"
+    monkeypatch.setenv("REPRO_ARTIFACTS", str(clean_dir))
+    _run(refresh=True, jobs=1)
+    assert (art_dir / "table2.json").read_bytes() == \
+        (clean_dir / "table2.json").read_bytes()
+
+
+def test_storm_rerun_repairs_on_same_persistent_pool(tiny_zoo, tmp_path,
+                                                     monkeypatch):
+    from repro.resilience import executor
+    art_dir = tmp_path / "storm"
+    monkeypatch.setenv("REPRO_ARTIFACTS", str(art_dir))
+    monkeypatch.setenv(faults.ENV_VAR, "cell:tinyA/Posit(8,1):crash")
+    first = _run(refresh=True, jobs=2, retries=0, backoff=0.01)
+    assert is_error_entry(first["grid"]["tinyA"]["Posit(8,1)"])
+    pids = set(executor.last_run_stats["worker_pids"])
+    # an in-worker exception is a structured failure, not a dead worker
+    assert executor.last_run_stats["respawns"] == 0
+
+    # disarm the fault and repair on the SAME pool: every dispatch ships
+    # the parent's current fault env, so persistent workers see the change
+    monkeypatch.setenv(faults.ENV_VAR, "")
+    repaired = _run(jobs=2)
+    stats = executor.last_run_stats
+    assert stats["pool_reused"] is True
+    assert set(stats["worker_pids"]) <= pids
+    assert not any(is_error_entry(v) for row in repaired["grid"].values()
+                   for v in row.values())
+
     clean_dir = tmp_path / "clean"
     monkeypatch.setenv("REPRO_ARTIFACTS", str(clean_dir))
     _run(refresh=True, jobs=1)

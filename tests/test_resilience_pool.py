@@ -1,0 +1,135 @@
+"""The persistent warm-worker fabric: reuse, respawn, scheduling, stats.
+
+These are the fabric's contract tests (also run as the ``--grid`` smoke
+via ``scripts/check.sh --grid``):
+
+* workers persist across ``run_cells`` calls (same PIDs, no respawns);
+* warm per-worker caches are exercised and their hit counters surface in
+  ``executor.last_run_stats``;
+* a dead worker is respawned *selectively* — the survivor keeps its PID;
+* per-cell deadlines run from dispatch: one straggler neither blocks the
+  fast cells' commits nor multiplies the wall time by the cell count
+  (the old k x timeout accounting bug).
+
+Pool-path workers must be module-level (pickled by reference into fork
+children).
+"""
+
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.kernels import clear_kernel_cache
+from repro.resilience import executor, faults, run_cells
+
+pytestmark = pytest.mark.grid
+
+
+def _pid_worker(task):
+    return os.getpid()
+
+
+def _lut_worker(task):
+    from repro.formats import get_format
+    from repro.kernels import kernel_for
+    kernel_for(get_format("MERSIT(8,2)"))
+    return task
+
+
+def _kill_if_marked(task):
+    d, i = task
+    marker = Path(d) / f"kill{i}"
+    if marker.exists():
+        marker.unlink()
+        os._exit(70)  # SIGKILL analogue: no cleanup, no result
+    return os.getpid()
+
+
+def _ok_worker(task):
+    return task * 10
+
+
+@pytest.fixture(autouse=True)
+def no_faults(monkeypatch):
+    monkeypatch.delenv(faults.ENV_VAR, raising=False)
+
+
+class TestPersistentPool:
+    def test_workers_survive_across_runs(self):
+        pids1 = set(run_cells(list(range(4)), _pid_worker, jobs=2))
+        stats1 = dict(executor.last_run_stats)
+        pids2 = set(run_cells(list(range(4)), _pid_worker, jobs=2))
+        stats2 = dict(executor.last_run_stats)
+        assert len(pids1) == 2
+        assert pids1 == pids2  # the same worker processes served both runs
+        assert stats1["mode"] == "pool" and stats1["pool_reused"] is False
+        assert stats2["pool_reused"] is True
+        assert stats2["respawns"] == 0
+        assert set(stats2["worker_pids"]) == pids1
+
+    def test_warm_cache_stats_reported(self):
+        clear_kernel_cache()  # fork children must start cold
+        run_cells(list(range(6)), _lut_worker, jobs=2)
+        first = executor.last_run_stats["worker_stats"]
+        assert first.get("lut_builds", 0) + first.get("lut_hits", 0) >= 6
+        # a second run on the SAME workers serves the LUT purely from the
+        # warm cache: hits only, zero rebuilds
+        run_cells(list(range(6)), _lut_worker, jobs=2)
+        second = executor.last_run_stats["worker_stats"]
+        assert second.get("lut_builds", 0) == 0
+        assert second.get("lut_hits", 0) >= 6
+
+    def test_dead_worker_respawned_selectively(self, tmp_path):
+        pids = run_cells([(str(tmp_path), 0), (str(tmp_path), 1)],
+                         _kill_if_marked, jobs=2)
+        (tmp_path / "kill0").touch()
+        out = run_cells([(str(tmp_path), 0), (str(tmp_path), 1)],
+                        _kill_if_marked, jobs=2, timeout=30.0, retries=1,
+                        backoff=0.01)
+        stats = executor.last_run_stats
+        assert stats["respawns"] == 1
+        assert out[1] == pids[1]          # the survivor kept its process
+        assert out[0] not in pids         # the killed slot got a fresh worker
+
+    def test_straggler_does_not_block_fast_commits(self, monkeypatch):
+        # cell 5 hangs; every fast cell must commit while it is in flight
+        monkeypatch.setenv(faults.ENV_VAR, "worker:5:hang")
+        commits = []
+        t0 = time.monotonic()
+        out = run_cells(list(range(6)), _ok_worker, jobs=2, timeout=2.0,
+                        retries=0,
+                        commit=lambda i, v: commits.append(
+                            (i, time.monotonic() - t0)))
+        elapsed = time.monotonic() - t0
+        assert out[:5] == [0, 10, 20, 30, 40]
+        assert out[5]["error"]["kind"] == "timeout"
+        assert [i for i, _t in commits] == list(range(6))
+        fast = [t for i, t in commits if i < 5]
+        assert max(fast) < 1.5            # committed well before the deadline
+        assert elapsed < 5.0              # ~1 x timeout, not k x timeout
+
+    def test_zoo_warm_memo_serves_hits(self):
+        # parent-side contract of the memo the workers rely on: a warm
+        # entry is returned as-is and counted as a hit
+        from repro.zoo import registry
+        sentinel = (object(), 1.0)
+        registry._WARM_MODELS["ResNet18"] = sentinel
+        before = registry.warm_model_stats()["zoo_warm_hits"]
+        assert registry.pretrained("ResNet18", memo=True) is sentinel
+        assert registry.warm_model_stats()["zoo_warm_hits"] == before + 1
+
+    def test_concurrent_hangs_share_one_deadline_window(self, monkeypatch):
+        # the k x timeout regression: two cells hang on the two workers at
+        # the same time; their deadlines run from their own dispatches, so
+        # the run costs ~one timeout window, not one per hung cell
+        monkeypatch.setenv(faults.ENV_VAR, "worker:2:hang,worker:3:hang")
+        t0 = time.monotonic()
+        out = run_cells(list(range(5)), _ok_worker, jobs=2, timeout=2.0,
+                        retries=0)
+        elapsed = time.monotonic() - t0
+        assert out[2]["error"]["kind"] == "timeout"
+        assert out[3]["error"]["kind"] == "timeout"
+        assert [out[0], out[1], out[4]] == [0, 10, 40]
+        assert elapsed < 3.8

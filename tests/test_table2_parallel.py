@@ -45,14 +45,14 @@ class _Split:
 
 
 class _Data:
-    def calibration_split(self, n):
-        return _Split(n)
+    def calibration_split(self, n, seed=0):
+        return _Split(n + 1000 * seed)
 
     def test_split(self, n):
         return _Split(n)
 
 
-def _fake_pretrained(name: str):
+def _fake_pretrained(name: str, memo: bool = False):
     return _TinyModel(seed=sum(map(ord, name))), {}
 
 
@@ -91,6 +91,63 @@ def test_parallel_grid_is_byte_identical_to_serial(tiny_zoo, tmp_path,
                formats=["MERSIT(8,2)", "Posit(8,1)"],
                eval_n=16, calib_n=8, jobs=2)
     assert (tmp_path / "parallel" / "table2.json").read_bytes() == serial
+
+
+def _run_seeds(tmp_dir, monkeypatch, jobs, seeds):
+    monkeypatch.setenv("REPRO_ARTIFACTS", str(tmp_dir))
+    result = table2.run(models=["tinyA", "tinyB"],
+                        formats=["MERSIT(8,2)", "Posit(8,1)"],
+                        eval_n=16, calib_n=8, refresh=True, jobs=jobs,
+                        seeds=seeds)
+    return result, (tmp_dir / "table2.json").read_bytes()
+
+
+def test_seeds_axis_parallel_byte_identical_to_serial(tiny_zoo, tmp_path,
+                                                      monkeypatch):
+    _, serial = _run_seeds(tmp_path / "serial", monkeypatch, 1, [0, 1, 2])
+    result, parallel = _run_seeds(tmp_path / "parallel", monkeypatch, 2,
+                                  [0, 1, 2])
+    assert serial == parallel
+    cell = result["grid"]["tinyA"]["MERSIT(8,2)"]
+    assert set(cell["seeds"]) == {"0", "1", "2"}
+    # FP32 takes no calibration, so it stays a scalar even in seeds mode
+    assert isinstance(result["grid"]["tinyA"]["FP32"], float)
+    # different calibration seeds must actually move the tiny model's score
+    assert len(set(cell["seeds"].values())) > 1
+
+
+def test_legacy_scalar_migrates_and_seed0_is_not_recomputed(tiny_zoo,
+                                                            tmp_path,
+                                                            monkeypatch):
+    monkeypatch.setenv("REPRO_ARTIFACTS", str(tmp_path))
+    legacy = table2.run(models=["tinyA"], formats=["MERSIT(8,2)"],
+                        eval_n=16, calib_n=8, refresh=True)
+    legacy_score = legacy["grid"]["tinyA"]["MERSIT(8,2)"]
+    assert isinstance(legacy_score, float)
+
+    seen = []
+    real_cell = table2._eval_cell
+
+    def counting_cell(name, fmt, eval_n, calib_n, seed=0):
+        seen.append((name, fmt, seed))
+        return real_cell(name, fmt, eval_n, calib_n, seed)
+
+    monkeypatch.setattr(table2, "_eval_cell", counting_cell)
+    upgraded = table2.run(models=["tinyA"], formats=["MERSIT(8,2)"],
+                          eval_n=16, calib_n=8, seeds=[0, 1])
+    cell = upgraded["grid"]["tinyA"]["MERSIT(8,2)"]
+    # the legacy scalar became seed 0 in place — no recompute, no data loss
+    assert cell["seeds"]["0"] == legacy_score
+    assert seen == [("tinyA", "MERSIT(8,2)", 1)]
+    assert "1" in cell["seeds"]
+
+
+def test_render_shows_seed_error_bars(tiny_zoo, tmp_path, monkeypatch):
+    monkeypatch.setattr(table2, "MODEL_ORDER", ["tinyA", "tinyB"])
+    result, _ = _run_seeds(tmp_path, monkeypatch, 1, [0, 1, 2])
+    out = table2.render(result)
+    assert "±" in out
+    assert "error bars" in out
 
 
 def test_grid_scores_are_real_numbers(tiny_zoo, tmp_path, monkeypatch):
