@@ -12,7 +12,12 @@ reference path).  Numbers land in ``BENCH_serve.json`` at the repo root
 * ``batched.N`` — closed-loop clients against a scheduler capped at
   ``max_batch=N`` (N=1 measures pure scheduler overhead);
 * ``speedup_batch32_x`` — batched(32) over serial throughput; the serve
-  acceptance bar is >= 3x.
+  acceptance bar is >= 3x;
+* ``sharded.N`` — the same closed-loop load through a
+  :class:`~repro.serve.ShardRouter` at N worker processes (plus an
+  open-loop run), with a ``cpu_limited`` honesty flag: on a host with
+  fewer cores than shards+router the numbers measure correctness
+  overhead, not scaling, and must not be read as a fan-out win.
 
 Usage::
 
@@ -38,14 +43,15 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.serve import (  # noqa: E402
-    BatchPolicy, InferenceService, ModelRepository, micro_specs,
-    run_closed_loop,
+    BatchPolicy, InferenceService, ModelRepository, ShardRouter,
+    micro_specs, run_closed_loop, run_open_loop,
 )
 
 DEFAULT_OUT = REPO_ROOT / "BENCH_serve.json"
 MODEL = "micro-cnn"
 FORMAT = "MERSIT(8,2)"
 BATCH_SIZES = (1, 8, 32)
+SHARD_COUNTS = (2,)
 
 
 def _host_meta() -> dict:
@@ -86,6 +92,40 @@ def bench_batched(repository: ModelRepository, max_batch: int,
             "batch_size_histogram": d["metrics"]["batch_size_histogram"]}
 
 
+def bench_sharded(shards: int, requests: int, mode: str) -> dict:
+    """Closed- and open-loop load through a shard-router fleet.
+
+    The shards and the router each want a core; on a smaller host the
+    result carries ``cpu_limited: true`` and measures cross-process
+    serving *overhead* (pipes, pickling, shared-memory attach), not
+    horizontal scaling.
+    """
+    cpu_limited = (os.cpu_count() or 1) < shards + 1
+    policy = BatchPolicy(max_batch=8, max_wait_ms=5.0, queue_depth=256,
+                         workers=2)
+    with ShardRouter(shards=shards, specs="micro",
+                     preheat=[(MODEL, FORMAT, mode)], policy=policy,
+                     calib_n=32) as router:
+        closed = run_closed_loop(router, MODEL, FORMAT, mode,
+                                 requests=requests, concurrency=8, seed=0)
+        open_ = run_open_loop(router, MODEL, FORMAT, mode,
+                              requests=max(requests // 4, 16),
+                              rate_rps=200.0, seed=0)
+        fleet = router.stats()["fleet"]
+    out = {}
+    for name, report in (("closed_loop", closed), ("open_loop", open_)):
+        d = report.to_dict()
+        out[name] = {"requests": d["requests"], "ok": d["ok"],
+                     "elapsed_s": d["elapsed_s"],
+                     "throughput_rps": d["throughput_rps"],
+                     "latency_ms": d["latency_ms"]}
+    out["fleet"] = {"completed": fleet["completed"],
+                    "mean_batch_size": fleet["mean_batch_size"],
+                    "percentiles_exact": fleet["percentiles_exact"]}
+    out["cpu_limited"] = cpu_limited
+    return out
+
+
 def main(argv: list[str] | None = None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--fast", action="store_true",
@@ -114,6 +154,14 @@ def main(argv: list[str] | None = None) -> int:
     speedup = batched["32"]["throughput_rps"] / serial["throughput_rps"]
     print(f"dynamic batching speedup at max_batch=32: {speedup:.2f}x over serial")
 
+    sharded = {}
+    for n in SHARD_COUNTS:
+        sharded[str(n)] = bench_sharded(n, requests, args.mode)
+        tag = " (cpu-limited)" if sharded[str(n)]["cpu_limited"] else ""
+        print(f"sharded n={n:<3d}  "
+              f"{sharded[str(n)]['closed_loop']['throughput_rps']:8.1f} "
+              f"req/s closed-loop{tag}")
+
     payload = {
         "host": _host_meta(),
         "model": MODEL,
@@ -122,6 +170,7 @@ def main(argv: list[str] | None = None) -> int:
         "requests": requests,
         "serial": serial,
         "batched": batched,
+        "sharded": sharded,
         "speedup_batch32_x": speedup,
     }
     args.out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

@@ -6,6 +6,7 @@
 #   scripts/check.sh --chaos   # only the fault-injection recovery suite
 #   scripts/check.sh --serve   # only the inference-service suite
 #   scripts/check.sh --grid    # only the worker-pool fabric smoke
+#   scripts/check.sh --shard   # only the sharded-serving suite
 #
 # Exits non-zero on the first failing stage.
 set -eu
@@ -32,6 +33,13 @@ if [ "${1:-}" = "--serve" ]; then
     echo "== serve (inference service) suite =="
     python -m pytest -x -q -m serve
     echo "check.sh: serve suite passed"
+    exit 0
+fi
+
+if [ "${1:-}" = "--shard" ]; then
+    echo "== shard (multi-process serving) suite =="
+    python -m pytest -x -q -m shard
+    echo "check.sh: shard suite passed"
     exit 0
 fi
 

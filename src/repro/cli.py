@@ -19,10 +19,12 @@ experiments [NAMES...] [--jobs N] [--seeds K] [--cell-timeout S] [--retries N]
     to table2 (error bars); ``--cell-timeout``/``--retries`` configure
     the resilient executor (hung-worker deadline, retry budget).
 serve MODEL [--format F] [--mode fakequant|engine] [--requests N]
-      [--concurrency C] [--open --rate R] [--stats]
-    Run the dynamic-batching inference service in-process and drive it
-    with the deterministic load generator; ``--stats`` prints the
-    latency/queue/batch metrics afterwards.
+      [--concurrency C] [--open --rate R] [--shards N] [--stats]
+    Run the dynamic-batching inference service and drive it with the
+    deterministic load generator; ``--shards N`` fans requests across N
+    worker processes sharing calibrated state through shared memory;
+    ``--stats`` prints the latency/queue/batch metrics afterwards
+    (fleet-wide exact percentiles when sharded).
 faults
     List the fault-injection points of the resilience harness and
     whatever ``$REPRO_FAULTS`` currently arms.
@@ -111,8 +113,12 @@ def build_parser() -> argparse.ArgumentParser:
                          help="per-request deadline")
     p_serve.add_argument("--calib", type=int, default=64, dest="calib_n")
     p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.add_argument("--shards", type=int, default=0,
+                         help="fan out across N shard worker processes "
+                         "(0 = in-process service)")
     p_serve.add_argument("--stats", action="store_true",
-                         help="print service metrics after the run")
+                         help="print service metrics after the run "
+                         "(fleet-wide percentiles with --shards)")
 
     p_faults = sub.add_parser(
         "faults", help="list fault-injection points and armed faults")
@@ -271,25 +277,33 @@ def _cmd_experiments(args) -> int:
 
 def _cmd_serve(args) -> int:
     from .serve import (
-        BatchPolicy, InferenceService, ModelRepository, micro_specs,
-        run_closed_loop, run_open_loop, zoo_specs,
+        BatchPolicy, InferenceService, ModelRepository, ShardRouter,
+        micro_specs, run_closed_loop, run_open_loop, zoo_specs,
     )
     micro = micro_specs()
     if args.model in micro:
-        specs = micro
+        specs, specs_kind, zoo_names = micro, "micro", None
     else:
         try:
             specs = zoo_specs([args.model])
+            specs_kind, zoo_names = "zoo", [args.model]
         except KeyError:
             from .zoo import ALL_MODELS
             print(f"unknown model {args.model!r}; available: "
                   f"{sorted(ALL_MODELS) + sorted(micro)}")
             return 2
-    repository = ModelRepository(specs, calib_n=args.calib_n)
     policy = BatchPolicy(max_batch=args.max_batch,
                          max_wait_ms=args.max_wait_ms,
                          queue_depth=args.queue_depth, workers=args.workers)
-    with InferenceService(repository, policy) as service:
+    if args.shards > 0:
+        service = ShardRouter(
+            shards=args.shards, specs=specs_kind, zoo_names=zoo_names,
+            preheat=[(args.model, args.fmt, args.mode)],
+            policy=policy, calib_n=args.calib_n)
+    else:
+        repository = ModelRepository(specs, calib_n=args.calib_n)
+        service = InferenceService(repository, policy)
+    with service:
         if args.open_loop:
             report = run_open_loop(
                 service, args.model, args.fmt, args.mode,

@@ -20,7 +20,8 @@ Select the backend with the ``REPRO_KERNELS`` environment variable
 
 from .dispatch import BACKENDS, get_backend, set_backend, use_backend
 from .lut import (
-    LUT_MAX_BITS, BitLUTKernel, clear_kernel_cache, kernel_for, kernel_stats,
+    LUT_MAX_BITS, BitLUTKernel, clear_kernel_cache, export_tables,
+    install_tables, kernel_for, kernel_stats,
 )
 
 __all__ = [
@@ -33,4 +34,6 @@ __all__ = [
     "kernel_for",
     "clear_kernel_cache",
     "kernel_stats",
+    "export_tables",
+    "install_tables",
 ]

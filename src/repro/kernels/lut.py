@@ -37,7 +37,7 @@ import numpy as np
 from ..resilience.pool import register_stats_provider as _register_stats_provider
 
 __all__ = ["LUT_MAX_BITS", "BitLUTKernel", "kernel_for", "clear_kernel_cache",
-           "kernel_stats"]
+           "kernel_stats", "export_tables", "install_tables"]
 
 #: LUT construction enumerates the codebook; cap it at 12-bit formats
 #: (4096 codes) so the table build and the midpoint windows stay small.
@@ -162,10 +162,12 @@ class BitLUTKernel:
 #: built kernels, keyed by format name (formats hash/compare by name)
 _CACHE: dict[str, BitLUTKernel] = {}
 
-# per-process build/hit counters, exported to the parallel fabric so grid
-# runs can verify that fork children inherited the 65,536-entry tables
-# copy-on-write (builds stay 0 in warm workers) instead of rebuilding them
-_STATS = {"lut_builds": 0, "lut_hits": 0}
+# per-process build/hit/attach counters, exported to the parallel fabric so
+# grid runs can verify that fork children inherited the 65,536-entry tables
+# copy-on-write (builds stay 0 in warm workers) instead of rebuilding them,
+# and so shard workers can prove they attached tables from shared memory
+# (attaches > 0, builds == 0) instead of reconstructing them
+_STATS = {"lut_builds": 0, "lut_hits": 0, "lut_attaches": 0}
 
 
 def kernel_stats() -> dict:
@@ -196,3 +198,52 @@ def clear_kernel_cache() -> None:
     _CACHE.clear()
     _STATS["lut_builds"] = 0
     _STATS["lut_hits"] = 0
+    _STATS["lut_attaches"] = 0
+
+
+# ----------------------------------------------------------------------
+# shared-memory export/attach (the serving plane)
+#
+# A shard parent builds each format's tables once and publishes them; a
+# worker installs the published arrays directly instead of re-running
+# the 65,536-bucket construction.  The tables are pure functions of the
+# format, so an installed kernel is byte-identical to a built one — the
+# shard differential suite enforces this end to end.
+
+def export_tables(fmt) -> tuple[dict, dict[str, np.ndarray]]:
+    """The (meta, arrays) payload describing ``fmt``'s LUT kernel.
+
+    ``arrays`` holds the rounding tables (``values``, ``codes``,
+    ``base``, ``mid_ext`` and — for ``kmax == 1`` formats — ``thr``);
+    ``meta`` carries the scalar slots.  Feed both to
+    :func:`install_tables` in another process.
+    """
+    kernel = kernel_for(fmt)
+    meta = {"name": kernel.name, "kmax": kernel.kmax,
+            "zero_idx": kernel.zero_idx}
+    arrays = {"values": kernel.values, "codes": kernel.codes,
+              "base": kernel.base, "mid_ext": kernel.mid_ext}
+    if kernel.thr is not None:
+        arrays["thr"] = kernel.thr
+    return meta, arrays
+
+
+def install_tables(meta: dict, arrays: dict[str, np.ndarray]) -> BitLUTKernel:
+    """Install exported tables as the cached kernel for their format.
+
+    The arrays may be zero-copy shared-memory views — the kernel only
+    ever reads them.  Replaces any locally built kernel for the same
+    format and counts as a ``lut_attaches`` in :func:`kernel_stats`.
+    """
+    kernel = BitLUTKernel.__new__(BitLUTKernel)
+    kernel.name = meta["name"]
+    kernel.values = arrays["values"]
+    kernel.codes = arrays["codes"]
+    kernel.base = arrays["base"]
+    kernel.mid_ext = arrays["mid_ext"]
+    kernel.thr = arrays.get("thr")
+    kernel.kmax = int(meta["kmax"])
+    kernel.zero_idx = int(meta["zero_idx"])
+    _CACHE[kernel.name] = kernel
+    _STATS["lut_attaches"] += 1
+    return kernel

@@ -224,6 +224,25 @@ class FakeQuantizer:
         self._qcache = (tensor, tensor_version, scale_version, out)
         return out
 
+    def install_cached(self, tensor, plane: np.ndarray) -> None:
+        """Seed the :meth:`quantize_cached` memo with a precomputed plane.
+
+        ``plane`` must be byte-identical to what :meth:`quantize_cached`
+        would compute for ``tensor`` under the current scale — the
+        caller vouches for that (the serving layer installs quantized
+        weight planes published by a calibrate-once parent process via
+        shared memory, where the plane *was* computed by this exact
+        code).  The cache keys on the tensor's current data version and
+        this quantizer's scale version, so any later rebind or
+        recalibration invalidates the installed plane exactly like a
+        computed one.
+        """
+        if plane.shape != np.shape(tensor.data):
+            raise ValueError(
+                f"plane shape {plane.shape} does not match tensor shape "
+                f"{np.shape(tensor.data)}")
+        self._qcache = (tensor, tensor.version, self._scale_version, plane)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         where = "per-tensor" if self.axis is None else f"per-channel(axis={self.axis})"
         return f"<FakeQuantizer {self.fmt.name} {where} calibrated={self.calibrated}>"

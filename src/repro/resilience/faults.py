@@ -12,7 +12,8 @@ comma-separated list of clauses::
   ``cell`` (a table2 grid cell), ``worker`` (a pool task pickup),
   ``artifact`` (an artifact-store save), ``calib`` (an activation
   calibration batch), ``engine`` (activation encode in the engine),
-  ``serve`` (the inference service: batch execution / model load).
+  ``serve`` (the inference service: batch execution / model load),
+  ``shard`` (the sharded router: request dispatch / shm publication).
 * ``key`` — which site within the scope; an ``fnmatch`` glob matched
   against the site key (``MODEL/FORMAT`` for cells, the task sequence
   index for workers, the artifact name, the layer name for calibration).
@@ -72,7 +73,8 @@ ENV_VAR = "REPRO_FAULTS"
 ACTIONS = frozenset({"crash", "kill", "hang", "nan", "truncate"})
 
 #: recognised injection scopes
-SCOPES = frozenset({"cell", "worker", "artifact", "calib", "engine", "serve"})
+SCOPES = frozenset({"cell", "worker", "artifact", "calib", "engine", "serve",
+                    "shard"})
 
 #: how long a ``hang`` action sleeps (long enough that any sane per-cell
 #: deadline expires first)
@@ -226,6 +228,11 @@ INJECTION_POINTS: list[tuple[str, str, str, str]] = [
      "crash", "batch/MODELKEY, e.g. batch/cnn|MERSIT(8,2)|engine"),
     ("serve", "serve.repository.ModelRepository.resolve (calibration load)",
      "crash", "load/MODELKEY"),
+    ("shard", "serve.shard.ShardRouter.submit (fired in the router parent, "
+     "enacted in the shard worker)",
+     "crash|kill|hang", "req/MODELKEY, e.g. req/cnn|INT8|fakequant"),
+    ("shard", "serve.shm.publish (segment header corruption)",
+     "truncate", "segment/KEY, e.g. segment/plane/cnn|INT8|fakequant"),
 ]
 
 

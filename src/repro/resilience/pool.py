@@ -196,10 +196,20 @@ class WorkerPool:
     and returns them idle.  The pool only ever grows (up to the largest
     ``jobs`` requested) and shrinks through :meth:`shutdown` or selective
     :meth:`respawn` of hung/dead workers.
+
+    ``target`` is the worker loop each spawned process runs (one duplex
+    pipe end as its only argument).  The default is the grid fabric's
+    task protocol (:func:`_worker_main`); other subsystems lease pools
+    speaking their own protocol — the shard router's serve workers
+    (:mod:`repro.serve.shard`) host a batching scheduler behind the same
+    spawn/respawn/pipe-EOF machinery.
     """
 
-    def __init__(self, ctx):
+    def __init__(self, ctx, target: Callable | None = None,
+                 name_prefix: str = "repro-pool"):
         self.ctx = ctx
+        self.target = target if target is not None else _worker_main
+        self.name_prefix = name_prefix
         self.workers: list[_Worker] = []
         self.ever_spawned = 0
         self.respawns_total = 0
@@ -210,8 +220,8 @@ class WorkerPool:
     def _spawn(self) -> _Worker:
         parent_conn, child_conn = self.ctx.Pipe()
         proc = self.ctx.Process(
-            target=_worker_main, args=(child_conn,), daemon=True,
-            name=f"repro-pool-{self.ever_spawned}")
+            target=self.target, args=(child_conn,), daemon=True,
+            name=f"{self.name_prefix}-{self.ever_spawned}")
         proc.start()
         child_conn.close()  # the child holds the only copy of its end now
         self.ever_spawned += 1
@@ -295,15 +305,27 @@ class WorkerPool:
 # ----------------------------------------------------------------------
 # module-level registry: the pool persists across run_cells calls
 
-_POOLS: dict[str, WorkerPool] = {}
+_POOLS: dict[tuple[str, str], WorkerPool] = {}
 
 
-def get_pool(ctx) -> WorkerPool:
-    """The process-wide persistent pool for ``ctx``'s start method."""
-    key = ctx.get_start_method()
+def get_pool(ctx, kind: str = "grid", target: Callable | None = None,
+             name_prefix: str | None = None) -> WorkerPool:
+    """The process-wide persistent pool for ``ctx``'s start method.
+
+    ``kind`` namespaces independent pools over the same start method:
+    the grid executor's task workers (``"grid"``, the default protocol)
+    and the shard router's serve workers (``"serve"``) must never share
+    processes — they speak different pipe protocols.  ``target`` and
+    ``name_prefix`` configure a newly created pool and are ignored on a
+    registry hit (a pool's protocol is fixed for its lifetime).
+    """
+    key = (ctx.get_start_method(), kind)
     pool = _POOLS.get(key)
     if pool is None or pool._owner_pid != os.getpid():
-        pool = _POOLS[key] = WorkerPool(ctx)
+        pool = _POOLS[key] = WorkerPool(
+            ctx, target=target,
+            name_prefix=name_prefix if name_prefix is not None
+            else f"repro-{kind}" if kind != "grid" else "repro-pool")
     return pool
 
 

@@ -14,24 +14,37 @@ The headline correctness property: batched results are **bit-identical**
 to serial single-sample inference, under both kernel backends and both
 PTQ modes (see :mod:`repro.serve.service` for the mechanism and
 ``tests/test_serve_differential.py`` for the proof).
+
+Scaling out, :class:`~repro.serve.ShardRouter` fans requests across N
+worker *processes* by consistent hashing on the request key, with the
+expensive read-only state (quantized weight planes, per-layer scales,
+decode-LUT tables) published once by the parent into checksummed
+shared-memory segments (:mod:`repro.serve.shm`) that workers attach
+instead of recalibrating.  The bit-identity guarantee extends across the
+process boundary — ``tests/test_shard_differential.py`` proves sharded
+results byte-equal to serial inference under every mode × backend ×
+shard-count combination.
 """
 
 from .errors import (
     DeadlineExceededError, ModelLoadError, QueueFullError, ServeError,
-    ServiceClosedError, WorkerCrashError,
+    ServiceClosedError, WorkerCrashError, error_from_entry,
 )
 from .loadgen import LoadReport, run_closed_loop, run_open_loop
-from .metrics import ServeMetrics, percentile
+from .metrics import ServeMetrics, merge_snapshots, percentile
 from .repository import ModelRepository, ServableSpec, micro_specs, zoo_specs
 from .scheduler import BatchPolicy, BatchingScheduler, ServeFuture
-from .service import InferenceService
+from .service import InferenceService, execute_batch
+from .shard import HashRing, ShardRouter
 
 __all__ = [
     "ServeError", "QueueFullError", "DeadlineExceededError",
     "ModelLoadError", "WorkerCrashError", "ServiceClosedError",
-    "ServeMetrics", "percentile",
+    "error_from_entry",
+    "ServeMetrics", "percentile", "merge_snapshots",
     "ModelRepository", "ServableSpec", "zoo_specs", "micro_specs",
     "BatchPolicy", "BatchingScheduler", "ServeFuture",
-    "InferenceService",
+    "InferenceService", "execute_batch",
+    "HashRing", "ShardRouter",
     "LoadReport", "run_closed_loop", "run_open_loop",
 ]

@@ -13,6 +13,7 @@ from __future__ import annotations
 __all__ = [
     "ServeError", "QueueFullError", "DeadlineExceededError",
     "ModelLoadError", "WorkerCrashError", "ServiceClosedError",
+    "error_from_entry",
 ]
 
 
@@ -70,3 +71,23 @@ class ServiceClosedError(ServeError):
 
     kind = "closed"
     code = 503
+
+
+#: kind -> class, for rebuilding typed errors after pipe transit
+_BY_KIND = {cls.kind: cls for cls in (
+    QueueFullError, DeadlineExceededError, ModelLoadError,
+    WorkerCrashError, ServiceClosedError, ServeError)}
+
+
+def error_from_entry(entry: dict | None) -> ServeError:
+    """The typed :class:`ServeError` a structured entry describes.
+
+    The inverse of :meth:`ServeError.to_entry`, used where an error
+    crosses a process boundary (a shard worker ships the entry over its
+    result pipe; the router rebuilds the exception so local and sharded
+    callers observe identical error types).  Unknown kinds degrade to
+    the base :class:`ServeError`.
+    """
+    info = entry.get("error", {}) if isinstance(entry, dict) else {}
+    cls = _BY_KIND.get(info.get("kind"), ServeError)
+    return cls(info.get("message", "unstructured serve failure"))

@@ -14,7 +14,7 @@ import time
 
 import numpy as np
 
-__all__ = ["ServeMetrics", "percentile"]
+__all__ = ["ServeMetrics", "percentile", "merge_snapshots"]
 
 
 def percentile(samples: list[float], q: float) -> float:
@@ -83,13 +83,20 @@ class ServeMetrics:
     # ------------------------------------------------------------------
     # reporting
     # ------------------------------------------------------------------
-    def snapshot(self) -> dict:
-        """A plain-JSON summary of everything recorded so far."""
+    def snapshot(self, samples: bool = False) -> dict:
+        """A plain-JSON summary of everything recorded so far.
+
+        With ``samples=True`` the raw latency/wait/depth reservoirs ride
+        along under a ``"samples"`` key, so a remote aggregator
+        (:func:`merge_snapshots`) can pool them and compute *exact*
+        fleet-wide percentiles — percentiles of a union cannot be
+        derived from per-process percentiles.
+        """
         with self._lock:
             elapsed = max(time.monotonic() - self.started, 1e-9)
             lat = list(self.latencies_ms)
             depths = list(self.queue_depths)
-            return {
+            out = {
                 "submitted": self.submitted,
                 "completed": self.completed,
                 "rejected": self.rejected,
@@ -113,6 +120,11 @@ class ServeMetrics:
                     sum(k * v for k, v in self.batch_sizes.items())
                     / max(sum(self.batch_sizes.values()), 1)),
             }
+            if samples:
+                out["samples"] = {"latencies_ms": lat,
+                                  "wait_ms": list(self.wait_ms),
+                                  "queue_depths": depths}
+            return out
 
     def render(self) -> str:
         """Human-readable stats block (``repro serve --stats``)."""
@@ -138,3 +150,60 @@ class ServeMetrics:
             bars = "  ".join(f"{k}:{v}" for k, v in hist.items())
             lines.append(f"  batch histo {bars}")
         return "\n".join(lines)
+
+
+def merge_snapshots(snapshots: list[dict]) -> dict:
+    """Fleet-wide aggregate of per-process :meth:`ServeMetrics.snapshot` dicts.
+
+    Counter fields (submitted/completed/rejected/expired/failed/retried
+    batches, throughput) sum exactly; batch-size histograms merge by
+    summing buckets.  Latency/wait percentiles are recomputed from the
+    pooled raw samples when every snapshot carries them
+    (``snapshot(samples=True)`` — the shard workers ship theirs over the
+    result pipe), which makes the fleet p50/p95/p99 *exact*, identical
+    to what one process recording every request would report.  When any
+    snapshot lacks samples the percentiles degrade to the max over
+    processes — an upper bound — and the result is flagged with
+    ``"percentiles_exact": False`` rather than silently pretending.
+    """
+    snapshots = [s for s in snapshots if s]
+    counters = ["submitted", "completed", "rejected", "expired", "failed",
+                "retried_batches"]
+    out: dict = {k: sum(int(s.get(k, 0)) for s in snapshots) for k in counters}
+    out["shards"] = len(snapshots)
+    out["throughput_rps"] = sum(float(s.get("throughput_rps", 0.0))
+                                for s in snapshots)
+    exact = bool(snapshots) and all("samples" in s for s in snapshots)
+    out["percentiles_exact"] = exact
+    if exact:
+        lat = [x for s in snapshots for x in s["samples"]["latencies_ms"]]
+        wait = [x for s in snapshots for x in s["samples"]["wait_ms"]]
+        depths = [x for s in snapshots for x in s["samples"]["queue_depths"]]
+        out["latency_ms"] = {"p50": percentile(lat, 50),
+                             "p95": percentile(lat, 95),
+                             "p99": percentile(lat, 99),
+                             "max": max(lat, default=0.0)}
+        out["wait_ms"] = {"p50": percentile(wait, 50),
+                          "p95": percentile(wait, 95)}
+        out["queue_depth"] = {
+            "mean": (sum(depths) / len(depths)) if depths else 0.0,
+            "max": max(depths, default=0)}
+    else:
+        def _bound(section: str, field: str) -> float:
+            return max((float(s.get(section, {}).get(field, 0.0))
+                        for s in snapshots), default=0.0)
+        out["latency_ms"] = {f: _bound("latency_ms", f)
+                             for f in ("p50", "p95", "p99", "max")}
+        out["wait_ms"] = {f: _bound("wait_ms", f) for f in ("p50", "p95")}
+        out["queue_depth"] = {"mean": _bound("queue_depth", "mean"),
+                              "max": int(_bound("queue_depth", "max"))}
+    hist: dict[str, int] = {}
+    for s in snapshots:
+        for k, v in s.get("batch_size_histogram", {}).items():
+            hist[k] = hist.get(k, 0) + int(v)
+    out["batch_size_histogram"] = {k: hist[k]
+                                   for k in sorted(hist, key=int)}
+    total = sum(hist.values())
+    out["mean_batch_size"] = (sum(int(k) * v for k, v in hist.items()) / total
+                              if total else 0.0)
+    return out

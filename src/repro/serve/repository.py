@@ -37,6 +37,7 @@ miss before building/calibrating).
 
 from __future__ import annotations
 
+import gc
 import os
 import re
 import threading
@@ -233,12 +234,18 @@ def _extract_scales(model: Module) -> dict:
     return scales
 
 
-def _apply_scales(model: Module, config: PTQConfig, scales: dict) -> Module:
+def _apply_scales(model: Module, config: PTQConfig, scales: dict,
+                  planes: dict[str, np.ndarray] | None = None) -> Module:
     """Rebuild quantizers (and engines) from persisted scales, bit-identically.
 
     Mirrors the attach loop of :func:`repro.quant.ptq.quantize_model`;
     raises ``KeyError`` when the artifact's layer set does not match the
     model (the caller treats that as a stale artifact and recalibrates).
+    ``planes`` optionally carries precomputed quantized weight planes
+    (shared-memory views published by a calibrate-once parent); a layer
+    with a plane installs it into the quantize cache instead of paying
+    the quantization — the plane was produced by this same code in the
+    publisher, so the installed bytes equal the computed ones.
     """
     model.eval()
     names = [name for name, _ in quantized_layers(model)]
@@ -254,7 +261,10 @@ def _apply_scales(model: Module, config: PTQConfig, scales: dict) -> Module:
             config.afmt, axis=None, scale=np.asarray(entry["input"]),
             gain=config.gain_override, name=name)
         layer.observing = False
-        layer.weight_quant.quantize_cached(layer.weight)
+        if planes is not None and name in planes:
+            layer.weight_quant.install_cached(layer.weight, planes[name])
+        else:
+            layer.weight_quant.quantize_cached(layer.weight)
         if config.mode == "engine":
             from ..engine import build_layer_engine
             layer.engine_exec = build_layer_engine(
@@ -282,13 +292,22 @@ class ModelRepository:
     cache_dir:
         Where calibration artifacts live (default ``$REPRO_SERVE_CACHE``
         or ``.serve_cache/``); ``persist=False`` disables the disk layer.
+    plane_manifest:
+        ``model_key -> shared-memory segment name`` published by a
+        calibrate-once parent (see :mod:`repro.serve.shm`).  A cache
+        miss first tries to *attach*: validate the segment, restore the
+        scales and install the published quantized weight planes — at
+        attach cost, not calibration cost.  A missing, corrupt or stale
+        segment falls back to the disk artifact / recalibration path
+        with a one-line warning (attach-or-recalibrate, never crash).
     """
 
     def __init__(self, specs: dict[str, ServableSpec] | None = None, *,
                  calib_n: int = 64, calib_seed: int = 0,
                  observer: str = "max", per_channel: bool = True,
                  gain_override: float | None = None,
-                 cache_dir: Path | str | None = None, persist: bool = True):
+                 cache_dir: Path | str | None = None, persist: bool = True,
+                 plane_manifest: dict[str, str] | None = None):
         self.specs = specs if specs is not None else zoo_specs()
         self.calib_n = calib_n
         self.calib_seed = calib_seed
@@ -299,9 +318,13 @@ class ModelRepository:
         self.cache_dir = Path(
             cache_dir if cache_dir is not None
             else os.environ.get("REPRO_SERVE_CACHE", ".serve_cache"))
+        self.plane_manifest = dict(plane_manifest or {})
         self.calibrations = 0     # cold calibration runs (test observability)
         self.artifact_hits = 0    # models rebuilt from a persisted artifact
+        self.shm_attaches = 0     # models rebuilt from a shared-memory plane
+        self.shm_rejects = 0      # plane attaches that failed validation
         self._models: dict[str, tuple[Module, ServableSpec]] = {}
+        self._segments: list = []     # attached segments kept alive for views
         self._lock = threading.Lock()
         self._key_locks: dict[str, threading.Lock] = {}
 
@@ -380,6 +403,9 @@ class ModelRepository:
         net = spec.build()
         config = self._ptq_config(fmt, mode)
         cache_key = self.cache_key(model, fmt, mode)
+        attached = self._attach_plane(net, key, config, cache_key)
+        if attached is not None:
+            return attached, spec
         path = self.artifact_path(model, fmt, mode)
         if self.persist:
             payload, _status = load_json(path)
@@ -404,9 +430,89 @@ class ModelRepository:
                       name=f"serve-{model}")
         return net, spec
 
+    def _attach_plane(self, net: Module, key: str, config: PTQConfig,
+                      cache_key: dict) -> Module | None:
+        """Rebuild ``net`` from a published shared-memory plane, or None.
+
+        Any failure — missing segment, corrupt header, checksum or
+        schema mismatch, stale cache key, wrong layer set — prints one
+        warning line and returns None so the caller recalibrates.
+        """
+        seg_name = self.plane_manifest.get(key)
+        if seg_name is None:
+            return None
+        from . import shm
+        try:
+            seg = shm.attach(seg_name)
+        except shm.ShmIntegrityError as exc:
+            self.shm_rejects += 1
+            print(f"serve: plane segment for {key} rejected ({exc}); "
+                  f"recalibrating locally", flush=True)
+            return None
+        if seg.meta.get("key") != cache_key:
+            self.shm_rejects += 1
+            print(f"serve: plane segment for {key} has a stale cache key; "
+                  f"recalibrating locally", flush=True)
+            seg.close()
+            return None
+        planes = {name[len("plane/"):]: seg.array(name)
+                  for name in seg.array_names() if name.startswith("plane/")}
+        try:
+            with no_grad():
+                _apply_scales(net, config, seg.meta["scales"], planes=planes)
+        except KeyError:
+            self.shm_rejects += 1
+            print(f"serve: plane segment for {key} does not match the model "
+                  f"layer set; recalibrating locally", flush=True)
+            seg.close()
+            return None
+        self.shm_attaches += 1
+        self._segments.append(seg)   # keep the mapping alive for the views
+        return net
+
+    def export_plane(self, model: str, fmt: str,
+                     mode: str = "fakequant") -> tuple[dict, dict]:
+        """The ``(meta, arrays)`` shared-memory payload for one key.
+
+        Resolves (calibrating if needed) the model, then packages its
+        cache key, per-layer scales and quantized weight planes for
+        :func:`repro.serve.shm.publish`.  A worker repository attaches
+        the published segment through ``plane_manifest`` and serves
+        byte-identically without recalibrating.
+        """
+        net, _spec = self.resolve(model, fmt, mode)
+        meta = {"key": self.cache_key(model, fmt, mode),
+                "scales": _extract_scales(net)}
+        arrays: dict[str, np.ndarray] = {}
+        with no_grad():
+            for name, layer in quantized_layers(net):
+                if layer.weight_quant is None:
+                    continue
+                arrays[f"plane/{name}"] = layer.weight_quant.quantize_cached(
+                    layer.weight)
+        return meta, arrays
+
+    def release(self) -> None:
+        """Drop resident models and detach attached plane segments.
+
+        Quantizer caches hold zero-copy views into the attached
+        segments, so the models must go first (and a collection pass
+        runs to free any cyclic object graphs) for the segment close to
+        be clean — otherwise the interpreter prints exported-pointer
+        noise when the mappings are finalised.
+        """
+        with self._lock:
+            self._models.clear()
+        gc.collect()
+        for seg in self._segments:
+            seg.close()
+        self._segments.clear()
+
     def stats(self) -> dict:
         """Observability counters (resident models, cold/warm loads)."""
         with self._lock:
             resident = sorted(self._models)
         return {"resident": resident, "calibrations": self.calibrations,
-                "artifact_hits": self.artifact_hits}
+                "artifact_hits": self.artifact_hits,
+                "shm_attaches": self.shm_attaches,
+                "shm_rejects": self.shm_rejects}

@@ -34,7 +34,29 @@ from .metrics import ServeMetrics
 from .repository import ModelRepository
 from .scheduler import BatchPolicy, BatchingScheduler, ServeFuture
 
-__all__ = ["InferenceService"]
+__all__ = ["InferenceService", "execute_batch"]
+
+
+def execute_batch(repository: ModelRepository, key: str,
+                  inputs_list: list) -> list[np.ndarray]:
+    """Run one batched forward for ``key`` over a repository.
+
+    This is *the* data path of the differential guarantee — the
+    in-process service's scheduler workers, the shard workers'
+    schedulers and the serial reference all call this one function, so
+    any two deployments serving the same repository state produce
+    byte-identical outputs.
+    """
+    model_name, fmt, mode = key.split("|")
+    net, spec = repository.resolve(model_name, fmt, mode)
+    batch = spec.collate(inputs_list)
+    with no_grad(), batch_invariant_matmul():
+        out = np.asarray(spec.run(net, batch))
+    if out.shape[0] != len(inputs_list):
+        raise RuntimeError(
+            f"spec {spec.name!r} returned {out.shape[0]} outputs "
+            f"for {len(inputs_list)} requests")
+    return [out[i] for i in range(out.shape[0])]
 
 
 class InferenceService:
@@ -52,16 +74,7 @@ class InferenceService:
     # batched execution (scheduler worker side)
     # ------------------------------------------------------------------
     def _execute(self, key: str, inputs_list: list) -> list[np.ndarray]:
-        model_name, fmt, mode = key.split("|")
-        net, spec = self.repository.resolve(model_name, fmt, mode)
-        batch = spec.collate(inputs_list)
-        with no_grad(), batch_invariant_matmul():
-            out = np.asarray(spec.run(net, batch))
-        if out.shape[0] != len(inputs_list):
-            raise RuntimeError(
-                f"spec {spec.name!r} returned {out.shape[0]} outputs "
-                f"for {len(inputs_list)} requests")
-        return [out[i] for i in range(out.shape[0])]
+        return execute_batch(self.repository, key, inputs_list)
 
     # ------------------------------------------------------------------
     # client API

@@ -1,0 +1,717 @@
+"""Multi-process sharded serving: a consistent-hash router over warm workers.
+
+:class:`ShardRouter` fans requests out to N worker *processes*, each
+hosting a full :class:`~repro.serve.InferenceService` (batching
+scheduler included) behind one duplex pipe.  The pieces:
+
+* **Consistent hashing** — requests are routed by their canonical
+  ``model|format|mode`` key through a :class:`HashRing` (SHA-256 virtual
+  nodes), so every request for one key lands on one shard.  That keeps
+  the per-key batching win intact across the fan-out and makes routing
+  stable: adding a shard remaps only the keys of the ring arcs it takes
+  over.
+* **Warm processes** — shard workers are leased from the resilience
+  layer's persistent pool (:func:`repro.resilience.pool.get_pool`,
+  ``kind="serve"``) with a dedicated pipe protocol
+  (:func:`_shard_worker_main`).  The pool's spawn/respawn/pipe-EOF
+  machinery is reused verbatim: a dead worker is detected by its pipe
+  raising ``EOFError`` and is respawned *in its slot*, re-initialised,
+  and handed back its in-flight requests.
+* **Calibrate once, attach everywhere** — the router's parent repository
+  calibrates each preheated key once, then publishes the per-layer
+  scales and quantized weight planes (plus per-format decode-LUT
+  tables) into checksummed shared-memory segments
+  (:mod:`repro.serve.shm`).  Workers attach instead of recalibrating; a
+  corrupt or stale segment demotes to local recalibration with a
+  one-line warning, never a crash.
+* **Exactly-once replies** — every request holds a router-side pending
+  record keyed by a sequence number.  A reply retires the record;
+  replies for unknown sequence numbers (a duplicate after respawn
+  redispatch, a straggler after deadline expiry) are dropped.  On
+  worker death the router redispatches only the still-pending,
+  still-live requests for that slot — a request whose reply was already
+  collected is never re-executed, and a redispatched request's injected
+  fault action is *not* re-shipped (parent-fired fault budgets are
+  consumed once).
+
+**The differential guarantee, sharded.**  A sharded result is
+byte-identical to serial single-sample inference in the parent process,
+under both PTQ modes and both kernel backends.  The argument composes
+from proven pieces: workers run the same :func:`repro.serve.service.execute_batch`
+data path under the batch-invariant matmul mode (batched == serial,
+proven by ``tests/test_serve_differential.py``); attached scale/plane
+segments round-trip floats exactly (JSON ``repr`` serialisation, SHA-256
+verified) and the planes were computed by the publisher running the very
+same quantization code; LUT tables are pure functions of the format; and
+the active kernel backend is shipped with every request, so a worker
+never serves under a different backend than its caller.
+``tests/test_shard_differential.py`` checks the composition end to end.
+
+Fault injection: the router fires ``shard:req/KEY`` faults in the
+*parent* (so counted clauses survive worker respawns) and ships the
+action for the worker to enact — ``kill`` exercises the respawn +
+redispatch path, ``crash`` surfaces as a structured worker-crash reply.
+Segment corruption is injected at publish time (``shard:segment/KEY``,
+see :mod:`repro.serve.shm`).
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import itertools
+import json
+import multiprocessing
+import os
+import queue
+import signal
+import threading
+import time
+
+from .. import kernels
+from ..formats import get_format
+from ..resilience import faults
+from ..resilience import pool as pool_mod
+from . import shm
+from .errors import (
+    DeadlineExceededError, ModelLoadError, QueueFullError, ServeError,
+    ServiceClosedError, WorkerCrashError, error_from_entry,
+)
+from .metrics import ServeMetrics, merge_snapshots
+from .repository import ModelRepository, micro_specs, zoo_specs
+from .scheduler import BatchPolicy, ServeFuture
+from .service import InferenceService, execute_batch
+
+__all__ = ["HashRing", "ShardRouter"]
+
+#: how long past a request's deadline the router waits for a (possibly
+#: hung) worker before expiring the pending record itself
+SWEEP_GRACE_S = 1.0
+
+#: how long a worker's shipper thread waits on one scheduler future
+#: before declaring the request lost inside the worker
+WORKER_RESULT_TIMEOUT_S = 300.0
+
+
+class HashRing:
+    """Consistent hashing of string keys onto ``slots`` shard indices.
+
+    Each slot contributes ``vnodes`` virtual points (SHA-256 of
+    ``shard-{slot}-vnode-{v}``) on a 64-bit ring; a key maps to the
+    owner of the first point at or after its own hash.  Virtual nodes
+    smooth the load split, and the construction is deterministic — every
+    process computes the identical ring, so tests can predict placement.
+    """
+
+    def __init__(self, slots: int, vnodes: int = 64):
+        if slots < 1 or vnodes < 1:
+            raise ValueError("slots and vnodes must be >= 1")
+        self.slots = slots
+        self.vnodes = vnodes
+        points = sorted(
+            (self._hash(f"shard-{slot}-vnode-{v}"), slot)
+            for slot in range(slots) for v in range(vnodes))
+        self._points = [p for p, _ in points]
+        self._owners = [s for _, s in points]
+
+    @staticmethod
+    def _hash(token: str) -> int:
+        return int.from_bytes(hashlib.sha256(token.encode()).digest()[:8],
+                              "big")
+
+    def lookup(self, key: str) -> int:
+        """The shard slot owning ``key``."""
+        idx = bisect.bisect_right(self._points, self._hash(key))
+        return self._owners[idx % len(self._points)]
+
+
+# ----------------------------------------------------------------------
+# worker side
+# ----------------------------------------------------------------------
+
+
+def _build_specs(desc: dict) -> dict:
+    """Rebuild a servable-spec map from its plain-data descriptor.
+
+    Specs hold closures and cannot cross the pipe; the router ships
+    ``{"kind": "micro"}`` or ``{"kind": "zoo", "names": [...]}`` and the
+    worker reconstructs the identical map locally.
+    """
+    kind = desc.get("kind", "micro")
+    if kind == "micro":
+        return micro_specs()
+    if kind == "zoo":
+        return zoo_specs(desc.get("names"))
+    raise ValueError(f"unknown spec source kind {kind!r}")
+
+
+def _release_state(state: dict) -> None:
+    """Tear down a worker's service and its shared-memory attachments.
+
+    Order matters for clean finalisation: stop the service, drop the
+    kernel cache (its LUT tables are views into attached segments),
+    release the repository (plane views), then close the segments.
+    """
+    service, state["service"] = state["service"], None
+    state["token"] = None
+    if service is not None:
+        service.close(drain=False)
+    kernels.clear_kernel_cache()
+    from ..engine import clear_planes_cache
+    clear_planes_cache()   # decode planes can hold views of attached LUTs
+    if service is not None:
+        service.repository.release()
+    for seg in state["segments"]:
+        seg.close()
+    state["segments"] = []
+
+
+def _init_service(state: dict, cfg: dict) -> tuple[str | None, dict]:
+    """(Re)build the worker's service from a router config; returns
+    ``(error_or_None, info)`` for the ``ready`` reply.
+
+    An unchanged config reuses the live service — the warm-pool win: a
+    second router run with identical state pays zero rebuild cost.
+    """
+    token = json.dumps(cfg, sort_keys=True, default=repr)
+    if state["service"] is not None and token == state["token"]:
+        repo = state["service"].repository
+        return None, {"pid": os.getpid(), "reused": True,
+                      "shm_attaches": repo.shm_attaches}
+    if state["service"] is not None:
+        _release_state(state)
+    try:
+        for fmt_name, seg_name in cfg.get("lut_manifest", {}).items():
+            try:
+                seg = shm.attach(seg_name)
+            except shm.ShmIntegrityError as exc:
+                print(f"shard worker: LUT segment for {fmt_name} rejected "
+                      f"({exc}); building locally", flush=True)
+                continue
+            kernels.install_tables(seg.meta, seg.arrays())
+            state["segments"].append(seg)
+        repository = ModelRepository(
+            _build_specs(cfg.get("specs", {"kind": "micro"})),
+            plane_manifest=cfg.get("plane_manifest"),
+            **cfg.get("repository", {}))
+        state["service"] = InferenceService(
+            repository, BatchPolicy(**cfg.get("policy", {})))
+        state["token"] = token
+    except Exception as exc:  # lint: allow[broad-except] init failures ship to the router as a structured ready error
+        return f"{type(exc).__name__}: {exc}", {"pid": os.getpid()}
+    return None, {"pid": os.getpid(), "reused": False}
+
+
+def _shard_worker_main(conn) -> None:
+    """Shard worker loop: one batching service behind one duplex pipe.
+
+    Messages from the router: ``("init", cfg)``, ``("req", seq, model,
+    fmt, mode, inputs, deadline_ms, backend, fault_action, fault_env)``,
+    ``("stats", seq)``, ``("stop",)``.  Replies: ``("ready", error,
+    info)`` and ``("res", seq, status, payload, extra)`` with status
+    ``ok`` / ``err`` / ``stats``.  Every ``req`` produces exactly one
+    ``res`` (admission errors reply immediately; accepted requests reply
+    from the shipper thread when their future completes).  SIGINT is
+    ignored — on Ctrl-C the router's process owns teardown.
+    """
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    state: dict = {"service": None, "token": None, "segments": []}
+    send_lock = threading.Lock()
+    ship_q: queue.Queue = queue.Queue()
+
+    def _send(msg) -> None:
+        with send_lock:
+            try:
+                conn.send(msg)
+            except (OSError, ValueError):  # router gone; nothing to do
+                pass
+
+    def _shipper() -> None:
+        # FIFO over accepted requests: replies leave in submission order,
+        # matched router-side by sequence number regardless
+        while True:
+            item = ship_q.get()
+            if item is None:
+                return
+            seq, fut, t0 = item
+            try:
+                value = fut.result(timeout=WORKER_RESULT_TIMEOUT_S)
+            except ServeError as exc:
+                _send(("res", seq, "err", exc.to_entry(), {}))
+            except Exception as exc:  # lint: allow[broad-except] any scheduler failure must still produce the one reply
+                err = WorkerCrashError(
+                    f"shard worker lost the request: "
+                    f"{type(exc).__name__}: {exc}")
+                _send(("res", seq, "err", err.to_entry(), {}))
+            else:
+                _send(("res", seq, "ok", value,
+                       {"latency_ms": (time.monotonic() - t0) * 1e3}))
+
+    threading.Thread(target=_shipper, name="shard-shipper",
+                     daemon=True).start()
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            break
+        kind = msg[0]
+        if kind == "stop":
+            break
+        if kind == "init":
+            error, info = _init_service(state, msg[1])
+            _send(("ready", error, info))
+            continue
+        if kind == "stats":
+            service = state["service"]
+            payload = None if service is None else {
+                "pid": os.getpid(),
+                "metrics": service.metrics.snapshot(samples=True),
+                "repository": service.repository.stats(),
+                "queue_depth": service.scheduler.queue_depth(),
+            }
+            _send(("res", msg[1], "stats", payload, {}))
+            continue
+        (_, seq, model, fmt, mode, inputs, deadline_ms, backend,
+         fault_action, fault_env) = msg
+        if fault_env is None:
+            os.environ.pop(faults.ENV_VAR, None)
+        else:
+            os.environ[faults.ENV_VAR] = fault_env
+        service = state["service"]
+        try:
+            if fault_action is not None:
+                # parent-fired (counts survive respawns), worker-enacted
+                faults.enact(fault_action, "shard",
+                             f"req/{model}|{fmt}|{mode}")
+            if service is None:
+                raise ModelLoadError("shard worker has no initialised service")
+            kernels.set_backend(backend)
+            fut = service.submit(model, inputs, fmt=fmt, mode=mode,
+                                 deadline_ms=deadline_ms)
+        except ServeError as exc:
+            _send(("res", seq, "err", exc.to_entry(), {}))
+        except Exception as exc:  # lint: allow[broad-except] injected crashes and submit failures become structured replies
+            err = WorkerCrashError(
+                f"shard submit failed: {type(exc).__name__}: {exc}")
+            _send(("res", seq, "err", err.to_entry(), {}))
+        else:
+            ship_q.put((seq, fut, time.monotonic()))
+    ship_q.put(None)
+    _release_state(state)
+
+
+# ----------------------------------------------------------------------
+# router side
+# ----------------------------------------------------------------------
+
+
+class _Pending:
+    """Router-side record of one in-flight request (or stats ask)."""
+
+    __slots__ = ("seq", "slot", "kind", "key", "payload", "future",
+                 "t_submit", "deadline")
+
+    def __init__(self, seq: int, slot: int, kind: str, key: str, payload,
+                 deadline: float | None):
+        self.seq = seq
+        self.slot = slot
+        self.kind = kind              # "req" | "stats"
+        self.key = key
+        self.payload = payload        # (model, fmt, mode, inputs, backend)
+        self.future = ServeFuture()
+        self.t_submit = time.monotonic()
+        self.deadline = deadline      # absolute monotonic, or None
+
+
+class ShardRouter:
+    """Consistent-hash fan-out over N shard worker processes.
+
+    Exposes the same client surface as
+    :class:`~repro.serve.InferenceService` (``submit`` / ``infer`` /
+    ``infer_serial`` / ``metrics`` / ``repository`` / ``stats``), so the
+    load generator and the differential tests drive either
+    interchangeably.
+
+    Parameters
+    ----------
+    shards:
+        Worker process count (ring slots).
+    specs:
+        ``"micro"`` (seeded micro models) or ``"zoo"`` (pretrained zoo;
+        restrict with ``zoo_names``) — shipped as a plain descriptor and
+        rebuilt inside each worker, since specs hold closures.
+    preheat:
+        ``(model, fmt, mode)`` keys to calibrate in the parent and
+        publish as shared-memory plane segments (plus one decode-LUT
+        segment per distinct format); non-preheated keys calibrate
+        inside whichever worker first serves them (deterministically —
+        calibration streams are seeded, so results stay bit-identical).
+    policy:
+        Per-worker :class:`BatchPolicy`; ``policy.queue_depth`` also
+        bounds the router's per-shard in-flight window (admission
+        backpressure raises :class:`QueueFullError`).
+    persist / cache_dir / calib_n / calib_seed / observer / per_channel /
+    gain_override:
+        Forwarded to every :class:`ModelRepository` (parent and workers)
+        so all of them resolve identical state.
+    """
+
+    def __init__(self, shards: int = 2, specs: str = "micro", *,
+                 zoo_names: list[str] | None = None,
+                 preheat: list[tuple] | tuple = (),
+                 policy: BatchPolicy | None = None,
+                 calib_n: int = 64, calib_seed: int = 0,
+                 observer: str = "max", per_channel: bool = True,
+                 gain_override: float | None = None,
+                 persist: bool = False, cache_dir=None,
+                 start_method: str | None = None, vnodes: int = 64,
+                 init_timeout: float = 120.0):
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        if specs not in ("micro", "zoo"):
+            raise ValueError(f"specs must be 'micro' or 'zoo', got {specs!r}")
+        self.policy = policy or BatchPolicy()
+        self.metrics = ServeMetrics()
+        self.ring = HashRing(shards, vnodes)
+        self._specs_desc = (
+            {"kind": "micro"} if specs == "micro"
+            else {"kind": "zoo",
+                  "names": None if zoo_names is None else list(zoo_names)})
+        self._repo_cfg: dict = {
+            "calib_n": calib_n, "calib_seed": calib_seed,
+            "observer": observer, "per_channel": per_channel,
+            "gain_override": gain_override, "persist": persist}
+        if cache_dir is not None:
+            self._repo_cfg["cache_dir"] = str(cache_dir)
+        self.repository = ModelRepository(_build_specs(self._specs_desc),
+                                          plane_manifest=None,
+                                          **self._repo_cfg)
+        self.plane_manifest: dict[str, str] = {}
+        self.lut_manifest: dict[str, str] = {}
+        self._published: list[shm.PublishedSegment] = []
+        for entry in preheat:
+            model, fmt, mode = entry if len(entry) == 3 else (*entry,
+                                                             "fakequant")
+            self._publish_key(model, fmt, mode)
+
+        ctx = (multiprocessing.get_context(start_method) if start_method
+               else multiprocessing.get_context())
+        self._pool = pool_mod.get_pool(ctx, kind="serve",
+                                       target=_shard_worker_main,
+                                       name_prefix="repro-shard")
+        self._workers = self._pool.lease(shards)
+        self._slot_locks = [threading.Lock() for _ in range(shards)]
+        self._lock = threading.Lock()
+        self._seq = itertools.count()
+        self._pending: dict[int, _Pending] = {}
+        self._closed = False
+        self._stop = threading.Event()
+        self.respawns = 0
+
+        cfg = self.worker_config()
+        for worker in self._workers:
+            worker.conn.send(("init", cfg))
+        for slot, worker in enumerate(self._workers):
+            if not worker.conn.poll(init_timeout):
+                raise ModelLoadError(f"shard {slot} did not initialise "
+                                     f"within {init_timeout}s")
+            msg = worker.conn.recv()
+            if msg[0] != "ready" or msg[1] is not None:
+                raise ModelLoadError(
+                    f"shard {slot} failed to initialise: {msg[1]}")
+        self._collector = threading.Thread(
+            target=self._collect, name="shard-collector", daemon=True)
+        self._collector.start()
+
+    # -- shared-memory publication --------------------------------------
+    def _publish_key(self, model: str, fmt: str, mode: str) -> None:
+        key = self.repository.model_key(model, fmt, mode)
+        if key not in self.plane_manifest:
+            meta, arrays = self.repository.export_plane(model, fmt, mode)
+            seg = shm.publish(f"plane/{key}", meta, arrays)
+            self.plane_manifest[key] = seg.name
+            self._published.append(seg)
+        fmt_name = get_format(fmt).name
+        if fmt_name not in self.lut_manifest:
+            lmeta, larrays = kernels.export_tables(get_format(fmt))
+            lseg = shm.publish(f"lut/{fmt_name}", lmeta, larrays)
+            self.lut_manifest[fmt_name] = lseg.name
+            self._published.append(lseg)
+
+    def worker_config(self) -> dict:
+        """The plain-data init config every shard worker receives."""
+        return {"specs": dict(self._specs_desc),
+                "repository": dict(self._repo_cfg),
+                "plane_manifest": dict(self.plane_manifest),
+                "lut_manifest": dict(self.lut_manifest),
+                "policy": {"max_batch": self.policy.max_batch,
+                           "max_wait_ms": self.policy.max_wait_ms,
+                           "queue_depth": self.policy.queue_depth,
+                           "workers": self.policy.workers,
+                           "retries": self.policy.retries}}
+
+    # -- client API ------------------------------------------------------
+    def submit(self, model: str, inputs, fmt: str = "MERSIT(8,2)",
+               mode: str = "fakequant",
+               deadline_ms: float | None = None) -> ServeFuture:
+        """Route one request to its shard; returns a completion future."""
+        key = self.repository.model_key(model, fmt, mode)
+        slot = self.ring.lookup(key)
+        spec = faults.fire("shard", f"req/{key}")
+        fault_action = None if spec is None else spec.action
+        backend = kernels.get_backend()
+        now = time.monotonic()
+        with self._lock:
+            if self._closed:
+                raise ServiceClosedError("shard router is closed")
+            depth = sum(1 for p in self._pending.values()
+                        if p.slot == slot and p.kind == "req")
+            if depth >= self.policy.queue_depth:
+                self.metrics.on_reject()
+                raise QueueFullError(
+                    f"shard {slot} at capacity ({self.policy.queue_depth} "
+                    f"requests in flight)")
+            pending = _Pending(
+                seq=next(self._seq), slot=slot, kind="req", key=key,
+                payload=(model, fmt, mode, inputs, backend),
+                deadline=None if deadline_ms is None
+                else now + deadline_ms / 1000.0)
+            self._pending[pending.seq] = pending
+            self.metrics.on_submit(depth + 1)
+        self._dispatch(pending, fault_action)
+        return pending.future
+
+    def infer(self, model: str, inputs, fmt: str = "MERSIT(8,2)",
+              mode: str = "fakequant", deadline_ms: float | None = None,
+              timeout: float | None = 60.0):
+        """Submit and block for the result (convenience wrapper)."""
+        return self.submit(model, inputs, fmt, mode,
+                           deadline_ms=deadline_ms).result(timeout)
+
+    def infer_serial(self, model: str, inputs, fmt: str = "MERSIT(8,2)",
+                     mode: str = "fakequant"):
+        """Serial single-sample reference in the router's own process.
+
+        Runs the same :func:`execute_batch` data path over the parent
+        repository — the ground truth every sharded result must equal
+        byte-for-byte.
+        """
+        key = self.repository.model_key(model, fmt, mode)
+        return execute_batch(self.repository, key, [inputs])[0]
+
+    # -- dispatch / collection -------------------------------------------
+    def _dispatch(self, pending: _Pending,
+                  fault_action: str | None = None) -> None:
+        model, fmt, mode, inputs, backend = pending.payload
+        deadline_ms = (None if pending.deadline is None else
+                       max((pending.deadline - time.monotonic()) * 1e3, 0.0))
+        msg = ("req", pending.seq, model, fmt, mode, inputs, deadline_ms,
+               backend, fault_action, os.environ.get(faults.ENV_VAR))
+        with self._slot_locks[pending.slot]:
+            try:
+                self._workers[pending.slot].conn.send(msg)
+            except (OSError, ValueError):
+                pass  # dead pipe: the collector's EOF path revives the
+                #       slot and redispatches everything still pending
+
+    def _collect(self) -> None:
+        while not self._stop.is_set():
+            conn_slots = {w.conn: slot
+                          for slot, w in enumerate(self._workers)}
+            for conn in pool_mod.wait(list(conn_slots), 0.2):
+                slot = conn_slots[conn]
+                try:
+                    msg = conn.recv()
+                except (EOFError, OSError):
+                    self._revive(slot, conn)
+                    continue
+                self._handle(msg)
+            self._sweep()
+
+    def _handle(self, msg) -> None:
+        kind = msg[0]
+        if kind == "ready":
+            if msg[1] is not None:
+                print(f"shard worker re-init failed: {msg[1]}", flush=True)
+            return
+        if kind != "res":  # pragma: no cover - unknown message
+            return
+        _, seq, status, payload, _extra = msg
+        with self._lock:
+            pending = self._pending.pop(seq, None)
+        if pending is None:
+            return  # late reply for a retired request: dropped (exactly-once)
+        if status == "ok":
+            pending.future._complete(payload)
+            self.metrics.on_complete(
+                (time.monotonic() - pending.t_submit) * 1e3)
+        elif status == "stats":
+            pending.future._complete(payload)
+        else:
+            err = error_from_entry(payload)
+            pending.future._fail(err)
+            if isinstance(err, DeadlineExceededError):
+                self.metrics.on_expire()
+            else:
+                self.metrics.on_fail()
+
+    def _sweep(self) -> None:
+        """Expire pendings a hung worker never answered (deadline + grace)."""
+        now = time.monotonic()
+        with self._lock:
+            expired = [p for p in self._pending.values()
+                       if p.kind == "req" and p.deadline is not None
+                       and now > p.deadline + SWEEP_GRACE_S]
+            for p in expired:
+                del self._pending[p.seq]
+        for p in expired:
+            p.future._fail(DeadlineExceededError(
+                "deadline expired with no reply from the shard worker"))
+            self.metrics.on_expire()
+
+    def _revive(self, slot: int, dead_conn) -> None:
+        """Respawn a dead shard in its slot and redispatch its pendings."""
+        with self._slot_locks[slot]:
+            worker = self._workers[slot]
+            if worker.conn is not dead_conn:
+                return  # already revived
+            replacement = self._pool.respawn(worker)
+            self._workers[slot] = replacement
+            self.respawns += 1
+            try:
+                replacement.conn.send(("init", self.worker_config()))
+            except (OSError, ValueError):  # pragma: no cover - died instantly
+                return
+        with self._lock:
+            todo = sorted((p for p in self._pending.values()
+                           if p.slot == slot), key=lambda p: p.seq)
+        now = time.monotonic()
+        for p in todo:
+            if p.kind != "req":
+                with self._lock:
+                    self._pending.pop(p.seq, None)
+                p.future._complete(None)   # stats ask died with the worker
+            elif p.deadline is not None and now >= p.deadline:
+                with self._lock:
+                    self._pending.pop(p.seq, None)
+                p.future._fail(DeadlineExceededError(
+                    "deadline expired during shard respawn"))
+                self.metrics.on_expire()
+            else:
+                # the pipe delivers the init before these, and the fault
+                # action is deliberately not re-shipped
+                self._dispatch(p)
+
+    # -- observability ---------------------------------------------------
+    def _ask_stats(self, slot: int) -> ServeFuture:
+        with self._lock:
+            pending = _Pending(seq=next(self._seq), slot=slot, kind="stats",
+                               key="", payload=None, deadline=None)
+            self._pending[pending.seq] = pending
+        with self._slot_locks[slot]:
+            try:
+                self._workers[slot].conn.send(("stats", pending.seq))
+            except (OSError, ValueError):
+                pass
+        return pending.future
+
+    def stats(self, timeout: float = 30.0) -> dict:
+        """Fleet-wide stats: exact merged percentiles + per-shard detail.
+
+        Each worker ships its metrics snapshot *with raw samples* over
+        the result pipe; :func:`merge_snapshots` pools them, so the
+        fleet p50/p95/p99 equal what a single process observing every
+        request would report.  Per-shard entries keep their queue depth
+        and counters (samples are stripped after merging).
+        """
+        futures = [self._ask_stats(slot)
+                   for slot in range(len(self._workers))]
+        per_shard = []
+        for slot, fut in enumerate(futures):
+            try:
+                snap = fut.result(timeout)
+            except Exception:  # lint: allow[broad-except] a dead shard reports as missing, not a stats crash
+                snap = None
+            per_shard.append({"slot": slot, "pid": self._workers[slot].pid,
+                              "stats": snap})
+        fleet = merge_snapshots([e["stats"]["metrics"] for e in per_shard
+                                 if e["stats"]])
+        for e in per_shard:   # samples served their purpose; keep output lean
+            if e["stats"]:
+                e["stats"]["metrics"].pop("samples", None)
+        return {"shards": len(self._workers),
+                "respawns": self.respawns,
+                "router": self.metrics.snapshot(),
+                "fleet": fleet,
+                "per_shard": per_shard,
+                "repository": self.repository.stats(),
+                "published_segments": shm.owned_segments()}
+
+    def render_stats(self) -> str:
+        """Human-readable fleet block (``repro serve --stats --shards N``)."""
+        s = self.stats()
+        fleet = s["fleet"]
+        exact = "exact" if fleet.get("percentiles_exact") else "upper-bound"
+        lines = [
+            f"shard fleet  {s['shards']} shards  {s['respawns']} respawns",
+            f"  requests    submitted {fleet['submitted']}"
+            f"  completed {fleet['completed']}  rejected {fleet['rejected']}"
+            f"  expired {fleet['expired']}  failed {fleet['failed']}",
+            f"  latency ms  p50 {fleet['latency_ms']['p50']:.2f}"
+            f"  p95 {fleet['latency_ms']['p95']:.2f}"
+            f"  p99 {fleet['latency_ms']['p99']:.2f}  ({exact})",
+            f"  batches     mean size {fleet['mean_batch_size']:.2f}",
+        ]
+        for e in s["per_shard"]:
+            st = e["stats"]
+            if st is None:
+                lines.append(f"  shard {e['slot']}  pid {e['pid']}  (no reply)")
+                continue
+            m = st["metrics"]
+            rep = st["repository"]
+            lines.append(
+                f"  shard {e['slot']}  pid {e['pid']}"
+                f"  queue {st['queue_depth']}"
+                f"  completed {m['completed']}"
+                f"  shm attaches {rep['shm_attaches']}"
+                f"  calibrations {rep['calibrations']}")
+        return "\n".join(lines)
+
+    # -- lifecycle -------------------------------------------------------
+    def close(self, drain: bool = True, timeout: float = 30.0) -> None:
+        """Stop routing and unlink published segments (workers stay warm).
+
+        ``drain`` waits for in-flight requests before teardown; anything
+        still pending afterwards fails with a structured
+        :class:`ServiceClosedError`.  The leased worker processes are
+        *not* killed — they stay in the persistent pool for the next
+        router (an unchanged config reuses their services outright).
+        """
+        with self._lock:
+            self._closed = True
+        if drain:
+            end = time.monotonic() + timeout
+            while time.monotonic() < end:
+                with self._lock:
+                    if not self._pending:
+                        break
+                time.sleep(0.01)
+        self._stop.set()
+        self._collector.join(timeout=5.0)
+        with self._lock:
+            leftovers = list(self._pending.values())
+            self._pending.clear()
+        for p in leftovers:
+            p.future._fail(ServiceClosedError(
+                "shard router closed with the request in flight"))
+            self.metrics.on_fail()
+        for seg in self._published:
+            seg.unlink()
+        self._published.clear()
+
+    def __enter__(self) -> "ShardRouter":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False

@@ -1,0 +1,314 @@
+"""Shared-memory plane: calibrate once, attach everywhere.
+
+Sharded serving runs many worker *processes*; re-paying PTQ calibration,
+weight-plane quantization and decode-LUT construction per process would
+swamp the fan-out win.  This module moves that expensive read-only state
+into ``multiprocessing.shared_memory`` segments published by the
+calibrate-once parent:
+
+* :func:`publish` lays a ``{meta, arrays}`` payload into one named
+  segment — a fixed 48-byte header (magic, schema version, payload
+  length, SHA-256 digest) followed by a JSON block (small exact-float
+  metadata such as per-layer scales) and the raw array bytes;
+* :func:`attach` maps the segment read-only in another process and
+  returns zero-copy NumPy views over the array region.  *Every* attach
+  re-verifies the header: a wrong magic, a stale schema version, a
+  length out of bounds or a digest mismatch raises
+  :class:`ShmIntegrityError` — the caller's contract is
+  **attach-or-recalibrate**, never trust-and-crash;
+* the module tracks every segment it created and unlinks them all at
+  interpreter exit (:func:`unlink_all`), so a Ctrl-C'd run leaves no
+  ``/dev/shm`` litter.  Attaching processes never unlink — ownership
+  stays with the publisher.
+
+Segment names carry the publisher PID plus a monotonic counter, so a
+re-published plane never collides with a stale segment from a previous
+run.  Hosts the ``shard:segment/KEY`` fault-injection point: a
+``truncate`` action corrupts the freshly written digest, which every
+later attach must reject (the chaos suite's recalibration-fallback
+storm).
+"""
+
+from __future__ import annotations
+
+import atexit
+import contextlib
+import hashlib
+import itertools
+import json
+import os
+import struct
+import threading
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+from ..resilience import faults
+
+__all__ = [
+    "SHM_MAGIC", "SHM_VERSION", "ShmIntegrityError",
+    "PublishedSegment", "AttachedSegment",
+    "publish", "attach", "unlink_all", "owned_segments",
+]
+
+#: header magic marking a repro shared-memory plane
+SHM_MAGIC = b"RSHM"
+
+#: bumped whenever the segment layout changes; attach rejects mismatches
+SHM_VERSION = 1
+
+#: header: magic, version, payload length, SHA-256 digest of the payload
+_HEADER = struct.Struct("<4sIQ32s")
+
+
+class ShmIntegrityError(RuntimeError):
+    """A shared-memory segment failed validation (missing, corrupt, stale)."""
+
+
+#: serialises attach-time resource-tracker suppression (see _untracked)
+_TRACKER_LOCK = threading.Lock()
+
+
+@contextlib.contextmanager
+def _untracked():
+    """Suppress resource-tracker registration while attaching a segment.
+
+    Python 3.11's ``SharedMemory`` registers *attachers* with the
+    resource tracker as if they owned the segment (the opt-out
+    ``track=`` flag only exists from 3.13).  Parent and forked workers
+    share one tracker process, so a spurious attach registration — or an
+    unregister compensating for it — corrupts the publisher's own
+    bookkeeping (tracker ``KeyError`` spew, double-unlink attempts).
+    Ownership here is strictly publisher-side, so attaches simply skip
+    registration.  The patch window is held under a lock and kept as
+    narrow as the constructor call.
+    """
+    with _TRACKER_LOCK:
+        original = resource_tracker.register
+
+        def _skip_shm(name, rtype):
+            if rtype != "shared_memory":
+                original(name, rtype)
+
+        resource_tracker.register = _skip_shm
+        try:
+            yield
+        finally:
+            resource_tracker.register = original
+
+
+def _json_default(obj):
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    raise TypeError(f"not JSON-serializable: {type(obj).__name__}")
+
+
+#: alignment of every stored array, measured from the mmap base.  The
+#: mmap is page-aligned, so a 64-byte-aligned in-segment offset yields a
+#: 64-byte-aligned pointer — matching a fresh NumPy allocation.  This is
+#: load-bearing for bit-identity, not a micro-optimisation: NumPy routes
+#: itemsize-misaligned operands through a different (buffered) matmul
+#: path whose float32 summation order differs by an ULP from the BLAS
+#: path an aligned array takes, which would break the byte-equality of
+#: plane-attached workers against the calibrating parent.
+_ALIGN = 64
+
+
+def _encode_payload(meta: dict, arrays: dict[str, np.ndarray]) -> bytes:
+    """``meta`` + array table as JSON, then the 64-byte-aligned array bytes."""
+    blobs: list[bytes] = []
+    table: list[dict] = []
+    offset = 0
+    for name, arr in arrays.items():
+        arr = np.ascontiguousarray(arr)
+        raw = arr.tobytes()
+        pad = (-offset) % _ALIGN
+        if pad:
+            blobs.append(bytes(pad))
+            offset += pad
+        table.append({"name": name, "dtype": arr.dtype.str,
+                      "shape": list(arr.shape), "offset": offset,
+                      "nbytes": len(raw)})
+        blobs.append(raw)
+        offset += len(raw)
+    # repr-style float serialisation: json round-trips doubles exactly,
+    # so scales read back in a worker equal the calibrated scales bit-
+    # for-bit (same property the disk artifact store relies on)
+    head = json.dumps({"meta": meta, "arrays": table},
+                      default=_json_default).encode()
+    # trailing spaces are valid JSON padding: they place the data region
+    # (header + length prefix + head) on an _ALIGN boundary
+    head += b" " * ((-(_HEADER.size + 8 + len(head))) % _ALIGN)
+    return struct.pack("<Q", len(head)) + head + b"".join(blobs)
+
+
+#: (name -> (owner pid, SharedMemory)) of every segment this process
+#: published.  The pid guards forked children (shard workers inherit the
+#: parent's dict): only the publishing process may unlink.
+_OWNED: dict[str, tuple[int, shared_memory.SharedMemory]] = {}
+
+#: publisher-unique suffix source for segment names
+_COUNTER = itertools.count()
+
+
+def _safe(token: str) -> str:
+    return "".join(c if c.isalnum() or c in "._-" else "_" for c in token)
+
+
+class PublishedSegment:
+    """Parent-side handle of one published plane segment."""
+
+    def __init__(self, name: str, shm: shared_memory.SharedMemory):
+        self.name = name
+        self._shm = shm
+
+    def unlink(self) -> None:
+        """Remove the segment (idempotent); attached readers keep their maps."""
+        entry = _OWNED.get(self.name)
+        if entry is None:
+            return
+        owner_pid, shm = entry
+        if owner_pid != os.getpid():
+            return  # a forked child inherited the record: not ours to unlink
+        del _OWNED[self.name]
+        try:
+            shm.close()
+        except BufferError:  # pragma: no cover - a live local view
+            pass
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+
+def publish(key: str, meta: dict, arrays: dict[str, np.ndarray]) -> PublishedSegment:
+    """Write ``{meta, arrays}`` into a new checksummed shared-memory segment.
+
+    Returns a :class:`PublishedSegment` whose ``name`` other processes
+    pass to :func:`attach`.  The segment is tracked for
+    :func:`unlink_all` cleanup.  Fires the ``shard:segment/KEY``
+    injection point *after* the write: a ``truncate`` action zeroes the
+    stored digest so every subsequent attach fails validation.
+    """
+    payload = _encode_payload(meta, arrays)
+    digest = hashlib.sha256(payload).digest()
+    name = f"repro-{os.getpid()}-{next(_COUNTER)}-{_safe(key)}"[:200]
+    shm = shared_memory.SharedMemory(name=name, create=True,
+                                     size=_HEADER.size + len(payload))
+    shm.buf[:_HEADER.size] = _HEADER.pack(SHM_MAGIC, SHM_VERSION,
+                                          len(payload), digest)
+    shm.buf[_HEADER.size:_HEADER.size + len(payload)] = payload
+    _OWNED[name] = (os.getpid(), shm)
+    if faults.maybe_fault("shard", f"segment/{key}") == "truncate":
+        # corrupt the digest in place: the plane is now poisoned for
+        # every attacher, which must fall back to recalibration
+        shm.buf[16:16 + 32] = bytes(32)
+    return PublishedSegment(name, shm)
+
+
+#: mappings kept alive until a clean close succeeds.  Dropping a
+#: SharedMemory while NumPy views still export its buffer makes its
+#: ``__del__`` raise BufferError as interpreter-level noise; parking the
+#: handle here instead defers the munmap to process exit (the OS's job
+#: anyway), which is silent.
+_LIVE: set = set()
+
+
+class AttachedSegment:
+    """Read-only view of a published segment in an attaching process.
+
+    ``meta`` is the publisher's JSON metadata; :meth:`array` returns a
+    zero-copy read-only NumPy view into the segment.  Keep the instance
+    referenced for as long as any view is in use; :meth:`close` is
+    best-effort (live views pin the mapping until they are dropped).
+    """
+
+    def __init__(self, name: str):
+        try:
+            with _untracked():
+                self._shm = shared_memory.SharedMemory(name=name,
+                                                       create=False)
+        except (FileNotFoundError, ValueError) as exc:
+            raise ShmIntegrityError(f"segment {name!r} not attachable: {exc}")
+        buf = self._shm.buf
+        if len(buf) < _HEADER.size:
+            raise ShmIntegrityError(f"segment {name!r} shorter than a header")
+        magic, version, length, digest = _HEADER.unpack(buf[:_HEADER.size])
+        if magic != SHM_MAGIC:
+            raise ShmIntegrityError(f"segment {name!r} has bad magic {magic!r}")
+        if version != SHM_VERSION:
+            raise ShmIntegrityError(
+                f"segment {name!r} has schema version {version}, "
+                f"expected {SHM_VERSION}")
+        if _HEADER.size + length > len(buf):
+            raise ShmIntegrityError(
+                f"segment {name!r} truncated: header claims {length} payload "
+                f"bytes, segment holds {len(buf) - _HEADER.size}")
+        payload = bytes(buf[_HEADER.size:_HEADER.size + length])
+        if hashlib.sha256(payload).digest() != digest:
+            raise ShmIntegrityError(f"segment {name!r} failed its checksum")
+        head_len = struct.unpack_from("<Q", payload)[0]
+        head = json.loads(payload[8:8 + head_len].decode())
+        _LIVE.add(self._shm)
+        self.name = name
+        self.meta: dict = head["meta"]
+        self._table = {entry["name"]: entry for entry in head["arrays"]}
+        self._data_start = _HEADER.size + 8 + head_len
+
+    def array_names(self) -> list[str]:
+        """Names of the arrays stored in this segment."""
+        return list(self._table)
+
+    def array(self, name: str) -> np.ndarray:
+        """Zero-copy read-only view of one stored array."""
+        entry = self._table[name]
+        start = self._data_start + entry["offset"]
+        view = np.frombuffer(self._shm.buf, dtype=np.dtype(entry["dtype"]),
+                             count=int(np.prod(entry["shape"], dtype=np.int64))
+                             if entry["shape"] else 1,
+                             offset=start).reshape(entry["shape"])
+        view.flags.writeable = False
+        return view
+
+    def arrays(self) -> dict[str, np.ndarray]:
+        """All stored arrays as read-only views, keyed by name."""
+        return {name: self.array(name) for name in self._table}
+
+    def close(self) -> None:
+        """Drop the mapping (best-effort: live views keep pages alive)."""
+        try:
+            self._shm.close()
+        except BufferError:  # a view is still referenced; the OS cleans up
+            return           # ... and _LIVE keeps the handle from __del__
+        _LIVE.discard(self._shm)
+
+
+def attach(name: str) -> AttachedSegment:
+    """Validate and map the published segment ``name``.
+
+    Raises :class:`ShmIntegrityError` on any validation failure — the
+    caller falls back to local recalibration (with a one-line warning),
+    it never serves from an unverified plane.
+    """
+    return AttachedSegment(name)
+
+
+def owned_segments() -> list[str]:
+    """Names of the segments this process published and still owns."""
+    return sorted(_OWNED)
+
+
+def unlink_all() -> None:
+    """Unlink every segment this process published (idempotent).
+
+    Registered with ``atexit`` so clean exits *and* Ctrl-C leave no
+    ``/dev/shm`` entries behind; crashed attachers never owned segments,
+    so the publisher's cleanup is always sufficient.
+    """
+    for name in list(_OWNED):
+        PublishedSegment(name, _OWNED[name][1]).unlink()
+
+
+atexit.register(unlink_all)

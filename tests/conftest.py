@@ -6,12 +6,15 @@ capture the parent's module state at fork time, so a pool forked under
 one test's monkeypatches must never serve the next test: tear every pool
 down after each test (cheap when no pool was started).  The warm model
 memo is per-process parent state with the same hazard, so it is cleared
-too.
+too, as are any shared-memory plane segments this process published
+(:func:`repro.serve.shm.unlink_all`) — a test that fails between publish
+and close must not leak ``/dev/shm`` entries into the next test.
 """
 
 import pytest
 
 from repro.resilience import pool
+from repro.serve import shm
 from repro.zoo import registry
 
 
@@ -20,3 +23,4 @@ def _fresh_worker_pools():
     yield
     pool.shutdown_all()
     registry.clear_warm_models()
+    shm.unlink_all()

@@ -10,7 +10,7 @@ import pytest
 REPO_ROOT = Path(__file__).resolve().parent.parent
 BENCH = REPO_ROOT / "benchmarks" / "bench_serve.py"
 
-pytestmark = pytest.mark.serve
+pytestmark = [pytest.mark.serve, pytest.mark.shard]
 
 
 def test_bench_serve_fast_mode(tmp_path):
@@ -29,6 +29,13 @@ def test_bench_serve_fast_mode(tmp_path):
         assert 1.0 <= b["mean_batch_size"] <= int(n)
     assert payload["speedup_batch32_x"] > 0
     assert "speedup" in proc.stdout
+    for n, s in payload["sharded"].items():
+        assert int(n) >= 2, "the shard axis must measure a real fan-out"
+        for loop in ("closed_loop", "open_loop"):
+            assert s[loop]["ok"] == s[loop]["requests"]
+            assert s[loop]["throughput_rps"] > 0
+        assert s["fleet"]["percentiles_exact"] is True
+        assert isinstance(s["cpu_limited"], bool)
 
 
 def test_committed_benchmark_meets_the_batching_bar():
@@ -40,3 +47,8 @@ def test_committed_benchmark_meets_the_batching_bar():
         assert payload["batched"][n]["throughput_rps"] > 0
         assert payload["batched"][n]["latency_ms"]["p50"] >= 0
     assert payload["speedup_batch32_x"] >= 3.0
+    # the shard axis rides along; a cpu-limited host must say so rather
+    # than let its numbers masquerade as a scaling measurement
+    for s in payload["sharded"].values():
+        assert s["closed_loop"]["ok"] == s["closed_loop"]["requests"]
+        assert isinstance(s["cpu_limited"], bool)

@@ -116,3 +116,41 @@ class TestServingDocs:
         path = REPO_ROOT / "benchmarks" / "bench_serve.py"
         tree = ast.parse(path.read_text())
         assert ast.get_docstring(tree)
+
+
+class TestShardDocs:
+    """The sharded-serving subsystem is documented where users will look."""
+
+    def test_readme_has_the_sharded_section(self):
+        text = (REPO_ROOT / "README.md").read_text()
+        assert "### Sharded serving (`--shards N`)" in text
+        assert "check.sh --shard" in text
+        assert "cpu_limited" in text
+
+    def test_design_has_the_shard_section(self):
+        text = (REPO_ROOT / "DESIGN.md").read_text()
+        assert "## 13. Sharded serving (`serve.shard` + `serve.shm`)" in text
+        for term in ("HashRing", "attach-or-recalibrate", "SHA-256",
+                     "64-byte", "Exactly-once", "merge_snapshots",
+                     "percentiles_exact"):
+            assert term in text, f"DESIGN.md shard section lacks {term}"
+
+    def test_design_fault_table_lists_shard_scope(self):
+        text = (REPO_ROOT / "DESIGN.md").read_text()
+        assert "| `shard` |" in text
+
+    def test_cli_serve_accepts_shards_flag(self):
+        from repro.cli import build_parser
+        args = build_parser().parse_args(
+            ["serve", "micro-mlp", "--shards", "2", "--stats"])
+        assert (args.shards, args.stats) == (2, True)
+        assert build_parser().parse_args(["serve", "micro-mlp"]).shards == 0
+
+    def test_faults_registry_lists_the_shard_points(self):
+        from repro.resilience import faults
+        scopes = {p[0] for p in faults.INJECTION_POINTS}
+        assert "shard" in scopes
+        shard_sites = " ".join(p[1] for p in faults.INJECTION_POINTS
+                               if p[0] == "shard")
+        assert "ShardRouter.submit" in shard_sites
+        assert "shm" in shard_sites or "segment" in shard_sites.lower()

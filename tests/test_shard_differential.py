@@ -1,0 +1,149 @@
+"""The cross-process differential guarantee: sharded == serial, byte-for-byte.
+
+Mixed model/format request streams are routed through a
+:class:`~repro.serve.ShardRouter` at 1, 2 and 4 shards, under both PTQ
+modes (float fakequant and true-quantized engine) and both kernel
+backends (``lut`` and ``reference``), and every reply must be
+**bit-identical** to serial single-sample inference in the router's own
+process.
+
+This is the composition proof for the whole sharding design: workers run
+the same ``execute_batch`` data path (batched == serial is proven by
+``tests/test_serve_differential.py``), attached shared-memory planes
+round-trip scales and quantized weights exactly, decode LUTs are pure
+functions of the format, and the caller's kernel backend travels with
+each request.  If any link regresses — a misaligned shm view, a scale
+that lost a bit in transit, a worker serving under the wrong backend —
+these streams catch it as a byte diff.
+"""
+
+import numpy as np
+import pytest
+
+from repro.kernels.dispatch import use_backend
+from repro.serve import BatchPolicy, HashRing, ShardRouter, micro_specs
+
+pytestmark = pytest.mark.shard
+
+MODELS = ["micro-mlp", "micro-cnn"]
+FORMATS = ["MERSIT(8,2)", "INT8"]
+
+#: preheated (published via shared memory); the rest calibrate in-worker
+PREHEAT = [("micro-mlp", "MERSIT(8,2)"), ("micro-cnn", "INT8")]
+
+POLICY = BatchPolicy(max_batch=4, max_wait_ms=2.0, queue_depth=64, workers=2)
+
+
+def _stream(rng, n, models=MODELS, formats=FORMATS):
+    """n seeded (model, format, inputs) requests from fixed request pools."""
+    pools = {m: micro_specs()[m].requests(6, seed=17) for m in models}
+    stream = []
+    for _ in range(n):
+        m = models[rng.integers(len(models))]
+        f = formats[rng.integers(len(formats))]
+        stream.append((m, f, pools[m][rng.integers(len(pools[m]))]))
+    return stream
+
+
+def _router(shards, mode, **kw):
+    preheat = [(m, f, mode) for m, f in PREHEAT]
+    kw.setdefault("policy", POLICY)
+    kw.setdefault("calib_n", 8)
+    return ShardRouter(shards=shards, specs="micro", preheat=preheat, **kw)
+
+
+@pytest.mark.parametrize("shards", [1, 2, 4])
+@pytest.mark.parametrize("mode", ["fakequant", "engine"])
+def test_sharded_streams_bit_identical_to_serial(shards, mode):
+    """Both backends, one router per (shards, mode): sharded == serial."""
+    with _router(shards, mode) as router:
+        for backend in ("lut", "reference"):
+            rng = np.random.default_rng(1000 * shards + len(backend))
+            with use_backend(backend):
+                stream = _stream(rng, 14)
+                reference = [router.infer_serial(m, x, f, mode)
+                             for m, f, x in stream]
+                futures = [router.submit(m, x, f, mode)
+                           for m, f, x in stream]
+                results = [fut.result(120) for fut in futures]
+            for i, (ref, got) in enumerate(zip(reference, results)):
+                np.testing.assert_array_equal(
+                    ref, got,
+                    err_msg=f"request {i} ({stream[i][0]}|{stream[i][1]}|"
+                            f"{mode}|{backend}|{shards} shards) diverged "
+                            f"from serial inference")
+
+
+def test_preheated_keys_attach_instead_of_recalibrating():
+    """Every preheated key resolves from shared memory in every worker."""
+    with _router(2, "fakequant") as router:
+        spec = micro_specs()["micro-mlp"]
+        xs = spec.requests(4, seed=3)
+        for x in xs:
+            ref = router.infer_serial("micro-mlp", x, "MERSIT(8,2)")
+            np.testing.assert_array_equal(
+                ref, router.infer("micro-mlp", x, "MERSIT(8,2)"))
+        stats = router.stats()
+        served = [e["stats"] for e in stats["per_shard"] if e["stats"]]
+        assert served, "no shard answered the stats ask"
+        attaches = sum(s["repository"]["shm_attaches"] for s in served)
+        calibs = sum(s["repository"]["calibrations"] for s in served)
+        assert attaches >= 1, "the preheated plane was never attached"
+        assert calibs == 0, (
+            f"workers recalibrated {calibs}x despite a published plane")
+
+
+def test_non_preheated_key_calibrates_in_worker_and_matches_serial():
+    """A cold key calibrates inside its worker, still bit-identical."""
+    with _router(2, "engine") as router:
+        spec = micro_specs()["micro-cnn"]
+        x = spec.requests(1, seed=9)[0]
+        # micro-cnn/MERSIT/engine is not in PREHEAT: worker-side calibration
+        ref = router.infer_serial("micro-cnn", x, "MERSIT(8,2)", mode="engine")
+        got = router.infer("micro-cnn", x, "MERSIT(8,2)", mode="engine",
+                           timeout=120)
+        np.testing.assert_array_equal(ref, got)
+        served = [e["stats"] for e in router.stats()["per_shard"]
+                  if e["stats"]]
+        assert sum(s["repository"]["calibrations"] for s in served) >= 1
+
+
+def test_hash_ring_is_deterministic_and_sticky():
+    """Identical rings in every process; each key owned by one shard."""
+    a, b = HashRing(4, vnodes=64), HashRing(4, vnodes=64)
+    keys = [f"{m}|{f}|{mode}" for m in MODELS for f in FORMATS
+            for mode in ("fakequant", "engine")]
+    owners = {k: a.lookup(k) for k in keys}
+    assert owners == {k: b.lookup(k) for k in keys}
+    assert all(0 <= s < 4 for s in owners.values())
+    # growing the ring remaps only arcs the new shard takes over
+    grown = HashRing(5, vnodes=64)
+    moved = [k for k in keys if grown.lookup(k) not in (owners[k], 4)]
+    assert not moved, f"keys moved between surviving shards: {moved}"
+
+
+def test_all_requests_for_one_key_land_on_one_shard():
+    """Batching locality: a key's requests never spread across shards."""
+    with _router(4, "fakequant") as router:
+        spec = micro_specs()["micro-mlp"]
+        xs = spec.requests(4, seed=5)
+        futs = [router.submit("micro-mlp", x, "MERSIT(8,2)") for x in xs
+                for _ in range(2)]
+        for fut in futs:
+            fut.result(120)
+        served = [e["stats"]["metrics"]["completed"]
+                  for e in router.stats()["per_shard"] if e["stats"]]
+        assert sum(served) == len(futs)
+        assert sum(1 for c in served if c) == 1, (
+            f"one key spread over {sum(1 for c in served if c)} shards")
+
+
+def test_replayed_stream_is_deterministic_across_router_rebuilds():
+    """Same seeded stream, fresh router: byte-identical outputs."""
+    def run_once():
+        with _router(2, "fakequant") as router:
+            stream = _stream(np.random.default_rng(77), 8)
+            return [router.infer(m, x, f) for m, f, x in stream]
+
+    for first, second in zip(run_once(), run_once()):
+        np.testing.assert_array_equal(first, second)

@@ -1,0 +1,215 @@
+"""Shared-memory plane hygiene: validation, alignment, no ``/dev/shm`` litter.
+
+Three properties keep the calibrate-once/attach-everywhere design safe:
+
+* **attach-or-recalibrate** — every attach re-verifies the 48-byte
+  header (magic, schema version, payload length, SHA-256).  Stale or
+  corrupt segments raise :class:`ShmIntegrityError` and the repository
+  demotes to local recalibration with a one-line warning; it never
+  serves from an unverified plane.
+* **alignment** — every stored array sits on a 64-byte boundary inside
+  the segment.  This is load-bearing for bit-identity: NumPy routes
+  itemsize-misaligned operands through a buffered matmul path whose
+  float32 summation order differs by an ULP from the aligned/BLAS path.
+* **hygiene** — the publisher unlinks its segments on clean close and at
+  interpreter exit; a SIGKILL'd publisher is mopped up by the stdlib
+  resource tracker; attachers (shard workers) never own segments, so a
+  crashed worker cannot leak one.
+"""
+
+import os
+import struct
+import subprocess
+import sys
+import time
+
+import numpy as np
+import pytest
+
+from repro.serve import ModelRepository, ShardRouter, micro_specs
+from repro.serve import shm
+
+pytestmark = pytest.mark.shard
+
+
+def _segment_exists(name: str) -> bool:
+    return os.path.exists(f"/dev/shm/{name}")
+
+
+@pytest.fixture()
+def payload():
+    rng = np.random.default_rng(0)
+    return ({"kind": "test", "scale": 0.1234567891234567},
+            {"a": rng.standard_normal((7, 5)).astype(np.float32),
+             "b": rng.integers(0, 255, size=13, dtype=np.uint8),
+             "c": rng.standard_normal(3).astype(np.float64)})
+
+
+# ----------------------------------------------------------------------
+# round-trip + validation
+# ----------------------------------------------------------------------
+
+def test_publish_attach_roundtrip_is_exact(payload):
+    meta, arrays = payload
+    seg = shm.publish("t/roundtrip", meta, arrays)
+    try:
+        att = shm.attach(seg.name)
+        assert att.meta == meta     # JSON round-trips the doubles exactly
+        assert sorted(att.array_names()) == sorted(arrays)
+        for name, arr in arrays.items():
+            view = att.array(name)
+            assert view.dtype == arr.dtype and view.shape == arr.shape
+            np.testing.assert_array_equal(view, arr)
+            assert not view.flags.writeable
+        att.close()
+    finally:
+        seg.unlink()
+
+
+def test_attached_views_are_64_byte_aligned(payload):
+    """The alignment regression test: a misaligned view would silently
+    flip NumPy onto a different matmul summation order."""
+    meta, arrays = payload
+    seg = shm.publish("t/align", meta, arrays)
+    try:
+        att = shm.attach(seg.name)
+        for name in att.array_names():
+            view = att.array(name)
+            assert view.ctypes.data % 64 == 0, (
+                f"array {name!r} attached at a misaligned address")
+            assert view.flags.aligned
+        # and the property that motivates it: matmul over the view is
+        # byte-identical to matmul over a fresh aligned copy
+        v = att.array("a")
+        x = np.random.default_rng(1).standard_normal((4, 7)).astype(np.float32)
+        np.testing.assert_array_equal(x @ v, x @ v.copy())
+        att.close()
+    finally:
+        seg.unlink()
+
+
+@pytest.mark.parametrize("corruption", ["magic", "version", "length", "digest"])
+def test_attach_rejects_corrupt_headers(payload, corruption):
+    meta, arrays = payload
+    seg = shm.publish(f"t/{corruption}", meta, arrays)
+    try:
+        buf = seg._shm.buf
+        if corruption == "magic":
+            buf[:4] = b"XXXX"
+        elif corruption == "version":
+            struct.pack_into("<I", buf, 4, shm.SHM_VERSION + 1)
+        elif corruption == "length":
+            struct.pack_into("<Q", buf, 8, 2 ** 40)
+        elif corruption == "digest":
+            buf[16:48] = bytes(32)
+        with pytest.raises(shm.ShmIntegrityError):
+            shm.attach(seg.name)
+    finally:
+        seg.unlink()
+
+
+def test_attach_missing_segment_raises():
+    with pytest.raises(shm.ShmIntegrityError):
+        shm.attach("repro-0-0-no-such-segment")
+
+
+def test_repository_demotes_stale_plane_to_recalibration(capsys):
+    """A poisoned plane segment costs one warning line and one local
+    calibration — results still come from real quantized weights."""
+    parent = ModelRepository(micro_specs(), calib_n=4, persist=False)
+    meta, arrays = parent.export_plane("micro-mlp", "MERSIT(8,2)")
+    key = parent.model_key("micro-mlp", "MERSIT(8,2)", "fakequant")
+    seg = shm.publish(f"plane/{key}", meta, arrays)
+    try:
+        struct.pack_into("<I", seg._shm.buf, 4, shm.SHM_VERSION + 1)  # stale
+        worker = ModelRepository(micro_specs(), calib_n=4, persist=False,
+                                 plane_manifest={key: seg.name})
+        net, _ = worker.resolve("micro-mlp", "MERSIT(8,2)")
+        assert net is not None
+        assert worker.shm_rejects == 1
+        assert worker.shm_attaches == 0
+        assert worker.calibrations == 1
+        out = capsys.readouterr().out
+        assert "rejected" in out and "recalibrating locally" in out
+    finally:
+        seg.unlink()
+
+
+# ----------------------------------------------------------------------
+# hygiene
+# ----------------------------------------------------------------------
+
+def test_clean_close_unlinks_and_is_idempotent(payload):
+    meta, arrays = payload
+    seg = shm.publish("t/clean", meta, arrays)
+    assert seg.name in shm.owned_segments()
+    assert _segment_exists(seg.name)
+    seg.unlink()
+    assert seg.name not in shm.owned_segments()
+    assert not _segment_exists(seg.name)
+    seg.unlink()   # second unlink is a no-op, not an error
+
+
+def test_unlink_all_sweeps_every_owned_segment(payload):
+    meta, arrays = payload
+    names = [shm.publish(f"t/sweep{i}", meta, arrays).name for i in range(3)]
+    shm.unlink_all()
+    assert shm.owned_segments() == []
+    assert not any(_segment_exists(n) for n in names)
+
+
+def test_crashed_publisher_leaves_no_segment_behind(tmp_path):
+    """A publisher hard-killed before cleanup: the stdlib resource
+    tracker (which survives the process) unlinks the leaked segment."""
+    script = (
+        "import os, sys\n"
+        "sys.path.insert(0, 'src')\n"
+        "import numpy as np\n"
+        "from repro.serve import shm\n"
+        "seg = shm.publish('t/crash', {'k': 1},\n"
+        "                  {'a': np.zeros(4, dtype=np.float32)})\n"
+        "print(seg.name, flush=True)\n"
+        "os.kill(os.getpid(), 9)\n"   # no atexit, no finally
+    )
+    proc = subprocess.run([sys.executable, "-c", script], cwd="/root/repo",
+                          capture_output=True, text=True, timeout=60)
+    name = proc.stdout.strip().split()[-1]
+    assert name.startswith("repro-")
+    deadline = time.monotonic() + 10.0
+    while _segment_exists(name) and time.monotonic() < deadline:
+        time.sleep(0.1)
+    assert not _segment_exists(name), (
+        f"segment {name} leaked after a SIGKILL'd publisher")
+
+
+def test_attacher_close_never_unlinks(payload):
+    """Ownership stays with the publisher: an attacher closing (or
+    crashing) must not remove the segment under everyone else."""
+    meta, arrays = payload
+    seg = shm.publish("t/owner", meta, arrays)
+    try:
+        att = shm.attach(seg.name)
+        att.close()
+        assert _segment_exists(seg.name)
+        again = shm.attach(seg.name)   # still fully attachable + valid
+        np.testing.assert_array_equal(again.array("a"), arrays["a"])
+        again.close()
+    finally:
+        seg.unlink()
+
+
+def test_router_lifecycle_leaves_no_shm_litter():
+    """After a full router run + close: no owned segments, nothing in
+    /dev/shm from this publisher."""
+    router = ShardRouter(shards=1, specs="micro", calib_n=4,
+                         preheat=[("micro-mlp", "MERSIT(8,2)", "fakequant")])
+    try:
+        published = list(router.stats()["published_segments"])
+        assert published, "preheat should publish at least plane + LUT"
+        assert all(_segment_exists(n) for n in published)
+        x = micro_specs()["micro-mlp"].requests(1, seed=1)[0]
+        router.infer("micro-mlp", x, "MERSIT(8,2)", timeout=120)
+    finally:
+        router.close()
+    assert shm.owned_segments() == []
+    assert not any(_segment_exists(n) for n in published)
