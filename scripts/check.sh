@@ -7,6 +7,7 @@
 #   scripts/check.sh --serve   # only the inference-service suite
 #   scripts/check.sh --grid    # only the worker-pool fabric smoke
 #   scripts/check.sh --shard   # only the sharded-serving suite
+#   scripts/check.sh --sanitize  # serve/shard/grid under REPRO_SANITIZE=1
 #
 # Exits non-zero on the first failing stage.
 set -eu
@@ -43,11 +44,21 @@ if [ "${1:-}" = "--shard" ]; then
     exit 0
 fi
 
+if [ "${1:-}" = "--sanitize" ]; then
+    echo "== serve/shard/grid suites under the runtime sanitizer =="
+    REPRO_SANITIZE=1 python -m pytest -x -q -m "serve or shard or grid or sanitize"
+    echo "check.sh: sanitize suite passed"
+    exit 0
+fi
+
 echo "== repro analyze lint =="
 python -m repro.cli analyze lint
 
 echo "== repro analyze netlist --all =="
 python -m repro.cli analyze netlist --all
+
+echo "== repro analyze concurrency =="
+python -m repro.cli analyze concurrency
 
 echo "== tier-1 pytest =="
 python -m pytest -x -q

@@ -17,6 +17,15 @@ quantization accuracy, plus every substrate the paper's evaluation rests on:
 * :mod:`repro.experiments` — one driver per paper table/figure.
 """
 
+import os as _os
+
+# the runtime concurrency sanitizer must patch the threading factories
+# before any serve/pool/shm module creates its locks, so it enables
+# first thing when requested (repro.sanitize imports no repro modules)
+if _os.environ.get("REPRO_SANITIZE"):
+    from . import sanitize as _sanitize
+    _sanitize.enable()
+
 from .formats import get_format
 
 __version__ = "1.0.0"

@@ -10,22 +10,32 @@ Two pass families keep the reproduction's claims checkable:
 * the **numerics linter** (:mod:`~repro.analysis.lint`) walks the Python
   AST for the invariants PTQ correctness rests on: no silent float64
   promotion in quantized paths, no float equality, no unseeded RNGs, no
-  ``Tensor.data`` mutation that bypasses the data-version counter.
+  ``Tensor.data`` mutation that bypasses the data-version counter;
+* the **concurrency analyzer** (:mod:`~repro.analysis.concurrency`)
+  models the serve/pool/shm stack's locks, threads and processes across
+  the whole package: lock-acquisition-order cycles, blocking calls made
+  under a held lock, unlocked module state reachable from thread/worker
+  entry points, fork-after-thread hazards, and shared-memory lifecycle
+  violations.  Its static lock graph is cross-checked at runtime by
+  :mod:`repro.sanitize`.
 
-Run both from the CLI: ``repro analyze netlist --all`` and
-``repro analyze lint``; both are also tier-1 pytest gates.
+Run them from the CLI: ``repro analyze netlist --all``,
+``repro analyze lint`` and ``repro analyze concurrency``; all are also
+tier-1 pytest gates.
 """
 
+from .concurrency import check_paths, static_graph
 from .diagnostics import AnalysisReport, Diagnostic
 from .levelize import DepthRow, depth_of, depth_report, render_depth_report
 from .lint import lint_paths, lint_source
-from .run import analyze_lint, analyze_netlists
+from .run import analyze_concurrency, analyze_lint, analyze_netlists
 from .structural import verify_circuit
 
 __all__ = [
     "AnalysisReport", "Diagnostic",
     "DepthRow", "depth_of", "depth_report", "render_depth_report",
     "lint_paths", "lint_source",
-    "analyze_lint", "analyze_netlists",
+    "analyze_lint", "analyze_netlists", "analyze_concurrency",
+    "check_paths", "static_graph",
     "verify_circuit",
 ]

@@ -1,0 +1,980 @@
+"""Concurrency static analyzer for the serve/pool/shm stack.
+
+The serving layers are genuinely concurrent — scheduler worker threads,
+a shard-router collector thread, pooled worker processes, duplex pipes
+and shared-memory segments — and chaos tests alone cannot cover every
+interleaving.  This pass walks the package AST once, builds a whole-repo
+model of locks, calls, threads and processes, and emits six rule
+families as :class:`~repro.analysis.diagnostics.Diagnostic` records:
+
+``lock-order-cycle``
+    The whole-program lock-acquisition-order graph (locks identified by
+    owner, e.g. ``ModelRepository._key_locks`` or ``shm._TRACKER_LOCK``)
+    contains a cycle — two flows that acquire the same locks in opposite
+    orders can deadlock.  Edges are interprocedural: holding lock A
+    while *calling* a function that may acquire B counts as A -> B.
+
+``blocking-call-under-lock``
+    A potentially unbounded blocking call (``Connection.send/recv``,
+    ``Queue.put/get``, ``wait``, ``join``, ``time.sleep``, shm attach)
+    is made lexically inside a ``with lock:`` frame.  ``cond.wait()`` on
+    the innermost held lock is the condition-variable idiom and exempt.
+
+``unlocked-shared-state``
+    A mutable module-level container (dict/list/set/deque) — or a
+    ``global`` rebind — is mutated with no lock held, in a function
+    reachable from a thread or worker entry point (``Thread(target=)``,
+    pool dispatch targets, ``execute_batch``).  Functions whose name
+    ends in ``_locked`` are exempt: the suffix is the repo's contract
+    that the caller already holds the guarding lock.
+
+``fork-after-thread``
+    The same function creates a thread and *later* spawns a process
+    (directly or through a call chain).  Forking a multi-threaded
+    process clones held locks without the threads that would release
+    them.
+
+``attach-side-unlink``
+    A function both attaches a shared-memory segment and unlinks one.
+    Segment ownership is publisher-side only; attachers unlinking is how
+    planes vanish under a live fleet.
+
+``publish-without-unlink``
+    A module creates shared-memory segments (``SharedMemory(create=True)``)
+    but registers no ``atexit`` hook whose call chain reaches
+    ``unlink()`` — a Ctrl-C'd run would leak ``/dev/shm`` entries.
+
+Findings reuse the lint waiver syntax (``lint: allow[rule] reason`` in a
+trailing or preceding comment,
+multiple rules comma-separated) and the PR 3 report plumbing: run
+``repro analyze concurrency [--json]`` or :func:`repro.analysis.analyze_concurrency`.
+
+:func:`static_graph` exports the lock registry (creation sites) and the
+acquisition-order edges for the runtime sanitizer
+(:mod:`repro.sanitize`), which cross-checks the *observed* graph against
+this one — an observed edge missing here is an analyzer gap.
+
+Scope and limits (by design, to keep findings reviewable): calls are
+resolved by name — ``self.m()`` to the same class, bare ``f()`` to the
+same module, ``x.m()`` only when ``m`` is defined exactly once in the
+analyzed set; blocking calls are checked per-frame (a blocking call in a
+callee of a locked frame is not flagged — the lock-order graph still
+sees the callee's *lock* acquisitions); shared-state tracking covers
+module-level bindings, not instance attributes.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from .diagnostics import ERROR, Diagnostic
+
+__all__ = ["RULES", "check_paths", "static_graph", "analyze_files"]
+
+#: every rule id this pass can emit (documented in DESIGN.md section 14)
+RULES = (
+    "lock-order-cycle",
+    "blocking-call-under-lock",
+    "unlocked-shared-state",
+    "fork-after-thread",
+    "attach-side-unlink",
+    "publish-without-unlink",
+)
+
+#: threading factories whose results are treated as locks
+_LOCK_FACTORIES = frozenset({"Lock", "RLock", "Condition", "Semaphore",
+                             "BoundedSemaphore"})
+
+#: callables considered potentially-unbounded blocking operations
+_BLOCKING = frozenset({"send", "recv", "send_bytes", "recv_bytes",
+                       "join", "sleep", "wait", "put", "get", "attach"})
+
+#: method names never resolved through the unique-name fallback (too
+#: generic: stdlib objects define them everywhere)
+_GENERIC = frozenset({"start", "run", "result", "join", "send", "recv",
+                      "close", "get", "put", "set", "clear", "pop",
+                      "update", "append", "add", "items", "keys",
+                      "values", "copy", "acquire", "release", "wait",
+                      "encode", "decode", "read", "write", "index",
+                      "replace", "remove", "insert", "extend"})
+
+#: constructors counted as process spawns
+_SPAWN_TAILS = frozenset({"Process", "Pool", "fork"})
+
+#: value expressions registered as mutable module-level containers
+_MUTABLE_CALLS = frozenset({"dict", "list", "set", "deque", "defaultdict",
+                            "OrderedDict", "Counter"})
+
+#: container methods counted as mutations
+_MUTATORS = frozenset({"append", "add", "update", "setdefault", "pop",
+                       "popleft", "appendleft", "clear", "discard",
+                       "extend", "remove", "insert"})
+
+#: functions that are worker entry points even without a ``target=`` ref
+ENTRY_HINTS = ("execute_batch",)
+
+
+def _dotted(node: ast.AST) -> str:
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _is_lock_factory(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    name = _dotted(node.func)
+    head, _, tail = name.rpartition(".")
+    return tail in _LOCK_FACTORIES and head in ("", "threading",
+                                                "multiprocessing")
+
+
+def _lock_calls(node: ast.AST) -> list[ast.Call]:
+    """Every lock-factory Call inside ``node`` (value expressions only)."""
+    return [n for n in ast.walk(node) if _is_lock_factory(n)]
+
+
+class _Func:
+    """Per-function facts gathered by the collection pass."""
+
+    __slots__ = ("key", "module", "cls", "name", "file", "lineno",
+                 "acquires", "edges", "calls", "blocking", "thread_lines",
+                 "spawn_lines", "mutations", "attach_lines", "unlink_lines",
+                 "create_lines", "may_acquire", "may_spawn", "may_unlink")
+
+    def __init__(self, key, module, cls, name, file, lineno):
+        self.key = key
+        self.module = module
+        self.cls = cls
+        self.name = name
+        self.file = file
+        self.lineno = lineno
+        self.acquires: set[str] = set()
+        # (held_id, acquired_id, lineno)
+        self.edges: list[tuple[str, str, int]] = []
+        # (kind, base, name, lineno, held_tuple) kind in self|bare|dotted
+        self.calls: list[tuple[str, str, str, int, tuple]] = []
+        self.blocking: list[tuple[int, str, tuple]] = []
+        self.thread_lines: list[int] = []
+        self.spawn_lines: list[int] = []
+        self.mutations: list[tuple[int, str, tuple]] = []
+        self.attach_lines: list[int] = []
+        self.unlink_lines: list[int] = []
+        self.create_lines: list[int] = []
+        self.may_acquire: set[str] = set()
+        self.may_spawn = False
+        self.may_unlink = False
+
+
+class _Program:
+    """Whole-analysis-set model: locks, globals, functions, entries."""
+
+    def __init__(self):
+        #: lock id -> [(file, line), ...] creation sites
+        self.locks: dict[str, list[tuple[str, int]]] = {}
+        #: (module, name) of mutable module-level containers
+        self.mutable_globals: set[tuple[str, str]] = set()
+        self.funcs: dict[str, _Func] = {}
+        #: bare name -> [func keys] (unique-name fallback)
+        self.by_name: dict[str, list[str]] = {}
+        #: (module, name) -> func key (module-scope functions)
+        self.module_funcs: dict[tuple[str, str], str] = {}
+        #: (module, cls, name) -> func key
+        self.methods: dict[tuple[str, str, str], str] = {}
+        #: class name -> [(module, cls)] for constructor resolution
+        self.classes: dict[str, list[tuple[str, str]]] = {}
+        #: names referenced as thread/worker targets: (module, base, name)
+        self.entry_refs: list[tuple[str, str, str]] = []
+        #: module -> names passed to atexit.register
+        self.atexit_regs: dict[str, set[str]] = {}
+        self.files: list[str] = []
+
+    def add_lock(self, lock_id: str, file: str, line: int) -> None:
+        self.locks.setdefault(lock_id, []).append((file, line))
+
+    def add_func(self, fn: _Func, nested: bool = False) -> None:
+        self.funcs[fn.key] = fn
+        if not nested:
+            # nested helpers are only callable from their enclosing scope;
+            # keeping them out of the unique-name fallback stops a nested
+            # `def replace(...)` from capturing every `str.replace` call
+            self.by_name.setdefault(fn.name, []).append(fn.key)
+        if fn.cls is None:
+            self.module_funcs.setdefault((fn.module, fn.name), fn.key)
+        else:
+            self.methods[(fn.module, fn.cls, fn.name)] = fn.key
+
+
+def _modbase(path: str) -> str:
+    return Path(path).stem
+
+
+# ----------------------------------------------------------------------
+# pass A: lock + global discovery
+# ----------------------------------------------------------------------
+
+
+def _discover_file(tree: ast.Module, file: str, prog: _Program) -> None:
+    mod = _modbase(file)
+    for node in tree.body:
+        if isinstance(node, (ast.Assign, ast.AnnAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) \
+                else [node.target]
+            value = node.value
+            if value is None:
+                continue
+            for tgt in targets:
+                if not isinstance(tgt, ast.Name):
+                    continue
+                calls = _lock_calls(value)
+                if calls:
+                    for c in calls:
+                        prog.add_lock(f"{mod}.{tgt.id}", file, c.lineno)
+                elif _is_mutable_container(value):
+                    prog.mutable_globals.add((mod, tgt.id))
+        elif isinstance(node, ast.ClassDef):
+            prog.classes.setdefault(node.name, []).append((mod, node.name))
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    _discover_self_locks(item, node.name, file, prog)
+    # atexit registrations + self-lock discovery in functions need a full
+    # walk; handled in the collection pass (shared traversal)
+
+
+def _discover_self_locks(fn: ast.AST, cls: str, file: str,
+                         prog: _Program) -> None:
+    for node in ast.walk(fn):
+        if isinstance(node, (ast.Assign, ast.AnnAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) \
+                else [node.target]
+            value = node.value
+            if value is None:
+                continue
+            for tgt in targets:
+                if (isinstance(tgt, ast.Attribute)
+                        and isinstance(tgt.value, ast.Name)
+                        and tgt.value.id == "self"):
+                    for c in _lock_calls(value):
+                        prog.add_lock(f"{cls}.{tgt.attr}", file, c.lineno)
+        elif isinstance(node, ast.Call):
+            # self.X.setdefault(key, threading.Lock()) — per-key lock maps
+            f = node.func
+            if (isinstance(f, ast.Attribute) and f.attr == "setdefault"
+                    and isinstance(f.value, ast.Attribute)
+                    and isinstance(f.value.value, ast.Name)
+                    and f.value.value.id == "self"):
+                for arg in node.args:
+                    for c in _lock_calls(arg):
+                        prog.add_lock(f"{cls}.{f.value.attr}", file, c.lineno)
+
+
+def _is_mutable_container(value: ast.AST) -> bool:
+    if isinstance(value, (ast.Dict, ast.List, ast.Set, ast.ListComp,
+                          ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(value, ast.Call):
+        return _dotted(value.func).rpartition(".")[2] in _MUTABLE_CALLS
+    return False
+
+
+# ----------------------------------------------------------------------
+# pass B: per-function collection
+# ----------------------------------------------------------------------
+
+
+class _FuncWalker:
+    """Walk one function body tracking the held-lock frame stack."""
+
+    def __init__(self, fn: _Func, prog: _Program, cls: str | None,
+                 outer_bindings: dict[str, str] | None):
+        self.fn = fn
+        self.prog = prog
+        self.cls = cls
+        self.bindings: dict[str, str] = dict(outer_bindings or {})
+        self.globals_declared: set[str] = set()
+        self.local_names: set[str] = set()
+        self.held: list[str] = []
+
+    # -- lock expression resolution ------------------------------------
+    def resolve_lock(self, expr: ast.AST) -> str | None:
+        if isinstance(expr, ast.Name):
+            if expr.id in self.bindings:
+                return self.bindings[expr.id]
+            lock_id = f"{self.fn.module}.{expr.id}"
+            return lock_id if lock_id in self.prog.locks else None
+        if isinstance(expr, ast.Attribute):
+            base = expr.value
+            if isinstance(base, ast.Name):
+                if base.id == "self" and self.cls is not None:
+                    lock_id = f"{self.cls}.{expr.attr}"
+                else:
+                    lock_id = f"{base.id}.{expr.attr}"
+                return lock_id if lock_id in self.prog.locks else None
+            return None
+        if isinstance(expr, ast.Subscript):
+            return self.resolve_lock(expr.value)
+        if isinstance(expr, ast.Call):
+            f = expr.func
+            if isinstance(f, ast.Attribute) and f.attr == "setdefault":
+                return self.resolve_lock(f.value)
+        return None
+
+    # -- statements ----------------------------------------------------
+    def walk(self, stmts: list[ast.stmt]) -> None:
+        for stmt in stmts:
+            self.stmt(stmt)
+
+    def stmt(self, node: ast.stmt) -> None:
+        if isinstance(node, ast.Global):
+            self.globals_declared.update(node.names)
+        elif isinstance(node, ast.With):
+            self.with_stmt(node)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            _collect_function(node, self.fn.module, None, self.fn.file,
+                              self.prog, outer_bindings=self.bindings,
+                              nested=True)
+            self.local_names.add(node.name)
+        elif isinstance(node, ast.ClassDef):
+            pass  # classes nested in functions: out of scope
+        elif isinstance(node, ast.Assign):
+            self.assign(node)
+            self.exprs(node.value)
+        elif isinstance(node, ast.AugAssign):
+            self.mutation_target(node.target, node.lineno, aug=True)
+            self.exprs(node.value)
+        elif isinstance(node, ast.AnnAssign):
+            if node.value is not None:
+                if isinstance(node.target, ast.Name):
+                    self.bind(node.target.id, node.value, node.lineno)
+                self.exprs(node.value)
+        elif isinstance(node, ast.Delete):
+            for tgt in node.targets:
+                self.mutation_target(tgt, node.lineno, aug=True)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            self.exprs(node.iter)
+            self.collect_names(node.target)
+            self.walk(node.body)
+            self.walk(node.orelse)
+        elif isinstance(node, ast.While):
+            self.exprs(node.test)
+            self.walk(node.body)
+            self.walk(node.orelse)
+        elif isinstance(node, ast.If):
+            self.exprs(node.test)
+            self.walk(node.body)
+            self.walk(node.orelse)
+        elif isinstance(node, ast.Try):
+            self.walk(node.body)
+            for h in node.handlers:
+                self.walk(h.body)
+            self.walk(node.orelse)
+            self.walk(node.finalbody)
+        elif isinstance(node, (ast.Return, ast.Expr)):
+            if node.value is not None:
+                self.exprs(node.value)
+        elif isinstance(node, ast.Raise):
+            if node.exc is not None:
+                self.exprs(node.exc)
+        elif isinstance(node, ast.Assert):
+            self.exprs(node.test)
+        # pass/break/continue/import: nothing to track
+
+    def with_stmt(self, node: ast.With) -> None:
+        entered: list[str] = []
+        for item in node.items:
+            ctx = item.context_expr
+            lock_id = self.resolve_lock(ctx)
+            if lock_id is not None:
+                self.acquire(lock_id, ctx.lineno)
+                self.held.append(lock_id)
+                entered.append(lock_id)
+            else:
+                self.exprs(ctx)  # e.g. `with _untracked():` — a call
+            if item.optional_vars is not None:
+                self.collect_names(item.optional_vars)
+        self.walk(node.body)
+        for _ in entered:
+            self.held.pop()
+
+    def acquire(self, lock_id: str, lineno: int) -> None:
+        self.fn.acquires.add(lock_id)
+        for held in self.held:
+            if held != lock_id:
+                self.fn.edges.append((held, lock_id, lineno))
+
+    def assign(self, node: ast.Assign) -> None:
+        for tgt in node.targets:
+            if isinstance(tgt, ast.Name):
+                self.bind(tgt.id, node.value, node.lineno)
+            elif isinstance(tgt, (ast.Subscript, ast.Attribute)):
+                self.mutation_target(tgt, node.lineno, aug=True)
+                # thread/worker entry via `<obj>.target = fn`
+                if (isinstance(tgt, ast.Attribute) and tgt.attr == "target"
+                        and isinstance(node.value, (ast.Name, ast.Attribute,
+                                                    ast.IfExp))):
+                    self.entry_candidates(node.value)
+            elif isinstance(tgt, (ast.Tuple, ast.List)):
+                self.collect_names(tgt)
+
+    def bind(self, name: str, value: ast.AST, lineno: int) -> None:
+        self.local_names.add(name)
+        if name in self.globals_declared:
+            self.mutation(lineno, name)
+            return
+        lock_id = self.resolve_lock(value)
+        if lock_id is None and _is_lock_factory(value):
+            lock_id = f"{self.fn.name}.{name}"
+            self.prog.add_lock(lock_id, self.fn.file, value.lineno)
+        if lock_id is not None:
+            self.bindings[name] = lock_id
+        else:
+            self.bindings.pop(name, None)
+
+    def collect_names(self, target: ast.AST) -> None:
+        for n in ast.walk(target):
+            if isinstance(n, ast.Name):
+                self.local_names.add(n.id)
+
+    # -- mutations -----------------------------------------------------
+    def mutation_target(self, tgt: ast.AST, lineno: int, aug: bool) -> None:
+        base = tgt
+        while isinstance(base, (ast.Subscript, ast.Attribute)):
+            base = base.value
+        if isinstance(base, ast.Name):
+            self.mutation(lineno, base.id)
+
+    def mutation(self, lineno: int, name: str) -> None:
+        if (self.fn.module, name) not in self.prog.mutable_globals \
+                and name not in self.globals_declared:
+            return
+        if name in self.local_names and name not in self.globals_declared:
+            return
+        held = tuple(self.held)
+        if not held and self.fn.name.endswith("_locked"):
+            # the `_locked`-suffix contract: such helpers document that
+            # their caller already holds the guarding lock
+            held = ("<caller-held>",)
+        self.fn.mutations.append((lineno, name, held))
+
+    # -- expressions ---------------------------------------------------
+    def exprs(self, node: ast.AST) -> None:
+        for n in ast.walk(node):
+            if isinstance(n, ast.Call):
+                self.call(n)
+            elif isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                ast.Lambda)):
+                pass
+
+    def entry_candidates(self, value: ast.AST) -> None:
+        for n in ast.walk(value):
+            if isinstance(n, ast.Name):
+                self.prog.entry_refs.append((self.fn.module, "", n.id))
+            elif isinstance(n, ast.Attribute):
+                base = n.value
+                if isinstance(base, ast.Name):
+                    self.prog.entry_refs.append(
+                        (self.fn.module, base.id, n.attr))
+
+    def call(self, node: ast.Call) -> None:
+        name = _dotted(node.func)
+        head, _, tail = name.rpartition(".")
+
+        # thread / process creation markers
+        if tail == "Thread" and head in ("", "threading"):
+            self.fn.thread_lines.append(node.lineno)
+        if tail in _SPAWN_TAILS and tail != "fork":
+            self.fn.spawn_lines.append(node.lineno)
+        if name in ("os.fork", "fork") and head in ("os", ""):
+            self.fn.spawn_lines.append(node.lineno)
+
+        # `target=` keyword: the referenced callable is an entry point
+        for kw in node.keywords:
+            if kw.arg == "target":
+                self.entry_candidates(kw.value)
+
+        # atexit.register(fn)
+        if name == "atexit.register" and node.args:
+            arg = node.args[0]
+            if isinstance(arg, ast.Name):
+                self.prog.atexit_regs.setdefault(
+                    self.fn.module, set()).add(arg.id)
+
+        # shm lifecycle markers
+        if tail == "SharedMemory":
+            creating = any(kw.arg == "create"
+                           and isinstance(kw.value, ast.Constant)
+                           and kw.value.value is True
+                           for kw in node.keywords)
+            if creating:
+                self.fn.create_lines.append(node.lineno)
+            else:
+                self.fn.attach_lines.append(node.lineno)
+        if tail in ("attach", "AttachedSegment"):
+            self.fn.attach_lines.append(node.lineno)
+        if tail in ("unlink", "shm_unlink"):
+            self.fn.unlink_lines.append(node.lineno)
+
+        # call-graph record (for interprocedural edges / reachability)
+        if isinstance(node.func, ast.Name):
+            self.fn.calls.append(("bare", "", node.func.id, node.lineno,
+                                  tuple(self.held)))
+        elif isinstance(node.func, ast.Attribute):
+            base = node.func.value
+            if isinstance(base, ast.Name) and base.id == "self":
+                kind, base_s = "self", "self"
+            else:
+                kind, base_s = "dotted", _dotted(base)
+            self.fn.calls.append((kind, base_s, node.func.attr,
+                                  node.lineno, tuple(self.held)))
+
+        # blocking-call-under-lock (direct frame only)
+        if self.held:
+            self.blocking_check(node, name, head, tail)
+
+    def blocking_check(self, node: ast.Call, name: str, head: str,
+                       tail: str) -> None:
+        if tail == "AttachedSegment" or (tail == "SharedMemory" and
+                                         node.lineno in self.fn.attach_lines):
+            self.flag_blocking(node.lineno, f"{name}(...) [shm attach]")
+            return
+        if tail not in _BLOCKING:
+            return
+        if tail == "sleep" and head not in ("time", ""):
+            return
+        if tail == "join":
+            # str.join / os.path.join are not blocking
+            if isinstance(node.func, ast.Attribute) and isinstance(
+                    node.func.value, ast.Constant):
+                return
+            if head.endswith("path"):
+                return
+        if tail in ("put", "get"):
+            base = head.rpartition(".")[2].lower()
+            if not (base in ("q", "queue") or base.endswith("_q")
+                    or "queue" in base):
+                return
+        if tail == "wait" and isinstance(node.func, ast.Attribute):
+            receiver = self.resolve_lock(node.func.value)
+            if receiver is not None and receiver in self.held:
+                return  # condition-variable wait on a held lock: the idiom
+        if tail == "attach" and not self.fn.attach_lines:
+            return
+        self.flag_blocking(node.lineno, f"{name}(...)")
+
+    def flag_blocking(self, lineno: int, desc: str) -> None:
+        self.fn.blocking.append((lineno, desc, tuple(self.held)))
+
+
+def _collect_function(node, module: str, cls: str | None, file: str,
+                      prog: _Program,
+                      outer_bindings: dict[str, str] | None = None,
+                      nested: bool = False) -> None:
+    key = f"{module}:{cls + '.' if cls else ''}{node.name}@{node.lineno}"
+    fn = _Func(key, module, cls, node.name, file, node.lineno)
+    prog.add_func(fn, nested=nested)
+    walker = _FuncWalker(fn, prog, cls, outer_bindings)
+    args = node.args
+    for a in (args.posonlyargs + args.args + args.kwonlyargs
+              + ([args.vararg] if args.vararg else [])
+              + ([args.kwarg] if args.kwarg else [])):
+        walker.local_names.add(a.arg)
+    walker.walk(node.body)
+
+
+def _collect_file(tree: ast.Module, file: str, prog: _Program) -> None:
+    mod = _modbase(file)
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            _collect_function(node, mod, None, file, prog)
+        elif isinstance(node, ast.ClassDef):
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    _collect_function(item, mod, node.name, file, prog)
+        elif isinstance(node, ast.Expr) and isinstance(node.value, ast.Call):
+            call = node.value
+            if _dotted(call.func) == "atexit.register" and call.args:
+                arg = call.args[0]
+                if isinstance(arg, ast.Name):
+                    prog.atexit_regs.setdefault(mod, set()).add(arg.id)
+
+
+# ----------------------------------------------------------------------
+# resolution + fixpoint
+# ----------------------------------------------------------------------
+
+
+def _resolve_call(prog: _Program, fn: _Func, kind: str, base: str,
+                  name: str) -> str | None:
+    if kind == "self" and fn.cls is not None:
+        key = prog.methods.get((fn.module, fn.cls, name))
+        if key is not None:
+            return key
+    if kind == "bare":
+        key = prog.module_funcs.get((fn.module, name))
+        if key is not None:
+            return key
+        classes = prog.classes.get(name, [])
+        if len(classes) == 1:
+            mod, cls = classes[0]
+            return prog.methods.get((mod, cls, "__init__"))
+    # unique-name fallback for dotted (and unresolved self/bare) calls
+    if name in _GENERIC:
+        return None
+    keys = prog.by_name.get(name, [])
+    if len(keys) == 1:
+        return keys[0]
+    return None
+
+
+def _fixpoint(prog: _Program) -> None:
+    resolved: dict[tuple[str, int], str | None] = {}
+    for fn in prog.funcs.values():
+        fn.may_acquire = set(fn.acquires)
+        fn.may_spawn = bool(fn.spawn_lines)
+        fn.may_unlink = bool(fn.unlink_lines)
+        for i, (kind, base, name, _line, _held) in enumerate(fn.calls):
+            resolved[(fn.key, i)] = _resolve_call(prog, fn, kind, base, name)
+    for _ in range(60):
+        changed = False
+        for fn in prog.funcs.values():
+            for i in range(len(fn.calls)):
+                callee_key = resolved[(fn.key, i)]
+                if callee_key is None:
+                    continue
+                callee = prog.funcs[callee_key]
+                if not callee.may_acquire <= fn.may_acquire:
+                    fn.may_acquire |= callee.may_acquire
+                    changed = True
+                if callee.may_spawn and not fn.may_spawn:
+                    fn.may_spawn = True
+                    changed = True
+                if callee.may_unlink and not fn.may_unlink:
+                    fn.may_unlink = True
+                    changed = True
+        if not changed:
+            break
+    prog._resolved = resolved  # type: ignore[attr-defined]
+
+
+def _all_edges(prog: _Program) -> dict[tuple[str, str], tuple[str, int]]:
+    """Every acquisition-order edge -> one witness (file, line)."""
+    edges: dict[tuple[str, str], tuple[str, int]] = {}
+    resolved = prog._resolved  # type: ignore[attr-defined]
+    for fn in prog.funcs.values():
+        for held, acq, line in fn.edges:
+            edges.setdefault((held, acq), (fn.file, line))
+        for i, (_kind, _base, _name, line, held_stack) in enumerate(fn.calls):
+            callee_key = resolved[(fn.key, i)]
+            if callee_key is None or not held_stack:
+                continue
+            for m in prog.funcs[callee_key].may_acquire:
+                for h in held_stack:
+                    if h != m:
+                        edges.setdefault((h, m), (fn.file, line))
+    return edges
+
+
+def _find_cycles(edges: dict[tuple[str, str], tuple[str, int]]
+                 ) -> list[list[str]]:
+    """Strongly connected components with >1 node (or a self-loop)."""
+    graph: dict[str, set[str]] = {}
+    for (a, b) in edges:
+        graph.setdefault(a, set()).add(b)
+        graph.setdefault(b, set())
+    index: dict[str, int] = {}
+    low: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    counter = [0]
+    sccs: list[list[str]] = []
+
+    def strongconnect(root: str) -> None:
+        work = [(root, iter(sorted(graph[root])))]
+        index[root] = low[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            v, it = work[-1]
+            advanced = False
+            for w in it:
+                if w not in index:
+                    index[w] = low[w] = counter[0]
+                    counter[0] += 1
+                    stack.append(w)
+                    on_stack.add(w)
+                    work.append((w, iter(sorted(graph[w]))))
+                    advanced = True
+                    break
+                if w in on_stack:
+                    low[v] = min(low[v], index[w])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[v])
+            if low[v] == index[v]:
+                comp = []
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    comp.append(w)
+                    if w == v:
+                        break
+                if len(comp) > 1 or (v, v) in edges:
+                    sccs.append(sorted(comp))
+
+    for node in sorted(graph):
+        if node not in index:
+            strongconnect(node)
+    return sccs
+
+
+def _reachable_from_entries(prog: _Program) -> set[str]:
+    resolved = prog._resolved  # type: ignore[attr-defined]
+    entry_keys: set[str] = set()
+    refs = list(prog.entry_refs)
+    for hint in ENTRY_HINTS:
+        for key in prog.by_name.get(hint, []):
+            entry_keys.add(key)
+    for module, base, name in refs:
+        fake = _Func(f"{module}:<ref>", module, None, "<ref>", "", 0)
+        kind = "self" if base == "self" else ("bare" if base == ""
+                                              else "dotted")
+        if base == "self":
+            # target=self._worker style: try every class in the module
+            for (mod, cls, meth), key in prog.methods.items():
+                if mod == module and meth == name:
+                    entry_keys.add(key)
+            continue
+        key = _resolve_call(prog, fake, kind, base, name)
+        if key is not None:
+            entry_keys.add(key)
+        elif name not in _GENERIC:
+            for k in prog.by_name.get(name, []):
+                entry_keys.add(k)
+    seen = set(entry_keys)
+    frontier = list(entry_keys)
+    while frontier:
+        key = frontier.pop()
+        fn = prog.funcs[key]
+        for i in range(len(fn.calls)):
+            callee = resolved[(fn.key, i)]
+            if callee is not None and callee not in seen:
+                seen.add(callee)
+                frontier.append(callee)
+    return seen
+
+
+# ----------------------------------------------------------------------
+# public API
+# ----------------------------------------------------------------------
+
+
+def analyze_files(files: list[Path]) -> tuple[_Program, list[Diagnostic]]:
+    """Build the program model and raw diagnostics (waivers NOT applied)."""
+    prog = _Program()
+    trees: list[tuple[ast.Module, str]] = []
+    diags: list[Diagnostic] = []
+    for f in files:
+        text = Path(f).read_text()
+        try:
+            tree = ast.parse(text, filename=str(f))
+        except SyntaxError as exc:
+            diags.append(Diagnostic(
+                rule="syntax-error", severity=ERROR,
+                where=f"{f}:{exc.lineno or 0}", message=str(exc.msg)))
+            continue
+        trees.append((tree, str(f)))
+        prog.files.append(str(f))
+    for tree, file in trees:
+        _discover_file(tree, file, prog)
+    for tree, file in trees:
+        _collect_file(tree, file, prog)
+    _fixpoint(prog)
+
+    edges = _all_edges(prog)
+
+    # rule 1: lock-order cycles
+    for comp in _find_cycles(edges):
+        pairs = [(a, b) for (a, b) in edges
+                 if a in comp and b in comp]
+        witness = edges[pairs[0]]
+        cycle = " -> ".join(comp + [comp[0]])
+        diags.append(Diagnostic(
+            rule="lock-order-cycle", severity=ERROR,
+            where=f"{witness[0]}:{witness[1]}",
+            message=f"lock acquisition order contains a cycle: {cycle}; "
+                    f"two flows taking these locks in opposite orders can "
+                    f"deadlock",
+            data={"locks": comp,
+                  "edges": [[a, b, *edges[(a, b)]] for a, b in pairs]}))
+
+    # rule 2: blocking calls under a held lock
+    for fn in prog.funcs.values():
+        for line, desc, held in sorted(set(fn.blocking)):
+            diags.append(Diagnostic(
+                rule="blocking-call-under-lock", severity=ERROR,
+                where=f"{fn.file}:{line}",
+                message=f"{desc} while holding {', '.join(held)}; a stalled "
+                        f"peer holds the lock against every other thread",
+                data={"held": list(held), "call": desc}))
+
+    # rule 3: unlocked shared state reachable from thread/worker entries
+    reachable = _reachable_from_entries(prog)
+    for key in sorted(reachable):
+        fn = prog.funcs[key]
+        for line, name, held in sorted(set(fn.mutations)):
+            if held:
+                continue
+            diags.append(Diagnostic(
+                rule="unlocked-shared-state", severity=ERROR,
+                where=f"{fn.file}:{line}",
+                message=f"module state {fn.module}.{name} mutated without a "
+                        f"lock in {fn.name}(), which is reachable from a "
+                        f"thread/worker entry point",
+                data={"state": f"{fn.module}.{name}", "function": fn.name}))
+
+    # rule 4: process spawn after thread creation in the same flow
+    resolved = prog._resolved  # type: ignore[attr-defined]
+    for fn in prog.funcs.values():
+        if not fn.thread_lines:
+            continue
+        tmin = min(fn.thread_lines)
+        spawn_line = None
+        for line in fn.spawn_lines:
+            if line > tmin:
+                spawn_line = line
+                break
+        if spawn_line is None:
+            for i, (_k, _b, name, line, _h) in enumerate(fn.calls):
+                callee = resolved[(fn.key, i)]
+                if (line > tmin and callee is not None
+                        and prog.funcs[callee].may_spawn):
+                    spawn_line = line
+                    break
+        if spawn_line is not None:
+            diags.append(Diagnostic(
+                rule="fork-after-thread", severity=ERROR,
+                where=f"{fn.file}:{spawn_line}",
+                message=f"{fn.name}() starts a thread (line {tmin}) and "
+                        f"later spawns a process; forked children inherit "
+                        f"locked locks without the threads that release them",
+                data={"thread_line": tmin, "spawn_line": spawn_line}))
+
+    # rule 5a: attach paths must never unlink
+    for fn in prog.funcs.values():
+        if fn.attach_lines and fn.unlink_lines:
+            line = min(fn.unlink_lines)
+            diags.append(Diagnostic(
+                rule="attach-side-unlink", severity=ERROR,
+                where=f"{fn.file}:{line}",
+                message=f"{fn.name}() attaches a shared-memory segment and "
+                        f"also unlinks one; ownership is publisher-side only "
+                        f"— attachers must never unlink",
+                data={"attach_line": min(fn.attach_lines),
+                      "unlink_line": line}))
+
+    # rule 5b: publishing modules must register an unlink path at exit
+    creators: dict[str, list[tuple[str, int]]] = {}
+    for fn in prog.funcs.values():
+        for line in fn.create_lines:
+            creators.setdefault(fn.module, []).append((fn.file, line))
+    for module, sites in sorted(creators.items()):
+        registered = prog.atexit_regs.get(module, set())
+        covered = False
+        for name in registered:
+            key = prog.module_funcs.get((module, name))
+            if key is not None and prog.funcs[key].may_unlink:
+                covered = True
+        if not covered:
+            for file, line in sorted(set(sites)):
+                diags.append(Diagnostic(
+                    rule="publish-without-unlink", severity=ERROR,
+                    where=f"{file}:{line}",
+                    message=f"module {module} creates shared-memory segments "
+                            f"but registers no atexit hook that reaches "
+                            f"unlink(); interrupted runs leak /dev/shm "
+                            f"entries",
+                    data={"module": module}))
+
+    return prog, diags
+
+
+def _expand_paths(paths: list[Path | str]) -> list[Path]:
+    files: list[Path] = []
+    for p in paths:
+        p = Path(p)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.py")))
+        else:
+            files.append(p)
+    return files
+
+
+def check_paths(paths: list[Path | str]) -> tuple[list[Diagnostic], dict]:
+    """Run the concurrency pass with waivers applied.
+
+    Returns ``(diagnostics, summary)``; the summary carries the lock
+    registry size, edge count and analyzed-file count, plus the graph
+    itself (the CLI surfaces it under ``--json``).
+    """
+    from .lint import RULES as LINT_RULES
+    from .lint import _collect_waivers
+
+    files = _expand_paths(paths)
+    prog, raw = analyze_files(files)
+
+    known = set(LINT_RULES) | set(RULES) | {"waiver-unknown-rule"}
+    waivers: dict[str, tuple[dict, list, list]] = {}
+    diags: list[Diagnostic] = []
+    for d in raw:
+        file, _, line_s = d.where.rpartition(":")
+        if file not in waivers:
+            try:
+                lines = Path(file).read_text().splitlines()
+            except OSError:
+                lines = []
+            waivers[file] = _collect_waivers(lines, known_rules=known)
+        waived, _malformed, _unknown = waivers[file]
+        if d.rule in waived.get(int(line_s), ()):
+            continue
+        diags.append(d)
+
+    edges = _all_edges(prog)
+    summary = {
+        "files": len(files),
+        "locks": {k: [[f, ln] for f, ln in v]
+                  for k, v in sorted(prog.locks.items())},
+        "edges": sorted([a, b] for a, b in edges),
+        "entry_points": len(_reachable_from_entries(prog)),
+    }
+    diags.sort(key=lambda d: (d.where.rpartition(":")[0],
+                              int(d.where.rpartition(":")[2] or 0), d.rule))
+    return diags, summary
+
+
+def static_graph(paths: list[Path | str] | None = None) -> dict:
+    """The static lock graph for the runtime sanitizer's cross-check.
+
+    Returns ``{"locks": {id: [[abspath, line], ...]},
+    "edges": [[a, b], ...]}``; creation sites use resolved absolute
+    paths so they can be matched against runtime frame locations.
+    """
+    if paths is None:
+        from .run import default_lint_root
+        paths = [default_lint_root()]
+    files = _expand_paths(paths)
+    prog, _raw = analyze_files(files)
+    edges = _all_edges(prog)
+    return {
+        "locks": {k: [[str(Path(f).resolve()), ln] for f, ln in v]
+                  for k, v in sorted(prog.locks.items())},
+        "edges": sorted([a, b] for a, b in edges),
+    }

@@ -73,29 +73,62 @@ _GLOBAL_RNG_FNS = frozenset({
 #: every rule id the linter can emit (documented in DESIGN.md section 9)
 RULES = ("implicit-float64", "float-equality", "unseeded-rng",
          "tensor-data-mutation", "broad-except", "waiver-missing-reason",
-         "syntax-error")
+         "waiver-unknown-rule", "syntax-error")
 
-_WAIVER_RE = re.compile(r"#\s*lint:\s*allow\[([a-z0-9-]+)\]\s*(.*)")
+_WAIVER_RE = re.compile(r"#\s*lint:\s*allow\[([a-z0-9,\s-]+)\]\s*(.*)")
 
 
-def _collect_waivers(source_lines: list[str]) -> tuple[dict, list]:
-    """Map line -> waived rule ids; also return malformed waivers.
+def _collect_waivers(source_lines: list[str],
+                     known_rules: set[str] | frozenset | None = None
+                     ) -> tuple[dict, list, list]:
+    """Parse ``# lint: allow[rule,...] reason`` waivers.
 
-    A waiver on line L covers findings on L and L+1 (comment-above style).
+    Returns ``(waived, malformed, unknown)``:
+
+    * ``waived`` maps line -> set of waived rule ids.  A waiver on a
+      comment-only line L covers findings on L and L+1 (comment-above
+      style); a trailing waiver covers only its own line — including on
+      a decorator line, which does *not* extend to the ``def`` below it.
+    * ``malformed`` lists ``(line, rule)`` waivers missing the mandatory
+      justification text (the whole waiver is rejected).
+    * ``unknown`` lists ``(line, rule)`` entries whose rule id is not in
+      ``known_rules`` (checked only when a rule set is given); unknown
+      rules never suppress anything — a typo'd waiver must fail loudly,
+      not silently leave its finding unwaived *and* unreported.
+
+    One bracket may carry several comma-separated rules
+    (``# lint: allow[float-equality,broad-except] reason``); the reason
+    applies to all of them.
     """
     waived: dict[int, set[str]] = {}
     malformed: list[tuple[int, str]] = []
+    unknown: list[tuple[int, str]] = []
     for i, line in enumerate(source_lines, start=1):
         m = _WAIVER_RE.search(line)
         if not m:
             continue
-        rule, reason = m.group(1), m.group(2).strip()
+        rules = [r.strip() for r in m.group(1).split(",") if r.strip()]
+        reason = m.group(2).strip()
         if not reason:
-            malformed.append((i, rule))
+            for rule in rules:
+                malformed.append((i, rule))
             continue
-        for covered in (i, i + 1) if line.lstrip().startswith("#") else (i,):
-            waived.setdefault(covered, set()).add(rule)
-    return waived, malformed
+        covered_lines = ((i, i + 1) if line.lstrip().startswith("#")
+                         else (i,))
+        for rule in rules:
+            if known_rules is not None and rule not in known_rules:
+                unknown.append((i, rule))
+                continue
+            for covered in covered_lines:
+                waived.setdefault(covered, set()).add(rule)
+    return waived, malformed, unknown
+
+
+def known_waiver_rules() -> frozenset:
+    """Every rule id waivable anywhere in the repo (lint + concurrency)."""
+    from .concurrency import RULES as concurrency_rules
+    return frozenset(RULES) | frozenset(concurrency_rules) | {
+        "waiver-unknown-rule"}
 
 
 def _dotted(node: ast.AST) -> str:
@@ -235,7 +268,8 @@ def lint_source(source: str, filename: str = "<string>",
                            where=f"{filename}:{exc.lineno or 0}",
                            message=str(exc.msg))]
     lines = source.splitlines()
-    waived, malformed = _collect_waivers(lines)
+    waived, malformed, unknown = _collect_waivers(
+        lines, known_rules=known_waiver_rules())
     visitor = _Visitor(filename, quantized_path)
     visitor.visit(tree)
 
@@ -244,6 +278,11 @@ def lint_source(source: str, filename: str = "<string>",
                         message=f"waiver for [{rule}] lacks a justification "
                                 f"(write `# lint: allow[{rule}] -- why`)")
              for line, rule in malformed]
+    diags += [Diagnostic(rule="waiver-unknown-rule", severity=ERROR,
+                         where=f"{filename}:{line}",
+                         message=f"waiver names unknown rule [{rule}]; "
+                                 f"nothing is suppressed — fix the rule id")
+              for line, rule in unknown]
     for line, rule, message in sorted(set(visitor.findings)):
         if rule in waived.get(line, ()):
             continue

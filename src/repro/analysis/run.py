@@ -14,12 +14,14 @@ from __future__ import annotations
 
 from pathlib import Path
 
+from .concurrency import check_paths
 from .diagnostics import AnalysisReport
 from .levelize import depth_of
 from .lint import lint_paths
 from .structural import verify_circuit
 
-__all__ = ["analyze_netlists", "analyze_lint", "default_lint_root"]
+__all__ = ["analyze_netlists", "analyze_lint", "analyze_concurrency",
+           "default_lint_root"]
 
 
 def analyze_netlists(names: list[str] | None = None) -> AnalysisReport:
@@ -49,4 +51,21 @@ def analyze_lint(paths: list[str] | None = None) -> AnalysisReport:
     report.extend(diags)
     report.summary = {"files": nfiles,
                       "targets": [str(t) for t in targets]}
+    return report
+
+
+def analyze_concurrency(paths: list[str] | None = None) -> AnalysisReport:
+    """Concurrency pass over files/directories (default: all of ``src/repro``).
+
+    Lock-order cycles, blocking calls under locks, unlocked shared state
+    reachable from thread/worker entry points, fork-after-thread hazards
+    and shared-memory lifecycle violations — see
+    :mod:`repro.analysis.concurrency` for the rule catalog.
+    """
+    targets = [Path(p) for p in paths] if paths else [default_lint_root()]
+    diags, summary = check_paths(targets)
+    report = AnalysisReport(kind="concurrency")
+    report.extend(diags)
+    report.summary = dict(summary,
+                          targets=[str(t) for t in targets])
     return report

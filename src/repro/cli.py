@@ -33,6 +33,9 @@ analyze netlist [NAMES...|--all] [--json]
     gate-level netlists (decoders, encoders, MACs).
 analyze lint [PATHS...] [--json]
     Numerics linter over a source tree (default: ``src/repro``).
+analyze concurrency [PATHS...] [--json]
+    Concurrency analyzer (lock order, blocking-under-lock, shared state,
+    fork-after-thread, shm lifecycle) over a source tree.
 """
 
 from __future__ import annotations
@@ -132,14 +135,27 @@ def build_parser() -> argparse.ArgumentParser:
                       help="registered variant names (see --all)")
     p_nl.add_argument("--all", action="store_true", dest="all_variants",
                       help="verify every registered variant")
-    p_nl.add_argument("--json", action="store_true",
-                      help="machine-readable report on stdout")
-    p_li = an_sub.add_parser("lint", help="numerics linter")
-    p_li.add_argument("paths", nargs="*", default=[],
-                      help="files or directories (default: src/repro)")
-    p_li.add_argument("--json", action="store_true",
-                      help="machine-readable report on stdout")
+    _add_report_args(p_nl, paths=False)
+    _add_report_args(an_sub.add_parser("lint", help="numerics linter"))
+    _add_report_args(an_sub.add_parser(
+        "concurrency", help="lock-order / shared-state / shm analyzer"))
     return parser
+
+
+def _add_report_args(sub: argparse.ArgumentParser,
+                     paths: bool = True) -> argparse.ArgumentParser:
+    """The shared ``[PATHS...] --json`` tail of every ``analyze`` subcommand.
+
+    ``netlist`` takes variant names instead of paths but shares the
+    ``--json`` switch (and with it the exit-code contract: 0 clean,
+    1 findings, 2 usage error from argparse).
+    """
+    if paths:
+        sub.add_argument("paths", nargs="*", default=[],
+                         help="files or directories (default: src/repro)")
+    sub.add_argument("--json", action="store_true",
+                     help="machine-readable report on stdout")
+    return sub
 
 
 def _cmd_formats() -> int:
@@ -234,7 +250,10 @@ def _cmd_hardware(args) -> int:
 
 
 def _cmd_analyze(args) -> int:
-    from .analysis import analyze_lint, analyze_netlists, render_depth_report
+    from .analysis import (
+        analyze_concurrency, analyze_lint, analyze_netlists,
+        render_depth_report,
+    )
     from .analysis.levelize import DepthRow
     if args.analyze_command == "netlist":
         names = None if (args.all_variants or not args.names) else args.names
@@ -251,7 +270,9 @@ def _cmd_analyze(args) -> int:
             print()
             print(report.render())
     else:
-        report = analyze_lint(args.paths or None)
+        run = (analyze_concurrency if args.analyze_command == "concurrency"
+               else analyze_lint)
+        report = run(args.paths or None)
         if args.json:
             print(report.to_json())
         else:

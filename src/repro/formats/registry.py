@@ -46,6 +46,7 @@ def get_format(name: str) -> CodebookFormat:
         m = pattern.match(key)
         if m:
             fmt = factory(m)
+            # lint: allow[unlocked-shared-state] idempotent memo: formats are pure values keyed by name; GIL-atomic insert, racers build equal objects
             _CACHE[key] = fmt
             return fmt
     raise KeyError(f"unknown format name: {name!r}")

@@ -41,6 +41,7 @@ def get_backend() -> str:
 def set_backend(name: str | None) -> None:
     """Set (or with ``None`` clear) the programmatic backend override."""
     global _override
+    # lint: allow[unlocked-shared-state] single GIL-atomic str rebind; workers set it once in their pipe loop before serving, scheduler threads only read
     _override = None if name is None else _validate(name)
 
 

@@ -32,6 +32,8 @@ word, accelerating ``encode_array`` with the identical machinery.
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 from ..resilience.pool import register_stats_provider as _register_stats_provider
@@ -162,6 +164,11 @@ class BitLUTKernel:
 #: built kernels, keyed by format name (formats hash/compare by name)
 _CACHE: dict[str, BitLUTKernel] = {}
 
+# guards _CACHE/_STATS writes: scheduler worker threads race on the first
+# kernel_for() of a cold format, and without the lock two of them would
+# both run the 65,536-bucket build (wasted work, torn counters)
+_LUT_LOCK = threading.Lock()
+
 # per-process build/hit/attach counters, exported to the parallel fabric so
 # grid runs can verify that fork children inherited the 65,536-entry tables
 # copy-on-write (builds stay 0 in warm workers) instead of rebuilding them,
@@ -180,25 +187,27 @@ _register_stats_provider("kernels", kernel_stats)
 
 def kernel_for(fmt) -> BitLUTKernel:
     """The (lazily built, cached) LUT kernel for ``fmt``."""
-    kernel = _CACHE.get(fmt.name)
-    if kernel is None:
-        if fmt.nbits > LUT_MAX_BITS:
-            raise ValueError(
-                f"{fmt.name}: LUT kernel supports at most {LUT_MAX_BITS}-bit "
-                f"formats, got nbits={fmt.nbits}")
-        _STATS["lut_builds"] += 1
-        kernel = _CACHE[fmt.name] = BitLUTKernel(fmt)
-    else:
-        _STATS["lut_hits"] += 1
+    if fmt.nbits > LUT_MAX_BITS:
+        raise ValueError(
+            f"{fmt.name}: LUT kernel supports at most {LUT_MAX_BITS}-bit "
+            f"formats, got nbits={fmt.nbits}")
+    with _LUT_LOCK:
+        kernel = _CACHE.get(fmt.name)
+        if kernel is None:
+            _STATS["lut_builds"] += 1
+            kernel = _CACHE[fmt.name] = BitLUTKernel(fmt)
+        else:
+            _STATS["lut_hits"] += 1
     return kernel
 
 
 def clear_kernel_cache() -> None:
     """Drop all built kernels (tests and memory-sensitive callers)."""
-    _CACHE.clear()
-    _STATS["lut_builds"] = 0
-    _STATS["lut_hits"] = 0
-    _STATS["lut_attaches"] = 0
+    with _LUT_LOCK:
+        _CACHE.clear()
+        _STATS["lut_builds"] = 0
+        _STATS["lut_hits"] = 0
+        _STATS["lut_attaches"] = 0
 
 
 # ----------------------------------------------------------------------
@@ -244,6 +253,7 @@ def install_tables(meta: dict, arrays: dict[str, np.ndarray]) -> BitLUTKernel:
     kernel.thr = arrays.get("thr")
     kernel.kmax = int(meta["kmax"])
     kernel.zero_idx = int(meta["zero_idx"])
-    _CACHE[kernel.name] = kernel
-    _STATS["lut_attaches"] += 1
+    with _LUT_LOCK:
+        _CACHE[kernel.name] = kernel
+        _STATS["lut_attaches"] += 1
     return kernel

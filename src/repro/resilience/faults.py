@@ -54,6 +54,7 @@ from __future__ import annotations
 import fnmatch
 import os
 import re
+import threading
 import time
 from dataclasses import dataclass
 
@@ -140,21 +141,30 @@ def parse_spec(text: str) -> list[FaultSpec]:
 
 
 # parse cache keyed on the raw env string, plus per-spec firing counters;
-# counters reset whenever the spec string changes (e.g. between tests)
+# counters reset whenever the spec string changes (e.g. between tests).
+# Scheduler threads and the shard collector both call fire(); the lock
+# keeps count-limited faults from double-firing across threads.
+_STATE_LOCK = threading.Lock()
 _cache_text: str | None = None
 _cache_specs: list[FaultSpec] = []
 _fired: dict[int, int] = {}
 
 
-def active_faults() -> list[FaultSpec]:
-    """The faults currently armed via ``$REPRO_FAULTS`` (parsed, cached)."""
+def _active_locked() -> list[FaultSpec]:
+    # caller holds _STATE_LOCK
     global _cache_text, _cache_specs, _fired
     text = os.environ.get(ENV_VAR, "")
     if text != _cache_text:
         _cache_specs = parse_spec(text)
         _cache_text = text
         _fired = {}
-    return list(_cache_specs)
+    return _cache_specs
+
+
+def active_faults() -> list[FaultSpec]:
+    """The faults currently armed via ``$REPRO_FAULTS`` (parsed, cached)."""
+    with _STATE_LOCK:
+        return list(_active_locked())
 
 
 def fire(scope: str, key: str) -> FaultSpec | None:
@@ -164,13 +174,14 @@ def fire(scope: str, key: str) -> FaultSpec | None:
     *accounts* for the fault; enacting the action is the caller's job —
     use :func:`maybe_fault` for the common raise/kill/hang behaviours.
     """
-    for idx, spec in enumerate(active_faults()):
-        if spec.scope != scope or not fnmatch.fnmatchcase(key, spec.key):
-            continue
-        if spec.count is not None and _fired.get(idx, 0) >= spec.count:
-            continue
-        _fired[idx] = _fired.get(idx, 0) + 1
-        return spec
+    with _STATE_LOCK:
+        for idx, spec in enumerate(_active_locked()):
+            if spec.scope != scope or not fnmatch.fnmatchcase(key, spec.key):
+                continue
+            if spec.count is not None and _fired.get(idx, 0) >= spec.count:
+                continue
+            _fired[idx] = _fired.get(idx, 0) + 1
+            return spec
     return None
 
 

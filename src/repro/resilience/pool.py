@@ -43,6 +43,7 @@ from __future__ import annotations
 import atexit
 import os
 import signal
+import threading
 from collections.abc import Callable
 from multiprocessing import connection
 
@@ -50,9 +51,19 @@ from . import faults
 from .numerics import NumericsError
 
 __all__ = [
-    "WorkerPool", "get_pool", "shutdown_all",
+    "WorkerPool", "PoolShutdown", "get_pool", "shutdown_all",
     "register_stats_provider", "collect_worker_stats",
 ]
+
+
+class PoolShutdown(RuntimeError):
+    """Raised by :meth:`WorkerPool.respawn` when the slot vanished mid-respawn.
+
+    The classic loser's race: a collector thread revives a dead worker
+    while the main thread runs :meth:`WorkerPool.shutdown` (or another
+    respawn wins the same slot).  The replacement process is already
+    killed when this raises — the caller just abandons the revive.
+    """
 
 #: pseudo task id marking a worker busy running a run initializer
 INIT_SEQ = "__init__"
@@ -215,6 +226,11 @@ class WorkerPool:
         self.respawns_total = 0
         self.failed_inits: set[str] = set()
         self._owner_pid = os.getpid()
+        # guards the workers list: the shard router's collector thread
+        # revives dead workers (respawn) while the main thread leases or
+        # shuts down — without this, respawn's index/assign pair can hit
+        # a list the other thread just pruned or cleared
+        self._lease_lock = threading.Lock()
 
     # -- lifecycle -----------------------------------------------------
     def _spawn(self) -> _Worker:
@@ -227,26 +243,49 @@ class WorkerPool:
         self.ever_spawned += 1
         return _Worker(proc, parent_conn)
 
-    def ensure(self, n: int) -> None:
-        """Grow the pool to at least ``n`` live workers."""
+    def _ensure_locked(self, n: int) -> None:
+        # caller holds _lease_lock
         self.workers = [w for w in self.workers if w.proc.is_alive()]
         while len(self.workers) < n:
             self.workers.append(self._spawn())
 
+    def ensure(self, n: int) -> None:
+        """Grow the pool to at least ``n`` live workers."""
+        with self._lease_lock:
+            self._ensure_locked(n)
+
     def lease(self, n: int) -> list[_Worker]:
         """The first ``n`` workers, spawning as needed; baselines stats."""
-        self.ensure(n)
-        leased = self.workers[:n]
-        for w in leased:
-            w.stats_baseline = dict(w.latest_stats)
-        return leased
+        with self._lease_lock:
+            self._ensure_locked(n)
+            leased = self.workers[:n]
+            for w in leased:
+                w.stats_baseline = dict(w.latest_stats)
+            return leased
 
     def respawn(self, worker: _Worker) -> _Worker:
-        """Kill ``worker`` (hung or dead) and replace it in its slot."""
+        """Kill ``worker`` (hung or dead) and replace it in its slot.
+
+        Raises :class:`PoolShutdown` if ``worker``'s slot disappeared
+        while the replacement was spawning (concurrent shutdown, or a
+        racing respawn of the same slot won); the replacement process is
+        reaped before raising, so nothing leaks.
+        """
         self._kill(worker)
-        replacement = self._spawn()
-        self.workers[self.workers.index(worker)] = replacement
-        self.respawns_total += 1
+        replacement = self._spawn()  # outside the lock: fork + pipe setup
+        with self._lease_lock:
+            try:
+                idx = self.workers.index(worker)
+            except ValueError:
+                idx = None
+            else:
+                self.workers[idx] = replacement
+                self.respawns_total += 1
+        if idx is None:
+            self._kill(replacement)
+            raise PoolShutdown(
+                "worker slot vanished during respawn (pool shut down "
+                "or a concurrent respawn won the slot)")
         return replacement
 
     def _kill(self, worker: _Worker) -> None:
@@ -265,15 +304,19 @@ class WorkerPool:
         """Stop every worker (graceful, then forceful)."""
         if os.getpid() != self._owner_pid:
             return  # a forked child inherited this record: not ours to stop
-        for w in self.workers:
+        with self._lease_lock:
+            doomed = self.workers
+            self.workers = []
+        # the slow part — pipe sends and joins — runs lock-free; a racing
+        # respawn of one of these workers gets PoolShutdown instead
+        for w in doomed:
             try:
                 w.conn.send(("stop",))
             except (OSError, ValueError):
                 pass
-        for w in self.workers:
+        for w in doomed:
             w.proc.join(timeout=1.0)
             self._kill(w)
-        self.workers = []
 
     # -- dispatch ------------------------------------------------------
     @staticmethod
@@ -306,6 +349,7 @@ class WorkerPool:
 # module-level registry: the pool persists across run_cells calls
 
 _POOLS: dict[tuple[str, str], WorkerPool] = {}
+_REGISTRY_LOCK = threading.Lock()
 
 
 def get_pool(ctx, kind: str = "grid", target: Callable | None = None,
@@ -320,12 +364,13 @@ def get_pool(ctx, kind: str = "grid", target: Callable | None = None,
     registry hit (a pool's protocol is fixed for its lifetime).
     """
     key = (ctx.get_start_method(), kind)
-    pool = _POOLS.get(key)
-    if pool is None or pool._owner_pid != os.getpid():
-        pool = _POOLS[key] = WorkerPool(
-            ctx, target=target,
-            name_prefix=name_prefix if name_prefix is not None
-            else f"repro-{kind}" if kind != "grid" else "repro-pool")
+    with _REGISTRY_LOCK:
+        pool = _POOLS.get(key)
+        if pool is None or pool._owner_pid != os.getpid():
+            pool = _POOLS[key] = WorkerPool(
+                ctx, target=target,
+                name_prefix=name_prefix if name_prefix is not None
+                else f"repro-{kind}" if kind != "grid" else "repro-pool")
     return pool
 
 
@@ -336,9 +381,11 @@ def shutdown_all() -> None:
     fixtures monkeypatching the zoo, for instance — must call this first
     so the next run forks workers that see the new state.
     """
-    for pool in _POOLS.values():
+    with _REGISTRY_LOCK:
+        doomed = list(_POOLS.values())
+        _POOLS.clear()
+    for pool in doomed:
         pool.shutdown()
-    _POOLS.clear()
 
 
 atexit.register(shutdown_all)

@@ -1,0 +1,388 @@
+"""Runtime concurrency sanitizer: observed lock order, leaks, cross-check.
+
+The static pass (:mod:`repro.analysis.concurrency`) proves properties of
+the code it can resolve; this module instruments the code that actually
+*runs*.  With the sanitizer enabled (``REPRO_SANITIZE=1`` before
+importing :mod:`repro`, or :func:`enable` from a test), every
+``threading.Lock``/``RLock``/``Condition`` created by repro code is
+wrapped so that:
+
+* the **observed acquisition-order graph** is recorded — an edge A -> B
+  for every acquire of B while A is held, keyed by each lock's creation
+  site (file, line), the same identity the static pass exports;
+* an acquire that **inverts** an already-observed edge (B -> A exists,
+  a thread now takes A -> B) is recorded as a violation carrying both
+  stacks: the one that established B -> A and the one inverting it.
+  Violations are *recorded*, not raised — the test-suite canary
+  (``tests/conftest.py``) asserts the list is empty after every test, so
+  a latent deadlock becomes a deterministic test failure with evidence;
+* :func:`snapshot` captures the live threads, ``/dev/shm/repro-*``
+  segments and open pipe fds, so teardown hooks can diff before/after
+  and localize **leaks** to the test that caused them;
+* :func:`cross_check` replays the observed graph against
+  :func:`repro.analysis.concurrency.static_graph` — an observed edge
+  (or lock) missing from the static graph is an **analyzer gap**,
+  reported so the static pass can be taught about it.
+
+Only locks created by modules whose ``__name__`` starts with ``repro``
+are wrapped (stdlib internals — ``queue``, ``multiprocessing`` — keep
+raw locks), so enabling the sanitizer cannot disturb foreign code.
+Results stay bit-identical: wrappers add bookkeeping around acquire and
+release, never change blocking semantics or scheduling.
+
+Known limitation: forked worker processes inherit the enabled sanitizer
+and record their own graphs, but their violations are not shipped back
+to the parent — the serve/shard protocols carry results, not telemetry.
+Worker-side locking is covered statically and by the parent-side graph
+(every pipe/segment interaction has a parent half).
+"""
+
+from __future__ import annotations
+
+import linecache
+import os
+import re
+import sys
+import threading
+import traceback
+from pathlib import Path
+
+__all__ = [
+    "enable", "disable", "enabled", "reset",
+    "observed_edges", "violations", "snapshot", "cross_check",
+]
+
+#: modules whose lock creations are tracked (by ``__name__`` prefix);
+#: the sanitizer itself is always excluded
+_TRACK_PREFIXES: tuple[str, ...] = ("repro",)
+
+# originals, captured at first enable()
+_REAL_LOCK = threading.Lock
+_REAL_RLOCK = threading.RLock
+_REAL_CONDITION = threading.Condition
+
+# all sanitizer metadata is guarded by one *raw* reentrant lock (created
+# from the original factory: the sanitizer never instruments itself)
+_META = _REAL_RLOCK()
+_ENABLED = False
+#: (site_a, site_b) -> {"stack": str, "thread": str} — first witness
+_EDGES: dict[tuple, dict] = {}
+_VIOLATIONS: list[dict] = []
+_TLS = threading.local()
+
+
+def _held() -> list:
+    stack = getattr(_TLS, "held", None)
+    if stack is None:
+        stack = _TLS.held = []
+    return stack
+
+
+def _counts() -> dict:
+    counts = getattr(_TLS, "counts", None)
+    if counts is None:
+        counts = _TLS.counts = {}
+    return counts
+
+
+#: a tracked creation line must textually construct a lock — a C
+#: extension (numpy's BitGenerator, for one) calling ``threading.Lock()``
+#: has no Python frame of its own, so the nearest visible frame is the
+#: repro line that *called into* the extension; tracking that would
+#: mis-attribute a foreign lock to repro source
+_LOCK_SRC_RE = re.compile(r"\b(?:Lock|RLock|Condition)\s*\(")
+
+
+def _creator_site(depth: int) -> tuple[str, int] | None:
+    """(abspath, lineno) of the frame creating a lock, if it is tracked."""
+    frame = sys._getframe(depth)
+    mod = frame.f_globals.get("__name__", "")
+    if mod.startswith("repro.sanitize") or mod == __name__:
+        return None
+    if not any(mod == p or mod.startswith(p + ".") for p in _TRACK_PREFIXES):
+        return None
+    if not _LOCK_SRC_RE.search(
+            linecache.getline(frame.f_code.co_filename, frame.f_lineno)):
+        return None
+    return (str(Path(frame.f_code.co_filename).resolve()), frame.f_lineno)
+
+
+def _record_acquire(tracked) -> None:
+    """Record edges held -> tracked and detect inversions (pre-acquire)."""
+    site_b = tracked._site
+    stack = None
+    with _META:
+        for entry in _held():
+            site_a = entry._site
+            if site_a == site_b:
+                continue
+            key = (site_a, site_b)
+            if key not in _EDGES:
+                if stack is None:
+                    stack = "".join(traceback.format_stack(sys._getframe(2)))
+                _EDGES[key] = {"stack": stack,
+                               "thread": threading.current_thread().name}
+            rev = _EDGES.get((site_b, site_a))
+            if rev is not None:
+                if stack is None:
+                    stack = "".join(traceback.format_stack(sys._getframe(2)))
+                _VIOLATIONS.append({
+                    "kind": "lock-inversion",
+                    "edge": [list(site_a), list(site_b)],
+                    "thread": threading.current_thread().name,
+                    "stack": stack,
+                    "prior_thread": rev["thread"],
+                    "prior_stack": rev["stack"],
+                })
+
+
+def _push(tracked) -> None:
+    counts = _counts()
+    n = counts.get(id(tracked), 0)
+    counts[id(tracked)] = n + 1
+    if n == 0:
+        _held().append(tracked)
+
+
+def _pop(tracked) -> None:
+    counts = _counts()
+    n = counts.get(id(tracked), 0)
+    if n <= 1:
+        counts.pop(id(tracked), None)
+        stack = _held()
+        for i in range(len(stack) - 1, -1, -1):
+            if stack[i] is tracked:
+                del stack[i]
+                break
+    else:
+        counts[id(tracked)] = n - 1
+
+
+class _TrackedLock:
+    """Order/leak-tracking proxy around a real Lock or RLock."""
+
+    def __init__(self, real, site: tuple[str, int]):
+        self._real = real
+        self._site = site
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        _record_acquire(self)
+        got = self._real.acquire(blocking, timeout)
+        if got:
+            _push(self)
+        return got
+
+    def release(self) -> None:
+        self._real.release()
+        _pop(self)
+
+    def locked(self) -> bool:
+        return self._real.locked()
+
+    def __enter__(self):
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<sanitized {self._real!r} from {self._site}>"
+
+
+class _TrackedCondition:
+    """Order-tracking proxy around a real Condition.
+
+    ``wait``/``wait_for`` release the underlying lock, so the held entry
+    is popped for the duration and re-pushed on return (re-acquisition
+    records no new edges: the wakeup path is the scheduler's, not the
+    waiter's).
+    """
+
+    def __init__(self, real, site: tuple[str, int]):
+        self._real = real
+        self._site = site
+
+    def acquire(self, *args) -> bool:
+        _record_acquire(self)
+        got = self._real.acquire(*args)
+        if got:
+            _push(self)
+        return got
+
+    def release(self) -> None:
+        self._real.release()
+        _pop(self)
+
+    def __enter__(self):
+        _record_acquire(self)
+        self._real.__enter__()
+        _push(self)
+        return self
+
+    def __exit__(self, *exc):
+        out = self._real.__exit__(*exc)
+        _pop(self)
+        return out
+
+    def wait(self, timeout: float | None = None) -> bool:
+        _pop(self)
+        try:
+            return self._real.wait(timeout)
+        finally:
+            _push(self)
+
+    def wait_for(self, predicate, timeout: float | None = None):
+        _pop(self)
+        try:
+            return self._real.wait_for(predicate, timeout)
+        finally:
+            _push(self)
+
+    def notify(self, n: int = 1) -> None:
+        self._real.notify(n)
+
+    def notify_all(self) -> None:
+        self._real.notify_all()
+
+
+def _lock_factory():
+    site = _creator_site(2)
+    real = _REAL_LOCK()
+    return real if site is None else _TrackedLock(real, site)
+
+
+def _rlock_factory():
+    site = _creator_site(2)
+    real = _REAL_RLOCK()
+    return real if site is None else _TrackedLock(real, site)
+
+
+def _condition_factory(lock=None):
+    site = _creator_site(2)
+    if lock is not None and isinstance(lock, _TrackedLock):
+        # hand the Condition the raw lock; order tracking stays with the
+        # caller-visible wrapper object the code continues to use
+        real = _REAL_CONDITION(lock._real)
+    else:
+        real = _REAL_CONDITION(lock)
+    return real if site is None else _TrackedCondition(real, site)
+
+
+# ----------------------------------------------------------------------
+# lifecycle
+
+
+def enable() -> None:
+    """Patch the ``threading`` factories (idempotent, repro-only effect)."""
+    global _ENABLED
+    with _META:
+        if _ENABLED:
+            return
+        threading.Lock = _lock_factory
+        threading.RLock = _rlock_factory
+        threading.Condition = _condition_factory
+        _ENABLED = True
+
+
+def disable() -> None:
+    """Restore the original factories; recorded data stays until reset()."""
+    global _ENABLED
+    with _META:
+        if not _ENABLED:
+            return
+        threading.Lock = _REAL_LOCK
+        threading.RLock = _REAL_RLOCK
+        threading.Condition = _REAL_CONDITION
+        _ENABLED = False
+
+
+def enabled() -> bool:
+    """Whether the factories are currently patched."""
+    return _ENABLED
+
+
+def reset() -> None:
+    """Drop all recorded edges and violations (patches stay as they are)."""
+    with _META:
+        _EDGES.clear()
+        _VIOLATIONS.clear()
+
+
+def observed_edges() -> list[tuple[tuple, tuple]]:
+    """The recorded acquisition-order edges, as (site_a, site_b) pairs."""
+    with _META:
+        return sorted(_EDGES)
+
+
+def violations() -> list[dict]:
+    """Recorded lock-inversion violations (copies; see module docstring)."""
+    with _META:
+        return [dict(v) for v in _VIOLATIONS]
+
+
+# ----------------------------------------------------------------------
+# leak snapshots
+
+
+def snapshot() -> dict:
+    """Live threads, ``/dev/shm/repro-*`` segments and open pipe fds.
+
+    Teardown hooks diff two snapshots to localize leaks; the sets are
+    plain facts (names / fd numbers), no judgement is applied here.
+    """
+    threads = sorted(t.name for t in threading.enumerate() if t.is_alive())
+    shm_dir = Path("/dev/shm")
+    segments = (sorted(p.name for p in shm_dir.glob("repro-*"))
+                if shm_dir.is_dir() else [])
+    pipe_fds = []
+    fd_dir = "/proc/self/fd"
+    if os.path.isdir(fd_dir):  # pragma: no branch - linux CI
+        for fd in os.listdir(fd_dir):
+            try:
+                target = os.readlink(os.path.join(fd_dir, fd))
+            except OSError:
+                continue
+            if target.startswith("pipe:"):
+                pipe_fds.append(int(fd))
+    return {"threads": threads, "segments": segments,
+            "pipe_fds": sorted(pipe_fds)}
+
+
+# ----------------------------------------------------------------------
+# static-vs-observed cross-check
+
+
+def cross_check(paths=None) -> dict:
+    """Compare the observed lock graph against the static one.
+
+    Returns ``{"observed_edges", "static_edges", "gaps"}`` where each
+    gap is an observed fact the static pass missed: ``unknown-lock`` (a
+    runtime lock whose creation site the analyzer never registered) or
+    ``missing-edge`` (an observed A -> B ordering absent from the static
+    graph).  Gaps mean the *analyzer* needs teaching — the runtime
+    evidence is ground truth.
+    """
+    from repro.analysis.concurrency import static_graph
+    graph = static_graph(paths)
+    site_to_id: dict[tuple[str, int], str] = {}
+    for lock_id, sites in graph["locks"].items():
+        for file, line in sites:
+            site_to_id[(file, line)] = lock_id
+    static_edges = {tuple(e) for e in graph["edges"]}
+    gaps: list[dict] = []
+    with _META:
+        observed = sorted(_EDGES.items())
+    for (site_a, site_b), witness in observed:
+        id_a = site_to_id.get(tuple(site_a))
+        id_b = site_to_id.get(tuple(site_b))
+        if id_a is None or id_b is None:
+            gaps.append({"kind": "unknown-lock",
+                         "edge": [list(site_a), list(site_b)],
+                         "ids": [id_a, id_b],
+                         "thread": witness["thread"]})
+        elif id_a != id_b and (id_a, id_b) not in static_edges:
+            gaps.append({"kind": "missing-edge", "edge": [id_a, id_b],
+                         "thread": witness["thread"]})
+    return {"observed_edges": len(observed),
+            "static_edges": len(static_edges), "gaps": gaps}

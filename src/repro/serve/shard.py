@@ -222,6 +222,7 @@ def _shard_worker_main(conn) -> None:
     def _send(msg) -> None:
         with send_lock:
             try:
+                # lint: allow[blocking-call-under-lock] pipe writes must be serialized per connection; the router drains its end continuously
                 conn.send(msg)
             except (OSError, ValueError):  # router gone; nothing to do
                 pass
@@ -509,6 +510,7 @@ class ShardRouter:
                backend, fault_action, os.environ.get(faults.ENV_VAR))
         with self._slot_locks[pending.slot]:
             try:
+                # lint: allow[blocking-call-under-lock] per-slot lock serializes pipe writes; in-flight bounded by queue_depth admission so the buffer never fills
                 self._workers[pending.slot].conn.send(msg)
             except (OSError, ValueError):
                 pass  # dead pipe: the collector's EOF path revives the
@@ -575,10 +577,14 @@ class ShardRouter:
             worker = self._workers[slot]
             if worker.conn is not dead_conn:
                 return  # already revived
-            replacement = self._pool.respawn(worker)
+            try:
+                replacement = self._pool.respawn(worker)
+            except pool_mod.PoolShutdown:
+                return  # pool torn down under us: the router is closing
             self._workers[slot] = replacement
             self.respawns += 1
             try:
+                # lint: allow[blocking-call-under-lock] init must reach the fresh pipe before any redispatch on this slot; buffer is empty at this point
                 replacement.conn.send(("init", self.worker_config()))
             except (OSError, ValueError):  # pragma: no cover - died instantly
                 return
@@ -610,6 +616,7 @@ class ShardRouter:
             self._pending[pending.seq] = pending
         with self._slot_locks[slot]:
             try:
+                # lint: allow[blocking-call-under-lock] per-slot lock serializes pipe writes; a stats tuple never fills the pipe buffer
                 self._workers[slot].conn.send(("stats", pending.seq))
             except (OSError, ValueError):
                 pass

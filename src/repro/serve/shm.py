@@ -166,13 +166,14 @@ class PublishedSegment:
 
     def unlink(self) -> None:
         """Remove the segment (idempotent); attached readers keep their maps."""
-        entry = _OWNED.get(self.name)
-        if entry is None:
-            return
-        owner_pid, shm = entry
-        if owner_pid != os.getpid():
-            return  # a forked child inherited the record: not ours to unlink
-        del _OWNED[self.name]
+        with _TRACKER_LOCK:
+            entry = _OWNED.get(self.name)
+            if entry is None:
+                return
+            owner_pid, shm = entry
+            if owner_pid != os.getpid():
+                return  # a forked child inherited the record: not ours to unlink
+            del _OWNED[self.name]
         try:
             shm.close()
         except BufferError:  # pragma: no cover - a live local view
@@ -200,7 +201,8 @@ def publish(key: str, meta: dict, arrays: dict[str, np.ndarray]) -> PublishedSeg
     shm.buf[:_HEADER.size] = _HEADER.pack(SHM_MAGIC, SHM_VERSION,
                                           len(payload), digest)
     shm.buf[_HEADER.size:_HEADER.size + len(payload)] = payload
-    _OWNED[name] = (os.getpid(), shm)
+    with _TRACKER_LOCK:
+        _OWNED[name] = (os.getpid(), shm)
     if faults.maybe_fault("shard", f"segment/{key}") == "truncate":
         # corrupt the digest in place: the plane is now poisoned for
         # every attacher, which must fall back to recalibration
@@ -251,7 +253,8 @@ class AttachedSegment:
             raise ShmIntegrityError(f"segment {name!r} failed its checksum")
         head_len = struct.unpack_from("<Q", payload)[0]
         head = json.loads(payload[8:8 + head_len].decode())
-        _LIVE.add(self._shm)
+        with _TRACKER_LOCK:
+            _LIVE.add(self._shm)
         self.name = name
         self.meta: dict = head["meta"]
         self._table = {entry["name"]: entry for entry in head["arrays"]}
@@ -282,7 +285,8 @@ class AttachedSegment:
             self._shm.close()
         except BufferError:  # a view is still referenced; the OS cleans up
             return           # ... and _LIVE keeps the handle from __del__
-        _LIVE.discard(self._shm)
+        with _TRACKER_LOCK:
+            _LIVE.discard(self._shm)
 
 
 def attach(name: str) -> AttachedSegment:

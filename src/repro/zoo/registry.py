@@ -25,6 +25,7 @@ everything the Table 2 experiment needs: datasets, eval metric, and a
 from __future__ import annotations
 
 import os
+import threading
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable
@@ -66,6 +67,7 @@ def dataset() -> SynthImageNet:
     """The shared synthetic image-classification dataset."""
     global _DATASET
     if _DATASET is None:
+        # lint: allow[unlocked-shared-state] idempotent memo: racers build identical seeded datasets; last GIL-atomic rebind wins
         _DATASET = SynthImageNet(num_classes=NUM_CLASSES, image_size=IMAGE_SIZE)
     return _DATASET
 
@@ -73,6 +75,7 @@ def dataset() -> SynthImageNet:
 def glue_task(name: str) -> GlueTask:
     """The shared GlueTask instance for a task name."""
     if name not in _TASKS:
+        # lint: allow[unlocked-shared-state] idempotent memo: racers build identical seeded tasks; dict insert is GIL-atomic
         _TASKS[name] = make_task(name, seq_len=SEQ_LEN)
     return _TASKS[name]
 
@@ -172,7 +175,11 @@ def _train_entry(entry: ZooEntry, model: Module, verbose: bool) -> float:
     return evaluate_text(model, task.test_split(1000), entry.metric)
 
 
-# per-process warm memo: built models shared across grid cells of a run
+# per-process warm memo: built models shared across grid cells of a run.
+# Scheduler threads can resolve models concurrently; the lock keeps the
+# memo insert and its hit/miss counters coherent (training itself runs
+# outside the lock — only the bookkeeping is guarded).
+_WARM_LOCK = threading.Lock()
 _WARM_MODELS: dict[str, tuple[Module, float]] = {}
 _WARM_STATS = {"zoo_warm_hits": 0, "zoo_warm_misses": 0}
 
@@ -184,9 +191,10 @@ def warm_model_stats() -> dict:
 
 def clear_warm_models() -> None:
     """Drop the warm memo and zero its counters (tests, memory pressure)."""
-    _WARM_MODELS.clear()
-    _WARM_STATS["zoo_warm_hits"] = 0
-    _WARM_STATS["zoo_warm_misses"] = 0
+    with _WARM_LOCK:
+        _WARM_MODELS.clear()
+        _WARM_STATS["zoo_warm_hits"] = 0
+        _WARM_STATS["zoo_warm_misses"] = 0
 
 
 register_stats_provider("zoo", warm_model_stats)
@@ -205,11 +213,12 @@ def pretrained(name: str, retrain: bool = False, verbose: bool = False,
     if name not in ALL_MODELS:
         raise KeyError(f"unknown model {name!r}; available: {sorted(ALL_MODELS)}")
     if memo and not retrain:
-        warm = _WARM_MODELS.get(name)
-        if warm is not None:
-            _WARM_STATS["zoo_warm_hits"] += 1
-            return warm
-        _WARM_STATS["zoo_warm_misses"] += 1
+        with _WARM_LOCK:
+            warm = _WARM_MODELS.get(name)
+            if warm is not None:
+                _WARM_STATS["zoo_warm_hits"] += 1
+                return warm
+            _WARM_STATS["zoo_warm_misses"] += 1
     entry = ALL_MODELS[name]
     model = entry.factory()
     path = _cache_path(name)
@@ -224,7 +233,8 @@ def pretrained(name: str, retrain: bool = False, verbose: bool = False,
         else:
             model.eval()
             if memo:
-                _WARM_MODELS[name] = (model, score)
+                with _WARM_LOCK:
+                    _WARM_MODELS[name] = (model, score)
             return model, score
     score = _train_entry(entry, model, verbose)
     state = model.state_dict()
@@ -234,5 +244,6 @@ def pretrained(name: str, retrain: bool = False, verbose: bool = False,
     os.replace(tmp, path)  # atomic: concurrent trainers cannot corrupt the cache
     model.eval()
     if memo:
-        _WARM_MODELS[name] = (model, score)
+        with _WARM_LOCK:
+            _WARM_MODELS[name] = (model, score)
     return model, score

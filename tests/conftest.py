@@ -9,17 +9,74 @@ memo is per-process parent state with the same hazard, so it is cleared
 too, as are any shared-memory plane segments this process published
 (:func:`repro.serve.shm.unlink_all`) — a test that fails between publish
 and close must not leak ``/dev/shm`` entries into the next test.
+
+Under ``REPRO_SANITIZE=1`` the canary fixture additionally fails any
+test during which the runtime sanitizer (:mod:`repro.sanitize`) observed
+a lock-order inversion, and — for the serve/shard/grid/sanitize suites —
+any test that leaks threads, ``/dev/shm`` segments or pipe fds past its
+own teardown, so leaks localize to the test that caused them.
 """
+
+import gc
+import time
 
 import pytest
 
+from repro import sanitize
 from repro.resilience import pool
 from repro.serve import shm
 from repro.zoo import registry
 
+#: suites whose tests get the post-teardown leak check (they are the
+#: ones that start threads/processes/segments on purpose)
+_LEAK_MARKERS = ("serve", "shard", "grid", "sanitize")
+
+#: seconds to wait for joins/GC to retire threads, fds and segments
+_LEAK_GRACE = 5.0
+
 
 @pytest.fixture(autouse=True)
-def _fresh_worker_pools():
+def _sanitize_canary(request):
+    """Per-test inversion + leak canary (no-op unless sanitizer enabled)."""
+    if not sanitize.enabled():
+        yield
+        return
+    from multiprocessing import resource_tracker
+    resource_tracker.ensure_running()  # its pipe belongs to the baseline
+    sanitize.reset()
+    before = sanitize.snapshot()
+    yield
+    inversions = sanitize.violations()
+    if inversions:
+        detail = "\n\n".join(
+            f"{v['kind']} {v['edge'][0]} <-> {v['edge'][1]}\n"
+            f"--- inverting acquisition ({v['thread']}):\n{v['stack']}"
+            f"--- prior order ({v['prior_thread']}):\n{v['prior_stack']}"
+            for v in inversions)
+        pytest.fail(f"sanitizer observed lock-order inversion(s):\n{detail}",
+                    pytrace=False)
+    if not any(request.node.get_closest_marker(m) for m in _LEAK_MARKERS):
+        return
+    deadline = time.monotonic() + _LEAK_GRACE
+    while True:
+        gc.collect()  # retire dropped Connection objects (their pipe fds)
+        after = sanitize.snapshot()
+        leaked = {kind: sorted(set(after[kind]) - set(before[kind]))
+                  for kind in ("threads", "segments", "pipe_fds")}
+        if not any(leaked.values()):
+            return
+        if time.monotonic() >= deadline:
+            pytest.fail(f"resource leak after {request.node.nodeid}: "
+                        + ", ".join(f"{k}={v}" for k, v in leaked.items()
+                                    if v),
+                        pytrace=False)
+        time.sleep(0.05)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_worker_pools(_sanitize_canary):
+    # depends on the canary so this teardown (pool/memo/segment cleanup)
+    # runs BEFORE the canary's leak check
     yield
     pool.shutdown_all()
     registry.clear_warm_models()

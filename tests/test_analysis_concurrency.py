@@ -1,0 +1,382 @@
+"""Concurrency analyzer: each rule fires on a planted fixture, repo is clean.
+
+Fixture modules are written to ``tmp_path`` and analyzed exactly like
+repo sources; the repo-gate tests at the bottom pin the acceptance
+criterion that ``repro analyze concurrency`` runs clean on the tree
+(every real finding fixed or waived with a reason).
+"""
+
+import textwrap
+
+import pytest
+
+from repro.analysis import analyze_concurrency, check_paths, static_graph
+
+
+def plant(tmp_path, src: str, name: str = "fixture.py"):
+    (tmp_path / name).write_text(textwrap.dedent(src))
+    return check_paths([tmp_path])
+
+
+def rules(diags):
+    return sorted(d.rule for d in diags)
+
+
+CYCLE_SRC = """\
+    import threading
+    A = threading.Lock()
+    B = threading.Lock()
+    def ab():
+        with A:
+            with B:
+                pass
+    def ba():
+        with B:
+            with A:
+                pass
+    """
+
+
+class TestLockOrderCycle:
+    def test_opposite_orders_flagged(self, tmp_path):
+        diags, summary = plant(tmp_path, CYCLE_SRC)
+        assert rules(diags) == ["lock-order-cycle"]
+        (d,) = diags
+        assert "fixture.A" in d.data["locks"] and "fixture.B" in d.data["locks"]
+        assert "deadlock" in d.message
+
+    def test_consistent_order_clean(self, tmp_path):
+        diags, summary = plant(tmp_path, """\
+            import threading
+            A = threading.Lock()
+            B = threading.Lock()
+            def ab():
+                with A:
+                    with B:
+                        pass
+            def ab2():
+                with A:
+                    with B:
+                        pass
+            """)
+        assert diags == []
+        assert ["fixture.A", "fixture.B"] in summary["edges"]
+
+    def test_interprocedural_edge_recorded(self, tmp_path):
+        _, summary = plant(tmp_path, """\
+            import threading
+            A = threading.Lock()
+            B = threading.Lock()
+            def inner():
+                with B:
+                    pass
+            def outer():
+                with A:
+                    inner()
+            """)
+        assert ["fixture.A", "fixture.B"] in summary["edges"]
+
+    def test_interprocedural_cycle_detected(self, tmp_path):
+        diags, _ = plant(tmp_path, """\
+            import threading
+            A = threading.Lock()
+            B = threading.Lock()
+            def takes_b():
+                with B:
+                    pass
+            def takes_a():
+                with A:
+                    pass
+            def f1():
+                with A:
+                    takes_b()
+            def f2():
+                with B:
+                    takes_a()
+            """)
+        assert rules(diags) == ["lock-order-cycle"]
+
+
+class TestBlockingUnderLock:
+    def test_pipe_send_under_lock(self, tmp_path):
+        diags, _ = plant(tmp_path, """\
+            import threading
+            L = threading.Lock()
+            def ship(conn, msg):
+                with L:
+                    conn.send(msg)
+            """)
+        assert rules(diags) == ["blocking-call-under-lock"]
+        (d,) = diags
+        assert "fixture.L" in d.data["held"]
+
+    def test_sleep_and_join_under_lock(self, tmp_path):
+        diags, _ = plant(tmp_path, """\
+            import threading, time
+            L = threading.Lock()
+            def nap(worker):
+                with L:
+                    time.sleep(1.0)
+                    worker.join()
+            """)
+        assert rules(diags) == ["blocking-call-under-lock"] * 2
+
+    def test_str_join_not_blocking(self, tmp_path):
+        diags, _ = plant(tmp_path, """\
+            import threading
+            L = threading.Lock()
+            def render(parts):
+                with L:
+                    return ", ".join(parts)
+            """)
+        assert diags == []
+
+    def test_condition_wait_on_held_lock_exempt(self, tmp_path):
+        diags, _ = plant(tmp_path, """\
+            import threading
+            class Sched:
+                def __init__(self):
+                    self._cond = threading.Condition()
+                def take(self):
+                    with self._cond:
+                        self._cond.wait(0.1)
+            """)
+        assert diags == []
+
+    def test_send_outside_lock_clean(self, tmp_path):
+        diags, _ = plant(tmp_path, """\
+            import threading
+            L = threading.Lock()
+            def ship(conn, msg):
+                with L:
+                    payload = msg
+                conn.send(payload)
+            """)
+        assert diags == []
+
+
+class TestUnlockedSharedState:
+    THREADED = """\
+        import threading
+        CACHE = {}
+        def worker():
+            CACHE["k"] = 1
+        def main():
+            threading.Thread(target=worker).start()
+        """
+
+    def test_mutation_from_thread_target(self, tmp_path):
+        diags, _ = plant(tmp_path, self.THREADED)
+        assert rules(diags) == ["unlocked-shared-state"]
+        (d,) = diags
+        assert d.data["state"] == "fixture.CACHE"
+
+    def test_mutation_under_lock_clean(self, tmp_path):
+        diags, _ = plant(tmp_path, """\
+            import threading
+            CACHE = {}
+            L = threading.Lock()
+            def worker():
+                with L:
+                    CACHE["k"] = 1
+            def main():
+                threading.Thread(target=worker).start()
+            """)
+        assert diags == []
+
+    def test_unreachable_mutation_not_flagged(self, tmp_path):
+        diags, _ = plant(tmp_path, """\
+            CACHE = {}
+            def warm():
+                CACHE["k"] = 1
+            """)
+        assert diags == []
+
+    def test_locked_suffix_contract_exempt(self, tmp_path):
+        diags, _ = plant(tmp_path, """\
+            import threading
+            CACHE = {}
+            L = threading.Lock()
+            def _refill_locked():
+                CACHE["k"] = 1
+            def worker():
+                with L:
+                    _refill_locked()
+            def main():
+                threading.Thread(target=worker).start()
+            """)
+        assert diags == []
+
+
+class TestForkAfterThread:
+    def test_spawn_after_thread_start(self, tmp_path):
+        diags, _ = plant(tmp_path, """\
+            import threading, multiprocessing
+            def work():
+                pass
+            def main():
+                threading.Thread(target=work).start()
+                multiprocessing.Process(target=work).start()
+            """)
+        assert rules(diags) == ["fork-after-thread"]
+
+    def test_spawn_before_thread_clean(self, tmp_path):
+        diags, _ = plant(tmp_path, """\
+            import threading, multiprocessing
+            def work():
+                pass
+            def main():
+                multiprocessing.Process(target=work).start()
+                threading.Thread(target=work).start()
+            """)
+        assert diags == []
+
+    def test_spawn_through_call_chain(self, tmp_path):
+        diags, _ = plant(tmp_path, """\
+            import threading, multiprocessing
+            def work():
+                pass
+            def launch_worker():
+                multiprocessing.Process(target=work).start()
+            def main():
+                threading.Thread(target=work).start()
+                launch_worker()
+            """)
+        assert rules(diags) == ["fork-after-thread"]
+
+
+class TestShmLifecycle:
+    def test_attach_side_unlink(self, tmp_path):
+        diags, _ = plant(tmp_path, """\
+            from multiprocessing import shared_memory
+            def bad(name):
+                seg = shared_memory.SharedMemory(name=name, create=False)
+                seg.unlink()
+            """)
+        assert "attach-side-unlink" in rules(diags)
+
+    def test_publish_without_atexit_unlink(self, tmp_path):
+        diags, _ = plant(tmp_path, """\
+            from multiprocessing import shared_memory
+            def pub():
+                return shared_memory.SharedMemory(name="x", create=True,
+                                                  size=64)
+            """)
+        assert rules(diags) == ["publish-without-unlink"]
+
+    def test_publish_with_atexit_unlink_clean(self, tmp_path):
+        diags, _ = plant(tmp_path, """\
+            import atexit
+            from multiprocessing import shared_memory
+            SEGS = []
+            def pub():
+                SEGS.append(shared_memory.SharedMemory(name="x",
+                                                       create=True, size=64))
+            def cleanup():
+                for s in SEGS:
+                    s.unlink()
+            atexit.register(cleanup)
+            """)
+        assert diags == []
+
+
+class TestWaivers:
+    def test_trailing_waiver_suppresses(self, tmp_path):
+        diags, _ = plant(tmp_path, """\
+            import threading
+            L = threading.Lock()
+            def ship(conn, msg):
+                with L:
+                    conn.send(msg)  # lint: allow[blocking-call-under-lock] drained continuously
+            """)
+        assert diags == []
+
+    def test_comment_above_waiver_suppresses(self, tmp_path):
+        diags, _ = plant(tmp_path, """\
+            import threading
+            L = threading.Lock()
+            def ship(conn, msg):
+                with L:
+                    # lint: allow[blocking-call-under-lock] drained continuously
+                    conn.send(msg)
+            """)
+        assert diags == []
+
+    def test_wrong_rule_does_not_suppress(self, tmp_path):
+        diags, _ = plant(tmp_path, """\
+            import threading
+            L = threading.Lock()
+            def ship(conn, msg):
+                with L:
+                    conn.send(msg)  # lint: allow[lock-order-cycle] wrong rule
+            """)
+        assert rules(diags) == ["blocking-call-under-lock"]
+
+
+class TestStaticGraph:
+    def test_graph_shape_and_absolute_paths(self, tmp_path):
+        (tmp_path / "mod.py").write_text(textwrap.dedent("""\
+            import threading
+            A = threading.Lock()
+            B = threading.Lock()
+            def ab():
+                with A:
+                    with B:
+                        pass
+            """))
+        graph = static_graph([tmp_path])
+        assert set(graph) == {"locks", "edges"}
+        assert ["mod.A", "mod.B"] in graph["edges"]
+        (site,) = graph["locks"]["mod.A"]
+        assert site[0].startswith("/") and site[0].endswith("mod.py")
+        assert site[1] == 2
+
+    def test_repo_graph_knows_the_serve_locks(self):
+        graph = static_graph()
+        for lock in ("ModelRepository._key_locks", "WorkerPool._lease_lock",
+                     "ShardRouter._slot_locks", "shm._TRACKER_LOCK",
+                     "BatchingScheduler._cond"):
+            assert lock in graph["locks"], lock
+
+
+class TestRepoGate:
+    def test_repo_is_clean(self):
+        report = analyze_concurrency()
+        assert report.ok, report.render()
+        assert report.kind == "concurrency"
+        assert report.summary["files"] > 40
+
+    def test_repo_lock_order_is_acyclic_with_edges(self):
+        report = analyze_concurrency()
+        edges = report.summary["edges"]
+        assert ["ModelRepository._key_locks", "ModelRepository._lock"] in edges
+        assert ["ShardRouter._slot_locks", "WorkerPool._lease_lock"] in edges
+
+
+class TestCliExitCodes:
+    def test_zero_on_clean(self, tmp_path, capsys):
+        from repro.cli import main
+        (tmp_path / "clean.py").write_text("x = 1\n")
+        assert main(["analyze", "concurrency", str(tmp_path)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_one_on_findings(self, tmp_path, capsys):
+        from repro.cli import main
+        (tmp_path / "bad.py").write_text(textwrap.dedent(CYCLE_SRC))
+        assert main(["analyze", "concurrency", str(tmp_path), "--json"]) == 1
+        assert "lock-order-cycle" in capsys.readouterr().out
+
+    def test_two_on_usage_error(self, capsys):
+        from repro.cli import main
+        with pytest.raises(SystemExit) as exc:
+            main(["analyze", "not-a-pass"])
+        assert exc.value.code == 2
+
+    def test_lint_and_concurrency_share_path_args(self):
+        from repro.cli import build_parser
+        parser = build_parser()
+        for cmd in ("lint", "concurrency"):
+            args = parser.parse_args(["analyze", cmd, "a.py", "--json"])
+            assert args.paths == ["a.py"] and args.json
+        args = parser.parse_args(["analyze", "netlist", "--all", "--json"])
+        assert args.all_variants and args.json

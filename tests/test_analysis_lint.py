@@ -154,6 +154,50 @@ class TestWaivers:
                      "bad = y == 0.5\n")
         assert [d.where for d in diags] == ["snippet.py:2"]
 
+    def test_multiple_rules_in_one_bracket(self):
+        assert lint(
+            "import numpy as np\n"
+            "# lint: allow[float-equality, implicit-float64] both reviewed\n"
+            "ok = np.zeros(3) == 0.5\n") == []
+
+    def test_multi_rule_bracket_missing_reason_rejects_all(self):
+        diags = lint("ok = x == 0.5"
+                     "  # lint: allow[float-equality,unseeded-rng]\n")
+        assert rules(diags).count("waiver-missing-reason") == 2
+        assert "float-equality" in rules(diags)  # nothing was suppressed
+
+    def test_unknown_rule_waiver_rejected_and_reported(self):
+        diags = lint("ok = x == 0.5  # lint: allow[flaot-equality] typo\n")
+        assert rules(diags) == ["float-equality", "waiver-unknown-rule"]
+        (w,) = [d for d in diags if d.rule == "waiver-unknown-rule"]
+        assert "flaot-equality" in w.message and w.severity == "error"
+
+    def test_unknown_rule_alongside_known_one(self):
+        # the known rule still suppresses; only the typo is reported
+        diags = lint("ok = x == 0.5"
+                     "  # lint: allow[float-equality,bogus-rule] reason\n")
+        assert rules(diags) == ["waiver-unknown-rule"]
+
+    def test_waiver_on_decorator_line_covers_only_that_line(self):
+        diags = lint(
+            "@register(0.5 == x)  # lint: allow[float-equality] key match\n"
+            "def f():\n"
+            "    return y == 0.5\n")
+        assert [d.where for d in diags] == ["snippet.py:3"]
+
+    def test_comment_waiver_above_decorated_def(self):
+        assert lint(
+            "# lint: allow[float-equality] decorator-arg sentinel\n"
+            "@register(0.5 == x)\n"
+            "def f():\n"
+            "    return 1\n") == []
+
+    def test_concurrency_rules_are_known_to_the_linter(self):
+        # a concurrency waiver on a line with no lint finding must not
+        # be reported as unknown (the rule sets are shared)
+        assert lint("# lint: allow[blocking-call-under-lock] serialized\n"
+                    "x = 1\n") == []
+
 
 class TestHarness:
     def test_syntax_error_reported_not_raised(self):

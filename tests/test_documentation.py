@@ -154,3 +154,43 @@ class TestShardDocs:
                                if p[0] == "shard")
         assert "ShardRouter.submit" in shard_sites
         assert "shm" in shard_sites or "segment" in shard_sites.lower()
+
+
+class TestConcurrencyDocs:
+    """The concurrency analyzer + sanitizer are documented where users look."""
+
+    def test_readme_covers_the_concurrency_pass(self):
+        text = (REPO_ROOT / "README.md").read_text()
+        assert "analyze concurrency" in text
+        assert "REPRO_SANITIZE=1" in text
+        assert "check.sh" in text and "--sanitize" in text
+        assert "0 clean, 1 findings, 2 usage error" in text
+
+    def test_design_has_the_concurrency_section(self):
+        text = (REPO_ROOT / "DESIGN.md").read_text()
+        assert ("## 14. Concurrency analysis "
+                "(`analysis.concurrency` + `repro.sanitize`)") in text
+        for term in ("lock-inversion", "cross_check", "PoolShutdown",
+                     "Tarjan", "creation site", "_locked"):
+            assert term in text, f"DESIGN.md concurrency section lacks {term}"
+
+    def test_design_table_lists_every_diagnostic_kind(self):
+        from repro.analysis.concurrency import RULES
+        text = (REPO_ROOT / "DESIGN.md").read_text()
+        for rule in RULES:
+            assert f"| `{rule}` |" in text, rule
+        for kind in ("lock-inversion", "unknown-lock", "missing-edge"):
+            assert kind in text, kind
+
+    def test_cli_help_lists_the_concurrency_pass(self):
+        from repro.cli import build_parser
+        help_text = build_parser().format_help()
+        assert "analyze" in help_text
+        args = build_parser().parse_args(
+            ["analyze", "concurrency", "src/repro", "--json"])
+        assert args.paths == ["src/repro"] and args.json
+
+    def test_check_sh_gates_the_concurrency_pass(self):
+        text = (REPO_ROOT / "scripts" / "check.sh").read_text()
+        assert "analyze concurrency" in text
+        assert "--sanitize" in text and "REPRO_SANITIZE=1" in text
