@@ -17,7 +17,14 @@ reference path).  Numbers land in ``BENCH_serve.json`` at the repo root
   :class:`~repro.serve.ShardRouter` at N worker processes (plus an
   open-loop run), with a ``cpu_limited`` honesty flag: on a host with
   fewer cores than shards+router the numbers measure correctness
-  overhead, not scaling, and must not be read as a fan-out win.
+  overhead, not scaling, and must not be read as a fan-out win;
+* ``gateway`` — closed- and open-loop load through a real localhost
+  TCP socket (:class:`~repro.serve.Gateway` fronting the service,
+  :class:`~repro.serve.GatewayClient` threads driving it), so the
+  framing/serialisation tax of the network front door is measured
+  against the in-process ``batched`` numbers.  Carries the same
+  ``cpu_limited`` flag: clients, event loop and scheduler workers all
+  contend for cores on a small host.
 
 Usage::
 
@@ -34,6 +41,7 @@ import json
 import os
 import platform
 import sys
+import threading
 import time
 from pathlib import Path
 
@@ -43,8 +51,8 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.serve import (  # noqa: E402
-    BatchPolicy, InferenceService, ModelRepository, ShardRouter,
-    micro_specs, run_closed_loop, run_open_loop,
+    BatchPolicy, Gateway, GatewayClient, InferenceService, ModelRepository,
+    ShardRouter, micro_specs, run_closed_loop, run_open_loop,
 )
 
 DEFAULT_OUT = REPO_ROOT / "BENCH_serve.json"
@@ -126,6 +134,96 @@ def bench_sharded(shards: int, requests: int, mode: str) -> dict:
     return out
 
 
+def _latency_summary(latencies_ms: list) -> dict:
+    arr = np.asarray(latencies_ms, dtype=np.float64)
+    return {"p50": float(np.percentile(arr, 50)),
+            "p95": float(np.percentile(arr, 95)),
+            "p99": float(np.percentile(arr, 99)),
+            "mean": float(arr.mean())}
+
+
+def _drive_gateway(host: str, port: int, payloads: list, mode: str,
+                   concurrency: int, rate_rps: float | None) -> dict:
+    """Drive one load shape through the socket.
+
+    ``rate_rps is None`` is the closed loop: each of ``concurrency``
+    clients fires its next request the moment the previous reply lands.
+    Otherwise the open loop: request *i* is released at ``i / rate_rps``
+    seconds after start, and the client pool drains that schedule, so
+    queueing delay shows up in latency instead of throttling arrival.
+    """
+    latencies: list = []
+    errors = [0]
+    lock = threading.Lock()
+    next_idx = [0]
+    t0 = time.perf_counter()
+
+    def run_client(cid: int) -> None:
+        with GatewayClient(host, port, seed=cid) as client:
+            while True:
+                with lock:
+                    i = next_idx[0]
+                    if i >= len(payloads):
+                        return
+                    next_idx[0] = i + 1
+                if rate_rps is not None:
+                    release = t0 + i / rate_rps
+                    now = time.perf_counter()
+                    if release > now:
+                        time.sleep(release - now)
+                sent = time.perf_counter()
+                try:
+                    client.infer(MODEL, payloads[i], FORMAT, mode)
+                except Exception:  # lint: allow[broad-except] bench counts failures, never masks them silently
+                    with lock:
+                        errors[0] += 1
+                        continue
+                with lock:
+                    latencies.append((time.perf_counter() - sent) * 1e3)
+
+    threads = [threading.Thread(target=run_client, args=(cid,), daemon=True)
+               for cid in range(concurrency)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - t0
+    return {"requests": len(payloads), "ok": len(latencies),
+            "errors": errors[0], "elapsed_s": elapsed,
+            "throughput_rps": len(latencies) / elapsed,
+            "latency_ms": _latency_summary(latencies or [0.0])}
+
+
+def bench_gateway(repository: ModelRepository, requests: int,
+                  mode: str) -> dict:
+    """Closed- and open-loop load through a real localhost TCP socket.
+
+    Same request stream as the in-process ``batched`` axis, but every
+    request pays the wire tax: JSON framing, base64 ndarray codec, and
+    a socket round trip through the asyncio gateway.  ``cpu_limited``
+    is set when the host cannot give the client pool, the event loop
+    and the scheduler workers a core each.
+    """
+    cpu_limited = (os.cpu_count() or 1) < 4
+    policy = BatchPolicy(max_batch=8, max_wait_ms=5.0, queue_depth=256,
+                         workers=2)
+    payloads = repository.specs[MODEL].requests(requests, seed=0)
+    service = InferenceService(repository, policy)
+    gw = Gateway(service, port=0, max_inflight=256).start()
+    try:
+        with GatewayClient(gw.host, gw.port) as warm:
+            warm.infer(MODEL, payloads[0], FORMAT, mode)
+        closed = _drive_gateway(gw.host, gw.port, payloads, mode,
+                                concurrency=8, rate_rps=None)
+        open_ = _drive_gateway(gw.host, gw.port,
+                               payloads[:max(requests // 4, 16)], mode,
+                               concurrency=8, rate_rps=200.0)
+    finally:
+        gw.close()
+    return {"closed_loop": closed, "open_loop": open_,
+            "cpu_limited": cpu_limited}
+
+
 def main(argv: list[str] | None = None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--fast", action="store_true",
@@ -162,6 +260,12 @@ def main(argv: list[str] | None = None) -> int:
               f"{sharded[str(n)]['closed_loop']['throughput_rps']:8.1f} "
               f"req/s closed-loop{tag}")
 
+    gateway = bench_gateway(repository, requests, args.mode)
+    tag = " (cpu-limited)" if gateway["cpu_limited"] else ""
+    print(f"gateway         "
+          f"{gateway['closed_loop']['throughput_rps']:8.1f} "
+          f"req/s closed-loop over localhost TCP{tag}")
+
     payload = {
         "host": _host_meta(),
         "model": MODEL,
@@ -171,6 +275,7 @@ def main(argv: list[str] | None = None) -> int:
         "serial": serial,
         "batched": batched,
         "sharded": sharded,
+        "gateway": gateway,
         "speedup_batch32_x": speedup,
     }
     args.out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

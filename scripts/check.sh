@@ -7,7 +7,8 @@
 #   scripts/check.sh --serve   # only the inference-service suite
 #   scripts/check.sh --grid    # only the worker-pool fabric smoke
 #   scripts/check.sh --shard   # only the sharded-serving suite
-#   scripts/check.sh --sanitize  # serve/shard/grid under REPRO_SANITIZE=1
+#   scripts/check.sh --net     # only the network-gateway suite
+#   scripts/check.sh --sanitize  # serve/shard/grid/net under REPRO_SANITIZE=1
 #
 # Exits non-zero on the first failing stage.
 set -eu
@@ -44,9 +45,16 @@ if [ "${1:-}" = "--shard" ]; then
     exit 0
 fi
 
+if [ "${1:-}" = "--net" ]; then
+    echo "== net (gateway) suite =="
+    python -m pytest -x -q -m net
+    echo "check.sh: net suite passed"
+    exit 0
+fi
+
 if [ "${1:-}" = "--sanitize" ]; then
-    echo "== serve/shard/grid suites under the runtime sanitizer =="
-    REPRO_SANITIZE=1 python -m pytest -x -q -m "serve or shard or grid or sanitize"
+    echo "== serve/shard/grid/net suites under the runtime sanitizer =="
+    REPRO_SANITIZE=1 python -m pytest -x -q -m "serve or shard or grid or sanitize or net"
     echo "check.sh: sanitize suite passed"
     exit 0
 fi

@@ -20,11 +20,17 @@ experiments [NAMES...] [--jobs N] [--seeds K] [--cell-timeout S] [--retries N]
     the resilient executor (hung-worker deadline, retry budget).
 serve MODEL [--format F] [--mode fakequant|engine] [--requests N]
       [--concurrency C] [--open --rate R] [--shards N] [--stats]
+      [--host H --port P [--drain-timeout S]]
     Run the dynamic-batching inference service and drive it with the
     deterministic load generator; ``--shards N`` fans requests across N
     worker processes sharing calibrated state through shared memory;
     ``--stats`` prints the latency/queue/batch metrics afterwards
-    (fleet-wide exact percentiles when sharded).
+    (fleet-wide exact percentiles when sharded).  With ``--host``/
+    ``--port`` the service is exposed through the TCP gateway instead of
+    the load generator: the process prints ``gateway listening on H:P``
+    and serves until SIGTERM/SIGINT triggers a graceful drain (in-flight
+    requests finish, new ones get a structured ``draining`` error) and
+    the process exits 0.
 faults
     List the fault-injection points of the resilience harness and
     whatever ``$REPRO_FAULTS`` currently arms.
@@ -122,6 +128,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--stats", action="store_true",
                          help="print service metrics after the run "
                          "(fleet-wide percentiles with --shards)")
+    p_serve.add_argument("--host", default=None,
+                         help="expose the service over TCP on this "
+                         "address (gateway mode; implies no loadgen)")
+    p_serve.add_argument("--port", type=int, default=None,
+                         help="gateway port (0 picks a free port; "
+                         "the bound port is printed on stdout)")
+    p_serve.add_argument("--drain-timeout", type=float, default=30.0,
+                         dest="drain_timeout",
+                         help="seconds a graceful drain waits for "
+                         "in-flight requests (gateway mode)")
 
     p_faults = sub.add_parser(
         "faults", help="list fault-injection points and armed faults")
@@ -324,6 +340,8 @@ def _cmd_serve(args) -> int:
     else:
         repository = ModelRepository(specs, calib_n=args.calib_n)
         service = InferenceService(repository, policy)
+    if args.host is not None or args.port is not None:
+        return _serve_gateway(service, args)
     with service:
         if args.open_loop:
             report = run_open_loop(
@@ -339,6 +357,40 @@ def _cmd_serve(args) -> int:
         if args.stats:
             print(service.render_stats())
     return 0 if report.ok == report.requests else 1
+
+
+def _serve_gateway(service, args) -> int:
+    """Gateway mode: serve over TCP until a signal triggers drain."""
+    import signal
+    from .serve.gateway import Gateway
+
+    gateway = Gateway(service,
+                      host=args.host if args.host is not None
+                      else "127.0.0.1",
+                      port=args.port if args.port is not None else 0,
+                      drain_timeout_s=args.drain_timeout,
+                      own_service=True)
+    try:
+        gateway.start()
+    except RuntimeError as exc:
+        service.close(drain=False)
+        print(f"gateway failed to start: {exc}")
+        return 1
+
+    def _drain_handler(signum, frame):
+        print(f"gateway: received signal {signum}; draining", flush=True)
+        gateway.request_drain()
+
+    signal.signal(signal.SIGTERM, _drain_handler)
+    signal.signal(signal.SIGINT, _drain_handler)
+    print(f"gateway listening on {gateway.host}:{gateway.port}",
+          flush=True)
+    while not gateway.wait_closed(timeout=0.5):
+        pass
+    if args.stats:
+        print(gateway.render_stats())
+    print("gateway drained; exiting", flush=True)
+    return 0
 
 
 def _cmd_faults(args) -> int:

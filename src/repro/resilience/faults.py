@@ -13,7 +13,9 @@ comma-separated list of clauses::
   ``artifact`` (an artifact-store save), ``calib`` (an activation
   calibration batch), ``engine`` (activation encode in the engine),
   ``serve`` (the inference service: batch execution / model load),
-  ``shard`` (the sharded router: request dispatch / shm publication).
+  ``shard`` (the sharded router: request dispatch / shm publication),
+  ``net`` (the gateway's wire: connection accept, inbound request
+  frames, outbound reply frames).
 * ``key`` — which site within the scope; an ``fnmatch`` glob matched
   against the site key (``MODEL/FORMAT`` for cells, the task sequence
   index for workers, the artifact name, the layer name for calibration).
@@ -22,6 +24,11 @@ comma-separated list of clauses::
   :class:`FaultInjected`, ``kill`` hard-exits the process (a SIGKILL
   analogue), ``hang`` sleeps :data:`HANG_SECONDS`, ``nan`` poisons the
   site's data with a NaN, ``truncate`` cuts an artifact write short.
+  The wire actions are enacted by the gateway itself (:func:`fire` +
+  local handling, since they mutate byte streams, not exceptions):
+  ``drop`` discards the frame or reply silently, ``delay`` stalls it
+  for :data:`NET_DELAY_SECONDS`, ``garble`` flips bytes so the peer
+  sees a corrupt frame, ``close`` severs the connection mid-exchange.
 * ``count`` — fire at most this many times (default: every match).
   Counts are tracked in the process that calls :func:`fire`; the grid
   executor fires ``worker``-scope faults in the parent so their counts
@@ -61,7 +68,7 @@ from dataclasses import dataclass
 import numpy as np
 
 __all__ = [
-    "ACTIONS", "SCOPES", "HANG_SECONDS", "ENV_VAR",
+    "ACTIONS", "SCOPES", "HANG_SECONDS", "NET_DELAY_SECONDS", "ENV_VAR",
     "FaultInjected", "FaultSpecError", "FaultSpec",
     "parse_spec", "active_faults", "fire", "maybe_fault", "poison_nan",
     "INJECTION_POINTS", "describe",
@@ -71,15 +78,21 @@ __all__ = [
 ENV_VAR = "REPRO_FAULTS"
 
 #: recognised fault actions
-ACTIONS = frozenset({"crash", "kill", "hang", "nan", "truncate"})
+ACTIONS = frozenset({"crash", "kill", "hang", "nan", "truncate",
+                     "drop", "delay", "garble", "close"})
 
 #: recognised injection scopes
 SCOPES = frozenset({"cell", "worker", "artifact", "calib", "engine", "serve",
-                    "shard"})
+                    "shard", "net"})
 
 #: how long a ``hang`` action sleeps (long enough that any sane per-cell
 #: deadline expires first)
 HANG_SECONDS = 3600.0
+
+#: how long a ``delay`` wire action stalls a frame — long enough to eat a
+#: visible slice of a request's deadline budget, short enough that chaos
+#: suites with tens of delayed frames stay bounded
+NET_DELAY_SECONDS = 0.25
 
 
 class FaultSpecError(ValueError):
@@ -244,6 +257,13 @@ INJECTION_POINTS: list[tuple[str, str, str, str]] = [
      "crash|kill|hang", "req/MODELKEY, e.g. req/cnn|INT8|fakequant"),
     ("shard", "serve.shm.publish (segment header corruption)",
      "truncate", "segment/KEY, e.g. segment/plane/cnn|INT8|fakequant"),
+    ("net", "serve.gateway connection accept",
+     "drop|delay|garble|close", "'accept'"),
+    ("net", "serve.gateway inbound request frame",
+     "drop|delay|garble|close", "frame/OP, e.g. frame/infer "
+     "(match every op with net:frame*:ACTION)"),
+    ("net", "serve.gateway outbound reply frame",
+     "drop|delay|garble|close", "reply/OP, e.g. reply/infer"),
 ]
 
 

@@ -24,12 +24,27 @@ instead of recalibrating.  The bit-identity guarantee extends across the
 process boundary — ``tests/test_shard_differential.py`` proves sharded
 results byte-equal to serial inference under every mode × backend ×
 shard-count combination.
+
+Over the network, :class:`~repro.serve.Gateway` is the hardened TCP
+front door (length-prefixed JSON frames, :mod:`repro.serve.wire`):
+deadline propagation, bounded admission, per-key circuit breakers
+(:class:`~repro.serve.CircuitBreaker`), background health supervision
+with forced shard respawn (:class:`~repro.serve.HealthSupervisor`) and
+graceful drain.  :class:`~repro.serve.GatewayClient` is the matching
+retrying client; ``tests/test_gateway_chaos.py`` extends the bit-identity
+guarantee across the wire under a deterministic ``net``-scope fault
+storm.
 """
 
+from .breaker import BreakerBoard, CircuitBreaker
+from .client import GatewayClient
 from .errors import (
-    DeadlineExceededError, ModelLoadError, QueueFullError, ServeError,
-    ServiceClosedError, WorkerCrashError, error_from_entry,
+    BadRequestError, CircuitOpenError, DeadlineExceededError, DrainingError,
+    GatewayTimeoutError, ModelLoadError, OverloadedError, QueueFullError,
+    ServeError, ServiceClosedError, WorkerCrashError, error_from_entry,
 )
+from .gateway import Gateway
+from .health import HealthSupervisor
 from .loadgen import LoadReport, run_closed_loop, run_open_loop
 from .metrics import ServeMetrics, merge_snapshots, percentile
 from .repository import ModelRepository, ServableSpec, micro_specs, zoo_specs
@@ -40,11 +55,15 @@ from .shard import HashRing, ShardRouter
 __all__ = [
     "ServeError", "QueueFullError", "DeadlineExceededError",
     "ModelLoadError", "WorkerCrashError", "ServiceClosedError",
+    "OverloadedError", "CircuitOpenError", "DrainingError",
+    "BadRequestError", "GatewayTimeoutError",
     "error_from_entry",
     "ServeMetrics", "percentile", "merge_snapshots",
     "ModelRepository", "ServableSpec", "zoo_specs", "micro_specs",
     "BatchPolicy", "BatchingScheduler", "ServeFuture",
     "InferenceService", "execute_batch",
     "HashRing", "ShardRouter",
+    "Gateway", "GatewayClient", "CircuitBreaker", "BreakerBoard",
+    "HealthSupervisor",
     "LoadReport", "run_closed_loop", "run_open_loop",
 ]

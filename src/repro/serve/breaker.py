@@ -1,0 +1,177 @@
+"""Per-key circuit breakers for the serving gateway.
+
+A shard that keeps crashing (or a model whose workers keep timing out)
+must not be allowed to soak up the whole fleet's retry capacity: after
+``threshold`` *consecutive* breaker-countable failures the breaker for
+that ``model|format|mode`` key opens, and further requests fast-fail
+with a structured ``circuit-open`` reply instead of queueing behind a
+backend that cannot answer.  The state machine is the classic
+three-state one:
+
+* **closed** — requests flow; consecutive failures are counted, any
+  success resets the count.
+* **open** — requests are rejected outright.  After ``cooldown_s`` the
+  next admission attempt transitions to half-open.
+* **half-open** — exactly *one* probe request is admitted (concurrent
+  admissions keep failing fast while the probe is in flight).  If the
+  probe succeeds — e.g. the shard's ``_revive`` respawned the worker and
+  it answers again — the breaker closes; if it fails, the breaker
+  re-opens for another cooldown.
+
+Only failures that indicate backend ill-health count: worker crashes and
+gateway-side timeouts.  Client-attributable outcomes (deadline budget
+exhausted, queue-full backpressure, bad requests) never trip a breaker —
+shedding load is not a symptom of a broken shard.
+
+Breakers are keyed exactly like the shard ring (``model|format|mode``),
+so an open breaker isolates precisely the failing key: every other key
+keeps serving, which the breaker acceptance test pins.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from .errors import GatewayTimeoutError, ModelLoadError, WorkerCrashError
+
+__all__ = ["CircuitBreaker", "BreakerBoard", "BREAKER_FAILURE_KINDS"]
+
+#: error kinds that count as breaker failures (backend ill-health)
+BREAKER_FAILURE_KINDS = frozenset(
+    cls.kind for cls in (WorkerCrashError, GatewayTimeoutError,
+                         ModelLoadError))
+
+
+class CircuitBreaker:
+    """Closed → open → half-open failure isolation for one key."""
+
+    def __init__(self, threshold: int = 5, cooldown_s: float = 1.0, *,
+                 clock=time.monotonic):
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        if cooldown_s < 0:
+            raise ValueError("cooldown_s must be >= 0")
+        self.threshold = threshold
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = "closed"
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probe_in_flight = False
+        self.opens = 0          # times the breaker tripped open
+        self.fast_fails = 0     # requests rejected while open
+
+    @property
+    def state(self) -> str:
+        """Current state: ``closed`` / ``open`` / ``half-open``."""
+        with self._lock:
+            return self._state
+
+    def admit(self) -> bool:
+        """Whether a request for this key may proceed right now.
+
+        While open, the first admission attempt after ``cooldown_s``
+        flips to half-open and is admitted as the probe; everything else
+        is rejected until the probe reports back.
+        """
+        with self._lock:
+            if self._state == "closed":
+                return True
+            if self._state == "open":
+                if self._clock() - self._opened_at >= self.cooldown_s:
+                    self._state = "half-open"
+                    self._probe_in_flight = True
+                    return True
+                self.fast_fails += 1
+                return False
+            # half-open: one probe at a time
+            if self._probe_in_flight:
+                self.fast_fails += 1
+                return False
+            self._probe_in_flight = True
+            return True
+
+    def record_success(self) -> None:
+        """An admitted request completed: close (or stay closed)."""
+        with self._lock:
+            self._state = "closed"
+            self._consecutive_failures = 0
+            self._probe_in_flight = False
+
+    def record_failure(self) -> None:
+        """An admitted request failed with a breaker-countable kind."""
+        with self._lock:
+            if self._state == "half-open":
+                self._probe_in_flight = False
+                self._trip_locked()
+                return
+            self._consecutive_failures += 1
+            if (self._state == "closed"
+                    and self._consecutive_failures >= self.threshold):
+                self._trip_locked()
+
+    def record_neutral(self) -> None:
+        """An admitted request ended without proving health either way.
+
+        Client-attributable outcomes (deadline, queue-full, bad request)
+        say nothing about the backend — but a half-open *probe* slot must
+        still be released, or the breaker would wedge half-open forever.
+        The next admission becomes a fresh probe.
+        """
+        with self._lock:
+            if self._state == "half-open":
+                self._probe_in_flight = False
+
+    def _trip_locked(self) -> None:
+        self._state = "open"
+        self._consecutive_failures = 0
+        self._opened_at = self._clock()
+        self.opens += 1
+
+    def snapshot(self) -> dict:
+        """JSON-ready state for the gateway's stats op."""
+        with self._lock:
+            return {"state": self._state,
+                    "consecutive_failures": self._consecutive_failures,
+                    "opens": self.opens,
+                    "fast_fails": self.fast_fails}
+
+
+class BreakerBoard:
+    """Lazily-created :class:`CircuitBreaker` per request key."""
+
+    def __init__(self, threshold: int = 5, cooldown_s: float = 1.0, *,
+                 clock=time.monotonic):
+        self.threshold = threshold
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._breakers: dict[str, CircuitBreaker] = {}
+
+    def get(self, key: str) -> CircuitBreaker:
+        """The breaker for ``key``, created closed on first use."""
+        with self._lock:
+            breaker = self._breakers.get(key)
+            if breaker is None:
+                breaker = CircuitBreaker(self.threshold, self.cooldown_s,
+                                         clock=self._clock)
+                self._breakers[key] = breaker
+            return breaker
+
+    def record(self, key: str, error_kind: str | None) -> None:
+        """Feed one request outcome (``None`` = success) to ``key``'s breaker."""
+        breaker = self.get(key)
+        if error_kind is None:
+            breaker.record_success()
+        elif error_kind in BREAKER_FAILURE_KINDS:
+            breaker.record_failure()
+        else:
+            breaker.record_neutral()
+
+    def snapshot(self) -> dict:
+        """Per-key breaker states for the gateway's stats op."""
+        with self._lock:
+            items = list(self._breakers.items())
+        return {key: b.snapshot() for key, b in items}

@@ -1,0 +1,215 @@
+"""Retrying blocking client for the serving gateway.
+
+:class:`GatewayClient` speaks the :mod:`repro.serve.wire` protocol over
+one plain TCP socket and turns the gateway's structured failure modes
+back into the same exceptions an in-process caller would see
+(:mod:`repro.serve.errors`).  Its retry policy is deliberately narrow:
+
+* **Retry** transport failures (connection reset, EOF mid-frame, socket
+  timeout, garbled frames) and explicitly-retryable server kinds —
+  ``overloaded``, ``queue-full`` and ``circuit-open`` are all "try again
+  shortly" by construction.  ``infer`` is idempotent (pure function of
+  its inputs; the differential tests prove replies are bit-identical
+  across retries), so retrying after an ambiguous transport failure can
+  at worst waste work, never corrupt state.
+* **Never retry** outcomes that a retry cannot fix or that the caller
+  must see: ``deadline`` (the budget is gone), ``draining`` /
+  ``service-closed`` (the fleet is going away), ``bad-request`` /
+  ``model-load`` (the request itself is wrong), ``worker-crash`` and
+  ``gateway-timeout`` (surfaced so callers and chaos tests observe
+  backend failures; the gateway's breaker — not the client — owns
+  recovery pacing for those).
+
+Backoff between attempts is capped-exponential with *deterministic*
+jitter (``random.Random(seed)``), so a chaos run with N client threads
+is reproducible seed-for-seed while still decorrelating their retry
+storms.
+
+A total deadline rides the wire: ``infer(deadline_ms=...)`` fixes one
+budget at call time, each attempt sends only the *remaining* budget as
+its wire ``deadline_ms``, and when the budget runs out the client raises
+:class:`DeadlineExceededError` itself — a slow network eats the budget
+instead of resetting it per attempt.
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+import time
+
+from . import wire
+from .errors import DeadlineExceededError, ServeError, error_from_entry
+
+__all__ = ["GatewayClient", "RETRYABLE_KINDS"]
+
+#: server error kinds that mean "try again shortly"
+RETRYABLE_KINDS = frozenset({"overloaded", "queue-full", "circuit-open"})
+
+_TRANSPORT_ERRORS = (ConnectionError, socket.timeout, OSError,
+                     wire.FrameError)
+
+
+class GatewayClient:
+    """Blocking gateway client with bounded, deterministic retries.
+
+    Parameters
+    ----------
+    host / port:
+        The gateway's bound address.
+    retries:
+        Extra attempts after the first (``retries=4`` → up to 5 sends).
+    backoff_base_ms / backoff_cap_ms:
+        Capped exponential backoff: attempt ``k`` sleeps
+        ``min(cap, base * 2**k)`` scaled by jitter in ``[0.5, 1.0)``.
+    seed:
+        Seed for the jitter stream — distinct per client thread in chaos
+        runs, making every storm replayable.
+    connect_timeout_s / io_timeout_s:
+        Socket-level bounds; an attempt that exceeds ``io_timeout_s``
+        counts as a transport failure and is retried (idempotent ops
+        only).
+    """
+
+    def __init__(self, host: str, port: int, *, retries: int = 4,
+                 backoff_base_ms: float = 10.0,
+                 backoff_cap_ms: float = 500.0, seed: int = 0,
+                 connect_timeout_s: float = 5.0,
+                 io_timeout_s: float = 30.0):
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        self.host = host
+        self.port = port
+        self.retries = retries
+        self.backoff_base_ms = backoff_base_ms
+        self.backoff_cap_ms = backoff_cap_ms
+        self.connect_timeout_s = connect_timeout_s
+        self.io_timeout_s = io_timeout_s
+        self._rng = random.Random(seed)
+        self._sock: socket.socket | None = None
+        self._next_id = 0
+        self.attempts = 0       # total frames sent (observability)
+        self.retried = 0        # attempts beyond each call's first
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+    def _connect(self) -> socket.socket:
+        if self._sock is None:
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=self.connect_timeout_s)
+            sock.settimeout(self.io_timeout_s)
+            self._sock = sock
+        return self._sock
+
+    def _drop_socket(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def close(self) -> None:
+        """Close the underlying socket (idempotent)."""
+        self._drop_socket()
+
+    def __enter__(self) -> "GatewayClient":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+    # ------------------------------------------------------------------
+    # request/reply core
+    # ------------------------------------------------------------------
+    def _roundtrip(self, msg: dict) -> dict:
+        """One attempt: send a frame, read replies until ours arrives."""
+        sock = self._connect()
+        wire.send_frame(sock, msg)
+        self.attempts += 1
+        while True:
+            reply = wire.recv_frame(sock)
+            if reply.get("id") == msg["id"]:
+                return reply
+            # a reply for a request this client no longer waits on
+            # (e.g. one whose attempt timed out earlier): ignore it
+
+    def _backoff(self, attempt: int, budget_s: float | None) -> None:
+        delay_ms = min(self.backoff_cap_ms,
+                       self.backoff_base_ms * (2 ** attempt))
+        delay_s = delay_ms / 1e3 * (0.5 + 0.5 * self._rng.random())
+        if budget_s is not None:
+            delay_s = min(delay_s, max(0.0, budget_s))
+        time.sleep(delay_s)
+
+    def _call(self, msg: dict, *, retryable: bool,
+              t_end: float | None = None) -> dict:
+        last_exc: Exception | None = None
+        for attempt in range(self.retries + 1):
+            if attempt:
+                self.retried += 1
+            if t_end is not None:
+                remaining = t_end - time.monotonic()
+                if remaining <= 0:
+                    raise DeadlineExceededError(
+                        "deadline budget exhausted across retries") \
+                        from last_exc
+                msg["deadline_ms"] = remaining * 1e3
+            msg["id"] = self._next_id
+            self._next_id += 1
+            try:
+                reply = self._roundtrip(msg)
+            except _TRANSPORT_ERRORS as exc:
+                self._drop_socket()
+                last_exc = exc
+                if not retryable or attempt == self.retries:
+                    raise ServeError(
+                        f"gateway transport failure: {exc}") from exc
+                self._backoff(attempt, None if t_end is None
+                              else t_end - time.monotonic())
+                continue
+            if reply.get("ok"):
+                return reply
+            entry = reply.get("error") or {}
+            kind = entry.get("kind", "serve-error")
+            if retryable and kind in RETRYABLE_KINDS \
+                    and attempt < self.retries:
+                last_exc = error_from_entry({"error": entry})
+                self._backoff(attempt, None if t_end is None
+                              else t_end - time.monotonic())
+                continue
+            raise error_from_entry({"error": entry})
+        raise ServeError("retries exhausted") from last_exc   # unreachable
+
+    # ------------------------------------------------------------------
+    # ops
+    # ------------------------------------------------------------------
+    def infer(self, model: str, inputs, fmt: str = "MERSIT(8,2)",
+              mode: str = "fakequant", deadline_ms: float | None = None):
+        """Run one inference through the gateway; returns the ndarray.
+
+        ``deadline_ms`` is a *total* budget covering every retry and all
+        wire time; each attempt carries only the remaining budget.
+        """
+        t_end = None if deadline_ms is None \
+            else time.monotonic() + deadline_ms / 1e3
+        msg = {"op": "infer", "model": model,
+               "inputs": inputs, "fmt": fmt, "mode": mode}
+        if deadline_ms is not None:
+            msg["deadline_ms"] = deadline_ms
+        reply = self._call(msg, retryable=True, t_end=t_end)
+        return reply["result"]
+
+    def stats(self) -> dict:
+        """Fetch the gateway's merged stats block."""
+        return self._call({"op": "stats"}, retryable=True)["stats"]
+
+    def health(self) -> dict:
+        """Fetch the gateway's health summary (ready/degraded/draining)."""
+        return self._call({"op": "health"}, retryable=True)["health"]
+
+    def drain(self) -> dict:
+        """Ask the gateway to begin a graceful drain (not retried)."""
+        return self._call({"op": "drain"}, retryable=False)

@@ -13,6 +13,8 @@ from __future__ import annotations
 __all__ = [
     "ServeError", "QueueFullError", "DeadlineExceededError",
     "ModelLoadError", "WorkerCrashError", "ServiceClosedError",
+    "OverloadedError", "CircuitOpenError", "DrainingError",
+    "BadRequestError", "GatewayTimeoutError",
     "error_from_entry",
 ]
 
@@ -73,10 +75,61 @@ class ServiceClosedError(ServeError):
     code = 503
 
 
+class OverloadedError(ServeError):
+    """The gateway's bounded in-flight admission window is full (503).
+
+    The network-facing twin of :class:`QueueFullError`: the gateway sheds
+    load *before* the scheduler queue ever sees the request, converting
+    overload into a structured reply instead of unbounded buffering.
+    """
+
+    kind = "overloaded"
+    code = 503
+
+
+class CircuitOpenError(ServeError):
+    """The circuit breaker for this (model|format|mode) key is open (503).
+
+    Repeated worker-crash/timeout failures opened the breaker; requests
+    fast-fail here until a half-open probe succeeds and re-closes it.
+    """
+
+    kind = "circuit-open"
+    code = 503
+
+
+class DrainingError(ServeError):
+    """The gateway is draining and no longer admits new work (503)."""
+
+    kind = "draining"
+    code = 503
+
+
+class BadRequestError(ServeError):
+    """A wire frame was malformed or named an unknown op/model (400)."""
+
+    kind = "bad-request"
+    code = 400
+
+
+class GatewayTimeoutError(ServeError):
+    """The gateway's backstop timer expired with no service reply (504).
+
+    Distinct from :class:`DeadlineExceededError` (the *request's* budget
+    expired): this is the gateway protecting itself against a wedged
+    backend, and it counts as a breaker failure.
+    """
+
+    kind = "gateway-timeout"
+    code = 504
+
+
 #: kind -> class, for rebuilding typed errors after pipe transit
 _BY_KIND = {cls.kind: cls for cls in (
     QueueFullError, DeadlineExceededError, ModelLoadError,
-    WorkerCrashError, ServiceClosedError, ServeError)}
+    WorkerCrashError, ServiceClosedError, OverloadedError,
+    CircuitOpenError, DrainingError, BadRequestError, GatewayTimeoutError,
+    ServeError)}
 
 
 def error_from_entry(entry: dict | None) -> ServeError:

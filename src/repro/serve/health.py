@@ -1,0 +1,121 @@
+"""Background health supervision for the serving gateway.
+
+A hung shard worker fails *silently* from a client's point of view: its
+requests just never come back (until the router's deadline sweep expires
+them one by one).  The supervisor makes that failure mode active: a
+probe loop pings every shard through the stats channel on a fixed
+interval, tracks consecutive missed probes per slot, and — once a slot
+has been unreachable ``escalate_after`` times in a row — escalates to a
+forced respawn (:meth:`ShardRouter.force_respawn` SIGKILLs the worker,
+whose pipe-EOF the router's collector already knows how to revive).
+Recovery reuses the proven crash path instead of inventing a second one.
+
+The supervisor is service-shape-agnostic: a :class:`ShardRouter` exposes
+``ping()`` (per-slot liveness) and ``force_respawn(slot)``; an
+in-process :class:`InferenceService` has neither, so its probe degrades
+to checking the scheduler is still answering ``queue_depth()`` —
+trivially true unless the process itself is wedged, in which case no
+supervisor thread would run either.
+
+:meth:`HealthSupervisor.state` summarises to ``ready`` (every probe
+healthy) or ``degraded`` (at least one slot failing probes); the gateway
+overlays ``draining`` during shutdown.  This is what the wire ``health``
+op returns to clients, so an external balancer can stop routing to a
+degraded gateway before requests start dying.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["HealthSupervisor"]
+
+
+class HealthSupervisor:
+    """Probe loop + escalation policy over one service or shard router."""
+
+    def __init__(self, service, *, interval_s: float = 0.5,
+                 probe_timeout_s: float = 2.0, escalate_after: int = 3):
+        if escalate_after < 1:
+            raise ValueError("escalate_after must be >= 1")
+        self.service = service
+        self.interval_s = interval_s
+        self.probe_timeout_s = probe_timeout_s
+        self.escalate_after = escalate_after
+        self._lock = threading.Lock()
+        self._misses: dict[int, int] = {}
+        self._forced: dict[int, int] = {}
+        self._probes = 0
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run,
+                                        name="gateway-health", daemon=True)
+
+    # -- lifecycle -------------------------------------------------------
+    def start(self) -> None:
+        """Start the background probe thread."""
+        self._thread.start()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Stop probing and join the thread."""
+        self._stop.set()
+        if self._thread.is_alive():
+            self._thread.join(timeout)
+
+    # -- probe loop ------------------------------------------------------
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            self.probe_once()
+
+    def probe_once(self) -> list[bool]:
+        """Ping every slot once; escalate persistent failures.
+
+        Exposed for deterministic tests (drive the loop by hand instead
+        of sleeping through intervals).
+        """
+        ping = getattr(self.service, "ping", None)
+        if ping is None:
+            # in-process service: alive iff the scheduler still answers
+            try:
+                self.service.scheduler.queue_depth()
+                healthy = [True]
+            except Exception:  # lint: allow[broad-except] any probe failure means unhealthy, whatever its type
+                healthy = [False]
+        else:
+            healthy = ping(timeout=self.probe_timeout_s)
+        force = getattr(self.service, "force_respawn", None)
+        escalate: list[int] = []
+        with self._lock:
+            self._probes += 1
+            for slot, ok in enumerate(healthy):
+                if ok:
+                    self._misses[slot] = 0
+                    continue
+                self._misses[slot] = self._misses.get(slot, 0) + 1
+                if force is not None and \
+                        self._misses[slot] >= self.escalate_after:
+                    self._misses[slot] = 0
+                    self._forced[slot] = self._forced.get(slot, 0) + 1
+                    escalate.append(slot)
+        for slot in escalate:
+            print(f"gateway health: shard {slot} missed "
+                  f"{self.escalate_after} probes; forcing respawn",
+                  flush=True)
+            force(slot)
+        return healthy
+
+    # -- reporting -------------------------------------------------------
+    def state(self) -> dict:
+        """JSON-ready health summary for the wire ``health`` op."""
+        with self._lock:
+            misses = dict(self._misses)
+            forced = dict(self._forced)
+            probes = self._probes
+        degraded = [slot for slot, n in misses.items() if n > 0]
+        return {
+            "state": "degraded" if degraded else "ready",
+            "probes": probes,
+            "degraded_slots": sorted(degraded),
+            "consecutive_misses": {str(k): v for k, v in sorted(misses.items())
+                                   if v},
+            "forced_respawns": {str(k): v for k, v in sorted(forced.items())},
+        }

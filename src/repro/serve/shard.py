@@ -609,7 +609,7 @@ class ShardRouter:
                 self._dispatch(p)
 
     # -- observability ---------------------------------------------------
-    def _ask_stats(self, slot: int) -> ServeFuture:
+    def _ask_stats(self, slot: int) -> _Pending:
         with self._lock:
             pending = _Pending(seq=next(self._seq), slot=slot, kind="stats",
                                key="", payload=None, deadline=None)
@@ -620,7 +620,45 @@ class ShardRouter:
                 self._workers[slot].conn.send(("stats", pending.seq))
             except (OSError, ValueError):
                 pass
-        return pending.future
+        return pending
+
+    def ping(self, timeout: float = 2.0) -> list[bool]:
+        """Per-slot liveness: does each shard still answer its stats pipe?
+
+        A slot is healthy iff it ships a stats payload within
+        ``timeout`` — a worker whose main loop is wedged (an enacted
+        ``hang`` fault, a stuck syscall) fails the ping even though its
+        process is alive, which is exactly the state the health
+        supervisor must escalate.  Unanswered asks are retired so a hung
+        worker cannot leak pending records probe after probe.
+        """
+        pendings = [self._ask_stats(slot)
+                    for slot in range(len(self._workers))]
+        healthy = []
+        for pending in pendings:
+            try:
+                healthy.append(pending.future.result(timeout) is not None)
+            except Exception:  # lint: allow[broad-except] an unresponsive or dead shard is simply unhealthy
+                healthy.append(False)
+        with self._lock:
+            for pending in pendings:
+                self._pending.pop(pending.seq, None)
+        return healthy
+
+    def force_respawn(self, slot: int) -> None:
+        """Hard-kill one shard worker (health-supervision escalation).
+
+        SIGKILL makes the worker's pipe EOF, which the collector's
+        existing :meth:`_revive` path turns into an in-slot respawn,
+        re-init and redispatch — escalation reuses the proven crash
+        recovery machinery rather than a parallel teardown path.
+        """
+        if not 0 <= slot < len(self._workers):
+            raise ValueError(f"no shard slot {slot}")
+        try:
+            os.kill(self._workers[slot].pid, signal.SIGKILL)
+        except (ProcessLookupError, OSError):
+            pass  # already dead: the collector is reviving it
 
     def stats(self, timeout: float = 30.0) -> dict:
         """Fleet-wide stats: exact merged percentiles + per-shard detail.
@@ -631,7 +669,7 @@ class ShardRouter:
         request would report.  Per-shard entries keep their queue depth
         and counters (samples are stripped after merging).
         """
-        futures = [self._ask_stats(slot)
+        futures = [self._ask_stats(slot).future
                    for slot in range(len(self._workers))]
         per_shard = []
         for slot, fut in enumerate(futures):

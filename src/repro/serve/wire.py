@@ -1,0 +1,148 @@
+"""Gateway wire format: length-prefixed JSON frames + exact array codec.
+
+One frame is a 4-byte big-endian unsigned payload length followed by
+that many bytes of UTF-8 JSON.  Length prefixing (rather than newline
+delimiting) keeps the framing binary-safe and makes truncation
+detectable: a reader that gets EOF mid-frame knows the wire died, it
+never mis-parses a half message as a smaller one.
+
+Request/reply payloads carry numpy arrays (inference inputs and
+outputs).  JSON cannot hold them natively, so :func:`encode_payload`
+maps every ndarray to ``{"__ndarray__": {dtype, shape, data}}`` with the
+raw C-order bytes base64-encoded — a *bit-exact* round trip
+(:func:`decode_payload` rebuilds with ``np.frombuffer``), which is what
+lets the gateway chaos suite compare a reply byte-for-byte against
+``infer_serial``.  Tuples are tagged (``{"__tuple__": [...]}``) so GLUE
+``(ids, mask)`` request payloads survive the JSON list/tuple collapse.
+
+Frames are capped at :data:`MAX_FRAME` bytes; an oversized, negative or
+syntactically corrupt frame raises :class:`FrameError`, which both ends
+treat as a connection-fatal protocol error (the stream may be
+desynchronised, so the only safe recovery is to close and reconnect).
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import struct
+
+import numpy as np
+
+__all__ = [
+    "MAX_FRAME", "FrameError",
+    "encode_payload", "decode_payload", "pack_frame", "unpack_frame",
+    "frame_length", "recv_exact", "recv_frame", "send_frame", "garble",
+]
+
+#: hard cap on one frame's JSON payload (64 MiB) — an admission bound on
+#: memory, not a practical limit (a 224x224x3 float32 image is ~780 KiB
+#: encoded)
+MAX_FRAME = 64 * 1024 * 1024
+
+_LEN = struct.Struct(">I")
+
+
+class FrameError(ValueError):
+    """A wire frame was oversized, truncated or not valid JSON."""
+
+
+def encode_payload(obj):
+    """JSON-safe copy of ``obj`` with ndarrays/tuples tagged losslessly."""
+    if isinstance(obj, np.ndarray):
+        arr = np.ascontiguousarray(obj)
+        return {"__ndarray__": {
+            "dtype": arr.dtype.str, "shape": list(arr.shape),
+            "data": base64.b64encode(arr.tobytes()).decode("ascii")}}
+    if isinstance(obj, (np.generic,)):
+        return encode_payload(np.asarray(obj))
+    if isinstance(obj, tuple):
+        return {"__tuple__": [encode_payload(v) for v in obj]}
+    if isinstance(obj, list):
+        return [encode_payload(v) for v in obj]
+    if isinstance(obj, dict):
+        return {str(k): encode_payload(v) for k, v in obj.items()}
+    return obj
+
+
+def decode_payload(obj):
+    """Inverse of :func:`encode_payload` (bit-exact for ndarrays)."""
+    if isinstance(obj, dict):
+        if set(obj) == {"__ndarray__"}:
+            nd = obj["__ndarray__"]
+            data = base64.b64decode(nd["data"])
+            return np.frombuffer(data, dtype=np.dtype(nd["dtype"])).reshape(
+                nd["shape"]).copy()
+        if set(obj) == {"__tuple__"}:
+            return tuple(decode_payload(v) for v in obj["__tuple__"])
+        return {k: decode_payload(v) for k, v in obj.items()}
+    if isinstance(obj, list):
+        return [decode_payload(v) for v in obj]
+    return obj
+
+
+def pack_frame(msg: dict) -> bytes:
+    """Serialise one message dict to its length-prefixed wire bytes."""
+    payload = json.dumps(encode_payload(msg), sort_keys=True,
+                         separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_FRAME:
+        raise FrameError(f"frame of {len(payload)} bytes exceeds the "
+                         f"{MAX_FRAME}-byte cap")
+    return _LEN.pack(len(payload)) + payload
+
+
+def unpack_frame(payload: bytes) -> dict:
+    """Parse one frame's JSON payload bytes back into a message dict."""
+    try:
+        msg = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise FrameError(f"corrupt frame: {exc}") from None
+    if not isinstance(msg, dict):
+        raise FrameError(f"frame payload is {type(msg).__name__}, not an "
+                         f"object")
+    return decode_payload(msg)
+
+
+def frame_length(header: bytes) -> int:
+    """Decode and validate the 4-byte length prefix."""
+    (n,) = _LEN.unpack(header)
+    if n > MAX_FRAME:
+        raise FrameError(f"frame length {n} exceeds the {MAX_FRAME}-byte cap")
+    return n
+
+
+def recv_exact(sock, n: int) -> bytes:
+    """Read exactly ``n`` bytes from a blocking socket or raise EOF."""
+    chunks = []
+    while n:
+        chunk = sock.recv(min(n, 1 << 20))
+        if not chunk:
+            raise ConnectionError("connection closed mid-frame")
+        chunks.append(chunk)
+        n -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock) -> dict:
+    """Blocking-socket read of one complete frame (client side)."""
+    payload = recv_exact(sock, frame_length(recv_exact(sock, _LEN.size)))
+    return unpack_frame(payload)
+
+
+def send_frame(sock, msg: dict) -> None:
+    """Blocking-socket write of one complete frame (client side)."""
+    sock.sendall(pack_frame(msg))
+
+
+def garble(payload: bytes) -> bytes:
+    """Deterministically corrupt frame payload bytes (net fault helper).
+
+    Flips a bit in every 7th byte — enough to break JSON syntax or a
+    base64 run without changing the frame length, so the peer reads a
+    complete frame and fails *parsing* it (the corruption-detection
+    path), not the length prefix.
+    """
+    out = bytearray(payload)
+    for i in range(0, len(out), 7):
+        out[i] ^= 0x20
+    return bytes(out)

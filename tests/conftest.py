@@ -29,7 +29,7 @@ from repro.zoo import registry
 
 #: suites whose tests get the post-teardown leak check (they are the
 #: ones that start threads/processes/segments on purpose)
-_LEAK_MARKERS = ("serve", "shard", "grid", "sanitize")
+_LEAK_MARKERS = ("serve", "shard", "grid", "sanitize", "net")
 
 #: seconds to wait for joins/GC to retire threads, fds and segments
 _LEAK_GRACE = 5.0

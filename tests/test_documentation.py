@@ -156,6 +156,54 @@ class TestShardDocs:
         assert "shm" in shard_sites or "segment" in shard_sites.lower()
 
 
+class TestGatewayDocs:
+    """The network gateway is documented where users will look."""
+
+    def test_readme_has_the_gateway_section(self):
+        text = (REPO_ROOT / "README.md").read_text()
+        assert "### Serving over the network" in text
+        assert "GatewayClient" in text
+        assert "check.sh --net" in text
+
+    def test_design_has_the_gateway_section(self):
+        text = (REPO_ROOT / "DESIGN.md").read_text()
+        assert "## 15. Network gateway (`serve.gateway` + `serve.client`)" \
+            in text
+        for term in ("length-prefixed", "circuit breaker", "half-open",
+                     "deadline propagation", "max_inflight", "drain",
+                     "force_respawn", "RETRYABLE_KINDS"):
+            assert term in text, f"DESIGN.md gateway section lacks {term}"
+
+    def test_design_fault_table_lists_net_scope(self):
+        text = (REPO_ROOT / "DESIGN.md").read_text()
+        assert "| `net` |" in text
+        for action in ("drop", "delay", "garble"):
+            assert action in text
+
+    def test_faults_registry_lists_the_net_points(self):
+        from repro.resilience import faults
+        scopes = {p[0] for p in faults.INJECTION_POINTS}
+        assert "net" in scopes
+        net_sites = " ".join(p[1] for p in faults.INJECTION_POINTS
+                             if p[0] == "net")
+        assert "accept" in net_sites
+        assert "frame" in net_sites and "reply" in net_sites
+
+    def test_cli_serve_accepts_gateway_flags(self):
+        from repro.cli import build_parser
+        args = build_parser().parse_args(
+            ["serve", "micro-mlp", "--host", "0.0.0.0", "--port", "9000",
+             "--drain-timeout", "5"])
+        assert (args.host, args.port, args.drain_timeout) == \
+            ("0.0.0.0", 9000, 5.0)
+        legacy = build_parser().parse_args(["serve", "micro-mlp", "--stats"])
+        assert legacy.host is None and legacy.port is None and legacy.stats
+
+    def test_check_sh_gates_the_net_suite(self):
+        text = (REPO_ROOT / "scripts" / "check.sh").read_text()
+        assert "--net" in text and "-m net" in text
+
+
 class TestConcurrencyDocs:
     """The concurrency analyzer + sanitizer are documented where users look."""
 

@@ -189,3 +189,63 @@ def test_policy_validation():
         BatchPolicy(max_wait_ms=-1)
     with pytest.raises(ValueError):
         BatchPolicy(retries=-1)
+
+
+# ---------------------------------------------------------------------------
+# shutdown-race pins (audited for the gateway's graceful-drain path):
+# submit() checks the closed flag and enqueues under one _cond acquisition,
+# and close() flips the flag under the same lock — so a request can never
+# slip past a concurrent close into a queue nobody will ever drain.  These
+# hammers pin that invariant: every submitted future resolves promptly as
+# either a real result or ServiceClosedError, never a silent drop.
+# ---------------------------------------------------------------------------
+
+def _hammer_close(drain: bool, seed: int):
+    ex = Recorder(delay_s=0.001)
+    sched = make(ex, workers=2, queue_depth=64)
+    futs = []
+    futs_lock = threading.Lock()
+    start = threading.Barrier(5)
+
+    def submitter(tid):
+        start.wait()
+        for i in range(50):
+            try:
+                f = sched.submit("m", (tid, i))
+            except (ServiceClosedError, QueueFullError):
+                continue
+            with futs_lock:
+                futs.append(f)
+
+    threads = [threading.Thread(target=submitter, args=(t,))
+               for t in range(4)]
+    for t in threads:
+        t.start()
+    start.wait()
+    time.sleep(0.002 * (seed % 5))   # vary where close lands in the storm
+    sched.close(drain=drain)
+    for t in threads:
+        t.join(10)
+        assert not t.is_alive()
+    outcomes = {"ok": 0, "closed": 0}
+    for f in futs:
+        try:
+            f.result(5)   # a dropped future would hang right here
+            outcomes["ok"] += 1
+        except ServiceClosedError:
+            outcomes["closed"] += 1
+    return outcomes
+
+
+def test_submit_racing_drain_close_never_drops_a_future():
+    for seed in range(5):
+        outcomes = _hammer_close(drain=True, seed=seed)
+        # with drain=True every accepted request must actually run
+        assert outcomes["closed"] == 0, \
+            f"seed {seed}: drain-close failed accepted requests {outcomes}"
+
+
+def test_submit_racing_abort_close_never_drops_a_future():
+    for seed in range(5):
+        outcomes = _hammer_close(drain=False, seed=seed)
+        assert outcomes["ok"] + outcomes["closed"] > 0, seed

@@ -110,6 +110,48 @@ def test_merge_of_nothing_is_empty_but_well_formed():
     assert merged["percentiles_exact"] is False
 
 
+def test_merge_of_single_snapshot_with_samples_is_exact_identity():
+    """Degenerate fleet of one: the merge must be the snapshot itself,
+    and exact (its samples are the whole population)."""
+    m = ServeMetrics()
+    _record(m, [5.0, 1.0, 9.0, 3.0])
+    solo = m.snapshot(samples=True)
+    merged = merge_snapshots([solo])
+    assert merged["percentiles_exact"] is True
+    assert merged["shards"] == 1
+    for field in ("submitted", "completed", "rejected", "expired", "failed"):
+        assert merged[field] == solo[field]
+    for q in ("p50", "p95", "p99", "max"):
+        assert merged["latency_ms"][q] == solo["latency_ms"][q]
+
+
+def test_merge_of_single_sampleless_snapshot_is_honest_upper_bound():
+    """One snapshot without samples: the numbers pass through but the
+    merge must not claim exactness it cannot verify."""
+    m = ServeMetrics()
+    _record(m, [2.0, 4.0, 6.0])
+    solo = m.snapshot()          # no samples shipped
+    merged = merge_snapshots([solo])
+    assert merged["percentiles_exact"] is False
+    assert merged["latency_ms"]["p50"] == solo["latency_ms"]["p50"]
+    assert merged["submitted"] == 3
+
+
+def test_merge_with_idle_shard_keeps_exactness():
+    """An idle shard (samples present but empty) must not flip the merge
+    to inexact or perturb the busy shard's percentiles."""
+    busy, idle = ServeMetrics(), ServeMetrics()
+    _record(busy, [1.0, 2.0, 3.0, 4.0])
+    merged = merge_snapshots([busy.snapshot(samples=True),
+                              idle.snapshot(samples=True)])
+    assert merged["percentiles_exact"] is True
+    assert merged["shards"] == 2
+    ref = busy.snapshot(samples=True)
+    for q in ("p50", "p95", "p99", "max"):
+        assert merged["latency_ms"][q] == ref["latency_ms"][q]
+    assert merged["submitted"] == 4
+
+
 def test_percentile_matches_numpy_on_ties_and_singletons():
     assert percentile([], 50) == 0.0
     assert percentile([3.0], 99) == 3.0
