@@ -65,6 +65,48 @@ def table2_section() -> str:
     return "\n".join(lines + checks) + "\n"
 
 
+def frontier_section() -> str:
+    art = load_artifact("frontier")
+    if not art or "models" not in art:
+        return "*(frontier artifact missing — run " \
+               "`python -m repro.cli experiments frontier`.)*\n"
+    parts = [
+        "Not a paper table: the mixed-precision extension "
+        "(`repro.quant.mixed`).  Per layer,\nformats are allocated by a "
+        "knapsack over sensitivity x gate-level MAC cost; points\nare "
+        "DFQ-bias-corrected accuracy vs MAC-weighted mean area x power "
+        "(10^-3 um^2 uW\nper MAC, so a uniform point costs exactly its "
+        "format's unit cost).  `*` marks the\nPareto set.\n"]
+    for name, s in art["models"].items():
+        pareto = {(p["kind"], p["label"]) for p in s.get("pareto", [])}
+        fp32 = s.get("fp32")
+        title = f"**{name}**" + (f" (FP32 {fp32:.2f})" if fp32 else "")
+        parts.append(title + "\n")
+        parts.append("| point | cost | accuracy | vs FP32 |\n|---|---|---|---|")
+        for p in s.get("points", []):
+            tag = "\\*" if (p["kind"], p["label"]) in pareto else ""
+            delta = f"{p['acc'] - fp32:+.2f}" if fp32 else "—"
+            parts.append(f"| {p['kind']}:{p['label']}{tag} | {p['cost']:.2f} "
+                         f"| {p['acc']:.2f} | {delta} |")
+        parts.append("")
+        dom = s.get("dominance")
+        if dom is None:
+            parts.append("* dominance: pending (uniform or mixed points "
+                         "missing).")
+        elif dom.get("dominant") is None:
+            parts.append("* dominance: no mixed point strictly beats every "
+                         "uniform anchor.")
+        else:
+            parts.append(
+                f"* dominance: **mixed:{dom['dominant']}** at accuracy "
+                f"{dom['acc']:.2f} / cost {dom['cost']:.2f} strictly beats "
+                f"every uniform anchor (best uniform accuracy "
+                f"{dom['uniform_best_acc']:.2f}, cheapest uniform cost "
+                f"{dom['uniform_min_cost']:.2f}).")
+        parts.append("")
+    return "\n".join(parts)
+
+
 def main() -> None:
     t1 = table1.run()
     f2 = fig2.run()
@@ -212,6 +254,9 @@ corresponding `benchmarks/bench_*.py`.
     else:
         parts.append("*(engine_delta artifact missing)*\n")
 
+    parts.append("## Frontier — mixed-precision accuracy vs hardware cost\n")
+    parts.append(frontier_section())
+
     parts.append("""## Known deviations
 
 * **Absolute PTQ scores** — the zoo trains miniaturised analogues from
@@ -228,6 +273,15 @@ corresponding `benchmarks/bench_*.py`.
   translates into consistent but small narrow-format penalties rather than
   collapse.  The precision-side degradations (FP(8,5)/Posit(8,3), 2-bit
   fractions) reproduce clearly, as do all MERSIT-vs-Posit equivalences.
+* **No strict mixed-over-uniform dominance on this zoo** — the frontier's
+  dominance verdict asks for a mixed point with *better* accuracy than every
+  uniform anchor at lower-or-equal cost.  Because MERSIT(8,2)/Posit(8,1)
+  uniform PTQ is already at FP32 level here (the paper's own headline
+  claim), there is no accuracy headroom for a mixed assignment to win
+  strictly; seed-averaged anchors even sit a noise-width *above* FP32.  The
+  frontier instead shows the cost side: mixed points hold FP32-level
+  accuracy at ~35-45 % lower area x power than the cheapest uniform anchor,
+  and they dominate the anchors in the weak (<=, >=) Pareto sense.
 * **GLUE rows are uniformly robust** — MiniBERT (2 layers, dim 64, FP32
   LayerNorm after every sub-block) additionally lacks BERT-base's
   quantization-fragile outlier channels; the vision rows carry the format

@@ -13,11 +13,14 @@ hardware [--formats F1,F2] [--stream N]
     Build the MAC units, verify exactness and report area/power.
 experiments [NAMES...] [--jobs N] [--seeds K] [--cell-timeout S] [--retries N]
     Run experiment drivers (table1 fig2 fig4 fig6 fig7 table3 headline
-    table2, or ``all``); defaults to the fast set.  ``--jobs`` fans the
-    independent-cell grids (table2, fig4, fig6, table3) across the
-    persistent worker pool; ``--seeds K`` adds a K-seed calibration axis
-    to table2 (error bars); ``--cell-timeout``/``--retries`` configure
-    the resilient executor (hung-worker deadline, retry budget).
+    table2 engine_delta frontier, or ``all``); defaults to the fast
+    set.  ``frontier`` fills the mixed-precision accuracy-vs-hardware-
+    cost Pareto frontier (per-layer format allocation + DFQ bias
+    correction).  ``--jobs`` fans the independent-cell grids (table2,
+    frontier, fig4, fig6, table3) across the persistent worker pool;
+    ``--seeds K`` adds a K-seed calibration axis to table2/frontier
+    (error bars); ``--cell-timeout``/``--retries`` configure the
+    resilient executor (hung-worker deadline, retry budget).
 serve MODEL [--format F] [--mode fakequant|engine] [--requests N]
       [--concurrency C] [--open --rate R] [--shards N] [--stats]
       [--host H --port P [--drain-timeout S]]
@@ -90,15 +93,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="experiment names, or 'all' (default: fast set)")
     p_exp.add_argument("--jobs", type=int, default=1,
                        help="worker processes for the independent-cell "
-                            "grids (table2, fig4, fig6, table3)")
+                            "grids (table2, frontier, fig4, fig6, table3)")
     p_exp.add_argument("--seeds", type=int, default=1,
-                       help="calibration seeds per table2 cell (>1 adds "
-                            "the error-bar axis)")
+                       help="calibration seeds per table2/frontier cell "
+                            "(>1 adds the error-bar axis)")
     p_exp.add_argument("--cell-timeout", type=float, default=None,
                        dest="cell_timeout",
-                       help="per-cell deadline (s) for the table2 pool")
+                       help="per-cell deadline (s) for the table2/frontier "
+                            "pool")
     p_exp.add_argument("--retries", type=int, default=None,
-                       help="retry budget for failing table2 cells")
+                       help="retry budget for failing table2/frontier cells")
 
     p_serve = sub.add_parser(
         "serve", help="run the dynamic-batching inference service")
@@ -214,7 +218,8 @@ def _cmd_inspect(args) -> int:
 
 def _cmd_ptq(args) -> int:
     from .autograd import Tensor
-    from .quant import PTQConfig, dequantize_model, quantize_model
+    from .quant import (PTQConfig, dequantize_model, parse_format_spec,
+                        quantize_model)
     from .zoo import ALL_MODELS, dataset, evaluate_text, evaluate_vision, glue_task, pretrained
     if args.model not in ALL_MODELS:
         print(f"unknown model {args.model!r}; available: {sorted(ALL_MODELS)}")
@@ -235,8 +240,11 @@ def _cmd_ptq(args) -> int:
     fp32 = score()
     print(f"{args.model} FP32 {entry.metric}: {fp32:.2f} (train-time ref {ref:.2f})")
     for name in _split_formats(args.formats):
+        default, layer_formats = parse_format_spec(name.strip())
         quantize_model(model,
-                       PTQConfig(weight_format=name.strip(), mode=args.mode),
+                       PTQConfig(weight_format=default,
+                                 layer_formats=layer_formats or None,
+                                 mode=args.mode),
                        calib.batches(50), forward=fwd)
         s = score()
         dequantize_model(model)

@@ -3,22 +3,24 @@
 Usage::
 
     python -m repro.experiments.runner [--jobs N] \
-        [all | table1 fig2 fig4 fig6 fig7 table3 headline table2 engine_delta]
+        [all | table1 fig2 fig4 fig6 fig7 table3 headline table2 \
+         engine_delta frontier]
 
-Without arguments runs everything except the two expensive grids — the
-full Table 2 fill and the fakequant-vs-true-quantized ``engine_delta``
-table (run those explicitly or as part of ``all``).  ``--jobs N``
-parallelises every grid whose cells are independent — the Table 2 fill
-plus the fig4/fig6/table3 sweeps — on the persistent warm-worker pool
-(table1 is a single deterministic table and stays serial).  ``--seeds K``
-adds a K-seed calibration axis to Table 2 (error bars in the rendered
-table; seed 0 reproduces the single-seed grid byte-for-byte).
+Without arguments runs everything except the expensive grids — the full
+Table 2 fill, the fakequant-vs-true-quantized ``engine_delta`` table
+and the mixed-precision ``frontier`` (run those explicitly or as part
+of ``all``).  ``--jobs N`` parallelises every grid whose cells are
+independent — the Table 2 and frontier fills plus the fig4/fig6/table3
+sweeps — on the persistent warm-worker pool (table1 is a single
+deterministic table and stays serial).  ``--seeds K`` adds a K-seed
+calibration axis to Table 2 and the frontier points (error bars in the
+rendered tables; seed 0 reproduces the single-seed fill byte-for-byte).
 
-The Table 2 fill runs under the resilient executor: ``--cell-timeout``
-bounds each cell (hung-worker detection, pool path only) and
-``--retries`` bounds the retry budget for transiently failing cells;
-cells that exhaust it are recorded as structured errors (``ERR`` in the
-rendered table) while the rest of the grid completes.  The expensive
+The Table 2 and frontier fills run under the resilient executor:
+``--cell-timeout`` bounds each cell (hung-worker detection, pool path
+only) and ``--retries`` bounds the retry budget for transiently failing
+cells; cells that exhaust it are recorded as structured errors (``ERR``
+in the rendered table) while the rest of the grid completes.  The expensive
 grids are computed *here* — their ``render()`` alone never launches a
 run (it points at this command instead).
 """
@@ -28,7 +30,10 @@ from __future__ import annotations
 import argparse
 import sys
 
-from . import engine_delta, fig2, fig4, fig6, fig7, headline, table1, table2, table3
+from . import (
+    engine_delta, fig2, fig4, fig6, fig7, frontier, headline, table1, table2,
+    table3,
+)
 
 EXPERIMENTS = {
     "table1": table1,
@@ -40,12 +45,13 @@ EXPERIMENTS = {
     "headline": headline,
     "table2": table2,
     "engine_delta": engine_delta,
+    "frontier": frontier,
 }
 
 DEFAULT = ["table1", "fig2", "fig4", "fig6", "fig7", "table3", "headline"]
 
 #: the ``all`` pseudo-experiment: the fast set plus the expensive grids
-ALL = DEFAULT + ["table2", "engine_delta"]
+ALL = DEFAULT + ["table2", "engine_delta", "frontier"]
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -56,19 +62,20 @@ def main(argv: list[str] | None = None) -> int:
                         help="experiment names, or 'all' (default: fast set)")
     parser.add_argument("--jobs", type=int, default=1,
                         help="worker processes for the independent-cell "
-                             "grids: table2, fig4, fig6, table3 "
+                             "grids: table2, frontier, fig4, fig6, table3 "
                              "(default: serial)")
     parser.add_argument("--seeds", type=int, default=1,
-                        help="calibration seeds per table2 cell (>1 adds "
-                             "the error-bar axis; default: 1, the legacy "
-                             "single-seed grid)")
+                        help="calibration seeds per table2/frontier cell "
+                             "(>1 adds the error-bar axis; default: 1, the "
+                             "legacy single-seed grid)")
     parser.add_argument("--cell-timeout", type=float, default=None,
                         dest="cell_timeout",
-                        help="per-cell deadline in seconds for the table2 "
-                             "pool (hung-worker detection; default: none)")
+                        help="per-cell deadline in seconds for the table2/"
+                             "frontier pool (hung-worker detection; "
+                             "default: none)")
     parser.add_argument("--retries", type=int, default=1,
-                        help="retry budget for transiently failing table2 "
-                             "cells (default: 1)")
+                        help="retry budget for transiently failing table2/"
+                             "frontier cells (default: 1)")
     args = parser.parse_args(sys.argv[1:] if argv is None else argv)
 
     names = args.names or DEFAULT
@@ -82,13 +89,13 @@ def main(argv: list[str] | None = None) -> int:
     for name in names:
         mod = EXPERIMENTS[name]
         print(f"\n===== {name} =====")
-        if name == "table2":
+        if name in ("table2", "frontier"):
             # the expensive grids are computed here explicitly — render()
             # alone never launches them
-            print(table2.render(table2.run(jobs=args.jobs,
-                                           cell_timeout=args.cell_timeout,
-                                           retries=args.retries,
-                                           seeds=seeds)))
+            print(mod.render(mod.run(jobs=args.jobs,
+                                     cell_timeout=args.cell_timeout,
+                                     retries=args.retries,
+                                     seeds=seeds)))
         elif name == "engine_delta":
             print(engine_delta.render(engine_delta.run()))
         elif name in ("fig4", "fig6", "table3") and args.jobs > 1:

@@ -4,6 +4,11 @@ from .activation_stats import ActivationStats, collect_activation_stats, summari
 from .bfp import bfp_quantize
 from .fakequant import FakeQuantizer, quantize_with_scale
 from .sensitivity import LayerSensitivity, layer_sensitivity
+from .mixed import (
+    Allocation, AllocationProblem, allocate, bias_correct, build_problem,
+    canonical_format_spec, count_macs, format_unit_cost, parse_format_spec,
+    render_format_spec,
+)
 from .observers import MaxObserver, MSEObserver, PercentileObserver, make_observer
 from .metrics import accuracy, f1_score, matthews_corrcoef, relative_rmse, rmse, sqnr_db
 from .ptq import PTQConfig, dequantize_model, quantize_model, quantized_layers
@@ -12,6 +17,9 @@ __all__ = [
     "FakeQuantizer", "quantize_with_scale",
     "ActivationStats", "collect_activation_stats", "summarize_stats",
     "LayerSensitivity", "layer_sensitivity", "bfp_quantize",
+    "Allocation", "AllocationProblem", "allocate", "bias_correct",
+    "build_problem", "canonical_format_spec", "count_macs",
+    "format_unit_cost", "parse_format_spec", "render_format_spec",
     "MaxObserver", "PercentileObserver", "MSEObserver", "make_observer",
     "rmse", "relative_rmse", "sqnr_db", "accuracy", "f1_score", "matthews_corrcoef",
     "PTQConfig", "quantize_model", "dequantize_model", "quantized_layers",

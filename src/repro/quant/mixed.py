@@ -1,0 +1,584 @@
+"""Mixed-precision PTQ: per-layer format allocation under hardware cost.
+
+The paper scores each model with one format for the whole network; this
+module turns that grid into a per-model accuracy / hardware-cost
+*frontier* by assigning each layer its own format from the registry
+(Deep Positron's per-layer precision selection, driven by the repo's own
+gate-level MAC costs):
+
+* **format specs** — a mixed assignment serialises to the opaque string
+  ``mixed(DEFAULT;layer=FMT;...)``.  The spec contains neither ``|``
+  (the serving ``model|format|mode`` key separator) nor ``,`` outside
+  format names, so it flows through the scheduler, the shard router and
+  the gateway unchanged; :func:`canonical_format_spec` sorts entries and
+  drops ones equal to the default, so a map that assigns the default
+  everywhere *is* the uniform spec (and shares its serving cache).
+* **hardware cost** — :func:`format_unit_cost` synthesises the format's
+  gate-level MAC (:class:`~repro.hardware.MacUnit`) and simulates
+  activity-based power on a seeded operand stream; the cost metric is
+  the area x power product per MAC.  A layer's cost is its MAC-count
+  share of the network (:func:`count_macs`) times its format's unit
+  cost, so a model's total is the MAC-weighted mean area x power.
+* **allocation** — :func:`allocate` solves the resulting
+  multiple-choice knapsack (one format per layer, predicted drops from
+  :func:`~repro.quant.sensitivity.layer_sensitivity`) under either a
+  cost ``budget`` (minimise drop) or an accuracy ``floor`` (minimise
+  cost), with a ratio-greedy solver and an exact DP fallback over a
+  fixed integer cost grid.  Hosts the ``mixed:allocate/KEY`` fault
+  point.
+* **bias correction** — :func:`bias_correct` removes the DFQ-style
+  biased error that aggressive low-precision layers introduce: per
+  layer, the expected output over the calibration stream is matched to
+  the FP32 expectation by folding the difference into the layer bias
+  (sequentially, so upstream corrections are seen downstream).
+
+INT8 is deliberately absent from allocation palettes: it has no
+gate-level decoder in :mod:`repro.hardware`, so it cannot be costed
+(``MacUnit`` raises ``TypeError``).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..autograd import no_grad
+from ..formats import get_format
+from ..nn.layers import Conv2d, Linear
+from ..nn.module import Module
+from ..resilience import NumericsError, faults
+from .ptq import quantized_layers
+
+__all__ = [
+    "parse_format_spec", "render_format_spec", "canonical_format_spec",
+    "format_unit_cost", "count_macs",
+    "AllocationProblem", "Allocation", "build_problem", "allocate",
+    "bias_correct",
+]
+
+
+# ----------------------------------------------------------------------
+# mixed format specs
+# ----------------------------------------------------------------------
+
+_SPEC_PREFIX = "mixed("
+#: characters that would collide with the spec grammar or the serving
+#: ``model|format|mode`` key if they appeared in a layer name
+_FORBIDDEN_IN_LAYER = ("|", ";", "=", "(", ")")
+
+
+def render_format_spec(default, layer_formats: dict | None = None) -> str:
+    """Serialise a (default, per-layer overrides) pair to a spec string.
+
+    The result is canonical: overrides are sorted by layer name, format
+    names come from the registry, and overrides equal to the default are
+    dropped — an empty override map renders as the plain default name,
+    so the uniform case round-trips to the uniform spec.
+    """
+    default_name = get_format(default).name if isinstance(default, str) \
+        else default.name
+    entries = []
+    for layer in sorted(layer_formats or {}):
+        for ch in _FORBIDDEN_IN_LAYER:
+            if ch in layer:
+                raise ValueError(
+                    f"layer name {layer!r} contains {ch!r}, which collides "
+                    "with the mixed-spec / serving-key grammar")
+        f = layer_formats[layer]
+        fmt_name = get_format(f).name if isinstance(f, str) else f.name
+        if fmt_name != default_name:
+            entries.append(f"{layer}={fmt_name}")
+    if not entries:
+        return default_name
+    return _SPEC_PREFIX + ";".join([default_name] + entries) + ")"
+
+
+def parse_format_spec(spec: str) -> tuple[str, dict[str, str]]:
+    """``(default_name, {layer: format_name})`` for a format spec.
+
+    Accepts either a plain registry format name (empty override map) or
+    a ``mixed(DEFAULT;layer=FMT;...)`` string.  Unknown format names and
+    malformed entries raise ``ValueError``/``KeyError`` loudly.
+    """
+    spec = spec.strip()
+    if not (spec.startswith(_SPEC_PREFIX) and spec.endswith(")")):
+        return get_format(spec).name, {}
+    body = spec[len(_SPEC_PREFIX):-1]
+    parts = body.split(";")
+    if not parts or not parts[0]:
+        raise ValueError(f"mixed spec {spec!r} is missing its default format")
+    default_name = get_format(parts[0]).name
+    layer_formats: dict[str, str] = {}
+    for entry in parts[1:]:
+        layer, sep, fmt_name = entry.partition("=")
+        if not sep or not layer:
+            raise ValueError(f"malformed mixed-spec entry {entry!r} in {spec!r} "
+                             "(expected layer=FORMAT)")
+        if layer in layer_formats:
+            raise ValueError(f"duplicate layer {layer!r} in mixed spec {spec!r}")
+        layer_formats[layer] = get_format(fmt_name).name
+    return default_name, layer_formats
+
+
+def canonical_format_spec(spec: str) -> str:
+    """The canonical text of ``spec`` (parse + re-render).
+
+    Uniform specs canonicalise exactly like ``get_format(spec).name``;
+    mixed specs get sorted entries and default-equal overrides dropped,
+    so two spellings of the same assignment share one serving cache key.
+    """
+    default_name, layer_formats = parse_format_spec(spec)
+    return render_format_spec(default_name, layer_formats)
+
+
+# ----------------------------------------------------------------------
+# hardware cost model
+# ----------------------------------------------------------------------
+
+#: scale applied to the raw area[um^2] x power[uW] product so costs
+#: print in convenient units (10^-3 um^2*uW per MAC)
+COST_SCALE = 1e-3
+
+_COST_LOCK = threading.Lock()
+_COST_CACHE: dict[tuple, dict] = {}
+
+
+def format_unit_cost(fmt, n: int = 512, seed: int = 0,
+                     clock_mhz: float = 100.0) -> dict:
+    """Per-MAC hardware cost of one format: area, power, area x power.
+
+    Synthesises the format's gate-level MAC and simulates activity-based
+    power on ``n`` seeded gaussian operand pairs (the same stream for
+    every format, so costs are comparable).  Deterministic and memoized
+    — MAC synthesis is ~100 ms per format.  Formats without a
+    gate-level decoder (INT8) raise ``TypeError``.
+    """
+    fmt = get_format(fmt) if isinstance(fmt, str) else fmt
+    key = (fmt.name, n, seed, clock_mhz)
+    with _COST_LOCK:
+        hit = _COST_CACHE.get(key)
+    if hit is not None:
+        return hit
+    from ..hardware import MacUnit, dnn_operand_stream, mac_cost
+    rng = np.random.default_rng(seed)
+    w = rng.normal(size=4096)
+    a = rng.normal(size=4096)
+    w_codes, a_codes = dnn_operand_stream(fmt, w, a, n=n, seed=seed)
+    row = mac_cost(MacUnit(fmt), w_codes, a_codes, clock_mhz=clock_mhz)
+    out = {"area": row.area_total, "power": row.power_total,
+           "cost": row.area_total * row.power_total * COST_SCALE}
+    with _COST_LOCK:
+        # idempotent memo: racers compute equal values for equal keys
+        _COST_CACHE[key] = out
+    return out
+
+
+def count_macs(model: Module, batch, forward=None) -> dict[str, int]:
+    """Multiply-accumulate count per quantizable layer for one batch.
+
+    Hooks every quantizable layer, runs ``batch`` through the model once
+    and derives MAC counts from the observed input/output shapes:
+    ``prod(x.shape[:-1]) * in_features * out_features`` for Linear,
+    ``y.numel() * (C_in/groups) * kh * kw`` for Conv2d.  Only the
+    *shares* matter to the allocator, so any consistent batch size
+    works.
+    """
+    forward = forward or (lambda m, x: m(x))
+    layers = quantized_layers(model)
+    macs: dict[str, int] = {}
+    originals = [type(layer).forward for _, layer in layers]
+
+    def make_hook(name, layer, orig):
+        def hooked(x):
+            y = orig(layer, x)
+            if isinstance(layer, Conv2d):
+                _o, i_g, kh, kw = layer.weight.data.shape
+                per_out = i_g * kh * kw
+                count = int(np.prod(y.data.shape)) * per_out
+            elif isinstance(layer, Linear):
+                out_f, in_f = layer.weight.data.shape
+                rows = int(np.prod(x.data.shape[:-1]))
+                count = rows * in_f * out_f
+            else:  # generic fallback: one weight application per row
+                count = int(np.prod(x.data.shape[:-1])) * layer.weight.data.size
+            macs[name] = macs.get(name, 0) + count
+            return y
+        return hooked
+
+    for (name, layer), orig in zip(layers, originals):
+        layer.forward = make_hook(name, layer, orig)
+    try:
+        model.eval()
+        with no_grad():
+            forward(model, batch)
+    finally:
+        for _, layer in layers:
+            del layer.forward
+    if not macs:
+        raise ValueError("model has no quantizable layers (or the batch "
+                         "never reached one)")
+    return macs
+
+
+# ----------------------------------------------------------------------
+# the allocator (multiple-choice knapsack)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class AllocationProblem:
+    """One format-per-layer assignment problem.
+
+    ``drop[layer][fmt]`` is the predicted accuracy drop of running
+    ``layer`` in ``fmt`` (from the sensitivity sweep; may be negative),
+    ``cost[layer][fmt]`` the layer's hardware cost under ``fmt`` (MAC
+    share times the format's unit cost).  Both tables must be complete
+    over ``layers`` x ``formats``.
+    """
+
+    layers: tuple[str, ...]
+    formats: tuple[str, ...]
+    drop: dict
+    cost: dict
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """A solved assignment with its predicted totals."""
+
+    assignment: dict[str, str]
+    predicted_drop: float
+    cost: float
+    method: str
+
+    def spec(self, default: str) -> str:
+        """The assignment as a canonical ``mixed(...)`` format spec."""
+        return render_format_spec(default, self.assignment)
+
+
+def build_problem(drops: dict[str, dict[str, float]], macs: dict[str, int],
+                  unit_costs: dict[str, float],
+                  layers: Iterable[str] | None = None) -> AllocationProblem:
+    """Assemble an :class:`AllocationProblem` from its three ingredients.
+
+    ``drops[fmt][layer]`` comes from per-format sensitivity sweeps,
+    ``macs`` from :func:`count_macs`, ``unit_costs[fmt]`` from
+    :func:`format_unit_cost` (the scalar ``cost`` entry).  Layer costs
+    are MAC shares times unit costs, so a uniform assignment's total
+    cost equals the format's unit cost exactly.
+    """
+    formats = tuple(drops)
+    if not formats:
+        raise ValueError("no formats in the drop table")
+    layer_names = tuple(layers) if layers is not None else tuple(macs)
+    total_macs = float(sum(macs[l] for l in layer_names))
+    if total_macs <= 0:
+        raise ValueError("total MAC count is zero")
+    drop_t: dict[str, dict[str, float]] = {}
+    cost_t: dict[str, dict[str, float]] = {}
+    for l in layer_names:
+        share = macs[l] / total_macs
+        drop_t[l] = {f: float(drops[f][l]) for f in formats}
+        cost_t[l] = {f: share * float(unit_costs[f]) for f in formats}
+    return AllocationProblem(layers=layer_names, formats=formats,
+                             drop=drop_t, cost=cost_t)
+
+
+def _check_finite(problem: AllocationProblem, drop: dict) -> None:
+    for l in problem.layers:
+        for f in problem.formats:
+            if not (math.isfinite(drop[l][f])
+                    and math.isfinite(problem.cost[l][f])):
+                raise NumericsError(
+                    f"allocator table has a non-finite entry at "
+                    f"layer {l!r} format {f!r}", stat="drop")
+
+
+def _greedy_budget(problem: AllocationProblem, drop: dict,
+                   budget: float) -> dict[str, str]:
+    """Ratio-greedy MCKP: cheapest base, then best drop-per-cost upgrades."""
+    layers, formats = problem.layers, problem.formats
+    cost = problem.cost
+    pick = {l: min(formats, key=lambda f: (cost[l][f], drop[l][f]))
+            for l in layers}
+    total_cost = sum(cost[l][pick[l]] for l in layers)
+    while True:
+        best = None   # (ratio, layer_idx, fmt_idx)
+        for li, l in enumerate(layers):
+            cur_d, cur_c = drop[l][pick[l]], cost[l][pick[l]]
+            for fi, f in enumerate(formats):
+                if f == pick[l]:
+                    continue
+                dd = cur_d - drop[l][f]          # drop reduction (good if > 0)
+                dc = cost[l][f] - cur_c          # extra cost
+                if dd <= 0 or total_cost + dc > budget:
+                    continue
+                ratio = dd / dc if dc > 0 else math.inf
+                cand = (ratio, -li, -fi)
+                if best is None or cand > best[0]:
+                    best = (cand, l, f, dc)
+        if best is None:
+            return pick
+        _, l, f, dc = best
+        pick[l] = f
+        total_cost += dc
+
+
+def _greedy_floor(problem: AllocationProblem, drop: dict,
+                  floor: float) -> dict[str, str]:
+    """Ratio-greedy dual: best-accuracy base, then cheapest downgrades."""
+    layers, formats = problem.layers, problem.formats
+    cost = problem.cost
+    pick = {l: min(formats, key=lambda f: (drop[l][f], cost[l][f]))
+            for l in layers}
+    total_drop = sum(drop[l][pick[l]] for l in layers)
+    while True:
+        best = None
+        for li, l in enumerate(layers):
+            cur_d, cur_c = drop[l][pick[l]], cost[l][pick[l]]
+            for fi, f in enumerate(formats):
+                if f == pick[l]:
+                    continue
+                save = cur_c - cost[l][f]        # cost saving (good if > 0)
+                dd = drop[l][f] - cur_d          # extra drop
+                if save <= 0 or total_drop + dd > floor:
+                    continue
+                ratio = save / dd if dd > 0 else math.inf
+                cand = (ratio, -li, -fi)
+                if best is None or cand > best[0]:
+                    best = (cand, l, f, dd)
+        if best is None:
+            return pick
+        _, l, f, dd = best
+        pick[l] = f
+        total_drop += dd
+
+
+def _dp_min_value(layers, formats, units, value, capacity):
+    """Exact MCKP DP: min sum(value) with sum(units) <= capacity.
+
+    ``units[l][f]`` are non-negative integer weights; returns the
+    assignment dict or None when no selection fits.
+    """
+    inf = math.inf
+    dp = [0.0] + [inf] * capacity
+    choice: list[list[int]] = []
+    for l in layers:
+        nxt = [inf] * (capacity + 1)
+        ch = [-1] * (capacity + 1)
+        for b in range(capacity + 1):
+            for fi, f in enumerate(formats):
+                u = units[l][f]
+                if u > b:
+                    continue
+                prev = dp[b - u]
+                v = prev + value[l][f]
+                if v < nxt[b]:
+                    nxt[b], ch[b] = v, fi
+        dp = nxt
+        choice.append(ch)
+    b = min(range(capacity + 1), key=lambda i: (dp[i], i))
+    if not math.isfinite(dp[b]):
+        return None
+    pick: dict[str, str] = {}
+    for li in range(len(layers) - 1, -1, -1):
+        l = layers[li]
+        fi = choice[li][b]
+        f = formats[fi]
+        pick[l] = f
+        b -= units[l][f]
+    return pick
+
+
+#: integer grid density of the exact DP (fraction of the worst-case
+#: total cost per unit); rounding item weights *up* keeps every DP
+#: solution feasible in real units
+DP_RESOLUTION = 4096
+
+
+def allocate(problem: AllocationProblem, *, budget: float | None = None,
+             floor: float | None = None, method: str = "auto",
+             resolution: int = DP_RESOLUTION, key: str = "*") -> Allocation:
+    """Solve the per-layer format assignment.
+
+    Exactly one of ``budget`` (hardware-cost ceiling: minimise predicted
+    drop) or ``floor`` (predicted-drop ceiling: minimise cost) must be
+    given.  ``method`` is ``"greedy"``, ``"exact"`` (DP over a fixed
+    integer grid of ``resolution`` units — the grid is anchored to the
+    worst-case total, not the budget, so relaxing the budget never
+    worsens the solution) or ``"auto"`` (exact when the DP table is
+    small enough, greedy otherwise).  Solutions always respect the
+    ceiling in *real* units: DP item weights round up, greedy never
+    steps over.  Deterministic: stable tie-breaks, no randomness.
+
+    Hosts the ``mixed:allocate/KEY`` fault point; the ``nan`` action
+    poisons the drop table, which the finiteness guard turns into a
+    :class:`~repro.resilience.NumericsError` (exercised by the chaos
+    suite).
+    """
+    if (budget is None) == (floor is None):
+        raise ValueError("exactly one of budget= or floor= is required")
+    if method not in ("auto", "greedy", "exact"):
+        raise ValueError(f"unknown method {method!r}")
+    if not problem.layers:
+        raise ValueError("allocation problem has no layers")
+
+    drop = {l: {f: float(problem.drop[l][f]) for f in problem.formats}
+            for l in problem.layers}
+    if faults.maybe_fault("mixed", f"allocate/{key}") == "nan":
+        first = problem.layers[0]
+        drop[first][problem.formats[0]] = float("nan")
+    _check_finite(problem, drop)
+
+    layers, formats, cost = problem.layers, problem.formats, problem.cost
+    if budget is not None:
+        min_cost = sum(min(cost[l][f] for f in formats) for l in layers)
+        if budget < min_cost:
+            raise ValueError(f"budget {budget:g} is below the cheapest "
+                             f"assignment ({min_cost:g})")
+        max_cost = sum(max(cost[l][f] for f in formats) for l in layers)
+        use_exact = method == "exact" or (
+            method == "auto"
+            and len(layers) * len(formats) * resolution <= 50_000_000)
+        pick = None
+        if use_exact and math.isfinite(budget):
+            scale = max_cost / resolution
+            units = {l: {f: math.ceil(cost[l][f] / scale) for f in formats}
+                     for l in layers}
+            capacity = min(int(budget / scale), resolution)
+            pick = _dp_min_value(layers, formats, units, drop, capacity)
+            how = "exact"
+        if pick is None:
+            # unbounded budget, greedy method, or a DP grid too coarse to
+            # certify feasibility: the greedy never steps over the budget
+            pick = _greedy_budget(problem, drop, budget)
+            how = "greedy"
+    else:
+        shift = {l: min(drop[l][f] for f in formats) for l in layers}
+        min_drop = sum(shift.values())
+        if floor < min_drop:
+            raise ValueError(f"floor {floor:g} is below the best achievable "
+                             f"total drop ({min_drop:g})")
+        max_drop = sum(max(drop[l][f] for f in formats) for l in layers)
+        span = max_drop - min_drop
+        use_exact = method == "exact" or (
+            method == "auto" and span > 0
+            and len(layers) * len(formats) * resolution <= 50_000_000)
+        pick = None
+        if use_exact and span > 0:
+            scale = span / resolution
+            units = {l: {f: math.ceil((drop[l][f] - shift[l]) / scale)
+                         for f in formats} for l in layers}
+            capacity = min(int((floor - min_drop) / scale), resolution)
+            pick = _dp_min_value(layers, formats, units, cost, capacity)
+            how = "exact"
+        if pick is None:
+            pick = _greedy_floor(problem, drop, floor)
+            how = "greedy"
+
+    return Allocation(
+        assignment={l: pick[l] for l in layers},
+        predicted_drop=float(sum(drop[l][pick[l]] for l in layers)),
+        cost=float(sum(cost[l][pick[l]] for l in layers)),
+        method=how)
+
+
+# ----------------------------------------------------------------------
+# DFQ-style bias correction
+# ----------------------------------------------------------------------
+
+def _channel_axis(layer) -> int:
+    """The output-channel axis of a layer's output tensor."""
+    return 1 if isinstance(layer, Conv2d) else -1
+
+
+def _mean_outputs(model: Module, batches: list, forward,
+                  targets: list) -> dict[str, np.ndarray]:
+    """Per-channel mean output of each target layer over ``batches``."""
+    sums: dict[str, np.ndarray] = {}
+    counts: dict[str, int] = {}
+    originals = [type(layer).forward for _, layer in targets]
+
+    def make_hook(name, layer, orig):
+        axis = _channel_axis(layer)
+        def hooked(x):
+            y = orig(layer, x)
+            out = np.asarray(y.data, dtype=np.float64)
+            out = np.moveaxis(out, axis, -1).reshape(-1, out.shape[axis])
+            sums[name] = sums.get(name, 0.0) + out.sum(axis=0)
+            counts[name] = counts.get(name, 0) + out.shape[0]
+            return y
+        return hooked
+
+    for (name, layer), orig in zip(targets, originals):
+        layer.forward = make_hook(name, layer, orig)
+    try:
+        with no_grad():
+            for batch in batches:
+                forward(model, batch)
+    finally:
+        for _, layer in targets:
+            del layer.forward
+    return {name: sums[name] / counts[name] for name in sums}
+
+
+def bias_correct(
+    model: Module,
+    calibration_batches: Iterable,
+    forward: Callable[[Module, object], object] | None = None,
+) -> dict[str, np.ndarray]:
+    """DFQ-style sequential bias correction of a quantized model (in place).
+
+    Quantization shifts each layer's expected output; this folds the
+    shift back into the layer bias: the FP32 per-channel expected output
+    of every quantized layer is measured once (quantizers stashed), then
+    layers are corrected in topological order — measure the layer's
+    quantized expectation (upstream corrections already applied), add
+    ``E_fp - E_q`` to its bias, move on.  After the pass every corrected
+    layer's mean output matches its FP32 expectation on the calibration
+    stream.
+
+    Exactly-zero corrections are *not* applied, so a model with zero
+    quantization error (e.g. an FP32 passthrough) keeps bit-identical
+    biases; layers without a bias term are skipped.  Engine-mode layers
+    have their executor's bias snapshot refreshed.  Returns the applied
+    per-layer corrections.
+    """
+    forward = forward or (lambda m, batch: m(batch))
+    batches = list(calibration_batches)
+    if not batches:
+        raise ValueError("calibration stream is empty")
+    model.eval()
+    targets = [(name, layer) for name, layer in quantized_layers(model)
+               if layer.weight_quant is not None or layer.input_quant is not None]
+    if not targets:
+        return {}
+
+    stash = [(layer.weight_quant, layer.input_quant, layer.engine_exec)
+             for _, layer in targets]
+    for _, layer in targets:
+        layer.weight_quant = layer.input_quant = layer.engine_exec = None
+    try:
+        fp_mean = _mean_outputs(model, batches, forward, targets)
+    finally:
+        for (_, layer), (wq, iq, eng) in zip(targets, stash):
+            layer.weight_quant, layer.input_quant, layer.engine_exec = wq, iq, eng
+
+    corrections: dict[str, np.ndarray] = {}
+    for name, layer in targets:
+        if layer.bias is None:
+            continue
+        q_mean = _mean_outputs(model, batches, forward, [(name, layer)])[name]
+        corr = fp_mean[name] - q_mean
+        if np.any(corr != 0.0):  # lint: allow[float-equality] exact-zero corrections must not rewrite the bias bits
+            dtype = layer.bias.data.dtype
+            layer.bias.data = (layer.bias.data.astype(np.float64)
+                               + corr).astype(dtype)
+            if layer.engine_exec is not None:
+                # the engine snapshots the bias at build time; refresh it
+                layer.engine_exec.bias = layer.bias.data.astype(np.float64)
+        corrections[name] = corr
+    return corrections

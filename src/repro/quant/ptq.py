@@ -13,6 +13,12 @@ The methodology deliberately mirrors the paper's "basic settings":
 The driver is architecture-agnostic: it walks the module tree for
 :class:`~repro.nn.layers.QuantizableMixin` layers and uses a caller-supplied
 ``forward`` callable for the calibration stream.
+
+Mixed precision is opt-in: ``PTQConfig(layer_formats={...})`` overrides
+the format per named layer (the allocator in :mod:`repro.quant.mixed`
+produces such maps, and its DFQ-style bias correction is a separate
+post-calibration step) — with no overrides the paper's uniform recipe
+above is executed byte-identically.
 """
 
 from __future__ import annotations
@@ -50,6 +56,13 @@ class PTQConfig:
         ``"engine"`` additionally attaches a true-quantized executor
         (:mod:`repro.engine`) to every quantized layer after calibration,
         so inference runs bit-true Kulisch arithmetic in code space.
+    layer_formats:
+        Optional per-layer overrides (layer name -> format or registry
+        name) for mixed-precision PTQ; every other layer uses the
+        uniform default above.  An override applies to both the layer's
+        weight and activation format (one MAC datapath per layer — see
+        :mod:`repro.quant.mixed`, which produces these maps).  Unknown
+        layer names fail loudly in :func:`quantize_model`.
     """
 
     weight_format: CodebookFormat | str = "MERSIT(8,2)"
@@ -61,8 +74,11 @@ class PTQConfig:
     gain_override: float | None = None
     #: activation calibration policy: "max" (paper), "percentile" or "mse"
     activation_observer: str = "max"
+    #: per-layer format overrides (mixed precision); None = uniform
+    layer_formats: dict[str, CodebookFormat | str] | None = None
     _wfmt: CodebookFormat = field(init=False, repr=False, default=None)
     _afmt: CodebookFormat = field(init=False, repr=False, default=None)
+    _layer_fmts: dict = field(init=False, repr=False, default=None)
 
     def __post_init__(self):
         if self.mode not in ("fakequant", "engine"):
@@ -72,6 +88,9 @@ class PTQConfig:
                       if isinstance(self.weight_format, str) else self.weight_format)
         act = self.activation_format if self.activation_format is not None else self._wfmt
         self._afmt = get_format(act) if isinstance(act, str) else act
+        self._layer_fmts = {
+            name: get_format(f) if isinstance(f, str) else f
+            for name, f in (self.layer_formats or {}).items()}
 
     @property
     def wfmt(self) -> CodebookFormat:
@@ -80,6 +99,14 @@ class PTQConfig:
     @property
     def afmt(self) -> CodebookFormat:
         return self._afmt
+
+    def layer_wfmt(self, name: str) -> CodebookFormat:
+        """The weight format serving layer ``name`` (override or default)."""
+        return self._layer_fmts.get(name, self._wfmt)
+
+    def layer_afmt(self, name: str) -> CodebookFormat:
+        """The activation format serving layer ``name`` (override or default)."""
+        return self._layer_fmts.get(name, self._afmt)
 
 
 def quantized_layers(model: Module) -> list[tuple[str, QuantizableMixin]]:
@@ -113,28 +140,32 @@ def quantize_model(
     forward = forward or (lambda m, batch: m(batch))
     model.eval()
 
-    targets = []
-    for name, layer in quantized_layers(model):
-        if config.skip is not None and config.skip(name, layer):
-            continue
-        targets.append((name, layer))
+    targets = [(name, layer) for name, layer in quantized_layers(model)
+               if config.skip is None or not config.skip(name, layer)]
+    if not targets:
+        raise ValueError("model has no quantizable layers")
+    unknown = set(config._layer_fmts) - {name for name, _ in targets}
+    if unknown:
+        raise ValueError(
+            f"layer_formats names unknown/skipped layers: {sorted(unknown)}; "
+            f"quantizable: {sorted(name for name, _ in targets)}")
+
+    for name, layer in targets:
         axis = 0 if config.per_channel_weights else None
+        wfmt, afmt = config.layer_wfmt(name), config.layer_afmt(name)
         # quantizers carry the layer name so NumericsError diagnostics
         # (and the `calib` fault point) identify the offending layer
         layer.weight_quant = FakeQuantizer(
-            config.wfmt, axis=axis, gain=config.gain_override,
+            wfmt, axis=axis, gain=config.gain_override,
             name=name).calibrate(layer.weight.data)
         observer = None
         if config.activation_observer != "max":
             from .observers import make_observer
-            observer = make_observer(config.activation_observer, config.afmt)
-        layer.input_quant = FakeQuantizer(config.afmt, axis=None,
+            observer = make_observer(config.activation_observer, afmt)
+        layer.input_quant = FakeQuantizer(afmt, axis=None,
                                           gain=config.gain_override,
                                           observer=observer, name=name)
         layer.observing = True
-
-    if not targets:
-        raise ValueError("model has no quantizable layers")
 
     with no_grad():
         saw_batch = False
@@ -159,7 +190,8 @@ def quantize_model(
         if config.mode == "engine":
             from ..engine import build_layer_engine
             layer.engine_exec = build_layer_engine(
-                layer, config.wfmt, config.afmt, config.gain_override)
+                layer, config.layer_wfmt(name), config.layer_afmt(name),
+                config.gain_override)
     return model
 
 

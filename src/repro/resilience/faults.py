@@ -15,7 +15,8 @@ comma-separated list of clauses::
   ``serve`` (the inference service: batch execution / model load),
   ``shard`` (the sharded router: request dispatch / shm publication),
   ``net`` (the gateway's wire: connection accept, inbound request
-  frames, outbound reply frames).
+  frames, outbound reply frames), ``mixed`` (the mixed-precision
+  format allocator).
 * ``key`` — which site within the scope; an ``fnmatch`` glob matched
   against the site key (``MODEL/FORMAT`` for cells, the task sequence
   index for workers, the artifact name, the layer name for calibration).
@@ -83,7 +84,7 @@ ACTIONS = frozenset({"crash", "kill", "hang", "nan", "truncate",
 
 #: recognised injection scopes
 SCOPES = frozenset({"cell", "worker", "artifact", "calib", "engine", "serve",
-                    "shard", "net"})
+                    "shard", "net", "mixed"})
 
 #: how long a ``hang`` action sleeps (long enough that any sane per-cell
 #: deadline expires first)
@@ -240,6 +241,12 @@ INJECTION_POINTS: list[tuple[str, str, str, str]] = [
     ("cell", "experiments.table2._eval_cell_task",
      "crash|kill|hang|nan",
      "MODEL/FORMAT (seeds mode: MODEL/FORMAT/sSEED), e.g. ResNet18/INT8"),
+    ("cell", "experiments.frontier._eval_cell_task",
+     "crash|kill|hang|nan",
+     "frontier/MODEL/KIND/WHICH, e.g. frontier/SST-2/uniform/FP(8,4) "
+     "(kinds: sens, uniform, mixed)"),
+    ("mixed", "quant.mixed.allocate (the drop table)",
+     "nan", "allocate/KEY, e.g. allocate/SST-2"),
     ("worker", "resilience.executor.run_cells (fired in the parent)",
      "crash|kill|hang", "task sequence index, e.g. 2"),
     ("artifact", "resilience.store.save_json",

@@ -49,12 +49,12 @@ from typing import Callable
 import numpy as np
 
 from ..autograd import Tensor, no_grad
-from ..formats import get_format
 from ..nn import (
     Conv2d, Flatten, GlobalAvgPool2d, Linear, MaxPool2d, Module, ReLU,
     Sequential, TransformerEncoderLayer,
 )
 from ..quant.fakequant import FakeQuantizer
+from ..quant.mixed import canonical_format_spec, parse_format_spec
 from ..quant.ptq import PTQConfig, quantize_model, quantized_layers
 from ..resilience import faults
 from ..resilience.store import load_json, save_json
@@ -66,7 +66,8 @@ __all__ = [
 ]
 
 #: bumped when the persisted calibration-artifact layout changes
-SCALES_SCHEMA = 1
+#: (2: the cache key grew the mixed-precision ``layer_formats`` field)
+SCALES_SCHEMA = 2
 
 #: canonical calibration-stream seed (matches ``calibration_split``);
 #: a repository ``calib_seed`` offsets from it
@@ -255,10 +256,10 @@ def _apply_scales(model: Module, config: PTQConfig, scales: dict,
     for name, layer in quantized_layers(model):
         entry = scales[name]
         layer.weight_quant = FakeQuantizer(
-            config.wfmt, axis=axis, scale=np.asarray(entry["weight"]),
+            config.layer_wfmt(name), axis=axis, scale=np.asarray(entry["weight"]),
             gain=config.gain_override, name=name)
         layer.input_quant = FakeQuantizer(
-            config.afmt, axis=None, scale=np.asarray(entry["input"]),
+            config.layer_afmt(name), axis=None, scale=np.asarray(entry["input"]),
             gain=config.gain_override, name=name)
         layer.observing = False
         if planes is not None and name in planes:
@@ -268,7 +269,8 @@ def _apply_scales(model: Module, config: PTQConfig, scales: dict,
         if config.mode == "engine":
             from ..engine import build_layer_engine
             layer.engine_exec = build_layer_engine(
-                layer, config.wfmt, config.afmt, config.gain_override)
+                layer, config.layer_wfmt(name), config.layer_afmt(name),
+                config.gain_override)
     return model
 
 
@@ -330,23 +332,38 @@ class ModelRepository:
 
     # -- keys -----------------------------------------------------------
     def model_key(self, model: str, fmt: str, mode: str = "fakequant") -> str:
-        """The scheduler/batching key: ``model|format|mode`` (canonical)."""
-        return f"{model}|{get_format(fmt).name}|{mode}"
+        """The scheduler/batching key: ``model|format|mode`` (canonical).
+
+        ``fmt`` is either a registry format name or a mixed-precision
+        spec ``mixed(DEFAULT;layer=FMT;...)`` (see
+        :mod:`repro.quant.mixed`); both canonicalise, so two spellings
+        of the same assignment share one key — and a mixed map that
+        assigns the default everywhere shares the uniform key outright
+        (it serves identical numbers).  Specs contain no ``|``, so the
+        key still splits into exactly three parts everywhere.
+        """
+        return f"{model}|{canonical_format_spec(fmt)}|{mode}"
 
     def cache_key(self, model: str, fmt: str, mode: str = "fakequant") -> dict:
         """Everything that changes the served numbers, as a flat dict.
 
         Reads the engine accumulator block width at call time so a
         reconfigured engine invalidates persisted engine-mode artifacts.
+        Mixed-precision specs contribute their per-layer override map
+        (canonical: sorted, default-equal entries dropped), so two maps
+        differing in a single layer never share an artifact.
         """
         from ..engine import planes
 
-        fmt_name = get_format(fmt).name
+        default_name, layer_formats = parse_format_spec(fmt)
+        overrides = {l: f for l, f in sorted(layer_formats.items())
+                     if f != default_name}
         return {
             "schema": SCALES_SCHEMA,
             "model": model,
-            "weight_format": fmt_name,
-            "activation_format": fmt_name,
+            "weight_format": default_name,
+            "activation_format": default_name,
+            "layer_formats": overrides or None,
             "mode": mode,
             "calib_n": self.calib_n,
             "calib_seed": self.calib_seed,
@@ -388,10 +405,12 @@ class ModelRepository:
             return built
 
     def _ptq_config(self, fmt: str, mode: str) -> PTQConfig:
-        return PTQConfig(weight_format=fmt, mode=mode,
+        default_name, layer_formats = parse_format_spec(fmt)
+        return PTQConfig(weight_format=default_name, mode=mode,
                          per_channel_weights=self.per_channel,
                          gain_override=self.gain_override,
-                         activation_observer=self.observer)
+                         activation_observer=self.observer,
+                         layer_formats=layer_formats or None)
 
     def _load(self, key: str, model: str, fmt: str,
               mode: str) -> tuple[Module, ServableSpec]:

@@ -204,6 +204,45 @@ class TestGatewayDocs:
         assert "--net" in text and "-m net" in text
 
 
+class TestMixedPrecisionDocs:
+    """Mixed-precision PTQ + frontier are documented where users look."""
+
+    def test_readme_has_the_frontier_quickstart(self):
+        text = (REPO_ROOT / "README.md").read_text()
+        assert "### Mixed-precision frontier quickstart" in text
+        assert "experiments frontier" in text
+        assert "mixed(" in text
+
+    def test_design_has_the_mixed_section(self):
+        text = (REPO_ROOT / "DESIGN.md").read_text()
+        assert ("## 16. Mixed-precision PTQ "
+                "(`quant.mixed` + `experiments.frontier`)") in text
+        for term in ("mixed(DEFAULT;layer=FMT;...)", "knapsack",
+                     "bias_correct", "unit cost", "Pareto",
+                     "mixed:allocate"):
+            assert term in text, f"DESIGN.md mixed section lacks {term}"
+
+    def test_design_fault_table_lists_the_mixed_points(self):
+        text = (REPO_ROOT / "DESIGN.md").read_text()
+        assert "| `mixed` |" in text
+        assert "`frontier._eval_cell_task`" in text
+
+    def test_faults_registry_lists_the_mixed_points(self):
+        from repro.resilience import faults
+        scopes = {p[0] for p in faults.INJECTION_POINTS}
+        assert "mixed" in scopes
+        sites = " ".join(p[1] for p in faults.INJECTION_POINTS)
+        assert "allocate" in sites
+        assert "frontier" in sites
+
+    def test_cli_experiments_accepts_frontier(self):
+        import repro.cli
+        assert "frontier" in repro.cli.__doc__
+        args = repro.cli.build_parser().parse_args(
+            ["experiments", "frontier", "--jobs", "2", "--seeds", "3"])
+        assert (args.names, args.jobs, args.seeds) == (["frontier"], 2, 3)
+
+
 class TestConcurrencyDocs:
     """The concurrency analyzer + sanitizer are documented where users look."""
 

@@ -1,0 +1,200 @@
+"""Chaos suite for the mixed-precision frontier grid.
+
+The frontier fill (:mod:`repro.experiments.frontier`) is held to the
+same storm contract as table2: under a crashing uniform cell, a
+NaN-poisoned allocator (the ``mixed:allocate`` fault point), a
+NaN-poisoned mixed cell and a truncated artifact save — all armed at
+once — every unaffected cell completes, the affected ones land as
+structured errors, and a follow-up run with faults disarmed converges
+to an artifact byte-identical to a clean serial fill.
+
+The zoo is monkeypatched with tiny deterministic models (real
+quantization and real gate-level unit costs, fake data); the palette is
+shrunk to two costable formats so the storm stays fast.
+"""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, no_grad
+from repro.experiments import frontier
+from repro.nn.layers import Linear
+from repro.nn.module import Module
+from repro.resilience import faults, is_error_entry
+
+pytestmark = pytest.mark.chaos
+
+MODELS = ["tinyA", "tinyB"]
+PALETTE = ("FP(8,2)", "MERSIT(8,2)")
+UNIFORM = ("MERSIT(8,2)",)
+
+CHAOS_SPEC = ",".join([
+    "cell:frontier/tinyA/uniform/MERSIT(8,2):crash",  # anchor cell dies
+    "mixed:allocate/tinyB:nan",       # tinyB's allocator table is poisoned
+    "cell:frontier/tinyA/mixed/best:nan",  # one mixed score goes NaN
+    "artifact:frontier:truncate:1",   # one save dies mid-write
+])
+
+
+class _TinyA(Module):
+    def __init__(self):
+        super().__init__()
+        rng = np.random.default_rng(11)
+        self.a1 = Linear(8, 16, rng=rng)
+        self.a2 = Linear(16, 4, rng=rng)
+
+    def forward(self, x):
+        return self.a2(self.a1(x).relu())
+
+
+class _TinyB(Module):
+    def __init__(self):
+        super().__init__()
+        rng = np.random.default_rng(22)
+        self.b1 = Linear(8, 16, rng=rng)
+        self.b2 = Linear(16, 4, rng=rng)
+
+    def forward(self, x):
+        return self.b2(self.b1(x).relu())
+
+
+class _Entry:
+    kind = "vision"
+    metric = "accuracy"
+    task = None
+
+
+class _Split:
+    def __init__(self, n: int):
+        rng = np.random.default_rng(n)
+        self.x = rng.normal(size=(n, 8)).astype(np.float32)
+
+    def batches(self, batch_size: int):
+        return [(self.x[i:i + batch_size],)
+                for i in range(0, len(self.x), batch_size)]
+
+
+class _Data:
+    def calibration_split(self, n, seed=0):
+        return _Split(n + 1000 * seed)
+
+    def test_split(self, n):
+        return _Split(n)
+
+
+def _fake_pretrained(name: str, memo: bool = False):
+    return (_TinyA() if name == "tinyA" else _TinyB()), 0.0
+
+
+def _fake_evaluate(model, split, *args):
+    with no_grad():
+        out = model(Tensor(split.x))
+    return float(np.sum(np.abs(out.data)))
+
+
+@pytest.fixture
+def tiny_zoo(monkeypatch):
+    monkeypatch.setattr(frontier, "ALL_MODELS",
+                        {"tinyA": _Entry(), "tinyB": _Entry()})
+    monkeypatch.setattr(frontier, "pretrained", _fake_pretrained)
+    monkeypatch.setattr(frontier, "dataset", lambda: _Data())
+    monkeypatch.setattr(frontier, "evaluate_vision", _fake_evaluate)
+    monkeypatch.setattr(frontier, "is_cached", lambda name: False)
+    monkeypatch.setattr(frontier, "PALETTE", PALETTE)
+    monkeypatch.setattr(frontier, "UNIFORM_FORMATS", UNIFORM)
+    monkeypatch.delenv(faults.ENV_VAR, raising=False)
+
+
+def _run(**kw):
+    kw.setdefault("models", MODELS)
+    kw.setdefault("eval_n", 16)
+    kw.setdefault("calib_n", 8)
+    return frontier.run(**kw)
+
+
+def _walk_cells(result):
+    for name, s in result["models"].items():
+        for kind in ("sens", "uniform", "alloc", "mixed"):
+            for which, value in s[kind].items():
+                yield name, kind, which, value
+
+
+def test_frontier_survives_combined_faults_and_converges(tiny_zoo, tmp_path,
+                                                         monkeypatch):
+    art_dir = tmp_path / "chaos"
+    monkeypatch.setenv("REPRO_ARTIFACTS", str(art_dir))
+    monkeypatch.setenv(faults.ENV_VAR, CHAOS_SPEC)
+    result = _run(refresh=True, jobs=2, retries=1, backoff=0.01)
+    models = result["models"]
+
+    # the crashing uniform anchor exhausted its retries
+    entry = models["tinyA"]["uniform"]["MERSIT(8,2)"]
+    assert entry["error"]["kind"] == "crash"
+    # sensitivity sweeps were unaffected everywhere
+    for name in MODELS:
+        for f in PALETTE:
+            assert isinstance(models[name]["sens"][f]["baseline"], float), \
+                (name, f)
+    # tinyB's allocator hit the poisoned drop table: structured errors,
+    # one deterministic attempt each, and no mixed cells were launched
+    for label, alloc in models["tinyB"]["alloc"].items():
+        assert alloc["error"]["kind"] == "NumericsError", label
+        assert alloc["error"]["attempts"] == 1
+    assert models["tinyB"]["mixed"] == {}
+    # tinyA's allocator was clean; its NaN'd mixed cell failed
+    # deterministically (numerics errors never burn retries) while the
+    # other assignment completed
+    assert models["tinyA"]["mixed"]["best"]["error"]["kind"] == "numerics"
+    assert models["tinyA"]["mixed"]["best"]["error"]["attempts"] == 1
+    ok = models["tinyA"]["mixed"]["le:MERSIT(8,2)"]
+    assert isinstance(ok["acc"], float) and isinstance(ok["acc_bc"], float)
+    # derived sections degrade structurally instead of crashing: tinyB
+    # has no mixed points yet, tinyA's dominance is pending because its
+    # only uniform anchor is the crashed cell
+    assert all(p["kind"] == "uniform" for p in models["tinyB"]["points"])
+    assert models["tinyA"]["dominance"] is None
+
+    # despite the mid-write truncation, the persisted artifact is loadable
+    from repro.experiments.common import load_artifact
+    assert load_artifact("frontier") == result
+
+    # follow-up run with faults disarmed repairs only the broken cells
+    monkeypatch.setenv(faults.ENV_VAR, "")
+    repaired = _run(jobs=1)
+    assert not any(is_error_entry(v)
+                   for *_, v in _walk_cells(repaired))
+    for name in MODELS:
+        assert repaired["models"][name]["mixed"], name
+        assert repaired["models"][name]["dominance"] is not None
+
+    # ... and converges byte-identically to a clean serial fill
+    clean_dir = tmp_path / "clean"
+    monkeypatch.setenv("REPRO_ARTIFACTS", str(clean_dir))
+    _run(refresh=True, jobs=1)
+    assert (art_dir / "frontier.json").read_bytes() == \
+        (clean_dir / "frontier.json").read_bytes()
+
+
+def test_repaired_sensitivity_moves_the_assignment(tiny_zoo, tmp_path,
+                                                   monkeypatch):
+    """Mixed cells are pinned to their spec: a stale cell recomputes."""
+    art_dir = tmp_path / "pin"
+    monkeypatch.setenv("REPRO_ARTIFACTS", str(art_dir))
+    clean = _run(refresh=True, jobs=1)
+    label = frontier.BEST_LABEL
+    alloc = clean["models"]["tinyA"]["alloc"][label]
+
+    # forge a persisted mixed cell whose spec no longer matches
+    from repro.experiments.common import load_artifact, save_artifact
+    art = load_artifact("frontier")
+    stale = next(s for s in ("FP(8,2)", "MERSIT(8,2)",
+                             "mixed(FP(8,2);a2=MERSIT(8,2))")
+                 if s != alloc["spec"])
+    art["models"]["tinyA"]["mixed"][label] = {
+        "spec": stale, "acc": -1.0, "acc_bc": -1.0}
+    save_artifact("frontier", art)
+
+    repaired = _run(jobs=1)
+    cell = repaired["models"]["tinyA"]["mixed"][label]
+    assert cell["spec"] == alloc["spec"]
+    assert cell["acc"] != -1.0

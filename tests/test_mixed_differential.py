@@ -1,0 +1,186 @@
+"""Differential suite: uniform ``layer_formats`` maps vs the uniform path.
+
+The mixed-precision plumbing (:mod:`repro.quant.mixed` + the
+``layer_formats`` field of :class:`~repro.quant.ptq.PTQConfig`) must be a
+strict generalisation of the uniform PTQ path: a map that assigns the
+*same* format to every layer has to produce byte-identical calibration
+scales and byte-identical outputs — across fakequant AND engine modes,
+and under both kernel backends.  Anything less means the per-layer
+branch silently perturbs the paper's uniform numbers.
+
+A truly mixed map is then held to a per-layer equivalence: each layer's
+quantizers and engine must match what a uniform run of *that layer's
+format* produces for that layer.
+"""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.kernels.dispatch import use_backend
+from repro.nn import (
+    Conv2d, Flatten, GlobalAvgPool2d, Linear, MaxPool2d, ReLU, Sequential,
+)
+from repro.quant import PTQConfig, quantize_model, quantized_layers
+
+MODES = ["fakequant", "engine"]
+BACKENDS = ["lut", "reference"]
+FORMATS = ["MERSIT(8,2)", "FP(8,4)", "Posit(8,1)"]
+
+
+def tiny_mlp(seed=20):
+    rng = np.random.default_rng(seed)
+    return Sequential(
+        Linear(16, 24, rng=rng), ReLU(),
+        Linear(24, 16, rng=rng), ReLU(),
+        Linear(16, 6, rng=rng))
+
+
+def tiny_cnn(seed=10):
+    rng = np.random.default_rng(seed)
+    return Sequential(
+        Conv2d(3, 4, 3, padding=1, rng=rng), ReLU(), MaxPool2d(2),
+        Conv2d(4, 8, 3, padding=1, rng=rng), ReLU(),
+        GlobalAvgPool2d(), Flatten(),
+        Linear(8, 5, rng=rng))
+
+
+MODELS = {
+    "mlp": (tiny_mlp, (16,)),
+    "cnn": (tiny_cnn, (3, 8, 8)),
+}
+
+
+def calib(shape, n=3, bs=4, seed=0):
+    rng = np.random.default_rng(seed)
+    return [rng.normal(size=(bs, *shape)).astype(np.float32)
+            for _ in range(n)]
+
+
+def quantize(model, config, shape):
+    quantize_model(model, config, calib(shape),
+                   forward=lambda m, b: m(Tensor(b)))
+    return model
+
+
+def outputs(model, shape, seed=99):
+    x = np.random.default_rng(seed).normal(size=(5, *shape)).astype(np.float32)
+    return model(Tensor(x)).data
+
+
+def scales_of(model):
+    return {name: (layer.weight_quant.scale.tobytes(),
+                   np.asarray(layer.input_quant.scale).tobytes())
+            for name, layer in quantized_layers(model)}
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("mode", MODES)
+@pytest.mark.parametrize("model_name", sorted(MODELS))
+def test_uniform_map_is_byte_identical(model_name, mode, backend):
+    """Same-format-everywhere map == plain uniform config, bit for bit."""
+    build, shape = MODELS[model_name]
+    fmt = "MERSIT(8,2)"
+    with use_backend(backend):
+        plain = quantize(build(), PTQConfig(fmt, mode=mode), shape)
+        layer_names = [n for n, _ in quantized_layers(plain)]
+        mapped = quantize(
+            build(),
+            PTQConfig(fmt, mode=mode,
+                      layer_formats={n: fmt for n in layer_names}),
+            shape)
+        assert scales_of(plain) == scales_of(mapped)
+        a, b = outputs(plain, shape), outputs(mapped, shape)
+        assert a.tobytes() == b.tobytes()
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_partial_uniform_map_is_byte_identical(mode):
+    """A map naming only *some* layers (all at the default) is a no-op."""
+    build, shape = MODELS["mlp"]
+    fmt = "FP(8,4)"
+    plain = quantize(build(), PTQConfig(fmt, mode=mode), shape)
+    first = next(n for n, _ in quantized_layers(plain))
+    mapped = quantize(build(), PTQConfig(fmt, mode=mode,
+                                         layer_formats={first: fmt}), shape)
+    assert scales_of(plain) == scales_of(mapped)
+    assert outputs(plain, shape).tobytes() == outputs(mapped, shape).tobytes()
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("mode", MODES)
+def test_mixed_map_matches_per_layer_uniform(mode, backend):
+    """Each layer of a mixed model equals the uniform run of its format.
+
+    Calibration scales come from weight/activation observation, which is
+    per-layer local in observe-then-freeze PTQ — so layer ``l`` under a
+    mixed map must carry exactly the quantizers (scale bytes, formats,
+    engine formats) that a uniform run of ``formats[l]`` gives it.
+    """
+    build, shape = MODELS["mlp"]
+    with use_backend(backend):
+        names = [n for n, _ in quantized_layers(build())]
+        assignment = {n: FORMATS[i % len(FORMATS)]
+                      for i, n in enumerate(names)}
+        mixed = quantize(
+            build(), PTQConfig(FORMATS[0], mode=mode,
+                               layer_formats=assignment), shape)
+        uniform = {f: quantize(build(), PTQConfig(f, mode=mode), shape)
+                   for f in FORMATS}
+        for name, layer in quantized_layers(mixed):
+            fmt = assignment[name]
+            ref = dict(quantized_layers(uniform[fmt]))[name]
+            assert layer.weight_quant.fmt.name == fmt
+            assert layer.input_quant.fmt.name == fmt
+            assert (layer.weight_quant.scale.tobytes()
+                    == ref.weight_quant.scale.tobytes())
+            assert (np.asarray(layer.input_quant.scale).tobytes()
+                    == np.asarray(ref.input_quant.scale).tobytes())
+            if mode == "engine":
+                assert layer.engine_exec.wfmt.name == fmt
+                assert layer.engine_exec.afmt.name == fmt
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_mixed_output_differs_from_uniform(mode):
+    """Sanity: a genuinely mixed map is not the uniform path in disguise."""
+    build, shape = MODELS["mlp"]
+    names = [n for n, _ in quantized_layers(build())]
+    mixed = quantize(
+        build(), PTQConfig("MERSIT(8,2)", mode=mode,
+                           layer_formats={names[-1]: "FP(8,2)"}), shape)
+    plain = quantize(build(), PTQConfig("MERSIT(8,2)", mode=mode), shape)
+    assert (outputs(mixed, shape).tobytes()
+            != outputs(plain, shape).tobytes())
+
+
+def test_unknown_layer_name_rejected_before_attach():
+    """A bad map fails loudly and leaves the model untouched."""
+    build, shape = MODELS["mlp"]
+    model = build()
+    with pytest.raises(ValueError, match="unknown"):
+        quantize(model, PTQConfig("INT8", layer_formats={"nope": "INT8"}),
+                 shape)
+    assert all(layer.weight_quant is None
+               for _, layer in quantized_layers(model))
+
+
+def test_skipped_layer_in_map_rejected():
+    """Naming a skip()-ed layer in the map is an error, not a silent drop."""
+    build, shape = MODELS["mlp"]
+    names = [n for n, _ in quantized_layers(build())]
+    cfg = PTQConfig("INT8", layer_formats={names[0]: "INT8"},
+                    skip=lambda name, m: name == names[0])
+    with pytest.raises(ValueError, match="unknown/skipped"):
+        quantize(build(), cfg, shape)
+
+
+def test_determinism_across_runs():
+    """Two identical mixed runs produce byte-identical outputs."""
+    build, shape = MODELS["cnn"]
+    names = [n for n, _ in quantized_layers(build())]
+    cfg = lambda: PTQConfig("MERSIT(8,2)", mode="engine",
+                            layer_formats={names[-1]: "FP(8,4)"})
+    a = quantize(build(), cfg(), shape)
+    b = quantize(build(), cfg(), shape)
+    assert outputs(a, shape).tobytes() == outputs(b, shape).tobytes()

@@ -121,3 +121,59 @@ def test_results_are_deterministic_across_replays(service):
     out2 = run_stream(service, fuzz_stream(rng2, 10), "fakequant")
     for a, b in zip(out1, out2):
         np.testing.assert_array_equal(a, b)
+
+
+# ----------------------------------------------------------------------
+# mixed-precision per-layer format specs through the same harness
+# ----------------------------------------------------------------------
+
+#: one genuinely mixed assignment per micro model (layer names are the
+#: quantize_model-assigned ones; see repro.serve.repository.micro_specs)
+MIXED_SPECS = {
+    "micro-mlp": "mixed(MERSIT(8,2);layer2=FP(8,2))",
+    "micro-attn": "mixed(FP(8,4);block.fc1=MERSIT(8,2);head=Posit(8,1))",
+    "micro-cnn": "mixed(MERSIT(8,2);layer7=FP(8,3))",
+}
+
+
+def mixed_fuzz_stream(rng, n):
+    """Requests whose format field is a full per-layer mixed spec."""
+    pools = {m: micro_specs()[m].requests(8, seed=17) for m in MODELS}
+    stream = []
+    for _ in range(n):
+        m = MODELS[rng.integers(len(MODELS))]
+        # alternate between the model's mixed spec and a uniform format,
+        # so uniform and mixed planes coexist in the same scheduler
+        f = MIXED_SPECS[m] if rng.integers(2) else FORMATS[0]
+        x = pools[m][rng.integers(len(pools[m]))]
+        stream.append((m, f, x))
+    return stream
+
+
+@pytest.mark.parametrize("backend", ["lut", "reference"])
+@pytest.mark.parametrize("mode", ["fakequant", "engine"])
+def test_mixed_spec_streams_bit_identical_to_serial(service, mode, backend):
+    """Per-layer-format requests keep the batching guarantee."""
+    rng = np.random.default_rng(303 if mode == "fakequant" else 404)
+    with use_backend(backend):
+        stream = mixed_fuzz_stream(rng, 18)
+        reference = [service.infer_serial(m, x, f, mode)
+                     for m, f, x in stream]
+        batched = run_stream(service, stream, mode)
+    for i, (ref, got) in enumerate(zip(reference, batched)):
+        np.testing.assert_array_equal(
+            ref, got, err_msg=f"request {i} ({stream[i][0]}|{stream[i][1]}|"
+            f"{mode}|{backend}) diverged from serial inference")
+
+
+def test_mixed_spec_differs_from_uniform_but_spelling_does_not(service):
+    """A mixed spec changes the numbers; a respelled spec does not."""
+    spec = micro_specs()["micro-mlp"]
+    x = spec.requests(1, seed=9)[0]
+    uniform = service.infer_serial("micro-mlp", x, "MERSIT(8,2)")
+    mixed = service.infer_serial("micro-mlp", x, MIXED_SPECS["micro-mlp"])
+    assert uniform.tobytes() != mixed.tobytes()
+    # a uniform map spelled as a mixed(...) spec is the uniform model
+    respelled = service.infer_serial(
+        "micro-mlp", x, "mixed(MERSIT(8,2);layer2=MERSIT(8,2))")
+    np.testing.assert_array_equal(uniform, respelled)

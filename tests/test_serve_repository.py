@@ -131,3 +131,69 @@ def test_artifact_embeds_its_full_key(tmp_path):
                   "accumulator_block", "schema"):
         assert field in key
     assert blob["payload"]["scales"]  # per-layer scales present
+
+
+# ----------------------------------------------------------------------
+# mixed-precision specs through the repository
+# ----------------------------------------------------------------------
+
+def test_mixed_maps_differing_in_one_layer_get_distinct_keys(tmp_path):
+    repo = make_repo(tmp_path)
+    a = repo.cache_key("micro-mlp", "mixed(MERSIT(8,2);layer2=FP(8,2))",
+                       "engine")
+    b = repo.cache_key("micro-mlp", "mixed(MERSIT(8,2);layer2=FP(8,3))",
+                       "engine")
+    assert a != b
+    assert a["layer_formats"] == {"layer2": "FP(8,2)"}
+    # a uniform map canonicalises onto the plain-format key (and cache)
+    u = repo.cache_key("micro-mlp", "mixed(MERSIT(8,2);layer2=MERSIT(8,2))",
+                       "engine")
+    assert u == repo.cache_key("micro-mlp", "MERSIT(8,2)", "engine")
+    assert u["layer_formats"] is None
+
+
+def test_mixed_spec_spellings_share_one_calibration(tmp_path):
+    repo = make_repo(tmp_path)
+    net1, _ = repo.resolve("micro-mlp", "mixed(MERSIT(8,2);layer2=FP(8,2))")
+    net2, _ = repo.resolve("micro-mlp", "mixed(MERSIT(8,2);layer2=FP(8,2)) ")
+    assert net1 is net2 and repo.calibrations == 1
+    repo.resolve("micro-mlp", "mixed(MERSIT(8,2);layer2=FP(8,3))")
+    assert repo.calibrations == 2
+
+
+@pytest.mark.parametrize("mode", ["fakequant", "engine"])
+def test_mixed_artifact_restores_per_layer_scales_bit_identically(
+        tmp_path, mode):
+    spec = "mixed(MERSIT(8,2);layer2=FP(8,2);layer4=FP(8,4))"
+    repo1 = make_repo(tmp_path)
+    out1 = run_one(repo1, fmt=spec, mode=mode)
+    net1, _ = repo1.resolve("micro-mlp", spec, mode)
+
+    repo2 = make_repo(tmp_path)
+    out2 = run_one(repo2, fmt=spec, mode=mode)
+    net2, _ = repo2.resolve("micro-mlp", spec, mode)
+    assert repo2.calibrations == 0 and repo2.artifact_hits == 1
+
+    from repro.quant import parse_format_spec, quantized_layers
+    _, layer_formats = parse_format_spec(spec)
+    fresh = dict(quantized_layers(net1))
+    restored = dict(quantized_layers(net2))
+    assert set(fresh) == set(restored)
+    for name, layer in fresh.items():
+        other = restored[name]
+        expect = layer_formats.get(name, "MERSIT(8,2)")
+        assert layer.weight_quant.fmt.name == expect
+        assert other.weight_quant.fmt.name == expect
+        assert (layer.weight_quant.scale.tobytes()
+                == other.weight_quant.scale.tobytes())
+        assert (np.asarray(layer.input_quant.scale).tobytes()
+                == np.asarray(other.input_quant.scale).tobytes())
+        if mode == "engine":
+            assert other.engine_exec.wfmt.name == expect
+    np.testing.assert_array_equal(out1, out2)
+
+
+def test_unknown_layer_in_mixed_spec_is_a_structured_load_error(tmp_path):
+    repo = make_repo(tmp_path)
+    with pytest.raises(ModelLoadError):
+        repo.resolve("micro-mlp", "mixed(MERSIT(8,2);nope=FP(8,2))")
